@@ -1,0 +1,47 @@
+//! Prime encoding-dichotomy generation (Section 5.1): the linear-recursion
+//! cs/ps algorithm on constrained and unconstrained problems.
+//!
+//! The paper's point: unconstrained problems explode (2^n − 2 primes) while
+//! face constraints prune the compatibles; the algorithm's cost tracks the
+//! *output* size, not an exponential recursion tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_core::{generate_primes, initial_dichotomies, ConstraintSet};
+use std::hint::black_box;
+
+fn figure3_constraints(n: usize) -> ConstraintSet {
+    // Chains of overlapping 3-symbol faces, Figure-3 style, scaled to n.
+    let mut cs = ConstraintSet::new(n);
+    for i in 0..n.saturating_sub(2) {
+        cs.add_face([i, (i + 1) % n, (i + 2) % n]);
+    }
+    cs
+}
+
+fn bench_constrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primes/constrained");
+    for n in [6usize, 8, 10, 12] {
+        let cs = figure3_constraints(n);
+        let initial = initial_dichotomies(&cs, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
+            b.iter(|| generate_primes(black_box(initial), 1_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_unconstrained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primes/unconstrained");
+    group.sample_size(10);
+    for n in [6usize, 8, 10] {
+        let cs = ConstraintSet::new(n);
+        let initial = initial_dichotomies(&cs, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
+            b.iter(|| generate_primes(black_box(initial), 10_000_000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_constrained, bench_unconstrained);
+criterion_main!(benches);

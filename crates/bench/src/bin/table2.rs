@@ -1,0 +1,63 @@
+//! Regenerates Table 2: two-level heuristic minimum-code-length input
+//! encoding, our heuristic (ENC) vs the NOVA-like baseline.
+//!
+//! Reported per benchmark: the number of face constraints from the
+//! ESPRESSO-MV stand-in, the constraints each encoder satisfies at minimum
+//! code length, and the product terms of a two-level implementation of the
+//! encoded constraints (the paper's headline: ENC needs ~13% fewer cubes on
+//! average).
+
+use ioenc_bench::{benchmark, table2_names};
+use ioenc_core::{cost_of, count_violations, heuristic_encode, CostFunction, HeuristicOptions};
+use ioenc_nova::{nova_encode, NovaOptions};
+use ioenc_symbolic::input_constraints;
+
+fn main() {
+    println!("Table 2: Two-level heuristic minimum code length input encoding");
+    println!(
+        "{:<10} {:>7} {:>13} {:>12} {:>12} {:>11} {:>10}",
+        "Name", "States", "# Constraints", "Sat NOVA", "Sat ENC", "Cubes NOVA", "Cubes ENC"
+    );
+    let mut total_nova_cubes = 0u64;
+    let mut total_enc_cubes = 0u64;
+    for name in table2_names() {
+        let fsm = benchmark(name);
+        let cs = input_constraints(&fsm);
+        let total = cs.faces().len();
+
+        let nova = nova_encode(&cs, &NovaOptions::default());
+        let enc = heuristic_encode(
+            &cs,
+            &HeuristicOptions {
+                cost: CostFunction::Cubes,
+                // Bound the espresso-driven polish on the very large
+                // machines (the paper's ENC likewise restricts the number
+                // of cost evaluations).
+                selection_cap: if fsm.num_states() > 40 { 80 } else { 400 },
+                ..Default::default()
+            },
+        )
+        .expect("minimum length is always encodable");
+
+        let nova_sat = total - count_violations(&cs, &nova);
+        let enc_sat = total - count_violations(&cs, &enc);
+        let nova_cubes = cost_of(&cs, &nova, CostFunction::Cubes);
+        let enc_cubes = cost_of(&cs, &enc, CostFunction::Cubes);
+        total_nova_cubes += nova_cubes;
+        total_enc_cubes += enc_cubes;
+        println!(
+            "{:<10} {:>7} {:>13} {:>12} {:>12} {:>11} {:>10}",
+            name,
+            fsm.num_states(),
+            total,
+            nova_sat,
+            enc_sat,
+            nova_cubes,
+            enc_cubes
+        );
+    }
+    let gain = 100.0 * (1.0 - total_enc_cubes as f64 / total_nova_cubes.max(1) as f64);
+    println!(
+        "\nTotal cubes: NOVA {total_nova_cubes}, ENC {total_enc_cubes} ({gain:+.1}% ENC advantage; the paper reports ~13%)"
+    );
+}

@@ -1,0 +1,130 @@
+#![warn(missing_docs)]
+
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! The binaries in `src/bin` print the rows of the paper's evaluation:
+//!
+//! * `table1` — exact input + output encoding (Table 1);
+//! * `table2` — heuristic vs the NOVA-like baseline on two-level cube
+//!   counts (Table 2);
+//! * `table3` — heuristic vs simulated annealing on literal counts and run
+//!   time (Table 3);
+//! * `figures` — the worked examples of Figures 1, 3, 4, 8 and 9 and the
+//!   Section 8 extensions.
+//!
+//! The `benches/` directory contains the corresponding Criterion
+//! micro-benchmarks. Paper-vs-measured results are recorded in
+//! `EXPERIMENTS.md` at the workspace root.
+
+use ioenc_core::ConstraintSet;
+use ioenc_kiss::Fsm;
+use ioenc_symbolic::{mixed_constraints, OutputProfile};
+
+/// The per-benchmark output-constraint profile used for Table 1, mirroring
+/// the paper's narrative: `planet` has "only nine dominance constraints and
+/// no disjunctive constraints", `vmecont` has few distinct face constraints
+/// — both blow past the 50 000-prime cap; the rest carry richer mixed sets.
+pub fn table1_profile(name: &str) -> OutputProfile {
+    match name {
+        "planet" => OutputProfile {
+            max_dominance: 9,
+            max_disjunctive: 0,
+        },
+        "vmecont" => OutputProfile {
+            max_dominance: 4,
+            max_disjunctive: 0,
+        },
+        "tbk" => OutputProfile {
+            max_dominance: 220,
+            max_disjunctive: 16,
+        },
+        "donfile" | "dk16" | "dk16x" => OutputProfile {
+            max_dominance: 150,
+            max_disjunctive: 16,
+        },
+        "sand" => OutputProfile {
+            max_dominance: 280,
+            max_disjunctive: 20,
+        },
+        "kirkman" | "keyb" => OutputProfile {
+            max_dominance: 50,
+            max_disjunctive: 8,
+        },
+        "s1" | "s1a" | "exlinp" | "cse" => OutputProfile {
+            max_dominance: 90,
+            max_disjunctive: 10,
+        },
+        _ => OutputProfile {
+            max_dominance: 40,
+            max_disjunctive: 6,
+        },
+    }
+}
+
+/// The constraint set a benchmark FSM contributes to Table 1.
+pub fn table1_constraints(fsm: &Fsm) -> ConstraintSet {
+    mixed_constraints(fsm, &table1_profile(fsm.name()))
+}
+
+/// The benchmarks included in each table, as in the paper.
+pub fn table1_names() -> Vec<&'static str> {
+    vec![
+        "bbsse", "cse", "dk16", "dk16x", "dk512", "donfile", "exlinp", "keyb", "kirkman", "master",
+        "planet", "s1", "s1a", "sand", "tbk", "vmecont",
+    ]
+}
+
+/// Table 2's benchmark list.
+pub fn table2_names() -> Vec<&'static str> {
+    vec![
+        "bbsse", "cse", "dk16", "dk512", "donfile", "ex1", "kirkman", "master", "planet", "s1",
+        "sand", "styr", "tbk", "viterbi", "vmecont",
+    ]
+}
+
+/// Table 3's benchmark list.
+pub fn table3_names() -> Vec<&'static str> {
+    vec![
+        "bbsse", "cse", "dk16", "dk512", "donfile", "kirkman", "master", "s1", "sand", "tbk",
+        "viterbi", "vmecont",
+    ]
+}
+
+/// Fetches a named machine from the generated suite.
+///
+/// # Panics
+///
+/// Panics if the name is not in the suite.
+pub fn benchmark(name: &str) -> Fsm {
+    ioenc_kiss::suite()
+        .into_iter()
+        .find(|f| f.name() == name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_table_names_exist_in_suite() {
+        let suite = ioenc_kiss::suite();
+        let names: Vec<&str> = suite.iter().map(|f| f.name()).collect();
+        for n in table1_names()
+            .into_iter()
+            .chain(table2_names())
+            .chain(table3_names())
+        {
+            assert!(names.contains(&n), "{n} missing from the suite");
+        }
+    }
+
+    #[test]
+    fn table1_constraints_are_feasible() {
+        for name in ["bbsse", "dk512", "master"] {
+            let fsm = benchmark(name);
+            let cs = table1_constraints(&fsm);
+            assert!(ioenc_core::check_feasible(&cs).is_feasible(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! The `figures` binary must keep reproducing the paper's worked examples
+//! (the tables are exercised manually — they take minutes).
+
+use std::process::Command;
+
+#[test]
+fn figures_binary_reproduces_the_paper() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .output()
+        .expect("figures binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Figure 3: 9 initial dichotomies, 7 primes, 4-prime cover.
+    assert!(stdout.contains("initial encoding-dichotomies (9)"), "{stdout}");
+    assert!(stdout.contains("prime encoding-dichotomies (7)"), "{stdout}");
+    assert!(stdout.contains("minimum cover (4 primes)"), "{stdout}");
+    // Figure 4: infeasible with the uncovered pair.
+    assert!(stdout.contains("feasible: false"), "{stdout}");
+    assert!(stdout.contains("(s0; s1 s5)"), "{stdout}");
+    // Figure 9 and Section 8.1 shapes.
+    assert!(stdout.contains("4-bit encoding: violations = 0, cubes = 4"), "{stdout}");
+    assert!(
+        stdout.contains("with don't cares (a,b,[c,d],e): minimum cover of 3 primes"),
+        "{stdout}"
+    );
+    // Section 8.2: distance 2 achieved.
+    assert!(stdout.contains("Hamming distance 2"), "{stdout}");
+}

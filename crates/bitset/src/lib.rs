@@ -1,0 +1,415 @@
+#![warn(missing_docs)]
+
+//! Fixed-capacity bit sets for the `ioenc` encoding framework.
+//!
+//! The framework manipulates many small sets of symbol indices (dichotomy
+//! blocks, cube parts, covering-matrix rows). [`BitSet`] is a compact,
+//! allocation-friendly set over the universe `0..capacity` backed by `u64`
+//! words.
+//!
+//! # Examples
+//!
+//! ```
+//! use ioenc_bitset::BitSet;
+//!
+//! let mut a = BitSet::new(10);
+//! a.insert(1);
+//! a.insert(7);
+//! let b = BitSet::from_indices(10, [7, 9]);
+//! assert!(!a.is_disjoint(&b));
+//! assert_eq!(a.intersection(&b).iter().collect::<Vec<_>>(), vec![7]);
+//! ```
+
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of `usize` indices drawn from the fixed universe `0..capacity()`.
+///
+/// All binary operations require both operands to have the same capacity;
+/// they panic otherwise (capacities are a static property of each problem
+/// instance, so a mismatch is a logic error).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BitSet {
+    /// Number of valid bits.
+    len: usize,
+    words: Vec<u64>,
+}
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = ioenc_bitset::BitSet::new(5);
+    /// assert!(s.is_empty());
+    /// assert_eq!(s.capacity(), 5);
+    /// ```
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            len: capacity,
+            words: vec![0; word_count(capacity)],
+        }
+    }
+
+    /// Creates a set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim();
+        s
+    }
+
+    /// Creates a set from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= capacity`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(capacity: usize, indices: I) -> Self {
+        let mut s = Self::new(capacity);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The size of the universe (not the number of elements).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Clears excess bits beyond `len` in the last word.
+    #[inline]
+    fn trim(&mut self) {
+        let rem = self.len % WORD_BITS;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn check_same(&self, other: &Self) {
+        assert_eq!(
+            self.len, other.len,
+            "bit set capacity mismatch: {} vs {}",
+            self.len, other.len
+        );
+    }
+
+    /// Inserts `index`, returning `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !was
+    }
+
+    /// Removes `index`, returning `true` if it was present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity()`.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        let was = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        was
+    }
+
+    /// Tests membership. Out-of-range indices are simply absent.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.len {
+            return false;
+        }
+        let (w, b) = (index / WORD_BITS, index % WORD_BITS);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` if the set has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `true` if `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.check_same(other);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.check_same(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` if every element of `other` is in `self`.
+    pub fn is_superset(&self, other: &Self) -> bool {
+        other.is_subset(self)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &Self) {
+        self.check_same(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns the union as a new set.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Returns the intersection as a new set.
+    pub fn intersection(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.intersect_with(other);
+        s
+    }
+
+    /// Returns the difference `self \ other` as a new set.
+    pub fn difference(&self, other: &Self) -> Self {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// Returns the complement within the universe.
+    pub fn complement(&self) -> Self {
+        let mut s = self.clone();
+        for w in &mut s.words {
+            *w = !*w;
+        }
+        s.trim();
+        s
+    }
+
+    /// The smallest element, if any (named `first` to avoid clashing with `Ord::min`).
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw words backing the set (low bit of word 0 is index 0).
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl fmt::Display for BitSet {
+    /// Renders as a `capacity()`-character string of `0`/`1`, index 0 first.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            f.write_str(if self.contains(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Iterator over set elements, produced by [`BitSet::iter`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = BitSet::new(70);
+        assert!(e.is_empty());
+        assert_eq!(e.count(), 0);
+        let f = BitSet::full(70);
+        assert_eq!(f.count(), 70);
+        assert_eq!(f.complement(), e);
+        assert_eq!(e.complement(), f);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert!(!s.contains(64));
+        assert!(!s.contains(4000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(5).insert(5);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(10, [1, 3, 5]);
+        let b = BitSet::from_indices(10, [3, 5, 7]);
+        assert_eq!(a.union(&b), BitSet::from_indices(10, [1, 3, 5, 7]));
+        assert_eq!(a.intersection(&b), BitSet::from_indices(10, [3, 5]));
+        assert_eq!(a.difference(&b), BitSet::from_indices(10, [1]));
+        assert!(!a.is_disjoint(&b));
+        assert!(a.is_disjoint(&BitSet::from_indices(10, [0, 2])));
+        assert!(BitSet::from_indices(10, [3]).is_subset(&a));
+        assert!(a.is_superset(&BitSet::from_indices(10, [1, 5])));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn mismatched_capacity_panics() {
+        let a = BitSet::new(4);
+        let b = BitSet::new(5);
+        a.is_disjoint(&b);
+    }
+
+    #[test]
+    fn iteration_order() {
+        let s = BitSet::from_indices(200, [199, 0, 64, 65, 127, 128]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 65, 127, 128, 199]);
+        assert_eq!(s.first(), Some(0));
+        assert_eq!(BitSet::new(8).first(), None);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = BitSet::from_indices(4, [0, 2]);
+        assert_eq!(s.to_string(), "1010");
+        assert_eq!(format!("{s:?}"), "{0, 2}");
+    }
+
+    #[test]
+    fn complement_respects_capacity() {
+        // Make sure bits beyond `len` never leak into counts or equality.
+        let s = BitSet::from_indices(67, [0]);
+        let c = s.complement();
+        assert_eq!(c.count(), 66);
+        assert!(!c.contains(0));
+        assert!(c.contains(66));
+        assert_eq!(c.complement(), s);
+    }
+
+    #[test]
+    fn extend_collects() {
+        let mut s = BitSet::new(6);
+        s.extend([5usize, 1, 1]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests checking `BitSet` against `std::collections::BTreeSet`.
+
+use ioenc_bitset::BitSet;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const CAP: usize = 150;
+
+fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (
+        prop::collection::vec(0..CAP, 0..40),
+        prop::collection::vec(0..CAP, 0..40),
+    )
+}
+
+fn build(v: &[usize]) -> (BitSet, BTreeSet<usize>) {
+    (
+        BitSet::from_indices(CAP, v.iter().copied()),
+        v.iter().copied().collect(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn union_matches_model((a, b) in model_pair()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        let want: Vec<usize> = ma.union(&mb).copied().collect();
+        prop_assert_eq!(sa.union(&sb).iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn intersection_matches_model((a, b) in model_pair()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        let want: Vec<usize> = ma.intersection(&mb).copied().collect();
+        prop_assert_eq!(sa.intersection(&sb).iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn difference_matches_model((a, b) in model_pair()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        let want: Vec<usize> = ma.difference(&mb).copied().collect();
+        prop_assert_eq!(sa.difference(&sb).iter().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    fn relations_match_model((a, b) in model_pair()) {
+        let (sa, ma) = build(&a);
+        let (sb, mb) = build(&b);
+        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        prop_assert_eq!(sa.count(), ma.len());
+        prop_assert_eq!(sa == sb, ma == mb);
+    }
+
+    #[test]
+    fn complement_involution(a in prop::collection::vec(0..CAP, 0..40)) {
+        let (sa, ma) = build(&a);
+        let c = sa.complement();
+        prop_assert_eq!(c.count(), CAP - ma.len());
+        prop_assert!(c.is_disjoint(&sa));
+        prop_assert_eq!(c.complement(), sa);
+    }
+
+    #[test]
+    fn remove_inverts_insert(a in prop::collection::vec(0..CAP, 0..40), x in 0..CAP) {
+        let (mut sa, ma) = build(&a);
+        let newly = sa.insert(x);
+        prop_assert_eq!(newly, !ma.contains(&x));
+        prop_assert!(sa.contains(x));
+        sa.remove(x);
+        prop_assert!(!sa.contains(x));
+    }
+}

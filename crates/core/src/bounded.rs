@@ -1,0 +1,208 @@
+//! The exact version of problem P-3 (Section 7.1): enumerate all 2^(n-1)
+//! encoding-dichotomies and select the fixed-size subset minimizing the
+//! cost function — "clearly infeasible on all but trivial instances", which
+//! is exactly why the paper develops the heuristic. This implementation
+//! exists as the reference point for the heuristic on small instances.
+
+use crate::cost::{cost_of, CostFunction};
+use crate::{ConstraintSet, Dichotomy, EncodeError, Encoding};
+
+/// Options for [`bounded_exact_encode`].
+#[derive(Debug, Clone)]
+pub struct BoundedExactOptions {
+    /// Code length; `None` uses the minimum `⌈log₂ n⌉`.
+    pub code_length: Option<usize>,
+    /// Cost function to minimize.
+    pub cost: CostFunction,
+    /// Refuse instances with more symbols than this (the candidate pool is
+    /// `2^(n-1) − 1`).
+    pub max_symbols: usize,
+    /// Refuse instances whose selection space exceeds this many subsets.
+    pub max_selections: u64,
+}
+
+impl Default for BoundedExactOptions {
+    fn default() -> Self {
+        BoundedExactOptions {
+            code_length: None,
+            cost: CostFunction::Violations,
+            max_symbols: 8,
+            max_selections: 5_000_000,
+        }
+    }
+}
+
+/// Exhaustively finds the minimum-cost encoding of the requested length
+/// (the *candidate generation* + *selection* formulation the paper gives
+/// before the heuristic). Returns the encoding and its cost.
+///
+/// # Errors
+///
+/// * [`EncodeError::TooLarge`] beyond the configured instance limits;
+/// * [`EncodeError::WidthExceeded`] for lengths that cannot give distinct
+///   codes.
+pub fn bounded_exact_encode(
+    cs: &ConstraintSet,
+    opts: &BoundedExactOptions,
+) -> Result<(Encoding, u64), EncodeError> {
+    let n = cs.num_symbols();
+    if n > opts.max_symbols {
+        return Err(EncodeError::TooLarge {
+            what: "bounded exact enumeration",
+        });
+    }
+    if n == 0 {
+        return Ok((Encoding::new(0, Vec::new()), 0));
+    }
+    let min_len = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
+    let c = opts.code_length.unwrap_or(min_len);
+    if c >= 64 || (1u64 << c) < n as u64 {
+        return Err(EncodeError::WidthExceeded);
+    }
+    if n == 1 {
+        return Ok((Encoding::new(c, vec![0]), 0));
+    }
+
+    // All 2^(n-1) − 1 distinct encoding-dichotomies (symbol 0 pinned to
+    // the left block; for input-type cost functions orientation is
+    // immaterial).
+    let mut candidates: Vec<Dichotomy> = Vec::new();
+    for mask in 1u64..(1 << (n - 1)) {
+        let right: Vec<usize> = (1..n).filter(|&s| mask >> (s - 1) & 1 == 1).collect();
+        let left: Vec<usize> = (0..n)
+            .filter(|&s| s == 0 || mask >> (s - 1) & 1 == 0)
+            .collect();
+        candidates.push(Dichotomy::from_blocks(n, left, right));
+    }
+
+    // Selection-space size check: C(|candidates|, c).
+    let mut selections = 1u64;
+    for i in 0..c as u64 {
+        selections = selections.saturating_mul(candidates.len() as u64 - i) / (i + 1);
+        if selections > opts.max_selections {
+            return Err(EncodeError::TooLarge {
+                what: "bounded exact selection space",
+            });
+        }
+    }
+
+    let mut best: Option<(u64, Encoding)> = None;
+    let mut chosen = Vec::with_capacity(c);
+    enumerate(cs, &candidates, c, 0, &mut chosen, &mut best, opts.cost);
+    match best {
+        Some((cost, enc)) => Ok((enc, cost)),
+        None => Err(EncodeError::TooLarge {
+            what: "no injective selection of the requested length",
+        }),
+    }
+}
+
+fn enumerate(
+    cs: &ConstraintSet,
+    candidates: &[Dichotomy],
+    c: usize,
+    start: usize,
+    chosen: &mut Vec<usize>,
+    best: &mut Option<(u64, Encoding)>,
+    cost: CostFunction,
+) {
+    if chosen.len() == c {
+        let cols: Vec<Dichotomy> = chosen.iter().map(|&i| candidates[i].clone()).collect();
+        let enc = Encoding::from_columns(cs.num_symbols(), &cols);
+        // Injectivity first.
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        if codes.windows(2).any(|w| w[0] == w[1]) {
+            return;
+        }
+        let value = cost_of(cs, &enc, cost);
+        if best.as_ref().is_none_or(|(b, _)| value < *b) {
+            *best = Some((value, enc));
+        }
+        return;
+    }
+    let remaining = c - chosen.len();
+    for i in start..=(candidates.len().saturating_sub(remaining)) {
+        chosen.push(i);
+        enumerate(cs, candidates, c, i + 1, chosen, best, cost);
+        chosen.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count_violations, heuristic_encode, HeuristicOptions};
+
+    #[test]
+    fn satisfiable_instances_reach_zero() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        cs.add_face([2, 3]);
+        let (enc, cost) = bounded_exact_encode(&cs, &BoundedExactOptions::default()).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(count_violations(&cs, &enc), 0);
+        assert_eq!(enc.width(), 2);
+    }
+
+    #[test]
+    fn figure_3_at_three_bits_has_positive_minimum() {
+        // Figure 3's constraints need 4 bits; the exact 3-bit minimum is
+        // some positive violation count that the heuristic cannot beat.
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let (_, exact_cost) = bounded_exact_encode(&cs, &BoundedExactOptions::default()).unwrap();
+        assert!(exact_cost >= 1);
+        let heur = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert!(count_violations(&cs, &heur) as u64 >= exact_cost);
+    }
+
+    #[test]
+    fn four_bit_selection_satisfies_figure_3() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let opts = BoundedExactOptions {
+            code_length: Some(4),
+            ..Default::default()
+        };
+        let (_, cost) = bounded_exact_encode(&cs, &opts).unwrap();
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn instance_limits_are_enforced() {
+        let cs = ConstraintSet::new(12);
+        assert!(matches!(
+            bounded_exact_encode(&cs, &BoundedExactOptions::default()),
+            Err(EncodeError::TooLarge { .. })
+        ));
+        let opts = BoundedExactOptions {
+            max_symbols: 12,
+            max_selections: 10,
+            ..Default::default()
+        };
+        assert!(matches!(
+            bounded_exact_encode(&cs, &opts),
+            Err(EncodeError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn too_short_length_rejected() {
+        let cs = ConstraintSet::new(5);
+        let opts = BoundedExactOptions {
+            code_length: Some(2),
+            ..Default::default()
+        };
+        assert!(matches!(
+            bounded_exact_encode(&cs, &opts),
+            Err(EncodeError::WidthExceeded)
+        ));
+    }
+}

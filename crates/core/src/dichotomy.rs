@@ -1,0 +1,289 @@
+//! Encoding-dichotomies (Definition 3.1 of the paper).
+
+use ioenc_bitset::BitSet;
+use std::fmt;
+
+use crate::ConstraintSet;
+
+/// An encoding-dichotomy: an ordered 2-block partial partition of the
+/// symbols. Symbols in the left block receive bit 0, symbols in the right
+/// block bit 1 (Definition 3.1). A symbol may be in neither block.
+///
+/// Unlike the *dichotomies* of Tracey and Yang–Ciesielski, encoding-
+/// dichotomies are ordered, which is what lets output constraints be
+/// expressed (Definition 3.6); *covering* remains orientation-insensitive
+/// (Definition 3.4).
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::Dichotomy;
+///
+/// let d1 = Dichotomy::from_blocks(4, [0, 1], [2, 3]);
+/// let d2 = Dichotomy::from_blocks(4, [0], [3]);
+/// assert!(d1.covers(&d2));
+/// assert!(d1.covers(&d2.flipped()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dichotomy {
+    left: BitSet,
+    right: BitSet,
+}
+
+impl Dichotomy {
+    /// An empty dichotomy over `n` symbols.
+    pub fn new(n: usize) -> Self {
+        Dichotomy {
+            left: BitSet::new(n),
+            right: BitSet::new(n),
+        }
+    }
+
+    /// Builds a dichotomy from explicit blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks overlap or a symbol is out of range.
+    pub fn from_blocks<L, R>(n: usize, left: L, right: R) -> Self
+    where
+        L: IntoIterator<Item = usize>,
+        R: IntoIterator<Item = usize>,
+    {
+        let left = BitSet::from_indices(n, left);
+        let right = BitSet::from_indices(n, right);
+        assert!(
+            left.is_disjoint(&right),
+            "dichotomy blocks must be disjoint"
+        );
+        Dichotomy { left, right }
+    }
+
+    /// Builds a dichotomy from block sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks overlap or have different capacities.
+    pub fn from_sets(left: BitSet, right: BitSet) -> Self {
+        assert!(
+            left.is_disjoint(&right),
+            "dichotomy blocks must be disjoint"
+        );
+        Dichotomy { left, right }
+    }
+
+    /// Number of symbols in the universe.
+    pub fn num_symbols(&self) -> usize {
+        self.left.capacity()
+    }
+
+    /// The left (bit 0) block.
+    pub fn left(&self) -> &BitSet {
+        &self.left
+    }
+
+    /// The right (bit 1) block.
+    pub fn right(&self) -> &BitSet {
+        &self.right
+    }
+
+    /// `true` if `s` is in the left block.
+    pub fn in_left(&self, s: usize) -> bool {
+        self.left.contains(s)
+    }
+
+    /// `true` if `s` is in the right block.
+    pub fn in_right(&self, s: usize) -> bool {
+        self.right.contains(s)
+    }
+
+    /// `true` if `s` is in either block.
+    pub fn assigns(&self, s: usize) -> bool {
+        self.left.contains(s) || self.right.contains(s)
+    }
+
+    /// Inserts `s` into the left block; returns `false` (and leaves the
+    /// dichotomy unchanged) if `s` is already in the right block.
+    pub fn insert_left(&mut self, s: usize) -> bool {
+        if self.right.contains(s) {
+            return false;
+        }
+        self.left.insert(s);
+        true
+    }
+
+    /// Inserts `s` into the right block; returns `false` (and leaves the
+    /// dichotomy unchanged) if `s` is already in the left block.
+    pub fn insert_right(&mut self, s: usize) -> bool {
+        if self.left.contains(s) {
+            return false;
+        }
+        self.right.insert(s);
+        true
+    }
+
+    /// Compatibility (Definition 3.2): the left block of each is disjoint
+    /// from the right block of the other.
+    pub fn compatible(&self, other: &Dichotomy) -> bool {
+        self.left.is_disjoint(&other.right) && self.right.is_disjoint(&other.left)
+    }
+
+    /// Union of two compatible dichotomies (Definition 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dichotomies are incompatible.
+    pub fn union(&self, other: &Dichotomy) -> Dichotomy {
+        assert!(self.compatible(other), "union of incompatible dichotomies");
+        Dichotomy {
+            left: self.left.union(&other.left),
+            right: self.right.union(&other.right),
+        }
+    }
+
+    /// In-place union with a compatible dichotomy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dichotomies are incompatible.
+    pub fn union_with(&mut self, other: &Dichotomy) {
+        assert!(self.compatible(other), "union of incompatible dichotomies");
+        self.left.union_with(&other.left);
+        self.right.union_with(&other.right);
+    }
+
+    /// Covering (Definition 3.4): `other`'s blocks are subsets of `self`'s
+    /// blocks in either orientation.
+    pub fn covers(&self, other: &Dichotomy) -> bool {
+        (other.left.is_subset(&self.left) && other.right.is_subset(&self.right))
+            || (other.left.is_subset(&self.right) && other.right.is_subset(&self.left))
+    }
+
+    /// Orientation-preserving covering: `other.left ⊆ self.left` and
+    /// `other.right ⊆ self.right`.
+    pub fn covers_oriented(&self, other: &Dichotomy) -> bool {
+        other.left.is_subset(&self.left) && other.right.is_subset(&self.right)
+    }
+
+    /// The dichotomy with blocks swapped.
+    pub fn flipped(&self) -> Dichotomy {
+        Dichotomy {
+            left: self.right.clone(),
+            right: self.left.clone(),
+        }
+    }
+
+    /// `true` if both blocks are empty.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty() && self.right.is_empty()
+    }
+
+    /// `true` if every symbol is assigned to a block (a *total* dichotomy,
+    /// i.e. one encoding column).
+    pub fn is_total(&self) -> bool {
+        self.left.count() + self.right.count() == self.num_symbols()
+    }
+
+    /// `true` if the dichotomy separates `a` and `b` (one in each block).
+    pub fn separates(&self, a: usize, b: usize) -> bool {
+        (self.left.contains(a) && self.right.contains(b))
+            || (self.left.contains(b) && self.right.contains(a))
+    }
+
+    /// The bit this dichotomy's encoding column gives symbol `s`: 1 when
+    /// `s` is in the right block **or unassigned** (the output-safe
+    /// completion used in the proof of Theorem 6.1).
+    pub fn column_bit(&self, s: usize) -> bool {
+        !self.left.contains(s)
+    }
+
+    /// Renders the dichotomy as `(a b; c d)` using the names in `cs`.
+    pub fn display(&self, cs: &ConstraintSet) -> String {
+        let l: Vec<&str> = self.left.iter().map(|s| cs.name(s)).collect();
+        let r: Vec<&str> = self.right.iter().map(|s| cs.name(s)).collect();
+        format!("({}; {})", l.join(" "), r.join(" "))
+    }
+}
+
+impl fmt::Debug for Dichotomy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l: Vec<String> = self.left.iter().map(|s| s.to_string()).collect();
+        let r: Vec<String> = self.right.iter().map(|s| s.to_string()).collect();
+        write!(f, "({}; {})", l.join(" "), r.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_per_definition_3_2() {
+        // (s0 s1; s2 s3) and (s0 s3; ...) example family.
+        let d1 = Dichotomy::from_blocks(5, [0, 1], [2, 3]);
+        let d2 = Dichotomy::from_blocks(5, [0, 4], [2]);
+        assert!(d1.compatible(&d2));
+        let d3 = Dichotomy::from_blocks(5, [2], [0]);
+        assert!(!d1.compatible(&d3));
+        // Compatibility is orientation-sensitive: flipping d3 fixes it.
+        assert!(d1.compatible(&d3.flipped()));
+    }
+
+    #[test]
+    fn union_merges_blocks() {
+        let d1 = Dichotomy::from_blocks(5, [0], [2]);
+        let d2 = Dichotomy::from_blocks(5, [1], [2, 3]);
+        let u = d1.union(&d2);
+        assert_eq!(u, Dichotomy::from_blocks(5, [0, 1], [2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn union_rejects_incompatible() {
+        let d1 = Dichotomy::from_blocks(3, [0], [1]);
+        let d2 = Dichotomy::from_blocks(3, [1], [0]);
+        let _ = d1.union(&d2);
+    }
+
+    #[test]
+    fn covering_per_definition_3_4() {
+        // (s0; s1 s2) is covered by (s0 s3; s1 s2 s4) and by the flipped
+        // (s1 s2 s3; s0) but not by (s0 s1; s2).
+        let d = Dichotomy::from_blocks(5, [0], [1, 2]);
+        assert!(Dichotomy::from_blocks(5, [0, 3], [1, 2, 4]).covers(&d));
+        assert!(Dichotomy::from_blocks(5, [1, 2, 3], [0]).covers(&d));
+        assert!(!Dichotomy::from_blocks(5, [0, 1], [2]).covers(&d));
+    }
+
+    #[test]
+    fn oriented_covering_is_one_sided() {
+        let d = Dichotomy::from_blocks(4, [0], [1]);
+        assert!(Dichotomy::from_blocks(4, [0, 2], [1, 3]).covers_oriented(&d));
+        assert!(!Dichotomy::from_blocks(4, [1, 3], [0, 2]).covers_oriented(&d));
+    }
+
+    #[test]
+    fn insertion_reports_conflicts() {
+        let mut d = Dichotomy::from_blocks(3, [0], [1]);
+        assert!(d.insert_left(2));
+        assert!(!d.insert_right(0));
+        assert!(d.insert_left(0)); // already there: fine
+        assert_eq!(d.left().count(), 2);
+    }
+
+    #[test]
+    fn column_bits_fill_right() {
+        let d = Dichotomy::from_blocks(4, [1], [2]);
+        // Unassigned symbols 0 and 3 default to 1 (right).
+        let bits: Vec<bool> = (0..4).map(|s| d.column_bit(s)).collect();
+        assert_eq!(bits, vec![true, false, true, true]);
+    }
+
+    #[test]
+    fn separates_and_total() {
+        let d = Dichotomy::from_blocks(3, [0], [1, 2]);
+        assert!(d.separates(0, 2));
+        assert!(!d.separates(1, 2));
+        assert!(d.is_total());
+        assert!(!Dichotomy::from_blocks(3, [0], [1]).is_total());
+    }
+}

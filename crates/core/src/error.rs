@@ -1,0 +1,70 @@
+//! Error type shared by the encoders.
+
+use crate::Dichotomy;
+use std::fmt;
+
+/// Errors from the feasibility check and the encoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The constraints are unsatisfiable: these initial encoding-
+    /// dichotomies cannot be covered by any valid raised dichotomy
+    /// (Theorem 6.1).
+    Infeasible {
+        /// The uncovered initial encoding-dichotomies.
+        uncovered: Vec<Dichotomy>,
+    },
+    /// Prime encoding-dichotomy generation exceeded the configured cap
+    /// (the `> 50 000` cases of Table 1).
+    PrimesExceeded {
+        /// The cap that was hit.
+        limit: usize,
+    },
+    /// The covering solver gave up (node limit) before proving a solution.
+    CoverAborted,
+    /// More than 64 code bits would be required.
+    WidthExceeded,
+    /// Enumerating the minimal hitting sets of a non-face constraint
+    /// exceeded the cap (Section 8.3's covering clauses).
+    NonFaceTooComplex,
+    /// The instance is too large for the requested (oracle) algorithm.
+    TooLarge {
+        /// A short description of the exceeded limit.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::Infeasible { uncovered } => write!(
+                f,
+                "constraints are unsatisfiable ({} uncovered initial dichotomies)",
+                uncovered.len()
+            ),
+            EncodeError::PrimesExceeded { limit } => {
+                write!(f, "more than {limit} prime encoding-dichotomies")
+            }
+            EncodeError::CoverAborted => write!(f, "covering search exceeded its node limit"),
+            EncodeError::WidthExceeded => write!(f, "encoding would need more than 64 bits"),
+            EncodeError::NonFaceTooComplex => {
+                write!(f, "non-face constraint clause generation exceeded its cap")
+            }
+            EncodeError::TooLarge { what } => write!(f, "instance too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EncodeError::PrimesExceeded { limit: 50_000 };
+        assert!(e.to_string().contains("50000"));
+        let e = EncodeError::Infeasible { uncovered: vec![] };
+        assert!(e.to_string().contains("unsatisfiable"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Problem P-2: exact minimum-length encoding (Section 6.3, Figure 7),
+//! with the distance-2 and non-face extensions of Sections 8.2–8.3.
+
+use crate::raise::{raise_dichotomy, raised_valid};
+use crate::{
+    generate_primes, initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding,
+};
+use ioenc_cover::{BinateProblem, SolveError, UnateProblem};
+
+/// Options for [`exact_encode`].
+#[derive(Debug, Clone)]
+pub struct ExactOptions {
+    /// Abort prime generation beyond this many terms (Table 1 used
+    /// 50 000).
+    pub prime_cap: usize,
+    /// Branch-and-bound node budget for the covering step.
+    pub node_limit: u64,
+    /// Cap on minimal hitting sets enumerated per non-face constraint and
+    /// on non-face repair iterations.
+    pub nonface_cap: usize,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            prime_cap: 50_000,
+            node_limit: 5_000_000,
+            nonface_cap: 10_000,
+        }
+    }
+}
+
+/// The detailed result of [`exact_encode_report`].
+#[derive(Debug, Clone)]
+pub struct ExactReport {
+    /// The minimum-length encoding.
+    pub encoding: Encoding,
+    /// Number of initial encoding-dichotomies.
+    pub num_initial: usize,
+    /// Number of valid prime encoding-dichotomies generated.
+    pub num_primes: usize,
+    /// The selected columns (one per code bit).
+    pub selected: Vec<Dichotomy>,
+    /// `false` when the covering search hit its node limit; the encoding is
+    /// then feasible but possibly longer than the true minimum.
+    pub optimal: bool,
+}
+
+/// Finds a minimum-length encoding satisfying all constraints
+/// (Theorem 6.2).
+///
+/// The pipeline of Figure 7: initial encoding-dichotomies → validity filter
+/// → maximal raising → feasibility check → prime encoding-dichotomy
+/// generation (Section 5.1) → invalid-prime removal → exact unate covering
+/// of the initial dichotomies. Problems with distance-2 or non-face
+/// constraints use binate covering instead (Section 8).
+///
+/// Every returned encoding is re-checked against the independent semantic
+/// verifier; see [`Encoding::verify`].
+///
+/// # Errors
+///
+/// * [`EncodeError::Infeasible`] when the feasibility check of Theorem 6.1
+///   fails (the uncovered dichotomies are reported);
+/// * [`EncodeError::PrimesExceeded`] when prime generation blows past
+///   `opts.prime_cap`;
+/// * [`EncodeError::WidthExceeded`] for solutions beyond 64 bits;
+/// * [`EncodeError::NonFaceTooComplex`] when the Section 8.3 clause
+///   generation or repair iteration exceeds its cap.
+///
+/// # Examples
+///
+/// The worked example of Figure 8:
+///
+/// ```
+/// use ioenc_core::{exact_encode, ConstraintSet, ExactOptions};
+///
+/// let cs = ConstraintSet::parse(
+///     &["s0", "s1", "s2", "s3"],
+///     "(s0,s1)\ns0>s1\ns1>s2\ns0=s1|s3",
+/// )?;
+/// let enc = exact_encode(&cs, &ExactOptions::default())?;
+/// assert_eq!(enc.width(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn exact_encode(cs: &ConstraintSet, opts: &ExactOptions) -> Result<Encoding, EncodeError> {
+    exact_encode_report(cs, opts).map(|r| r.encoding)
+}
+
+/// Like [`exact_encode`] but returns the full [`ExactReport`] (prime
+/// counts, the selected columns, optimality).
+///
+/// # Errors
+///
+/// As for [`exact_encode`].
+pub fn exact_encode_report(
+    cs: &ConstraintSet,
+    opts: &ExactOptions,
+) -> Result<ExactReport, EncodeError> {
+    let symmetry = !cs.has_output_constraints();
+    let initial = initial_dichotomies(cs, symmetry);
+    let raised = raised_valid(&initial, cs);
+
+    let uncovered: Vec<Dichotomy> = initial
+        .iter()
+        .filter(|i| !raised.iter().any(|d| d.covers(i)))
+        .cloned()
+        .collect();
+    if !uncovered.is_empty() {
+        return Err(EncodeError::Infeasible { uncovered });
+    }
+
+    // Prime generation, then re-raise each prime: the union of raise-closed
+    // dichotomies is closed under the single-premise dominance rules but
+    // not under the aggregate disjunctive rules, and the output-safe
+    // completion (unassigned → right) of Theorem 6.1 is only sound for
+    // maximally raised dichotomies.
+    let primes_raw = generate_primes(&raised, opts.prime_cap)?;
+    let mut columns: Vec<Dichotomy> = primes_raw
+        .iter()
+        .filter_map(|p| raise_dichotomy(p, cs))
+        .collect();
+    let num_primes = columns.len();
+    // The raised dichotomies themselves are valid columns (Theorem 6.1);
+    // including them keeps every initial dichotomy coverable even if the
+    // maximal compatible that contained it was invalidated by raising.
+    columns.extend(raised.iter().cloned());
+    columns.sort();
+    columns.dedup();
+
+    let report = if cs.has_binate_constraints() {
+        solve_binate(cs, &initial, &columns, opts)?
+    } else {
+        solve_unate(cs, &initial, &columns, opts)?
+    };
+    assert!(
+        report.encoding.satisfies(cs),
+        "internal error: exact encoding fails semantic verification"
+    );
+    Ok(ExactReport {
+        num_initial: initial.len(),
+        num_primes,
+        ..report
+    })
+}
+
+fn build_encoding(
+    cs: &ConstraintSet,
+    columns: &[Dichotomy],
+    chosen: &[usize],
+    optimal: bool,
+) -> Result<ExactReport, EncodeError> {
+    if chosen.len() > 64 {
+        return Err(EncodeError::WidthExceeded);
+    }
+    let selected: Vec<Dichotomy> = chosen.iter().map(|&c| columns[c].clone()).collect();
+    let encoding = Encoding::from_columns(cs.num_symbols(), &selected);
+    Ok(ExactReport {
+        encoding,
+        num_initial: 0,
+        num_primes: 0,
+        selected,
+        optimal,
+    })
+}
+
+fn solve_unate(
+    cs: &ConstraintSet,
+    initial: &[Dichotomy],
+    columns: &[Dichotomy],
+    opts: &ExactOptions,
+) -> Result<ExactReport, EncodeError> {
+    let mut problem = UnateProblem::new(columns.len());
+    problem.set_node_limit(opts.node_limit);
+    for i in initial {
+        problem.add_row(
+            columns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.covers(i))
+                .map(|(k, _)| k),
+        );
+    }
+    let sol = problem.solve_exact().map_err(|e| match e {
+        SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+        SolveError::NodeLimit => EncodeError::CoverAborted,
+    })?;
+    build_encoding(cs, columns, &sol.columns, sol.optimal)
+}
+
+fn solve_binate(
+    cs: &ConstraintSet,
+    initial: &[Dichotomy],
+    columns: &[Dichotomy],
+    opts: &ExactOptions,
+) -> Result<ExactReport, EncodeError> {
+    let n = cs.num_symbols();
+    let mut problem = BinateProblem::new(columns.len());
+    problem.set_node_limit(opts.node_limit);
+    for i in initial {
+        problem.add_clause(
+            columns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.covers(i))
+                .map(|(k, _)| k),
+            [],
+        );
+    }
+    // Distance-2 (Section 8.2): at least two selected columns must separate
+    // the pair. In the emitted code, symbol s gets bit 0 exactly when it is
+    // in the left block, so the separating columns are those where exactly
+    // one of the pair sits in the left block.
+    for &(a, b) in cs.distance2_pairs() {
+        let s: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.in_left(a) != p.in_left(b))
+            .map(|(k, _)| k)
+            .collect();
+        if s.len() < 2 {
+            return Err(EncodeError::Infeasible { uncovered: vec![] });
+        }
+        for &p in &s {
+            problem.add_clause(s.iter().copied().filter(|&q| q != p), []);
+        }
+    }
+    // Non-face constraints (Section 8.3): the covering of the implied face
+    // constraint must be incomplete. A selection covers the face fully iff
+    // it hits, for every outsider s, the set S_s of columns covering
+    // (N; s); forbid every minimal hitting set with a negative clause.
+    for nf in cs.nonfaces() {
+        let outsiders: Vec<usize> = (0..n).filter(|s| !nf.contains(*s)).collect();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        let mut impossible = false;
+        for &s in &outsiders {
+            let d = Dichotomy::from_sets(nf.clone(), ioenc_bitset::BitSet::from_indices(n, [s]));
+            let set: Vec<usize> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.covers(&d))
+                .map(|(k, _)| k)
+                .collect();
+            if set.is_empty() {
+                impossible = true; // the face can never become private
+                break;
+            }
+            sets.push(set);
+        }
+        if impossible {
+            continue;
+        }
+        let hitting = minimal_hitting_sets(&sets, opts.nonface_cap)?;
+        for h in hitting {
+            problem.add_clause([], h);
+        }
+    }
+    // The clause formulation above under-approximates face formation: the
+    // unassigned→right completion can separate N from an outsider even
+    // when no selected column *covers* (N; s). Iterate: forbid any
+    // selection whose emitted codes still violate a non-face constraint.
+    for _ in 0..opts.nonface_cap.max(1) {
+        let sol = problem.solve_exact().map_err(|e| match e {
+            SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+            SolveError::NodeLimit => EncodeError::CoverAborted,
+        })?;
+        let report = build_encoding(cs, columns, &sol.columns, sol.optimal)?;
+        if report.encoding.satisfies(cs) {
+            return Ok(report);
+        }
+        problem.add_clause([], sol.columns.iter().copied());
+    }
+    Err(EncodeError::NonFaceTooComplex)
+}
+
+/// Oracle-side access to hitting-set enumeration with a generous cap.
+pub(crate) fn minimal_hitting_sets_for_oracle(
+    sets: &[Vec<usize>],
+) -> Result<Vec<Vec<usize>>, EncodeError> {
+    minimal_hitting_sets(sets, 100_000)
+}
+
+/// Enumerates all minimal hitting sets of a family of sets, capped.
+fn minimal_hitting_sets(sets: &[Vec<usize>], cap: usize) -> Result<Vec<Vec<usize>>, EncodeError> {
+    let mut results: Vec<Vec<usize>> = vec![Vec::new()];
+    for set in sets {
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for partial in &results {
+            if partial.iter().any(|e| set.contains(e)) {
+                next.push(partial.clone());
+            } else {
+                for &e in set {
+                    let mut h = partial.clone();
+                    h.push(e);
+                    h.sort();
+                    next.push(h);
+                }
+            }
+        }
+        next.sort();
+        next.dedup();
+        // Keep only minimal sets.
+        let mut minimal: Vec<Vec<usize>> = Vec::new();
+        next.sort_by_key(|h| h.len());
+        for h in next {
+            if !minimal.iter().any(|m| m.iter().all(|e| h.contains(e))) {
+                minimal.push(h);
+            }
+        }
+        if minimal.len() > cap {
+            return Err(EncodeError::NonFaceTooComplex);
+        }
+        results = minimal;
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn defaults() -> ExactOptions {
+        ExactOptions::default()
+    }
+
+    #[test]
+    fn section_1_example_two_bits() {
+        let cs = ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap();
+        let enc = exact_encode(&cs, &defaults()).unwrap();
+        assert_eq!(enc.width(), 2);
+        assert!(enc.satisfies(&cs));
+    }
+
+    #[test]
+    fn figure_8_example() {
+        let cs = ConstraintSet::parse(&["s0", "s1", "s2", "s3"], "(s0,s1)\ns0>s1\ns1>s2\ns0=s1|s3")
+            .unwrap();
+        let report = exact_encode_report(&cs, &defaults()).unwrap();
+        assert!(report.optimal);
+        assert_eq!(report.encoding.width(), 2);
+        assert!(report.encoding.satisfies(&cs));
+    }
+
+    #[test]
+    fn figure_3_minimum_cover_is_four() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let report = exact_encode_report(&cs, &defaults()).unwrap();
+        assert_eq!(
+            report.encoding.width(),
+            4,
+            "Figure 3's minimum cover has 4 primes"
+        );
+        assert!(report.encoding.satisfies(&cs));
+    }
+
+    #[test]
+    fn figure_4_reports_infeasible() {
+        let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+        let cs = ConstraintSet::parse(
+            &names,
+            "(s1,s5)\n(s2,s5)\n(s4,s5)\n\
+             s0>s1\ns0>s2\ns0>s3\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns5>s3\n\
+             s0=s1|s2",
+        )
+        .unwrap();
+        match exact_encode(&cs, &defaults()) {
+            Err(EncodeError::Infeasible { uncovered }) => assert_eq!(uncovered.len(), 2),
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_symbols_get_log2_bits() {
+        for n in 2..=8usize {
+            let cs = ConstraintSet::new(n);
+            let enc = exact_encode(&cs, &defaults()).unwrap();
+            let min_bits = (usize::BITS - (n - 1).leading_zeros()) as usize;
+            assert_eq!(enc.width(), min_bits, "n = {n}");
+            assert!(enc.satisfies(&cs));
+        }
+    }
+
+    #[test]
+    fn section_8_1_dont_cares_save_a_prime() {
+        // Faces (a,b),(a,c),(a,d),(a,b,[c,d],e): 3 bits with don't cares.
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let with_dc = ConstraintSet::parse(&names, "(a,b)\n(a,c)\n(a,d)\n(a,b,[c,d],e)").unwrap();
+        let enc = exact_encode(&with_dc, &defaults()).unwrap();
+        assert_eq!(enc.width(), 3);
+        // Forcing the don't cares into the face needs 4 bits.
+        let forced = ConstraintSet::parse(&names, "(a,b)\n(a,c)\n(a,d)\n(a,b,c,d,e)").unwrap();
+        let enc = exact_encode(&forced, &defaults()).unwrap();
+        assert_eq!(enc.width(), 4);
+        // Keeping them out also needs 4 bits.
+        let out = ConstraintSet::parse(&names, "(a,b)\n(a,c)\n(a,d)\n(a,b,e)").unwrap();
+        let enc = exact_encode(&out, &defaults()).unwrap();
+        assert_eq!(enc.width(), 4);
+    }
+
+    #[test]
+    fn prime_cap_returns_error() {
+        let cs = ConstraintSet::new(12);
+        let mut opts = defaults();
+        opts.prime_cap = 100;
+        assert!(matches!(
+            exact_encode(&cs, &opts),
+            Err(EncodeError::PrimesExceeded { limit: 100 })
+        ));
+    }
+
+    #[test]
+    fn distance2_constraint_is_honoured() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        cs.add_distance2(0, 1);
+        let enc = exact_encode(&cs, &defaults()).unwrap();
+        assert!(enc.satisfies(&cs));
+        assert!(crate::hypercube::hamming(enc.code(0), enc.code(1)) >= 2);
+    }
+
+    #[test]
+    fn section_8_3_nonface_example() {
+        // Faces (a,b),(b,c,d),(a,e),(d,f) with non-face (a,b,e): the
+        // paper's 3-bit encoding a=011,b=001,c=101,d=100,e=111,f=110
+        // satisfies everything (the face of {a,b,e} is --1 and contains c).
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)").unwrap();
+        let paper = crate::Encoding::new(3, vec![0b011, 0b001, 0b101, 0b100, 0b111, 0b110]);
+        assert!(
+            paper.satisfies(&cs),
+            "paper encoding: {:?}",
+            paper.verify(&cs)
+        );
+        let enc = exact_encode(&cs, &defaults()).unwrap();
+        assert!(enc.satisfies(&cs), "violations: {:?}", enc.verify(&cs));
+        assert!(enc.width() <= 3);
+        // The contradictory pair face + non-face over the same symbols is
+        // infeasible.
+        let bad = ConstraintSet::parse(&names, "(a,b)\n!(a,b)").unwrap();
+        assert!(exact_encode(&bad, &defaults()).is_err());
+    }
+
+    #[test]
+    fn two_symbols_one_bit() {
+        let cs = ConstraintSet::new(2);
+        let enc = exact_encode(&cs, &defaults()).unwrap();
+        assert_eq!(enc.width(), 1);
+    }
+
+    #[test]
+    fn minimal_hitting_sets_enumeration() {
+        let sets = vec![vec![1], vec![3, 4], vec![3, 5, 6]];
+        let h = minimal_hitting_sets(&sets, 100).unwrap();
+        // Expected: {1,3}, {1,4,5}, {1,4,6}.
+        assert!(h.contains(&vec![1, 3]));
+        assert!(h.contains(&vec![1, 4, 5]));
+        assert!(h.contains(&vec![1, 4, 6]));
+        assert_eq!(h.len(), 3);
+    }
+}

@@ -1,0 +1,653 @@
+//! Problem P-3: bounded-length encoding by recursive splitting, merging and
+//! selection (Section 7.1).
+
+use crate::cost::{cost_of, CostFunction};
+use crate::partition::{bipartition, PartitionOptions};
+use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
+use ioenc_bitset::BitSet;
+
+/// Options for [`heuristic_encode`].
+#[derive(Debug, Clone)]
+pub struct HeuristicOptions {
+    /// Desired code length; `None` uses the minimum `⌈log₂ n⌉` (the
+    /// "minimum code length" setting of Tables 2 and 3).
+    pub code_length: Option<usize>,
+    /// Cost function to minimize.
+    pub cost: CostFunction,
+    /// Budget of full cost evaluations per merge node (the paper: "the
+    /// number of evaluations can be restricted to some fixed number").
+    pub selection_cap: usize,
+    /// Partitioning passes per split.
+    pub passes: usize,
+}
+
+impl Default for HeuristicOptions {
+    fn default() -> Self {
+        HeuristicOptions {
+            code_length: None,
+            cost: CostFunction::Violations,
+            selection_cap: 400,
+            passes: 8,
+        }
+    }
+}
+
+/// Encodes the symbols in a fixed number of bits, minimizing the chosen
+/// cost function (Section 7.1).
+///
+/// The algorithm recursively **splits** the symbols with a
+/// Kernighan–Lin-style partitioner (nets = the face constraints and
+/// initial dichotomies restricted to the subset), **merges** the restricted
+/// dichotomies of the two halves by cross product (in both orientations,
+/// plus the partition dichotomy itself), and **selects** the best bounded
+/// set of dichotomies under the cost function, evaluated on the constraints
+/// restricted to the subset (a global view, per the paper).
+///
+/// The returned encoding always assigns distinct codes.
+///
+/// # Errors
+///
+/// [`EncodeError::TooLarge`] when `2^code_length < n` (no injective
+/// encoding exists) and [`EncodeError::WidthExceeded`] for lengths over 64.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::{heuristic_encode, ConstraintSet, HeuristicOptions};
+///
+/// let mut cs = ConstraintSet::new(5);
+/// cs.add_face([0, 2, 4]);
+/// cs.add_face([0, 1, 4]);
+/// cs.add_face([1, 2, 3]);
+/// cs.add_face([1, 3, 4]);
+/// // Figure 3 needs 4 bits to satisfy everything; ask for 3.
+/// let enc = heuristic_encode(&cs, &HeuristicOptions::default())?;
+/// assert_eq!(enc.width(), 3);
+/// # Ok::<(), ioenc_core::EncodeError>(())
+/// ```
+pub fn heuristic_encode(
+    cs: &ConstraintSet,
+    opts: &HeuristicOptions,
+) -> Result<Encoding, EncodeError> {
+    let n = cs.num_symbols();
+    if n == 0 {
+        return Ok(Encoding::new(0, Vec::new()));
+    }
+    let min_len = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
+    let c = opts.code_length.unwrap_or(min_len);
+    if c > 64 {
+        return Err(EncodeError::WidthExceeded);
+    }
+    if n > 1 && c < 64 && (1usize << c) < n {
+        return Err(EncodeError::TooLarge {
+            what: "code length cannot give distinct codes",
+        });
+    }
+    if n == 1 {
+        return Ok(Encoding::new(c, vec![0]));
+    }
+
+    let initial = initial_dichotomies(cs, !cs.has_output_constraints());
+    let symbols: Vec<usize> = (0..n).collect();
+    let mut evals = EvalBudget { used: 0 };
+    let mut columns = solve(cs, &initial, &symbols, c, opts, &mut evals);
+    // The recursion may need fewer than the requested columns for unique
+    // codes; pad to the requested length so the polish phase can spread
+    // codes over the whole 2^c space.
+    while columns.len() < c {
+        columns.push(Dichotomy::from_blocks(n, [], 0..n));
+    }
+    let enc = Encoding::from_columns(n, &columns);
+    debug_assert!({
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.windows(2).all(|w| w[0] != w[1])
+    });
+    Ok(polish(cs, enc, opts))
+}
+
+/// The final polish pass: hill-climb on code swaps and moves to unused
+/// codes — first on the (cheap) violation count, then, when a different
+/// cost function is requested, a bounded number of evaluations of the real
+/// cost (the "global view" refinement the selection step approximates).
+fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encoding {
+    let n = cs.num_symbols();
+    let width = enc.width();
+    if n < 2 || width == 0 || width >= 64 {
+        return enc;
+    }
+    let total = 1u64 << width;
+    let mut codes = enc.codes().to_vec();
+
+    // Phase 1: violations (semantic checks only — cheap), hill-climbing
+    // with a few deterministic perturb-and-retry restarts to escape
+    // shallow local optima.
+    codes = violation_hill_climb(cs, codes, width);
+    let mut best = cost_of(
+        cs,
+        &Encoding::new(width, codes.clone()),
+        CostFunction::Violations,
+    );
+    for round in 0..3 {
+        if best == 0 {
+            break;
+        }
+        // Perturb: rotate the codes of the symbols of a violated face
+        // constraint (pick by round to vary the kick).
+        let mut trial = codes.clone();
+        let enc_now = Encoding::new(width, trial.clone());
+        let violated: Vec<usize> = enc_now
+            .verify(cs)
+            .into_iter()
+            .filter_map(|v| match v {
+                crate::Violation::Face { index, .. } => Some(index),
+                _ => None,
+            })
+            .collect();
+        if violated.is_empty() {
+            break;
+        }
+        let fc = &cs.faces()[violated[round % violated.len()]];
+        let members: Vec<usize> = fc.members.iter().collect();
+        if members.len() >= 2 {
+            let first = trial[members[0]];
+            for w in members.windows(2) {
+                trial[w[0]] = trial[w[1]];
+            }
+            trial[*members.last().expect("non-empty")] = first;
+        }
+        let trial = violation_hill_climb(cs, trial, width);
+        let cost = cost_of(
+            cs,
+            &Encoding::new(width, trial.clone()),
+            CostFunction::Violations,
+        );
+        if cost < best {
+            best = cost;
+            codes = trial;
+        }
+    }
+
+    // Phase 2: the requested cost function, within the evaluation budget
+    // (swaps plus moves to unused codes). The objective is lexicographic
+    // (cost, violations): moves that do not change the cost but recover a
+    // constraint are accepted, keeping the satisfied count high.
+    if !matches!(opts.cost, CostFunction::Violations) {
+        let mut budget = opts.selection_cap * 2;
+        let score = |codes: &Vec<u64>| -> (u64, u64) {
+            let e = Encoding::new(width, codes.clone());
+            (
+                cost_of(cs, &e, opts.cost),
+                cost_of(cs, &e, CostFunction::Violations),
+            )
+        };
+        let mut best = score(&codes);
+        let mut improved = true;
+        while improved && budget > 0 {
+            improved = false;
+            'swaps: for a in 0..n {
+                for b in (a + 1)..n {
+                    if budget == 0 {
+                        break 'swaps;
+                    }
+                    codes.swap(a, b);
+                    budget -= 1;
+                    let c = score(&codes);
+                    if c < best {
+                        best = c;
+                        improved = true;
+                    } else {
+                        codes.swap(a, b);
+                    }
+                }
+            }
+            if total as usize > n {
+                'moves: for s in 0..n {
+                    for code in 0..total {
+                        if codes.contains(&code) {
+                            continue;
+                        }
+                        if budget == 0 {
+                            break 'moves;
+                        }
+                        let old = codes[s];
+                        codes[s] = code;
+                        budget -= 1;
+                        let c = score(&codes);
+                        if c < best {
+                            best = c;
+                            improved = true;
+                        } else {
+                            codes[s] = old;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Encoding::new(width, codes)
+}
+
+/// Hill-climbs the violation count with pairwise swaps and moves to unused
+/// codes until a fixpoint.
+fn violation_hill_climb(cs: &ConstraintSet, mut codes: Vec<u64>, width: usize) -> Vec<u64> {
+    let n = codes.len();
+    let total = 1u64 << width;
+    let mut best = cost_of(
+        cs,
+        &Encoding::new(width, codes.clone()),
+        CostFunction::Violations,
+    );
+    loop {
+        let mut improved = false;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                codes.swap(a, b);
+                let c = cost_of(
+                    cs,
+                    &Encoding::new(width, codes.clone()),
+                    CostFunction::Violations,
+                );
+                if c < best {
+                    best = c;
+                    improved = true;
+                } else {
+                    codes.swap(a, b);
+                }
+            }
+        }
+        if total as usize > n {
+            for s in 0..n {
+                for code in 0..total {
+                    if codes.contains(&code) {
+                        continue;
+                    }
+                    let old = codes[s];
+                    codes[s] = code;
+                    let c = cost_of(
+                        cs,
+                        &Encoding::new(width, codes.clone()),
+                        CostFunction::Violations,
+                    );
+                    if c < best {
+                        best = c;
+                        improved = true;
+                    } else {
+                        codes[s] = old;
+                    }
+                }
+            }
+        }
+        if !improved {
+            return codes;
+        }
+    }
+}
+
+struct EvalBudget {
+    used: usize,
+}
+
+/// Recursive split/merge/select. Returns up to `c` dichotomies, each a
+/// full bipartition of `symbols`, jointly giving distinct codes.
+fn solve(
+    cs: &ConstraintSet,
+    initial: &[Dichotomy],
+    symbols: &[usize],
+    c: usize,
+    opts: &HeuristicOptions,
+    evals: &mut EvalBudget,
+) -> Vec<Dichotomy> {
+    let n = cs.num_symbols();
+    match symbols.len() {
+        0 => return Vec::new(),
+        1 => {
+            return vec![Dichotomy::from_blocks(n, [symbols[0]], [])];
+        }
+        2 => {
+            return vec![Dichotomy::from_blocks(n, [symbols[0]], [symbols[1]])];
+        }
+        _ => {}
+    }
+
+    // Split: nets are the face constraints and initial dichotomies
+    // restricted to this subset, in local numbering.
+    let local: std::collections::HashMap<usize, usize> =
+        symbols.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    // Per the paper, the nets depend on the cost function: face constraints
+    // when minimizing violated constraints, restricted initial dichotomies
+    // when minimizing cubes or literals (covering more of them means fewer
+    // product terms in the encoded cover).
+    let mut nets: Vec<BitSet> = Vec::new();
+    for fc in cs.faces() {
+        let members: Vec<usize> = fc
+            .members
+            .iter()
+            .filter_map(|s| local.get(&s).copied())
+            .collect();
+        if members.len() >= 2 {
+            nets.push(BitSet::from_indices(symbols.len(), members));
+        }
+    }
+    if !matches!(opts.cost, CostFunction::Violations) {
+        for d in initial {
+            let involved: Vec<usize> = d
+                .left()
+                .iter()
+                .chain(d.right().iter())
+                .filter_map(|s| local.get(&s).copied())
+                .collect();
+            if involved.len() >= 2 {
+                nets.push(BitSet::from_indices(symbols.len(), involved));
+            }
+        }
+    }
+    let max_side = if c >= 1 && c - 1 < usize::BITS as usize {
+        (1usize << (c - 1)).min(symbols.len() - 1)
+    } else {
+        symbols.len() - 1
+    };
+    let (a_local, b_local) = bipartition(
+        symbols.len(),
+        &nets,
+        &PartitionOptions {
+            max_side,
+            passes: opts.passes,
+        },
+    );
+    let part_a: Vec<usize> = a_local.iter().map(|&i| symbols[i]).collect();
+    let part_b: Vec<usize> = b_local.iter().map(|&i| symbols[i]).collect();
+
+    // Recurse with one less bit.
+    let d1 = solve(cs, initial, &part_a, c - 1, opts, evals);
+    let d2 = solve(cs, initial, &part_b, c - 1, opts, evals);
+
+    // Merge: the partition dichotomy plus the cross product of the halves'
+    // dichotomies in both orientations.
+    let part = Dichotomy::from_blocks(n, part_a.iter().copied(), part_b.iter().copied());
+    let mut cands: Vec<Dichotomy> = vec![part.clone()];
+    for u1 in &d1 {
+        for u2 in &d2 {
+            cands.push(u1.union(u2));
+            cands.push(u1.union(&u2.flipped()));
+        }
+        if d2.is_empty() {
+            cands.push(u1.clone());
+        }
+    }
+    if d1.is_empty() {
+        cands.extend(d2.iter().cloned());
+    }
+    cands.sort();
+    cands.dedup();
+
+    // Canonical selection: the partition dichotomy plus the pairwise
+    // merges of the halves' dichotomies (padded with the last element of
+    // the shorter list). It always yields distinct codes, because every
+    // dichotomy of each half appears as a component.
+    let mut canonical: Vec<Dichotomy> = vec![part];
+    let pairs = d1.len().max(d2.len());
+    for i in 0..pairs {
+        let u1 = &d1[i.min(d1.len().saturating_sub(1))];
+        match (d1.is_empty(), d2.is_empty()) {
+            (false, false) => {
+                let u2 = &d2[i.min(d2.len() - 1)];
+                canonical.push(u1.union(u2));
+            }
+            (false, true) => canonical.push(u1.clone()),
+            (true, false) => canonical.push(d2[i.min(d2.len() - 1)].clone()),
+            (true, true) => {}
+        }
+    }
+
+    select(cs, symbols, cands, canonical, c, opts, evals)
+}
+
+/// Selects up to `k` candidate dichotomies giving distinct codes to
+/// `symbols` and minimizing the cost of the restricted constraints.
+fn select(
+    cs: &ConstraintSet,
+    symbols: &[usize],
+    cands: Vec<Dichotomy>,
+    canonical: Vec<Dichotomy>,
+    k: usize,
+    opts: &HeuristicOptions,
+    evals: &mut EvalBudget,
+) -> Vec<Dichotomy> {
+    let restricted = cs.restrict(symbols);
+    let evaluate = |sel: &[&Dichotomy], evals: &mut EvalBudget| -> Option<u64> {
+        let codes = codes_for(symbols, sel)?;
+        evals.used += 1;
+        let enc = Encoding::new(sel.len(), codes);
+        Some(cost_of(&restricted, &enc, opts.cost))
+    };
+
+    let k = k.min(cands.len());
+    // Seed with the canonical selection — the merged sub-solutions plus the
+    // partition dichotomy. It is injective by construction and inherits the
+    // recursive solutions' quality; the local search below then recovers
+    // constraints the split violated.
+    let mut selected: Vec<usize> = canonical
+        .iter()
+        .map(|d| {
+            cands
+                .iter()
+                .position(|c| c == d)
+                .expect("canonical selections come from the candidate set")
+        })
+        .collect();
+    selected.sort_unstable();
+    selected.dedup();
+    // Fill any remaining slots with candidates separating still-unseparated
+    // pairs (more columns never hurt injectivity).
+    let mut unseparated: Vec<(usize, usize)> = Vec::new();
+    for i in 0..symbols.len() {
+        for j in (i + 1)..symbols.len() {
+            let (a, b) = (symbols[i], symbols[j]);
+            if !selected.iter().any(|&c| cands[c].separates(a, b)) {
+                unseparated.push((a, b));
+            }
+        }
+    }
+    while selected.len() < k && !unseparated.is_empty() {
+        let best = (0..cands.len())
+            .filter(|i| !selected.contains(i))
+            .max_by_key(|&i| {
+                unseparated
+                    .iter()
+                    .filter(|&&(a, b)| cands[i].separates(a, b))
+                    .count()
+            });
+        let Some(best) = best else { break };
+        selected.push(best);
+        unseparated.retain(|&(a, b)| !cands[best].separates(a, b));
+    }
+
+    // Local search: swap one selected candidate for an outside one whenever
+    // it lowers the true cost, within the evaluation budget.
+    let node_budget = evals.used + opts.selection_cap;
+    let sel_refs = |sel: &[usize], cands: &[Dichotomy]| -> Vec<Dichotomy> {
+        sel.iter().map(|&i| cands[i].clone()).collect()
+    };
+    let current_refs: Vec<&Dichotomy> = selected.iter().map(|&i| &cands[i]).collect();
+    let mut best_cost = match evaluate(&current_refs, evals) {
+        Some(c) => c,
+        None => {
+            // Defensive: the seed should always be injective by now.
+            return canonical;
+        }
+    };
+    let mut improved = true;
+    while improved && evals.used < node_budget {
+        improved = false;
+        'swap: for slot in 0..selected.len() {
+            for cand in 0..cands.len() {
+                if selected.contains(&cand) {
+                    continue;
+                }
+                if evals.used >= node_budget {
+                    break 'swap;
+                }
+                let mut trial = selected.clone();
+                trial[slot] = cand;
+                let refs: Vec<&Dichotomy> = trial.iter().map(|&i| &cands[i]).collect();
+                if let Some(cost) = evaluate(&refs, evals) {
+                    if cost < best_cost {
+                        best_cost = cost;
+                        selected = trial;
+                        improved = true;
+                        continue 'swap;
+                    }
+                }
+            }
+        }
+    }
+    sel_refs(&selected, &cands)
+}
+
+/// Codes for `symbols` from a selection of dichotomies (bit `k` = 0 when in
+/// the left block of selection `k`); `None` when codes collide.
+fn codes_for(symbols: &[usize], sel: &[&Dichotomy]) -> Option<Vec<u64>> {
+    let mut codes = vec![0u64; symbols.len()];
+    for (k, d) in sel.iter().enumerate() {
+        for (i, &s) in symbols.iter().enumerate() {
+            if !d.in_left(s) {
+                codes[i] |= 1 << k;
+            }
+        }
+    }
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return None;
+    }
+    Some(codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count_violations;
+
+    #[test]
+    fn produces_unique_codes_at_minimum_length() {
+        let mut cs = ConstraintSet::new(7);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([2, 3]);
+        cs.add_face([4, 5, 6]);
+        let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert_eq!(enc.width(), 3);
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 7);
+    }
+
+    #[test]
+    fn satisfiable_at_requested_length_often_satisfied() {
+        // Two disjoint faces over 4 symbols are satisfiable in 2 bits; the
+        // heuristic should find a violation-free encoding.
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        cs.add_face([2, 3]);
+        let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert_eq!(enc.width(), 2);
+        assert_eq!(count_violations(&cs, &enc), 0);
+    }
+
+    #[test]
+    fn figure_3_at_three_bits_leaves_violations() {
+        // Figure 3's constraints need 4 bits; at the minimum length (3
+        // bits for 5 symbols) some constraints must be violated.
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert_eq!(enc.width(), 3);
+        assert!(count_violations(&cs, &enc) >= 1);
+    }
+
+    #[test]
+    fn explicit_length_gives_room_to_satisfy_everything() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let opts = HeuristicOptions {
+            code_length: Some(4),
+            ..Default::default()
+        };
+        let enc = heuristic_encode(&cs, &opts).unwrap();
+        assert_eq!(enc.width(), 4);
+        // 4 bits suffice (the exact encoder needs exactly 4); the heuristic
+        // may or may not reach 0 violations but must stay injective.
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 5);
+    }
+
+    #[test]
+    fn cube_cost_function_runs() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_face([0, 1]);
+        cs.add_face([2, 3, 4]);
+        cs.add_face([4, 5]);
+        let opts = HeuristicOptions {
+            cost: CostFunction::Cubes,
+            selection_cap: 50,
+            ..Default::default()
+        };
+        let enc = heuristic_encode(&cs, &opts).unwrap();
+        assert_eq!(enc.width(), 3);
+    }
+
+    #[test]
+    fn literal_cost_function_runs() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face_with_dc([0, 1], [2]);
+        cs.add_face([3, 4]);
+        let opts = HeuristicOptions {
+            cost: CostFunction::Literals,
+            selection_cap: 50,
+            ..Default::default()
+        };
+        let enc = heuristic_encode(&cs, &opts).unwrap();
+        assert_eq!(enc.width(), 3);
+    }
+
+    #[test]
+    fn too_short_length_is_rejected() {
+        let cs = ConstraintSet::new(5);
+        let opts = HeuristicOptions {
+            code_length: Some(2),
+            ..Default::default()
+        };
+        assert!(matches!(
+            heuristic_encode(&cs, &opts),
+            Err(EncodeError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_instances() {
+        let cs = ConstraintSet::new(1);
+        let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert_eq!(enc.num_symbols(), 1);
+        let cs = ConstraintSet::new(2);
+        let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        assert_eq!(enc.width(), 1);
+        assert_ne!(enc.code(0), enc.code(1));
+    }
+
+    #[test]
+    fn codes_for_detects_collisions() {
+        let d = Dichotomy::from_blocks(3, [0], [1, 2]);
+        assert!(codes_for(&[0, 1, 2], &[&d]).is_none());
+        let d2 = Dichotomy::from_blocks(3, [1], [2]);
+        assert!(codes_for(&[0, 1, 2], &[&d, &d2]).is_some());
+    }
+}

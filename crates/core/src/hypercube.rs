@@ -1,0 +1,88 @@
+//! Hypercube face utilities on binary codes.
+
+/// The smallest face (subcube) spanned by a set of codes of the given
+/// width: returned as `(fixed_mask, fixed_value)` — the face is the set of
+/// vertices `v` with `v & fixed_mask == fixed_value`.
+///
+/// An empty input spans the empty face convention `(all-ones mask, 0)` of
+/// width bits, which contains only code 0; callers normally pass at least
+/// one code.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::face_of;
+///
+/// let (mask, value) = face_of(&[0b11, 0b01], 2);
+/// // Bit 0 is fixed at 1, bit 1 is free.
+/// assert_eq!(mask, 0b01);
+/// assert_eq!(value, 0b01);
+/// ```
+pub fn face_of(codes: &[u64], width: usize) -> (u64, u64) {
+    let width_mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    let Some((&first, rest)) = codes.split_first() else {
+        return (width_mask, 0);
+    };
+    let mut fixed = width_mask;
+    for &c in rest {
+        fixed &= !(c ^ first);
+    }
+    (fixed, first & fixed)
+}
+
+/// `true` when `code` lies inside the face `(mask, value)`.
+pub fn face_contains(mask: u64, value: u64, code: u64) -> bool {
+    code & mask == value
+}
+
+/// Hamming distance between two codes.
+pub fn hamming(a: u64, b: u64) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn face_of_single_code_is_the_code() {
+        let (mask, value) = face_of(&[0b101], 3);
+        assert_eq!(mask, 0b111);
+        assert_eq!(value, 0b101);
+    }
+
+    #[test]
+    fn face_of_spanning_codes() {
+        // Codes 000 and 011 span the face 0-- on bits 0,1: fixed bit 2 = 0.
+        let (mask, value) = face_of(&[0b000, 0b011], 3);
+        assert_eq!(mask, 0b100);
+        assert_eq!(value, 0);
+        assert!(face_contains(mask, value, 0b001));
+        assert!(!face_contains(mask, value, 0b101));
+    }
+
+    #[test]
+    fn face_of_all_codes_is_whole_cube() {
+        let codes: Vec<u64> = (0..8).collect();
+        let (mask, _) = face_of(&codes, 3);
+        assert_eq!(mask, 0);
+    }
+
+    #[test]
+    fn paper_section_1_face_example() {
+        // (a,b,c) with a=11, b=01, c=00: the face they span is the whole
+        // 2-cube, so vertex 10 is inside it and must stay unused.
+        let (mask, value) = face_of(&[0b11, 0b01, 0b00], 2);
+        assert!(face_contains(mask, value, 0b10));
+    }
+
+    #[test]
+    fn hamming_distance() {
+        assert_eq!(hamming(0b101, 0b010), 3);
+        assert_eq!(hamming(7, 7), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Generation of the initial encoding-dichotomies (Section 5).
+
+use crate::{ConstraintSet, Dichotomy};
+use ioenc_bitset::BitSet;
+
+/// Generates the initial encoding-dichotomies for a constraint set.
+///
+/// For every face constraint with members `F` (and don't cares `D`,
+/// Section 8.1) and every outside symbol `s ∉ F ∪ D`, both orientations
+/// `(F; s)` and `(s; F)` are produced; don't-care symbols generate no
+/// dichotomy, leaving them free to join the face. Uniqueness dichotomies
+/// (one symbol per block, both orientations) are added for every pair of
+/// symbols not already separated by a face dichotomy.
+///
+/// When `symmetry_break` is set (sound only for problems with **no output
+/// constraints** — footnote 4 of the paper), a *pin symbol* is chosen (the
+/// symbol occurring in the most face constraints, as the paper pins `s1` in
+/// Figure 3) and every dichotomy containing it keeps only the orientation
+/// with the pin in the right block; dichotomies not containing the pin keep
+/// both orientations. This halves much of the prime-generation work without
+/// affecting the solution.
+///
+/// The result is deduplicated.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::{initial_dichotomies, ConstraintSet};
+///
+/// // Figure 4 of the paper: 3 two-symbol faces over 6 symbols plus the
+/// // uncovered pair (s0, s3) give 3·2·4 + 2 = 26 initial dichotomies.
+/// let mut cs = ConstraintSet::new(6);
+/// cs.add_face([1, 5]);
+/// cs.add_face([2, 5]);
+/// cs.add_face([4, 5]);
+/// cs.add_dominance(0, 1); // any output constraint disables pinning
+/// let dichotomies = initial_dichotomies(&cs, false);
+/// assert_eq!(dichotomies.len(), 26);
+/// ```
+pub fn initial_dichotomies(cs: &ConstraintSet, symmetry_break: bool) -> Vec<Dichotomy> {
+    let n = cs.num_symbols();
+    let mut out: Vec<Dichotomy> = Vec::new();
+
+    for fc in cs.faces() {
+        let in_face = fc.members.union(&fc.dont_cares);
+        for s in 0..n {
+            if in_face.contains(s) {
+                continue;
+            }
+            let d = Dichotomy::from_sets(fc.members.clone(), BitSet::from_indices(n, [s]));
+            out.push(d.flipped());
+            out.push(d);
+        }
+    }
+
+    // Uniqueness constraints for pairs not separated by any face dichotomy.
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if out.iter().any(|d| d.separates(a, b)) {
+                continue;
+            }
+            out.push(Dichotomy::from_blocks(n, [a], [b]));
+            out.push(Dichotomy::from_blocks(n, [b], [a]));
+        }
+    }
+
+    if symmetry_break {
+        debug_assert!(
+            !cs.has_output_constraints(),
+            "symmetry breaking is unsound with output constraints"
+        );
+        let pin = pin_symbol(cs);
+        out.retain(|d| !d.in_left(pin));
+    }
+
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The symbol pinned to the right block when breaking symmetry: the one
+/// occurring in the most face constraints (ties toward the lowest index),
+/// mirroring the paper's choice of `s1` in Figure 3.
+pub(crate) fn pin_symbol(cs: &ConstraintSet) -> usize {
+    let n = cs.num_symbols();
+    let mut counts = vec![0usize; n];
+    for fc in cs.faces() {
+        for s in fc.members.iter() {
+            counts[s] += 1;
+        }
+    }
+    (0..n)
+        .max_by_key(|&s| (counts[s], std::cmp::Reverse(s)))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_3_count_with_symmetry_breaking() {
+        // Figure 3: faces (s0,s2,s4),(s0,s1,s4),(s1,s2,s3),(s1,s3,s4) over 5
+        // symbols yield 9 initial dichotomies once the symmetry is broken by
+        // pinning s1 (the most-constrained symbol, as in the paper).
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        assert_eq!(pin_symbol(&cs), 1);
+        let dichotomies = initial_dichotomies(&cs, true);
+        assert_eq!(dichotomies.len(), 9);
+        // Without symmetry breaking: 4 faces × 2 outsiders × 2 orientations.
+        let all = initial_dichotomies(&cs, false);
+        assert_eq!(all.len(), 16);
+    }
+
+    #[test]
+    fn figure_4_has_26_dichotomies() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_face([1, 5]);
+        cs.add_face([2, 5]);
+        cs.add_face([4, 5]);
+        cs.add_dominance(0, 1);
+        let dichotomies = initial_dichotomies(&cs, false);
+        assert_eq!(dichotomies.len(), 26);
+        // The uncovered pair is (s0, s3).
+        assert!(dichotomies.contains(&Dichotomy::from_blocks(6, [0], [3])));
+        assert!(dichotomies.contains(&Dichotomy::from_blocks(6, [3], [0])));
+    }
+
+    #[test]
+    fn no_constraints_gives_all_uniqueness_pairs() {
+        let cs = ConstraintSet::new(4);
+        let d = initial_dichotomies(&cs, false);
+        // 4·3 ordered pairs.
+        assert_eq!(d.len(), 12);
+        // Pinning symbol 0 drops the 3 dichotomies with 0 in the left block.
+        let pinned = initial_dichotomies(&cs, true);
+        assert_eq!(pinned.len(), 9);
+    }
+
+    #[test]
+    fn dont_cares_generate_no_outsider_dichotomy() {
+        // (a, b, [c], d) over 5 symbols: only e is an outsider.
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face_with_dc([0, 1, 3], [2]);
+        let d = initial_dichotomies(&cs, false);
+        let face_dichotomies: Vec<_> = d
+            .iter()
+            .filter(|d| d.left().count() == 3 || d.right().count() == 3)
+            .collect();
+        assert_eq!(face_dichotomies.len(), 2); // (F; e) and (e; F)
+        for fd in face_dichotomies {
+            assert!(!fd.assigns(2), "don't care symbol must stay free");
+        }
+    }
+
+    #[test]
+    fn every_pair_is_separated_by_some_initial_dichotomy() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([3, 4]);
+        let d = initial_dichotomies(&cs, false);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                assert!(
+                    d.iter().any(|x| x.separates(a, b)),
+                    "pair ({a},{b}) unseparated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_breaking_keeps_pin_out_of_left_blocks() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        let pin = pin_symbol(&cs);
+        let d = initial_dichotomies(&cs, true);
+        for x in &d {
+            assert!(!x.in_left(pin), "pin must never be in a left block: {x:?}");
+        }
+        // Pairs not involving the pin keep both orientations.
+        assert!(d.contains(&Dichotomy::from_blocks(4, [2], [3])));
+        assert!(d.contains(&Dichotomy::from_blocks(4, [3], [2])));
+    }
+}

@@ -1,0 +1,82 @@
+#![warn(missing_docs)]
+
+//! The encoding-dichotomy framework of Saldanha, Villa, Brayton and
+//! Sangiovanni-Vincentelli: *A Framework for Satisfying Input and Output
+//! Encoding Constraints* (UCB/ERL M90/110, DAC 1991).
+//!
+//! Given a set of symbols and a mix of encoding constraints —
+//!
+//! * **face (input) constraints** `(a, b, c)`: the symbols must span a face
+//!   of the encoding hypercube private to them (optionally with *encoding
+//!   don't cares* `(a, b, [c], d)`),
+//! * **dominance constraints** `a > b`: `code(a)` bit-wise covers `code(b)`,
+//! * **disjunctive constraints** `a = b ∨ c`: `code(a)` is the bit-wise OR
+//!   of the children's codes,
+//! * **extended disjunctive constraints** `(b∧c) ∨ (d∧e) >= a`,
+//! * **distance-2** and **non-face** constraints (testability, Section 8) —
+//!
+//! the framework answers the paper's three problems:
+//!
+//! * **P-1** — [`check_feasible`]: polynomial-time satisfiability via
+//!   maximally raised valid encoding-dichotomies (Theorem 6.1).
+//! * **P-2** — [`exact_encode`]: minimum-length codes via prime
+//!   encoding-dichotomy generation and exact unate covering (Theorem 6.2).
+//! * **P-3** — [`heuristic_encode`]: bounded-length encoding minimizing a
+//!   [`CostFunction`] (violated constraints, cubes or literals) by the
+//!   split / merge / select scheme of Section 7.1.
+//!
+//! # Examples
+//!
+//! The running example from Section 1 of the paper:
+//!
+//! ```
+//! use ioenc_core::{exact_encode, ConstraintSet, ExactOptions};
+//!
+//! let cs = ConstraintSet::parse(
+//!     &["a", "b", "c", "d"],
+//!     "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+//! )?;
+//! let enc = exact_encode(&cs, &ExactOptions::default())?;
+//! assert_eq!(enc.width(), 2);
+//! assert!(enc.verify(&cs).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bounded;
+mod chains;
+mod constraints;
+mod cost;
+mod dichotomy;
+mod encoding;
+mod error;
+mod exact;
+mod feasible;
+mod formulation;
+mod heuristic;
+mod hypercube;
+mod initial;
+pub mod npc;
+mod oracle;
+mod partition;
+mod primes;
+mod raise;
+
+pub use bounded::{bounded_exact_encode, BoundedExactOptions};
+pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
+pub use constraints::{ConstraintSet, FaceConstraint};
+pub use cost::{constraint_pla, cost_of, count_violations, CostFunction};
+pub use dichotomy::Dichotomy;
+pub use encoding::{Encoding, Violation};
+pub use error::EncodeError;
+pub use exact::{exact_encode, exact_encode_report, ExactOptions, ExactReport};
+pub use feasible::{check_feasible, Feasibility};
+pub use formulation::{BinateFormulation, BinateRow};
+pub use heuristic::{heuristic_encode, HeuristicOptions};
+pub use hypercube::{face_contains, face_of, hamming};
+pub use initial::initial_dichotomies;
+pub use oracle::{oracle_encode, oracle_min_width, OracleOptions};
+pub use partition::{bipartition, PartitionOptions};
+#[doc(hidden)]
+pub use primes::brute_force_primes;
+pub use primes::generate_primes;
+pub use raise::{is_valid, raise_dichotomy};

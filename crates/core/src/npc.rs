@@ -1,0 +1,243 @@
+//! The NP-completeness reduction of Theorem 2.1: face hypercube embedding
+//! restricted to 2ⁿ symbols and two-symbol face constraints is exactly the
+//! problem of deciding whether a graph is a subgraph of the n-cube
+//! (Cybenko–Krumme–Venkataraman), so face hypercube embedding is
+//! NP-complete.
+//!
+//! This module provides the reduction in both directions plus a
+//! backtracking embedder, so the equivalence can be demonstrated and tested
+//! on small instances.
+
+use crate::ConstraintSet;
+
+/// A simple undirected graph for the reduction.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::npc::Graph;
+///
+/// let c4 = Graph::cycle(4);
+/// assert!(c4.embeds_in_cube(2)); // a 4-cycle is the 2-cube itself
+/// let k4 = Graph::complete(4);
+/// assert!(!k4.embeds_in_cube(2)); // K4 has triangles; hypercubes are bipartite
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// A graph with `n` vertices and the given edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or a self-loop is given.
+    pub fn new(n: usize, edges: Vec<(usize, usize)>) -> Self {
+        for &(a, b) in &edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self loops are not allowed");
+        }
+        Graph { n, edges }
+    }
+
+    /// The cycle graph C_n.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3, "a cycle needs at least 3 vertices");
+        Graph::new(n, (0..n).map(|i| (i, (i + 1) % n)).collect())
+    }
+
+    /// The complete graph K_n.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// The k-dimensional hypercube graph Q_k.
+    pub fn hypercube(k: usize) -> Self {
+        let n = 1usize << k;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for b in 0..k {
+                let w = v ^ (1 << b);
+                if v < w {
+                    edges.push((v, w));
+                }
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Decides by backtracking whether the graph is a subgraph of the
+    /// k-cube (vertices map to *distinct* cube vertices; every edge maps to
+    /// a cube edge). Exponential; meant for small graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `2^k < n` would make an injective map impossible to
+    /// attempt, or `k > 16`.
+    pub fn embeds_in_cube(&self, k: usize) -> bool {
+        assert!(k <= 16, "embedding check limited to k <= 16");
+        let size = 1usize << k;
+        if self.n > size {
+            return false;
+        }
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // Order vertices by degree (most constrained first).
+        let mut order: Vec<usize> = (0..self.n).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+        let mut assignment = vec![usize::MAX; self.n];
+        let mut used = vec![false; size];
+        self.backtrack(&order, 0, &adj, &mut assignment, &mut used, k)
+    }
+
+    fn backtrack(
+        &self,
+        order: &[usize],
+        idx: usize,
+        adj: &[Vec<usize>],
+        assignment: &mut [usize],
+        used: &mut [bool],
+        k: usize,
+    ) -> bool {
+        if idx == order.len() {
+            return true;
+        }
+        let v = order[idx];
+        // Candidate cube vertices: neighbors of an already-placed neighbor,
+        // or everything if none is placed.
+        let placed_neighbor = adj[v].iter().find(|&&u| assignment[u] != usize::MAX);
+        let candidates: Vec<usize> = match placed_neighbor {
+            Some(&u) => (0..k).map(|b| assignment[u] ^ (1 << b)).collect(),
+            None => (0..(1usize << k)).collect(),
+        };
+        'cand: for c in candidates {
+            if used[c] {
+                continue;
+            }
+            for &u in &adj[v] {
+                if assignment[u] != usize::MAX && (assignment[u] ^ c).count_ones() != 1 {
+                    continue 'cand;
+                }
+            }
+            assignment[v] = c;
+            used[c] = true;
+            if self.backtrack(order, idx + 1, adj, assignment, used, k) {
+                return true;
+            }
+            assignment[v] = usize::MAX;
+            used[c] = false;
+        }
+        false
+    }
+
+    /// The Theorem 2.1 reduction: one two-symbol face constraint per edge.
+    /// For a graph with exactly 2^k vertices, the face constraints embed in
+    /// a k-cube iff the graph is a subgraph of the k-cube.
+    pub fn to_face_constraints(&self) -> ConstraintSet {
+        let mut cs = ConstraintSet::new(self.n);
+        for &(a, b) in &self.edges {
+            cs.add_face([a, b]);
+        }
+        cs
+    }
+}
+
+/// Checks whether a set of codes realizes a face-hypercube embedding of
+/// the constraints in width `k` (the decision version of P-2 restricted to
+/// input constraints): distinct codes, and every face private.
+pub fn is_face_embedding(cs: &ConstraintSet, codes: &[u64], k: usize) -> bool {
+    let enc = crate::Encoding::new(k, codes.to_vec());
+    enc.verify(cs).iter().all(|v| {
+        !matches!(
+            v,
+            crate::Violation::DuplicateCode(..) | crate::Violation::Face { .. }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exact_encode, ExactOptions};
+
+    #[test]
+    fn cycles_embed_iff_even() {
+        assert!(Graph::cycle(4).embeds_in_cube(2));
+        assert!(Graph::cycle(8).embeds_in_cube(3)); // Gray code
+        assert!(!Graph::cycle(3).embeds_in_cube(2)); // odd cycle, bipartite cube
+        assert!(!Graph::cycle(5).embeds_in_cube(3));
+        assert!(Graph::cycle(6).embeds_in_cube(3));
+    }
+
+    #[test]
+    fn hypercube_embeds_in_itself() {
+        assert!(Graph::hypercube(3).embeds_in_cube(3));
+        assert!(!Graph::complete(4).embeds_in_cube(2));
+    }
+
+    #[test]
+    fn reduction_agrees_with_encoder_on_full_occupancy() {
+        // Graphs with exactly 2^k vertices: the face constraints are
+        // satisfiable in k bits iff the graph embeds (Theorem 2.1).
+        let cases: Vec<(Graph, usize)> = vec![
+            (Graph::cycle(4), 2),
+            (Graph::complete(4), 2),
+            (Graph::cycle(8), 3),
+            (Graph::hypercube(3), 3),
+        ];
+        for (g, k) in cases {
+            assert_eq!(g.num_vertices(), 1 << k);
+            let embeds = g.embeds_in_cube(k);
+            let cs = g.to_face_constraints();
+            let enc = exact_encode(&cs, &ExactOptions::default());
+            let encodable = match enc {
+                Ok(e) => e.width() <= k,
+                Err(_) => false,
+            };
+            assert_eq!(
+                embeds,
+                encodable,
+                "graph with {} vertices disagrees at k = {k}",
+                g.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn embedding_codes_verify_as_face_embedding() {
+        let g = Graph::cycle(4);
+        let cs = g.to_face_constraints();
+        // Gray code around the square.
+        let codes = [0b00, 0b01, 0b11, 0b10];
+        assert!(is_face_embedding(&cs, &codes, 2));
+        // A non-adjacent assignment breaks an edge's face privacy:
+        // edge (0,1) with codes 00,11 spans the whole square.
+        let bad = [0b00, 0b11, 0b01, 0b10];
+        assert!(!is_face_embedding(&cs, &bad, 2));
+    }
+}

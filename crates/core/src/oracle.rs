@@ -1,0 +1,299 @@
+//! Reference oracle: exact encoding by explicit column enumeration
+//! (the Section 4 formulation solved directly).
+//!
+//! Exponential in the symbol count — intended for cross-checking the
+//! polynomial feasibility check and the prime-based exact encoder on small
+//! instances, and for the bounded-length experiments of Section 7 on toy
+//! problems.
+
+use crate::formulation::column_covers;
+use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
+use ioenc_cover::{BinateProblem, SolveError, UnateProblem};
+
+/// Options for the oracle.
+#[derive(Debug, Clone)]
+pub struct OracleOptions {
+    /// Maximum number of symbols accepted (columns are 2ⁿ−2).
+    pub max_symbols: usize,
+}
+
+impl Default for OracleOptions {
+    fn default() -> Self {
+        OracleOptions { max_symbols: 14 }
+    }
+}
+
+/// `true` when the total column satisfies every per-column output
+/// constraint.
+fn column_valid(cs: &ConstraintSet, col: u64) -> bool {
+    for &(a, b) in cs.dominances() {
+        if (col >> a & 1) < (col >> b & 1) {
+            return false;
+        }
+    }
+    for (parent, children) in cs.disjunctives() {
+        let or = children.iter().fold(0, |acc, &c| acc | (col >> c & 1));
+        if col >> parent & 1 != or {
+            return false;
+        }
+    }
+    for (parent, conjunctions) in cs.extended_disjunctives() {
+        if col >> parent & 1 == 1
+            && !conjunctions
+                .iter()
+                .any(|conj| conj.iter().all(|&s| col >> s & 1 == 1))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exact minimum-width encoding by enumerating all valid encoding columns
+/// and solving the covering problem of Section 4 directly.
+///
+/// # Errors
+///
+/// * [`EncodeError::TooLarge`] beyond `opts.max_symbols` symbols;
+/// * [`EncodeError::Infeasible`] when no column set satisfies everything.
+pub fn oracle_encode(cs: &ConstraintSet, opts: &OracleOptions) -> Result<Encoding, EncodeError> {
+    let n = cs.num_symbols();
+    if n > opts.max_symbols {
+        return Err(EncodeError::TooLarge {
+            what: "oracle column enumeration",
+        });
+    }
+    if n < 2 {
+        return Ok(Encoding::new(0, vec![0; n]));
+    }
+    let initial = initial_dichotomies(cs, false);
+    let columns: Vec<u64> = (1..((1u64 << n) - 1))
+        .filter(|&col| column_valid(cs, col))
+        .collect();
+
+    let chosen = if cs.has_binate_constraints() {
+        solve_binate(cs, &initial, &columns)?
+    } else {
+        let mut p = UnateProblem::new(columns.len());
+        for d in &initial {
+            p.add_row(
+                columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &col)| column_covers(col, d))
+                    .map(|(j, _)| j),
+            );
+        }
+        let sol = p.solve_exact().map_err(|e| match e {
+            SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+            SolveError::NodeLimit => EncodeError::CoverAborted,
+        })?;
+        sol.columns
+    };
+
+    let mut codes = vec![0u64; n];
+    for (k, &j) in chosen.iter().enumerate() {
+        for (s, code) in codes.iter_mut().enumerate() {
+            if columns[j] >> s & 1 == 1 {
+                *code |= 1 << k;
+            }
+        }
+    }
+    let enc = Encoding::new(chosen.len(), codes);
+    debug_assert!(enc.satisfies(cs), "oracle produced an invalid encoding");
+    Ok(enc)
+}
+
+fn solve_binate(
+    cs: &ConstraintSet,
+    initial: &[Dichotomy],
+    columns: &[u64],
+) -> Result<Vec<usize>, EncodeError> {
+    let n = cs.num_symbols();
+    let mut p = BinateProblem::new(columns.len());
+    for d in initial {
+        p.add_clause(
+            columns
+                .iter()
+                .enumerate()
+                .filter(|(_, &col)| column_covers(col, d))
+                .map(|(j, _)| j),
+            [],
+        );
+    }
+    for &(a, b) in cs.distance2_pairs() {
+        let s: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, &col)| (col >> a & 1) != (col >> b & 1))
+            .map(|(j, _)| j)
+            .collect();
+        if s.len() < 2 {
+            return Err(EncodeError::Infeasible { uncovered: vec![] });
+        }
+        for &q in &s {
+            p.add_clause(s.iter().copied().filter(|&r| r != q), []);
+        }
+    }
+    // Non-face constraints on total columns: the face of N stays non-
+    // private iff for some outsider s, no selected column separates N
+    // uniformly from s. Columns are total here, so coverage is exact and
+    // the minimal-hitting-set clauses are sound and complete.
+    for nf in cs.nonfaces() {
+        let outsiders: Vec<usize> = (0..n).filter(|s| !nf.contains(*s)).collect();
+        let mut sets: Vec<Vec<usize>> = Vec::new();
+        let mut impossible = false;
+        for &s in &outsiders {
+            let d = Dichotomy::from_sets(nf.clone(), ioenc_bitset::BitSet::from_indices(n, [s]));
+            let set: Vec<usize> = columns
+                .iter()
+                .enumerate()
+                .filter(|(_, &col)| column_covers(col, &d))
+                .map(|(j, _)| j)
+                .collect();
+            if set.is_empty() {
+                impossible = true;
+                break;
+            }
+            sets.push(set);
+        }
+        if impossible {
+            continue;
+        }
+        let hitting = super::exact::minimal_hitting_sets_for_oracle(&sets)?;
+        for h in hitting {
+            p.add_clause([], h);
+        }
+    }
+    let sol = p.solve_exact().map_err(|e| match e {
+        SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+        SolveError::NodeLimit => EncodeError::CoverAborted,
+    })?;
+    Ok(sol.columns)
+}
+
+/// The minimum width any satisfying encoding needs, or `None` when the
+/// constraints are infeasible. Oracle-grade (exponential).
+///
+/// # Errors
+///
+/// [`EncodeError::TooLarge`] beyond `opts.max_symbols`.
+pub fn oracle_min_width(
+    cs: &ConstraintSet,
+    opts: &OracleOptions,
+) -> Result<Option<usize>, EncodeError> {
+    match oracle_encode(cs, opts) {
+        Ok(enc) => Ok(Some(enc.width())),
+        Err(EncodeError::Infeasible { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_feasible, exact_encode_report, ExactOptions};
+
+    #[test]
+    fn oracle_matches_section_1_example() {
+        let cs = ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap();
+        let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
+        assert_eq!(enc.width(), 2);
+        assert!(enc.satisfies(&cs));
+    }
+
+    #[test]
+    fn oracle_detects_figure_4_infeasibility() {
+        let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+        let cs = ConstraintSet::parse(
+            &names,
+            "(s1,s5)\n(s2,s5)\n(s4,s5)\n\
+             s0>s1\ns0>s2\ns0>s3\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns5>s3\n\
+             s0=s1|s2",
+        )
+        .unwrap();
+        assert_eq!(
+            oracle_min_width(&cs, &OracleOptions::default()).unwrap(),
+            None
+        );
+        // The polynomial check agrees.
+        assert!(!check_feasible(&cs).is_feasible());
+    }
+
+    #[test]
+    fn oracle_agrees_with_exact_encoder_on_small_mixes() {
+        let cases = [
+            "(a,b)\n(c,d)",
+            "(a,b,c)\na>d",
+            "(a,b)\na>b\nb>c",
+            "a=b|c\n(b,d)",
+            "(a,b)\n(b,c)\n(c,d)\n(a,d)",
+            "(a,b,[c],d)",
+        ];
+        for text in cases {
+            let cs = ConstraintSet::parse(&["a", "b", "c", "d"], text).unwrap();
+            let oracle = oracle_encode(&cs, &OracleOptions::default()).unwrap();
+            let exact = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+            assert_eq!(
+                oracle.width(),
+                exact.encoding.width(),
+                "width mismatch on {text}"
+            );
+            assert!(exact.encoding.satisfies(&cs));
+        }
+    }
+
+    #[test]
+    fn oracle_handles_distance2() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        cs.add_distance2(0, 1);
+        let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
+        assert!(enc.satisfies(&cs));
+        // And the production encoder agrees on the width.
+        let exact = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+        assert_eq!(exact.encoding.width(), enc.width());
+    }
+
+    #[test]
+    fn oracle_handles_nonface() {
+        let names = ["a", "b", "c", "d", "e", "f"];
+        let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)")
+            .unwrap();
+        let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
+        assert!(enc.satisfies(&cs));
+        let exact = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+        assert_eq!(exact.encoding.width(), enc.width());
+    }
+
+    #[test]
+    fn oracle_contradictory_nonface_is_infeasible() {
+        let cs = ConstraintSet::parse(&["a", "b", "c"], "(a,b)\n!(a,b)").unwrap();
+        assert!(matches!(
+            oracle_encode(&cs, &OracleOptions::default()),
+            Err(EncodeError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn oracle_tiny_instances() {
+        let cs = ConstraintSet::new(1);
+        let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
+        assert_eq!(enc.num_symbols(), 1);
+        let cs = ConstraintSet::new(0);
+        assert_eq!(oracle_encode(&cs, &OracleOptions::default()).unwrap().num_symbols(), 0);
+    }
+
+    #[test]
+    fn oracle_too_large_is_reported() {
+        let cs = ConstraintSet::new(20);
+        assert!(matches!(
+            oracle_encode(&cs, &OracleOptions::default()),
+            Err(EncodeError::TooLarge { .. })
+        ));
+    }
+}

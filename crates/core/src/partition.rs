@@ -1,0 +1,232 @@
+//! Hypergraph bipartitioning for the splitting phase of the bounded-length
+//! heuristic (Section 7.1).
+//!
+//! The paper uses "a modification of the Kernighan–Lin partitioning
+//! algorithm" where the nodes are the symbols and the nets are the face
+//! constraints (or the restricted initial encoding-dichotomies); the
+//! partition minimizing the number of cut nets violates the fewest
+//! constraints. This module implements a Fiduccia–Mattheyses-style
+//! pass-based refinement with per-side capacity bounds.
+
+use ioenc_bitset::BitSet;
+
+/// Options for [`bipartition`].
+#[derive(Debug, Clone)]
+pub struct PartitionOptions {
+    /// Maximum number of nodes allowed on each side (the heuristic uses
+    /// `2^(c-1)` so each half can still be encoded in `c-1` bits).
+    pub max_side: usize,
+    /// Number of improvement passes.
+    pub passes: usize,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            max_side: usize::MAX,
+            passes: 8,
+        }
+    }
+}
+
+/// Splits `n` nodes into two parts minimizing the number of cut nets.
+///
+/// `nets` are hyperedges over `0..n`. Returns `(part_a, part_b)` as sorted
+/// node lists; both are non-empty for `n >= 2` and respect
+/// `opts.max_side`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, a net mentions a node `>= n`, or `2 * max_side < n`
+/// (no feasible balance).
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::{bipartition, PartitionOptions};
+/// use ioenc_bitset::BitSet;
+///
+/// // Two cliques {0,1,2} and {3,4,5} joined by nothing: the cut is 0.
+/// let nets = vec![
+///     BitSet::from_indices(6, [0, 1, 2]),
+///     BitSet::from_indices(6, [3, 4, 5]),
+/// ];
+/// let (a, b) = bipartition(6, &nets, &PartitionOptions { max_side: 3, passes: 8 });
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(b.len(), 3);
+/// ```
+pub fn bipartition(n: usize, nets: &[BitSet], opts: &PartitionOptions) -> (Vec<usize>, Vec<usize>) {
+    assert!(n >= 2, "nothing to split");
+    let max_side = opts.max_side.min(n - 1);
+    assert!(2 * max_side >= n, "max_side too small to hold all nodes");
+    for net in nets {
+        assert!(net.capacity() == n, "net width mismatch");
+    }
+
+    // Initial split: greedy net packing — walk the nets and pull whole nets
+    // to side A while it has room, so related symbols start together.
+    let mut side = vec![false; n]; // false = A, true = B
+    let mut count_a = 0usize;
+    let target_a = n.div_ceil(2).min(max_side);
+    let mut placed = vec![false; n];
+    'outer: for net in nets {
+        for s in net.iter() {
+            if placed[s] {
+                continue;
+            }
+            if count_a >= target_a {
+                break 'outer;
+            }
+            placed[s] = true;
+            count_a += 1;
+        }
+    }
+    for s in 0..n {
+        if !placed[s] && count_a < target_a {
+            placed[s] = true;
+            count_a += 1;
+        } else {
+            side[s] = !placed[s];
+        }
+    }
+
+    let cut = |side: &[bool]| -> usize {
+        nets.iter()
+            .filter(|net| {
+                let mut has_a = false;
+                let mut has_b = false;
+                for s in net.iter() {
+                    if side[s] {
+                        has_b = true;
+                    } else {
+                        has_a = true;
+                    }
+                }
+                has_a && has_b
+            })
+            .count()
+    };
+
+    // FM passes: move the best unlocked node (best cut reduction subject to
+    // balance), lock it, continue; keep the best state seen in the pass.
+    let mut best_side = side.clone();
+    let mut best_cut = cut(&side);
+    for _ in 0..opts.passes {
+        let mut locked = vec![false; n];
+        let mut current = best_side.clone();
+        let mut pass_best = best_cut;
+        let mut pass_best_side = best_side.clone();
+        for _ in 0..n {
+            // Candidate moves.
+            let count_a = current.iter().filter(|&&b| !b).count();
+            let mut best_move: Option<(usize, usize)> = None; // (new_cut, node)
+            for s in 0..n {
+                if locked[s] {
+                    continue;
+                }
+                // Balance check after moving s.
+                let new_a = if current[s] { count_a + 1 } else { count_a - 1 };
+                if new_a == 0 || new_a == n || new_a > max_side || n - new_a > max_side {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial[s] = !trial[s];
+                let c = cut(&trial);
+                if best_move.is_none_or(|(bc, _)| c < bc) {
+                    best_move = Some((c, s));
+                }
+            }
+            let Some((c, s)) = best_move else {
+                break;
+            };
+            current[s] = !current[s];
+            locked[s] = true;
+            if c < pass_best {
+                pass_best = c;
+                pass_best_side = current.clone();
+            }
+        }
+        if pass_best < best_cut {
+            best_cut = pass_best;
+            best_side = pass_best_side;
+        } else {
+            break;
+        }
+    }
+
+    let a: Vec<usize> = (0..n).filter(|&s| !best_side[s]).collect();
+    let b: Vec<usize> = (0..n).filter(|&s| best_side[s]).collect();
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_cliques_get_zero_cut() {
+        let nets = vec![
+            BitSet::from_indices(6, [0, 1, 2]),
+            BitSet::from_indices(6, [0, 1]),
+            BitSet::from_indices(6, [3, 4, 5]),
+            BitSet::from_indices(6, [4, 5]),
+        ];
+        let (a, b) = bipartition(
+            6,
+            &nets,
+            &PartitionOptions {
+                max_side: 3,
+                passes: 8,
+            },
+        );
+        assert_eq!(a.len() + b.len(), 6);
+        // Check the cut is zero: each net entirely on one side.
+        for net in &nets {
+            let in_a = net.iter().filter(|s| a.contains(s)).count();
+            assert!(in_a == 0 || in_a == net.count(), "net cut: {net:?}");
+        }
+    }
+
+    #[test]
+    fn balance_is_respected() {
+        let nets = vec![BitSet::from_indices(8, [0, 1, 2, 3, 4, 5, 6, 7])];
+        let (a, b) = bipartition(
+            8,
+            &nets,
+            &PartitionOptions {
+                max_side: 4,
+                passes: 4,
+            },
+        );
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn both_sides_non_empty_without_nets() {
+        let (a, b) = bipartition(5, &[], &PartitionOptions::default());
+        assert!(!a.is_empty());
+        assert!(!b.is_empty());
+        assert_eq!(a.len() + b.len(), 5);
+    }
+
+    #[test]
+    fn two_nodes_split_one_each() {
+        let (a, b) = bipartition(2, &[], &PartitionOptions::default());
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_side too small")]
+    fn infeasible_balance_panics() {
+        bipartition(
+            6,
+            &[],
+            &PartitionOptions {
+                max_side: 2,
+                passes: 1,
+            },
+        );
+    }
+}

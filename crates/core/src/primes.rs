@@ -1,0 +1,363 @@
+//! Prime encoding-dichotomy generation (Section 5.1, Figure 2).
+//!
+//! Prime encoding-dichotomies are the maximal compatibles of a list of
+//! dichotomies. Following Marcus, the product of the pairwise
+//! incompatibility clauses `(i + j)` is converted into an irredundant
+//! sum-of-products; each product term's *missing* literals form one maximal
+//! compatible. The paper's contribution is the conversion algorithm: since
+//! every clause has exactly two literals (a 2-CNF), the splitting recursion
+//! of the classic Shannon approach collapses to a *linear* number of
+//! `cs`/`ps` steps — one per variable — instead of an exponential tree.
+
+use crate::{Dichotomy, EncodeError};
+use ioenc_bitset::BitSet;
+
+/// Generates all prime encoding-dichotomies (maximal compatibles) of
+/// `dichotomies`.
+///
+/// `cap` bounds the number of product terms carried at any point; the
+/// worst case is exponential (Table 1's `planet` and `vmecont` rows exceed
+/// 50 000 primes), so the cap turns a blow-up into an error.
+///
+/// The input is deduplicated first; the output is deduplicated and each
+/// prime is the union of one maximal compatible set.
+///
+/// # Errors
+///
+/// [`EncodeError::PrimesExceeded`] when more than `cap` terms arise.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::{generate_primes, Dichotomy};
+///
+/// // Two compatible dichotomies merge into a single prime.
+/// let d = vec![
+///     Dichotomy::from_blocks(4, [0], [2]),
+///     Dichotomy::from_blocks(4, [1], [2, 3]),
+/// ];
+/// let primes = generate_primes(&d, 1000)?;
+/// assert_eq!(primes, vec![Dichotomy::from_blocks(4, [0, 1], [2, 3])]);
+/// # Ok::<(), ioenc_core::EncodeError>(())
+/// ```
+pub fn generate_primes(
+    dichotomies: &[Dichotomy],
+    cap: usize,
+) -> Result<Vec<Dichotomy>, EncodeError> {
+    let mut input = dichotomies.to_vec();
+    input.sort();
+    input.dedup();
+    let m = input.len();
+    if m == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Pairwise incompatibility clauses.
+    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for i in 0..m {
+        for j in (i + 1)..m {
+            if !input[i].compatible(&input[j]) {
+                partners[i].push(j);
+                partners[j].push(i);
+            }
+        }
+    }
+
+    let sop = clauses_to_sop(&partners, m, cap)?;
+
+    // Each term's complement is a maximal compatible; its union is a prime.
+    let n = input[0].num_symbols();
+    let mut primes: Vec<Dichotomy> = sop
+        .iter()
+        .map(|term| {
+            let mut p = Dichotomy::new(n);
+            for (i, d) in input.iter().enumerate() {
+                if !term.contains(i) {
+                    p.union_with(d);
+                }
+            }
+            p
+        })
+        .collect();
+    primes.sort();
+    primes.dedup();
+    Ok(primes)
+}
+
+/// Converts the 2-CNF `∏ (i + j)` into its irredundant sum-of-products
+/// (procedure `cs` of Figure 2), processing one variable per step.
+///
+/// For the variable `x` with unprocessed partner set `P`, the product of
+/// its clauses simplifies to the two-term expression `x + ∏P`; multiplying
+/// it into the accumulator and applying single-cube containment (procedure
+/// `ps`) keeps the accumulator an antichain of minimal terms.
+fn clauses_to_sop(
+    partners: &[Vec<usize>],
+    m: usize,
+    cap: usize,
+) -> Result<Vec<BitSet>, EncodeError> {
+    // Accumulator starts as the single empty term (the SOP of an empty
+    // product).
+    let mut acc: Vec<BitSet> = vec![BitSet::new(m)];
+    let mut processed = vec![false; m];
+
+    loop {
+        // Splitting variable: the one with the most unprocessed clauses.
+        let mut best: Option<(usize, usize)> = None;
+        for x in 0..m {
+            if processed[x] {
+                continue;
+            }
+            let count = partners[x].iter().filter(|&&y| !processed[y]).count();
+            if count > 0 && best.is_none_or(|(bc, _)| count > bc) {
+                best = Some((count, x));
+            }
+        }
+        let Some((_, x)) = best else {
+            break;
+        };
+        let p_set: BitSet =
+            BitSet::from_indices(m, partners[x].iter().copied().filter(|&y| !processed[y]));
+        processed[x] = true;
+        acc = ps(acc, x, &p_set, cap)?;
+    }
+    Ok(acc)
+}
+
+/// One `ps` step: multiplies the two-term expression `x + ∏P` into the
+/// antichain `acc`, keeping only minimal terms.
+///
+/// Terms already containing `x` satisfy the expression and pass through
+/// unchanged (their `∪P` product is absorbed by themselves). For the
+/// remaining terms the full single-cube containment reduces to three cheap
+/// rules, each verified against the worked trace of Figure 3:
+///
+/// * `a ∪ {x}` is absorbed by `a ∪ P` exactly when `P ⊆ a`;
+/// * `a ∪ {x}` is absorbed by a pass-through term `f ∋ x` when
+///   `f \ {x} ⊆ a`;
+/// * the `a ∪ P` family needs an internal antichain pass (pass-through and
+///   `∪{x}` terms can never absorb it or be absorbed by it, because they
+///   contain `x` and it does not).
+fn ps(acc: Vec<BitSet>, x: usize, p_set: &BitSet, cap: usize) -> Result<Vec<BitSet>, EncodeError> {
+    let mut pass_through: Vec<BitSet> = Vec::new();
+    let mut with_x: Vec<BitSet> = Vec::new();
+    let mut with_p: Vec<BitSet> = Vec::new();
+    for a in &acc {
+        if a.contains(x) {
+            pass_through.push(a.clone());
+            continue;
+        }
+        if !p_set.is_subset(a) {
+            let mut t = a.clone();
+            t.insert(x);
+            with_x.push(t);
+        }
+        let mut t = a.clone();
+        t.union_with(p_set);
+        with_p.push(t);
+    }
+    // Pass-through terms (minus x) absorb ∪{x} candidates.
+    let stripped: Vec<BitSet> = pass_through
+        .iter()
+        .map(|f| {
+            let mut s = f.clone();
+            s.remove(x);
+            s
+        })
+        .collect();
+    with_x.retain(|t| !stripped.iter().any(|f| f.is_subset(t)));
+    // Antichain-minimize the ∪P family.
+    with_p.sort_by_key(|t| t.count());
+    with_p.dedup();
+    let mut minimal: Vec<BitSet> = Vec::with_capacity(with_p.len());
+    for t in with_p {
+        if !minimal.iter().any(|s| s.is_subset(&t)) {
+            minimal.push(t);
+        }
+    }
+    let mut out = pass_through;
+    out.extend(with_x);
+    out.extend(minimal);
+    if out.len() > cap {
+        return Err(EncodeError::PrimesExceeded { limit: cap });
+    }
+    Ok(out)
+}
+
+/// Brute-force maximal compatibles for cross-checking (exponential; testing
+/// only).
+#[doc(hidden)]
+pub fn brute_force_primes(dichotomies: &[Dichotomy]) -> Vec<Dichotomy> {
+    let mut input = dichotomies.to_vec();
+    input.sort();
+    input.dedup();
+    let m = input.len();
+    assert!(m <= 20, "brute force limited to 20 dichotomies");
+    let n = if m == 0 {
+        return Vec::new();
+    } else {
+        input[0].num_symbols()
+    };
+    let mut maximal_sets: Vec<u32> = Vec::new();
+    'outer: for mask in 1u32..(1 << m) {
+        // Check pairwise compatibility.
+        let members: Vec<usize> = (0..m).filter(|&i| mask >> i & 1 == 1).collect();
+        for (ai, &a) in members.iter().enumerate() {
+            for &b in &members[ai + 1..] {
+                if !input[a].compatible(&input[b]) {
+                    continue 'outer;
+                }
+            }
+        }
+        // Check maximality.
+        for extra in 0..m {
+            if mask >> extra & 1 == 1 {
+                continue;
+            }
+            if members.iter().all(|&a| input[a].compatible(&input[extra])) {
+                continue 'outer;
+            }
+        }
+        maximal_sets.push(mask);
+    }
+    let mut primes: Vec<Dichotomy> = maximal_sets
+        .iter()
+        .map(|&mask| {
+            let mut p = Dichotomy::new(n);
+            for (i, d) in input.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    p.union_with(d);
+                }
+            }
+            p
+        })
+        .collect();
+    primes.sort();
+    primes.dedup();
+    primes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{initial_dichotomies, ConstraintSet};
+
+    #[test]
+    fn paper_incompatibility_example() {
+        // Section 5.1's abstract example: five dichotomies a..e with
+        // incompatibilities (a+b)(a+c)(b+c)(c+d)(d+e). The paper lists the
+        // SOP as acd+ace+bcd+bce (compatibles {b,e},{b,d},{a,e},{a,d});
+        // note abd is also a minimal cover of those clauses, so {c,e} is a
+        // fifth maximal compatible the paper's prose omits — brute force
+        // below confirms. These concrete dichotomies realize exactly that
+        // incompatibility graph.
+        let a = Dichotomy::from_blocks(5, [0], [1]);
+        let b = Dichotomy::from_blocks(5, [1], [0]);
+        let c = Dichotomy::from_blocks(5, [2], [0, 1]);
+        let d = Dichotomy::from_blocks(5, [3], [2]);
+        let e = Dichotomy::from_blocks(5, [4], [3]);
+        let input = vec![a.clone(), b.clone(), c.clone(), d.clone(), e.clone()];
+        let mut fast = generate_primes(&input, 10_000).unwrap();
+        let mut expected = vec![
+            b.union(&e),
+            b.union(&d),
+            a.union(&e),
+            a.union(&d),
+            c.union(&e),
+        ];
+        fast.sort();
+        expected.sort();
+        assert_eq!(fast, expected);
+        assert_eq!(fast, brute_force_primes(&input));
+    }
+
+    #[test]
+    fn figure_3_prime_generation() {
+        // The full worked example of Figure 3: 9 initial dichotomies give
+        // 7 maximal compatible sets / prime dichotomies.
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let initial = initial_dichotomies(&cs, true);
+        assert_eq!(initial.len(), 9);
+        let primes = generate_primes(&initial, 10_000).unwrap();
+        assert_eq!(primes.len(), 7, "Figure 3 reports 7 maximal compatibles");
+        // The paper's minimum cover uses these four primes (modulo
+        // orientation).
+        let expected = [
+            Dichotomy::from_blocks(5, [0, 2, 4], [1, 3]),
+            Dichotomy::from_blocks(5, [2, 3], [0, 1, 4]),
+            Dichotomy::from_blocks(5, [0, 4], [1, 2, 3]),
+            Dichotomy::from_blocks(5, [0, 2], [1, 3, 4]),
+        ];
+        for e in &expected {
+            assert!(
+                primes.iter().any(|p| p == e || p == &e.flipped()),
+                "missing prime {e:?}"
+            );
+        }
+        // Cross-check against brute force.
+        assert_eq!(primes, brute_force_primes(&initial));
+    }
+
+    #[test]
+    fn no_incompatibilities_single_prime() {
+        let d = vec![
+            Dichotomy::from_blocks(4, [0], [2]),
+            Dichotomy::from_blocks(4, [1], [2, 3]),
+        ];
+        let primes = generate_primes(&d, 100).unwrap();
+        assert_eq!(primes, vec![Dichotomy::from_blocks(4, [0, 1], [2, 3])]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(generate_primes(&[], 10).unwrap(), Vec::<Dichotomy>::new());
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        // All-pairwise-incompatible dichotomies: the uniqueness dichotomies
+        // of n symbols explode combinatorially.
+        let cs = ConstraintSet::new(12);
+        let initial = initial_dichotomies(&cs, false);
+        let err = generate_primes(&initial, 50).unwrap_err();
+        assert_eq!(err, EncodeError::PrimesExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        let d = Dichotomy::from_blocks(3, [0], [1]);
+        let primes = generate_primes(&[d.clone(), d.clone(), d.clone()], 10).unwrap();
+        assert_eq!(primes, vec![Dichotomy::from_blocks(3, [0], [1])]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_uniqueness_problems() {
+        // Unconstrained n-symbol problems have 2^n - 2 primes
+        // (every bipartition except the trivial ones), per Section 5.
+        let cs = ConstraintSet::new(4);
+        let initial = initial_dichotomies(&cs, false);
+        let primes = generate_primes(&initial, 10_000).unwrap();
+        assert_eq!(primes.len(), (1 << 4) - 2);
+        assert_eq!(primes, brute_force_primes(&initial));
+    }
+
+    #[test]
+    fn primes_cover_every_input_dichotomy() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([3, 4]);
+        let initial = initial_dichotomies(&cs, false);
+        let primes = generate_primes(&initial, 100_000).unwrap();
+        for d in &initial {
+            assert!(
+                primes.iter().any(|p| p.covers_oriented(d)),
+                "dichotomy {d:?} not inside any prime"
+            );
+        }
+        assert_eq!(primes, brute_force_primes(&initial));
+    }
+}

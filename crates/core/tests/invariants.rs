@@ -1,0 +1,204 @@
+//! Property tests for the framework's structural invariants: raising,
+//! validity, prime generation, don't-care faces, extended disjunctives and
+//! the bounded-length solvers.
+
+use ioenc_core::{
+    bounded_exact_encode, check_feasible, count_violations, encode_with_chains, exact_encode,
+    heuristic_encode, is_valid, oracle_min_width, raise_dichotomy, BoundedExactOptions,
+    ChainConstraint, ChainOptions, ConstraintSet, CostFunction, Dichotomy, EncodeError,
+    ExactOptions, HeuristicOptions, OracleOptions,
+};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+/// Mixed constraint sets including don't-care faces and extended
+/// disjunctive constraints.
+fn arb_rich_constraints() -> impl Strategy<Value = ConstraintSet> {
+    let face = (
+        prop::collection::vec(0..N, 2..4),
+        prop::collection::vec(0..N, 0..2),
+    );
+    let dom = (0..N, 0..N);
+    let ext = (
+        0..N,
+        prop::collection::vec(prop::collection::vec(0..N, 1..3), 1..3),
+    );
+    (
+        prop::collection::vec(face, 0..3),
+        prop::collection::vec(dom, 0..3),
+        prop::collection::vec(ext, 0..2),
+    )
+        .prop_map(|(faces, doms, exts)| {
+            let mut cs = ConstraintSet::new(N);
+            for (members, dcs) in faces {
+                let mut m = members.clone();
+                m.sort_unstable();
+                m.dedup();
+                if m.len() < 2 {
+                    continue;
+                }
+                let dcs: Vec<usize> = dcs.into_iter().filter(|d| !m.contains(d)).collect();
+                let mut d = dcs.clone();
+                d.sort_unstable();
+                d.dedup();
+                cs.add_face_with_dc(m, d);
+            }
+            for (a, b) in doms {
+                if a != b {
+                    cs.add_dominance(a, b);
+                }
+            }
+            for (p, conjs) in exts {
+                let conjs: Vec<Vec<usize>> = conjs
+                    .into_iter()
+                    .map(|mut c| {
+                        c.sort_unstable();
+                        c.dedup();
+                        c
+                    })
+                    .filter(|c| !c.is_empty())
+                    .collect();
+                if !conjs.is_empty() {
+                    cs.add_extended(p, conjs);
+                }
+            }
+            cs
+        })
+}
+
+fn arb_dichotomy() -> impl Strategy<Value = Dichotomy> {
+    (
+        prop::collection::vec(0..N, 0..3),
+        prop::collection::vec(0..N, 0..3),
+    )
+        .prop_map(|(l, r)| {
+            let l: Vec<usize> = l.into_iter().collect();
+            let r: Vec<usize> = r.into_iter().filter(|s| !l.contains(s)).collect();
+            Dichotomy::from_blocks(N, l, r)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn raising_is_idempotent_and_monotone(
+        cs in arb_rich_constraints(),
+        d in arb_dichotomy(),
+    ) {
+        if let Some(raised) = raise_dichotomy(&d, &cs) {
+            // Monotone: raising only adds symbols.
+            prop_assert!(raised.covers_oriented(&d));
+            // Idempotent.
+            prop_assert_eq!(raise_dichotomy(&raised, &cs), Some(raised.clone()));
+            // Raised dichotomies are valid.
+            prop_assert!(is_valid(&raised, &cs));
+        } else {
+            // A dichotomy whose raising fails must already be invalid or
+            // become contradictory; its completion cannot satisfy the
+            // constraints, so if it WAS valid, some implication chain
+            // conflicts — either way re-raising any sub-dichotomy of it
+            // that succeeds must not equal it.
+        }
+    }
+
+    #[test]
+    fn invalid_dichotomies_never_raise(cs in arb_rich_constraints(), d in arb_dichotomy()) {
+        if !is_valid(&d, &cs) {
+            // Violations are monotone: raising cannot repair them. Raising
+            // either fails or yields a dichotomy that still embeds d; in
+            // both cases d itself stays invalid.
+            prop_assert!(!is_valid(&d, &cs));
+            if let Some(r) = raise_dichotomy(&d, &cs) {
+                // If the fixpoint completes, the *monotone* violation
+                // conditions must have been absent — contradiction with
+                // !is_valid. Raising of invalid dichotomies must fail.
+                prop_assert!(false, "invalid dichotomy raised to {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_rich_sets_encode_and_verify(cs in arb_rich_constraints()) {
+        let feasible = check_feasible(&cs).is_feasible();
+        match exact_encode(&cs, &ExactOptions::default()) {
+            Ok(enc) => {
+                prop_assert!(feasible);
+                prop_assert!(enc.verify(&cs).is_empty(), "violations: {:?}", enc.verify(&cs));
+                // Oracle agreement on minimality.
+                let oracle = oracle_min_width(&cs, &OracleOptions::default()).unwrap();
+                prop_assert_eq!(Some(enc.width()), oracle);
+            }
+            Err(EncodeError::Infeasible { .. }) => prop_assert!(!feasible),
+            Err(e) => prop_assert!(false, "unexpected: {e}"),
+        }
+    }
+
+    #[test]
+    fn heuristic_never_beats_bounded_exact(
+        faces in prop::collection::vec(prop::collection::vec(0..N, 2..4), 1..3),
+    ) {
+        let mut cs = ConstraintSet::new(N);
+        for f in faces {
+            let mut f = f.clone();
+            f.sort_unstable();
+            f.dedup();
+            if f.len() >= 2 {
+                cs.add_face(f);
+            }
+        }
+        let (_, exact_cost) = bounded_exact_encode(&cs, &BoundedExactOptions::default()).unwrap();
+        let heur = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+        prop_assert!(count_violations(&cs, &heur) as u64 >= exact_cost);
+    }
+
+    #[test]
+    fn heuristic_cost_functions_agree_on_satisfiability(
+        faces in prop::collection::vec(prop::collection::vec(0..N, 2..3), 1..3),
+    ) {
+        let mut cs = ConstraintSet::new(N);
+        for f in faces {
+            let mut f = f.clone();
+            f.sort_unstable();
+            f.dedup();
+            if f.len() >= 2 {
+                cs.add_face(f);
+            }
+        }
+        // If the violation-driven heuristic satisfies everything, the
+        // encoding is injective and verified regardless of cost function.
+        for cost in [CostFunction::Violations, CostFunction::Cubes] {
+            let enc = heuristic_encode(
+                &cs,
+                &HeuristicOptions {
+                    cost,
+                    selection_cap: 40,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let mut codes = enc.codes().to_vec();
+            codes.sort_unstable();
+            codes.dedup();
+            prop_assert_eq!(codes.len(), N);
+        }
+    }
+
+    #[test]
+    fn chain_encodings_satisfy_chains(start in 0..3usize, len in 2..4usize) {
+        let cs = ConstraintSet::new(6);
+        let states: Vec<usize> = (start..start + len).collect();
+        let chain = ChainConstraint::new(states);
+        match encode_with_chains(&cs, std::slice::from_ref(&chain), &ChainOptions::default()) {
+            Ok(enc) => {
+                prop_assert!(chain.is_satisfied(&enc));
+                let mut codes = enc.codes().to_vec();
+                codes.sort_unstable();
+                codes.dedup();
+                prop_assert_eq!(codes.len(), 6);
+            }
+            Err(e) => prop_assert!(false, "unconstrained chain failed: {e}"),
+        }
+    }
+}

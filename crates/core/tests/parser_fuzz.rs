@@ -1,0 +1,58 @@
+//! Robustness: the constraint-text parser must never panic on arbitrary
+//! input, and must round-trip whatever it accepts.
+
+use ioenc_core::ConstraintSet;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(text in ".{0,200}") {
+        let _ = ConstraintSet::parse(&["a", "b", "c"], &text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_constraint_soup(
+        lines in prop::collection::vec(
+            prop_oneof![
+                "\\([abc,\\[\\]]{0,10}\\)",
+                "[abc]>[abc]",
+                "[abc]=[abc]\\|[abc]",
+                "\\([abc&]{1,5}\\)>=[abc]",
+                "dist2\\([abc,]{0,5}\\)",
+                "!\\([abc,]{0,6}\\)",
+                "[a-z()>=|&!,\\[\\] ]{0,15}",
+            ],
+            0..8,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = ConstraintSet::parse(&["a", "b", "c"], &text);
+    }
+
+    #[test]
+    fn display_round_trips(
+        faces in prop::collection::vec(prop::collection::vec(0..4usize, 2..4), 0..3),
+        doms in prop::collection::vec((0..4usize, 0..4usize), 0..3),
+    ) {
+        let mut cs = ConstraintSet::new(4);
+        for f in faces {
+            let mut f = f.clone();
+            f.sort_unstable();
+            f.dedup();
+            if f.len() >= 2 {
+                cs.add_face(f);
+            }
+        }
+        for (a, b) in doms {
+            if a != b {
+                cs.add_dominance(a, b);
+            }
+        }
+        let text = cs.to_string();
+        let names: Vec<&str> = (0..4).map(|i| ["s0", "s1", "s2", "s3"][i]).collect();
+        let again = ConstraintSet::parse(&names, &text).expect("display output reparses");
+        prop_assert_eq!(again.to_string(), text);
+    }
+}

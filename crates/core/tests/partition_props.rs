@@ -1,0 +1,65 @@
+//! Property tests for the Kernighan–Lin / Fiduccia–Mattheyses-style
+//! bipartitioner used by the bounded-length heuristic.
+
+use ioenc_bitset::BitSet;
+use ioenc_core::{bipartition, PartitionOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn partitions_are_exact_and_balanced(
+        n in 2usize..12,
+        nets in prop::collection::vec(prop::collection::vec(0usize..12, 2..5), 0..8),
+    ) {
+        let nets: Vec<BitSet> = nets
+            .into_iter()
+            .map(|m| BitSet::from_indices(n, m.into_iter().filter(|&s| s < n)))
+            .filter(|s| s.count() >= 2)
+            .collect();
+        let max_side = n.div_ceil(2).max(1);
+        let (a, b) = bipartition(
+            n,
+            &nets,
+            &PartitionOptions {
+                max_side,
+                passes: 4,
+            },
+        );
+        // Exact partition.
+        prop_assert_eq!(a.len() + b.len(), n);
+        let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Non-empty sides within capacity.
+        prop_assert!(!a.is_empty() && !b.is_empty());
+        prop_assert!(a.len() <= max_side && b.len() <= max_side);
+    }
+
+    #[test]
+    fn refinement_never_exceeds_trivial_cut(
+        n in 4usize..10,
+        nets in prop::collection::vec(prop::collection::vec(0usize..10, 2..4), 1..6),
+    ) {
+        let nets: Vec<BitSet> = nets
+            .into_iter()
+            .map(|m| BitSet::from_indices(n, m.into_iter().filter(|&s| s < n)))
+            .filter(|s| s.count() >= 2)
+            .collect();
+        let (a, _) = bipartition(n, &nets, &PartitionOptions::default());
+        let cut = nets
+            .iter()
+            .filter(|net| {
+                let in_a = net.iter().filter(|s| a.contains(s)).count();
+                in_a != 0 && in_a != net.count()
+            })
+            .count();
+        // The cut can never exceed the total net count; and with no
+        // capacity pressure a single-net instance is never cut.
+        prop_assert!(cut <= nets.len());
+        if nets.len() == 1 && nets[0].count() < n {
+            prop_assert_eq!(cut, 0, "a lone embeddable net must not be cut");
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! Exact binate covering (minimum-cost satisfying assignment of a
+//! product-of-sums with positive and negative literals).
+
+use crate::{Solution, SolveError};
+use ioenc_bitset::BitSet;
+
+/// A clause in a binate covering problem: satisfied when some column in
+/// `pos` is *selected* or some column in `neg` is *rejected*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// Columns that satisfy the clause when selected.
+    pub pos: BitSet,
+    /// Columns that satisfy the clause when rejected.
+    pub neg: BitSet,
+}
+
+/// A binate covering problem over `num_cols` 0/1 columns: find the
+/// minimum-weight selection of columns such that every clause holds
+/// (Section 4 of the paper, and the distance-2 / non-face extensions of
+/// Section 8).
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_cover::BinateProblem;
+///
+/// let mut p = BinateProblem::new(3);
+/// p.add_clause([0, 1], []);   // select 0 or 1
+/// p.add_clause([], [0]);      // do not select 0
+/// let sol = p.solve_exact().unwrap();
+/// assert_eq!(sol.columns, vec![1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BinateProblem {
+    num_cols: usize,
+    weights: Vec<u32>,
+    clauses: Vec<Clause>,
+    node_limit: u64,
+}
+
+const DEFAULT_NODE_LIMIT: u64 = 5_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Assign {
+    Open,
+    Selected,
+    Rejected,
+}
+
+impl BinateProblem {
+    /// A problem with `num_cols` unit-weight columns.
+    pub fn new(num_cols: usize) -> Self {
+        Self::with_weights(vec![1; num_cols])
+    }
+
+    /// A problem with explicit column weights.
+    pub fn with_weights(weights: Vec<u32>) -> Self {
+        BinateProblem {
+            num_cols: weights.len(),
+            weights,
+            clauses: Vec::new(),
+            node_limit: DEFAULT_NODE_LIMIT,
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Adds a clause from iterators of positive and negative columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn add_clause<P, N>(&mut self, pos: P, neg: N)
+    where
+        P: IntoIterator<Item = usize>,
+        N: IntoIterator<Item = usize>,
+    {
+        self.clauses.push(Clause {
+            pos: BitSet::from_indices(self.num_cols, pos),
+            neg: BitSet::from_indices(self.num_cols, neg),
+        });
+    }
+
+    /// Overrides the branch-and-bound node budget.
+    pub fn set_node_limit(&mut self, limit: u64) {
+        self.node_limit = limit;
+    }
+
+    /// Exact minimum-weight satisfying selection, by branch and bound with
+    /// unit propagation.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if no selection satisfies all clauses;
+    /// [`SolveError::NodeLimit`] if the budget expired with no feasible
+    /// solution found (a best-effort feasible solution, when one was found,
+    /// is returned with `optimal = false` instead).
+    pub fn solve_exact(&self) -> Result<Solution, SolveError> {
+        let mut search = BinateSearch {
+            problem: self,
+            best: None,
+            nodes: 0,
+            exhausted: false,
+        };
+        let assign = vec![Assign::Open; self.num_cols];
+        search.branch(assign);
+        match search.best {
+            Some((cost, cols)) => Ok(Solution {
+                columns: cols,
+                cost,
+                optimal: !search.exhausted,
+            }),
+            None if search.exhausted => Err(SolveError::NodeLimit),
+            None => Err(SolveError::Infeasible),
+        }
+    }
+}
+
+struct BinateSearch<'a> {
+    problem: &'a BinateProblem,
+    best: Option<(u64, Vec<usize>)>,
+    nodes: u64,
+    exhausted: bool,
+}
+
+enum ClauseState {
+    Satisfied,
+    Conflict,
+    /// One open literal left: (column, must-select?)
+    Unit(usize, bool),
+    Open,
+}
+
+fn clause_state(clause: &Clause, assign: &[Assign]) -> ClauseState {
+    let mut open: Option<(usize, bool)> = None;
+    let mut open_count = 0;
+    for c in clause.pos.iter() {
+        match assign[c] {
+            Assign::Selected => return ClauseState::Satisfied,
+            Assign::Rejected => {}
+            Assign::Open => {
+                open = Some((c, true));
+                open_count += 1;
+            }
+        }
+    }
+    for c in clause.neg.iter() {
+        match assign[c] {
+            Assign::Rejected => return ClauseState::Satisfied,
+            Assign::Selected => {}
+            Assign::Open => {
+                open = Some((c, false));
+                open_count += 1;
+            }
+        }
+    }
+    match open_count {
+        0 => ClauseState::Conflict,
+        1 => {
+            let (c, sel) = open.expect("open literal recorded");
+            ClauseState::Unit(c, sel)
+        }
+        _ => ClauseState::Open,
+    }
+}
+
+impl BinateSearch<'_> {
+    fn current_cost(&self, assign: &[Assign]) -> u64 {
+        assign
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Assign::Selected)
+            .map(|(c, _)| self.problem.weights[c] as u64)
+            .sum()
+    }
+
+    /// Lower bound: greedy disjoint set of unsatisfied clauses whose open
+    /// literals are all positive — each needs a distinct selection.
+    fn lower_bound(&self, assign: &[Assign]) -> u64 {
+        let mut used = BitSet::new(self.problem.num_cols);
+        let mut bound = 0u64;
+        for clause in &self.problem.clauses {
+            if !matches!(
+                clause_state(clause, assign),
+                ClauseState::Open | ClauseState::Unit(..)
+            ) {
+                continue;
+            }
+            // Only clauses with no open negative literal force a selection.
+            let neg_open = clause.neg.iter().any(|c| assign[c] == Assign::Open);
+            if neg_open {
+                continue;
+            }
+            let open_pos: Vec<usize> = clause
+                .pos
+                .iter()
+                .filter(|&c| assign[c] == Assign::Open)
+                .collect();
+            if open_pos.is_empty() || open_pos.iter().any(|&c| used.contains(c)) {
+                continue;
+            }
+            for &c in &open_pos {
+                used.insert(c);
+            }
+            bound += open_pos
+                .iter()
+                .map(|&c| self.problem.weights[c] as u64)
+                .min()
+                .unwrap_or(0);
+        }
+        bound
+    }
+
+    fn branch(&mut self, mut assign: Vec<Assign>) {
+        self.nodes += 1;
+        if self.nodes > self.problem.node_limit {
+            self.exhausted = true;
+            return;
+        }
+        // Unit propagation to fixpoint.
+        loop {
+            let mut changed = false;
+            for clause in &self.problem.clauses {
+                match clause_state(clause, &assign) {
+                    ClauseState::Conflict => return,
+                    ClauseState::Unit(c, true) => {
+                        assign[c] = Assign::Selected;
+                        changed = true;
+                    }
+                    ClauseState::Unit(c, false) => {
+                        assign[c] = Assign::Rejected;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let cost = self.current_cost(&assign);
+        let best_cost = self.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        if cost + self.lower_bound(&assign) >= best_cost {
+            return;
+        }
+        // All clauses satisfied?
+        let open_clause = self
+            .problem
+            .clauses
+            .iter()
+            .find(|cl| matches!(clause_state(cl, &assign), ClauseState::Open));
+        let Some(clause) = open_clause else {
+            // Feasible: reject all remaining open columns (they only cost).
+            let cols: Vec<usize> = assign
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Assign::Selected)
+                .map(|(c, _)| c)
+                .collect();
+            if cost < best_cost {
+                self.best = Some((cost, cols));
+            }
+            return;
+        };
+        // Branch on an open literal of the chosen clause: prefer a negative
+        // literal (rejection is free).
+        let lit = clause
+            .neg
+            .iter()
+            .find(|&c| assign[c] == Assign::Open)
+            .map(|c| (c, false))
+            .or_else(|| {
+                clause
+                    .pos
+                    .iter()
+                    .find(|&c| assign[c] == Assign::Open)
+                    .map(|c| (c, true))
+            })
+            .expect("open clause has an open literal");
+        let (col, prefer_select) = lit;
+        let order = if prefer_select {
+            [Assign::Selected, Assign::Rejected]
+        } else {
+            [Assign::Rejected, Assign::Selected]
+        };
+        for a in order {
+            let mut sub = assign.clone();
+            sub[col] = a;
+            self.branch(sub);
+            if self.exhausted {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_positive_reduces_to_unate() {
+        let mut p = BinateProblem::new(3);
+        p.add_clause([0, 1], []);
+        p.add_clause([1, 2], []);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.columns, vec![1]);
+    }
+
+    #[test]
+    fn negative_literal_blocks_column() {
+        let mut p = BinateProblem::new(3);
+        p.add_clause([0, 1], []);
+        p.add_clause([], [0]);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.columns, vec![1]);
+    }
+
+    #[test]
+    fn infeasible_contradiction() {
+        let mut p = BinateProblem::new(1);
+        p.add_clause([0], []);
+        p.add_clause([], [0]);
+        assert_eq!(p.solve_exact(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn implication_chains_propagate() {
+        // 0 must be selected; selecting 0 forbids 1; clause (1 or 2) then
+        // forces 2.
+        let mut p = BinateProblem::new(3);
+        p.add_clause([0], []);
+        p.add_clause([1], [0]); // 0 selected -> 1 selected? no: clause = 1 ∨ ¬0
+        p.add_clause([2], [1]);
+        let sol = p.solve_exact().unwrap();
+        // Optimal: select 0, then clause2 = 1 ∨ ¬0 forces 1, clause3 = 2 ∨ ¬1
+        // forces 2 — cost 3. No cheaper assignment exists because clause 1
+        // pins column 0.
+        assert_eq!(sol.cost, 3);
+    }
+
+    #[test]
+    fn weights_steer_choice() {
+        let mut p = BinateProblem::with_weights(vec![5, 1, 1]);
+        p.add_clause([0, 1], []);
+        p.add_clause([0, 2], []);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 2);
+        let mut cols = sol.columns;
+        cols.sort();
+        assert_eq!(cols, vec![1, 2]);
+    }
+
+    #[test]
+    fn at_most_one_constraint() {
+        // Cover two rows but columns 1 and 2 are mutually exclusive.
+        let mut p = BinateProblem::new(4);
+        p.add_clause([1, 2], []);
+        p.add_clause([1, 3], []);
+        p.add_clause([], [1, 2]); // not both 1 and 2
+        let sol = p.solve_exact().unwrap();
+        assert!(sol.cost <= 2);
+        // Check the solution satisfies all clauses.
+        let sel: Vec<bool> = (0..4).map(|c| sol.columns.contains(&c)).collect();
+        assert!(sel[1] || sel[2]);
+        assert!(sel[1] || sel[3]);
+        assert!(!(sel[1] && sel[2]));
+    }
+
+    /// Brute force for cross-checking.
+    fn brute_force(p: &BinateProblem) -> Option<u64> {
+        let n = p.num_cols;
+        assert!(n <= 16);
+        let mut best: Option<u64> = None;
+        'outer: for mask in 0u32..(1 << n) {
+            for cl in &p.clauses {
+                let ok = cl.pos.iter().any(|c| mask & (1 << c) != 0)
+                    || cl.neg.iter().any(|c| mask & (1 << c) == 0);
+                if !ok {
+                    continue 'outer;
+                }
+            }
+            let cost: u64 = (0..n)
+                .filter(|&c| mask & (1 << c) != 0)
+                .map(|c| p.weights[c] as u64)
+                .sum();
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixed_cases() {
+        let mut p = BinateProblem::new(5);
+        p.add_clause([0, 1], [2]);
+        p.add_clause([2, 3], []);
+        p.add_clause([4], [0, 3]);
+        p.add_clause([1], [4]);
+        let sol = p.solve_exact().unwrap();
+        assert!(sol.optimal);
+        assert_eq!(Some(sol.cost), brute_force(&p));
+    }
+
+    #[test]
+    fn empty_problem_selects_nothing() {
+        let p = BinateProblem::new(4);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 0);
+        assert!(sol.columns.is_empty());
+    }
+}

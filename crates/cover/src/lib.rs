@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+
+//! Covering solvers for the `ioenc` encoding framework.
+//!
+//! The final step of exact encoding (Section 6.3 of Saldanha et al.) selects
+//! a minimum set of prime encoding-dichotomies covering all initial
+//! encoding-dichotomies — a *unate covering* problem. The general
+//! abstraction of Section 4, and the distance-2 / non-face extensions of
+//! Sections 8.2–8.3, require *binate covering*.
+//!
+//! * [`UnateProblem`] — exact branch-and-bound (essential columns, row and
+//!   column dominance, maximal-independent-set lower bound) and a greedy
+//!   heuristic.
+//! * [`BinateProblem`] — exact branch-and-bound with unit propagation over
+//!   clauses that may contain complemented columns.
+//!
+//! # Examples
+//!
+//! ```
+//! use ioenc_cover::UnateProblem;
+//!
+//! // Three rows over four columns; {1, 2} is the unique minimum cover.
+//! let mut p = UnateProblem::new(4);
+//! p.add_row([0, 1]);
+//! p.add_row([1, 3]);
+//! p.add_row([2]);
+//! let sol = p.solve_exact().expect("feasible");
+//! let mut cols = sol.columns.clone();
+//! cols.sort();
+//! assert_eq!(cols, vec![1, 2]);
+//! ```
+
+mod binate;
+mod unate;
+
+pub use binate::{BinateProblem, Clause};
+pub use unate::UnateProblem;
+
+/// A covering solution: the selected columns and their total weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Selected column indices, in no particular order.
+    pub columns: Vec<usize>,
+    /// Sum of the selected columns' weights.
+    pub cost: u64,
+    /// `false` when a node limit stopped the search before optimality was
+    /// proved; the solution is still feasible.
+    pub optimal: bool,
+}
+
+/// Errors produced by the covering solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Some row (clause) cannot be satisfied by any column assignment.
+    Infeasible,
+    /// The node limit was exhausted before any feasible solution was found.
+    NodeLimit,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "covering problem is infeasible"),
+            SolveError::NodeLimit => {
+                write!(f, "node limit reached before a feasible solution was found")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

@@ -1,0 +1,529 @@
+//! Exact and greedy unate covering.
+
+use crate::{Solution, SolveError};
+use ioenc_bitset::BitSet;
+
+/// A unate (set-) covering problem: choose a minimum-weight set of columns
+/// such that every row contains at least one chosen column.
+///
+/// Rows are sets of column indices. Weights default to 1.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_cover::UnateProblem;
+///
+/// let mut p = UnateProblem::with_weights(vec![1, 10, 1]);
+/// p.add_row([0, 1]);
+/// p.add_row([1, 2]);
+/// // Column 1 alone covers both rows, but columns {0, 2} are cheaper.
+/// let sol = p.solve_exact().unwrap();
+/// assert_eq!(sol.cost, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnateProblem {
+    num_cols: usize,
+    weights: Vec<u32>,
+    rows: Vec<BitSet>,
+    node_limit: u64,
+}
+
+/// Default branch-and-bound node budget; generous for the problem sizes the
+/// encoder produces.
+const DEFAULT_NODE_LIMIT: u64 = 5_000_000;
+
+/// Skip the quadratic column-dominance reduction above this column count.
+const COL_DOMINANCE_LIMIT: usize = 6_000;
+
+impl UnateProblem {
+    /// A problem with `num_cols` unit-weight columns and no rows.
+    pub fn new(num_cols: usize) -> Self {
+        Self::with_weights(vec![1; num_cols])
+    }
+
+    /// A problem with explicit column weights.
+    pub fn with_weights(weights: Vec<u32>) -> Self {
+        UnateProblem {
+            num_cols: weights.len(),
+            weights,
+            rows: Vec::new(),
+            node_limit: DEFAULT_NODE_LIMIT,
+        }
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a row given the columns that cover it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn add_row<I: IntoIterator<Item = usize>>(&mut self, cols: I) {
+        self.rows.push(BitSet::from_indices(self.num_cols, cols));
+    }
+
+    /// Adds a row from a pre-built column set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set's capacity differs from the column count.
+    pub fn add_row_set(&mut self, cols: BitSet) {
+        assert_eq!(cols.capacity(), self.num_cols, "row width mismatch");
+        self.rows.push(cols);
+    }
+
+    /// Overrides the branch-and-bound node budget.
+    pub fn set_node_limit(&mut self, limit: u64) {
+        self.node_limit = limit;
+    }
+
+    /// Greedy cover: repeatedly choose the column covering the most
+    /// still-uncovered rows per unit weight.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if some row has no columns.
+    pub fn solve_greedy(&self) -> Result<Solution, SolveError> {
+        if self.rows.iter().any(|r| r.is_empty()) {
+            return Err(SolveError::Infeasible);
+        }
+        let mut uncovered: Vec<usize> = (0..self.rows.len()).collect();
+        let mut chosen = Vec::new();
+        let mut cost = 0u64;
+        while !uncovered.is_empty() {
+            let mut counts = vec![0u32; self.num_cols];
+            for &r in &uncovered {
+                for c in self.rows[r].iter() {
+                    counts[c] += 1;
+                }
+            }
+            let best = (0..self.num_cols)
+                .filter(|&c| counts[c] > 0)
+                .max_by(|&a, &b| {
+                    // Compare counts[a]/w[a] vs counts[b]/w[b] without floats.
+                    let lhs = counts[a] as u64 * self.weights[b] as u64;
+                    let rhs = counts[b] as u64 * self.weights[a] as u64;
+                    lhs.cmp(&rhs)
+                })
+                .expect("some column covers an uncovered row");
+            chosen.push(best);
+            cost += self.weights[best] as u64;
+            uncovered.retain(|&r| !self.rows[r].contains(best));
+        }
+        Ok(Solution {
+            columns: chosen,
+            cost,
+            optimal: false,
+        })
+    }
+
+    /// Exact minimum-weight cover by branch and bound.
+    ///
+    /// Reductions: essential columns, row dominance, column dominance (when
+    /// the column count is modest), and a maximal-independent-set lower
+    /// bound. Branching expands the columns of a shortest row.
+    ///
+    /// If the node budget runs out the best feasible solution found so far
+    /// is returned with `optimal = false`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if some row has no columns.
+    pub fn solve_exact(&self) -> Result<Solution, SolveError> {
+        if self.rows.iter().any(|r| r.is_empty()) {
+            return Err(SolveError::Infeasible);
+        }
+        // Root preprocessing: columns with identical row coverage are
+        // interchangeable — keep one cheapest representative. (Prime sets
+        // frequently contain many columns covering the same dichotomies.)
+        let rows = self.merge_duplicate_columns();
+        // Seed the upper bound with a greedy solution.
+        let greedy = self.solve_greedy()?;
+        let mut best = greedy.clone();
+        let mut nodes = 0u64;
+        let mut state = SearchState {
+            problem: self,
+            best_cost: greedy.cost,
+            best_cols: greedy.columns,
+            nodes: &mut nodes,
+            exhausted: false,
+        };
+        state.branch(rows, Vec::new(), 0, 0);
+        let optimal = !state.exhausted;
+        best.columns = state.best_cols;
+        best.cost = state.best_cost;
+        best.optimal = optimal;
+        Ok(best)
+    }
+
+    /// Removes, from a copy of the rows, every column whose row coverage
+    /// equals a cheaper-or-equal column's coverage.
+    fn merge_duplicate_columns(&self) -> Vec<BitSet> {
+        use std::collections::HashMap;
+        let mut col_rows: Vec<BitSet> = vec![BitSet::new(self.rows.len()); self.num_cols];
+        for (r, row) in self.rows.iter().enumerate() {
+            for c in row.iter() {
+                col_rows[c].insert(r);
+            }
+        }
+        let mut representative: HashMap<&BitSet, usize> = HashMap::new();
+        let mut drop: Vec<usize> = Vec::new();
+        for (c, rows_of_c) in col_rows.iter().enumerate() {
+            if rows_of_c.is_empty() {
+                continue;
+            }
+            match representative.get(rows_of_c) {
+                None => {
+                    representative.insert(rows_of_c, c);
+                }
+                Some(&keep) => {
+                    if self.weights[c] < self.weights[keep] {
+                        drop.push(keep);
+                        representative.insert(rows_of_c, c);
+                    } else {
+                        drop.push(c);
+                    }
+                }
+            }
+        }
+        let mut rows = self.rows.clone();
+        for row in &mut rows {
+            for &c in &drop {
+                row.remove(c);
+            }
+        }
+        rows
+    }
+}
+
+struct SearchState<'a> {
+    problem: &'a UnateProblem,
+    best_cost: u64,
+    best_cols: Vec<usize>,
+    nodes: &'a mut u64,
+    exhausted: bool,
+}
+
+impl SearchState<'_> {
+    /// Greedy maximal set of pairwise-disjoint rows; the sum of each such
+    /// row's cheapest column is a valid lower bound.
+    fn mis_lower_bound(&self, rows: &[BitSet]) -> u64 {
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&r| rows[r].count());
+        let mut used = BitSet::new(self.problem.num_cols);
+        let mut bound = 0u64;
+        for r in order {
+            if rows[r].is_disjoint(&used) {
+                used.union_with(&rows[r]);
+                bound += rows[r]
+                    .iter()
+                    .map(|c| self.problem.weights[c] as u64)
+                    .min()
+                    .unwrap_or(0);
+            }
+        }
+        bound
+    }
+
+    fn branch(
+        &mut self,
+        mut rows: Vec<BitSet>,
+        mut chosen: Vec<usize>,
+        mut cost: u64,
+        depth: usize,
+    ) {
+        *self.nodes += 1;
+        if *self.nodes > self.problem.node_limit {
+            self.exhausted = true;
+            return;
+        }
+        // Reduction loop.
+        loop {
+            if cost >= self.best_cost {
+                return;
+            }
+            if rows.is_empty() {
+                self.best_cost = cost;
+                self.best_cols = chosen;
+                return;
+            }
+            if rows.iter().any(|r| r.is_empty()) {
+                // Infeasible branch (can happen after column removal).
+                return;
+            }
+            // Essential columns: rows with a single column.
+            let mut changed = false;
+            if let Some(r) = rows.iter().position(|r| r.count() == 1) {
+                let c = rows[r].first().expect("count() == 1");
+                cost += self.problem.weights[c] as u64;
+                chosen.push(c);
+                rows.retain(|row| !row.contains(c));
+                changed = true;
+            }
+            if changed {
+                continue;
+            }
+            // Row dominance: a row that is a superset of another is
+            // implied by it.
+            let before = rows.len();
+            rows.sort_by_key(|r| r.count());
+            rows.dedup();
+            let mut keep = vec![true; rows.len()];
+            for i in 0..rows.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for j in (i + 1)..rows.len() {
+                    if keep[j] && rows[i].is_subset(&rows[j]) {
+                        keep[j] = false;
+                    }
+                }
+            }
+            let mut it = keep.iter();
+            rows.retain(|_| *it.next().unwrap());
+            if rows.len() != before {
+                continue;
+            }
+            // Column dominance (skipped for very wide problems): remove a
+            // column whose row set is a subset of a cheaper-or-equal
+            // column's row set.
+            let mut active = BitSet::new(self.problem.num_cols);
+            for r in &rows {
+                active.union_with(r);
+            }
+            let active_cols: Vec<usize> = active.iter().collect();
+            let limit = if depth == 0 {
+                COL_DOMINANCE_LIMIT
+            } else {
+                COL_DOMINANCE_LIMIT / 8
+            };
+            if active_cols.len() <= limit {
+                let mut col_rows: Vec<(usize, BitSet)> = active_cols
+                    .iter()
+                    .map(|&c| {
+                        let mut s = BitSet::new(rows.len());
+                        for (i, r) in rows.iter().enumerate() {
+                            if r.contains(c) {
+                                s.insert(i);
+                            }
+                        }
+                        (c, s)
+                    })
+                    .collect();
+                // Sort by descending row count so dominators come first.
+                col_rows.sort_by_key(|(_, rows)| std::cmp::Reverse(rows.count()));
+                let mut removed = Vec::new();
+                for i in 0..col_rows.len() {
+                    let (ci, ref si) = col_rows[i];
+                    if removed.contains(&ci) {
+                        continue;
+                    }
+                    for item in col_rows.iter().skip(i + 1) {
+                        let (cj, ref sj) = *item;
+                        if removed.contains(&cj) {
+                            continue;
+                        }
+                        if sj.is_subset(si) && self.problem.weights[ci] <= self.problem.weights[cj]
+                        {
+                            removed.push(cj);
+                        }
+                    }
+                }
+                if !removed.is_empty() {
+                    for row in &mut rows {
+                        for &c in &removed {
+                            row.remove(c);
+                        }
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        if rows.is_empty() {
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best_cols = chosen;
+            }
+            return;
+        }
+        // Lower bound.
+        if cost + self.mis_lower_bound(&rows) >= self.best_cost {
+            return;
+        }
+        // Branch on the columns of a shortest row: one of them must be in
+        // any cover.
+        let pivot = rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.count())
+            .map(|(i, _)| i)
+            .expect("rows non-empty");
+        let mut cols: Vec<usize> = rows[pivot].iter().collect();
+        // Try the most-covering column first for a quick strong bound.
+        cols.sort_by_key(|&c| std::cmp::Reverse(rows.iter().filter(|r| r.contains(c)).count()));
+        let mut excluded: Vec<usize> = Vec::new();
+        for c in cols {
+            let mut sub_rows: Vec<BitSet> =
+                rows.iter().filter(|r| !r.contains(c)).cloned().collect();
+            // Columns already tried at this node are excluded from the
+            // subtree (they would revisit the same covers).
+            for row in &mut sub_rows {
+                for &e in &excluded {
+                    row.remove(e);
+                }
+            }
+            let mut sub_chosen = chosen.clone();
+            sub_chosen.push(c);
+            self.branch(
+                sub_rows,
+                sub_chosen,
+                cost + self.problem.weights[c] as u64,
+                depth + 1,
+            );
+            if *self.nodes > self.problem.node_limit {
+                self.exhausted = true;
+                return;
+            }
+            excluded.push(c);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_problem_has_empty_cover() {
+        let p = UnateProblem::new(3);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 0);
+        assert!(sol.columns.is_empty());
+        assert!(sol.optimal);
+    }
+
+    #[test]
+    fn infeasible_row() {
+        let mut p = UnateProblem::new(2);
+        p.add_row([0]);
+        p.add_row(std::iter::empty());
+        assert_eq!(p.solve_exact(), Err(SolveError::Infeasible));
+        assert_eq!(p.solve_greedy(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn essential_column_is_forced() {
+        let mut p = UnateProblem::new(3);
+        p.add_row([2]);
+        p.add_row([0, 2]);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.columns, vec![2]);
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn weighted_prefers_cheap_pair() {
+        let mut p = UnateProblem::with_weights(vec![1, 10, 1]);
+        p.add_row([0, 1]);
+        p.add_row([1, 2]);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 2);
+        let mut cols = sol.columns;
+        cols.sort();
+        assert_eq!(cols, vec![0, 2]);
+    }
+
+    #[test]
+    fn unit_weights_prefer_single_column() {
+        let mut p = UnateProblem::new(3);
+        p.add_row([0, 1]);
+        p.add_row([1, 2]);
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.columns, vec![1]);
+    }
+
+    #[test]
+    fn greedy_is_feasible() {
+        let mut p = UnateProblem::new(5);
+        p.add_row([0, 1]);
+        p.add_row([1, 2]);
+        p.add_row([3]);
+        p.add_row([2, 4]);
+        let sol = p.solve_greedy().unwrap();
+        for r in 0..p.num_rows() {
+            assert!(sol.columns.iter().any(|&c| p.rows[r].contains(c)));
+        }
+    }
+
+    /// Brute force minimum cover by subset enumeration.
+    fn brute_force(p: &UnateProblem) -> Option<u64> {
+        let n = p.num_cols;
+        assert!(n <= 16);
+        let mut best: Option<u64> = None;
+        'outer: for mask in 0u32..(1 << n) {
+            for r in &p.rows {
+                if !r.iter().any(|c| mask & (1 << c) != 0) {
+                    continue 'outer;
+                }
+            }
+            let cost: u64 = (0..n)
+                .filter(|&c| mask & (1 << c) != 0)
+                .map(|c| p.weights[c] as u64)
+                .sum();
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+        best
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_fixed_cases() {
+        let cases: Vec<(usize, Vec<Vec<usize>>)> = vec![
+            (4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]),
+            (
+                5,
+                vec![
+                    vec![0, 1, 2],
+                    vec![2, 3],
+                    vec![3, 4],
+                    vec![0, 4],
+                    vec![1, 3],
+                ],
+            ),
+            (
+                6,
+                vec![vec![0], vec![1, 2], vec![2, 3, 4], vec![4, 5], vec![1, 5]],
+            ),
+        ];
+        for (n, rows) in cases {
+            let mut p = UnateProblem::new(n);
+            for r in rows {
+                p.add_row(r);
+            }
+            let sol = p.solve_exact().unwrap();
+            assert!(sol.optimal);
+            assert_eq!(Some(sol.cost), brute_force(&p));
+        }
+    }
+
+    #[test]
+    fn solution_covers_all_rows() {
+        let mut p = UnateProblem::new(8);
+        for i in 0..8 {
+            p.add_row([i, (i + 3) % 8]);
+        }
+        let sol = p.solve_exact().unwrap();
+        for r in &p.rows {
+            assert!(sol.columns.iter().any(|&c| r.contains(c)));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: the exact solvers against brute-force enumeration.
+
+use ioenc_cover::{BinateProblem, SolveError, UnateProblem};
+use proptest::prelude::*;
+
+const COLS: usize = 10;
+
+fn arb_unate() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<usize>>)> {
+    (
+        prop::collection::vec(1u32..8, COLS),
+        prop::collection::vec(prop::collection::vec(0..COLS, 1..4), 1..8),
+    )
+}
+
+fn unate_brute(weights: &[u32], rows: &[Vec<usize>]) -> u64 {
+    let mut best = u64::MAX;
+    'outer: for mask in 0u32..(1 << COLS) {
+        for r in rows {
+            if !r.iter().any(|&c| mask & (1 << c) != 0) {
+                continue 'outer;
+            }
+        }
+        let cost: u64 = (0..COLS)
+            .filter(|&c| mask & (1 << c) != 0)
+            .map(|c| weights[c] as u64)
+            .sum();
+        best = best.min(cost);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn unate_exact_is_optimal((weights, rows) in arb_unate()) {
+        let mut p = UnateProblem::with_weights(weights.clone());
+        for r in &rows {
+            p.add_row(r.iter().copied());
+        }
+        let sol = p.solve_exact().unwrap();
+        prop_assert!(sol.optimal);
+        prop_assert_eq!(sol.cost, unate_brute(&weights, &rows));
+        // And the returned columns really cover every row.
+        for r in &rows {
+            prop_assert!(r.iter().any(|c| sol.columns.contains(c)));
+        }
+        // Cost is consistent with the selected columns.
+        let recomputed: u64 = sol.columns.iter().map(|&c| weights[c] as u64).sum();
+        prop_assert_eq!(sol.cost, recomputed);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_not_better_than_exact((weights, rows) in arb_unate()) {
+        let mut p = UnateProblem::with_weights(weights.clone());
+        for r in &rows {
+            p.add_row(r.iter().copied());
+        }
+        let greedy = p.solve_greedy().unwrap();
+        let exact = p.solve_exact().unwrap();
+        prop_assert!(greedy.cost >= exact.cost);
+        for r in &rows {
+            prop_assert!(r.iter().any(|c| greedy.columns.contains(c)));
+        }
+    }
+
+    #[test]
+    fn binate_exact_matches_brute_force(
+        weights in prop::collection::vec(1u32..8, COLS),
+        clauses in prop::collection::vec(
+            (
+                prop::collection::vec(0..COLS, 0..3),
+                prop::collection::vec(0..COLS, 0..3),
+            ),
+            1..7,
+        )
+    ) {
+        let mut p = BinateProblem::with_weights(weights.clone());
+        for (pos, neg) in &clauses {
+            p.add_clause(pos.iter().copied(), neg.iter().copied());
+        }
+        // Brute force.
+        let mut best: Option<u64> = None;
+        'outer: for mask in 0u32..(1 << COLS) {
+            for (pos, neg) in &clauses {
+                let ok = pos.iter().any(|&c| mask & (1 << c) != 0)
+                    || neg.iter().any(|&c| mask & (1 << c) == 0);
+                if !ok {
+                    continue 'outer;
+                }
+            }
+            let cost: u64 = (0..COLS)
+                .filter(|&c| mask & (1 << c) != 0)
+                .map(|c| weights[c] as u64)
+                .sum();
+            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+        }
+        match p.solve_exact() {
+            Ok(sol) => {
+                prop_assert!(sol.optimal);
+                prop_assert_eq!(Some(sol.cost), best);
+                // Verify the returned assignment.
+                for (pos, neg) in &clauses {
+                    let ok = pos.iter().any(|c| sol.columns.contains(c))
+                        || neg.iter().any(|c| !sol.columns.contains(c));
+                    prop_assert!(ok);
+                }
+            }
+            Err(SolveError::Infeasible) => prop_assert_eq!(best, None),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+}

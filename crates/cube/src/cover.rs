@@ -1,0 +1,461 @@
+//! Covers: lists of cubes with the recursive operations (tautology,
+//! complement, containment) used by the minimizer.
+
+use crate::{Cube, VarSpec};
+use std::fmt;
+
+/// A sum of cubes over a shared [`VarSpec`].
+///
+/// The recursive operations ([`Cover::is_tautology`], [`Cover::complement`],
+/// [`Cover::contains_cube`]) use the classic unate-recursion paradigm: pick
+/// the "most binate" variable, Shannon-expand over its parts, and recurse.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_cube::{Cover, Cube, VarSpec};
+///
+/// let spec = VarSpec::binary(2);
+/// let f = Cover::from_cubes(
+///     spec.clone(),
+///     vec![
+///         Cube::parse(&spec, "1 -").unwrap(),
+///         Cube::parse(&spec, "0 -").unwrap(),
+///     ],
+/// );
+/// assert!(f.is_tautology());
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    spec: VarSpec,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// An empty cover (the constant-0 function).
+    pub fn empty(spec: VarSpec) -> Self {
+        Cover {
+            spec,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// A cover containing the universal cube (the constant-1 function).
+    pub fn universe(spec: VarSpec) -> Self {
+        let u = Cube::universe(&spec);
+        Cover {
+            spec,
+            cubes: vec![u],
+        }
+    }
+
+    /// Builds a cover from cubes; void cubes are dropped.
+    pub fn from_cubes(spec: VarSpec, cubes: Vec<Cube>) -> Self {
+        let mut c = Cover { spec, cubes };
+        c.cubes.retain(|q| {
+            let void = q.is_void(&c.spec);
+            !void
+        });
+        c
+    }
+
+    /// Parses a cover from lines of [`Cube::parse`] syntax; blank lines and
+    /// `#` comments are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cube-parsing errors with the line number attached.
+    pub fn parse(spec: &VarSpec, text: &str) -> Result<Self, String> {
+        let mut cubes = Vec::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            cubes.push(Cube::parse(spec, line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+        }
+        Ok(Cover::from_cubes(spec.clone(), cubes))
+    }
+
+    /// The variable spec.
+    pub fn spec(&self) -> &VarSpec {
+        &self.spec
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Mutable access to the cubes (void cubes the caller introduces are
+    /// its own responsibility).
+    pub fn cubes_mut(&mut self) -> &mut Vec<Cube> {
+        &mut self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// `true` if the cover has no cubes.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Appends a cube (ignored if void).
+    pub fn push(&mut self, cube: Cube) {
+        if !cube.is_void(&self.spec) {
+            self.cubes.push(cube);
+        }
+    }
+
+    /// Concatenates two covers over the same spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specs differ.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert!(self.spec == other.spec, "cover spec mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend(other.cubes.iter().cloned());
+        Cover {
+            spec: self.spec.clone(),
+            cubes,
+        }
+    }
+
+    /// Removes single-cube-contained cubes (absorption): any cube contained
+    /// in another cube of the cover is dropped. For a unate function this
+    /// yields the minimal sum-of-products.
+    pub fn single_cube_containment(&mut self) {
+        self.cubes.sort();
+        self.cubes.dedup();
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j && keep[j] && self.cubes[j].contains(&self.cubes[i]) {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut it = keep.iter();
+        self.cubes.retain(|_| *it.next().unwrap());
+    }
+
+    /// The cofactor of the cover with respect to cube `p`.
+    pub fn cofactor(&self, p: &Cube) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(&self.spec, p))
+            .collect();
+        Cover {
+            spec: self.spec.clone(),
+            cubes,
+        }
+    }
+
+    /// Chooses the splitting variable for unate recursion: the variable
+    /// with a non-full part field in the most cubes (ties broken toward
+    /// more parts). `None` when every cube is the universe or the cover is
+    /// empty.
+    fn splitting_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None; // (count, var)
+        for v in self.spec.vars() {
+            let count = self
+                .cubes
+                .iter()
+                .filter(|c| !c.var_is_full(&self.spec, v))
+                .count();
+            if count == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bc, bv)) => {
+                    count > bc || (count == bc && self.spec.parts(v) > self.spec.parts(bv))
+                }
+            };
+            if better {
+                best = Some((count, v));
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Tautology check: does the cover contain every minterm?
+    pub fn is_tautology(&self) -> bool {
+        if self.cubes.iter().any(|c| c.is_universe(&self.spec)) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Column check: a variable whose part-union over all cubes is not
+        // full leaves some minterm uncovered.
+        for v in self.spec.vars() {
+            for b in self.spec.var_range(v) {
+                if !self.cubes.iter().any(|c| c.bits().contains(b)) {
+                    return false;
+                }
+            }
+        }
+        let Some(v) = self.splitting_var() else {
+            // No splitting variable, no universal cube: only possible when
+            // there are no cubes, handled above.
+            return false;
+        };
+        for p in 0..self.spec.parts(v) {
+            let mut basis = Cube::universe(&self.spec);
+            for q in 0..self.spec.parts(v) {
+                if q != p {
+                    basis.clear_part(&self.spec, v, q);
+                }
+            }
+            if !self.cofactor(&basis).is_tautology() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Cube containment: is `c` completely covered by the cover?
+    pub fn contains_cube(&self, c: &Cube) -> bool {
+        if c.is_void(&self.spec) {
+            return true;
+        }
+        self.cofactor(c).is_tautology()
+    }
+
+    /// The complement of the cover, as a (containment-minimized) cover.
+    pub fn complement(&self) -> Cover {
+        let mut result = self.complement_rec();
+        result.single_cube_containment();
+        result
+    }
+
+    fn complement_rec(&self) -> Cover {
+        if self.cubes.is_empty() {
+            return Cover::universe(self.spec.clone());
+        }
+        if self.cubes.iter().any(|c| c.is_universe(&self.spec)) {
+            return Cover::empty(self.spec.clone());
+        }
+        if self.cubes.len() == 1 {
+            return self.complement_single(&self.cubes[0]);
+        }
+        let v = self
+            .splitting_var()
+            .expect("non-empty cover without universal cube has a splitting var");
+        let mut out = Cover::empty(self.spec.clone());
+        for p in 0..self.spec.parts(v) {
+            let mut basis = Cube::universe(&self.spec);
+            for q in 0..self.spec.parts(v) {
+                if q != p {
+                    basis.clear_part(&self.spec, v, q);
+                }
+            }
+            let sub = self.cofactor(&basis).complement_rec();
+            for c in sub.cubes {
+                if let Some(i) = c.intersection(&self.spec, &basis) {
+                    out.push(i);
+                }
+            }
+        }
+        out.single_cube_containment();
+        out
+    }
+
+    /// De Morgan complement of a single cube: one cube per non-full
+    /// variable, with that variable's parts inverted.
+    fn complement_single(&self, c: &Cube) -> Cover {
+        let mut out = Cover::empty(self.spec.clone());
+        for v in self.spec.vars() {
+            if c.var_is_full(&self.spec, v) {
+                continue;
+            }
+            let mut q = Cube::universe(&self.spec);
+            for p in 0..self.spec.parts(v) {
+                if c.part(&self.spec, v, p) {
+                    q.clear_part(&self.spec, v, p);
+                }
+            }
+            out.push(q);
+        }
+        out
+    }
+
+    /// Evaluates the cover on a minterm.
+    pub fn contains_minterm(&self, values: &[usize]) -> bool {
+        self.cubes
+            .iter()
+            .any(|c| c.contains_minterm(&self.spec, values))
+    }
+
+    /// Total input literals over the first `vars` variables (see
+    /// [`Cube::literal_count`]).
+    pub fn literal_count(&self, vars: usize) -> usize {
+        self.cubes
+            .iter()
+            .map(|c| c.literal_count(&self.spec, vars))
+            .sum()
+    }
+
+    /// Iterates over all minterms of the domain (for exhaustive testing of
+    /// small covers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain has more than 2^24 minterms.
+    pub fn enumerate_minterms(spec: &VarSpec) -> Vec<Vec<usize>> {
+        assert!(
+            spec.domain_size() <= 1 << 24,
+            "domain too large to enumerate"
+        );
+        let mut out = Vec::new();
+        let mut current = vec![0usize; spec.num_vars()];
+        loop {
+            out.push(current.clone());
+            let mut v = 0;
+            loop {
+                if v == spec.num_vars() {
+                    return out;
+                }
+                current[v] += 1;
+                if current[v] < spec.parts(v) {
+                    break;
+                }
+                current[v] = 0;
+                v += 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cover[{} cubes]", self.cubes.len())?;
+        for c in &self.cubes {
+            writeln!(f, "  {}", c.display(&self.spec))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bcover(n: usize, lines: &[&str]) -> Cover {
+        let spec = VarSpec::binary(n);
+        Cover::from_cubes(
+            spec.clone(),
+            lines
+                .iter()
+                .map(|l| Cube::parse(&spec, l).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn tautology_basic() {
+        assert!(bcover(2, &["1 -", "0 -"]).is_tautology());
+        assert!(!bcover(2, &["1 -", "0 0"]).is_tautology());
+        assert!(bcover(1, &["-"]).is_tautology());
+        assert!(!Cover::empty(VarSpec::binary(2)).is_tautology());
+        assert!(Cover::universe(VarSpec::binary(3)).is_tautology());
+    }
+
+    #[test]
+    fn tautology_xor_parity() {
+        // x0 xor x1 plus its complement is a tautology.
+        assert!(bcover(2, &["1 0", "0 1", "1 1", "0 0"]).is_tautology());
+        assert!(!bcover(2, &["1 0", "0 1", "1 1"]).is_tautology());
+    }
+
+    #[test]
+    fn tautology_multivalued() {
+        let spec = VarSpec::new(vec![3, 2]);
+        let f = Cover::parse(&spec, "100 11\n010 11\n001 11").unwrap();
+        assert!(f.is_tautology());
+        let g = Cover::parse(&spec, "100 11\n010 11\n001 10").unwrap();
+        assert!(!g.is_tautology());
+    }
+
+    #[test]
+    fn complement_matches_semantics() {
+        let spec = VarSpec::new(vec![2, 3, 2]);
+        let f = Cover::parse(&spec, "10 110 11\n11 011 01\n01 100 10").unwrap();
+        let g = f.complement();
+        for m in Cover::enumerate_minterms(&spec) {
+            assert_ne!(
+                f.contains_minterm(&m),
+                g.contains_minterm(&m),
+                "disagreement at {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_edge_cases() {
+        let spec = VarSpec::binary(2);
+        assert!(Cover::empty(spec.clone()).complement().is_tautology());
+        assert!(Cover::universe(spec.clone()).complement().is_empty());
+        // Single cube: complement of x0 x1 is x0' + x1'.
+        let f = bcover(2, &["1 1"]);
+        let g = f.complement();
+        assert_eq!(g.len(), 2);
+        for m in Cover::enumerate_minterms(&spec) {
+            assert_ne!(f.contains_minterm(&m), g.contains_minterm(&m));
+        }
+    }
+
+    #[test]
+    fn scc_removes_contained() {
+        let mut f = bcover(2, &["1 1", "1 -", "1 1", "0 0"]);
+        f.single_cube_containment();
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn contains_cube_via_tautology() {
+        let f = bcover(2, &["1 0", "0 -"]);
+        let spec = VarSpec::binary(2);
+        assert!(f.contains_cube(&Cube::parse(&spec, "- 0").unwrap()));
+        assert!(!f.contains_cube(&Cube::parse(&spec, "1 -").unwrap()));
+    }
+
+    #[test]
+    fn parse_skips_comments() {
+        let spec = VarSpec::binary(2);
+        let f = Cover::parse(&spec, "# header\n1 1\n\n0 0\n").unwrap();
+        assert_eq!(f.len(), 2);
+        assert!(Cover::parse(&spec, "1").is_err());
+    }
+
+    #[test]
+    fn union_and_push() {
+        let spec = VarSpec::binary(2);
+        let a = bcover(2, &["1 1"]);
+        let b = bcover(2, &["0 0"]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        let mut c = Cover::empty(spec.clone());
+        let mut void = Cube::universe(&spec);
+        void.clear_part(&spec, 0, 0);
+        void.clear_part(&spec, 0, 1);
+        c.push(void);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn enumerate_minterms_counts() {
+        let spec = VarSpec::new(vec![2, 3]);
+        assert_eq!(Cover::enumerate_minterms(&spec).len(), 6);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Multi-valued cube calculus in *positional cube notation*.
+//!
+//! This crate is the algebraic substrate for the two-level minimizer in
+//! `ioenc-espresso` and for the cost-function evaluation of the encoding
+//! framework (Section 7 of Saldanha et al.). A function over multi-valued
+//! variables is represented as a [`Cover`] — a list of [`Cube`]s — where each
+//! variable contributes one *part field*: a group of bits, one per value the
+//! variable can take. A bit set to 1 means the cube admits that value.
+//!
+//! Binary variables are two-part multi-valued variables (part 0 is the
+//! complemented literal, part 1 the positive literal); a full part field
+//! (`11`) is a don't-care on that variable. Multiple-output functions are
+//! modelled, as in ESPRESSO-MV, with one extra multi-valued variable whose
+//! parts are the outputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use ioenc_cube::{Cover, Cube, VarSpec};
+//!
+//! // f(a, b) = a'b + ab' + ab  == a + b
+//! let spec = VarSpec::binary(2);
+//! let cover = Cover::from_cubes(
+//!     spec.clone(),
+//!     vec![
+//!         Cube::parse(&spec, "01 10").unwrap(),
+//!         Cube::parse(&spec, "10 01").unwrap(),
+//!         Cube::parse(&spec, "10 10").unwrap(),
+//!     ],
+//! );
+//! assert!(!cover.is_tautology());
+//! assert_eq!(cover.complement().len(), 1); // a'b'
+//! ```
+
+mod cover;
+mod cube;
+mod spec;
+
+pub use cover::Cover;
+pub use cube::Cube;
+pub use spec::VarSpec;

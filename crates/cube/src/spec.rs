@@ -1,0 +1,156 @@
+//! Variable specifications: how many parts each multi-valued variable has.
+
+use std::fmt;
+
+/// The shape of a multi-valued function domain: one entry per variable
+/// giving its number of parts (values).
+///
+/// Binary variables have two parts. The spec also precomputes the bit
+/// offset of every variable within a cube's bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_cube::VarSpec;
+///
+/// let spec = VarSpec::new(vec![2, 2, 4]);
+/// assert_eq!(spec.num_vars(), 3);
+/// assert_eq!(spec.total_bits(), 8);
+/// assert_eq!(spec.offset(2), 4);
+/// assert_eq!(spec.parts(2), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VarSpec {
+    parts: Vec<usize>,
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl VarSpec {
+    /// Creates a spec from per-variable part counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable has fewer than 2 parts (a 0/1-part variable
+    /// carries no information and would make several identities vacuous).
+    pub fn new(parts: Vec<usize>) -> Self {
+        assert!(
+            parts.iter().all(|&p| p >= 2),
+            "every multi-valued variable needs at least 2 parts"
+        );
+        let mut offsets = Vec::with_capacity(parts.len());
+        let mut total = 0;
+        for &p in &parts {
+            offsets.push(total);
+            total += p;
+        }
+        VarSpec {
+            parts,
+            offsets,
+            total,
+        }
+    }
+
+    /// A spec of `n` binary (two-part) variables.
+    pub fn binary(n: usize) -> Self {
+        Self::new(vec![2; n])
+    }
+
+    /// `n` binary input variables followed by one `outputs`-part output
+    /// variable — the standard multiple-output PLA shape.
+    pub fn binary_with_output(n: usize, outputs: usize) -> Self {
+        let mut parts = vec![2; n];
+        parts.push(outputs);
+        Self::new(parts)
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of parts of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn parts(&self, v: usize) -> usize {
+        self.parts[v]
+    }
+
+    /// Bit offset of variable `v`'s part field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn offset(&self, v: usize) -> usize {
+        self.offsets[v]
+    }
+
+    /// Total bits in a cube over this spec.
+    #[inline]
+    pub fn total_bits(&self) -> usize {
+        self.total
+    }
+
+    /// The bit range of variable `v`'s part field.
+    #[inline]
+    pub fn var_range(&self, v: usize) -> std::ops::Range<usize> {
+        let o = self.offsets[v];
+        o..o + self.parts[v]
+    }
+
+    /// Iterates over variable indices.
+    pub fn vars(&self) -> std::ops::Range<usize> {
+        0..self.parts.len()
+    }
+
+    /// Number of minterms in the whole domain (product of part counts).
+    ///
+    /// Saturates at `u64::MAX` for very large domains.
+    pub fn domain_size(&self) -> u64 {
+        self.parts
+            .iter()
+            .fold(1u64, |acc, &p| acc.saturating_mul(p as u64))
+    }
+}
+
+impl fmt::Debug for VarSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VarSpec{:?}", self.parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_and_ranges() {
+        let s = VarSpec::new(vec![2, 3, 2]);
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.total_bits(), 7);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 2);
+        assert_eq!(s.offset(2), 5);
+        assert_eq!(s.var_range(1), 2..5);
+        assert_eq!(s.domain_size(), 12);
+    }
+
+    #[test]
+    fn binary_with_output_shape() {
+        let s = VarSpec::binary_with_output(3, 5);
+        assert_eq!(s.num_vars(), 4);
+        assert_eq!(s.parts(3), 5);
+        assert_eq!(s.total_bits(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 parts")]
+    fn rejects_single_part_variable() {
+        VarSpec::new(vec![2, 1]);
+    }
+}

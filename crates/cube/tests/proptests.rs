@@ -1,0 +1,119 @@
+//! Property tests: cube/cover algebra against exhaustive minterm semantics.
+
+use ioenc_cube::{Cover, Cube, VarSpec};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = VarSpec> {
+    prop::collection::vec(2usize..4, 1..4).prop_map(VarSpec::new)
+}
+
+fn arb_cube(spec: VarSpec) -> impl Strategy<Value = Cube> {
+    let total = spec.total_bits();
+    prop::collection::vec(prop::bool::ANY, total).prop_map(move |bits| {
+        let mut c = Cube::universe(&spec);
+        for v in spec.vars() {
+            let range = spec.var_range(v);
+            // Keep at least one part set so cubes are rarely void.
+            let mut any = false;
+            for (k, b) in range.clone().enumerate() {
+                if !bits[b] {
+                    if k + 1 == spec.parts(v) && !any {
+                        continue;
+                    }
+                    c.clear_part(&spec, v, k);
+                } else {
+                    any = true;
+                }
+            }
+        }
+        c
+    })
+}
+
+fn spec_and_cover() -> impl Strategy<Value = (VarSpec, Cover)> {
+    arb_spec().prop_flat_map(|spec| {
+        let s2 = spec.clone();
+        prop::collection::vec(arb_cube(spec.clone()), 0..6)
+            .prop_map(move |cubes| (s2.clone(), Cover::from_cubes(s2.clone(), cubes)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tautology_matches_enumeration((spec, cover) in spec_and_cover()) {
+        let want = Cover::enumerate_minterms(&spec)
+            .iter()
+            .all(|m| cover.contains_minterm(m));
+        prop_assert_eq!(cover.is_tautology(), want);
+    }
+
+    #[test]
+    fn complement_matches_enumeration((spec, cover) in spec_and_cover()) {
+        let comp = cover.complement();
+        for m in Cover::enumerate_minterms(&spec) {
+            prop_assert_ne!(cover.contains_minterm(&m), comp.contains_minterm(&m));
+        }
+    }
+
+    #[test]
+    fn intersection_matches_enumeration((spec, cover) in spec_and_cover()) {
+        if cover.len() >= 2 {
+            let a = &cover.cubes()[0];
+            let b = &cover.cubes()[1];
+            let i = a.intersection(&spec, b);
+            for m in Cover::enumerate_minterms(&spec) {
+                let in_both = a.contains_minterm(&spec, &m) && b.contains_minterm(&spec, &m);
+                let in_i = i.as_ref().is_some_and(|c| c.contains_minterm(&spec, &m));
+                prop_assert_eq!(in_both, in_i);
+            }
+        }
+    }
+
+    #[test]
+    fn containment_matches_enumeration((spec, cover) in spec_and_cover()) {
+        if !cover.is_empty() {
+            let c = &cover.cubes()[0];
+            let want = Cover::enumerate_minterms(&spec)
+                .iter()
+                .filter(|m| c.contains_minterm(&spec, m))
+                .all(|m| cover.contains_minterm(m));
+            prop_assert_eq!(cover.contains_cube(c), want);
+        }
+    }
+
+    #[test]
+    fn scc_preserves_semantics((spec, cover) in spec_and_cover()) {
+        let mut reduced = cover.clone();
+        reduced.single_cube_containment();
+        for m in Cover::enumerate_minterms(&spec) {
+            prop_assert_eq!(cover.contains_minterm(&m), reduced.contains_minterm(&m));
+        }
+    }
+
+    #[test]
+    fn supercube_contains_both((spec, cover) in spec_and_cover()) {
+        if cover.len() >= 2 {
+            let a = &cover.cubes()[0];
+            let b = &cover.cubes()[1];
+            let s = a.supercube(b);
+            prop_assert!(s.contains(a));
+            prop_assert!(s.contains(b));
+        }
+        let _ = spec;
+    }
+
+    #[test]
+    fn consensus_is_implied((spec, cover) in spec_and_cover()) {
+        if cover.len() >= 2 {
+            let a = cover.cubes()[0].clone();
+            let b = cover.cubes()[1].clone();
+            if let Some(c) = a.consensus(&spec, &b) {
+                // The consensus is covered by a + b.
+                let ab = Cover::from_cubes(spec.clone(), vec![a, b]);
+                prop_assert!(ab.contains_cube(&c));
+            }
+        }
+    }
+}

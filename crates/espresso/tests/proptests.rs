@@ -1,0 +1,132 @@
+//! Property tests: minimization preserves semantics on random functions.
+
+use ioenc_cube::{Cover, Cube, VarSpec};
+use ioenc_espresso::{exact_minimize, expand, irredundant, minimize, reduce};
+use proptest::prelude::*;
+
+fn arb_spec() -> impl Strategy<Value = VarSpec> {
+    prop_oneof![
+        (1usize..4).prop_map(VarSpec::binary),
+        prop::collection::vec(2usize..4, 1..3).prop_map(VarSpec::new),
+    ]
+}
+
+fn arb_cube(spec: VarSpec) -> impl Strategy<Value = Cube> {
+    let total = spec.total_bits();
+    prop::collection::vec(0.3f64..1.0, total).prop_map(move |probs| {
+        let mut c = Cube::universe(&spec);
+        for v in spec.vars() {
+            let mut cleared = 0;
+            let parts = spec.parts(v);
+            for p in 0..parts {
+                if probs[spec.offset(v) + p] < 0.55 && cleared + 1 < parts {
+                    c.clear_part(&spec, v, p);
+                    cleared += 1;
+                }
+            }
+        }
+        c
+    })
+}
+
+fn on_dc() -> impl Strategy<Value = (Cover, Cover)> {
+    arb_spec().prop_flat_map(|spec| {
+        let s1 = spec.clone();
+        let s2 = spec.clone();
+        (
+            prop::collection::vec(arb_cube(spec.clone()), 0..5),
+            prop::collection::vec(arb_cube(spec), 0..3),
+        )
+            .prop_map(move |(on, dc)| {
+                (
+                    Cover::from_cubes(s1.clone(), on),
+                    Cover::from_cubes(s2.clone(), dc),
+                )
+            })
+    })
+}
+
+fn semantics_preserved(on: &Cover, dc: &Cover, m: &Cover) -> Result<(), TestCaseError> {
+    for mt in Cover::enumerate_minterms(on.spec()) {
+        let in_on = on.contains_minterm(&mt);
+        let in_dc = dc.contains_minterm(&mt);
+        let in_m = m.contains_minterm(&mt);
+        if in_on && !in_dc {
+            prop_assert!(in_m, "lost on-set minterm {mt:?}");
+        }
+        if !in_on && !in_dc {
+            prop_assert!(!in_m, "gained off-set minterm {mt:?}");
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn minimize_preserves_semantics((on, dc) in on_dc()) {
+        let m = minimize(&on, &dc, None);
+        semantics_preserved(&on, &dc, &m)?;
+    }
+
+    #[test]
+    fn minimize_never_grows_cube_count((on, dc) in on_dc()) {
+        let mut scc = on.clone();
+        scc.single_cube_containment();
+        let m = minimize(&on, &dc, None);
+        prop_assert!(m.len() <= scc.len(), "{} > {}", m.len(), scc.len());
+    }
+
+    #[test]
+    fn expand_covers_original_and_avoids_off((on, dc) in on_dc()) {
+        let off = on.union(&dc).complement();
+        let e = expand(&on, &off);
+        for c in on.cubes() {
+            prop_assert!(e.cubes().iter().any(|p| p.contains(c)));
+        }
+        for c in e.cubes() {
+            for o in off.cubes() {
+                prop_assert!(c.distance(on.spec(), o) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn irredundant_preserves_function((on, dc) in on_dc()) {
+        let r = irredundant(&on, &dc);
+        // F ∪ D unchanged.
+        for mt in Cover::enumerate_minterms(on.spec()) {
+            let before = on.contains_minterm(&mt) || dc.contains_minterm(&mt);
+            let after = r.contains_minterm(&mt) || dc.contains_minterm(&mt);
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn reduce_preserves_function((on, dc) in on_dc()) {
+        let r = reduce(&on, &dc);
+        for mt in Cover::enumerate_minterms(on.spec()) {
+            let before = on.contains_minterm(&mt) || dc.contains_minterm(&mt);
+            let after = r.contains_minterm(&mt) || dc.contains_minterm(&mt);
+            prop_assert_eq!(before, after);
+        }
+    }
+
+    #[test]
+    fn heuristic_is_valid_and_no_better_than_exact((on, dc) in on_dc()) {
+        let heur = minimize(&on, &dc, None);
+        let exact = exact_minimize(&on, &dc);
+        semantics_preserved(&on, &dc, &exact)?;
+        prop_assert!(heur.len() >= exact.len(),
+            "heuristic {} cubes < exact {}", heur.len(), exact.len());
+    }
+
+    #[test]
+    fn minimize_idempotent_on_result((on, dc) in on_dc()) {
+        let m = minimize(&on, &dc, None);
+        let m2 = minimize(&m, &dc, None);
+        prop_assert!(m2.len() <= m.len());
+        semantics_preserved(&m, &dc, &m2)?;
+    }
+}

@@ -1,0 +1,657 @@
+//! FSM model and KISS2 format support.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// One symbolic transition: on `input` (a cube over the primary inputs),
+/// state `from` moves to state `to` asserting `output`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Input literals; `None` is a don't-care (`-`).
+    pub input: Vec<Option<bool>>,
+    /// Present-state index.
+    pub from: usize,
+    /// Next-state index.
+    pub to: usize,
+    /// Output literals; `None` is an unspecified output (`-`).
+    pub output: Vec<Option<bool>>,
+}
+
+/// Diagnostics from [`Fsm::validate`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsmDiagnostics {
+    /// Pairs of transition indices that overlap on (input, present state)
+    /// but disagree on the next state.
+    pub nondeterministic: Vec<(usize, usize)>,
+    /// States whose outgoing transitions do not cover the input space
+    /// (only populated when completeness checking was requested).
+    pub incomplete: Vec<usize>,
+}
+
+impl FsmDiagnostics {
+    /// `true` when no nondeterminism was found (incompleteness is legal in
+    /// KISS2 and does not fail validation).
+    pub fn is_deterministic(&self) -> bool {
+        self.nondeterministic.is_empty()
+    }
+}
+
+/// A finite state machine over symbolic states (the KISS2 model).
+///
+/// States are dense indices with names; transitions carry input cubes and
+/// output cubes exactly as in a `.kiss2` file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    states: Vec<String>,
+    reset: Option<usize>,
+    transitions: Vec<Transition>,
+    input_labels: Option<Vec<String>>,
+    output_labels: Option<Vec<String>>,
+}
+
+impl Fsm {
+    /// An FSM with no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if state names repeat.
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        states: Vec<String>,
+    ) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for s in &states {
+            assert!(seen.insert(s.clone()), "duplicate state name '{s}'");
+        }
+        Fsm {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            states,
+            reset: None,
+            transitions: Vec::new(),
+            input_labels: None,
+            output_labels: None,
+        }
+    }
+
+    /// Input signal names (`.ilb`), when declared.
+    pub fn input_labels(&self) -> Option<&[String]> {
+        self.input_labels.as_deref()
+    }
+
+    /// Output signal names (`.ob`), when declared.
+    pub fn output_labels(&self) -> Option<&[String]> {
+        self.output_labels.as_deref()
+    }
+
+    /// Declares input signal names (`.ilb`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs from the input width.
+    pub fn set_input_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.num_inputs, "one label per input");
+        self.input_labels = Some(labels);
+    }
+
+    /// Declares output signal names (`.ob`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs from the output width.
+    pub fn set_output_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.num_outputs, "one label per output");
+        self.output_labels = Some(labels);
+    }
+
+    /// Checks determinism and completeness: for every state, returns the
+    /// pairs of overlapping transitions that disagree on the next state
+    /// (nondeterminism witnesses), and the states whose transitions leave
+    /// part of the input space unspecified (when `check_complete`).
+    ///
+    /// KISS2 allows incompletely specified machines, so incompleteness is
+    /// reported separately from the hard nondeterminism errors.
+    pub fn validate(&self, check_complete: bool) -> FsmDiagnostics {
+        let mut nondeterministic: Vec<(usize, usize)> = Vec::new();
+        for (i, a) in self.transitions.iter().enumerate() {
+            for (j, b) in self.transitions.iter().enumerate().skip(i + 1) {
+                if a.from != b.from || a.to == b.to {
+                    continue;
+                }
+                let overlap = a.input.iter().zip(&b.input).all(|(x, y)| match (x, y) {
+                    (Some(p), Some(q)) => p == q,
+                    _ => true,
+                });
+                if overlap {
+                    nondeterministic.push((i, j));
+                }
+            }
+        }
+        let mut incomplete: Vec<usize> = Vec::new();
+        if check_complete && self.num_inputs <= 20 {
+            for s in 0..self.states.len() {
+                let cubes: Vec<&Vec<Option<bool>>> =
+                    self.transitions_from(s).map(|t| &t.input).collect();
+                let covered = (0..(1usize << self.num_inputs)).all(|m| {
+                    cubes.iter().any(|c| {
+                        c.iter().enumerate().all(|(v, l)| match l {
+                            None => true,
+                            Some(b) => *b == (m >> v & 1 == 1),
+                        })
+                    })
+                });
+                if !covered {
+                    incomplete.push(s);
+                }
+            }
+        }
+        FsmDiagnostics {
+            nondeterministic,
+            incomplete,
+        }
+    }
+
+    /// The machine's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// State names, indexed by state.
+    pub fn state_names(&self) -> &[String] {
+        &self.states
+    }
+
+    /// The name of state `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn state_name(&self, s: usize) -> &str {
+        &self.states[s]
+    }
+
+    /// Looks a state up by name.
+    pub fn state(&self, name: &str) -> Option<usize> {
+        self.states.iter().position(|s| s == name)
+    }
+
+    /// The reset state, when declared (`.r`).
+    pub fn reset(&self) -> Option<usize> {
+        self.reset
+    }
+
+    /// Declares the reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn set_reset(&mut self, s: usize) {
+        assert!(s < self.states.len(), "reset state out of range");
+        self.reset = Some(s);
+    }
+
+    /// The transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Adds a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a state index or a cube width is out of range.
+    pub fn add_transition(&mut self, t: Transition) {
+        assert!(t.from < self.states.len(), "present state out of range");
+        assert!(t.to < self.states.len(), "next state out of range");
+        assert_eq!(t.input.len(), self.num_inputs, "input width mismatch");
+        assert_eq!(t.output.len(), self.num_outputs, "output width mismatch");
+        self.transitions.push(t);
+    }
+
+    /// Transitions leaving state `s`.
+    pub fn transitions_from(&self, s: usize) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == s)
+    }
+
+    /// Transitions entering state `s`.
+    pub fn transitions_into(&self, s: usize) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.to == s)
+    }
+
+    /// Parses a KISS2 description (directives `.i .o .p .s .r .e`; state
+    /// names are discovered from the transition lines in order of first
+    /// appearance when no `.s`-declared names exist — KISS2 has no name
+    /// list, so discovery is always used and `.s`/`.p` are checked).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending line for malformed input.
+    pub fn parse_kiss2(text: &str) -> Result<Fsm, String> {
+        let mut num_inputs: Option<usize> = None;
+        let mut num_outputs: Option<usize> = None;
+        let mut declared_products: Option<usize> = None;
+        let mut declared_states: Option<usize> = None;
+        let mut reset_name: Option<String> = None;
+        let mut input_labels: Option<Vec<String>> = None;
+        let mut output_labels: Option<Vec<String>> = None;
+        let mut raw: Vec<(String, String, String, String)> = Vec::new();
+
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: &str| format!("line {}: {m}", ln + 1);
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut it = rest.split_whitespace();
+                let key = it.next().unwrap_or("");
+                let value = it.next();
+                match key {
+                    "i" => {
+                        num_inputs = Some(
+                            value
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err("bad .i"))?,
+                        )
+                    }
+                    "o" => {
+                        num_outputs = Some(
+                            value
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err("bad .o"))?,
+                        )
+                    }
+                    "p" => {
+                        declared_products = Some(
+                            value
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err("bad .p"))?,
+                        )
+                    }
+                    "s" => {
+                        declared_states = Some(
+                            value
+                                .and_then(|v| v.parse().ok())
+                                .ok_or_else(|| err("bad .s"))?,
+                        )
+                    }
+                    "r" => reset_name = value.map(|v| v.to_string()),
+                    "ilb" => {
+                        let mut labels: Vec<String> =
+                            value.map(|v| v.to_string()).into_iter().collect();
+                        labels.extend(it.map(|v| v.to_string()));
+                        input_labels = Some(labels);
+                    }
+                    "ob" => {
+                        let mut labels: Vec<String> =
+                            value.map(|v| v.to_string()).into_iter().collect();
+                        labels.extend(it.map(|v| v.to_string()));
+                        output_labels = Some(labels);
+                    }
+                    "e" | "end" => break,
+                    _ => return Err(err(&format!("unknown directive '.{key}'"))),
+                }
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 4 {
+                return Err(err("expected 'input from to output'"));
+            }
+            raw.push((
+                fields[0].to_string(),
+                fields[1].to_string(),
+                fields[2].to_string(),
+                fields[3].to_string(),
+            ));
+        }
+
+        let ni = num_inputs.ok_or("missing .i directive")?;
+        let no = num_outputs.ok_or("missing .o directive")?;
+        // Discover states in order of first appearance.
+        let mut names: Vec<String> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let intern = |name: &str, names: &mut Vec<String>, index: &mut HashMap<String, usize>| {
+            *index.entry(name.to_string()).or_insert_with(|| {
+                names.push(name.to_string());
+                names.len() - 1
+            })
+        };
+        let mut transitions = Vec::new();
+        for (i, f, t, o) in &raw {
+            let parse_cube = |s: &str, width: usize| -> Result<Vec<Option<bool>>, String> {
+                if s.len() != width {
+                    return Err(format!("cube '{s}' has width {} (want {width})", s.len()));
+                }
+                s.chars()
+                    .map(|c| match c {
+                        '0' => Ok(Some(false)),
+                        '1' => Ok(Some(true)),
+                        '-' | '~' | '2' => Ok(None),
+                        c => Err(format!("bad cube character '{c}'")),
+                    })
+                    .collect()
+            };
+            let input = parse_cube(i, ni)?;
+            let output = parse_cube(o, no)?;
+            let from = intern(f, &mut names, &mut index);
+            let to = intern(t, &mut names, &mut index);
+            transitions.push(Transition {
+                input,
+                from,
+                to,
+                output,
+            });
+        }
+        if let Some(s) = declared_states {
+            if s != names.len() {
+                return Err(format!(".s declares {s} states but {} appear", names.len()));
+            }
+        }
+        if let Some(p) = declared_products {
+            if p != transitions.len() {
+                return Err(format!(
+                    ".p declares {p} products but {} appear",
+                    transitions.len()
+                ));
+            }
+        }
+        let mut fsm = Fsm::new("kiss2", ni, no, names);
+        if let Some(labels) = input_labels {
+            if labels.len() != ni {
+                return Err(format!(
+                    ".ilb declares {} names for {ni} inputs",
+                    labels.len()
+                ));
+            }
+            fsm.set_input_labels(labels);
+        }
+        if let Some(labels) = output_labels {
+            if labels.len() != no {
+                return Err(format!(
+                    ".ob declares {} names for {no} outputs",
+                    labels.len()
+                ));
+            }
+            fsm.set_output_labels(labels);
+        }
+        for t in transitions {
+            fsm.add_transition(t);
+        }
+        if let Some(r) = reset_name {
+            let s = fsm
+                .state(&r)
+                .ok_or_else(|| format!("reset state '{r}' never appears"))?;
+            fsm.set_reset(s);
+        }
+        Ok(fsm)
+    }
+
+    /// Prints the machine in KISS2 format (inverse of
+    /// [`Fsm::parse_kiss2`]).
+    pub fn to_kiss2(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(".i {}\n", self.num_inputs));
+        out.push_str(&format!(".o {}\n", self.num_outputs));
+        if let Some(labels) = &self.input_labels {
+            out.push_str(&format!(".ilb {}\n", labels.join(" ")));
+        }
+        if let Some(labels) = &self.output_labels {
+            out.push_str(&format!(".ob {}\n", labels.join(" ")));
+        }
+        out.push_str(&format!(".p {}\n", self.transitions.len()));
+        out.push_str(&format!(".s {}\n", self.states.len()));
+        if let Some(r) = self.reset {
+            out.push_str(&format!(".r {}\n", self.states[r]));
+        }
+        let cube = |lits: &[Option<bool>]| -> String {
+            lits.iter()
+                .map(|l| match l {
+                    Some(false) => '0',
+                    Some(true) => '1',
+                    None => '-',
+                })
+                .collect()
+        };
+        for t in &self.transitions {
+            out.push_str(&format!(
+                "{} {} {} {}\n",
+                cube(&t.input),
+                self.states[t.from],
+                self.states[t.to],
+                cube(&t.output)
+            ));
+        }
+        out.push_str(".e\n");
+        out
+    }
+
+    /// Renames the machine.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+}
+
+impl fmt::Display for Fsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} states, {} inputs, {} outputs, {} transitions",
+            self.name,
+            self.states.len(),
+            self.num_inputs,
+            self.num_outputs,
+            self.transitions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny machine
+.i 2
+.o 1
+.p 4
+.s 3
+.r st0
+00 st0 st0 0
+01 st0 st1 0
+1- st1 st2 1
+-- st2 st0 -
+.e
+";
+
+    #[test]
+    fn parse_sample() {
+        let fsm = Fsm::parse_kiss2(SAMPLE).unwrap();
+        assert_eq!(fsm.num_inputs(), 2);
+        assert_eq!(fsm.num_outputs(), 1);
+        assert_eq!(fsm.num_states(), 3);
+        assert_eq!(fsm.transitions().len(), 4);
+        assert_eq!(fsm.reset(), Some(0));
+        assert_eq!(fsm.state("st2"), Some(2));
+        let t = &fsm.transitions()[2];
+        assert_eq!(t.input, vec![Some(true), None]);
+        assert_eq!(t.from, 1);
+        assert_eq!(t.to, 2);
+        assert_eq!(t.output, vec![Some(true)]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let fsm = Fsm::parse_kiss2(SAMPLE).unwrap();
+        let text = fsm.to_kiss2();
+        let again = Fsm::parse_kiss2(&text).unwrap();
+        assert_eq!(fsm.transitions(), again.transitions());
+        assert_eq!(fsm.state_names(), again.state_names());
+        assert_eq!(fsm.reset(), again.reset());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Fsm::parse_kiss2(".o 1\n.e\n").is_err()); // missing .i
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\n0 a\n.e\n").is_err()); // short line
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\n00 a b 1\n.e\n").is_err()); // wide cube
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\nx a b 1\n.e\n").is_err()); // bad char
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.s 5\n0 a b 1\n.e\n").is_err()); // state count
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.r q\n0 a b 1\n.e\n").is_err()); // unknown reset
+        assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.z 3\n.e\n").is_err()); // directive
+    }
+
+    #[test]
+    fn transitions_from_and_into() {
+        let fsm = Fsm::parse_kiss2(SAMPLE).unwrap();
+        assert_eq!(fsm.transitions_from(0).count(), 2);
+        assert_eq!(fsm.transitions_into(0).count(), 2);
+        assert_eq!(fsm.transitions_from(2).count(), 1);
+    }
+
+    #[test]
+    fn builder_validation() {
+        let mut fsm = Fsm::new("t", 1, 1, vec!["a".into(), "b".into()]);
+        fsm.add_transition(Transition {
+            input: vec![None],
+            from: 0,
+            to: 1,
+            output: vec![Some(true)],
+        });
+        assert_eq!(fsm.transitions().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn builder_rejects_bad_width() {
+        let mut fsm = Fsm::new("t", 2, 1, vec!["a".into()]);
+        fsm.add_transition(Transition {
+            input: vec![None],
+            from: 0,
+            to: 0,
+            output: vec![None],
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate state name")]
+    fn duplicate_states_rejected() {
+        Fsm::new("t", 1, 1, vec!["a".into(), "a".into()]);
+    }
+
+    const LABELLED: &str = "\
+.i 2
+.o 2
+.ilb clk rst
+.ob ready err
+0- a a 00
+1- a b 01
+-- b a 10
+.e
+";
+
+    #[test]
+    fn ilb_ob_labels_round_trip() {
+        let fsm = Fsm::parse_kiss2(LABELLED).unwrap();
+        assert_eq!(
+            fsm.input_labels().unwrap(),
+            &["clk".to_string(), "rst".to_string()]
+        );
+        assert_eq!(
+            fsm.output_labels().unwrap(),
+            &["ready".to_string(), "err".to_string()]
+        );
+        let text = fsm.to_kiss2();
+        assert!(text.contains(".ilb clk rst"));
+        assert!(text.contains(".ob ready err"));
+        let again = Fsm::parse_kiss2(&text).unwrap();
+        assert_eq!(again.input_labels(), fsm.input_labels());
+    }
+
+    #[test]
+    fn label_count_mismatch_is_an_error() {
+        let bad = ".i 2\n.o 1\n.ilb clk\n0- a a 0\n.e\n";
+        assert!(Fsm::parse_kiss2(bad).is_err());
+        let bad = ".i 1\n.o 1\n.ob x y\n0 a a 0\n.e\n";
+        assert!(Fsm::parse_kiss2(bad).is_err());
+    }
+
+    #[test]
+    fn validate_flags_nondeterminism() {
+        let mut fsm = Fsm::new("nd", 1, 1, vec!["a".into(), "b".into(), "c".into()]);
+        fsm.add_transition(Transition {
+            input: vec![Some(true)],
+            from: 0,
+            to: 1,
+            output: vec![None],
+        });
+        fsm.add_transition(Transition {
+            input: vec![None],
+            from: 0,
+            to: 2,
+            output: vec![None],
+        });
+        let d = fsm.validate(false);
+        assert!(!d.is_deterministic());
+        assert_eq!(d.nondeterministic, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn validate_flags_incompleteness() {
+        let mut fsm = Fsm::new("inc", 1, 1, vec!["a".into(), "b".into()]);
+        fsm.add_transition(Transition {
+            input: vec![Some(true)],
+            from: 0,
+            to: 1,
+            output: vec![None],
+        });
+        fsm.add_transition(Transition {
+            input: vec![None],
+            from: 1,
+            to: 0,
+            output: vec![None],
+        });
+        let d = fsm.validate(true);
+        assert!(d.is_deterministic());
+        assert_eq!(d.incomplete, vec![0]); // input 0 unspecified in state a
+    }
+
+    #[test]
+    fn generated_suite_validates_clean() {
+        for fsm in crate::suite().iter().take(5) {
+            let d = fsm.validate(true);
+            assert!(
+                d.is_deterministic(),
+                "{}: {:?}",
+                fsm.name(),
+                d.nondeterministic
+            );
+            assert!(
+                d.incomplete.is_empty(),
+                "{}: {:?}",
+                fsm.name(),
+                d.incomplete
+            );
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! Deterministic synthetic FSM benchmarks shaped after the paper's MCNC
+//! suite (see DESIGN.md for the substitution rationale).
+
+use crate::{Fsm, Transition};
+
+/// An input cube (one optional literal per input).
+type InputCube = Vec<Option<bool>>;
+/// One generation pass: the input-subspace base cube and its clusters.
+type Pass = (InputCube, Vec<Vec<usize>>);
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for a synthetic benchmark FSM.
+///
+/// States are grouped into *clusters*. Each cluster's behaviour is a random
+/// decision tree over the inputs whose leaves are **disjoint input cubes
+/// covering the whole input space**, so every machine is deterministic and
+/// completely specified. Some leaves are *shared* (every member of the
+/// cluster moves to the same successor with the same output) — multiple-
+/// valued minimization merges those transitions and emits the clusters as
+/// face constraints, the mechanism that makes the synthetic machines behave
+/// like the real benchmarks under symbolic minimization. The remaining
+/// leaves get per-state successors.
+#[derive(Debug, Clone)]
+pub struct BenchmarkSpec {
+    /// Benchmark name (mirrors the paper's tables).
+    pub name: &'static str,
+    /// Number of states.
+    pub states: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// States per behaviour-sharing cluster.
+    pub cluster_size: usize,
+    /// Shared leaves per cluster (whole-cluster behaviours).
+    pub shared_behaviors: usize,
+    /// Individual leaves per cluster (per-state behaviours).
+    pub individual: usize,
+    /// Probability of a `-` in an output position.
+    pub output_dc: f64,
+    /// When set (and there is at least one input), a second, offset
+    /// clustering pass runs on the other half of the input space (split on
+    /// input 0), producing *overlapping* state groups, as real controllers
+    /// exhibit. Determinism is preserved because the two passes cover
+    /// disjoint input subspaces.
+    pub overlap: bool,
+    /// RNG seed (fully deterministic generation).
+    pub seed: u64,
+}
+
+impl BenchmarkSpec {
+    /// A reasonable default shape for `states` states.
+    pub fn sized(name: &'static str, states: usize) -> Self {
+        BenchmarkSpec {
+            name,
+            states,
+            inputs: 4,
+            outputs: 3,
+            cluster_size: 3,
+            shared_behaviors: 2,
+            individual: 2,
+            output_dc: 0.15,
+            overlap: true,
+            seed: 0x10e2c,
+        }
+    }
+}
+
+/// Splits the full input space into `leaves` disjoint cubes by repeatedly
+/// splitting a cube with free positions on a random variable.
+fn leaf_cubes(rng: &mut StdRng, inputs: usize, leaves: usize, base: InputCube) -> Vec<InputCube> {
+    let free_vars = base.iter().filter(|l| l.is_none()).count();
+    let mut cubes: Vec<InputCube> = vec![base];
+    let max_leaves = leaves.min(1 << free_vars.min(20));
+    while cubes.len() < max_leaves {
+        // Pick the splittable cube with the most free variables (ties by
+        // position), so leaves stay balanced.
+        let Some(idx) = (0..cubes.len())
+            .filter(|&i| cubes[i].iter().any(|l| l.is_none()))
+            .max_by_key(|&i| cubes[i].iter().filter(|l| l.is_none()).count())
+        else {
+            break;
+        };
+        let free: Vec<usize> = (0..inputs).filter(|&v| cubes[idx][v].is_none()).collect();
+        let v = free[rng.gen_range(0..free.len())];
+        let mut zero = cubes[idx].clone();
+        let mut one = cubes[idx].clone();
+        zero[v] = Some(false);
+        one[v] = Some(true);
+        cubes[idx] = zero;
+        cubes.push(one);
+    }
+    cubes
+}
+
+fn random_output(rng: &mut StdRng, width: usize, dc: f64) -> Vec<Option<bool>> {
+    (0..width)
+        .map(|_| {
+            if rng.gen_bool(dc) {
+                None
+            } else {
+                Some(rng.gen_bool(0.5))
+            }
+        })
+        .collect()
+}
+
+/// Generates a deterministic synthetic FSM from a spec. The result is
+/// deterministic and completely specified: every state's transitions
+/// partition the input space.
+///
+/// The same spec always produces the same machine.
+///
+/// # Panics
+///
+/// Panics if `states == 0`, `cluster_size == 0`, or no leaves are
+/// requested.
+pub fn generate(spec: &BenchmarkSpec) -> Fsm {
+    assert!(spec.states > 0, "need at least one state");
+    assert!(spec.cluster_size > 0, "clusters need at least one state");
+    assert!(
+        spec.shared_behaviors + spec.individual > 0,
+        "need at least one leaf per cluster"
+    );
+    let mut rng = StdRng::seed_from_u64(
+        spec.seed
+            ^ spec
+                .name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64)),
+    );
+    let names: Vec<String> = (0..spec.states).map(|i| format!("s{i}")).collect();
+    let mut fsm = Fsm::new(spec.name, spec.inputs, spec.outputs, names);
+    fsm.set_reset(0);
+
+    let chunked: Vec<Vec<usize>> = (0..spec.states)
+        .collect::<Vec<_>>()
+        .chunks(spec.cluster_size)
+        .map(|c| c.to_vec())
+        .collect();
+    // Passes: (input-subspace base, clusters). With overlap enabled, a
+    // second pass clusters the states with an offset of half a cluster,
+    // restricted to the other half of the input space.
+    let mut passes: Vec<Pass> = Vec::new();
+    if spec.overlap && spec.inputs >= 1 && spec.states > spec.cluster_size {
+        let mut base0 = vec![None; spec.inputs];
+        base0[0] = Some(false);
+        passes.push((base0, chunked));
+        let offset = (spec.cluster_size / 2).max(1);
+        let rotated: Vec<usize> = (0..spec.states)
+            .map(|i| (i + offset) % spec.states)
+            .collect();
+        let offset_clusters: Vec<Vec<usize>> = rotated
+            .chunks(spec.cluster_size)
+            .map(|c| c.to_vec())
+            .collect();
+        let mut base1 = vec![None; spec.inputs];
+        base1[0] = Some(true);
+        passes.push((base1, offset_clusters));
+    } else {
+        passes.push((vec![None; spec.inputs], chunked));
+    }
+
+    for (base, clusters) in &passes {
+        for cluster in clusters {
+            let leaves = leaf_cubes(
+                &mut rng,
+                spec.inputs,
+                spec.shared_behaviors + spec.individual,
+                base.clone(),
+            );
+            for (li, input) in leaves.iter().enumerate() {
+                if li < spec.shared_behaviors.min(leaves.len()) {
+                    // Shared behaviour: the whole cluster agrees.
+                    let to = rng.gen_range(0..spec.states);
+                    let output = random_output(&mut rng, spec.outputs, spec.output_dc);
+                    for &from in cluster {
+                        fsm.add_transition(Transition {
+                            input: input.clone(),
+                            from,
+                            to,
+                            output: output.clone(),
+                        });
+                    }
+                } else {
+                    // Individual behaviour: per-state successors with a bias
+                    // toward nearby states (chains, as in real controllers).
+                    for &from in cluster {
+                        let to = if rng.gen_bool(0.7) {
+                            (from + rng.gen_range(1..=3)) % spec.states
+                        } else {
+                            rng.gen_range(0..spec.states)
+                        };
+                        fsm.add_transition(Transition {
+                            input: input.clone(),
+                            from,
+                            to,
+                            output: random_output(&mut rng, spec.outputs, spec.output_dc),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    fsm
+}
+
+/// The benchmark suite shaped after the paper's tables (names and state
+/// counts from Tables 1–3; widths and densities chosen to produce
+/// constraint sets of the same order as the paper reports).
+pub fn suite() -> Vec<Fsm> {
+    let specs: Vec<BenchmarkSpec> = vec![
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 6,
+            ..BenchmarkSpec::sized("bbsse", 16)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 6,
+            cluster_size: 2,
+            individual: 3,
+            ..BenchmarkSpec::sized("cse", 16)
+        },
+        BenchmarkSpec {
+            inputs: 3,
+            outputs: 3,
+            cluster_size: 4,
+            shared_behaviors: 3,
+            individual: 3,
+            ..BenchmarkSpec::sized("dk16", 27)
+        },
+        BenchmarkSpec {
+            inputs: 3,
+            outputs: 3,
+            cluster_size: 3,
+            shared_behaviors: 3,
+            seed: 0xd16a,
+            ..BenchmarkSpec::sized("dk16x", 27)
+        },
+        BenchmarkSpec {
+            inputs: 2,
+            outputs: 3,
+            cluster_size: 3,
+            ..BenchmarkSpec::sized("dk512", 15)
+        },
+        BenchmarkSpec {
+            inputs: 2,
+            outputs: 1,
+            cluster_size: 4,
+            shared_behaviors: 2,
+            individual: 2,
+            ..BenchmarkSpec::sized("donfile", 24)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 8,
+            ..BenchmarkSpec::sized("ex1", 20)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 8,
+            seed: 0xe11,
+            ..BenchmarkSpec::sized("exlinp", 20)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 2,
+            cluster_size: 2,
+            individual: 3,
+            ..BenchmarkSpec::sized("keyb", 19)
+        },
+        BenchmarkSpec {
+            inputs: 8,
+            outputs: 5,
+            cluster_size: 2,
+            individual: 3,
+            ..BenchmarkSpec::sized("kirkman", 16)
+        },
+        BenchmarkSpec {
+            inputs: 5,
+            outputs: 5,
+            ..BenchmarkSpec::sized("master", 15)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 8,
+            cluster_size: 2,
+            shared_behaviors: 1,
+            individual: 3,
+            overlap: false,
+            ..BenchmarkSpec::sized("planet", 48)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 5,
+            ..BenchmarkSpec::sized("s1", 20)
+        },
+        BenchmarkSpec {
+            inputs: 6,
+            outputs: 5,
+            seed: 0x51a,
+            ..BenchmarkSpec::sized("s1a", 20)
+        },
+        BenchmarkSpec {
+            inputs: 7,
+            outputs: 7,
+            cluster_size: 3,
+            ..BenchmarkSpec::sized("sand", 32)
+        },
+        BenchmarkSpec {
+            inputs: 7,
+            outputs: 8,
+            cluster_size: 3,
+            ..BenchmarkSpec::sized("styr", 30)
+        },
+        BenchmarkSpec {
+            inputs: 5,
+            outputs: 3,
+            cluster_size: 4,
+            shared_behaviors: 4,
+            individual: 4,
+            ..BenchmarkSpec::sized("tbk", 32)
+        },
+        BenchmarkSpec {
+            inputs: 4,
+            outputs: 4,
+            cluster_size: 4,
+            shared_behaviors: 1,
+            individual: 1,
+            ..BenchmarkSpec::sized("viterbi", 68)
+        },
+        BenchmarkSpec {
+            inputs: 5,
+            outputs: 6,
+            cluster_size: 2,
+            shared_behaviors: 1,
+            individual: 3,
+            overlap: false,
+            ..BenchmarkSpec::sized("vmecont", 32)
+        },
+    ];
+    specs.iter().map(generate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchmarkSpec::sized("det", 10);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&BenchmarkSpec::sized("x", 10));
+        let b = generate(&BenchmarkSpec {
+            seed: 99,
+            ..BenchmarkSpec::sized("x", 10)
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn machines_are_deterministic_and_complete() {
+        // Per state, the input cubes must partition the input space.
+        for fsm in suite().iter().take(6) {
+            for s in 0..fsm.num_states() {
+                let cubes: Vec<&Vec<Option<bool>>> =
+                    fsm.transitions_from(s).map(|t| &t.input).collect();
+                for m in 0..(1usize << fsm.num_inputs()) {
+                    let hits = cubes
+                        .iter()
+                        .filter(|c| {
+                            c.iter().enumerate().all(|(v, l)| match l {
+                                None => true,
+                                Some(b) => *b == (m >> v & 1 == 1),
+                            })
+                        })
+                        .count();
+                    assert_eq!(
+                        hits,
+                        1,
+                        "{} state {s}: minterm {m:b} hit {hits} cubes",
+                        fsm.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_cubes_partition_the_space() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for leaves in 1..=8 {
+            let cubes = leaf_cubes(&mut rng, 3, leaves, vec![None; 3]);
+            for m in 0..8usize {
+                let hits = cubes
+                    .iter()
+                    .filter(|c| {
+                        c.iter().enumerate().all(|(v, l)| match l {
+                            None => true,
+                            Some(b) => *b == (m >> v & 1 == 1),
+                        })
+                    })
+                    .count();
+                assert_eq!(hits, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn suite_matches_paper_state_counts() {
+        let suite = suite();
+        let counts: std::collections::HashMap<&str, usize> =
+            suite.iter().map(|f| (f.name(), f.num_states())).collect();
+        assert_eq!(counts["bbsse"], 16);
+        assert_eq!(counts["dk16"], 27);
+        assert_eq!(counts["planet"], 48);
+        assert_eq!(counts["viterbi"], 68);
+        assert_eq!(counts["vmecont"], 32);
+        assert_eq!(suite.len(), 19);
+    }
+
+    #[test]
+    fn generated_machines_round_trip_kiss2() {
+        // Parsing renumbers states by first appearance, so compare the
+        // printed text (state *names* are preserved verbatim).
+        for fsm in suite().iter().take(4) {
+            let text = fsm.to_kiss2();
+            let again = Fsm::parse_kiss2(&text).unwrap();
+            assert_eq!(fsm.num_states(), again.num_states());
+            assert_eq!(text, again.to_kiss2());
+        }
+    }
+
+    #[test]
+    fn every_state_has_an_outgoing_transition() {
+        for fsm in suite() {
+            for s in 0..fsm.num_states() {
+                assert!(
+                    fsm.transitions_from(s).count() > 0,
+                    "{}: state {s} is dead",
+                    fsm.name()
+                );
+            }
+        }
+    }
+}

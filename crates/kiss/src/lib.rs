@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Finite state machine substrate: the FSM model, KISS2 parsing/printing,
+//! and the deterministic benchmark suite used by the evaluation harness.
+//!
+//! The paper's experiments run on the MCNC FSM benchmarks (`bbsse`, `cse`,
+//! `dk16`, …, `planet`, `tbk`, `vmecont`). The original KISS2 files are not
+//! distributable here, so this crate provides:
+//!
+//! * a full [KISS2](Fsm::parse_kiss2) parser and printer, so real benchmark
+//!   files drop in unchanged, and
+//! * a deterministic synthetic [generator](generate) plus a [`suite`]
+//!   reproducing each paper benchmark's *shape* (name, state count, input
+//!   and output width, transition density). The paper's claims are relative
+//!   (who wins, where prime counts blow up), which depends on the structure
+//!   of the constraint sets, not on bit-exact MCNC identity; see DESIGN.md.
+//!
+//! # Examples
+//!
+//! ```
+//! use ioenc_kiss::Fsm;
+//!
+//! let text = "\
+//! .i 1
+//! .o 1
+//! .p 2
+//! .s 2
+//! 0 a a 0
+//! 1 a b 1
+//! .e
+//! ";
+//! let fsm = Fsm::parse_kiss2(text)?;
+//! assert_eq!(fsm.num_states(), 2);
+//! assert_eq!(fsm.transitions().len(), 2);
+//! # Ok::<(), String>(())
+//! ```
+
+mod fsm;
+mod generator;
+pub mod samples;
+
+pub use fsm::{Fsm, FsmDiagnostics, Transition};
+pub use generator::{generate, suite, BenchmarkSpec};

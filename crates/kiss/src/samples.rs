@@ -1,0 +1,146 @@
+//! Hand-written sample machines: small, realistic controllers for
+//! documentation, examples and tests (the synthetic benchmark suite lives
+//! in [`crate::suite`]).
+
+use crate::Fsm;
+
+/// A four-way traffic-light controller: two roads, green/yellow phases,
+/// with a sensor input extending the green.
+pub const TRAFFIC_LIGHT: &str = "\
+.i 2
+.o 4
+.s 4
+.ilb car_ns car_ew
+.ob grn_ns yel_ns grn_ew yel_ew
+.r green_ns
+-0 green_ns  green_ns  1000
+-1 green_ns  yellow_ns 1000
+-- yellow_ns green_ew  0100
+0- green_ew  green_ew  0010
+1- green_ew  yellow_ew 0010
+-- yellow_ew green_ns  0001
+.e
+";
+
+/// A two-master bus arbiter with request/grant handshake and a park state.
+pub const BUS_ARBITER: &str = "\
+.i 2
+.o 2
+.s 5
+.ilb req0 req1
+.ob gnt0 gnt1
+.r idle
+00 idle   idle   00
+1- idle   grant0 00
+01 idle   grant1 00
+1- grant0 hold0  10
+0- grant0 idle   10
+-1 grant1 hold1  01
+-0 grant1 idle   01
+1- hold0  hold0  10
+0- hold0  idle   10
+-1 hold1  hold1  01
+-0 hold1  idle   01
+.e
+";
+
+/// A serial-line receiver: waits for a start bit, shifts four data bits,
+/// then checks parity.
+pub const SERIAL_RX: &str = "\
+.i 1
+.o 2
+.s 8
+.ilb rx
+.ob done err
+.r wait
+1 wait   wait   00
+0 wait   bit0   00
+- bit0   bit1   00
+- bit1   bit2   00
+- bit2   bit3   00
+- bit3   par    00
+0 par    ok     00
+1 par    bad    00
+- ok     wait   10
+- bad    wait   01
+.e
+";
+
+/// Parses one of the embedded samples.
+///
+/// # Panics
+///
+/// Panics only if the embedded text were malformed (checked by tests).
+pub fn sample(text: &'static str, name: &str) -> Fsm {
+    let mut fsm = Fsm::parse_kiss2(text).expect("embedded samples are well-formed");
+    fsm.set_name(name);
+    fsm
+}
+
+/// All embedded samples as `(name, machine)` pairs.
+pub fn samples() -> Vec<Fsm> {
+    vec![
+        sample(TRAFFIC_LIGHT, "traffic_light"),
+        sample(BUS_ARBITER, "bus_arbiter"),
+        sample(SERIAL_RX, "serial_rx"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_parse_and_validate() {
+        for fsm in samples() {
+            let d = fsm.validate(false);
+            assert!(
+                d.is_deterministic(),
+                "{}: nondeterministic {:?}",
+                fsm.name(),
+                d.nondeterministic
+            );
+            assert!(fsm.reset().is_some(), "{} missing reset", fsm.name());
+        }
+    }
+
+    #[test]
+    fn traffic_light_shape() {
+        let fsm = sample(TRAFFIC_LIGHT, "traffic_light");
+        assert_eq!(fsm.num_states(), 4);
+        assert_eq!(fsm.num_inputs(), 2);
+        assert_eq!(fsm.num_outputs(), 4);
+        assert_eq!(fsm.input_labels().unwrap()[0], "car_ns");
+        // The controller is complete.
+        assert!(fsm.validate(true).incomplete.is_empty());
+    }
+
+    #[test]
+    fn bus_arbiter_priorities() {
+        let fsm = sample(BUS_ARBITER, "bus_arbiter");
+        assert_eq!(fsm.num_states(), 5);
+        // Master 0 wins simultaneous requests: 11 from idle goes to grant0.
+        let grant0 = fsm.state("grant0").unwrap();
+        let idle = fsm.state("idle").unwrap();
+        let hit = fsm
+            .transitions_from(idle)
+            .find(|t| t.input == vec![Some(true), None]);
+        assert_eq!(hit.map(|t| t.to), Some(grant0));
+    }
+
+    #[test]
+    fn serial_rx_counts_bits() {
+        let fsm = sample(SERIAL_RX, "serial_rx");
+        assert_eq!(fsm.num_states(), 8);
+        assert!(fsm.validate(true).incomplete.is_empty());
+    }
+
+    #[test]
+    fn samples_round_trip() {
+        for fsm in samples() {
+            let text = fsm.to_kiss2();
+            let again = Fsm::parse_kiss2(&text).unwrap();
+            assert_eq!(text, again.to_kiss2());
+        }
+    }
+}

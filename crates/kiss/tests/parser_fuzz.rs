@@ -1,0 +1,66 @@
+//! Robustness: the KISS2 parser must never panic, only return errors, on
+//! arbitrary input — and must round-trip everything it accepts.
+
+use ioenc_kiss::Fsm;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(text in ".{0,400}") {
+        let _ = Fsm::parse_kiss2(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_kiss_like_soup(
+        lines in prop::collection::vec(
+            prop_oneof![
+                Just(".i 2".to_string()),
+                Just(".o 1".to_string()),
+                Just(".p 3".to_string()),
+                Just(".s 2".to_string()),
+                Just(".r a".to_string()),
+                Just(".e".to_string()),
+                Just(".ilb x y".to_string()),
+                Just(".ob z".to_string()),
+                "[01-]{0,4} [a-c] [a-c] [01-]{0,3}",
+                "[.a-z0-9 -]{0,20}",
+            ],
+            0..12,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = Fsm::parse_kiss2(&text);
+    }
+
+    #[test]
+    fn accepted_machines_round_trip(
+        ni in 1usize..4,
+        no in 1usize..3,
+        rows in prop::collection::vec(
+            (
+                prop::collection::vec(0u8..3, 1..4),
+                0usize..4,
+                0usize..4,
+                prop::collection::vec(0u8..3, 1..3),
+            ),
+            1..8,
+        )
+    ) {
+        // Build syntactically valid text from generated rows.
+        let lit = |v: &u8| match v { 0 => '0', 1 => '1', _ => '-' };
+        let mut text = format!(".i {ni}\n.o {no}\n");
+        for (inp, from, to, out) in &rows {
+            let input: String = (0..ni).map(|k| lit(inp.get(k).unwrap_or(&2))).collect();
+            let output: String = (0..no).map(|k| lit(out.get(k).unwrap_or(&2))).collect();
+            text.push_str(&format!("{input} q{from} q{to} {output}\n"));
+        }
+        text.push_str(".e\n");
+        let fsm = Fsm::parse_kiss2(&text).expect("valid by construction");
+        let printed = fsm.to_kiss2();
+        let again = Fsm::parse_kiss2(&printed).expect("printer output reparses");
+        prop_assert_eq!(printed, again.to_kiss2());
+        prop_assert_eq!(fsm.transitions().len(), rows.len());
+    }
+}

@@ -1,0 +1,278 @@
+#![warn(missing_docs)]
+
+//! A NOVA-like greedy input-encoding baseline (Villa–Sangiovanni-
+//! Vincentelli, *NOVA: state assignment for optimal two-level logic
+//! implementations*), used as the comparison point of Table 2.
+//!
+//! NOVA's minimum-code-length heuristics assign codes symbol by symbol,
+//! driven by the face-embedding constraints, and polish the result with
+//! pairwise improvement. This reimplementation follows that shape:
+//!
+//! 1. symbols are ordered by constraint involvement (most-constrained
+//!    first);
+//! 2. each symbol greedily takes the free code that keeps the already-
+//!    placed portion of every face constraint on the smallest spanned face
+//!    and intrudes on the fewest faces;
+//! 3. a pairwise swap pass (plus moves to unused codes) accepts any change
+//!    that lowers the number of violated constraints.
+//!
+//! # Examples
+//!
+//! ```
+//! use ioenc_core::{count_violations, ConstraintSet};
+//! use ioenc_nova::{nova_encode, NovaOptions};
+//!
+//! let mut cs = ConstraintSet::new(4);
+//! cs.add_face([0, 1]);
+//! cs.add_face([2, 3]);
+//! let enc = nova_encode(&cs, &NovaOptions::default());
+//! assert_eq!(enc.width(), 2);
+//! assert_eq!(count_violations(&cs, &enc), 0);
+//! ```
+
+use ioenc_core::{count_violations, ConstraintSet, Encoding};
+
+/// Options for [`nova_encode`].
+#[derive(Debug, Clone)]
+pub struct NovaOptions {
+    /// Code length; `None` uses the minimum `⌈log₂ n⌉` (NOVA's default
+    /// minimum-length mode, as compared in Table 2).
+    pub code_length: Option<usize>,
+    /// Improvement passes over all pairs.
+    pub passes: usize,
+}
+
+impl Default for NovaOptions {
+    fn default() -> Self {
+        NovaOptions {
+            code_length: None,
+            passes: 4,
+        }
+    }
+}
+
+/// Encodes the symbols with the greedy constraint-driven strategy described
+/// in the crate docs. The result always assigns distinct codes.
+///
+/// # Panics
+///
+/// Panics if the requested length cannot give distinct codes or exceeds
+/// 63 bits.
+pub fn nova_encode(cs: &ConstraintSet, opts: &NovaOptions) -> Encoding {
+    let n = cs.num_symbols();
+    if n == 0 {
+        return Encoding::new(0, Vec::new());
+    }
+    let min_len = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
+    let width = opts.code_length.unwrap_or(min_len);
+    assert!(width < 64, "codes wider than 63 bits are unsupported");
+    assert!(1usize << width >= n, "length cannot give distinct codes");
+    if n == 1 {
+        return Encoding::new(width, vec![0]);
+    }
+
+    // Order symbols: most face-constraint involvement first.
+    let mut involvement = vec![0usize; n];
+    for f in cs.faces() {
+        for s in f.members.iter() {
+            involvement[s] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(involvement[s]));
+
+    let total = 1u64 << width;
+    let mut codes: Vec<Option<u64>> = vec![None; n];
+    let mut used = vec![false; total as usize];
+    for &s in &order {
+        let mut best: Option<(u64, u64)> = None; // (score, code)
+        for code in 0..total {
+            if used[code as usize] {
+                continue;
+            }
+            let score = placement_score(cs, &codes, s, code, width);
+            if best.is_none() || score < best.unwrap().0 {
+                best = Some((score, code));
+            }
+        }
+        let (_, code) = best.expect("a free code always exists");
+        codes[s] = Some(code);
+        used[code as usize] = true;
+    }
+    let mut assigned: Vec<u64> = codes.into_iter().map(|c| c.expect("assigned")).collect();
+
+    // Pairwise improvement on the violation count.
+    let mut best_cost = count_violations(cs, &Encoding::new(width, assigned.clone()));
+    for _ in 0..opts.passes {
+        let mut improved = false;
+        // Swaps.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                assigned.swap(a, b);
+                let cost = count_violations(cs, &Encoding::new(width, assigned.clone()));
+                if cost < best_cost {
+                    best_cost = cost;
+                    improved = true;
+                } else {
+                    assigned.swap(a, b);
+                }
+            }
+        }
+        // Moves to unused codes.
+        let mut used = vec![false; total as usize];
+        for &c in &assigned {
+            used[c as usize] = true;
+        }
+        for s in 0..n {
+            for code in 0..total {
+                if used[code as usize] {
+                    continue;
+                }
+                let old = assigned[s];
+                assigned[s] = code;
+                let cost = count_violations(cs, &Encoding::new(width, assigned.clone()));
+                if cost < best_cost {
+                    best_cost = cost;
+                    used[old as usize] = false;
+                    used[code as usize] = true;
+                    improved = true;
+                } else {
+                    assigned[s] = old;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    Encoding::new(width, assigned)
+}
+
+/// Greedy placement score for giving `code` to symbol `s`: for every face
+/// constraint involving `s`, the size of the face spanned so far (smaller
+/// is tighter) plus a penalty for already-placed outsiders trapped inside;
+/// for faces not involving `s`, a penalty when `code` intrudes on the
+/// placed members' span.
+fn placement_score(
+    cs: &ConstraintSet,
+    codes: &[Option<u64>],
+    s: usize,
+    code: u64,
+    width: usize,
+) -> u64 {
+    let mut score = 0u64;
+    for f in cs.faces() {
+        let involved = f.members.contains(s);
+        let mut placed: Vec<u64> = f
+            .members
+            .iter()
+            .filter_map(|m| if m == s { None } else { codes[m] })
+            .collect();
+        if involved {
+            placed.push(code);
+        }
+        if placed.len() < 2 {
+            continue;
+        }
+        let (mask, value) = ioenc_core::face_of(&placed, width);
+        let free_dims = width as u64 - mask.count_ones() as u64;
+        if involved {
+            // Tighter spans are better; intruders are heavily penalized.
+            score += free_dims * free_dims;
+            for (m, c) in codes.iter().enumerate() {
+                if let Some(c) = c {
+                    if !f.members.contains(m)
+                        && !f.dont_cares.contains(m)
+                        && ioenc_core::face_contains(mask, value, *c)
+                    {
+                        score += 64;
+                    }
+                }
+            }
+        } else if !f.dont_cares.contains(s) && ioenc_core::face_contains(mask, value, code) {
+            score += 64;
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_always_distinct() {
+        let mut cs = ConstraintSet::new(7);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([3, 4]);
+        cs.add_face([5, 6]);
+        let enc = nova_encode(&cs, &NovaOptions::default());
+        assert_eq!(enc.width(), 3);
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 7);
+    }
+
+    #[test]
+    fn satisfiable_instances_get_solved() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        cs.add_face([2, 3]);
+        let enc = nova_encode(&cs, &NovaOptions::default());
+        assert_eq!(count_violations(&cs, &enc), 0);
+    }
+
+    #[test]
+    fn longer_codes_help() {
+        // Figure 3's constraints are unsatisfiable in 3 bits but satisfiable
+        // in 4.
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let short = nova_encode(&cs, &NovaOptions::default());
+        let long = nova_encode(
+            &cs,
+            &NovaOptions {
+                code_length: Some(4),
+                ..Default::default()
+            },
+        );
+        assert!(count_violations(&cs, &short) >= 1);
+        assert!(count_violations(&cs, &long) <= count_violations(&cs, &short));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        let enc = nova_encode(&ConstraintSet::new(0), &NovaOptions::default());
+        assert_eq!(enc.num_symbols(), 0);
+        let enc = nova_encode(&ConstraintSet::new(1), &NovaOptions::default());
+        assert_eq!(enc.num_symbols(), 1);
+        let enc = nova_encode(&ConstraintSet::new(2), &NovaOptions::default());
+        assert_ne!(enc.code(0), enc.code(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct codes")]
+    fn too_short_panics() {
+        nova_encode(
+            &ConstraintSet::new(5),
+            &NovaOptions {
+                code_length: Some(2),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_face([0, 3, 5]);
+        cs.add_face([1, 2]);
+        let a = nova_encode(&cs, &NovaOptions::default());
+        let b = nova_encode(&cs, &NovaOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,140 @@
+//! One-call state assignment: the paper's complete flow from FSM to codes.
+
+use crate::{input_constraints, measure_encoded, mixed_constraints, OutputProfile};
+use ioenc_core::{
+    exact_encode_report, heuristic_encode, ConstraintSet, CostFunction, EncodeError, Encoding,
+    ExactOptions, HeuristicOptions,
+};
+use ioenc_kiss::Fsm;
+
+/// How to assign codes.
+#[derive(Debug, Clone)]
+pub enum Strategy {
+    /// Exact minimum-length satisfaction of mixed input + output
+    /// constraints (Table 1's algorithm). Falls back with an error when
+    /// prime generation explodes.
+    ExactMixed(OutputProfile),
+    /// Minimum-length heuristic on the input constraints (Table 2's ENC).
+    HeuristicInput(CostFunction),
+    /// Fixed-length heuristic on the input constraints.
+    HeuristicFixed(usize, CostFunction),
+}
+
+/// The result of [`assign_states`].
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// The codes, indexed by state.
+    pub encoding: Encoding,
+    /// The constraint set that drove the assignment.
+    pub constraints: ConstraintSet,
+    /// Face constraints satisfied / total.
+    pub satisfied: (usize, usize),
+    /// `(product terms, input literals)` of the minimized encoded FSM.
+    pub pla_cost: (usize, usize),
+}
+
+/// Runs the full state-assignment flow: symbolic minimization → constraint
+/// generation → encoding → measurement.
+///
+/// # Errors
+///
+/// Propagates encoder errors ([`EncodeError::PrimesExceeded`],
+/// [`EncodeError::Infeasible`], …).
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_kiss::{generate, BenchmarkSpec};
+/// use ioenc_symbolic::{assign_states, Strategy};
+/// use ioenc_core::CostFunction;
+///
+/// let fsm = generate(&BenchmarkSpec::sized("demo", 8));
+/// let a = assign_states(&fsm, &Strategy::HeuristicInput(CostFunction::Cubes))?;
+/// assert_eq!(a.encoding.num_symbols(), 8);
+/// assert!(a.pla_cost.0 > 0);
+/// # Ok::<(), ioenc_core::EncodeError>(())
+/// ```
+pub fn assign_states(fsm: &Fsm, strategy: &Strategy) -> Result<Assignment, EncodeError> {
+    let (constraints, encoding) = match strategy {
+        Strategy::ExactMixed(profile) => {
+            let cs = mixed_constraints(fsm, profile);
+            let report = exact_encode_report(&cs, &ExactOptions::default())?;
+            (cs, report.encoding)
+        }
+        Strategy::HeuristicInput(cost) => {
+            let cs = input_constraints(fsm);
+            let enc = heuristic_encode(
+                &cs,
+                &HeuristicOptions {
+                    cost: *cost,
+                    ..Default::default()
+                },
+            )?;
+            (cs, enc)
+        }
+        Strategy::HeuristicFixed(bits, cost) => {
+            let cs = input_constraints(fsm);
+            let enc = heuristic_encode(
+                &cs,
+                &HeuristicOptions {
+                    code_length: Some(*bits),
+                    cost: *cost,
+                    ..Default::default()
+                },
+            )?;
+            (cs, enc)
+        }
+    };
+    let total = constraints.faces().len();
+    let violated = ioenc_core::count_violations(&constraints, &encoding).min(total);
+    let pla_cost = measure_encoded(fsm, &encoding);
+    Ok(Assignment {
+        satisfied: (total - violated, total),
+        pla_cost,
+        encoding,
+        constraints,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioenc_kiss::{generate, BenchmarkSpec};
+
+    #[test]
+    fn heuristic_input_assignment_flows() {
+        let fsm = generate(&BenchmarkSpec::sized("a", 10));
+        let a = assign_states(&fsm, &Strategy::HeuristicInput(CostFunction::Violations)).unwrap();
+        assert_eq!(a.encoding.num_symbols(), 10);
+        assert_eq!(a.encoding.width(), 4);
+        assert!(a.satisfied.0 <= a.satisfied.1);
+        assert!(a.pla_cost.0 > 0);
+    }
+
+    #[test]
+    fn exact_mixed_assignment_verifies() {
+        let fsm = generate(&BenchmarkSpec::sized("b", 8));
+        match assign_states(
+            &fsm,
+            &Strategy::ExactMixed(OutputProfile {
+                max_dominance: 8,
+                max_disjunctive: 2,
+            }),
+        ) {
+            Ok(a) => {
+                assert!(a.encoding.verify(&a.constraints).is_empty());
+                assert_eq!(a.satisfied.0, a.satisfied.1);
+            }
+            Err(EncodeError::PrimesExceeded { .. }) => {}
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+
+    #[test]
+    fn fixed_length_assignment_uses_requested_width() {
+        let fsm = generate(&BenchmarkSpec::sized("c", 6));
+        let a =
+            assign_states(&fsm, &Strategy::HeuristicFixed(4, CostFunction::Violations)).unwrap();
+        assert_eq!(a.encoding.width(), 4);
+    }
+}

@@ -1,0 +1,154 @@
+//! Measurement of encoded FSM implementations.
+
+use ioenc_core::Encoding;
+use ioenc_espresso::Pla;
+use ioenc_kiss::Fsm;
+
+/// Builds the encoded FSM as a multiple-output PLA: inputs are the primary
+/// inputs followed by the state bits; outputs are the next-state bits
+/// followed by the primary outputs. Unused state codes become global
+/// don't-care conditions, as in the standard state-assignment flow.
+///
+/// # Panics
+///
+/// Panics if the encoding's symbol count differs from the FSM's state
+/// count, or the code width exceeds 24 bits (don't-care enumeration).
+pub fn encoded_pla(fsm: &Fsm, enc: &Encoding) -> Pla {
+    assert_eq!(
+        enc.num_symbols(),
+        fsm.num_states(),
+        "encoding/state count mismatch"
+    );
+    let width = enc.width();
+    assert!(
+        width <= 24,
+        "state codes wider than 24 bits are unsupported"
+    );
+    let ni = fsm.num_inputs();
+    let no = fsm.num_outputs();
+    let mut pla = Pla::new(ni + width, width + no);
+    for t in fsm.transitions() {
+        let mut input: Vec<Option<bool>> = t.input.clone();
+        let from_code = enc.code(t.from);
+        for b in 0..width {
+            input.push(Some(from_code >> b & 1 == 1));
+        }
+        let to_code = enc.code(t.to);
+        let mut outputs: Vec<usize> = (0..width).filter(|&b| to_code >> b & 1 == 1).collect();
+        for (j, o) in t.output.iter().enumerate() {
+            if *o == Some(true) {
+                outputs.push(width + j);
+            }
+        }
+        if !outputs.is_empty() {
+            pla.add_on(&input, &outputs);
+        }
+        let dc: Vec<usize> = t
+            .output
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(j, _)| width + j)
+            .collect();
+        if !dc.is_empty() {
+            pla.add_dc(&input, &dc);
+        }
+    }
+    // Unused codes: everything is don't care there.
+    if width <= 16 {
+        let used: Vec<u64> = enc.codes().to_vec();
+        let all: Vec<usize> = (0..width + no).collect();
+        for code in 0u64..(1 << width) {
+            if used.contains(&code) {
+                continue;
+            }
+            let mut input: Vec<Option<bool>> = vec![None; ni];
+            for b in 0..width {
+                input.push(Some(code >> b & 1 == 1));
+            }
+            pla.add_dc(&input, &all);
+        }
+    }
+    pla
+}
+
+/// Minimizes the encoded FSM and returns `(product_terms, input_literals)`
+/// — the PLA cost the paper's two-level comparisons use.
+///
+/// # Panics
+///
+/// As for [`encoded_pla`].
+pub fn measure_encoded(fsm: &Fsm, enc: &Encoding) -> (usize, usize) {
+    encoded_pla(fsm, enc).minimize_summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioenc_kiss::{generate, BenchmarkSpec, Transition};
+
+    fn two_state_toggle() -> Fsm {
+        let mut fsm = Fsm::new("toggle", 1, 1, vec!["a".into(), "b".into()]);
+        fsm.add_transition(Transition {
+            input: vec![Some(true)],
+            from: 0,
+            to: 1,
+            output: vec![Some(true)],
+        });
+        fsm.add_transition(Transition {
+            input: vec![Some(false)],
+            from: 0,
+            to: 0,
+            output: vec![Some(false)],
+        });
+        fsm.add_transition(Transition {
+            input: vec![None],
+            from: 1,
+            to: 0,
+            output: vec![Some(false)],
+        });
+        fsm
+    }
+
+    #[test]
+    fn toggle_measures_small() {
+        let fsm = two_state_toggle();
+        let enc = Encoding::new(1, vec![0, 1]);
+        let (cubes, lits) = measure_encoded(&fsm, &enc);
+        // Next-state = input & !state; output likewise: 1 cube suffices
+        // after sharing (exact value depends on minimization; sanity-bound
+        // it).
+        assert!((1..=3).contains(&cubes), "cubes = {cubes}");
+        assert!(lits >= 1, "lits = {lits}");
+    }
+
+    #[test]
+    fn better_encodings_do_not_increase_verified_costs_arbitrarily() {
+        // Measurement is deterministic and stable per encoding.
+        let fsm = generate(&BenchmarkSpec::sized("m", 8));
+        let enc = Encoding::new(3, (0..8u64).collect());
+        let a = measure_encoded(&fsm, &enc);
+        let b = measure_encoded(&fsm, &enc);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_encodings_yield_different_costs() {
+        let fsm = generate(&BenchmarkSpec::sized("d", 8));
+        let id = Encoding::new(3, (0..8u64).collect());
+        let gray: Vec<u64> = (0..8u64).map(|i| i ^ (i >> 1)).collect();
+        let a = measure_encoded(&fsm, &id);
+        let b = measure_encoded(&fsm, &Encoding::new(3, gray));
+        // Not a strict inequality in general, but the costs are meaningful
+        // positive numbers.
+        assert!(a.0 > 0 && b.0 > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "encoding/state count mismatch")]
+    fn mismatched_encoding_panics() {
+        let fsm = two_state_toggle();
+        let enc = Encoding::new(2, vec![0, 1, 2]);
+        encoded_pla(&fsm, &enc);
+    }
+}

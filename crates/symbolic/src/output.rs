@@ -1,0 +1,234 @@
+//! Output (dominance and disjunctive) constraint generation.
+
+use crate::input_constraints;
+use ioenc_core::{check_feasible, ConstraintSet};
+use ioenc_kiss::Fsm;
+
+/// How many output constraints to derive (the paper's Table 1 machines
+/// range from nine dominances and no disjunctives for `planet` to rich
+/// mixed sets).
+#[derive(Debug, Clone)]
+pub struct OutputProfile {
+    /// Maximum dominance constraints to keep.
+    pub max_dominance: usize,
+    /// Maximum disjunctive constraints to keep.
+    pub max_disjunctive: usize,
+}
+
+impl Default for OutputProfile {
+    fn default() -> Self {
+        OutputProfile {
+            max_dominance: 12,
+            max_disjunctive: 3,
+        }
+    }
+}
+
+/// Generates a feasible mixed constraint set: the face constraints of
+/// [`input_constraints`] plus dominance and disjunctive output constraints
+/// derived from the transition structure, standing in for the extended
+/// DeMicheli procedure the paper uses for Table 1 (see DESIGN.md).
+///
+/// Dominance candidates `a > b` are scored by shared predecessors and
+/// output agreement — exactly the situations where letting `code(a)` cover
+/// `code(b)` enlarges the don't-care set of the next-state logic.
+/// Disjunctive candidates `p = a ∨ b` are scored by how completely `p`'s
+/// predecessors also reach `a` and `b`. Candidates are admitted greedily in
+/// score order, each guarded by the polynomial feasibility check of
+/// Theorem 6.1 so the emitted set is always satisfiable (as the paper's
+/// encoded benchmarks are).
+pub fn mixed_constraints(fsm: &Fsm, profile: &OutputProfile) -> ConstraintSet {
+    let mut cs = input_constraints(fsm);
+    let ns = fsm.num_states();
+    if ns < 3 {
+        return cs;
+    }
+
+    // Predecessor sets and output signatures.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); ns];
+    for t in fsm.transitions() {
+        if !preds[t.to].contains(&t.from) {
+            preds[t.to].push(t.from);
+        }
+    }
+    let out_ones = |s: usize| -> u64 {
+        let mut sig = 0u64;
+        for t in fsm.transitions_into(s) {
+            for (j, o) in t.output.iter().enumerate() {
+                if *o == Some(true) && j < 64 {
+                    sig |= 1 << j;
+                }
+            }
+        }
+        sig
+    };
+
+    // Dominance candidates.
+    let mut dom: Vec<(usize, usize, usize)> = Vec::new(); // (score, a, b)
+    for a in 0..ns {
+        for b in 0..ns {
+            if a == b {
+                continue;
+            }
+            let shared = preds[a].iter().filter(|p| preds[b].contains(p)).count();
+            if shared == 0 {
+                continue;
+            }
+            let sig_a = out_ones(a);
+            let sig_b = out_ones(b);
+            // a > b pays off when a's asserted outputs cover b's.
+            let covers = (sig_a | sig_b) == sig_a;
+            let score = shared * 2 + usize::from(covers) * 3 + preds[a].len();
+            dom.push((score, a, b));
+        }
+    }
+    dom.sort_by_key(|&(score, a, b)| (std::cmp::Reverse(score), a, b));
+    let mut taken = 0;
+    for (attempts, &(_, a, b)) in dom.iter().enumerate() {
+        if taken >= profile.max_dominance || attempts >= 4 * profile.max_dominance + 16 {
+            break;
+        }
+        // Skip inverses of already-taken pairs (a cycle forces equal codes).
+        if cs.dominances().contains(&(b, a)) || cs.dominances().contains(&(a, b)) {
+            continue;
+        }
+        cs.add_dominance(a, b);
+        if check_feasible(&cs).is_feasible() {
+            taken += 1;
+        } else {
+            let mut rebuilt = cs.clone();
+            let dominances = cs.dominances().to_vec();
+            rebuilt = rebuild_without_last_dominance(&rebuilt, &dominances);
+            cs = rebuilt;
+        }
+    }
+
+    // Disjunctive candidates p = a ∨ b.
+    let mut disj: Vec<(usize, usize, usize, usize)> = Vec::new();
+    for p in 0..ns {
+        if preds[p].len() < 2 {
+            continue;
+        }
+        for a in 0..ns {
+            for b in (a + 1)..ns {
+                if a == p || b == p {
+                    continue;
+                }
+                let joined = preds[p]
+                    .iter()
+                    .filter(|q| preds[a].contains(q) || preds[b].contains(q))
+                    .count();
+                if joined < 2 {
+                    continue;
+                }
+                disj.push((joined, p, a, b));
+            }
+        }
+    }
+    disj.sort_by_key(|&(score, p, a, b)| (std::cmp::Reverse(score), p, a, b));
+    let mut taken = 0;
+    let mut used_parents: Vec<usize> = Vec::new();
+    for (attempts, &(_, p, a, b)) in disj.iter().enumerate() {
+        if taken >= profile.max_disjunctive || attempts >= 6 * profile.max_disjunctive + 10 {
+            break;
+        }
+        if used_parents.contains(&p) {
+            continue;
+        }
+        let mut trial = cs.clone();
+        trial.add_disjunctive(p, [a, b]);
+        if check_feasible(&trial).is_feasible() {
+            cs = trial;
+            used_parents.push(p);
+            taken += 1;
+        }
+    }
+    debug_assert!(check_feasible(&cs).is_feasible());
+    cs
+}
+
+/// Rebuilds the constraint set without the most recent dominance (the
+/// builder API is append-only; reconstruct instead of exposing removal).
+fn rebuild_without_last_dominance(
+    cs: &ConstraintSet,
+    dominances: &[(usize, usize)],
+) -> ConstraintSet {
+    let names: Vec<String> = (0..cs.num_symbols())
+        .map(|s| cs.name(s).to_string())
+        .collect();
+    let mut out = ConstraintSet::with_names(names);
+    for f in cs.faces() {
+        out.add_face_with_dc(f.members.iter(), f.dont_cares.iter());
+    }
+    for &(a, b) in &dominances[..dominances.len().saturating_sub(1)] {
+        out.add_dominance(a, b);
+    }
+    for (p, children) in cs.disjunctives() {
+        out.add_disjunctive(p, children.iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ioenc_kiss::{generate, BenchmarkSpec};
+
+    #[test]
+    fn mixed_sets_are_feasible() {
+        for states in [8, 12, 16] {
+            let fsm = generate(&BenchmarkSpec::sized("mix", states));
+            let cs = mixed_constraints(&fsm, &OutputProfile::default());
+            assert!(
+                check_feasible(&cs).is_feasible(),
+                "{states}-state machine produced an infeasible set"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_caps_are_respected() {
+        let fsm = generate(&BenchmarkSpec::sized("cap", 14));
+        let profile = OutputProfile {
+            max_dominance: 4,
+            max_disjunctive: 1,
+        };
+        let cs = mixed_constraints(&fsm, &profile);
+        assert!(cs.dominances().len() <= 4);
+        assert!(cs.disjunctives().count() <= 1);
+    }
+
+    #[test]
+    fn zero_profile_gives_input_only() {
+        let fsm = generate(&BenchmarkSpec::sized("io", 10));
+        let profile = OutputProfile {
+            max_dominance: 0,
+            max_disjunctive: 0,
+        };
+        let cs = mixed_constraints(&fsm, &profile);
+        assert!(!cs.has_output_constraints());
+        assert_eq!(cs.faces().len(), input_constraints(&fsm).faces().len());
+    }
+
+    #[test]
+    fn output_constraints_are_generated_when_allowed() {
+        let fsm = generate(&BenchmarkSpec {
+            cluster_size: 3,
+            shared_behaviors: 2,
+            ..BenchmarkSpec::sized("rich", 12)
+        });
+        let cs = mixed_constraints(&fsm, &OutputProfile::default());
+        assert!(
+            cs.has_output_constraints(),
+            "expected some output constraints; got:\n{cs}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let fsm = generate(&BenchmarkSpec::sized("det", 10));
+        let a = mixed_constraints(&fsm, &OutputProfile::default()).to_string();
+        let b = mixed_constraints(&fsm, &OutputProfile::default()).to_string();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,49 @@
+//! The code-length / constraint-satisfaction trade-off that motivates
+//! problem P-3 (Section 7): satisfying *all* constraints may need a long
+//! code, while a shorter code violates a few constraints but can still give
+//! the smaller implementation.
+//!
+//! Run with `cargo run --example length_tradeoff`.
+
+use ioenc::core::{
+    cost_of, exact_encode, heuristic_encode, ConstraintSet, CostFunction, ExactOptions,
+    HeuristicOptions,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Section 7 example: (e,f,c), (e,d,g), (a,b,d), (a,g,f,d) over
+    // seven symbols need 4 bits to satisfy everything.
+    let names = ["a", "b", "c", "d", "e", "f", "g"];
+    let cs = ConstraintSet::parse(&names, "(e,f,c)\n(e,d,g)\n(a,b,d)\n(a,g,f,d)")?;
+
+    let exact = exact_encode(&cs, &ExactOptions::default())?;
+    println!(
+        "satisfying all {} constraints needs {} bits",
+        cs.faces().len(),
+        exact.width()
+    );
+
+    println!("\nlength   violations   cubes   literals");
+    for bits in 3..=6 {
+        let enc = heuristic_encode(
+            &cs,
+            &HeuristicOptions {
+                code_length: Some(bits),
+                cost: CostFunction::Cubes,
+                ..Default::default()
+            },
+        )?;
+        println!(
+            "{:>6} {:>12} {:>7} {:>10}",
+            bits,
+            cost_of(&cs, &enc, CostFunction::Violations),
+            cost_of(&cs, &enc, CostFunction::Cubes),
+            cost_of(&cs, &enc, CostFunction::Literals),
+        );
+    }
+    println!(
+        "\nShorter codes violate constraints (extra product terms); longer codes\n\
+         satisfy everything but add PLA columns — the trade-off P-3 navigates."
+    );
+    Ok(())
+}

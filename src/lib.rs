@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # ioenc — input and output encoding constraint satisfaction
+//!
+//! A production-quality Rust reproduction of
+//! *A Framework for Satisfying Input and Output Encoding Constraints*
+//! (Saldanha, Villa, Brayton, Sangiovanni-Vincentelli; UCB/ERL M90/110,
+//! DAC 1991).
+//!
+//! This umbrella crate re-exports the workspace crates:
+//!
+//! * [`core`] — the paper's contribution: the encoding-dichotomy framework
+//!   (feasibility check P-1, exact minimum-length encoding P-2, bounded
+//!   length heuristic P-3, don't cares, distance-2 and non-face constraints).
+//! * [`cube`] / [`espresso`] — multi-valued cube calculus and a two-level
+//!   minimizer for cost evaluation and constraint generation.
+//! * [`cover`] — exact and heuristic unate/binate covering solvers.
+//! * [`kiss`] — FSM model, KISS2 parsing, and the benchmark suite.
+//! * [`symbolic`] — symbolic minimization front end generating constraints.
+//! * [`nova`] / [`anneal`] — the NOVA-like and simulated-annealing baselines
+//!   used in the paper's Tables 2 and 3.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ioenc::core::{ConstraintSet, exact_encode, ExactOptions};
+//!
+//! // The Section 1 example of the paper:
+//! // faces (b,c),(c,d),(b,a),(a,d); b>c, a>c; a = b ∨ d.
+//! let cs = ConstraintSet::parse(
+//!     &["a", "b", "c", "d"],
+//!     "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+//! )?;
+//! let enc = exact_encode(&cs, &ExactOptions::default())?;
+//! assert_eq!(enc.width(), 2); // the paper's minimum code length
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use ioenc_anneal as anneal;
+pub use ioenc_bitset as bitset;
+pub use ioenc_core as core;
+pub use ioenc_cover as cover;
+pub use ioenc_cube as cube;
+pub use ioenc_espresso as espresso;
+pub use ioenc_kiss as kiss;
+pub use ioenc_nova as nova;
+pub use ioenc_symbolic as symbolic;

@@ -1,0 +1,214 @@
+//! `ioenc` — command-line front end for the encoding-constraint framework.
+//!
+//! ```text
+//! ioenc check <constraints-file>                 feasibility (P-1)
+//! ioenc encode <constraints-file> [options]      exact or heuristic codes
+//! ioenc primes <constraints-file> [--cap N]      prime encoding-dichotomies
+//! ioenc fsm <kiss2-file> [--mixed] [--dc]        constraints from an FSM
+//! ioenc table <constraints-file>                 the Section 4 binate table
+//! ```
+//!
+//! Constraint files use the [`ConstraintSet::parse`] syntax preceded by a
+//! `symbols: a b c …` header line:
+//!
+//! ```text
+//! symbols: a b c d
+//! (b,c)
+//! (c,d)
+//! a>c
+//! a=b|d
+//! ```
+
+use ioenc::core::{
+    check_feasible, exact_encode_report, generate_primes, heuristic_encode, initial_dichotomies,
+    BinateFormulation, ConstraintSet, CostFunction, ExactOptions, HeuristicOptions,
+};
+use ioenc::espresso::{cover_to_pla_text, parse_pla_text};
+use ioenc::kiss::Fsm;
+use ioenc::symbolic::{
+    assign_states, input_constraints, input_constraints_with_dc, mixed_constraints, OutputProfile,
+    Strategy,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  ioenc check  <constraints-file>
+  ioenc encode <constraints-file> [--heuristic] [--bits N]
+               [--cost violations|cubes|literals] [--prime-cap N]
+  ioenc primes <constraints-file> [--cap N]
+  ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
+  ioenc table  <constraints-file>
+  ioenc minimize <pla-file>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing subcommand")?;
+    let path = it.next().ok_or("missing input file")?;
+    let rest: Vec<&String> = it.collect();
+    let flag = |name: &str| rest.iter().any(|a| *a == name);
+    let value = |name: &str| -> Option<&str> {
+        rest.iter()
+            .position(|a| *a == name)
+            .and_then(|i| rest.get(i + 1))
+            .map(|s| s.as_str())
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    match cmd.as_str() {
+        "check" => {
+            let cs = parse_constraints(&text)?;
+            let r = check_feasible(&cs);
+            println!(
+                "{} initial encoding-dichotomies, {} valid after raising",
+                r.initial.len(),
+                r.raised.len()
+            );
+            if r.is_feasible() {
+                println!("FEASIBLE");
+            } else {
+                println!("INFEASIBLE — uncovered initial encoding-dichotomies:");
+                for d in &r.uncovered {
+                    println!("  {}", d.display(&cs));
+                }
+            }
+            Ok(())
+        }
+        "encode" => {
+            let cs = parse_constraints(&text)?;
+            let bits = value("--bits")
+                .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .transpose()?;
+            if flag("--heuristic") {
+                let cost = match value("--cost").unwrap_or("violations") {
+                    "violations" => CostFunction::Violations,
+                    "cubes" => CostFunction::Cubes,
+                    "literals" => CostFunction::Literals,
+                    other => return Err(format!("unknown cost function '{other}'")),
+                };
+                let opts = HeuristicOptions {
+                    code_length: bits,
+                    cost,
+                    ..Default::default()
+                };
+                let enc = heuristic_encode(&cs, &opts).map_err(|e| e.to_string())?;
+                println!(
+                    "heuristic encoding, {} bits, cost = {}:",
+                    enc.width(),
+                    ioenc::core::cost_of(&cs, &enc, cost)
+                );
+                print!("{}", enc.display(&cs));
+            } else {
+                let mut opts = ExactOptions::default();
+                if let Some(cap) = value("--prime-cap") {
+                    opts.prime_cap = cap.parse::<usize>().map_err(|e| e.to_string())?;
+                }
+                let report = exact_encode_report(&cs, &opts).map_err(|e| e.to_string())?;
+                println!(
+                    "exact minimum-length encoding, {} bits ({} primes{}):",
+                    report.encoding.width(),
+                    report.num_primes,
+                    if report.optimal {
+                        ""
+                    } else {
+                        ", node limit hit"
+                    }
+                );
+                print!("{}", report.encoding.display(&cs));
+            }
+            Ok(())
+        }
+        "primes" => {
+            let cs = parse_constraints(&text)?;
+            let cap = value("--cap")
+                .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
+                .transpose()?
+                .unwrap_or(50_000);
+            let initial = initial_dichotomies(&cs, !cs.has_output_constraints());
+            println!("{} initial encoding-dichotomies:", initial.len());
+            for d in &initial {
+                println!("  {}", d.display(&cs));
+            }
+            let primes = generate_primes(&initial, cap).map_err(|e| e.to_string())?;
+            println!("{} prime encoding-dichotomies:", primes.len());
+            for p in &primes {
+                println!("  {}", p.display(&cs));
+            }
+            Ok(())
+        }
+        "fsm" => {
+            let fsm = Fsm::parse_kiss2(&text)?;
+            println!("# {fsm}");
+            if flag("--assign") {
+                let strategy = if flag("--mixed") {
+                    Strategy::ExactMixed(OutputProfile::default())
+                } else {
+                    Strategy::HeuristicInput(CostFunction::Cubes)
+                };
+                let a = assign_states(&fsm, &strategy).map_err(|e| e.to_string())?;
+                println!(
+                    "# {} of {} face constraints satisfied; PLA {} cubes / {} literals",
+                    a.satisfied.0, a.satisfied.1, a.pla_cost.0, a.pla_cost.1
+                );
+                print!("{}", a.encoding.display(&a.constraints));
+                return Ok(());
+            }
+            let cs = if flag("--mixed") {
+                mixed_constraints(&fsm, &OutputProfile::default())
+            } else if flag("--dc") {
+                input_constraints_with_dc(&fsm)
+            } else {
+                input_constraints(&fsm)
+            };
+            println!("symbols: {}", fsm.state_names().join(" "));
+            print!("{cs}");
+            Ok(())
+        }
+        "minimize" => {
+            let pla = parse_pla_text(&text)?;
+            let m = pla.minimize();
+            let (cubes, lits) = ioenc::espresso::summary(&m, pla.inputs());
+            eprintln!("# minimized to {cubes} product terms, {lits} input literals");
+            print!("{}", cover_to_pla_text(&m, pla.inputs()));
+            Ok(())
+        }
+        "table" => {
+            let cs = parse_constraints(&text)?;
+            let f = BinateFormulation::build(&cs);
+            println!("columns: {:?}", f.columns);
+            print!("{}", f.display());
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+/// Parses the `symbols:`-headed constraint file format.
+fn parse_constraints(text: &str) -> Result<ConstraintSet, String> {
+    let mut names: Option<Vec<&str>> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("symbols:") {
+            names = Some(rest.split_whitespace().collect());
+        } else {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let names = names.ok_or("missing 'symbols: …' header line")?;
+    ConstraintSet::parse(&names, &body)
+}

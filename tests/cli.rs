@@ -1,0 +1,166 @@
+//! Integration tests for the `ioenc` command-line front end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ioenc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("ioenc-cli-{name}-{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write");
+    path
+}
+
+const SECTION1: &str = "\
+symbols: a b c d
+(b,c)
+(c,d)
+(b,a)
+(a,d)
+b>c
+a>c
+a=b|d
+";
+
+#[test]
+fn check_reports_feasible() {
+    let path = write_temp("check", SECTION1);
+    let (ok, stdout, _) = run(&["check", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("FEASIBLE"), "{stdout}");
+}
+
+#[test]
+fn check_reports_infeasible_with_witnesses() {
+    let path = write_temp("infeasible", "symbols: a b\na>b\nb>a\n");
+    let (ok, stdout, _) = run(&["check", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("INFEASIBLE"), "{stdout}");
+}
+
+#[test]
+fn encode_prints_two_bit_codes() {
+    let path = write_temp("encode", SECTION1);
+    let (ok, stdout, _) = run(&["encode", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("2 bits"), "{stdout}");
+    assert!(stdout.contains("a = "), "{stdout}");
+}
+
+#[test]
+fn heuristic_encode_with_options() {
+    let path = write_temp("heur", SECTION1);
+    let (ok, stdout, _) = run(&[
+        "encode",
+        path.to_str().unwrap(),
+        "--heuristic",
+        "--bits",
+        "3",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("3 bits"), "{stdout}");
+}
+
+#[test]
+fn primes_lists_dichotomies() {
+    let path = write_temp("primes", "symbols: a b c\n(a,b)\n");
+    let (ok, stdout, _) = run(&["primes", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("prime encoding-dichotomies"), "{stdout}");
+}
+
+#[test]
+fn fsm_extracts_constraints() {
+    let kiss = "\
+.i 1
+.o 1
+.s 4
+0 a c 1
+0 b c 1
+1 a d 0
+1 b a 0
+- c a 0
+- d b 1
+.e
+";
+    let path = write_temp("fsm", kiss);
+    let (ok, stdout, _) = run(&["fsm", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("symbols: a"), "{stdout}");
+}
+
+#[test]
+fn table_prints_binate_rows() {
+    let path = write_temp("table", "symbols: a b c\n(a,b)\nb>c\n");
+    let (ok, stdout, _) = run(&["table", path.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("columns:"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (ok, _, stderr) = run(&["bogus"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+    let (ok, _, stderr) = run(&["check", "/nonexistent/file"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"), "{stderr}");
+}
+
+#[test]
+fn missing_symbols_header_is_an_error() {
+    let path = write_temp("nohdr", "(a,b)\n");
+    let (ok, _, stderr) = run(&["check", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("symbols"), "{stderr}");
+}
+
+#[test]
+fn fsm_assign_prints_codes_and_cost() {
+    let kiss = "\
+.i 1
+.o 1
+.s 4
+0 a c 1
+0 b c 1
+1 a d 0
+1 b a 0
+- c a 0
+- d b 1
+.e
+";
+    let path = write_temp("assign", kiss);
+    let (ok, stdout, stderr) = run(&["fsm", path.to_str().unwrap(), "--assign"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("face constraints satisfied"), "{stdout}");
+    assert!(stdout.contains("PLA"), "{stdout}");
+}
+
+#[test]
+fn minimize_subcommand_shrinks_pla() {
+    let pla = "\
+.i 3
+.o 2
+110 10
+111 10
+011 01
+010 01
+--1 11
+";
+    let path = write_temp("pla", pla);
+    let (ok, stdout, stderr) = run(&["minimize", path.to_str().unwrap()]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains(".p 3"), "{stdout}");
+    assert!(stdout.contains("11- 10"), "{stdout}");
+}

@@ -1,0 +1,72 @@
+//! Cross-check of Section 4's explicit binate-table formulation against the
+//! dichotomy-based exact encoder: solving the table directly with the
+//! binate solver must find the same minimum code length.
+
+use ioenc::core::{exact_encode, BinateFormulation, ConstraintSet, ExactOptions};
+use ioenc::cover::BinateProblem;
+
+/// Solves the explicit table with the binate covering solver, returning the
+/// minimum number of selected encoding columns, or `None` when infeasible.
+fn solve_table(cs: &ConstraintSet) -> Option<usize> {
+    let f = BinateFormulation::build(cs);
+    let mut p = BinateProblem::new(f.columns.len());
+    for row in &f.rows {
+        p.add_clause(row.ones.iter().copied(), row.zeros.iter().copied())
+    }
+    p.solve_exact().ok().map(|sol| sol.columns.len())
+}
+
+#[test]
+fn table_and_encoder_agree_on_section_1_example() {
+    let cs = ConstraintSet::parse(
+        &["a", "b", "c", "d"],
+        "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+    )
+    .unwrap();
+    let table_width = solve_table(&cs).expect("feasible");
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert_eq!(table_width, enc.width());
+}
+
+#[test]
+fn table_and_encoder_agree_on_figure_8() {
+    let cs =
+        ConstraintSet::parse(&["s0", "s1", "s2", "s3"], "(s0,s1)\ns0>s1\ns1>s2\ns0=s1|s3").unwrap();
+    assert_eq!(solve_table(&cs), Some(2));
+    assert_eq!(
+        exact_encode(&cs, &ExactOptions::default()).unwrap().width(),
+        2
+    );
+}
+
+#[test]
+fn table_detects_figure_4_infeasibility() {
+    let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+    let cs = ConstraintSet::parse(
+        &names,
+        "(s1,s5)\n(s2,s5)\n(s4,s5)\n\
+         s0>s1\ns0>s2\ns0>s3\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns5>s3\n\
+         s0=s1|s2",
+    )
+    .unwrap();
+    assert_eq!(solve_table(&cs), None);
+}
+
+#[test]
+fn table_handles_input_only_problems() {
+    let mut cs = ConstraintSet::new(5);
+    cs.add_face([0, 1, 2]);
+    cs.add_face([2, 3]);
+    let table_width = solve_table(&cs).expect("input-only is always feasible");
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert_eq!(table_width, enc.width());
+}
+
+#[test]
+fn extended_disjunctive_rows_restrict_columns() {
+    let cs = ConstraintSet::parse(&["a", "b", "c"], "(b,c)\n(b&c)>=a").unwrap();
+    let table_width = solve_table(&cs).expect("feasible");
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert_eq!(table_width, enc.width());
+    assert!(enc.verify(&cs).is_empty());
+}

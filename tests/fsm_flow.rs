@@ -1,0 +1,156 @@
+//! Integration of the whole pipeline: FSM generation / KISS2 → symbolic
+//! minimization → constraints → encoders → semantic verification →
+//! encoded-PLA measurement.
+
+use ioenc::anneal::{anneal_encode, AnnealOptions};
+use ioenc::core::{
+    check_feasible, count_violations, exact_encode, heuristic_encode, CostFunction, EncodeError,
+    ExactOptions, HeuristicOptions,
+};
+use ioenc::kiss::{generate, BenchmarkSpec, Fsm};
+use ioenc::nova::{nova_encode, NovaOptions};
+use ioenc::symbolic::{
+    input_constraints, input_constraints_with_dc, measure_encoded, mixed_constraints, OutputProfile,
+};
+
+fn small_fsm() -> Fsm {
+    generate(&BenchmarkSpec::sized("flow", 10))
+}
+
+#[test]
+fn mixed_flow_exact_encoding_verifies() {
+    let fsm = small_fsm();
+    let cs = mixed_constraints(&fsm, &OutputProfile::default());
+    assert!(check_feasible(&cs).is_feasible());
+    match exact_encode(&cs, &ExactOptions::default()) {
+        Ok(enc) => {
+            assert!(enc.verify(&cs).is_empty());
+            let (cubes, lits) = measure_encoded(&fsm, &enc);
+            assert!(cubes > 0 && lits > 0);
+        }
+        Err(EncodeError::PrimesExceeded { .. }) => {
+            // Acceptable outcome for an explosive instance; the check
+            // itself must still have been feasible.
+        }
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+#[test]
+fn heuristic_beats_or_matches_naive_on_violations() {
+    let fsm = small_fsm();
+    let cs = input_constraints(&fsm);
+    let heur = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+    let naive = ioenc::core::Encoding::new(heur.width(), (0..fsm.num_states() as u64).collect());
+    assert!(count_violations(&cs, &heur) <= count_violations(&cs, &naive));
+}
+
+#[test]
+fn all_encoders_produce_injective_codes() {
+    let fsm = small_fsm();
+    let cs = input_constraints_with_dc(&fsm);
+    let check = |enc: &ioenc::core::Encoding, label: &str| {
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), fsm.num_states(), "{label} collided");
+    };
+    check(
+        &heuristic_encode(&cs, &HeuristicOptions::default()).unwrap(),
+        "heuristic",
+    );
+    check(&nova_encode(&cs, &NovaOptions::default()), "nova");
+    check(
+        &anneal_encode(
+            &cs,
+            &AnnealOptions {
+                cost: CostFunction::Violations,
+                moves_per_temp: 4,
+                steps: 15,
+                ..Default::default()
+            },
+        ),
+        "anneal",
+    );
+}
+
+#[test]
+fn kiss2_file_drives_the_same_flow() {
+    let text = "\
+.i 1
+.o 1
+.s 4
+.r a
+0 a a 0
+1 a b 1
+0 b c 1
+1 b a 0
+0 c d 0
+1 c b 1
+- d a 1
+.e
+";
+    let fsm = Fsm::parse_kiss2(text).unwrap();
+    let cs = input_constraints(&fsm);
+    let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
+    assert_eq!(enc.width(), 2);
+    let (cubes, lits) = measure_encoded(&fsm, &enc);
+    assert!(cubes >= 1 && lits >= 1);
+}
+
+#[test]
+fn suite_small_members_flow_through_exact_encoding() {
+    for name in ["dk512", "master"] {
+        let fsm = ioenc::kiss::suite()
+            .into_iter()
+            .find(|f| f.name() == name)
+            .unwrap();
+        let cs = mixed_constraints(
+            &fsm,
+            &OutputProfile {
+                max_dominance: 20,
+                max_disjunctive: 3,
+            },
+        );
+        let enc =
+            exact_encode(&cs, &ExactOptions::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(enc.verify(&cs).is_empty(), "{name} failed verification");
+    }
+}
+
+#[test]
+fn dc_constraints_never_hurt_width() {
+    // Encoding don't cares only relax face constraints: the exact width
+    // with them can never exceed the width with don't cares forced in.
+    let fsm = generate(&BenchmarkSpec::sized("dcw", 8));
+    let with_dc = input_constraints_with_dc(&fsm);
+    let forced = {
+        let mut cs = ioenc::core::ConstraintSet::new(8);
+        for f in with_dc.faces() {
+            let all: Vec<usize> = f.members.iter().chain(f.dont_cares.iter()).collect();
+            cs.add_face(all);
+        }
+        cs
+    };
+    let w_dc = exact_encode(&with_dc, &ExactOptions::default())
+        .unwrap()
+        .width();
+    let w_forced = exact_encode(&forced, &ExactOptions::default())
+        .unwrap()
+        .width();
+    assert!(w_dc <= w_forced);
+}
+
+#[test]
+fn sample_controllers_assign_cleanly() {
+    use ioenc::symbolic::{assign_states, Strategy};
+    for fsm in ioenc::kiss::samples::samples() {
+        let a = assign_states(&fsm, &Strategy::HeuristicInput(CostFunction::Cubes))
+            .unwrap_or_else(|e| panic!("{}: {e}", fsm.name()));
+        let mut codes = a.encoding.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), fsm.num_states(), "{} collided", fsm.name());
+        assert!(a.pla_cost.0 > 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end checks of every worked example in the paper, through the
+//! public umbrella API.
+
+use ioenc::core::{
+    check_feasible, cost_of, exact_encode, exact_encode_report, generate_primes,
+    initial_dichotomies, ConstraintSet, CostFunction, Dichotomy, EncodeError, Encoding,
+    ExactOptions,
+};
+
+/// Section 1: the introductory mixed example has a 2-bit solution, e.g.
+/// a=11, b=01, c=00, d=10.
+#[test]
+fn section_1_running_example() {
+    let cs = ConstraintSet::parse(
+        &["a", "b", "c", "d"],
+        "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+    )
+    .unwrap();
+    // The paper's own solution verifies.
+    let paper = Encoding::new(2, vec![0b11, 0b01, 0b00, 0b10]);
+    assert!(paper.verify(&cs).is_empty());
+    // And the exact encoder matches the minimum length.
+    let report = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+    assert!(report.optimal);
+    assert_eq!(report.encoding.width(), 2);
+    assert!(report.encoding.verify(&cs).is_empty());
+}
+
+/// Figure 3: 9 initial dichotomies (with the paper's symmetry pinning),
+/// 7 prime dichotomies, minimum cover of 4.
+#[test]
+fn figure_3_pipeline() {
+    let mut cs = ConstraintSet::new(5);
+    cs.add_face([0, 2, 4]);
+    cs.add_face([0, 1, 4]);
+    cs.add_face([1, 2, 3]);
+    cs.add_face([1, 3, 4]);
+    let initial = initial_dichotomies(&cs, true);
+    assert_eq!(initial.len(), 9);
+    let primes = generate_primes(&initial, 10_000).unwrap();
+    assert_eq!(primes.len(), 7);
+    // The paper's four-prime minimum cover, modulo orientation.
+    let paper_cover = [
+        Dichotomy::from_blocks(5, [0, 2, 4], [1, 3]),
+        Dichotomy::from_blocks(5, [2, 3], [0, 1, 4]),
+        Dichotomy::from_blocks(5, [0, 4], [1, 2, 3]),
+        Dichotomy::from_blocks(5, [0, 2], [1, 3, 4]),
+    ];
+    for p in &paper_cover {
+        assert!(primes.iter().any(|q| q == p || *q == p.flipped()));
+    }
+    let report = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+    assert_eq!(report.encoding.width(), 4);
+    assert!(report.encoding.verify(&cs).is_empty());
+}
+
+/// Figure 4: the mixed set is infeasible with exactly the uncovered pair
+/// (s0; s1 s5) / (s1 s5; s0) — the instance the Devadas–Newton check
+/// wrongly accepts.
+#[test]
+fn figure_4_infeasibility() {
+    let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+    let cs = ConstraintSet::parse(
+        &names,
+        "(s1,s5)\n(s2,s5)\n(s4,s5)\n\
+         s0>s1\ns0>s2\ns0>s3\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns5>s3\n\
+         s0=s1|s2",
+    )
+    .unwrap();
+    let r = check_feasible(&cs);
+    assert_eq!(r.initial.len(), 26);
+    assert!(!r.is_feasible());
+    let mut uncovered = r.uncovered.clone();
+    uncovered.sort();
+    assert_eq!(
+        uncovered,
+        vec![
+            Dichotomy::from_blocks(6, [0], [1, 5]),
+            Dichotomy::from_blocks(6, [1, 5], [0]),
+        ]
+    );
+    // The paper's six raised dichotomies all appear.
+    for (l, r_block) in [
+        (vec![1, 3], vec![0, 2, 4, 5]),
+        (vec![2, 3], vec![0, 1, 4, 5]),
+        (vec![2, 3, 4, 5], vec![0, 1]),
+        (vec![0, 1, 2, 3, 5], vec![4]),
+        (vec![2, 3, 5], vec![0, 1]),
+        (vec![2, 3, 5], vec![4]),
+    ] {
+        let d = Dichotomy::from_blocks(6, l, r_block);
+        assert!(r.raised.contains(&d), "missing {d:?}");
+    }
+    // The exact encoder reports the same infeasibility.
+    assert!(matches!(
+        exact_encode(&cs, &ExactOptions::default()),
+        Err(EncodeError::Infeasible { .. })
+    ));
+}
+
+/// Figure 8: the mixed example solves in 2 bits; the paper's encoding
+/// s0=11, s1=10, s2=00, s3=01 verifies.
+#[test]
+fn figure_8_exact_mixed() {
+    let cs =
+        ConstraintSet::parse(&["s0", "s1", "s2", "s3"], "(s0,s1)\ns0>s1\ns1>s2\ns0=s1|s3").unwrap();
+    let paper = Encoding::new(2, vec![0b11, 0b10, 0b00, 0b01]);
+    assert!(paper.verify(&cs).is_empty());
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert_eq!(enc.width(), 2);
+    assert!(enc.verify(&cs).is_empty());
+}
+
+/// Section 7 / Figure 9: the constraint set needs 4 bits when everything
+/// must hold; the paper's 4-bit encoding costs 4 cubes, and any 3-bit
+/// encoding violates constraints and pays more cubes.
+#[test]
+fn figure_9_cost_shapes() {
+    let names = ["a", "b", "c", "d", "e", "f", "g"];
+    let cs = ConstraintSet::parse(&names, "(e,f,c)\n(e,d,g)\n(a,b,d)\n(a,g,f,d)").unwrap();
+    let four = Encoding::new(
+        4,
+        vec![0b1010, 0b0010, 0b0011, 0b1110, 0b0111, 0b1011, 0b1100],
+    );
+    assert!(four.verify(&cs).is_empty());
+    assert_eq!(cost_of(&cs, &four, CostFunction::Cubes), 4);
+    let three = Encoding::new(3, vec![0b010, 0b110, 0b111, 0b000, 0b101, 0b011, 0b001]);
+    let violations = cost_of(&cs, &three, CostFunction::Violations);
+    assert!(violations >= 1);
+    assert!(cost_of(&cs, &three, CostFunction::Cubes) > 4);
+    assert!(
+        cost_of(&cs, &three, CostFunction::Literals) > cost_of(&cs, &four, CostFunction::Literals)
+    );
+}
+
+/// Section 8.1: the don't-care example — 3 primes with don't cares, 4
+/// without (in either direction).
+#[test]
+fn section_8_1_dont_cares() {
+    let names = ["a", "b", "c", "d", "e", "f"];
+    let cases = [
+        ("(a,b)\n(a,c)\n(a,d)\n(a,b,[c,d],e)", 3),
+        ("(a,b)\n(a,c)\n(a,d)\n(a,b,c,d,e)", 4),
+        ("(a,b)\n(a,c)\n(a,d)\n(a,b,e)", 4),
+    ];
+    for (text, bits) in cases {
+        let cs = ConstraintSet::parse(&names, text).unwrap();
+        let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+        assert_eq!(enc.width(), bits, "constraints: {text}");
+        assert!(enc.verify(&cs).is_empty());
+    }
+}
+
+/// Section 8.2: distance-2 constraints hold in the exact encoder.
+#[test]
+fn section_8_2_distance_2() {
+    let mut cs = ConstraintSet::new(5);
+    cs.add_face([0, 1]);
+    cs.add_face([2, 3]);
+    cs.add_distance2(0, 1);
+    cs.add_distance2(2, 4);
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert!(enc.verify(&cs).is_empty());
+    assert!(ioenc::core::hamming(enc.code(0), enc.code(1)) >= 2);
+    assert!(ioenc::core::hamming(enc.code(2), enc.code(4)) >= 2);
+}
+
+/// Section 8.3: the non-face example; the paper's 3-bit encoding verifies
+/// and the solver finds a satisfying encoding of at most that width.
+#[test]
+fn section_8_3_non_face() {
+    let names = ["a", "b", "c", "d", "e", "f"];
+    let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)").unwrap();
+    let paper = Encoding::new(3, vec![0b011, 0b001, 0b101, 0b100, 0b111, 0b110]);
+    assert!(paper.verify(&cs).is_empty());
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert!(enc.verify(&cs).is_empty());
+    assert!(enc.width() <= 3);
+}
+
+/// Section 6.2: the extended disjunctive example
+/// (a∧b∧c)∨(a∧d∧e)∨(a∧f∧g)=a, reduced to (b∧c)∨(d∧e)∨(f∧g) >= a.
+#[test]
+fn section_6_2_extended_disjunctive() {
+    let names = ["a", "b", "c", "d", "e", "f", "g"];
+    let cs = ConstraintSet::parse(&names, "(b&c)|(d&e)|(f&g)>=a").unwrap();
+    assert!(check_feasible(&cs).is_feasible());
+    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    assert!(enc.verify(&cs).is_empty());
+}
