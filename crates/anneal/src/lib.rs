@@ -29,8 +29,7 @@
 //! ```
 
 use ioenc_core::{cost_of, ConstraintSet, CostFunction, Encoding};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ioenc_rng::SplitMix64;
 
 /// Options for [`anneal_encode`].
 #[derive(Debug, Clone)]
@@ -81,7 +80,7 @@ pub fn anneal_encode(cs: &ConstraintSet, opts: &AnnealOptions) -> Encoding {
     assert!(width < 64, "codes wider than 63 bits are unsupported");
     assert!(1usize << width >= n, "length cannot give distinct codes");
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = SplitMix64::new(opts.seed);
     let total = 1u64 << width;
     // Initial assignment: identity codes.
     let mut codes: Vec<u64> = (0..n as u64).collect();

@@ -1,14 +1,13 @@
 //! The unate and binate covering solvers (the final step of exact
 //! encoding, Section 4's abstraction).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_bench::harness::Runner;
 use ioenc_cover::{BinateProblem, UnateProblem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ioenc_rng::SplitMix64;
 use std::hint::black_box;
 
 fn random_unate(cols: usize, rows: usize, density: f64, seed: u64) -> UnateProblem {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut p = UnateProblem::new(cols);
     for _ in 0..rows {
         let mut row: Vec<usize> = (0..cols).filter(|_| rng.gen_bool(density)).collect();
@@ -20,41 +19,24 @@ fn random_unate(cols: usize, rows: usize, density: f64, seed: u64) -> UnateProbl
     p
 }
 
-fn bench_unate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cover/unate-exact");
-    group.sample_size(10);
+fn main() {
+    let mut r = Runner::from_env();
+
     for (cols, rows) in [(20usize, 14usize), (30, 20), (45, 28)] {
         let p = random_unate(cols, rows, 0.2, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{cols}x{rows}")),
-            &p,
-            |b, p| {
-                b.iter(|| black_box(p).solve_exact().unwrap());
-            },
-        );
+        r.bench(&format!("cover/unate-exact/{cols}x{rows}"), || {
+            black_box(&p).solve_exact().unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_greedy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cover/unate-greedy");
     for (cols, rows) in [(60usize, 40usize), (240, 120)] {
         let p = random_unate(cols, rows, 0.15, 7);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{cols}x{rows}")),
-            &p,
-            |b, p| {
-                b.iter(|| black_box(p).solve_greedy().unwrap());
-            },
-        );
+        r.bench(&format!("cover/unate-greedy/{cols}x{rows}"), || {
+            black_box(&p).solve_greedy().unwrap()
+        });
     }
-    group.finish();
-}
 
-fn bench_binate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cover/binate-exact");
-    group.sample_size(10);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = SplitMix64::new(11);
     for cols in [20usize, 40] {
         let mut p = BinateProblem::new(cols);
         for _ in 0..cols {
@@ -64,14 +46,8 @@ fn bench_binate(c: &mut Criterion) {
                 p.add_clause(pos, neg);
             }
         }
-        group.bench_with_input(BenchmarkId::from_parameter(cols), &p, |b, p| {
-            b.iter(|| {
-                let _ = black_box(p).solve_exact();
-            });
+        r.bench(&format!("cover/binate-exact/{cols}"), || {
+            let _ = black_box(&p).solve_exact();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_unate, bench_greedy, bench_binate);
-criterion_main!(benches);

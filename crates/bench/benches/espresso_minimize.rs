@@ -1,17 +1,16 @@
 //! The two-level minimizer substrate: symbolic (multiple-valued) covers of
 //! suite machines and random multi-output PLAs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_bench::harness::Runner;
 use ioenc_cube::{Cover, Cube, VarSpec};
 use ioenc_espresso::minimize;
+use ioenc_rng::SplitMix64;
 use ioenc_symbolic::input_constraints;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
 fn random_pla(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> (Cover, Cover) {
     let spec = VarSpec::binary_with_output(inputs, outputs.max(2));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut on = Cover::empty(spec.clone());
     for _ in 0..cubes {
         let mut c = Cube::universe(&spec);
@@ -32,33 +31,20 @@ fn random_pla(inputs: usize, outputs: usize, cubes: usize, seed: u64) -> (Cover,
     (on, Cover::empty(spec))
 }
 
-fn bench_random_plas(c: &mut Criterion) {
-    let mut group = c.benchmark_group("espresso/random");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::from_env();
+
     for (inputs, cubes) in [(6usize, 20usize), (8, 40), (10, 60)] {
         let (on, dc) = random_pla(inputs, 4, cubes, 42);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{inputs}in_{cubes}cubes")),
-            &(on, dc),
-            |b, (on, dc)| {
-                b.iter(|| minimize(black_box(on), black_box(dc), None));
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_symbolic_covers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("espresso/symbolic");
-    group.sample_size(10);
-    for name in ["dk512", "bbsse"] {
-        let fsm = ioenc_bench::benchmark(name);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &fsm, |b, fsm| {
-            b.iter(|| input_constraints(black_box(fsm)));
+        r.bench(&format!("espresso/random/{inputs}in_{cubes}cubes"), || {
+            minimize(black_box(&on), black_box(&dc), None)
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_random_plas, bench_symbolic_covers);
-criterion_main!(benches);
+    for name in ["dk512", "bbsse"] {
+        let fsm = ioenc_bench::benchmark(name);
+        r.bench(&format!("espresso/symbolic/{name}"), || {
+            input_constraints(black_box(&fsm))
+        });
+    }
+}

@@ -1,13 +1,14 @@
 //! The full exact encoder of Table 1 (primes + exact unate covering) on the
 //! small and mid-size suite machines, plus the paper's worked examples.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_bench::harness::Runner;
 use ioenc_bench::{benchmark, table1_constraints};
 use ioenc_core::{exact_encode, ConstraintSet, ExactOptions};
 use std::hint::black_box;
 
-fn bench_worked_examples(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact/worked-examples");
+fn main() {
+    let mut r = Runner::from_env();
+
     let cases: Vec<(&str, ConstraintSet)> = vec![
         (
             "section1",
@@ -23,30 +24,19 @@ fn bench_worked_examples(c: &mut Criterion) {
                 .unwrap(),
         ),
     ];
-    for (name, cs) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cs, |b, cs| {
-            b.iter(|| exact_encode(black_box(cs), &ExactOptions::default()).unwrap());
+    for (name, cs) in &cases {
+        r.bench(&format!("exact/worked-examples/{name}"), || {
+            exact_encode(black_box(cs), &ExactOptions::default()).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_suite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact/suite");
-    group.sample_size(10);
     for name in ["dk512", "master", "bbsse"] {
         let fsm = benchmark(name);
         let cs = table1_constraints(&fsm);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cs, |b, cs| {
-            b.iter(|| {
-                // Some suite machines legitimately exceed the prime cap;
-                // both outcomes are the measured work.
-                let _ = exact_encode(black_box(cs), &ExactOptions::default());
-            });
+        r.bench(&format!("exact/suite/{name}"), || {
+            // Some suite machines legitimately exceed the prime cap;
+            // both outcomes are the measured work.
+            let _ = exact_encode(black_box(&cs), &ExactOptions::default());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_worked_examples, bench_suite);
-criterion_main!(benches);

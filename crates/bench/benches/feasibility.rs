@@ -1,23 +1,18 @@
 //! The polynomial feasibility check of Theorem 6.1 (problem P-1) on the
 //! benchmark suite's mixed constraint sets.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_bench::harness::Runner;
 use ioenc_bench::{benchmark, table1_constraints};
 use ioenc_core::check_feasible;
 use std::hint::black_box;
 
-fn bench_feasibility(c: &mut Criterion) {
-    let mut group = c.benchmark_group("feasibility");
-    group.sample_size(20);
+fn main() {
+    let mut r = Runner::from_env();
     for name in ["bbsse", "dk512", "master", "s1"] {
         let fsm = benchmark(name);
         let cs = table1_constraints(&fsm);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cs, |b, cs| {
-            b.iter(|| check_feasible(black_box(cs)));
+        r.bench(&format!("feasibility/{name}"), || {
+            check_feasible(black_box(&cs))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_feasibility);
-criterion_main!(benches);

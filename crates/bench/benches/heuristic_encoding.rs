@@ -2,84 +2,51 @@
 //! Tables 2–3 on the same constraint sets, one iteration each — the raw
 //! material behind Table 3's run-time ratios.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ioenc_anneal::{anneal_encode, AnnealOptions};
+use ioenc_bench::harness::Runner;
 use ioenc_core::{heuristic_encode, CostFunction, HeuristicOptions};
 use ioenc_nova::{nova_encode, NovaOptions};
 use ioenc_symbolic::input_constraints;
 use std::hint::black_box;
 
-fn bench_encoders(c: &mut Criterion) {
+fn main() {
+    let mut r = Runner::from_env();
+
     let fsm = ioenc_bench::benchmark("dk512");
     let cs = input_constraints(&fsm);
 
-    let mut group = c.benchmark_group("encoders/dk512");
-    group.sample_size(10);
-    group.bench_function("heuristic-violations", |b| {
-        b.iter(|| {
-            heuristic_encode(
-                black_box(&cs),
-                &HeuristicOptions {
-                    cost: CostFunction::Violations,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        });
+    let violations = HeuristicOptions::new().with_cost(CostFunction::Violations);
+    r.bench("encoders/dk512/heuristic-violations", || {
+        heuristic_encode(black_box(&cs), &violations).unwrap()
     });
-    group.bench_function("heuristic-cubes", |b| {
-        b.iter(|| {
-            heuristic_encode(
-                black_box(&cs),
-                &HeuristicOptions {
-                    cost: CostFunction::Cubes,
-                    selection_cap: 60,
-                    ..Default::default()
-                },
-            )
-            .unwrap()
-        });
-    });
-    group.bench_function("nova", |b| {
-        b.iter(|| nova_encode(black_box(&cs), &NovaOptions::default()));
-    });
-    group.bench_function("anneal-short", |b| {
-        b.iter(|| {
-            anneal_encode(
-                black_box(&cs),
-                &AnnealOptions {
-                    cost: CostFunction::Violations,
-                    moves_per_temp: 4,
-                    steps: 20,
-                    ..Default::default()
-                },
-            )
-        });
-    });
-    group.finish();
-}
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("heuristic/scaling");
-    group.sample_size(10);
+    let cubes = HeuristicOptions::new()
+        .with_cost(CostFunction::Cubes)
+        .with_selection_cap(60);
+    r.bench("encoders/dk512/heuristic-cubes", || {
+        heuristic_encode(black_box(&cs), &cubes).unwrap()
+    });
+
+    r.bench("encoders/dk512/nova", || {
+        nova_encode(black_box(&cs), &NovaOptions::default())
+    });
+
+    let anneal_opts = AnnealOptions {
+        cost: CostFunction::Violations,
+        moves_per_temp: 4,
+        steps: 20,
+        ..Default::default()
+    };
+    r.bench("encoders/dk512/anneal-short", || {
+        anneal_encode(black_box(&cs), &anneal_opts)
+    });
+
     for name in ["dk512", "bbsse", "donfile"] {
         let fsm = ioenc_bench::benchmark(name);
         let cs = input_constraints(&fsm);
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cs, |b, cs| {
-            b.iter(|| {
-                heuristic_encode(
-                    black_box(cs),
-                    &HeuristicOptions {
-                        cost: CostFunction::Violations,
-                        ..Default::default()
-                    },
-                )
-                .unwrap()
-            });
+        let opts = HeuristicOptions::new().with_cost(CostFunction::Violations);
+        r.bench(&format!("heuristic/scaling/{name}"), || {
+            heuristic_encode(black_box(&cs), &opts).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_encoders, bench_scaling);
-criterion_main!(benches);

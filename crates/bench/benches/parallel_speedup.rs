@@ -1,0 +1,47 @@
+//! Parallel solver speedup: the same prime-generation and covering work at
+//! one thread and at four, reported as a ratio.
+//!
+//! The outputs are bit-identical across thread counts (asserted here), so
+//! the only difference is wall clock. Run with
+//! `cargo bench --bench parallel_speedup`.
+
+use ioenc_bench::harness::{fmt_duration, min_time_of};
+use ioenc_core::{generate_primes_with, initial_dichotomies, ConstraintSet, Parallelism};
+use std::hint::black_box;
+
+fn speedup(name: &str, initial: &[ioenc_core::Dichotomy], cap: usize) {
+    let (seq_primes, _) = generate_primes_with(initial, cap, Parallelism::Off).unwrap();
+    let (par_primes, stats) = generate_primes_with(initial, cap, Parallelism::Fixed(4)).unwrap();
+    assert_eq!(
+        seq_primes, par_primes,
+        "parallel result must be bit-identical"
+    );
+
+    const RUNS: usize = 3;
+    let t1 = min_time_of(RUNS, || {
+        generate_primes_with(black_box(initial), cap, Parallelism::Fixed(1)).unwrap()
+    });
+    let t4 = min_time_of(RUNS, || {
+        generate_primes_with(black_box(initial), cap, Parallelism::Fixed(4)).unwrap()
+    });
+    println!(
+        "{name}: {} primes, 1 thread {}, 4 threads {}, speedup {:.2}x ({} ps steps, peak {} terms)",
+        seq_primes.len(),
+        fmt_duration(t1),
+        fmt_duration(t4),
+        t1.as_secs_f64() / t4.as_secs_f64(),
+        stats.ps_steps,
+        stats.peak_terms,
+    );
+}
+
+fn main() {
+    // Unconstrained problems maximize the number of prime dichotomies
+    // (2^n − 2), giving long term lists for the partition, absorption and
+    // antichain passes to chew through.
+    for n in [11usize, 12] {
+        let cs = ConstraintSet::new(n);
+        let initial = initial_dichotomies(&cs, true);
+        speedup(&format!("primes/unconstrained/{n}"), &initial, 10_000_000);
+    }
+}

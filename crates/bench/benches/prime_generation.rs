@@ -5,7 +5,7 @@
 //! face constraints prune the compatibles; the algorithm's cost tracks the
 //! *output* size, not an exponential recursion tree.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ioenc_bench::harness::Runner;
 use ioenc_core::{generate_primes, initial_dichotomies, ConstraintSet};
 use std::hint::black_box;
 
@@ -18,30 +18,22 @@ fn figure3_constraints(n: usize) -> ConstraintSet {
     cs
 }
 
-fn bench_constrained(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primes/constrained");
+fn main() {
+    let mut r = Runner::from_env();
+
     for n in [6usize, 8, 10, 12] {
         let cs = figure3_constraints(n);
         let initial = initial_dichotomies(&cs, true);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
-            b.iter(|| generate_primes(black_box(initial), 1_000_000).unwrap());
+        r.bench(&format!("primes/constrained/{n}"), || {
+            generate_primes(black_box(&initial), 1_000_000).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_unconstrained(c: &mut Criterion) {
-    let mut group = c.benchmark_group("primes/unconstrained");
-    group.sample_size(10);
     for n in [6usize, 8, 10] {
         let cs = ConstraintSet::new(n);
         let initial = initial_dichotomies(&cs, true);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &initial, |b, initial| {
-            b.iter(|| generate_primes(black_box(initial), 10_000_000).unwrap());
+        r.bench(&format!("primes/unconstrained/{n}"), || {
+            generate_primes(black_box(&initial), 10_000_000).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_constrained, bench_unconstrained);
-criterion_main!(benches);

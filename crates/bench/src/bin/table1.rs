@@ -32,6 +32,13 @@ fn main() {
                     secs,
                     if report.optimal { "" } else { "  (bound hit)" }
                 );
+                eprintln!(
+                    "# {name}: {} cover nodes, {} prunes, {} tasks on {} threads",
+                    report.stats.cover.nodes,
+                    report.stats.cover.prunes,
+                    report.stats.cover.tasks,
+                    report.stats.cover.threads
+                );
             }
             Err(EncodeError::PrimesExceeded { limit }) => {
                 println!(

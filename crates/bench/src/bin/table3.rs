@@ -37,14 +37,12 @@ fn main() {
         let start = Instant::now();
         let enc = heuristic_encode(
             &cs,
-            &HeuristicOptions {
-                cost: CostFunction::Literals,
-                // Bound the espresso-driven polish on the very large
-                // machines (the paper's ENC likewise restricts the number
-                // of cost evaluations).
-                selection_cap: if fsm.num_states() > 40 { 80 } else { 400 },
-                ..Default::default()
-            },
+            // Bound the espresso-driven polish on the very large machines
+            // (the paper's ENC likewise restricts the number of cost
+            // evaluations).
+            &HeuristicOptions::new()
+                .with_cost(CostFunction::Literals)
+                .with_selection_cap(if fsm.num_states() > 40 { 80 } else { 400 }),
         )
         .expect("minimum length is always encodable");
         let enc_time = start.elapsed().as_secs_f64();

@@ -1,0 +1,171 @@
+//! A small, dependency-free micro-benchmark harness.
+//!
+//! Each file under `benches/` is a `harness = false` bench target whose
+//! `main` builds a [`Runner`] and registers closures with
+//! [`Runner::bench`]. The runner times each closure adaptively (more
+//! iterations for fast bodies, fewer samples for slow ones) and prints
+//! min/median/mean wall-clock times.
+//!
+//! Command-line contract (matching what `cargo bench <filter>` forwards):
+//! the first non-flag argument is a substring filter on benchmark names;
+//! `--list` prints the names without running anything; all other flags are
+//! ignored so `cargo bench`'s own arguments (`--bench`, etc.) pass through
+//! harmlessly.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Bodies slower than this run once per sample with fewer samples.
+const SLOW_THRESHOLD: Duration = Duration::from_millis(100);
+const SAMPLES: usize = 10;
+const SLOW_SAMPLES: usize = 3;
+const MAX_ITERS: u64 = 100_000;
+
+/// Runs registered benchmarks, honoring a name filter from the command
+/// line.
+pub struct Runner {
+    filter: Option<String>,
+    list_only: bool,
+    ran: usize,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl Runner {
+    /// Builds a runner from `std::env::args`.
+    pub fn from_env() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        for arg in std::env::args().skip(1) {
+            if arg == "--list" {
+                list_only = true;
+            } else if !arg.starts_with('-') && filter.is_none() {
+                filter = Some(arg);
+            }
+        }
+        Runner {
+            filter,
+            list_only,
+            ran: 0,
+        }
+    }
+
+    /// Times `f`, printing one result line, unless filtered out.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.list_only {
+            println!("{name}: bench");
+            return;
+        }
+        self.ran += 1;
+
+        // Warm-up call doubles as the cost estimate.
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed();
+
+        let (iters, samples) = if once >= SLOW_THRESHOLD {
+            (1, SLOW_SAMPLES)
+        } else {
+            let per = once.max(Duration::from_nanos(1));
+            let iters = (SAMPLE_TARGET.as_nanos() / per.as_nanos()).clamp(1, MAX_ITERS as u128);
+            (iters as u64, SAMPLES)
+        };
+
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{name:<44} min {:>9}  median {:>9}  mean {:>9}  ({samples} samples x {iters} iters)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+        );
+    }
+
+    /// Number of benchmarks actually executed (0 when listing/filtered).
+    pub fn ran(&self) -> usize {
+        self.ran
+    }
+}
+
+/// Formats a duration with an auto-selected unit.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Times a single call of `f`, returning its result and the elapsed time.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Times `f` over `runs` calls and returns the minimum wall-clock time.
+///
+/// Used by the parallel speed-up report, where the quantity of interest is
+/// a ratio of best-case times rather than a distribution.
+pub fn min_time_of<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed()
+        })
+        .min()
+        .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn min_time_is_positive() {
+        let d = min_time_of(3, || std::hint::black_box((0..100).sum::<u64>()));
+        assert!(d > Duration::ZERO);
+    }
+}

@@ -12,9 +12,11 @@
 //! * `figures` — the worked examples of Figures 1, 3, 4, 8 and 9 and the
 //!   Section 8 extensions.
 //!
-//! The `benches/` directory contains the corresponding Criterion
-//! micro-benchmarks. Paper-vs-measured results are recorded in
-//! `EXPERIMENTS.md` at the workspace root.
+//! The `benches/` directory contains the corresponding micro-benchmarks,
+//! driven by the dependency-free [`harness`] module. Paper-vs-measured
+//! results are recorded in `EXPERIMENTS.md` at the workspace root.
+
+pub mod harness;
 
 use ioenc_core::ConstraintSet;
 use ioenc_kiss::Fsm;

@@ -11,14 +11,23 @@ fn figures_binary_reproduces_the_paper() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     // Figure 3: 9 initial dichotomies, 7 primes, 4-prime cover.
-    assert!(stdout.contains("initial encoding-dichotomies (9)"), "{stdout}");
-    assert!(stdout.contains("prime encoding-dichotomies (7)"), "{stdout}");
+    assert!(
+        stdout.contains("initial encoding-dichotomies (9)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("prime encoding-dichotomies (7)"),
+        "{stdout}"
+    );
     assert!(stdout.contains("minimum cover (4 primes)"), "{stdout}");
     // Figure 4: infeasible with the uncovered pair.
     assert!(stdout.contains("feasible: false"), "{stdout}");
     assert!(stdout.contains("(s0; s1 s5)"), "{stdout}");
     // Figure 9 and Section 8.1 shapes.
-    assert!(stdout.contains("4-bit encoding: violations = 0, cubes = 4"), "{stdout}");
+    assert!(
+        stdout.contains("4-bit encoding: violations = 0, cubes = 4"),
+        "{stdout}"
+    );
     assert!(
         stdout.contains("with don't cares (a,b,[c,d],e): minimum cover of 3 primes"),
         "{stdout}"

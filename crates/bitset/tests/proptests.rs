@@ -1,16 +1,17 @@
-//! Property-based tests checking `BitSet` against `std::collections::BTreeSet`.
+//! Randomized model tests checking `BitSet` against
+//! `std::collections::BTreeSet`, driven by the workspace's deterministic
+//! PRNG (no external proptest dependency; every run checks the same cases).
 
 use ioenc_bitset::BitSet;
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 use std::collections::BTreeSet;
 
 const CAP: usize = 150;
+const CASES: usize = 300;
 
-fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
-    (
-        prop::collection::vec(0..CAP, 0..40),
-        prop::collection::vec(0..CAP, 0..40),
-    )
+fn random_indices(rng: &mut SplitMix64) -> Vec<usize> {
+    let len = rng.gen_range(0..40);
+    (0..len).map(|_| rng.gen_range(0..CAP)).collect()
 }
 
 fn build(v: &[usize]) -> (BitSet, BTreeSet<usize>) {
@@ -20,57 +21,80 @@ fn build(v: &[usize]) -> (BitSet, BTreeSet<usize>) {
     )
 }
 
-proptest! {
-    #[test]
-    fn union_matches_model((a, b) in model_pair()) {
+/// Runs `f` over `CASES` random pairs of index vectors.
+fn for_random_pairs(seed: u64, mut f: impl FnMut(Vec<usize>, Vec<usize>)) {
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..CASES {
+        f(random_indices(&mut rng), random_indices(&mut rng));
+    }
+}
+
+#[test]
+fn union_matches_model() {
+    for_random_pairs(0xb1, |a, b| {
         let (sa, ma) = build(&a);
         let (sb, mb) = build(&b);
         let want: Vec<usize> = ma.union(&mb).copied().collect();
-        prop_assert_eq!(sa.union(&sb).iter().collect::<Vec<_>>(), want);
-    }
+        assert_eq!(sa.union(&sb).iter().collect::<Vec<_>>(), want);
+    });
+}
 
-    #[test]
-    fn intersection_matches_model((a, b) in model_pair()) {
+#[test]
+fn intersection_matches_model() {
+    for_random_pairs(0xb2, |a, b| {
         let (sa, ma) = build(&a);
         let (sb, mb) = build(&b);
         let want: Vec<usize> = ma.intersection(&mb).copied().collect();
-        prop_assert_eq!(sa.intersection(&sb).iter().collect::<Vec<_>>(), want);
-    }
+        assert_eq!(sa.intersection(&sb).iter().collect::<Vec<_>>(), want);
+    });
+}
 
-    #[test]
-    fn difference_matches_model((a, b) in model_pair()) {
+#[test]
+fn difference_matches_model() {
+    for_random_pairs(0xb3, |a, b| {
         let (sa, ma) = build(&a);
         let (sb, mb) = build(&b);
         let want: Vec<usize> = ma.difference(&mb).copied().collect();
-        prop_assert_eq!(sa.difference(&sb).iter().collect::<Vec<_>>(), want);
-    }
+        assert_eq!(sa.difference(&sb).iter().collect::<Vec<_>>(), want);
+    });
+}
 
-    #[test]
-    fn relations_match_model((a, b) in model_pair()) {
+#[test]
+fn relations_match_model() {
+    for_random_pairs(0xb4, |a, b| {
         let (sa, ma) = build(&a);
         let (sb, mb) = build(&b);
-        prop_assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
-        prop_assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
-        prop_assert_eq!(sa.count(), ma.len());
-        prop_assert_eq!(sa == sb, ma == mb);
-    }
+        assert_eq!(sa.is_subset(&sb), ma.is_subset(&mb));
+        assert_eq!(sa.is_disjoint(&sb), ma.is_disjoint(&mb));
+        assert_eq!(sa.count(), ma.len());
+        assert_eq!(sa == sb, ma == mb);
+    });
+}
 
-    #[test]
-    fn complement_involution(a in prop::collection::vec(0..CAP, 0..40)) {
+#[test]
+fn complement_involution() {
+    let mut rng = SplitMix64::new(0xb5);
+    for _ in 0..CASES {
+        let a = random_indices(&mut rng);
         let (sa, ma) = build(&a);
         let c = sa.complement();
-        prop_assert_eq!(c.count(), CAP - ma.len());
-        prop_assert!(c.is_disjoint(&sa));
-        prop_assert_eq!(c.complement(), sa);
+        assert_eq!(c.count(), CAP - ma.len());
+        assert!(c.is_disjoint(&sa));
+        assert_eq!(c.complement(), sa);
     }
+}
 
-    #[test]
-    fn remove_inverts_insert(a in prop::collection::vec(0..CAP, 0..40), x in 0..CAP) {
+#[test]
+fn remove_inverts_insert() {
+    let mut rng = SplitMix64::new(0xb6);
+    for _ in 0..CASES {
+        let a = random_indices(&mut rng);
+        let x = rng.gen_range(0..CAP);
         let (mut sa, ma) = build(&a);
         let newly = sa.insert(x);
-        prop_assert_eq!(newly, !ma.contains(&x));
-        prop_assert!(sa.contains(x));
+        assert_eq!(newly, !ma.contains(&x));
+        assert!(sa.contains(x));
         sa.remove(x);
-        prop_assert!(!sa.contains(x));
+        assert!(!sa.contains(x));
     }
 }

@@ -6,9 +6,26 @@
 
 use crate::cost::{cost_of, CostFunction};
 use crate::{ConstraintSet, Dichotomy, EncodeError, Encoding};
+use ioenc_cover::Parallelism;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Options for [`bounded_exact_encode`].
+///
+/// Construct with [`BoundedExactOptions::new`] (or `default()`) and refine
+/// with the `with_*` methods; the struct is `#[non_exhaustive]`, so future
+/// options can be added without breaking callers.
+///
+/// ```
+/// use ioenc_core::{BoundedExactOptions, CostFunction};
+///
+/// let opts = BoundedExactOptions::new()
+///     .with_code_length(4)
+///     .with_cost(CostFunction::Cubes);
+/// assert_eq!(opts.code_length, Some(4));
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct BoundedExactOptions {
     /// Code length; `None` uses the minimum `⌈log₂ n⌉`.
     pub code_length: Option<usize>,
@@ -19,6 +36,9 @@ pub struct BoundedExactOptions {
     pub max_symbols: usize,
     /// Refuse instances whose selection space exceeds this many subsets.
     pub max_selections: u64,
+    /// Thread policy for the enumeration; results are bit-identical across
+    /// settings.
+    pub parallelism: Parallelism,
 }
 
 impl Default for BoundedExactOptions {
@@ -28,7 +48,45 @@ impl Default for BoundedExactOptions {
             cost: CostFunction::Violations,
             max_symbols: 8,
             max_selections: 5_000_000,
+            parallelism: Parallelism::Auto,
         }
+    }
+}
+
+impl BoundedExactOptions {
+    /// The default options (minimum code length, violation cost).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests an explicit code length instead of the minimum `⌈log₂ n⌉`.
+    pub fn with_code_length(mut self, bits: usize) -> Self {
+        self.code_length = Some(bits);
+        self
+    }
+
+    /// Sets the cost function to minimize.
+    pub fn with_cost(mut self, cost: CostFunction) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the largest accepted symbol count.
+    pub fn with_max_symbols(mut self, max: usize) -> Self {
+        self.max_symbols = max;
+        self
+    }
+
+    /// Sets the largest accepted selection-space size.
+    pub fn with_max_selections(mut self, max: u64) -> Self {
+        self.max_selections = max;
+        self
+    }
+
+    /// Sets the thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -86,9 +144,53 @@ pub fn bounded_exact_encode(
         }
     }
 
+    // The search branches on the first selected candidate; branches are
+    // independent (the running minimum never prunes, it only filters the
+    // final compare), so each branch computes its own first-in-order
+    // minimum and a strict-`<` merge in branch order reproduces the
+    // sequential result exactly. A work-stealing index balances the
+    // heavily skewed branch sizes.
+    let last_start = candidates.len().saturating_sub(c);
+    let threads = opts.parallelism.threads().min(last_start + 1);
     let mut best: Option<(u64, Encoding)> = None;
-    let mut chosen = Vec::with_capacity(c);
-    enumerate(cs, &candidates, c, 0, &mut chosen, &mut best, opts.cost);
+    if threads <= 1 {
+        let mut chosen = Vec::with_capacity(c);
+        enumerate(cs, &candidates, c, 0, &mut chosen, &mut best, opts.cost);
+    } else {
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<(u64, Encoding)>>> =
+            (0..=last_start).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i > last_start {
+                        break;
+                    }
+                    let mut local: Option<(u64, Encoding)> = None;
+                    let mut chosen = vec![i];
+                    enumerate(
+                        cs,
+                        &candidates,
+                        c,
+                        i + 1,
+                        &mut chosen,
+                        &mut local,
+                        opts.cost,
+                    );
+                    *results[i].lock().expect("branch result poisoned") = local;
+                });
+            }
+        });
+        for slot in results {
+            let local = slot.into_inner().expect("branch result poisoned");
+            if let Some((cost, enc)) = local {
+                if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                    best = Some((cost, enc));
+                }
+            }
+        }
+    }
     match best {
         Some((cost, enc)) => Ok((enc, cost)),
         None => Err(EncodeError::TooLarge {
@@ -173,6 +275,32 @@ mod tests {
         };
         let (_, cost) = bounded_exact_encode(&cs, &opts).unwrap();
         assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let encode = |par: Parallelism| {
+            let opts = BoundedExactOptions {
+                parallelism: par,
+                ..Default::default()
+            };
+            bounded_exact_encode(&cs, &opts).unwrap()
+        };
+        let (ref_enc, ref_cost) = encode(Parallelism::Off);
+        for par in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let (enc, cost) = encode(par);
+            assert_eq!(cost, ref_cost, "{par:?} cost diverged");
+            assert_eq!(enc.codes(), ref_enc.codes(), "{par:?} codes diverged");
+        }
     }
 
     #[test]

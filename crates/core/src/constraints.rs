@@ -1,6 +1,7 @@
 //! Constraint model: the input and output encoding constraints of the
 //! paper, with a small text format for tests and examples.
 
+use crate::EncodeError;
 use ioenc_bitset::BitSet;
 use std::fmt;
 
@@ -395,9 +396,9 @@ impl ConstraintSet {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending line on any syntax error or
-    /// unknown symbol.
-    pub fn parse(names: &[&str], text: &str) -> Result<Self, String> {
+    /// [`EncodeError::Parse`] naming the offending line on any syntax
+    /// error or unknown symbol.
+    pub fn parse(names: &[&str], text: &str) -> Result<Self, EncodeError> {
         let mut cs = ConstraintSet::with_names(names.iter().map(|s| s.to_string()).collect());
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -405,7 +406,7 @@ impl ConstraintSet {
                 continue;
             }
             cs.parse_line(line)
-                .map_err(|e| format!("line {}: {e}", ln + 1))?;
+                .map_err(|e| EncodeError::parse(format!("line {}: {e}", ln + 1)))?;
         }
         Ok(cs)
     }
@@ -659,8 +660,9 @@ mod tests {
     #[test]
     fn parse_errors_are_reported_with_lines() {
         let err = ConstraintSet::parse(&["a", "b"], "(a,b)\n(a,q)").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("unknown symbol"), "{err}");
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("unknown symbol"), "{msg}");
         assert!(ConstraintSet::parse(&["a", "b"], "a>a").is_err());
         assert!(ConstraintSet::parse(&["a", "b"], "(a)").is_err());
         assert!(ConstraintSet::parse(&["a", "b"], "junk").is_err());

@@ -31,6 +31,47 @@ pub enum EncodeError {
         /// A short description of the exceeded limit.
         what: &'static str,
     },
+    /// A constraint file, KISS2 description or command line could not be
+    /// parsed.
+    Parse {
+        /// What went wrong, naming the offending line or token.
+        message: String,
+    },
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The operating-system error.
+        message: String,
+    },
+    /// A user-supplied limit or size is unusable (zero, or beyond what the
+    /// implementation supports).
+    Limit {
+        /// Which limit, and why it was rejected.
+        what: String,
+    },
+}
+
+impl EncodeError {
+    /// A [`EncodeError::Parse`] from anything printable.
+    pub fn parse(message: impl Into<String>) -> Self {
+        EncodeError::Parse {
+            message: message.into(),
+        }
+    }
+
+    /// A [`EncodeError::Io`] from a path and an OS error.
+    pub fn io(path: impl Into<String>, err: &std::io::Error) -> Self {
+        EncodeError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A [`EncodeError::Limit`] from anything printable.
+    pub fn limit(what: impl Into<String>) -> Self {
+        EncodeError::Limit { what: what.into() }
+    }
 }
 
 impl fmt::Display for EncodeError {
@@ -50,6 +91,9 @@ impl fmt::Display for EncodeError {
                 write!(f, "non-face constraint clause generation exceeded its cap")
             }
             EncodeError::TooLarge { what } => write!(f, "instance too large: {what}"),
+            EncodeError::Parse { message } => write!(f, "parse error: {message}"),
+            EncodeError::Io { path, message } => write!(f, "{path}: {message}"),
+            EncodeError::Limit { what } => write!(f, "bad limit: {what}"),
         }
     }
 }
@@ -66,5 +110,16 @@ mod tests {
         assert!(e.to_string().contains("50000"));
         let e = EncodeError::Infeasible { uncovered: vec![] };
         assert!(e.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn typed_front_end_variants() {
+        let e = EncodeError::parse("line 3: unknown symbol 'q'");
+        assert!(e.to_string().contains("line 3"));
+        let os = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e = EncodeError::io("foo.kiss2", &os);
+        assert!(e.to_string().starts_with("foo.kiss2:"));
+        let e = EncodeError::limit("--prime-cap must be positive");
+        assert!(e.to_string().contains("--prime-cap"));
     }
 }

@@ -2,13 +2,29 @@
 //! with the distance-2 and non-face extensions of Sections 8.2–8.3.
 
 use crate::raise::{raise_dichotomy, raised_valid};
+use crate::stats::SolverStats;
 use crate::{
-    generate_primes, initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding,
+    generate_primes_with, initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding,
 };
-use ioenc_cover::{BinateProblem, SolveError, UnateProblem};
+use ioenc_cover::{BinateProblem, CoverStats, Parallelism, SolveError, UnateProblem};
+use std::time::Instant;
 
 /// Options for [`exact_encode`].
+///
+/// Construct with [`ExactOptions::new`] (or `default()`) and refine with
+/// the `with_*` methods; the struct is `#[non_exhaustive]`, so future
+/// options can be added without breaking callers.
+///
+/// ```
+/// use ioenc_core::{ExactOptions, Parallelism};
+///
+/// let opts = ExactOptions::new()
+///     .with_prime_cap(100_000)
+///     .with_parallelism(Parallelism::Fixed(2));
+/// assert_eq!(opts.prime_cap, 100_000);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ExactOptions {
     /// Abort prime generation beyond this many terms (Table 1 used
     /// 50 000).
@@ -18,6 +34,9 @@ pub struct ExactOptions {
     /// Cap on minimal hitting sets enumerated per non-face constraint and
     /// on non-face repair iterations.
     pub nonface_cap: usize,
+    /// Thread policy for prime generation and the covering search; results
+    /// are bit-identical across settings.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExactOptions {
@@ -26,7 +45,39 @@ impl Default for ExactOptions {
             prime_cap: 50_000,
             node_limit: 5_000_000,
             nonface_cap: 10_000,
+            parallelism: Parallelism::Auto,
         }
+    }
+}
+
+impl ExactOptions {
+    /// The default options (Table 1's caps, automatic parallelism).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the prime-generation term cap.
+    pub fn with_prime_cap(mut self, cap: usize) -> Self {
+        self.prime_cap = cap;
+        self
+    }
+
+    /// Sets the covering search's branch-and-bound node budget.
+    pub fn with_node_limit(mut self, limit: u64) -> Self {
+        self.node_limit = limit;
+        self
+    }
+
+    /// Sets the non-face hitting-set and repair-iteration cap.
+    pub fn with_nonface_cap(mut self, cap: usize) -> Self {
+        self.nonface_cap = cap;
+        self
+    }
+
+    /// Sets the thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -44,6 +95,8 @@ pub struct ExactReport {
     /// `false` when the covering search hit its node limit; the encoding is
     /// then feasible but possibly longer than the true minimum.
     pub optimal: bool,
+    /// Per-phase counters and timings for the whole pipeline.
+    pub stats: SolverStats,
 }
 
 /// Finds a minimum-length encoding satisfying all constraints
@@ -97,6 +150,7 @@ pub fn exact_encode_report(
     cs: &ConstraintSet,
     opts: &ExactOptions,
 ) -> Result<ExactReport, EncodeError> {
+    let start = Instant::now();
     let symmetry = !cs.has_output_constraints();
     let initial = initial_dichotomies(cs, symmetry);
     let raised = raised_valid(&initial, cs);
@@ -109,13 +163,16 @@ pub fn exact_encode_report(
     if !uncovered.is_empty() {
         return Err(EncodeError::Infeasible { uncovered });
     }
+    let setup_time = start.elapsed();
 
     // Prime generation, then re-raise each prime: the union of raise-closed
     // dichotomies is closed under the single-premise dominance rules but
     // not under the aggregate disjunctive rules, and the output-safe
     // completion (unassigned → right) of Theorem 6.1 is only sound for
     // maximally raised dichotomies.
-    let primes_raw = generate_primes(&raised, opts.prime_cap)?;
+    let prime_phase = Instant::now();
+    let (primes_raw, prime_stats) =
+        generate_primes_with(&raised, opts.prime_cap, opts.parallelism)?;
     let mut columns: Vec<Dichotomy> = primes_raw
         .iter()
         .filter_map(|p| raise_dichotomy(p, cs))
@@ -127,8 +184,10 @@ pub fn exact_encode_report(
     columns.extend(raised.iter().cloned());
     columns.sort();
     columns.dedup();
+    let prime_time = prime_phase.elapsed();
 
-    let report = if cs.has_binate_constraints() {
+    let cover_phase = Instant::now();
+    let mut report = if cs.has_binate_constraints() {
         solve_binate(cs, &initial, &columns, opts)?
     } else {
         solve_unate(cs, &initial, &columns, opts)?
@@ -137,6 +196,14 @@ pub fn exact_encode_report(
         report.encoding.satisfies(cs),
         "internal error: exact encoding fails semantic verification"
     );
+    report.stats.num_initial = initial.len();
+    report.stats.num_primes = num_primes;
+    report.stats.raise_attempts = (initial.len() + primes_raw.len()) as u64;
+    report.stats.primes = prime_stats;
+    report.stats.timings.setup = setup_time;
+    report.stats.timings.primes = prime_time;
+    report.stats.timings.cover = cover_phase.elapsed();
+    report.stats.timings.total = start.elapsed();
     Ok(ExactReport {
         num_initial: initial.len(),
         num_primes,
@@ -149,6 +216,7 @@ fn build_encoding(
     columns: &[Dichotomy],
     chosen: &[usize],
     optimal: bool,
+    cover: CoverStats,
 ) -> Result<ExactReport, EncodeError> {
     if chosen.len() > 64 {
         return Err(EncodeError::WidthExceeded);
@@ -161,6 +229,10 @@ fn build_encoding(
         num_primes: 0,
         selected,
         optimal,
+        stats: SolverStats {
+            cover,
+            ..Default::default()
+        },
     })
 }
 
@@ -172,6 +244,7 @@ fn solve_unate(
 ) -> Result<ExactReport, EncodeError> {
     let mut problem = UnateProblem::new(columns.len());
     problem.set_node_limit(opts.node_limit);
+    problem.set_parallelism(opts.parallelism);
     for i in initial {
         problem.add_row(
             columns
@@ -181,11 +254,11 @@ fn solve_unate(
                 .map(|(k, _)| k),
         );
     }
-    let sol = problem.solve_exact().map_err(|e| match e {
+    let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
         SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
         SolveError::NodeLimit => EncodeError::CoverAborted,
     })?;
-    build_encoding(cs, columns, &sol.columns, sol.optimal)
+    build_encoding(cs, columns, &sol.columns, sol.optimal, cover_stats)
 }
 
 fn solve_binate(
@@ -197,6 +270,7 @@ fn solve_binate(
     let n = cs.num_symbols();
     let mut problem = BinateProblem::new(columns.len());
     problem.set_node_limit(opts.node_limit);
+    problem.set_parallelism(opts.parallelism);
     for i in initial {
         problem.add_clause(
             columns
@@ -259,12 +333,14 @@ fn solve_binate(
     // unassigned→right completion can separate N from an outsider even
     // when no selected column *covers* (N; s). Iterate: forbid any
     // selection whose emitted codes still violate a non-face constraint.
+    let mut cover_total = CoverStats::default();
     for _ in 0..opts.nonface_cap.max(1) {
-        let sol = problem.solve_exact().map_err(|e| match e {
+        let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
             SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
             SolveError::NodeLimit => EncodeError::CoverAborted,
         })?;
-        let report = build_encoding(cs, columns, &sol.columns, sol.optimal)?;
+        cover_total.absorb(&cover_stats);
+        let report = build_encoding(cs, columns, &sol.columns, sol.optimal, cover_total)?;
         if report.encoding.satisfies(cs) {
             return Ok(report);
         }

@@ -2,12 +2,28 @@
 //! selection (Section 7.1).
 
 use crate::cost::{cost_of, CostFunction};
+use crate::par::par_chunks;
 use crate::partition::{bipartition, PartitionOptions};
 use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
 use ioenc_bitset::BitSet;
+use ioenc_cover::Parallelism;
 
 /// Options for [`heuristic_encode`].
+///
+/// Construct with [`HeuristicOptions::new`] (or `default()`) and refine
+/// with the `with_*` methods; the struct is `#[non_exhaustive]`, so future
+/// options can be added without breaking callers.
+///
+/// ```
+/// use ioenc_core::{CostFunction, HeuristicOptions};
+///
+/// let opts = HeuristicOptions::new()
+///     .with_cost(CostFunction::Cubes)
+///     .with_selection_cap(60);
+/// assert_eq!(opts.selection_cap, 60);
+/// ```
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct HeuristicOptions {
     /// Desired code length; `None` uses the minimum `⌈log₂ n⌉` (the
     /// "minimum code length" setting of Tables 2 and 3).
@@ -19,6 +35,9 @@ pub struct HeuristicOptions {
     pub selection_cap: usize,
     /// Partitioning passes per split.
     pub passes: usize,
+    /// Thread policy for the selection step's neighbor evaluations;
+    /// results are bit-identical across settings.
+    pub parallelism: Parallelism,
 }
 
 impl Default for HeuristicOptions {
@@ -28,7 +47,45 @@ impl Default for HeuristicOptions {
             cost: CostFunction::Violations,
             selection_cap: 400,
             passes: 8,
+            parallelism: Parallelism::Auto,
         }
+    }
+}
+
+impl HeuristicOptions {
+    /// The default options (minimum code length, violation cost).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests an explicit code length instead of the minimum `⌈log₂ n⌉`.
+    pub fn with_code_length(mut self, bits: usize) -> Self {
+        self.code_length = Some(bits);
+        self
+    }
+
+    /// Sets the cost function to minimize.
+    pub fn with_cost(mut self, cost: CostFunction) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the evaluation budget per merge node.
+    pub fn with_selection_cap(mut self, cap: usize) -> Self {
+        self.selection_cap = cap;
+        self
+    }
+
+    /// Sets the partitioning passes per split.
+    pub fn with_passes(mut self, passes: usize) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Sets the thread policy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -463,9 +520,13 @@ fn select(
         unseparated.retain(|&(a, b)| !cands[best].separates(a, b));
     }
 
-    // Local search: swap one selected candidate for an outside one whenever
-    // it lowers the true cost, within the evaluation budget.
+    // Local search: best-improvement over one slot's replacements at a
+    // time, within the evaluation budget. The whole replacement row is
+    // evaluated as a batch (chunked over worker threads) and the winner is
+    // the lowest-cost candidate with the lowest index, so the search path
+    // is identical for every thread count.
     let node_budget = evals.used + opts.selection_cap;
+    let threads = opts.parallelism.threads();
     let sel_refs = |sel: &[usize], cands: &[Dichotomy]| -> Vec<Dichotomy> {
         sel.iter().map(|&i| cands[i].clone()).collect()
     };
@@ -480,24 +541,34 @@ fn select(
     let mut improved = true;
     while improved && evals.used < node_budget {
         improved = false;
-        'swap: for slot in 0..selected.len() {
-            for cand in 0..cands.len() {
-                if selected.contains(&cand) {
-                    continue;
-                }
-                if evals.used >= node_budget {
-                    break 'swap;
-                }
-                let mut trial = selected.clone();
-                trial[slot] = cand;
-                let refs: Vec<&Dichotomy> = trial.iter().map(|&i| &cands[i]).collect();
-                if let Some(cost) = evaluate(&refs, evals) {
-                    if cost < best_cost {
-                        best_cost = cost;
-                        selected = trial;
-                        improved = true;
-                        continue 'swap;
-                    }
+        for slot in 0..selected.len() {
+            if evals.used >= node_budget {
+                break;
+            }
+            let outside: Vec<usize> = (0..cands.len()).filter(|i| !selected.contains(i)).collect();
+            let costs: Vec<Option<u64>> = par_chunks(outside.len(), threads, |range| {
+                range
+                    .map(|o| {
+                        let mut trial = selected.clone();
+                        trial[slot] = outside[o];
+                        let refs: Vec<&Dichotomy> = trial.iter().map(|&i| &cands[i]).collect();
+                        let codes = codes_for(symbols, &refs)?;
+                        let enc = Encoding::new(refs.len(), codes);
+                        Some(cost_of(&restricted, &enc, opts.cost))
+                    })
+                    .collect()
+            });
+            evals.used += outside.len();
+            let winner = costs
+                .iter()
+                .enumerate()
+                .filter_map(|(o, c)| c.map(|c| (c, o)))
+                .min();
+            if let Some((cost, o)) = winner {
+                if cost < best_cost {
+                    best_cost = cost;
+                    selected[slot] = outside[o];
+                    improved = true;
                 }
             }
         }
@@ -641,6 +712,33 @@ mod tests {
         let enc = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
         assert_eq!(enc.width(), 1);
         assert_ne!(enc.code(0), enc.code(1));
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let mut cs = ConstraintSet::new(9);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([2, 3, 4]);
+        cs.add_face([4, 5, 6]);
+        cs.add_face([6, 7, 8]);
+        cs.add_face([1, 5]);
+        let encode = |par: Parallelism| {
+            let opts = HeuristicOptions {
+                cost: CostFunction::Cubes,
+                selection_cap: 200,
+                parallelism: par,
+                ..Default::default()
+            };
+            heuristic_encode(&cs, &opts).unwrap().codes().to_vec()
+        };
+        let reference = encode(Parallelism::Off);
+        for par in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(encode(par), reference, "{par:?} diverged");
+        }
     }
 
     #[test]

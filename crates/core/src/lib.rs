@@ -57,9 +57,11 @@ mod hypercube;
 mod initial;
 pub mod npc;
 mod oracle;
+mod par;
 mod partition;
 mod primes;
 mod raise;
+mod stats;
 
 pub use bounded::{bounded_exact_encode, BoundedExactOptions};
 pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
@@ -78,5 +80,8 @@ pub use oracle::{oracle_encode, oracle_min_width, OracleOptions};
 pub use partition::{bipartition, PartitionOptions};
 #[doc(hidden)]
 pub use primes::brute_force_primes;
-pub use primes::generate_primes;
+pub use primes::{generate_primes, generate_primes_with};
 pub use raise::{is_valid, raise_dichotomy};
+pub use stats::{PhaseTimings, PrimeStats, SolverStats};
+
+pub use ioenc_cover::{CoverStats, Parallelism};

@@ -262,8 +262,7 @@ mod tests {
     #[test]
     fn oracle_handles_nonface() {
         let names = ["a", "b", "c", "d", "e", "f"];
-        let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)")
-            .unwrap();
+        let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)").unwrap();
         let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
         assert!(enc.satisfies(&cs));
         let exact = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
@@ -285,7 +284,12 @@ mod tests {
         let enc = oracle_encode(&cs, &OracleOptions::default()).unwrap();
         assert_eq!(enc.num_symbols(), 1);
         let cs = ConstraintSet::new(0);
-        assert_eq!(oracle_encode(&cs, &OracleOptions::default()).unwrap().num_symbols(), 0);
+        assert_eq!(
+            oracle_encode(&cs, &OracleOptions::default())
+                .unwrap()
+                .num_symbols(),
+            0
+        );
     }
 
     #[test]

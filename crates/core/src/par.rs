@@ -1,0 +1,63 @@
+//! Deterministic fork/join helpers built on [`std::thread::scope`].
+//!
+//! Every helper here splits an index range into *contiguous* chunks and
+//! reassembles the outputs in chunk order, so results are bit-identical for
+//! every thread count — parallelism only changes who computes each chunk,
+//! never what is computed.
+
+/// Maps `f` over `0..len` in contiguous chunks on up to `threads` scoped
+/// worker threads, concatenating the per-chunk outputs in chunk order.
+///
+/// `f` receives an index range and must return that range's outputs in
+/// order. Small inputs (under 64 items per would-be chunk) run inline on
+/// the caller's thread; so does `threads <= 1`.
+pub(crate) fn par_chunks<T, F>(len: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    const MIN_CHUNK: usize = 64;
+    let threads = threads.min(len / MIN_CHUNK).max(1);
+    if threads <= 1 {
+        return f(0..len);
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let start = (t * chunk).min(len);
+                let end = ((t + 1) * chunk).min(len);
+                let f = &f;
+                s.spawn(move || f(start..end))
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("chunk worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_preserve_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let squares = par_chunks(1000, threads, |r| r.map(|i| i * i).collect());
+            assert_eq!(squares.len(), 1000);
+            assert!(squares.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_run_inline() {
+        assert_eq!(
+            par_chunks(0, 8, |r| r.collect::<Vec<_>>()),
+            Vec::<usize>::new()
+        );
+        assert_eq!(par_chunks(3, 8, |r| r.collect::<Vec<_>>()), vec![0, 1, 2]);
+    }
+}

@@ -8,9 +8,20 @@
 //! every clause has exactly two literals (a 2-CNF), the splitting recursion
 //! of the classic Shannon approach collapses to a *linear* number of
 //! `cs`/`ps` steps — one per variable — instead of an exponential tree.
+//!
+//! The accumulator grows with the output size, and each `ps` step is
+//! quadratic in it; the per-term work (absorption tests, unions) is
+//! independent across terms, so the steps are chunked over worker threads.
+//! Chunk outputs are reassembled in index order and the antichain test is
+//! phrased against a term's *predecessors* in the sorted accumulator
+//! (equivalent to the sequential accepted-set test), so the result is
+//! bit-identical for every [`Parallelism`] setting.
 
+use crate::par::par_chunks;
+use crate::stats::PrimeStats;
 use crate::{Dichotomy, EncodeError};
 use ioenc_bitset::BitSet;
+use ioenc_cover::Parallelism;
 
 /// Generates all prime encoding-dichotomies (maximal compatibles) of
 /// `dichotomies`.
@@ -20,7 +31,9 @@ use ioenc_bitset::BitSet;
 /// 50 000 primes), so the cap turns a blow-up into an error.
 ///
 /// The input is deduplicated first; the output is deduplicated and each
-/// prime is the union of one maximal compatible set.
+/// prime is the union of one maximal compatible set. Uses
+/// [`Parallelism::Auto`]; see [`generate_primes_with`] for thread control
+/// and statistics — the result is identical either way.
 ///
 /// # Errors
 ///
@@ -44,44 +57,82 @@ pub fn generate_primes(
     dichotomies: &[Dichotomy],
     cap: usize,
 ) -> Result<Vec<Dichotomy>, EncodeError> {
+    generate_primes_with(dichotomies, cap, Parallelism::Auto).map(|(primes, _)| primes)
+}
+
+/// Like [`generate_primes`] with an explicit thread policy, also returning
+/// the generation's [`PrimeStats`].
+///
+/// The primes are bit-identical for every `parallelism` setting.
+///
+/// # Errors
+///
+/// As for [`generate_primes`].
+pub fn generate_primes_with(
+    dichotomies: &[Dichotomy],
+    cap: usize,
+    parallelism: Parallelism,
+) -> Result<(Vec<Dichotomy>, PrimeStats), EncodeError> {
+    let threads = parallelism.threads();
+    let mut stats = PrimeStats {
+        threads,
+        ..Default::default()
+    };
     let mut input = dichotomies.to_vec();
     input.sort();
     input.dedup();
     let m = input.len();
     if m == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), stats));
     }
 
-    // Pairwise incompatibility clauses.
-    let mut partners: Vec<Vec<usize>> = vec![Vec::new(); m];
-    for i in 0..m {
-        for j in (i + 1)..m {
-            if !input[i].compatible(&input[j]) {
-                partners[i].push(j);
-                partners[j].push(i);
+    // Pairwise incompatibility clauses. Each row scans all partners, so
+    // rows are independent; the sequential path halves the work by filling
+    // both rows per comparison.
+    let partners: Vec<Vec<usize>> = if threads > 1 && m >= 128 {
+        par_chunks(m, threads, |range| {
+            range
+                .map(|i| {
+                    (0..m)
+                        .filter(|&j| j != i && !input[i].compatible(&input[j]))
+                        .collect()
+                })
+                .collect()
+        })
+    } else {
+        let mut partners: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for i in 0..m {
+            for j in (i + 1)..m {
+                if !input[i].compatible(&input[j]) {
+                    partners[i].push(j);
+                    partners[j].push(i);
+                }
             }
         }
-    }
+        partners
+    };
 
-    let sop = clauses_to_sop(&partners, m, cap)?;
+    let sop = clauses_to_sop(&partners, m, cap, threads, &mut stats)?;
 
     // Each term's complement is a maximal compatible; its union is a prime.
     let n = input[0].num_symbols();
-    let mut primes: Vec<Dichotomy> = sop
-        .iter()
-        .map(|term| {
-            let mut p = Dichotomy::new(n);
-            for (i, d) in input.iter().enumerate() {
-                if !term.contains(i) {
-                    p.union_with(d);
+    let mut primes: Vec<Dichotomy> = par_chunks(sop.len(), threads, |range| {
+        range
+            .map(|t| {
+                let term = &sop[t];
+                let mut p = Dichotomy::new(n);
+                for (i, d) in input.iter().enumerate() {
+                    if !term.contains(i) {
+                        p.union_with(d);
+                    }
                 }
-            }
-            p
-        })
-        .collect();
+                p
+            })
+            .collect()
+    });
     primes.sort();
     primes.dedup();
-    Ok(primes)
+    Ok((primes, stats))
 }
 
 /// Converts the 2-CNF `∏ (i + j)` into its irredundant sum-of-products
@@ -95,6 +146,8 @@ fn clauses_to_sop(
     partners: &[Vec<usize>],
     m: usize,
     cap: usize,
+    threads: usize,
+    stats: &mut PrimeStats,
 ) -> Result<Vec<BitSet>, EncodeError> {
     // Accumulator starts as the single empty term (the SOP of an empty
     // product).
@@ -119,7 +172,9 @@ fn clauses_to_sop(
         let p_set: BitSet =
             BitSet::from_indices(m, partners[x].iter().copied().filter(|&y| !processed[y]));
         processed[x] = true;
-        acc = ps(acc, x, &p_set, cap)?;
+        acc = ps(acc, x, &p_set, cap, threads)?;
+        stats.ps_steps += 1;
+        stats.peak_terms = stats.peak_terms.max(acc.len());
     }
     Ok(acc)
 }
@@ -138,23 +193,44 @@ fn clauses_to_sop(
 /// * the `a ∪ P` family needs an internal antichain pass (pass-through and
 ///   `∪{x}` terms can never absorb it or be absorbed by it, because they
 ///   contain `x` and it does not).
-fn ps(acc: Vec<BitSet>, x: usize, p_set: &BitSet, cap: usize) -> Result<Vec<BitSet>, EncodeError> {
+fn ps(
+    acc: Vec<BitSet>,
+    x: usize,
+    p_set: &BitSet,
+    cap: usize,
+    threads: usize,
+) -> Result<Vec<BitSet>, EncodeError> {
+    // Partition and build the three families chunk by chunk; concatenating
+    // the per-chunk families in chunk order reproduces the sequential
+    // single-pass order exactly.
+    type Families = (Vec<BitSet>, Vec<BitSet>, Vec<BitSet>);
+    let chunks: Vec<Families> = par_chunks(acc.len(), threads, |range| {
+        let mut pass_through: Vec<BitSet> = Vec::new();
+        let mut with_x: Vec<BitSet> = Vec::new();
+        let mut with_p: Vec<BitSet> = Vec::new();
+        for a in &acc[range] {
+            if a.contains(x) {
+                pass_through.push(a.clone());
+                continue;
+            }
+            if !p_set.is_subset(a) {
+                let mut t = a.clone();
+                t.insert(x);
+                with_x.push(t);
+            }
+            let mut t = a.clone();
+            t.union_with(p_set);
+            with_p.push(t);
+        }
+        vec![(pass_through, with_x, with_p)]
+    });
     let mut pass_through: Vec<BitSet> = Vec::new();
     let mut with_x: Vec<BitSet> = Vec::new();
     let mut with_p: Vec<BitSet> = Vec::new();
-    for a in &acc {
-        if a.contains(x) {
-            pass_through.push(a.clone());
-            continue;
-        }
-        if !p_set.is_subset(a) {
-            let mut t = a.clone();
-            t.insert(x);
-            with_x.push(t);
-        }
-        let mut t = a.clone();
-        t.union_with(p_set);
-        with_p.push(t);
+    for (pt, wx, wp) in chunks {
+        pass_through.extend(pt);
+        with_x.extend(wx);
+        with_p.extend(wp);
     }
     // Pass-through terms (minus x) absorb ∪{x} candidates.
     let stripped: Vec<BitSet> = pass_through
@@ -165,19 +241,30 @@ fn ps(acc: Vec<BitSet>, x: usize, p_set: &BitSet, cap: usize) -> Result<Vec<BitS
             s
         })
         .collect();
-    with_x.retain(|t| !stripped.iter().any(|f| f.is_subset(t)));
-    // Antichain-minimize the ∪P family.
+    let keep = par_chunks(with_x.len(), threads, |range| {
+        range
+            .map(|i| !stripped.iter().any(|f| f.is_subset(&with_x[i])))
+            .collect::<Vec<bool>>()
+    });
+    let mut keep_it = keep.into_iter();
+    with_x.retain(|_| keep_it.next().expect("one flag per term"));
+    // Antichain-minimize the ∪P family. A term is minimal exactly when no
+    // *predecessor* in the (stable) size-sorted order is a subset of it:
+    // any absorber is at least as small, and an absorber that is itself
+    // absorbed has a still-smaller absorber subset of both. Predecessor
+    // tests are independent, hence chunkable.
     with_p.sort_by_key(|t| t.count());
     with_p.dedup();
-    let mut minimal: Vec<BitSet> = Vec::with_capacity(with_p.len());
-    for t in with_p {
-        if !minimal.iter().any(|s| s.is_subset(&t)) {
-            minimal.push(t);
-        }
-    }
+    let keep = par_chunks(with_p.len(), threads, |range| {
+        range
+            .map(|i| !with_p[..i].iter().any(|s| s.is_subset(&with_p[i])))
+            .collect::<Vec<bool>>()
+    });
+    let mut keep_it = keep.into_iter();
+    with_p.retain(|_| keep_it.next().expect("one flag per term"));
     let mut out = pass_through;
     out.extend(with_x);
-    out.extend(minimal);
+    out.extend(with_p);
     if out.len() > cap {
         return Err(EncodeError::PrimesExceeded { limit: cap });
     }
@@ -300,6 +387,39 @@ mod tests {
         }
         // Cross-check against brute force.
         assert_eq!(primes, brute_force_primes(&initial));
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        // A problem large enough to engage the chunked paths (2^10 − 2
+        // primes from the unconstrained uniqueness dichotomies).
+        let cs = ConstraintSet::new(10);
+        let initial = initial_dichotomies(&cs, false);
+        let (reference, ref_stats) =
+            generate_primes_with(&initial, 10_000, Parallelism::Off).unwrap();
+        assert_eq!(reference.len(), (1 << 10) - 2);
+        for par in [
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let (primes, stats) = generate_primes_with(&initial, 10_000, par).unwrap();
+            assert_eq!(primes, reference, "{par:?} diverged");
+            assert_eq!(stats.ps_steps, ref_stats.ps_steps, "{par:?} step count");
+            assert_eq!(stats.peak_terms, ref_stats.peak_terms, "{par:?} peak");
+        }
+    }
+
+    #[test]
+    fn stats_report_generation_effort() {
+        let cs = ConstraintSet::new(6);
+        let initial = initial_dichotomies(&cs, false);
+        let (primes, stats) = generate_primes_with(&initial, 10_000, Parallelism::Off).unwrap();
+        assert!(!primes.is_empty());
+        assert!(stats.ps_steps > 0, "incompatible inputs need ps steps");
+        assert!(stats.peak_terms >= primes.len() / 2);
+        assert_eq!(stats.threads, 1);
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Instrumentation for the exact encoding pipeline.
+//!
+//! Every phase of [`exact_encode_report`](crate::exact_encode_report)
+//! contributes counters: prime generation reports its `ps` steps and peak
+//! accumulator size, the covering solver reports branch-and-bound effort
+//! ([`CoverStats`]), and the pipeline records wall-clock time per phase.
+//! The counters are deterministic across thread counts; only the timings
+//! vary between runs.
+
+use ioenc_cover::CoverStats;
+use std::time::Duration;
+
+/// Counters from one prime encoding-dichotomy generation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimeStats {
+    /// `ps` multiplication steps performed (one per splitting variable).
+    pub ps_steps: u64,
+    /// Largest accumulator (product-term count) seen during any step.
+    pub peak_terms: usize,
+    /// Worker threads used for the chunked steps.
+    pub threads: usize,
+}
+
+impl PrimeStats {
+    /// Sums another generation's counters into this one (peaks and thread
+    /// counts take the maximum).
+    pub fn absorb(&mut self, other: &PrimeStats) {
+        self.ps_steps += other.ps_steps;
+        self.peak_terms = self.peak_terms.max(other.peak_terms);
+        self.threads = self.threads.max(other.threads);
+    }
+}
+
+/// Wall-clock timings of the exact pipeline's phases.
+///
+/// Timings are measured, not derived, so they differ run to run even though
+/// every other statistic is deterministic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Initial-dichotomy generation, raising and the feasibility check.
+    pub setup: Duration,
+    /// Prime encoding-dichotomy generation (including prime raising).
+    pub primes: Duration,
+    /// The covering search (all iterations, for binate repair loops).
+    pub cover: Duration,
+    /// End-to-end pipeline time.
+    pub total: Duration,
+}
+
+/// Aggregated instrumentation from one exact encoding run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolverStats {
+    /// Number of initial encoding-dichotomies.
+    pub num_initial: usize,
+    /// Number of valid prime encoding-dichotomies.
+    pub num_primes: usize,
+    /// Maximal-raising attempts (initial dichotomies plus raw primes).
+    pub raise_attempts: u64,
+    /// Prime-generation counters.
+    pub primes: PrimeStats,
+    /// Covering-search counters.
+    pub cover: CoverStats,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+impl SolverStats {
+    /// Renders the statistics as a compact multi-line summary, one
+    /// `label: value` pair per line, suitable for printing to stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "initial dichotomies: {}\n\
+             prime dichotomies:   {} ({} ps steps, peak {} terms)\n\
+             raise attempts:      {}\n\
+             cover search:        {} nodes, {} prunes, {} tasks on {} threads\n\
+             timings:             setup {:.1?}, primes {:.1?}, cover {:.1?}, total {:.1?}",
+            self.num_initial,
+            self.num_primes,
+            self.primes.ps_steps,
+            self.primes.peak_terms,
+            self.raise_attempts,
+            self.cover.nodes,
+            self.cover.prunes,
+            self.cover.tasks,
+            self.cover.threads,
+            self.timings.setup,
+            self.timings.primes,
+            self.timings.cover,
+            self.timings.total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counts_and_maxes_peaks() {
+        let mut a = PrimeStats {
+            ps_steps: 3,
+            peak_terms: 10,
+            threads: 1,
+        };
+        let b = PrimeStats {
+            ps_steps: 2,
+            peak_terms: 40,
+            threads: 4,
+        };
+        a.absorb(&b);
+        assert_eq!(a.ps_steps, 5);
+        assert_eq!(a.peak_terms, 40);
+        assert_eq!(a.threads, 4);
+    }
+
+    #[test]
+    fn render_mentions_every_counter() {
+        let stats = SolverStats {
+            num_initial: 9,
+            num_primes: 7,
+            raise_attempts: 16,
+            ..Default::default()
+        };
+        let text = stats.render();
+        assert!(text.contains("initial dichotomies: 9"));
+        assert!(text.contains("prime dichotomies:   7"));
+        assert!(text.contains("raise attempts:      16"));
+        assert!(text.contains("cover search:"));
+        assert!(text.contains("timings:"));
+    }
+}

@@ -1,6 +1,6 @@
-//! Property tests for the framework's structural invariants: raising,
+//! Randomized tests for the framework's structural invariants: raising,
 //! validity, prime generation, don't-care faces, extended disjunctives and
-//! the bounded-length solvers.
+//! the bounded-length solvers. Driven by the workspace's deterministic PRNG.
 
 use ioenc_core::{
     bounded_exact_encode, check_feasible, count_violations, encode_with_chains, exact_encode,
@@ -8,197 +8,190 @@ use ioenc_core::{
     ChainConstraint, ChainOptions, ConstraintSet, CostFunction, Dichotomy, EncodeError,
     ExactOptions, HeuristicOptions, OracleOptions,
 };
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
 const N: usize = 5;
+const CASES: usize = 64;
 
 /// Mixed constraint sets including don't-care faces and extended
 /// disjunctive constraints.
-fn arb_rich_constraints() -> impl Strategy<Value = ConstraintSet> {
-    let face = (
-        prop::collection::vec(0..N, 2..4),
-        prop::collection::vec(0..N, 0..2),
-    );
-    let dom = (0..N, 0..N);
-    let ext = (
-        0..N,
-        prop::collection::vec(prop::collection::vec(0..N, 1..3), 1..3),
-    );
-    (
-        prop::collection::vec(face, 0..3),
-        prop::collection::vec(dom, 0..3),
-        prop::collection::vec(ext, 0..2),
-    )
-        .prop_map(|(faces, doms, exts)| {
-            let mut cs = ConstraintSet::new(N);
-            for (members, dcs) in faces {
-                let mut m = members.clone();
-                m.sort_unstable();
-                m.dedup();
-                if m.len() < 2 {
-                    continue;
-                }
-                let dcs: Vec<usize> = dcs.into_iter().filter(|d| !m.contains(d)).collect();
-                let mut d = dcs.clone();
-                d.sort_unstable();
-                d.dedup();
-                cs.add_face_with_dc(m, d);
-            }
-            for (a, b) in doms {
-                if a != b {
-                    cs.add_dominance(a, b);
-                }
-            }
-            for (p, conjs) in exts {
-                let conjs: Vec<Vec<usize>> = conjs
-                    .into_iter()
-                    .map(|mut c| {
-                        c.sort_unstable();
-                        c.dedup();
-                        c
-                    })
-                    .filter(|c| !c.is_empty())
+fn random_rich_constraints(rng: &mut SplitMix64) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(N);
+    for _ in 0..rng.gen_range(0..3) {
+        let mut m: Vec<usize> = (0..rng.gen_range(2..4))
+            .map(|_| rng.gen_range(0..N))
+            .collect();
+        m.sort_unstable();
+        m.dedup();
+        if m.len() < 2 {
+            continue;
+        }
+        let mut d: Vec<usize> = (0..rng.gen_range(0..2))
+            .map(|_| rng.gen_range(0..N))
+            .filter(|s| !m.contains(s))
+            .collect();
+        d.sort_unstable();
+        d.dedup();
+        cs.add_face_with_dc(m, d);
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b {
+            cs.add_dominance(a, b);
+        }
+    }
+    for _ in 0..rng.gen_range(0..2) {
+        let p = rng.gen_range(0..N);
+        let conjs: Vec<Vec<usize>> = (0..rng.gen_range(1..3))
+            .map(|_| {
+                let mut c: Vec<usize> = (0..rng.gen_range(1..3))
+                    .map(|_| rng.gen_range(0..N))
                     .collect();
-                if !conjs.is_empty() {
-                    cs.add_extended(p, conjs);
-                }
-            }
-            cs
-        })
+                c.sort_unstable();
+                c.dedup();
+                c
+            })
+            .filter(|c| !c.is_empty())
+            .collect();
+        if !conjs.is_empty() {
+            cs.add_extended(p, conjs);
+        }
+    }
+    cs
 }
 
-fn arb_dichotomy() -> impl Strategy<Value = Dichotomy> {
-    (
-        prop::collection::vec(0..N, 0..3),
-        prop::collection::vec(0..N, 0..3),
-    )
-        .prop_map(|(l, r)| {
-            let l: Vec<usize> = l.into_iter().collect();
-            let r: Vec<usize> = r.into_iter().filter(|s| !l.contains(s)).collect();
-            Dichotomy::from_blocks(N, l, r)
-        })
+fn random_dichotomy(rng: &mut SplitMix64) -> Dichotomy {
+    let l: Vec<usize> = (0..rng.gen_range(0..3))
+        .map(|_| rng.gen_range(0..N))
+        .collect();
+    let r: Vec<usize> = (0..rng.gen_range(0..3))
+        .map(|_| rng.gen_range(0..N))
+        .filter(|s| !l.contains(s))
+        .collect();
+    Dichotomy::from_blocks(N, l, r)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_faces(rng: &mut SplitMix64, max_faces: usize, face_max: usize) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(N);
+    for _ in 0..rng.gen_range(1..max_faces + 1) {
+        let mut f: Vec<usize> = (0..rng.gen_range(2..face_max + 1))
+            .map(|_| rng.gen_range(0..N))
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        if f.len() >= 2 {
+            cs.add_face(f);
+        }
+    }
+    cs
+}
 
-    #[test]
-    fn raising_is_idempotent_and_monotone(
-        cs in arb_rich_constraints(),
-        d in arb_dichotomy(),
-    ) {
+#[test]
+fn raising_is_idempotent_and_monotone() {
+    let mut rng = SplitMix64::new(0xf0);
+    for _ in 0..CASES {
+        let cs = random_rich_constraints(&mut rng);
+        let d = random_dichotomy(&mut rng);
         if let Some(raised) = raise_dichotomy(&d, &cs) {
             // Monotone: raising only adds symbols.
-            prop_assert!(raised.covers_oriented(&d));
+            assert!(raised.covers_oriented(&d));
             // Idempotent.
-            prop_assert_eq!(raise_dichotomy(&raised, &cs), Some(raised.clone()));
+            assert_eq!(raise_dichotomy(&raised, &cs), Some(raised.clone()));
             // Raised dichotomies are valid.
-            prop_assert!(is_valid(&raised, &cs));
-        } else {
-            // A dichotomy whose raising fails must already be invalid or
-            // become contradictory; its completion cannot satisfy the
-            // constraints, so if it WAS valid, some implication chain
-            // conflicts — either way re-raising any sub-dichotomy of it
-            // that succeeds must not equal it.
+            assert!(is_valid(&raised, &cs));
         }
     }
+}
 
-    #[test]
-    fn invalid_dichotomies_never_raise(cs in arb_rich_constraints(), d in arb_dichotomy()) {
+#[test]
+fn invalid_dichotomies_never_raise() {
+    let mut rng = SplitMix64::new(0xf1);
+    for _ in 0..CASES {
+        let cs = random_rich_constraints(&mut rng);
+        let d = random_dichotomy(&mut rng);
         if !is_valid(&d, &cs) {
-            // Violations are monotone: raising cannot repair them. Raising
-            // either fails or yields a dichotomy that still embeds d; in
-            // both cases d itself stays invalid.
-            prop_assert!(!is_valid(&d, &cs));
+            // Violations are monotone: raising cannot repair them, so
+            // raising of an invalid dichotomy must fail.
             if let Some(r) = raise_dichotomy(&d, &cs) {
-                // If the fixpoint completes, the *monotone* violation
-                // conditions must have been absent — contradiction with
-                // !is_valid. Raising of invalid dichotomies must fail.
-                prop_assert!(false, "invalid dichotomy raised to {r:?}");
+                panic!("invalid dichotomy raised to {r:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn feasible_rich_sets_encode_and_verify(cs in arb_rich_constraints()) {
+#[test]
+fn feasible_rich_sets_encode_and_verify() {
+    let mut rng = SplitMix64::new(0xf2);
+    for _ in 0..CASES {
+        let cs = random_rich_constraints(&mut rng);
         let feasible = check_feasible(&cs).is_feasible();
         match exact_encode(&cs, &ExactOptions::default()) {
             Ok(enc) => {
-                prop_assert!(feasible);
-                prop_assert!(enc.verify(&cs).is_empty(), "violations: {:?}", enc.verify(&cs));
+                assert!(feasible);
+                assert!(
+                    enc.verify(&cs).is_empty(),
+                    "violations: {:?}",
+                    enc.verify(&cs)
+                );
                 // Oracle agreement on minimality.
                 let oracle = oracle_min_width(&cs, &OracleOptions::default()).unwrap();
-                prop_assert_eq!(Some(enc.width()), oracle);
+                assert_eq!(Some(enc.width()), oracle);
             }
-            Err(EncodeError::Infeasible { .. }) => prop_assert!(!feasible),
-            Err(e) => prop_assert!(false, "unexpected: {e}"),
+            Err(EncodeError::Infeasible { .. }) => assert!(!feasible),
+            Err(e) => panic!("unexpected: {e}"),
         }
     }
+}
 
-    #[test]
-    fn heuristic_never_beats_bounded_exact(
-        faces in prop::collection::vec(prop::collection::vec(0..N, 2..4), 1..3),
-    ) {
-        let mut cs = ConstraintSet::new(N);
-        for f in faces {
-            let mut f = f.clone();
-            f.sort_unstable();
-            f.dedup();
-            if f.len() >= 2 {
-                cs.add_face(f);
-            }
-        }
+#[test]
+fn heuristic_never_beats_bounded_exact() {
+    let mut rng = SplitMix64::new(0xf3);
+    for _ in 0..CASES {
+        let cs = random_faces(&mut rng, 2, 3);
         let (_, exact_cost) = bounded_exact_encode(&cs, &BoundedExactOptions::default()).unwrap();
         let heur = heuristic_encode(&cs, &HeuristicOptions::default()).unwrap();
-        prop_assert!(count_violations(&cs, &heur) as u64 >= exact_cost);
+        assert!(count_violations(&cs, &heur) as u64 >= exact_cost);
     }
+}
 
-    #[test]
-    fn heuristic_cost_functions_agree_on_satisfiability(
-        faces in prop::collection::vec(prop::collection::vec(0..N, 2..3), 1..3),
-    ) {
-        let mut cs = ConstraintSet::new(N);
-        for f in faces {
-            let mut f = f.clone();
-            f.sort_unstable();
-            f.dedup();
-            if f.len() >= 2 {
-                cs.add_face(f);
-            }
-        }
+#[test]
+fn heuristic_cost_functions_agree_on_satisfiability() {
+    let mut rng = SplitMix64::new(0xf4);
+    for _ in 0..CASES {
+        let cs = random_faces(&mut rng, 2, 2);
         // If the violation-driven heuristic satisfies everything, the
         // encoding is injective and verified regardless of cost function.
         for cost in [CostFunction::Violations, CostFunction::Cubes] {
-            let enc = heuristic_encode(
-                &cs,
-                &HeuristicOptions {
-                    cost,
-                    selection_cap: 40,
-                    ..Default::default()
-                },
-            )
-            .unwrap();
+            let opts = HeuristicOptions::new()
+                .with_cost(cost)
+                .with_selection_cap(40);
+            let enc = heuristic_encode(&cs, &opts).unwrap();
             let mut codes = enc.codes().to_vec();
             codes.sort_unstable();
             codes.dedup();
-            prop_assert_eq!(codes.len(), N);
+            assert_eq!(codes.len(), N);
         }
     }
+}
 
-    #[test]
-    fn chain_encodings_satisfy_chains(start in 0..3usize, len in 2..4usize) {
-        let cs = ConstraintSet::new(6);
-        let states: Vec<usize> = (start..start + len).collect();
-        let chain = ChainConstraint::new(states);
-        match encode_with_chains(&cs, std::slice::from_ref(&chain), &ChainOptions::default()) {
-            Ok(enc) => {
-                prop_assert!(chain.is_satisfied(&enc));
-                let mut codes = enc.codes().to_vec();
-                codes.sort_unstable();
-                codes.dedup();
-                prop_assert_eq!(codes.len(), 6);
+#[test]
+fn chain_encodings_satisfy_chains() {
+    for start in 0..3usize {
+        for len in 2..4usize {
+            let cs = ConstraintSet::new(6);
+            let states: Vec<usize> = (start..start + len).collect();
+            let chain = ChainConstraint::new(states);
+            match encode_with_chains(&cs, std::slice::from_ref(&chain), &ChainOptions::default()) {
+                Ok(enc) => {
+                    assert!(chain.is_satisfied(&enc));
+                    let mut codes = enc.codes().to_vec();
+                    codes.sort_unstable();
+                    codes.dedup();
+                    assert_eq!(codes.len(), 6);
+                }
+                Err(e) => panic!("unconstrained chain failed: {e}"),
             }
-            Err(e) => prop_assert!(false, "unconstrained chain failed: {e}"),
         }
     }
 }

@@ -1,58 +1,90 @@
 //! Robustness: the constraint-text parser must never panic on arbitrary
-//! input, and must round-trip whatever it accepts.
+//! input, and must round-trip whatever it accepts. Driven by the
+//! workspace's deterministic PRNG.
 
 use ioenc_core::ConstraintSet;
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const SOUP: &[char] = &[
+    'a', 'b', 'c', '(', ')', '>', '=', '|', '&', '!', ',', '[', ']', ' ', '\n', '#', 'x', '2', '-',
+];
 
-    #[test]
-    fn parser_never_panics(text in ".{0,200}") {
+fn random_soup(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| SOUP[rng.gen_range(0..SOUP.len())])
+        .collect()
+}
+
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::new(0xa0);
+    for _ in 0..256 {
+        let text = random_soup(&mut rng, 200);
         let _ = ConstraintSet::parse(&["a", "b", "c"], &text);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_constraint_soup(
-        lines in prop::collection::vec(
-            prop_oneof![
-                "\\([abc,\\[\\]]{0,10}\\)",
-                "[abc]>[abc]",
-                "[abc]=[abc]\\|[abc]",
-                "\\([abc&]{1,5}\\)>=[abc]",
-                "dist2\\([abc,]{0,5}\\)",
-                "!\\([abc,]{0,6}\\)",
-                "[a-z()>=|&!,\\[\\] ]{0,15}",
-            ],
-            0..8,
-        )
-    ) {
+#[test]
+fn parser_never_panics_on_constraint_soup() {
+    let mut rng = SplitMix64::new(0xa1);
+    let syms = ["a", "b", "c"];
+    let sym = |rng: &mut SplitMix64| syms[rng.gen_range(0..3)];
+    for _ in 0..256 {
+        let nlines = rng.gen_range(0..8);
+        let lines: Vec<String> = (0..nlines)
+            .map(|_| match rng.gen_range(0..7) {
+                0 => {
+                    let n = rng.gen_range(0..4);
+                    let inner: Vec<&str> = (0..n).map(|_| sym(&mut rng)).collect();
+                    format!("({})", inner.join(","))
+                }
+                1 => format!("{}>{}", sym(&mut rng), sym(&mut rng)),
+                2 => format!("{}={}|{}", sym(&mut rng), sym(&mut rng), sym(&mut rng)),
+                3 => format!("({}&{})>={}", sym(&mut rng), sym(&mut rng), sym(&mut rng)),
+                4 => {
+                    let n = rng.gen_range(0..3);
+                    let inner: Vec<&str> = (0..n).map(|_| sym(&mut rng)).collect();
+                    format!("dist2({})", inner.join(","))
+                }
+                5 => {
+                    let n = rng.gen_range(0..3);
+                    let inner: Vec<&str> = (0..n).map(|_| sym(&mut rng)).collect();
+                    format!("!({})", inner.join(","))
+                }
+                _ => random_soup(&mut rng, 15),
+            })
+            .collect();
         let text = lines.join("\n");
-        let _ = ConstraintSet::parse(&["a", "b", "c"], &text);
+        let _ = ConstraintSet::parse(&syms, &text);
     }
+}
 
-    #[test]
-    fn display_round_trips(
-        faces in prop::collection::vec(prop::collection::vec(0..4usize, 2..4), 0..3),
-        doms in prop::collection::vec((0..4usize, 0..4usize), 0..3),
-    ) {
+#[test]
+fn display_round_trips() {
+    let mut rng = SplitMix64::new(0xa2);
+    for _ in 0..256 {
         let mut cs = ConstraintSet::new(4);
-        for f in faces {
-            let mut f = f.clone();
+        for _ in 0..rng.gen_range(0..3) {
+            let mut f: Vec<usize> = (0..rng.gen_range(2..4))
+                .map(|_| rng.gen_range(0..4))
+                .collect();
             f.sort_unstable();
             f.dedup();
             if f.len() >= 2 {
                 cs.add_face(f);
             }
         }
-        for (a, b) in doms {
+        for _ in 0..rng.gen_range(0..3) {
+            let a = rng.gen_range(0..4);
+            let b = rng.gen_range(0..4);
             if a != b {
                 cs.add_dominance(a, b);
             }
         }
         let text = cs.to_string();
-        let names: Vec<&str> = (0..4).map(|i| ["s0", "s1", "s2", "s3"][i]).collect();
+        let names = ["s0", "s1", "s2", "s3"];
         let again = ConstraintSet::parse(&names, &text).expect("display output reparses");
-        prop_assert_eq!(again.to_string(), text);
+        assert_eq!(again.to_string(), text);
     }
 }

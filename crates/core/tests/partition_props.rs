@@ -1,23 +1,31 @@
-//! Property tests for the Kernighan–Lin / Fiduccia–Mattheyses-style
-//! bipartitioner used by the bounded-length heuristic.
+//! Randomized tests for the Kernighan–Lin / Fiduccia–Mattheyses-style
+//! bipartitioner used by the bounded-length heuristic. Driven by the
+//! workspace's deterministic PRNG.
 
 use ioenc_bitset::BitSet;
 use ioenc_core::{bipartition, PartitionOptions};
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    #[test]
-    fn partitions_are_exact_and_balanced(
-        n in 2usize..12,
-        nets in prop::collection::vec(prop::collection::vec(0usize..12, 2..5), 0..8),
-    ) {
-        let nets: Vec<BitSet> = nets
-            .into_iter()
-            .map(|m| BitSet::from_indices(n, m.into_iter().filter(|&s| s < n)))
-            .filter(|s| s.count() >= 2)
-            .collect();
+fn random_nets(rng: &mut SplitMix64, n: usize, max_nets: usize, net_max: usize) -> Vec<BitSet> {
+    (0..rng.gen_range(0..max_nets))
+        .map(|_| {
+            let members: Vec<usize> = (0..rng.gen_range(2..net_max + 1))
+                .map(|_| rng.gen_range(0..n))
+                .collect();
+            BitSet::from_indices(n, members)
+        })
+        .filter(|s| s.count() >= 2)
+        .collect()
+}
+
+#[test]
+fn partitions_are_exact_and_balanced() {
+    let mut rng = SplitMix64::new(0x90);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..12);
+        let nets = random_nets(&mut rng, n, 8, 4);
         let max_side = n.div_ceil(2).max(1);
         let (a, b) = bipartition(
             n,
@@ -28,25 +36,25 @@ proptest! {
             },
         );
         // Exact partition.
-        prop_assert_eq!(a.len() + b.len(), n);
+        assert_eq!(a.len() + b.len(), n);
         let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
         // Non-empty sides within capacity.
-        prop_assert!(!a.is_empty() && !b.is_empty());
-        prop_assert!(a.len() <= max_side && b.len() <= max_side);
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.len() <= max_side && b.len() <= max_side);
     }
+}
 
-    #[test]
-    fn refinement_never_exceeds_trivial_cut(
-        n in 4usize..10,
-        nets in prop::collection::vec(prop::collection::vec(0usize..10, 2..4), 1..6),
-    ) {
-        let nets: Vec<BitSet> = nets
-            .into_iter()
-            .map(|m| BitSet::from_indices(n, m.into_iter().filter(|&s| s < n)))
-            .filter(|s| s.count() >= 2)
-            .collect();
+#[test]
+fn refinement_never_exceeds_trivial_cut() {
+    let mut rng = SplitMix64::new(0x91);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..10);
+        let nets = random_nets(&mut rng, n, 6, 3);
+        if nets.is_empty() {
+            continue;
+        }
         let (a, _) = bipartition(n, &nets, &PartitionOptions::default());
         let cut = nets
             .iter()
@@ -57,9 +65,9 @@ proptest! {
             .count();
         // The cut can never exceed the total net count; and with no
         // capacity pressure a single-net instance is never cut.
-        prop_assert!(cut <= nets.len());
+        assert!(cut <= nets.len());
         if nets.len() == 1 && nets[0].count() < n {
-            prop_assert_eq!(cut, 0, "a lone embeddable net must not be cut");
+            assert_eq!(cut, 0, "a lone embeddable net must not be cut");
         }
     }
 }

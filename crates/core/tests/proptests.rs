@@ -1,123 +1,134 @@
-//! Property tests for the encoding framework: the polynomial algorithms
+//! Randomized tests for the encoding framework: the polynomial algorithms
 //! against the exponential column-enumeration oracle and brute force.
+//! Driven by the workspace's deterministic PRNG.
 
 use ioenc_core::{
     brute_force_primes, check_feasible, count_violations, exact_encode, generate_primes,
     heuristic_encode, initial_dichotomies, oracle_min_width, ConstraintSet, Dichotomy, EncodeError,
     ExactOptions, HeuristicOptions, OracleOptions,
 };
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
 const N: usize = 5;
+const CASES: usize = 64;
 
 /// Random constraint sets over `N` symbols mixing faces, dominances and
 /// disjunctives.
-fn arb_constraints() -> impl Strategy<Value = ConstraintSet> {
-    let face = prop::collection::vec(0..N, 2..4);
-    let dom = (0..N, 0..N);
-    let disj = (0..N, prop::collection::vec(0..N, 2..3));
-    (
-        prop::collection::vec(face, 0..3),
-        prop::collection::vec(dom, 0..3),
-        prop::collection::vec(disj, 0..2),
-    )
-        .prop_map(|(faces, doms, disjs)| {
-            let mut cs = ConstraintSet::new(N);
-            for f in faces {
-                let mut f = f.clone();
-                f.sort_unstable();
-                f.dedup();
-                if f.len() >= 2 {
-                    cs.add_face(f);
-                }
-            }
-            for (a, b) in doms {
-                if a != b {
-                    cs.add_dominance(a, b);
-                }
-            }
-            for (p, children) in disjs {
-                let children: Vec<usize> = children.into_iter().filter(|&c| c != p).collect();
-                let mut c = children.clone();
-                c.sort_unstable();
-                c.dedup();
-                if c.len() >= 2 {
-                    cs.add_disjunctive(p, c);
-                }
-            }
-            cs
-        })
+fn random_constraints(rng: &mut SplitMix64) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(N);
+    for _ in 0..rng.gen_range(0..3) {
+        let mut f: Vec<usize> = (0..rng.gen_range(2..4))
+            .map(|_| rng.gen_range(0..N))
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        if f.len() >= 2 {
+            cs.add_face(f);
+        }
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b {
+            cs.add_dominance(a, b);
+        }
+    }
+    for _ in 0..rng.gen_range(0..2) {
+        let p = rng.gen_range(0..N);
+        let mut c: Vec<usize> = (0..rng.gen_range(2..3))
+            .map(|_| rng.gen_range(0..N))
+            .filter(|&s| s != p)
+            .collect();
+        c.sort_unstable();
+        c.dedup();
+        if c.len() >= 2 {
+            cs.add_disjunctive(p, c);
+        }
+    }
+    cs
 }
 
 /// Random dichotomy lists for prime-generation cross-checks.
-fn arb_dichotomies() -> impl Strategy<Value = Vec<Dichotomy>> {
-    prop::collection::vec(
-        (
-            prop::collection::vec(0..6usize, 1..3),
-            prop::collection::vec(0..6usize, 1..3),
-        ),
-        1..8,
-    )
-    .prop_map(|raw| {
-        raw.into_iter()
-            .filter_map(|(l, r)| {
-                let l: Vec<usize> = l.into_iter().collect();
-                let r: Vec<usize> = r.into_iter().filter(|s| !l.contains(s)).collect();
-                if r.is_empty() {
-                    None
-                } else {
-                    Some(Dichotomy::from_blocks(6, l, r))
-                }
-            })
-            .collect()
-    })
+fn random_dichotomies(rng: &mut SplitMix64) -> Vec<Dichotomy> {
+    (0..rng.gen_range(1..8))
+        .filter_map(|_| {
+            let l: Vec<usize> = (0..rng.gen_range(1..3))
+                .map(|_| rng.gen_range(0..6))
+                .collect();
+            let r: Vec<usize> = (0..rng.gen_range(1..3))
+                .map(|_| rng.gen_range(0..6))
+                .filter(|s| !l.contains(s))
+                .collect();
+            if r.is_empty() {
+                None
+            } else {
+                Some(Dichotomy::from_blocks(6, l, r))
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn feasibility_matches_oracle(cs in arb_constraints()) {
+#[test]
+fn feasibility_matches_oracle() {
+    let mut rng = SplitMix64::new(0x80);
+    for _ in 0..CASES {
+        let cs = random_constraints(&mut rng);
         let poly = check_feasible(&cs).is_feasible();
         let oracle = oracle_min_width(&cs, &OracleOptions::default())
             .unwrap()
             .is_some();
-        prop_assert_eq!(poly, oracle, "Theorem 6.1 check disagrees with enumeration");
+        assert_eq!(poly, oracle, "Theorem 6.1 check disagrees with enumeration");
     }
+}
 
-    #[test]
-    fn exact_width_matches_oracle(cs in arb_constraints()) {
+#[test]
+fn exact_width_matches_oracle() {
+    let mut rng = SplitMix64::new(0x81);
+    for _ in 0..CASES {
+        let cs = random_constraints(&mut rng);
         let oracle = oracle_min_width(&cs, &OracleOptions::default()).unwrap();
         match exact_encode(&cs, &ExactOptions::default()) {
             Ok(enc) => {
-                prop_assert!(enc.satisfies(&cs), "violations: {:?}", enc.verify(&cs));
-                prop_assert_eq!(Some(enc.width()), oracle, "width differs from oracle");
+                assert!(enc.satisfies(&cs), "violations: {:?}", enc.verify(&cs));
+                assert_eq!(Some(enc.width()), oracle, "width differs from oracle");
             }
-            Err(EncodeError::Infeasible { .. }) => prop_assert_eq!(oracle, None),
-            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+            Err(EncodeError::Infeasible { .. }) => assert_eq!(oracle, None),
+            Err(e) => panic!("unexpected error: {e}"),
         }
     }
+}
 
-    #[test]
-    fn primes_match_brute_force(dichotomies in arb_dichotomies()) {
+#[test]
+fn primes_match_brute_force() {
+    let mut rng = SplitMix64::new(0x82);
+    for _ in 0..CASES {
+        let dichotomies = random_dichotomies(&mut rng);
         let fast = generate_primes(&dichotomies, 1_000_000).unwrap();
         let slow = brute_force_primes(&dichotomies);
-        prop_assert_eq!(fast, slow);
+        assert_eq!(fast, slow);
     }
+}
 
-    #[test]
-    fn primes_cover_inputs(cs in arb_constraints()) {
+#[test]
+fn primes_cover_inputs() {
+    let mut rng = SplitMix64::new(0x83);
+    for _ in 0..CASES {
+        let cs = random_constraints(&mut rng);
         let initial = initial_dichotomies(&cs, false);
         if initial.len() <= 18 {
             let primes = generate_primes(&initial, 1_000_000).unwrap();
             for d in &initial {
-                prop_assert!(primes.iter().any(|p| p.covers_oriented(d)));
+                assert!(primes.iter().any(|p| p.covers_oriented(d)));
             }
         }
     }
+}
 
-    #[test]
-    fn heuristic_encodings_are_injective(cs in arb_constraints()) {
+#[test]
+fn heuristic_encodings_are_injective() {
+    let mut rng = SplitMix64::new(0x84);
+    for _ in 0..CASES {
+        let cs = random_constraints(&mut rng);
         // The heuristic covers input constraints; strip output constraints.
         let mut input_only = ConstraintSet::new(N);
         for f in cs.faces() {
@@ -127,18 +138,22 @@ proptest! {
         let mut codes = enc.codes().to_vec();
         codes.sort_unstable();
         codes.dedup();
-        prop_assert_eq!(codes.len(), N);
+        assert_eq!(codes.len(), N);
         // At minimum length the violation count is a sane upper bound.
-        prop_assert!(count_violations(&input_only, &enc) <= input_only.faces().len());
+        assert!(count_violations(&input_only, &enc) <= input_only.faces().len());
     }
+}
 
-    #[test]
-    fn exact_encoding_at_larger_width_also_satisfiable(cs in arb_constraints()) {
+#[test]
+fn exact_encoding_at_larger_width_also_satisfiable() {
+    let mut rng = SplitMix64::new(0x85);
+    for _ in 0..CASES {
+        let cs = random_constraints(&mut rng);
         // Monotonicity sanity: when the exact encoder succeeds with w bits,
         // the constraints are feasible and the oracle agrees on w.
         if let Ok(enc) = exact_encode(&cs, &ExactOptions::default()) {
-            prop_assert!(check_feasible(&cs).is_feasible());
-            prop_assert!(enc.width() <= 2 * N); // trivial sanity bound
+            assert!(check_feasible(&cs).is_feasible());
+            assert!(enc.width() <= 2 * N); // trivial sanity bound
         }
     }
 }

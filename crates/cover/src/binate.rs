@@ -1,8 +1,11 @@
 //! Exact binate covering (minimum-cost satisfying assignment of a
 //! product-of-sums with positive and negative literals).
 
-use crate::{Solution, SolveError};
+use crate::{CoverStats, Parallelism, Solution, SolveError};
 use ioenc_bitset::BitSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A clause in a binate covering problem: satisfied when some column in
 /// `pos` is *selected* or some column in `neg` is *rejected*.
@@ -36,9 +39,17 @@ pub struct BinateProblem {
     weights: Vec<u32>,
     clauses: Vec<Clause>,
     node_limit: u64,
+    parallelism: Parallelism,
 }
 
 const DEFAULT_NODE_LIMIT: u64 = 5_000_000;
+
+/// Subproblem-pool size for the deterministic root expansion; fixed so
+/// every [`Parallelism`] setting merges the same pool.
+const TASK_TARGET: usize = 32;
+
+/// Nodes the root expansion may pop before giving up on the target.
+const EXPANSION_BUDGET: u64 = 256;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum Assign {
@@ -60,6 +71,7 @@ impl BinateProblem {
             weights,
             clauses: Vec::new(),
             node_limit: DEFAULT_NODE_LIMIT,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -94,8 +106,20 @@ impl BinateProblem {
         self.node_limit = limit;
     }
 
+    /// Sets the thread policy for [`solve_exact`](Self::solve_exact).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured thread policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Exact minimum-weight satisfying selection, by branch and bound with
-    /// unit propagation.
+    /// unit propagation. The search sweeps a deterministic subproblem pool
+    /// with the configured [`Parallelism`]; results are identical for
+    /// every thread count.
     ///
     /// # Errors
     ///
@@ -104,31 +128,332 @@ impl BinateProblem {
     /// solution found (a best-effort feasible solution, when one was found,
     /// is returned with `optimal = false` instead).
     pub fn solve_exact(&self) -> Result<Solution, SolveError> {
-        let mut search = BinateSearch {
-            problem: self,
-            best: None,
-            nodes: 0,
-            exhausted: false,
+        self.solve_exact_with_stats().map(|(sol, _)| sol)
+    }
+
+    /// Like [`solve_exact`](Self::solve_exact), also returning search
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`solve_exact`](Self::solve_exact).
+    pub fn solve_exact_with_stats(&self) -> Result<(Solution, CoverStats), SolveError> {
+        let mut stats = CoverStats {
+            threads: self.parallelism.threads(),
+            ..CoverStats::default()
         };
-        let assign = vec![Assign::Open; self.num_cols];
-        search.branch(assign);
-        match search.best {
-            Some((cost, cols)) => Ok(Solution {
-                columns: cols,
-                cost,
-                optimal: !search.exhausted,
-            }),
-            None if search.exhausted => Err(SolveError::NodeLimit),
+
+        // Phase 1: deterministic breadth-first decomposition.
+        let root = BNode {
+            assign: vec![Assign::Open; self.num_cols],
+            seq: 0,
+        };
+        let mut bound = u64::MAX;
+        let mut solved: Vec<(u64, Vec<usize>, u64)> = Vec::new();
+        let tasks = self.expand_tasks(root, &mut bound, &mut solved, &mut stats);
+        stats.tasks = tasks.len();
+
+        // Phase 2: shared-bound sweep.
+        let shared_bound = AtomicU64::new(bound);
+        let budget =
+            (self.node_limit.saturating_sub(stats.nodes) / tasks.len().max(1) as u64).max(1);
+        let results = self.sweep_tasks(&tasks, &shared_bound, budget, stats.threads);
+
+        let mut best: Option<(u64, u64, &Vec<usize>)> = None;
+        for (cost, cols, seq) in &solved {
+            if best.is_none_or(|(c, s, _)| (*cost, *seq) < (c, s)) {
+                best = Some((*cost, *seq, cols));
+            }
+        }
+        let mut exhausted = false;
+        for (task, result) in tasks.iter().zip(&results) {
+            stats.nodes += result.nodes;
+            stats.prunes += result.prunes;
+            exhausted |= result.exhausted;
+            if let Some((cost, cols)) = &result.best {
+                if best.is_none_or(|(c, s, _)| (*cost, task.seq) < (c, s)) {
+                    best = Some((*cost, task.seq, cols));
+                }
+            }
+        }
+        match best {
+            Some((cost, _, cols)) => Ok((
+                Solution {
+                    columns: cols.clone(),
+                    cost,
+                    optimal: !exhausted,
+                },
+                stats,
+            )),
+            None if exhausted => Err(SolveError::NodeLimit),
             None => Err(SolveError::Infeasible),
         }
     }
+
+    /// Breadth-first root expansion; fully sequential and deterministic.
+    /// Assignments solved by propagation alone land in `solved` and
+    /// tighten `bound`.
+    fn expand_tasks(
+        &self,
+        root: BNode,
+        bound: &mut u64,
+        solved: &mut Vec<(u64, Vec<usize>, u64)>,
+        stats: &mut CoverStats,
+    ) -> Vec<BNode> {
+        let mut queue: VecDeque<BNode> = VecDeque::from([root]);
+        let mut next_seq = 1u64;
+        let expansion_cap = EXPANSION_BUDGET.min(self.node_limit);
+        while queue.len() < TASK_TARGET && stats.nodes < expansion_cap {
+            let Some(mut node) = queue.pop_front() else {
+                break;
+            };
+            stats.nodes += 1;
+            match self.reduce_node(&mut node, *bound, &mut stats.prunes) {
+                BReduced::Solved(cost, cols) => {
+                    *bound = (*bound).min(cost);
+                    solved.push((cost, cols, node.seq));
+                }
+                BReduced::Conflict | BReduced::Pruned => {}
+                BReduced::Open(col, prefer_select) => {
+                    for assign in branch_order(prefer_select) {
+                        let mut sub = node.assign.clone();
+                        sub[col] = assign;
+                        queue.push_back(BNode {
+                            assign: sub,
+                            seq: next_seq,
+                        });
+                        next_seq += 1;
+                    }
+                }
+            }
+        }
+        queue.into()
+    }
+
+    fn sweep_tasks(
+        &self,
+        tasks: &[BNode],
+        shared_bound: &AtomicU64,
+        budget: u64,
+        threads: usize,
+    ) -> Vec<BTaskResult> {
+        let results: Vec<Mutex<BTaskResult>> = tasks
+            .iter()
+            .map(|_| Mutex::new(BTaskResult::default()))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { break };
+            let mut ctx = BTaskCtx {
+                shared_bound,
+                result: BTaskResult::default(),
+                budget,
+            };
+            self.dfs(task.clone(), &mut ctx);
+            *results[i].lock().unwrap() = ctx.result;
+        };
+        let workers = threads.min(tasks.len().max(1));
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+
+    fn dfs(&self, mut node: BNode, ctx: &mut BTaskCtx<'_>) {
+        ctx.result.nodes += 1;
+        if ctx.result.nodes > ctx.budget {
+            ctx.result.exhausted = true;
+            return;
+        }
+        // Strict pruning against the shared bound is schedule-safe; the
+        // task's own best additionally prunes at `>=` — it evolves inside
+        // this task only, so the first minimal-cost solution in the task's
+        // DFS order is still always reached, for any schedule.
+        let shared = ctx.shared_bound.load(Ordering::Relaxed);
+        let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        let bound = shared.min(local.saturating_sub(1));
+        match self.reduce_node(&mut node, bound, &mut ctx.result.prunes) {
+            BReduced::Solved(cost, cols) => ctx.record(cost, cols),
+            BReduced::Conflict | BReduced::Pruned => {}
+            BReduced::Open(col, prefer_select) => {
+                for assign in branch_order(prefer_select) {
+                    let mut sub = node.clone();
+                    sub.assign[col] = assign;
+                    self.dfs(sub, ctx);
+                    if ctx.result.exhausted {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unit propagation to fixpoint, conflict detection, and the strict
+    /// bound tests. An `Open` outcome names the branching literal: the
+    /// first open literal (negative preferred) of the first open clause.
+    fn reduce_node(&self, node: &mut BNode, bound: u64, prunes: &mut u64) -> BReduced {
+        loop {
+            let mut changed = false;
+            for clause in &self.clauses {
+                match clause_state(clause, &node.assign) {
+                    ClauseState::Conflict => return BReduced::Conflict,
+                    ClauseState::Unit(c, true) => {
+                        node.assign[c] = Assign::Selected;
+                        changed = true;
+                    }
+                    ClauseState::Unit(c, false) => {
+                        node.assign[c] = Assign::Rejected;
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let cost = self.current_cost(&node.assign);
+        // Strict pruning: subtrees matching the bound survive, which keeps
+        // per-task results schedule-independent (see the crate docs).
+        if cost.saturating_add(self.lower_bound(&node.assign)) > bound {
+            *prunes += 1;
+            return BReduced::Pruned;
+        }
+        let open_clause = self
+            .clauses
+            .iter()
+            .find(|cl| matches!(clause_state(cl, &node.assign), ClauseState::Open));
+        let Some(clause) = open_clause else {
+            // Feasible: reject all remaining open columns (they only cost).
+            let cols: Vec<usize> = node
+                .assign
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == Assign::Selected)
+                .map(|(c, _)| c)
+                .collect();
+            return BReduced::Solved(cost, cols);
+        };
+        // Branch on an open literal of the chosen clause: prefer a negative
+        // literal (rejection is free).
+        let (col, prefer_select) = clause
+            .neg
+            .iter()
+            .find(|&c| node.assign[c] == Assign::Open)
+            .map(|c| (c, false))
+            .or_else(|| {
+                clause
+                    .pos
+                    .iter()
+                    .find(|&c| node.assign[c] == Assign::Open)
+                    .map(|c| (c, true))
+            })
+            .expect("open clause has an open literal");
+        BReduced::Open(col, prefer_select)
+    }
+
+    fn current_cost(&self, assign: &[Assign]) -> u64 {
+        assign
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == Assign::Selected)
+            .map(|(c, _)| self.weights[c] as u64)
+            .sum()
+    }
+
+    /// Lower bound: greedy disjoint set of unsatisfied clauses whose open
+    /// literals are all positive — each needs a distinct selection.
+    fn lower_bound(&self, assign: &[Assign]) -> u64 {
+        let mut used = BitSet::new(self.num_cols);
+        let mut bound = 0u64;
+        for clause in &self.clauses {
+            if !matches!(
+                clause_state(clause, assign),
+                ClauseState::Open | ClauseState::Unit(..)
+            ) {
+                continue;
+            }
+            // Only clauses with no open negative literal force a selection.
+            let neg_open = clause.neg.iter().any(|c| assign[c] == Assign::Open);
+            if neg_open {
+                continue;
+            }
+            let open_pos: Vec<usize> = clause
+                .pos
+                .iter()
+                .filter(|&c| assign[c] == Assign::Open)
+                .collect();
+            if open_pos.is_empty() || open_pos.iter().any(|&c| used.contains(c)) {
+                continue;
+            }
+            for &c in &open_pos {
+                used.insert(c);
+            }
+            bound += open_pos
+                .iter()
+                .map(|&c| self.weights[c] as u64)
+                .min()
+                .unwrap_or(0);
+        }
+        bound
+    }
 }
 
-struct BinateSearch<'a> {
-    problem: &'a BinateProblem,
+fn branch_order(prefer_select: bool) -> [Assign; 2] {
+    if prefer_select {
+        [Assign::Selected, Assign::Rejected]
+    } else {
+        [Assign::Rejected, Assign::Selected]
+    }
+}
+
+/// A subproblem: a partial assignment plus its creation order.
+#[derive(Debug, Clone)]
+struct BNode {
+    assign: Vec<Assign>,
+    seq: u64,
+}
+
+enum BReduced {
+    Solved(u64, Vec<usize>),
+    Conflict,
+    Pruned,
+    /// Branch on (column, prefer-select).
+    Open(usize, bool),
+}
+
+#[derive(Debug, Default)]
+struct BTaskResult {
     best: Option<(u64, Vec<usize>)>,
     nodes: u64,
+    prunes: u64,
     exhausted: bool,
+}
+
+struct BTaskCtx<'a> {
+    shared_bound: &'a AtomicU64,
+    result: BTaskResult,
+    budget: u64,
+}
+
+impl BTaskCtx<'_> {
+    fn record(&mut self, cost: u64, cols: Vec<usize>) {
+        let local = self.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        if cost < local {
+            self.result.best = Some((cost, cols));
+            self.shared_bound.fetch_min(cost, Ordering::Relaxed);
+        }
+    }
 }
 
 enum ClauseState {
@@ -169,136 +494,6 @@ fn clause_state(clause: &Clause, assign: &[Assign]) -> ClauseState {
             ClauseState::Unit(c, sel)
         }
         _ => ClauseState::Open,
-    }
-}
-
-impl BinateSearch<'_> {
-    fn current_cost(&self, assign: &[Assign]) -> u64 {
-        assign
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| **a == Assign::Selected)
-            .map(|(c, _)| self.problem.weights[c] as u64)
-            .sum()
-    }
-
-    /// Lower bound: greedy disjoint set of unsatisfied clauses whose open
-    /// literals are all positive — each needs a distinct selection.
-    fn lower_bound(&self, assign: &[Assign]) -> u64 {
-        let mut used = BitSet::new(self.problem.num_cols);
-        let mut bound = 0u64;
-        for clause in &self.problem.clauses {
-            if !matches!(
-                clause_state(clause, assign),
-                ClauseState::Open | ClauseState::Unit(..)
-            ) {
-                continue;
-            }
-            // Only clauses with no open negative literal force a selection.
-            let neg_open = clause.neg.iter().any(|c| assign[c] == Assign::Open);
-            if neg_open {
-                continue;
-            }
-            let open_pos: Vec<usize> = clause
-                .pos
-                .iter()
-                .filter(|&c| assign[c] == Assign::Open)
-                .collect();
-            if open_pos.is_empty() || open_pos.iter().any(|&c| used.contains(c)) {
-                continue;
-            }
-            for &c in &open_pos {
-                used.insert(c);
-            }
-            bound += open_pos
-                .iter()
-                .map(|&c| self.problem.weights[c] as u64)
-                .min()
-                .unwrap_or(0);
-        }
-        bound
-    }
-
-    fn branch(&mut self, mut assign: Vec<Assign>) {
-        self.nodes += 1;
-        if self.nodes > self.problem.node_limit {
-            self.exhausted = true;
-            return;
-        }
-        // Unit propagation to fixpoint.
-        loop {
-            let mut changed = false;
-            for clause in &self.problem.clauses {
-                match clause_state(clause, &assign) {
-                    ClauseState::Conflict => return,
-                    ClauseState::Unit(c, true) => {
-                        assign[c] = Assign::Selected;
-                        changed = true;
-                    }
-                    ClauseState::Unit(c, false) => {
-                        assign[c] = Assign::Rejected;
-                        changed = true;
-                    }
-                    _ => {}
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        let cost = self.current_cost(&assign);
-        let best_cost = self.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
-        if cost + self.lower_bound(&assign) >= best_cost {
-            return;
-        }
-        // All clauses satisfied?
-        let open_clause = self
-            .problem
-            .clauses
-            .iter()
-            .find(|cl| matches!(clause_state(cl, &assign), ClauseState::Open));
-        let Some(clause) = open_clause else {
-            // Feasible: reject all remaining open columns (they only cost).
-            let cols: Vec<usize> = assign
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| **a == Assign::Selected)
-                .map(|(c, _)| c)
-                .collect();
-            if cost < best_cost {
-                self.best = Some((cost, cols));
-            }
-            return;
-        };
-        // Branch on an open literal of the chosen clause: prefer a negative
-        // literal (rejection is free).
-        let lit = clause
-            .neg
-            .iter()
-            .find(|&c| assign[c] == Assign::Open)
-            .map(|c| (c, false))
-            .or_else(|| {
-                clause
-                    .pos
-                    .iter()
-                    .find(|&c| assign[c] == Assign::Open)
-                    .map(|c| (c, true))
-            })
-            .expect("open clause has an open literal");
-        let (col, prefer_select) = lit;
-        let order = if prefer_select {
-            [Assign::Selected, Assign::Rejected]
-        } else {
-            [Assign::Rejected, Assign::Selected]
-        };
-        for a in order {
-            let mut sub = assign.clone();
-            sub[col] = a;
-            self.branch(sub);
-            if self.exhausted {
-                return;
-            }
-        }
     }
 }
 
@@ -416,5 +611,42 @@ mod tests {
         let sol = p.solve_exact().unwrap();
         assert_eq!(sol.cost, 0);
         assert!(sol.columns.is_empty());
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let mut p = BinateProblem::new(10);
+        for i in 0..10usize {
+            p.add_clause([i, (i + 3) % 10], [(i + 5) % 10]);
+        }
+        p.add_clause([], [0, 5]);
+        let mut baseline = None;
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            let sol = q.solve_exact().unwrap();
+            match &baseline {
+                None => baseline = Some(sol),
+                Some(b) => assert_eq!(&sol, b, "{par:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let mut p = BinateProblem::new(6);
+        p.add_clause([0, 1], []);
+        p.add_clause([2, 3], [1]);
+        p.add_clause([4, 5], [3]);
+        let (sol, stats) = p.solve_exact_with_stats().unwrap();
+        assert!(sol.optimal);
+        assert!(stats.nodes > 0);
+        assert!(stats.threads >= 1);
     }
 }

@@ -14,6 +14,20 @@
 //! * [`BinateProblem`] — exact branch-and-bound with unit propagation over
 //!   clauses that may contain complemented columns.
 //!
+//! # Parallel search
+//!
+//! Both exact solvers run a two-phase search: a deterministic breadth-first
+//! expansion of the root into a fixed pool of subproblems, then a
+//! work-stealing sweep over that pool in which every worker runs a
+//! sequential depth-first search sharing one atomic upper bound. Pruning
+//! against the shared bound is *strict* (`>` rather than `>=`), so any
+//! subproblem whose subtree attains the global minimum always records its
+//! first minimum-cost solution in depth-first order; merging task results
+//! by `(cost, creation order)` therefore returns bit-identical solutions
+//! for every [`Parallelism`] setting. When a node budget expires the search
+//! stops early and only then may the (still feasible, `optimal = false`)
+//! result depend on scheduling.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,6 +49,60 @@ mod unate;
 
 pub use binate::{BinateProblem, Clause};
 pub use unate::UnateProblem;
+
+/// Thread-count policy for the exact solvers.
+///
+/// Results are bit-identical across all settings (see the crate-level
+/// notes on parallel search); the setting only controls how many worker
+/// threads sweep the subproblem pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use the machine's available parallelism, capped at 8 threads.
+    #[default]
+    Auto,
+    /// Use exactly this many threads (0 is treated as 1).
+    Fixed(usize),
+    /// Single-threaded: never spawn worker threads.
+    Off,
+}
+
+impl Parallelism {
+    /// The worker-thread count this policy resolves to on this machine.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Off => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+        }
+    }
+}
+
+/// Instrumentation counters from one exact solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoverStats {
+    /// Branch-and-bound nodes expanded (root expansion + all tasks).
+    pub nodes: u64,
+    /// Subtrees cut by the bound tests.
+    pub prunes: u64,
+    /// Subproblems in the deterministic root decomposition.
+    pub tasks: usize,
+    /// Worker threads used for the task sweep.
+    pub threads: usize,
+}
+
+impl CoverStats {
+    /// Sums another solve's counters into this one (thread/task counts take
+    /// the maximum, so a pipeline of solves reports its widest stage).
+    pub fn absorb(&mut self, other: &CoverStats) {
+        self.nodes += other.nodes;
+        self.prunes += other.prunes;
+        self.tasks = self.tasks.max(other.tasks);
+        self.threads = self.threads.max(other.threads);
+    }
+}
 
 /// A covering solution: the selected columns and their total weight.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,7 +1,10 @@
 //! Exact and greedy unate covering.
 
-use crate::{Solution, SolveError};
+use crate::{CoverStats, Parallelism, Solution, SolveError};
 use ioenc_bitset::BitSet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A unate (set-) covering problem: choose a minimum-weight set of columns
 /// such that every row contains at least one chosen column.
@@ -26,6 +29,7 @@ pub struct UnateProblem {
     weights: Vec<u32>,
     rows: Vec<BitSet>,
     node_limit: u64,
+    parallelism: Parallelism,
 }
 
 /// Default branch-and-bound node budget; generous for the problem sizes the
@@ -34,6 +38,15 @@ const DEFAULT_NODE_LIMIT: u64 = 5_000_000;
 
 /// Skip the quadratic column-dominance reduction above this column count.
 const COL_DOMINANCE_LIMIT: usize = 6_000;
+
+/// Subproblems the deterministic root expansion aims for. Fixed (not a
+/// function of the thread count) so every [`Parallelism`] setting merges
+/// the same task pool.
+const TASK_TARGET: usize = 32;
+
+/// Nodes the root expansion may pop before giving up on reaching
+/// [`TASK_TARGET`].
+const EXPANSION_BUDGET: u64 = 256;
 
 impl UnateProblem {
     /// A problem with `num_cols` unit-weight columns and no rows.
@@ -48,6 +61,7 @@ impl UnateProblem {
             weights,
             rows: Vec::new(),
             node_limit: DEFAULT_NODE_LIMIT,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -83,6 +97,16 @@ impl UnateProblem {
     /// Overrides the branch-and-bound node budget.
     pub fn set_node_limit(&mut self, limit: u64) {
         self.node_limit = limit;
+    }
+
+    /// Sets the thread policy for [`solve_exact`](Self::solve_exact).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured thread policy.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Greedy cover: repeatedly choose the column covering the most
@@ -129,7 +153,9 @@ impl UnateProblem {
     ///
     /// Reductions: essential columns, row dominance, column dominance (when
     /// the column count is modest), and a maximal-independent-set lower
-    /// bound. Branching expands the columns of a shortest row.
+    /// bound. Branching expands the columns of a shortest row. The search
+    /// runs over a deterministic subproblem pool swept by the configured
+    /// [`Parallelism`]; results are identical for every thread count.
     ///
     /// If the node budget runs out the best feasible solution found so far
     /// is returned with `optimal = false`.
@@ -138,6 +164,16 @@ impl UnateProblem {
     ///
     /// [`SolveError::Infeasible`] if some row has no columns.
     pub fn solve_exact(&self) -> Result<Solution, SolveError> {
+        self.solve_exact_with_stats().map(|(sol, _)| sol)
+    }
+
+    /// Like [`solve_exact`](Self::solve_exact), also returning search
+    /// counters.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] if some row has no columns.
+    pub fn solve_exact_with_stats(&self) -> Result<(Solution, CoverStats), SolveError> {
         if self.rows.iter().any(|r| r.is_empty()) {
             return Err(SolveError::Infeasible);
         }
@@ -147,21 +183,338 @@ impl UnateProblem {
         let rows = self.merge_duplicate_columns();
         // Seed the upper bound with a greedy solution.
         let greedy = self.solve_greedy()?;
-        let mut best = greedy.clone();
-        let mut nodes = 0u64;
-        let mut state = SearchState {
-            problem: self,
-            best_cost: greedy.cost,
-            best_cols: greedy.columns,
-            nodes: &mut nodes,
-            exhausted: false,
+
+        let mut stats = CoverStats {
+            threads: self.parallelism.threads(),
+            ..CoverStats::default()
         };
-        state.branch(rows, Vec::new(), 0, 0);
-        let optimal = !state.exhausted;
-        best.columns = state.best_cols;
-        best.cost = state.best_cost;
-        best.optimal = optimal;
-        Ok(best)
+
+        // Phase 1: deterministic breadth-first decomposition of the root.
+        let root = Node {
+            rows,
+            chosen: Vec::new(),
+            cost: 0,
+            depth: 0,
+            seq: 0,
+        };
+        let mut bound = greedy.cost;
+        let mut solved: Vec<(u64, Vec<usize>, u64)> = Vec::new();
+        let tasks = self.expand_tasks(root, &mut bound, &mut solved, &mut stats);
+        stats.tasks = tasks.len();
+
+        // Phase 2: sweep the pool, sharing one atomic upper bound.
+        let shared_bound = AtomicU64::new(bound);
+        let budget = per_task_budget(self.node_limit, stats.nodes, tasks.len());
+        let results = self.sweep_tasks(&tasks, &shared_bound, budget, stats.threads);
+
+        // Deterministic merge: min (cost, creation sequence); the greedy
+        // seed is the fallback of last resort.
+        let mut best: (u64, u64, &Vec<usize>) = (greedy.cost, u64::MAX, &greedy.columns);
+        for (cost, cols, seq) in &solved {
+            if (*cost, *seq) < (best.0, best.1) {
+                best = (*cost, *seq, cols);
+            }
+        }
+        let mut exhausted = false;
+        for (task, result) in tasks.iter().zip(&results) {
+            stats.nodes += result.nodes;
+            stats.prunes += result.prunes;
+            exhausted |= result.exhausted;
+            if let Some((cost, cols)) = &result.best {
+                if (*cost, task.seq) < (best.0, best.1) {
+                    best = (*cost, task.seq, cols);
+                }
+            }
+        }
+        let solution = Solution {
+            columns: best.2.clone(),
+            cost: best.0,
+            optimal: !exhausted,
+        };
+        Ok((solution, stats))
+    }
+
+    /// Pops nodes breadth-first, reducing each and queueing its children,
+    /// until the queue reaches [`TASK_TARGET`] or the expansion budget is
+    /// spent. Fully sequential and deterministic. Subproblems solved
+    /// outright are appended to `solved` and tighten `bound`.
+    fn expand_tasks(
+        &self,
+        root: Node,
+        bound: &mut u64,
+        solved: &mut Vec<(u64, Vec<usize>, u64)>,
+        stats: &mut CoverStats,
+    ) -> Vec<Node> {
+        let mut queue: VecDeque<Node> = VecDeque::from([root]);
+        let mut next_seq = 1u64;
+        let expansion_cap = EXPANSION_BUDGET.min(self.node_limit);
+        while queue.len() < TASK_TARGET && stats.nodes < expansion_cap {
+            let Some(mut node) = queue.pop_front() else {
+                break;
+            };
+            stats.nodes += 1;
+            match self.reduce_node(&mut node, *bound, &mut stats.prunes) {
+                Reduced::Solved => {
+                    *bound = (*bound).min(node.cost);
+                    solved.push((node.cost, node.chosen, node.seq));
+                }
+                Reduced::Infeasible | Reduced::Pruned => {}
+                Reduced::Open => {
+                    for child in self.children_of(&node, &mut next_seq) {
+                        queue.push_back(child);
+                    }
+                }
+            }
+        }
+        queue.into()
+    }
+
+    /// Runs every task through a sequential depth-first search, claiming
+    /// tasks from a shared counter. With one thread the sweep runs inline.
+    fn sweep_tasks(
+        &self,
+        tasks: &[Node],
+        shared_bound: &AtomicU64,
+        budget: u64,
+        threads: usize,
+    ) -> Vec<TaskResult> {
+        let results: Vec<Mutex<TaskResult>> = tasks
+            .iter()
+            .map(|_| Mutex::new(TaskResult::default()))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { break };
+            let mut ctx = TaskCtx {
+                shared_bound,
+                result: TaskResult::default(),
+                budget,
+            };
+            self.dfs(task.clone(), &mut ctx);
+            *results[i].lock().unwrap() = ctx.result;
+        };
+        let workers = threads.min(tasks.len().max(1));
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect()
+    }
+
+    /// Per-task sequential branch and bound against the shared bound.
+    fn dfs(&self, mut node: Node, ctx: &mut TaskCtx<'_>) {
+        ctx.result.nodes += 1;
+        if ctx.result.nodes > ctx.budget {
+            ctx.result.exhausted = true;
+            return;
+        }
+        // Strict pruning against the shared bound is schedule-safe; the
+        // task's own best additionally prunes at `>=` — it evolves inside
+        // this task only, so the first minimal-cost solution in the task's
+        // DFS order is still always reached, for any schedule.
+        let shared = ctx.shared_bound.load(Ordering::Relaxed);
+        let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        let bound = shared.min(local.saturating_sub(1));
+        match self.reduce_node(&mut node, bound, &mut ctx.result.prunes) {
+            Reduced::Solved => ctx.record(node.cost, node.chosen),
+            Reduced::Infeasible | Reduced::Pruned => {}
+            Reduced::Open => {
+                let mut seq = 0;
+                for child in self.children_of(&node, &mut seq) {
+                    self.dfs(child, ctx);
+                    if ctx.result.exhausted {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the reduction loop (essentials, row dominance, column
+    /// dominance) and the bound tests to one node.
+    ///
+    /// Pruning is strict (`>` against `bound`) so subtrees holding
+    /// solutions *equal* to the bound survive — the keystone of
+    /// schedule-independent results under a shared, concurrently-improving
+    /// bound.
+    fn reduce_node(&self, node: &mut Node, bound: u64, prunes: &mut u64) -> Reduced {
+        loop {
+            if node.cost > bound {
+                *prunes += 1;
+                return Reduced::Pruned;
+            }
+            if node.rows.is_empty() {
+                return Reduced::Solved;
+            }
+            if node.rows.iter().any(|r| r.is_empty()) {
+                // Infeasible branch (can happen after column removal).
+                return Reduced::Infeasible;
+            }
+            // Essential columns: rows with a single column.
+            if let Some(r) = node.rows.iter().position(|r| r.count() == 1) {
+                let c = node.rows[r].first().expect("count() == 1");
+                node.cost += self.weights[c] as u64;
+                node.chosen.push(c);
+                node.rows.retain(|row| !row.contains(c));
+                continue;
+            }
+            // Row dominance: a row that is a superset of another is
+            // implied by it.
+            let before = node.rows.len();
+            node.rows.sort_by_key(|r| r.count());
+            node.rows.dedup();
+            let mut keep = vec![true; node.rows.len()];
+            for i in 0..node.rows.len() {
+                if !keep[i] {
+                    continue;
+                }
+                for (j, k) in keep.iter_mut().enumerate().skip(i + 1) {
+                    if *k && node.rows[i].is_subset(&node.rows[j]) {
+                        *k = false;
+                    }
+                }
+            }
+            let mut it = keep.iter();
+            node.rows.retain(|_| *it.next().unwrap());
+            if node.rows.len() != before {
+                continue;
+            }
+            // Column dominance (skipped for very wide problems): remove a
+            // column whose row set is a subset of a cheaper-or-equal
+            // column's row set.
+            let mut active = BitSet::new(self.num_cols);
+            for r in &node.rows {
+                active.union_with(r);
+            }
+            let active_cols: Vec<usize> = active.iter().collect();
+            let limit = if node.depth == 0 {
+                COL_DOMINANCE_LIMIT
+            } else {
+                COL_DOMINANCE_LIMIT / 8
+            };
+            if active_cols.len() <= limit {
+                let mut col_rows: Vec<(usize, BitSet)> = active_cols
+                    .iter()
+                    .map(|&c| {
+                        let mut s = BitSet::new(node.rows.len());
+                        for (i, r) in node.rows.iter().enumerate() {
+                            if r.contains(c) {
+                                s.insert(i);
+                            }
+                        }
+                        (c, s)
+                    })
+                    .collect();
+                // Sort by descending row count so dominators come first.
+                col_rows.sort_by_key(|(_, rows)| std::cmp::Reverse(rows.count()));
+                let mut removed = Vec::new();
+                for i in 0..col_rows.len() {
+                    let (ci, ref si) = col_rows[i];
+                    if removed.contains(&ci) {
+                        continue;
+                    }
+                    for item in col_rows.iter().skip(i + 1) {
+                        let (cj, ref sj) = *item;
+                        if removed.contains(&cj) {
+                            continue;
+                        }
+                        if sj.is_subset(si) && self.weights[ci] <= self.weights[cj] {
+                            removed.push(cj);
+                        }
+                    }
+                }
+                if !removed.is_empty() {
+                    for row in &mut node.rows {
+                        for &c in &removed {
+                            row.remove(c);
+                        }
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        // Lower bound (also strict).
+        if node.cost + self.mis_lower_bound(&node.rows) > bound {
+            *prunes += 1;
+            return Reduced::Pruned;
+        }
+        Reduced::Open
+    }
+
+    /// Child subproblems branching on the columns of a shortest row, with
+    /// already-tried columns excluded from later siblings.
+    fn children_of(&self, node: &Node, next_seq: &mut u64) -> Vec<Node> {
+        let pivot = node
+            .rows
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.count())
+            .map(|(i, _)| i)
+            .expect("rows non-empty");
+        let mut cols: Vec<usize> = node.rows[pivot].iter().collect();
+        // Try the most-covering column first for a quick strong bound.
+        cols.sort_by_key(|&c| {
+            std::cmp::Reverse(node.rows.iter().filter(|r| r.contains(c)).count())
+        });
+        let mut children = Vec::with_capacity(cols.len());
+        let mut excluded: Vec<usize> = Vec::new();
+        for c in cols {
+            let mut sub_rows: Vec<BitSet> = node
+                .rows
+                .iter()
+                .filter(|r| !r.contains(c))
+                .cloned()
+                .collect();
+            // Columns already tried at this node are excluded from the
+            // subtree (they would revisit the same covers).
+            for row in &mut sub_rows {
+                for &e in &excluded {
+                    row.remove(e);
+                }
+            }
+            let mut sub_chosen = node.chosen.clone();
+            sub_chosen.push(c);
+            *next_seq += 1;
+            children.push(Node {
+                rows: sub_rows,
+                chosen: sub_chosen,
+                cost: node.cost + self.weights[c] as u64,
+                depth: node.depth + 1,
+                seq: *next_seq,
+            });
+            excluded.push(c);
+        }
+        children
+    }
+
+    /// Greedy maximal set of pairwise-disjoint rows; the sum of each such
+    /// row's cheapest column is a valid lower bound.
+    fn mis_lower_bound(&self, rows: &[BitSet]) -> u64 {
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by_key(|&r| rows[r].count());
+        let mut used = BitSet::new(self.num_cols);
+        let mut bound = 0u64;
+        for r in order {
+            if rows[r].is_disjoint(&used) {
+                used.union_with(&rows[r]);
+                bound += rows[r]
+                    .iter()
+                    .map(|c| self.weights[c] as u64)
+                    .min()
+                    .unwrap_or(0);
+            }
+        }
+        bound
     }
 
     /// Removes, from a copy of the rows, every column whose row coverage
@@ -204,196 +557,52 @@ impl UnateProblem {
     }
 }
 
-struct SearchState<'a> {
-    problem: &'a UnateProblem,
-    best_cost: u64,
-    best_cols: Vec<usize>,
-    nodes: &'a mut u64,
+/// Splits the remaining node budget evenly over the task pool. The split
+/// depends only on deterministic quantities, so budget exhaustion is
+/// task-local.
+fn per_task_budget(node_limit: u64, spent: u64, tasks: usize) -> u64 {
+    (node_limit.saturating_sub(spent) / tasks.max(1) as u64).max(1)
+}
+
+/// A subproblem: remaining rows plus the partial cover that produced them.
+#[derive(Debug, Clone)]
+struct Node {
+    rows: Vec<BitSet>,
+    chosen: Vec<usize>,
+    cost: u64,
+    depth: usize,
+    /// Creation order in the deterministic root expansion; the merge
+    /// tie-breaker.
+    seq: u64,
+}
+
+enum Reduced {
+    Solved,
+    Infeasible,
+    Pruned,
+    Open,
+}
+
+#[derive(Debug, Default)]
+struct TaskResult {
+    best: Option<(u64, Vec<usize>)>,
+    nodes: u64,
+    prunes: u64,
     exhausted: bool,
 }
 
-impl SearchState<'_> {
-    /// Greedy maximal set of pairwise-disjoint rows; the sum of each such
-    /// row's cheapest column is a valid lower bound.
-    fn mis_lower_bound(&self, rows: &[BitSet]) -> u64 {
-        let mut order: Vec<usize> = (0..rows.len()).collect();
-        order.sort_by_key(|&r| rows[r].count());
-        let mut used = BitSet::new(self.problem.num_cols);
-        let mut bound = 0u64;
-        for r in order {
-            if rows[r].is_disjoint(&used) {
-                used.union_with(&rows[r]);
-                bound += rows[r]
-                    .iter()
-                    .map(|c| self.problem.weights[c] as u64)
-                    .min()
-                    .unwrap_or(0);
-            }
-        }
-        bound
-    }
+struct TaskCtx<'a> {
+    shared_bound: &'a AtomicU64,
+    result: TaskResult,
+    budget: u64,
+}
 
-    fn branch(
-        &mut self,
-        mut rows: Vec<BitSet>,
-        mut chosen: Vec<usize>,
-        mut cost: u64,
-        depth: usize,
-    ) {
-        *self.nodes += 1;
-        if *self.nodes > self.problem.node_limit {
-            self.exhausted = true;
-            return;
-        }
-        // Reduction loop.
-        loop {
-            if cost >= self.best_cost {
-                return;
-            }
-            if rows.is_empty() {
-                self.best_cost = cost;
-                self.best_cols = chosen;
-                return;
-            }
-            if rows.iter().any(|r| r.is_empty()) {
-                // Infeasible branch (can happen after column removal).
-                return;
-            }
-            // Essential columns: rows with a single column.
-            let mut changed = false;
-            if let Some(r) = rows.iter().position(|r| r.count() == 1) {
-                let c = rows[r].first().expect("count() == 1");
-                cost += self.problem.weights[c] as u64;
-                chosen.push(c);
-                rows.retain(|row| !row.contains(c));
-                changed = true;
-            }
-            if changed {
-                continue;
-            }
-            // Row dominance: a row that is a superset of another is
-            // implied by it.
-            let before = rows.len();
-            rows.sort_by_key(|r| r.count());
-            rows.dedup();
-            let mut keep = vec![true; rows.len()];
-            for i in 0..rows.len() {
-                if !keep[i] {
-                    continue;
-                }
-                for j in (i + 1)..rows.len() {
-                    if keep[j] && rows[i].is_subset(&rows[j]) {
-                        keep[j] = false;
-                    }
-                }
-            }
-            let mut it = keep.iter();
-            rows.retain(|_| *it.next().unwrap());
-            if rows.len() != before {
-                continue;
-            }
-            // Column dominance (skipped for very wide problems): remove a
-            // column whose row set is a subset of a cheaper-or-equal
-            // column's row set.
-            let mut active = BitSet::new(self.problem.num_cols);
-            for r in &rows {
-                active.union_with(r);
-            }
-            let active_cols: Vec<usize> = active.iter().collect();
-            let limit = if depth == 0 {
-                COL_DOMINANCE_LIMIT
-            } else {
-                COL_DOMINANCE_LIMIT / 8
-            };
-            if active_cols.len() <= limit {
-                let mut col_rows: Vec<(usize, BitSet)> = active_cols
-                    .iter()
-                    .map(|&c| {
-                        let mut s = BitSet::new(rows.len());
-                        for (i, r) in rows.iter().enumerate() {
-                            if r.contains(c) {
-                                s.insert(i);
-                            }
-                        }
-                        (c, s)
-                    })
-                    .collect();
-                // Sort by descending row count so dominators come first.
-                col_rows.sort_by_key(|(_, rows)| std::cmp::Reverse(rows.count()));
-                let mut removed = Vec::new();
-                for i in 0..col_rows.len() {
-                    let (ci, ref si) = col_rows[i];
-                    if removed.contains(&ci) {
-                        continue;
-                    }
-                    for item in col_rows.iter().skip(i + 1) {
-                        let (cj, ref sj) = *item;
-                        if removed.contains(&cj) {
-                            continue;
-                        }
-                        if sj.is_subset(si) && self.problem.weights[ci] <= self.problem.weights[cj]
-                        {
-                            removed.push(cj);
-                        }
-                    }
-                }
-                if !removed.is_empty() {
-                    for row in &mut rows {
-                        for &c in &removed {
-                            row.remove(c);
-                        }
-                    }
-                    continue;
-                }
-            }
-            break;
-        }
-        if rows.is_empty() {
-            if cost < self.best_cost {
-                self.best_cost = cost;
-                self.best_cols = chosen;
-            }
-            return;
-        }
-        // Lower bound.
-        if cost + self.mis_lower_bound(&rows) >= self.best_cost {
-            return;
-        }
-        // Branch on the columns of a shortest row: one of them must be in
-        // any cover.
-        let pivot = rows
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.count())
-            .map(|(i, _)| i)
-            .expect("rows non-empty");
-        let mut cols: Vec<usize> = rows[pivot].iter().collect();
-        // Try the most-covering column first for a quick strong bound.
-        cols.sort_by_key(|&c| std::cmp::Reverse(rows.iter().filter(|r| r.contains(c)).count()));
-        let mut excluded: Vec<usize> = Vec::new();
-        for c in cols {
-            let mut sub_rows: Vec<BitSet> =
-                rows.iter().filter(|r| !r.contains(c)).cloned().collect();
-            // Columns already tried at this node are excluded from the
-            // subtree (they would revisit the same covers).
-            for row in &mut sub_rows {
-                for &e in &excluded {
-                    row.remove(e);
-                }
-            }
-            let mut sub_chosen = chosen.clone();
-            sub_chosen.push(c);
-            self.branch(
-                sub_rows,
-                sub_chosen,
-                cost + self.problem.weights[c] as u64,
-                depth + 1,
-            );
-            if *self.nodes > self.problem.node_limit {
-                self.exhausted = true;
-                return;
-            }
-            excluded.push(c);
+impl TaskCtx<'_> {
+    fn record(&mut self, cost: u64, cols: Vec<usize>) {
+        let local = self.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        if cost < local {
+            self.result.best = Some((cost, cols));
+            self.shared_bound.fetch_min(cost, Ordering::Relaxed);
         }
     }
 }
@@ -521,6 +730,57 @@ mod tests {
         for i in 0..8 {
             p.add_row([i, (i + 3) % 8]);
         }
+        let sol = p.solve_exact().unwrap();
+        for r in &p.rows {
+            assert!(sol.columns.iter().any(|&c| r.contains(c)));
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        // A ring structure with several equal-cost optima: the stress case
+        // for deterministic tie-breaking.
+        let mut p = UnateProblem::new(12);
+        for i in 0..12 {
+            p.add_row([i, (i + 4) % 12, (i + 7) % 12]);
+        }
+        let mut baseline = None;
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            let sol = q.solve_exact().unwrap();
+            match &baseline {
+                None => baseline = Some(sol),
+                Some(b) => assert_eq!(&sol, b, "{par:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let mut p = UnateProblem::new(10);
+        for i in 0..10 {
+            p.add_row([i, (i + 3) % 10]);
+        }
+        let (sol, stats) = p.solve_exact_with_stats().unwrap();
+        assert!(sol.optimal);
+        assert!(stats.nodes > 0);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn node_limit_still_returns_feasible() {
+        let mut p = UnateProblem::new(14);
+        for i in 0..14 {
+            p.add_row([i, (i + 5) % 14, (i + 9) % 14]);
+        }
+        p.set_node_limit(1);
         let sol = p.solve_exact().unwrap();
         for r in &p.rows {
             assert!(sol.columns.iter().any(|&c| r.contains(c)));

@@ -1,15 +1,22 @@
-//! Property tests: the exact solvers against brute-force enumeration.
+//! Randomized tests: the exact solvers against brute-force enumeration,
+//! driven by the workspace's deterministic PRNG.
 
-use ioenc_cover::{BinateProblem, SolveError, UnateProblem};
-use proptest::prelude::*;
+use ioenc_cover::{BinateProblem, Parallelism, SolveError, UnateProblem};
+use ioenc_rng::SplitMix64;
 
 const COLS: usize = 10;
+const CASES: usize = 80;
 
-fn arb_unate() -> impl Strategy<Value = (Vec<u32>, Vec<Vec<usize>>)> {
-    (
-        prop::collection::vec(1u32..8, COLS),
-        prop::collection::vec(prop::collection::vec(0..COLS, 1..4), 1..8),
-    )
+fn random_unate(rng: &mut SplitMix64) -> (Vec<u32>, Vec<Vec<usize>>) {
+    let weights: Vec<u32> = (0..COLS).map(|_| rng.gen_range(1..8) as u32).collect();
+    let num_rows = rng.gen_range(1..8);
+    let rows: Vec<Vec<usize>> = (0..num_rows)
+        .map(|_| {
+            let len = rng.gen_range(1..4);
+            (0..len).map(|_| rng.gen_range(0..COLS)).collect()
+        })
+        .collect();
+    (weights, rows)
 }
 
 fn unate_brute(weights: &[u32], rows: &[Vec<usize>]) -> u64 {
@@ -29,85 +36,164 @@ fn unate_brute(weights: &[u32], rows: &[Vec<usize>]) -> u64 {
     best
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn unate_exact_is_optimal((weights, rows) in arb_unate()) {
+#[test]
+fn unate_exact_is_optimal() {
+    let mut rng = SplitMix64::new(0xc0);
+    for _ in 0..CASES {
+        let (weights, rows) = random_unate(&mut rng);
         let mut p = UnateProblem::with_weights(weights.clone());
         for r in &rows {
             p.add_row(r.iter().copied());
         }
         let sol = p.solve_exact().unwrap();
-        prop_assert!(sol.optimal);
-        prop_assert_eq!(sol.cost, unate_brute(&weights, &rows));
+        assert!(sol.optimal);
+        assert_eq!(sol.cost, unate_brute(&weights, &rows));
         // And the returned columns really cover every row.
         for r in &rows {
-            prop_assert!(r.iter().any(|c| sol.columns.contains(c)));
+            assert!(r.iter().any(|c| sol.columns.contains(c)));
         }
         // Cost is consistent with the selected columns.
         let recomputed: u64 = sol.columns.iter().map(|&c| weights[c] as u64).sum();
-        prop_assert_eq!(sol.cost, recomputed);
+        assert_eq!(sol.cost, recomputed);
     }
+}
 
-    #[test]
-    fn greedy_is_feasible_and_not_better_than_exact((weights, rows) in arb_unate()) {
-        let mut p = UnateProblem::with_weights(weights.clone());
+#[test]
+fn unate_exact_is_deterministic_across_thread_counts() {
+    let mut rng = SplitMix64::new(0xc5);
+    for _ in 0..CASES {
+        let (weights, rows) = random_unate(&mut rng);
+        let mut p = UnateProblem::with_weights(weights);
+        for r in &rows {
+            p.add_row(r.iter().copied());
+        }
+        let mut solutions = Vec::new();
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            solutions.push(q.solve_exact().unwrap());
+        }
+        assert_eq!(solutions[0].columns, solutions[1].columns);
+        assert_eq!(solutions[0].columns, solutions[2].columns);
+        assert_eq!(solutions[0].cost, solutions[2].cost);
+    }
+}
+
+#[test]
+fn greedy_is_feasible_and_not_better_than_exact() {
+    let mut rng = SplitMix64::new(0xc1);
+    for _ in 0..CASES {
+        let (weights, rows) = random_unate(&mut rng);
+        let mut p = UnateProblem::with_weights(weights);
         for r in &rows {
             p.add_row(r.iter().copied());
         }
         let greedy = p.solve_greedy().unwrap();
         let exact = p.solve_exact().unwrap();
-        prop_assert!(greedy.cost >= exact.cost);
+        assert!(greedy.cost >= exact.cost);
         for r in &rows {
-            prop_assert!(r.iter().any(|c| greedy.columns.contains(c)));
+            assert!(r.iter().any(|c| greedy.columns.contains(c)));
         }
     }
+}
 
-    #[test]
-    fn binate_exact_matches_brute_force(
-        weights in prop::collection::vec(1u32..8, COLS),
-        clauses in prop::collection::vec(
+type BinateCase = (Vec<u32>, Vec<(Vec<usize>, Vec<usize>)>);
+
+fn random_binate(rng: &mut SplitMix64) -> BinateCase {
+    let weights: Vec<u32> = (0..COLS).map(|_| rng.gen_range(1..8) as u32).collect();
+    let num_clauses = rng.gen_range(1..7);
+    let clauses = (0..num_clauses)
+        .map(|_| {
+            let np = rng.gen_range(0..3);
+            let nn = rng.gen_range(0..3);
             (
-                prop::collection::vec(0..COLS, 0..3),
-                prop::collection::vec(0..COLS, 0..3),
-            ),
-            1..7,
-        )
-    ) {
+                (0..np).map(|_| rng.gen_range(0..COLS)).collect(),
+                (0..nn).map(|_| rng.gen_range(0..COLS)).collect(),
+            )
+        })
+        .collect();
+    (weights, clauses)
+}
+
+fn binate_brute(weights: &[u32], clauses: &[(Vec<usize>, Vec<usize>)]) -> Option<u64> {
+    let mut best: Option<u64> = None;
+    'outer: for mask in 0u32..(1 << COLS) {
+        for (pos, neg) in clauses {
+            let ok = pos.iter().any(|&c| mask & (1 << c) != 0)
+                || neg.iter().any(|&c| mask & (1 << c) == 0);
+            if !ok {
+                continue 'outer;
+            }
+        }
+        let cost: u64 = (0..COLS)
+            .filter(|&c| mask & (1 << c) != 0)
+            .map(|c| weights[c] as u64)
+            .sum();
+        best = Some(best.map_or(cost, |b: u64| b.min(cost)));
+    }
+    best
+}
+
+#[test]
+fn binate_exact_matches_brute_force() {
+    let mut rng = SplitMix64::new(0xc2);
+    for _ in 0..CASES {
+        let (weights, clauses) = random_binate(&mut rng);
         let mut p = BinateProblem::with_weights(weights.clone());
         for (pos, neg) in &clauses {
             p.add_clause(pos.iter().copied(), neg.iter().copied());
         }
-        // Brute force.
-        let mut best: Option<u64> = None;
-        'outer: for mask in 0u32..(1 << COLS) {
-            for (pos, neg) in &clauses {
-                let ok = pos.iter().any(|&c| mask & (1 << c) != 0)
-                    || neg.iter().any(|&c| mask & (1 << c) == 0);
-                if !ok {
-                    continue 'outer;
-                }
-            }
-            let cost: u64 = (0..COLS)
-                .filter(|&c| mask & (1 << c) != 0)
-                .map(|c| weights[c] as u64)
-                .sum();
-            best = Some(best.map_or(cost, |b: u64| b.min(cost)));
-        }
+        let best = binate_brute(&weights, &clauses);
         match p.solve_exact() {
             Ok(sol) => {
-                prop_assert!(sol.optimal);
-                prop_assert_eq!(Some(sol.cost), best);
+                assert!(sol.optimal);
+                assert_eq!(Some(sol.cost), best);
                 // Verify the returned assignment.
                 for (pos, neg) in &clauses {
                     let ok = pos.iter().any(|c| sol.columns.contains(c))
                         || neg.iter().any(|c| !sol.columns.contains(c));
-                    prop_assert!(ok);
+                    assert!(ok);
                 }
             }
-            Err(SolveError::Infeasible) => prop_assert_eq!(best, None),
-            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Err(SolveError::Infeasible) => assert_eq!(best, None),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+}
+
+#[test]
+fn binate_exact_is_deterministic_across_thread_counts() {
+    let mut rng = SplitMix64::new(0xc6);
+    for _ in 0..CASES {
+        let (weights, clauses) = random_binate(&mut rng);
+        let mut p = BinateProblem::with_weights(weights);
+        for (pos, neg) in &clauses {
+            p.add_clause(pos.iter().copied(), neg.iter().copied());
+        }
+        let mut results = Vec::new();
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(1),
+            Parallelism::Fixed(4),
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            results.push(q.solve_exact());
+        }
+        match (&results[0], &results[1], &results[2]) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                assert_eq!(a.columns, b.columns);
+                assert_eq!(a.columns, c.columns);
+            }
+            (Err(a), Err(b), Err(c)) => {
+                assert_eq!(a, b);
+                assert_eq!(a, c);
+            }
+            other => panic!("thread counts disagree on feasibility: {other:?}"),
         }
     }
 }

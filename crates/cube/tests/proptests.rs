@@ -1,64 +1,66 @@
-//! Property tests: cube/cover algebra against exhaustive minterm semantics.
+//! Randomized tests: cube/cover algebra against exhaustive minterm
+//! semantics, driven by the workspace's deterministic PRNG.
 
 use ioenc_cube::{Cover, Cube, VarSpec};
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
-fn arb_spec() -> impl Strategy<Value = VarSpec> {
-    prop::collection::vec(2usize..4, 1..4).prop_map(VarSpec::new)
+const CASES: usize = 128;
+
+fn random_spec(rng: &mut SplitMix64) -> VarSpec {
+    let nvars = rng.gen_range(1..4);
+    VarSpec::new((0..nvars).map(|_| rng.gen_range(2..4)).collect())
 }
 
-fn arb_cube(spec: VarSpec) -> impl Strategy<Value = Cube> {
-    let total = spec.total_bits();
-    prop::collection::vec(prop::bool::ANY, total).prop_map(move |bits| {
-        let mut c = Cube::universe(&spec);
-        for v in spec.vars() {
-            let range = spec.var_range(v);
-            // Keep at least one part set so cubes are rarely void.
-            let mut any = false;
-            for (k, b) in range.clone().enumerate() {
-                if !bits[b] {
-                    if k + 1 == spec.parts(v) && !any {
-                        continue;
-                    }
-                    c.clear_part(&spec, v, k);
-                } else {
-                    any = true;
-                }
+fn random_cube(rng: &mut SplitMix64, spec: &VarSpec) -> Cube {
+    let mut c = Cube::universe(spec);
+    for v in spec.vars() {
+        // Keep at least one part set so cubes are rarely void.
+        let keep = rng.gen_range(0..spec.parts(v));
+        for k in 0..spec.parts(v) {
+            if k != keep && rng.gen_bool(0.5) {
+                c.clear_part(spec, v, k);
             }
         }
-        c
-    })
+    }
+    c
 }
 
-fn spec_and_cover() -> impl Strategy<Value = (VarSpec, Cover)> {
-    arb_spec().prop_flat_map(|spec| {
-        let s2 = spec.clone();
-        prop::collection::vec(arb_cube(spec.clone()), 0..6)
-            .prop_map(move |cubes| (s2.clone(), Cover::from_cubes(s2.clone(), cubes)))
-    })
+fn random_cover(rng: &mut SplitMix64) -> (VarSpec, Cover) {
+    let spec = random_spec(rng);
+    let len = rng.gen_range(0..6);
+    let cubes = (0..len).map(|_| random_cube(rng, &spec)).collect();
+    (spec.clone(), Cover::from_cubes(spec, cubes))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn tautology_matches_enumeration((spec, cover) in spec_and_cover()) {
+#[test]
+fn tautology_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xd0);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         let want = Cover::enumerate_minterms(&spec)
             .iter()
             .all(|m| cover.contains_minterm(m));
-        prop_assert_eq!(cover.is_tautology(), want);
+        assert_eq!(cover.is_tautology(), want);
     }
+}
 
-    #[test]
-    fn complement_matches_enumeration((spec, cover) in spec_and_cover()) {
+#[test]
+fn complement_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xd1);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         let comp = cover.complement();
         for m in Cover::enumerate_minterms(&spec) {
-            prop_assert_ne!(cover.contains_minterm(&m), comp.contains_minterm(&m));
+            assert_ne!(cover.contains_minterm(&m), comp.contains_minterm(&m));
         }
     }
+}
 
-    #[test]
-    fn intersection_matches_enumeration((spec, cover) in spec_and_cover()) {
+#[test]
+fn intersection_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xd2);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         if cover.len() >= 2 {
             let a = &cover.cubes()[0];
             let b = &cover.cubes()[1];
@@ -66,53 +68,68 @@ proptest! {
             for m in Cover::enumerate_minterms(&spec) {
                 let in_both = a.contains_minterm(&spec, &m) && b.contains_minterm(&spec, &m);
                 let in_i = i.as_ref().is_some_and(|c| c.contains_minterm(&spec, &m));
-                prop_assert_eq!(in_both, in_i);
+                assert_eq!(in_both, in_i);
             }
         }
     }
+}
 
-    #[test]
-    fn containment_matches_enumeration((spec, cover) in spec_and_cover()) {
+#[test]
+fn containment_matches_enumeration() {
+    let mut rng = SplitMix64::new(0xd3);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         if !cover.is_empty() {
             let c = &cover.cubes()[0];
             let want = Cover::enumerate_minterms(&spec)
                 .iter()
                 .filter(|m| c.contains_minterm(&spec, m))
                 .all(|m| cover.contains_minterm(m));
-            prop_assert_eq!(cover.contains_cube(c), want);
+            assert_eq!(cover.contains_cube(c), want);
         }
     }
+}
 
-    #[test]
-    fn scc_preserves_semantics((spec, cover) in spec_and_cover()) {
+#[test]
+fn scc_preserves_semantics() {
+    let mut rng = SplitMix64::new(0xd4);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         let mut reduced = cover.clone();
         reduced.single_cube_containment();
         for m in Cover::enumerate_minterms(&spec) {
-            prop_assert_eq!(cover.contains_minterm(&m), reduced.contains_minterm(&m));
+            assert_eq!(cover.contains_minterm(&m), reduced.contains_minterm(&m));
         }
     }
+}
 
-    #[test]
-    fn supercube_contains_both((spec, cover) in spec_and_cover()) {
+#[test]
+fn supercube_contains_both() {
+    let mut rng = SplitMix64::new(0xd5);
+    for _ in 0..CASES {
+        let (_spec, cover) = random_cover(&mut rng);
         if cover.len() >= 2 {
             let a = &cover.cubes()[0];
             let b = &cover.cubes()[1];
             let s = a.supercube(b);
-            prop_assert!(s.contains(a));
-            prop_assert!(s.contains(b));
+            assert!(s.contains(a));
+            assert!(s.contains(b));
         }
-        let _ = spec;
     }
+}
 
-    #[test]
-    fn consensus_is_implied((spec, cover) in spec_and_cover()) {
+#[test]
+fn consensus_is_implied() {
+    let mut rng = SplitMix64::new(0xd6);
+    for _ in 0..CASES {
+        let (spec, cover) = random_cover(&mut rng);
         if cover.len() >= 2 {
             let a = cover.cubes()[0].clone();
             let b = cover.cubes()[1].clone();
             if let Some(c) = a.consensus(&spec, &b) {
                 // The consensus is covered by a + b.
                 let ab = Cover::from_cubes(spec.clone(), vec![a, b]);
-                prop_assert!(ab.contains_cube(&c));
+                assert!(ab.contains_cube(&c));
             }
         }
     }

@@ -44,9 +44,9 @@ use ioenc_cube::{Cover, Cube, VarSpec};
 pub use essentials::split_essential;
 pub use exact::exact_minimize;
 pub use expand::expand;
+pub use irredundant::irredundant;
 pub use last_gasp::last_gasp;
 pub use pla_text::{cover_to_pla_text, parse_pla_text, pla_cube};
-pub use irredundant::irredundant;
 pub use reduce::reduce;
 
 /// Minimizes `on` against the don't-care set `dc`.

@@ -16,7 +16,10 @@ use ioenc_cube::{Cover, Cube, VarSpec};
 /// Panics if `inputs` exceeds the spec's variable count.
 pub fn cover_to_pla_text(cover: &Cover, inputs: usize) -> String {
     let spec = cover.spec();
-    assert!(inputs < spec.num_vars(), "PLA shape needs an output variable");
+    assert!(
+        inputs < spec.num_vars(),
+        "PLA shape needs an output variable"
+    );
     let outputs = spec.parts(inputs);
     let mut out = String::new();
     out.push_str(&format!(".i {inputs}\n.o {outputs}\n.p {}\n", cover.len()));
@@ -91,7 +94,10 @@ pub fn parse_pla_text(text: &str) -> Result<Pla, String> {
     let mut pla = Pla::new(ni, no);
     for (i, o) in &rows {
         if i.len() != ni {
-            return Err(format!("input cube '{i}' has width {} (want {ni})", i.len()));
+            return Err(format!(
+                "input cube '{i}' has width {} (want {ni})",
+                i.len()
+            ));
         }
         if o.len() != no {
             return Err(format!(

@@ -1,132 +1,156 @@
-//! Property tests: minimization preserves semantics on random functions.
+//! Randomized tests: minimization preserves semantics on random functions,
+//! driven by the workspace's deterministic PRNG.
 
 use ioenc_cube::{Cover, Cube, VarSpec};
 use ioenc_espresso::{exact_minimize, expand, irredundant, minimize, reduce};
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
-fn arb_spec() -> impl Strategy<Value = VarSpec> {
-    prop_oneof![
-        (1usize..4).prop_map(VarSpec::binary),
-        prop::collection::vec(2usize..4, 1..3).prop_map(VarSpec::new),
-    ]
+const CASES: usize = 96;
+
+fn random_spec(rng: &mut SplitMix64) -> VarSpec {
+    if rng.gen_bool(0.5) {
+        VarSpec::binary(rng.gen_range(1..4))
+    } else {
+        let nvars = rng.gen_range(1..3);
+        VarSpec::new((0..nvars).map(|_| rng.gen_range(2..4)).collect())
+    }
 }
 
-fn arb_cube(spec: VarSpec) -> impl Strategy<Value = Cube> {
-    let total = spec.total_bits();
-    prop::collection::vec(0.3f64..1.0, total).prop_map(move |probs| {
-        let mut c = Cube::universe(&spec);
-        for v in spec.vars() {
-            let mut cleared = 0;
-            let parts = spec.parts(v);
-            for p in 0..parts {
-                if probs[spec.offset(v) + p] < 0.55 && cleared + 1 < parts {
-                    c.clear_part(&spec, v, p);
-                    cleared += 1;
-                }
+fn random_cube(rng: &mut SplitMix64, spec: &VarSpec) -> Cube {
+    let mut c = Cube::universe(spec);
+    for v in spec.vars() {
+        let mut cleared = 0;
+        let parts = spec.parts(v);
+        for p in 0..parts {
+            if rng.gen_bool(0.35) && cleared + 1 < parts {
+                c.clear_part(spec, v, p);
+                cleared += 1;
             }
         }
-        c
-    })
+    }
+    c
 }
 
-fn on_dc() -> impl Strategy<Value = (Cover, Cover)> {
-    arb_spec().prop_flat_map(|spec| {
-        let s1 = spec.clone();
-        let s2 = spec.clone();
-        (
-            prop::collection::vec(arb_cube(spec.clone()), 0..5),
-            prop::collection::vec(arb_cube(spec), 0..3),
-        )
-            .prop_map(move |(on, dc)| {
-                (
-                    Cover::from_cubes(s1.clone(), on),
-                    Cover::from_cubes(s2.clone(), dc),
-                )
-            })
-    })
+fn random_on_dc(rng: &mut SplitMix64) -> (Cover, Cover) {
+    let spec = random_spec(rng);
+    let n_on = rng.gen_range(0..5);
+    let n_dc = rng.gen_range(0..3);
+    let on: Vec<Cube> = (0..n_on).map(|_| random_cube(rng, &spec)).collect();
+    let dc: Vec<Cube> = (0..n_dc).map(|_| random_cube(rng, &spec)).collect();
+    (
+        Cover::from_cubes(spec.clone(), on),
+        Cover::from_cubes(spec, dc),
+    )
 }
 
-fn semantics_preserved(on: &Cover, dc: &Cover, m: &Cover) -> Result<(), TestCaseError> {
+fn assert_semantics_preserved(on: &Cover, dc: &Cover, m: &Cover) {
     for mt in Cover::enumerate_minterms(on.spec()) {
         let in_on = on.contains_minterm(&mt);
         let in_dc = dc.contains_minterm(&mt);
         let in_m = m.contains_minterm(&mt);
         if in_on && !in_dc {
-            prop_assert!(in_m, "lost on-set minterm {mt:?}");
+            assert!(in_m, "lost on-set minterm {mt:?}");
         }
         if !in_on && !in_dc {
-            prop_assert!(!in_m, "gained off-set minterm {mt:?}");
+            assert!(!in_m, "gained off-set minterm {mt:?}");
         }
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn minimize_preserves_semantics((on, dc) in on_dc()) {
+#[test]
+fn minimize_preserves_semantics() {
+    let mut rng = SplitMix64::new(0xe0);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let m = minimize(&on, &dc, None);
-        semantics_preserved(&on, &dc, &m)?;
+        assert_semantics_preserved(&on, &dc, &m);
     }
+}
 
-    #[test]
-    fn minimize_never_grows_cube_count((on, dc) in on_dc()) {
+#[test]
+fn minimize_never_grows_cube_count() {
+    let mut rng = SplitMix64::new(0xe1);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let mut scc = on.clone();
         scc.single_cube_containment();
         let m = minimize(&on, &dc, None);
-        prop_assert!(m.len() <= scc.len(), "{} > {}", m.len(), scc.len());
+        assert!(m.len() <= scc.len(), "{} > {}", m.len(), scc.len());
     }
+}
 
-    #[test]
-    fn expand_covers_original_and_avoids_off((on, dc) in on_dc()) {
+#[test]
+fn expand_covers_original_and_avoids_off() {
+    let mut rng = SplitMix64::new(0xe2);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let off = on.union(&dc).complement();
         let e = expand(&on, &off);
         for c in on.cubes() {
-            prop_assert!(e.cubes().iter().any(|p| p.contains(c)));
+            assert!(e.cubes().iter().any(|p| p.contains(c)));
         }
         for c in e.cubes() {
             for o in off.cubes() {
-                prop_assert!(c.distance(on.spec(), o) > 0);
+                assert!(c.distance(on.spec(), o) > 0);
             }
         }
     }
+}
 
-    #[test]
-    fn irredundant_preserves_function((on, dc) in on_dc()) {
+#[test]
+fn irredundant_preserves_function() {
+    let mut rng = SplitMix64::new(0xe3);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let r = irredundant(&on, &dc);
         // F ∪ D unchanged.
         for mt in Cover::enumerate_minterms(on.spec()) {
             let before = on.contains_minterm(&mt) || dc.contains_minterm(&mt);
             let after = r.contains_minterm(&mt) || dc.contains_minterm(&mt);
-            prop_assert_eq!(before, after);
+            assert_eq!(before, after);
         }
     }
+}
 
-    #[test]
-    fn reduce_preserves_function((on, dc) in on_dc()) {
+#[test]
+fn reduce_preserves_function() {
+    let mut rng = SplitMix64::new(0xe4);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let r = reduce(&on, &dc);
         for mt in Cover::enumerate_minterms(on.spec()) {
             let before = on.contains_minterm(&mt) || dc.contains_minterm(&mt);
             let after = r.contains_minterm(&mt) || dc.contains_minterm(&mt);
-            prop_assert_eq!(before, after);
+            assert_eq!(before, after);
         }
     }
+}
 
-    #[test]
-    fn heuristic_is_valid_and_no_better_than_exact((on, dc) in on_dc()) {
+#[test]
+fn heuristic_is_valid_and_no_better_than_exact() {
+    let mut rng = SplitMix64::new(0xe5);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let heur = minimize(&on, &dc, None);
         let exact = exact_minimize(&on, &dc);
-        semantics_preserved(&on, &dc, &exact)?;
-        prop_assert!(heur.len() >= exact.len(),
-            "heuristic {} cubes < exact {}", heur.len(), exact.len());
+        assert_semantics_preserved(&on, &dc, &exact);
+        assert!(
+            heur.len() >= exact.len(),
+            "heuristic {} cubes < exact {}",
+            heur.len(),
+            exact.len()
+        );
     }
+}
 
-    #[test]
-    fn minimize_idempotent_on_result((on, dc) in on_dc()) {
+#[test]
+fn minimize_idempotent_on_result() {
+    let mut rng = SplitMix64::new(0xe6);
+    for _ in 0..CASES {
+        let (on, dc) = random_on_dc(&mut rng);
         let m = minimize(&on, &dc, None);
         let m2 = minimize(&m, &dc, None);
-        prop_assert!(m2.len() <= m.len());
-        semantics_preserved(&m, &dc, &m2)?;
+        assert!(m2.len() <= m.len());
+        assert_semantics_preserved(&m, &dc, &m2);
     }
 }

@@ -246,8 +246,13 @@ impl Fsm {
     ///
     /// # Errors
     ///
-    /// Returns a message naming the offending line for malformed input.
-    pub fn parse_kiss2(text: &str) -> Result<Fsm, String> {
+    /// [`EncodeError::Parse`](ioenc_core::EncodeError::Parse) naming the
+    /// offending line for malformed input.
+    pub fn parse_kiss2(text: &str) -> Result<Fsm, ioenc_core::EncodeError> {
+        Fsm::parse_kiss2_inner(text).map_err(ioenc_core::EncodeError::parse)
+    }
+
+    fn parse_kiss2_inner(text: &str) -> Result<Fsm, String> {
         let mut num_inputs: Option<usize> = None;
         let mut num_outputs: Option<usize> = None;
         let mut declared_products: Option<usize> = None;

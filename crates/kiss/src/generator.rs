@@ -7,8 +7,7 @@ use crate::{Fsm, Transition};
 type InputCube = Vec<Option<bool>>;
 /// One generation pass: the input-subspace base cube and its clusters.
 type Pass = (InputCube, Vec<Vec<usize>>);
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ioenc_rng::SplitMix64;
 
 /// Shape parameters for a synthetic benchmark FSM.
 ///
@@ -69,7 +68,12 @@ impl BenchmarkSpec {
 
 /// Splits the full input space into `leaves` disjoint cubes by repeatedly
 /// splitting a cube with free positions on a random variable.
-fn leaf_cubes(rng: &mut StdRng, inputs: usize, leaves: usize, base: InputCube) -> Vec<InputCube> {
+fn leaf_cubes(
+    rng: &mut SplitMix64,
+    inputs: usize,
+    leaves: usize,
+    base: InputCube,
+) -> Vec<InputCube> {
     let free_vars = base.iter().filter(|l| l.is_none()).count();
     let mut cubes: Vec<InputCube> = vec![base];
     let max_leaves = leaves.min(1 << free_vars.min(20));
@@ -94,7 +98,7 @@ fn leaf_cubes(rng: &mut StdRng, inputs: usize, leaves: usize, base: InputCube) -
     cubes
 }
 
-fn random_output(rng: &mut StdRng, width: usize, dc: f64) -> Vec<Option<bool>> {
+fn random_output(rng: &mut SplitMix64, width: usize, dc: f64) -> Vec<Option<bool>> {
     (0..width)
         .map(|_| {
             if rng.gen_bool(dc) {
@@ -123,7 +127,7 @@ pub fn generate(spec: &BenchmarkSpec) -> Fsm {
         spec.shared_behaviors + spec.individual > 0,
         "need at least one leaf per cluster"
     );
-    let mut rng = StdRng::seed_from_u64(
+    let mut rng = SplitMix64::new(
         spec.seed
             ^ spec
                 .name
@@ -188,7 +192,7 @@ pub fn generate(spec: &BenchmarkSpec) -> Fsm {
                     // toward nearby states (chains, as in real controllers).
                     for &from in cluster {
                         let to = if rng.gen_bool(0.7) {
-                            (from + rng.gen_range(1..=3)) % spec.states
+                            (from + rng.gen_range(1..4)) % spec.states
                         } else {
                             rng.gen_range(0..spec.states)
                         };
@@ -396,7 +400,7 @@ mod tests {
 
     #[test]
     fn leaf_cubes_partition_the_space() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         for leaves in 1..=8 {
             let cubes = leaf_cubes(&mut rng, 3, leaves, vec![None; 3]);
             for m in 0..8usize {

@@ -32,7 +32,7 @@
 //! let fsm = Fsm::parse_kiss2(text)?;
 //! assert_eq!(fsm.num_states(), 2);
 //! assert_eq!(fsm.transitions().len(), 2);
-//! # Ok::<(), String>(())
+//! # Ok::<(), ioenc_core::EncodeError>(())
 //! ```
 
 mod fsm;

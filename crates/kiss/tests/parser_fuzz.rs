@@ -1,66 +1,95 @@
 //! Robustness: the KISS2 parser must never panic, only return errors, on
-//! arbitrary input — and must round-trip everything it accepts.
+//! arbitrary input — and must round-trip everything it accepts. Driven by
+//! the workspace's deterministic PRNG.
 
 use ioenc_kiss::Fsm;
-use proptest::prelude::*;
+use ioenc_rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const SOUP: &[char] = &[
+    '.', 'i', 'o', 'p', 's', 'r', 'e', 'a', 'b', 'c', 'q', 'x', 'y', 'z', '0', '1', '-', ' ', '\n',
+    '\t', '2', '9',
+];
 
-    #[test]
-    fn parser_never_panics(text in ".{0,400}") {
+fn random_soup(rng: &mut SplitMix64, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len)
+        .map(|_| SOUP[rng.gen_range(0..SOUP.len())])
+        .collect()
+}
+
+#[test]
+fn parser_never_panics() {
+    let mut rng = SplitMix64::new(0x70);
+    for _ in 0..256 {
+        let text = random_soup(&mut rng, 400);
         let _ = Fsm::parse_kiss2(&text);
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_kiss_like_soup(
-        lines in prop::collection::vec(
-            prop_oneof![
-                Just(".i 2".to_string()),
-                Just(".o 1".to_string()),
-                Just(".p 3".to_string()),
-                Just(".s 2".to_string()),
-                Just(".r a".to_string()),
-                Just(".e".to_string()),
-                Just(".ilb x y".to_string()),
-                Just(".ob z".to_string()),
-                "[01-]{0,4} [a-c] [a-c] [01-]{0,3}",
-                "[.a-z0-9 -]{0,20}",
-            ],
-            0..12,
-        )
-    ) {
+#[test]
+fn parser_never_panics_on_kiss_like_soup() {
+    let mut rng = SplitMix64::new(0x71);
+    let lits = ['0', '1', '-'];
+    let states = ["a", "b", "c"];
+    for _ in 0..256 {
+        let nlines = rng.gen_range(0..12);
+        let lines: Vec<String> = (0..nlines)
+            .map(|_| match rng.gen_range(0..10) {
+                0 => ".i 2".to_string(),
+                1 => ".o 1".to_string(),
+                2 => ".p 3".to_string(),
+                3 => ".s 2".to_string(),
+                4 => ".r a".to_string(),
+                5 => ".e".to_string(),
+                6 => ".ilb x y".to_string(),
+                7 => ".ob z".to_string(),
+                8 => {
+                    let inp: String = (0..rng.gen_range(0..5))
+                        .map(|_| lits[rng.gen_range(0..3)])
+                        .collect();
+                    let out: String = (0..rng.gen_range(0..4))
+                        .map(|_| lits[rng.gen_range(0..3)])
+                        .collect();
+                    format!(
+                        "{inp} {} {} {out}",
+                        states[rng.gen_range(0..3)],
+                        states[rng.gen_range(0..3)]
+                    )
+                }
+                _ => random_soup(&mut rng, 20),
+            })
+            .collect();
         let text = lines.join("\n");
         let _ = Fsm::parse_kiss2(&text);
     }
+}
 
-    #[test]
-    fn accepted_machines_round_trip(
-        ni in 1usize..4,
-        no in 1usize..3,
-        rows in prop::collection::vec(
-            (
-                prop::collection::vec(0u8..3, 1..4),
-                0usize..4,
-                0usize..4,
-                prop::collection::vec(0u8..3, 1..3),
-            ),
-            1..8,
-        )
-    ) {
+#[test]
+fn accepted_machines_round_trip() {
+    let mut rng = SplitMix64::new(0x72);
+    let lit = |v: usize| match v {
+        0 => '0',
+        1 => '1',
+        _ => '-',
+    };
+    for _ in 0..256 {
+        let ni = rng.gen_range(1..4);
+        let no = rng.gen_range(1..3);
+        let nrows = rng.gen_range(1..8);
         // Build syntactically valid text from generated rows.
-        let lit = |v: &u8| match v { 0 => '0', 1 => '1', _ => '-' };
         let mut text = format!(".i {ni}\n.o {no}\n");
-        for (inp, from, to, out) in &rows {
-            let input: String = (0..ni).map(|k| lit(inp.get(k).unwrap_or(&2))).collect();
-            let output: String = (0..no).map(|k| lit(out.get(k).unwrap_or(&2))).collect();
+        for _ in 0..nrows {
+            let input: String = (0..ni).map(|_| lit(rng.gen_range(0..3))).collect();
+            let output: String = (0..no).map(|_| lit(rng.gen_range(0..3))).collect();
+            let from = rng.gen_range(0..4);
+            let to = rng.gen_range(0..4);
             text.push_str(&format!("{input} q{from} q{to} {output}\n"));
         }
         text.push_str(".e\n");
         let fsm = Fsm::parse_kiss2(&text).expect("valid by construction");
         let printed = fsm.to_kiss2();
         let again = Fsm::parse_kiss2(&printed).expect("printer output reparses");
-        prop_assert_eq!(printed, again.to_kiss2());
-        prop_assert_eq!(fsm.transitions().len(), rows.len());
+        assert_eq!(printed, again.to_kiss2());
+        assert_eq!(fsm.transitions().len(), nrows);
     }
 }

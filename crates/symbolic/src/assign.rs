@@ -63,24 +63,16 @@ pub fn assign_states(fsm: &Fsm, strategy: &Strategy) -> Result<Assignment, Encod
         }
         Strategy::HeuristicInput(cost) => {
             let cs = input_constraints(fsm);
-            let enc = heuristic_encode(
-                &cs,
-                &HeuristicOptions {
-                    cost: *cost,
-                    ..Default::default()
-                },
-            )?;
+            let enc = heuristic_encode(&cs, &HeuristicOptions::new().with_cost(*cost))?;
             (cs, enc)
         }
         Strategy::HeuristicFixed(bits, cost) => {
             let cs = input_constraints(fsm);
             let enc = heuristic_encode(
                 &cs,
-                &HeuristicOptions {
-                    code_length: Some(*bits),
-                    cost: *cost,
-                    ..Default::default()
-                },
+                &HeuristicOptions::new()
+                    .with_code_length(*bits)
+                    .with_cost(*cost),
             )?;
             (cs, enc)
         }

@@ -27,11 +27,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits in 3..=6 {
         let enc = heuristic_encode(
             &cs,
-            &HeuristicOptions {
-                code_length: Some(bits),
-                cost: CostFunction::Cubes,
-                ..Default::default()
-            },
+            &HeuristicOptions::new()
+                .with_code_length(bits)
+                .with_cost(CostFunction::Cubes),
         )?;
         println!(
             "{:>6} {:>12} {:>7} {:>10}",

@@ -57,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Minimum-length heuristic encoding on the input constraints alone.
     let heur = heuristic_encode(
         &input_cs,
-        &HeuristicOptions {
-            cost: CostFunction::Cubes,
-            ..Default::default()
-        },
+        &HeuristicOptions::new().with_cost(CostFunction::Cubes),
     )?;
     let (h_cubes, h_lits) = measure_encoded(&fsm, &heur);
     println!(

@@ -36,6 +36,26 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod prelude {
+    //! One-stop imports for the common encoding workflow.
+    //!
+    //! ```
+    //! use ioenc::prelude::*;
+    //!
+    //! let cs = ConstraintSet::parse(&["a", "b", "c"], "(a,b)")?;
+    //! let enc = exact_encode(&cs, &ExactOptions::new())?;
+    //! assert!(enc.width() >= 2);
+    //! # Ok::<(), EncodeError>(())
+    //! ```
+
+    pub use ioenc_core::{
+        bounded_exact_encode, check_feasible, exact_encode, exact_encode_report, heuristic_encode,
+        BoundedExactOptions, ConstraintSet, CostFunction, EncodeError, Encoding, ExactOptions,
+        HeuristicOptions, Parallelism, SolverStats,
+    };
+    pub use ioenc_kiss::Fsm;
+}
+
 pub use ioenc_anneal as anneal;
 pub use ioenc_bitset as bitset;
 pub use ioenc_core as core;

@@ -18,10 +18,14 @@
 //! a>c
 //! a=b|d
 //! ```
+//!
+//! Encoding results go to stdout; solver statistics go to stderr, so the
+//! codes stay byte-identical across thread counts and pipe cleanly.
 
 use ioenc::core::{
-    check_feasible, exact_encode_report, generate_primes, heuristic_encode, initial_dichotomies,
-    BinateFormulation, ConstraintSet, CostFunction, ExactOptions, HeuristicOptions,
+    check_feasible, exact_encode_report, generate_primes_with, heuristic_encode,
+    initial_dichotomies, BinateFormulation, ConstraintSet, CostFunction, EncodeError, ExactOptions,
+    HeuristicOptions, Parallelism,
 };
 use ioenc::espresso::{cover_to_pla_text, parse_pla_text};
 use ioenc::kiss::Fsm;
@@ -35,8 +39,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(e) => {
+            eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
             ExitCode::FAILURE
@@ -49,15 +53,20 @@ usage:
   ioenc check  <constraints-file>
   ioenc encode <constraints-file> [--heuristic] [--bits N]
                [--cost violations|cubes|literals] [--prime-cap N]
-  ioenc primes <constraints-file> [--cap N]
+               [--threads auto|off|N]
+  ioenc primes <constraints-file> [--cap N] [--threads auto|off|N]
   ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
   ioenc table  <constraints-file>
   ioenc minimize <pla-file>";
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), EncodeError> {
     let mut it = args.iter();
-    let cmd = it.next().ok_or("missing subcommand")?;
-    let path = it.next().ok_or("missing input file")?;
+    let cmd = it
+        .next()
+        .ok_or_else(|| EncodeError::parse("missing subcommand"))?;
+    let path = it
+        .next()
+        .ok_or_else(|| EncodeError::parse("missing input file"))?;
     let rest: Vec<&String> = it.collect();
     let flag = |name: &str| rest.iter().any(|a| *a == name);
     let value = |name: &str| -> Option<&str> {
@@ -66,7 +75,37 @@ fn run(args: &[String]) -> Result<(), String> {
             .and_then(|i| rest.get(i + 1))
             .map(|s| s.as_str())
     };
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let number = |name: &str| -> Result<Option<usize>, EncodeError> {
+        match value(name) {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|e| EncodeError::parse(format!("{name} {v}: {e}")))
+                .map(Some),
+            None if flag(name) => Err(EncodeError::parse(format!("{name} requires a value"))),
+            None => Ok(None),
+        }
+    };
+    let threads = || -> Result<Parallelism, EncodeError> {
+        if flag("--threads") && value("--threads").is_none() {
+            return Err(EncodeError::parse(
+                "--threads requires a value (auto|off|N)",
+            ));
+        }
+        Ok(match value("--threads") {
+            None | Some("auto") => Parallelism::Auto,
+            Some("off") => Parallelism::Off,
+            Some(v) => {
+                let n = v
+                    .parse::<usize>()
+                    .map_err(|e| EncodeError::parse(format!("--threads {v}: {e}")))?;
+                if n == 0 {
+                    return Err(EncodeError::limit("--threads must be positive (or 'off')"));
+                }
+                Parallelism::Fixed(n)
+            }
+        })
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| EncodeError::io(path, &e))?;
 
     match cmd.as_str() {
         "check" => {
@@ -89,22 +128,25 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         "encode" => {
             let cs = parse_constraints(&text)?;
-            let bits = value("--bits")
-                .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
-                .transpose()?;
+            let bits = number("--bits")?;
             if flag("--heuristic") {
                 let cost = match value("--cost").unwrap_or("violations") {
                     "violations" => CostFunction::Violations,
                     "cubes" => CostFunction::Cubes,
                     "literals" => CostFunction::Literals,
-                    other => return Err(format!("unknown cost function '{other}'")),
+                    other => {
+                        return Err(EncodeError::parse(format!(
+                            "unknown cost function '{other}'"
+                        )))
+                    }
                 };
-                let opts = HeuristicOptions {
-                    code_length: bits,
-                    cost,
-                    ..Default::default()
-                };
-                let enc = heuristic_encode(&cs, &opts).map_err(|e| e.to_string())?;
+                let mut opts = HeuristicOptions::new()
+                    .with_cost(cost)
+                    .with_parallelism(threads()?);
+                if let Some(bits) = bits {
+                    opts = opts.with_code_length(bits);
+                }
+                let enc = heuristic_encode(&cs, &opts)?;
                 println!(
                     "heuristic encoding, {} bits, cost = {}:",
                     enc.width(),
@@ -112,11 +154,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 );
                 print!("{}", enc.display(&cs));
             } else {
-                let mut opts = ExactOptions::default();
-                if let Some(cap) = value("--prime-cap") {
-                    opts.prime_cap = cap.parse::<usize>().map_err(|e| e.to_string())?;
+                let mut opts = ExactOptions::new().with_parallelism(threads()?);
+                if let Some(cap) = number("--prime-cap")? {
+                    if cap == 0 {
+                        return Err(EncodeError::limit("--prime-cap must be positive"));
+                    }
+                    opts = opts.with_prime_cap(cap);
                 }
-                let report = exact_encode_report(&cs, &opts).map_err(|e| e.to_string())?;
+                let report = exact_encode_report(&cs, &opts)?;
                 println!(
                     "exact minimum-length encoding, {} bits ({} primes{}):",
                     report.encoding.width(),
@@ -128,25 +173,30 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 );
                 print!("{}", report.encoding.display(&cs));
+                eprintln!("{}", report.stats.render());
             }
             Ok(())
         }
         "primes" => {
             let cs = parse_constraints(&text)?;
-            let cap = value("--cap")
-                .map(|v| v.parse::<usize>().map_err(|e| e.to_string()))
-                .transpose()?
-                .unwrap_or(50_000);
+            let cap = number("--cap")?.unwrap_or(50_000);
+            if cap == 0 {
+                return Err(EncodeError::limit("--cap must be positive"));
+            }
             let initial = initial_dichotomies(&cs, !cs.has_output_constraints());
             println!("{} initial encoding-dichotomies:", initial.len());
             for d in &initial {
                 println!("  {}", d.display(&cs));
             }
-            let primes = generate_primes(&initial, cap).map_err(|e| e.to_string())?;
+            let (primes, stats) = generate_primes_with(&initial, cap, threads()?)?;
             println!("{} prime encoding-dichotomies:", primes.len());
             for p in &primes {
                 println!("  {}", p.display(&cs));
             }
+            eprintln!(
+                "{} ps steps, peak {} terms, {} threads",
+                stats.ps_steps, stats.peak_terms, stats.threads
+            );
             Ok(())
         }
         "fsm" => {
@@ -158,7 +208,7 @@ fn run(args: &[String]) -> Result<(), String> {
                 } else {
                     Strategy::HeuristicInput(CostFunction::Cubes)
                 };
-                let a = assign_states(&fsm, &strategy).map_err(|e| e.to_string())?;
+                let a = assign_states(&fsm, &strategy)?;
                 println!(
                     "# {} of {} face constraints satisfied; PLA {} cubes / {} literals",
                     a.satisfied.0, a.satisfied.1, a.pla_cost.0, a.pla_cost.1
@@ -178,7 +228,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "minimize" => {
-            let pla = parse_pla_text(&text)?;
+            let pla = parse_pla_text(&text).map_err(EncodeError::parse)?;
             let m = pla.minimize();
             let (cubes, lits) = ioenc::espresso::summary(&m, pla.inputs());
             eprintln!("# minimized to {cubes} product terms, {lits} input literals");
@@ -192,12 +242,12 @@ fn run(args: &[String]) -> Result<(), String> {
             print!("{}", f.display());
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}'")),
+        other => Err(EncodeError::parse(format!("unknown subcommand '{other}'"))),
     }
 }
 
 /// Parses the `symbols:`-headed constraint file format.
-fn parse_constraints(text: &str) -> Result<ConstraintSet, String> {
+fn parse_constraints(text: &str) -> Result<ConstraintSet, EncodeError> {
     let mut names: Option<Vec<&str>> = None;
     let mut body = String::new();
     for line in text.lines() {
@@ -209,6 +259,6 @@ fn parse_constraints(text: &str) -> Result<ConstraintSet, String> {
             body.push('\n');
         }
     }
-    let names = names.ok_or("missing 'symbols: …' header line")?;
+    let names = names.ok_or_else(|| EncodeError::parse("missing 'symbols: …' header line"))?;
     ConstraintSet::parse(&names, &body)
 }

@@ -188,3 +188,102 @@ fn section_6_2_extended_disjunctive() {
     let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
     assert!(enc.verify(&cs).is_empty());
 }
+
+/// The parallel solver core must be bit-identical at every thread count:
+/// same codes, same statistics-relevant counts, only wall clock may differ.
+#[test]
+fn parallelism_is_bit_identical_on_section_1() {
+    use ioenc::core::{HeuristicOptions, Parallelism};
+
+    let cs = ConstraintSet::parse(
+        &["a", "b", "c", "d"],
+        "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+    )
+    .unwrap();
+    let settings = [
+        Parallelism::Off,
+        Parallelism::Fixed(1),
+        Parallelism::Fixed(4),
+    ];
+
+    let exact: Vec<_> = settings
+        .iter()
+        .map(|&p| exact_encode_report(&cs, &ExactOptions::new().with_parallelism(p)).unwrap())
+        .collect();
+    for r in &exact[1..] {
+        assert_eq!(r.encoding.codes(), exact[0].encoding.codes());
+        assert_eq!(r.num_primes, exact[0].num_primes);
+        assert_eq!(r.stats.num_primes, exact[0].stats.num_primes);
+    }
+
+    let heur: Vec<_> = settings
+        .iter()
+        .map(|&p| {
+            ioenc::core::heuristic_encode(
+                &cs,
+                &HeuristicOptions::new()
+                    .with_cost(CostFunction::Cubes)
+                    .with_parallelism(p),
+            )
+            .unwrap()
+        })
+        .collect();
+    for e in &heur[1..] {
+        assert_eq!(e.codes(), heur[0].codes());
+    }
+}
+
+/// The same determinism guarantee on real KISS2 benchmark machines, end to
+/// end through constraint generation and both encoders.
+#[test]
+fn parallelism_is_bit_identical_on_kiss2_benchmarks() {
+    use ioenc::core::{heuristic_encode, HeuristicOptions, Parallelism};
+    use ioenc::kiss::samples::samples;
+    use ioenc::symbolic::input_constraints;
+
+    let settings = [
+        Parallelism::Off,
+        Parallelism::Fixed(1),
+        Parallelism::Fixed(4),
+    ];
+    let machines = samples();
+    assert!(machines.len() >= 2);
+    for fsm in &machines {
+        let cs = input_constraints(fsm);
+
+        let exact: Vec<_> = settings
+            .iter()
+            .map(|&p| exact_encode_report(&cs, &ExactOptions::new().with_parallelism(p)).unwrap())
+            .collect();
+        for r in &exact[1..] {
+            assert_eq!(
+                r.encoding.codes(),
+                exact[0].encoding.codes(),
+                "exact codes differ across thread counts on {}",
+                fsm.name()
+            );
+            assert_eq!(r.num_primes, exact[0].num_primes, "{}", fsm.name());
+        }
+
+        let heur: Vec<_> = settings
+            .iter()
+            .map(|&p| {
+                heuristic_encode(
+                    &cs,
+                    &HeuristicOptions::new()
+                        .with_cost(CostFunction::Cubes)
+                        .with_parallelism(p),
+                )
+                .unwrap()
+            })
+            .collect();
+        for e in &heur[1..] {
+            assert_eq!(
+                e.codes(),
+                heur[0].codes(),
+                "heuristic codes differ across thread counts on {}",
+                fsm.name()
+            );
+        }
+    }
+}
