@@ -6,7 +6,10 @@
 //! `cargo bench --bench parallel_speedup`.
 
 use ioenc_bench::harness::{fmt_duration, min_time_of};
-use ioenc_core::{generate_primes_with, initial_dichotomies, ConstraintSet, Parallelism};
+use ioenc_core::{
+    encode_auto, generate_primes_with, initial_dichotomies, AutoOptions, Budget, ConstraintSet,
+    Parallelism,
+};
 use std::hint::black_box;
 
 fn speedup(name: &str, initial: &[ioenc_core::Dichotomy], cap: usize) {
@@ -35,6 +38,41 @@ fn speedup(name: &str, initial: &[ioenc_core::Dichotomy], cap: usize) {
     );
 }
 
+/// Budget-counter smoke: a work-budgeted degradation ladder must stop at
+/// the same point — same rung, same codes, same counters — whatever the
+/// thread count, or the budgets are not deterministic.
+fn budget_identity() {
+    let cs = ConstraintSet::new(12);
+    let run = |par: Parallelism| {
+        let opts = AutoOptions::new()
+            .with_budget(Budget::unlimited().with_max_primes(200).with_max_evals(400))
+            .with_parallelism(par);
+        encode_auto(&cs, &opts).unwrap()
+    };
+    let reference = run(Parallelism::Off);
+    for par in [
+        Parallelism::Fixed(2),
+        Parallelism::Fixed(4),
+        Parallelism::Auto,
+    ] {
+        let r = run(par);
+        assert_eq!(
+            r.stats.work_units(),
+            reference.stats.work_units(),
+            "budget counters diverge at {par:?}"
+        );
+        assert_eq!(
+            r.encoding.codes(),
+            reference.encoding.codes(),
+            "budgeted answer diverges at {par:?}"
+        );
+    }
+    println!(
+        "budget/identity: {} rung, counters bit-identical across off/2/4/auto threads",
+        reference.rung
+    );
+}
+
 fn main() {
     // Unconstrained problems maximize the number of prime dichotomies
     // (2^n − 2), giving long term lists for the partition, absorption and
@@ -44,4 +82,5 @@ fn main() {
         let initial = initial_dichotomies(&cs, true);
         speedup(&format!("primes/unconstrained/{n}"), &initial, 10_000_000);
     }
+    budget_identity();
 }

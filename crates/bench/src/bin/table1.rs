@@ -6,7 +6,7 @@
 //! exactly as the paper reports `planet` and `vmecont`.
 
 use ioenc_bench::{benchmark, table1_constraints, table1_names};
-use ioenc_core::{exact_encode_report, EncodeError, ExactOptions};
+use ioenc_core::{exact_encode_report, BudgetPhase, EncodeError, ExactOptions};
 use std::time::Instant;
 
 fn main() {
@@ -40,12 +40,15 @@ fn main() {
                     report.stats.cover.threads
                 );
             }
-            Err(EncodeError::PrimesExceeded { limit }) => {
+            Err(EncodeError::Budget {
+                phase: BudgetPhase::Primes,
+                ..
+            }) => {
                 println!(
                     "{:<10} {:>8} {:>9} {:>6} {:>10}",
                     name,
                     fsm.num_states(),
-                    format!("> {limit}"),
+                    format!("> {}", opts.prime_cap),
                     "*",
                     "*"
                 );

@@ -1,0 +1,547 @@
+//! The exact → bounded-exact → heuristic degradation ladder.
+//!
+//! [`encode_auto`] runs the strongest encoder the [`Budget`] can pay for:
+//!
+//! 1. **exact** ([`exact_encode_report`](crate::exact_encode_report)) — the
+//!    minimum-length pipeline of Figure 7;
+//! 2. **bounded exact**
+//!    ([`bounded_exact_encode_report`](crate::bounded_exact_encode_report))
+//!    — exhaustive selection at a fixed length, growing the length until a
+//!    satisfying encoding appears;
+//! 3. **heuristic**
+//!    ([`heuristic_encode_report`](crate::heuristic_encode_report)) — the
+//!    split/merge/select scheme of Section 7.1, likewise over growing
+//!    lengths, with a last-resort greedy cover of the raised dichotomies
+//!    (sound by Theorem 6.1).
+//!
+//! Every rung draws from the *same* budget: the work a failed rung spent is
+//! subtracted (see [`Budget::after`]) before the next rung starts, the
+//! wall-clock deadline is halved per remaining rung, and the partial work a
+//! rung carried in its [`EncodeError::Budget`] error — notably the raised
+//! dichotomies of the exact rung — is reused instead of recomputed. With
+//! only work-unit limits the answering rung, its encoding and the counters
+//! in [`AutoReport::stats`] are bit-identical across
+//! [`Parallelism`](crate::Parallelism) settings.
+
+use crate::budget::{Budget, BudgetPhase, BudgetSpent};
+use crate::raise::raised_valid;
+use crate::stats::SolverStats;
+use crate::{
+    bounded_exact_encode_report, exact_encode_report, heuristic_encode_report, initial_dichotomies,
+    BoundedExactOptions, ConstraintSet, CostFunction, Dichotomy, EncodeError, Encoding,
+    ExactOptions, HeuristicOptions, Parallelism,
+};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Options for [`encode_auto`].
+///
+/// Construct with [`AutoOptions::new`] (or `default()`) and refine with the
+/// `with_*` methods; the struct is `#[non_exhaustive]`.
+///
+/// ```
+/// use ioenc_core::{AutoOptions, Budget};
+///
+/// let opts = AutoOptions::new()
+///     .with_budget(Budget::unlimited().with_max_primes(50_000));
+/// assert!(opts.budget.max_primes.is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct AutoOptions {
+    /// The shared resource budget the whole ladder draws from.
+    pub budget: Budget,
+    /// Options for the exact rung (its own `budget` field is overwritten
+    /// with what remains of the shared budget).
+    pub exact: ExactOptions,
+    /// Options for the bounded-exact rung (`budget`, `cost` and
+    /// `code_length` are overwritten; the ladder always minimizes
+    /// violations, so cost 0 is exactly "satisfies everything").
+    pub bounded: BoundedExactOptions,
+    /// Options for the heuristic rung (`budget`, `cost` and `code_length`
+    /// are overwritten).
+    pub heuristic: HeuristicOptions,
+    /// How many bits past the minimum length the bounded and heuristic
+    /// rungs may try before falling back to the greedy raised-dichotomy
+    /// cover.
+    pub max_extra_bits: usize,
+}
+
+impl AutoOptions {
+    /// Default options: unlimited budget, each rung's defaults, up to 8
+    /// extra bits.
+    pub fn new() -> Self {
+        AutoOptions {
+            budget: Budget::unlimited(),
+            exact: ExactOptions::default(),
+            bounded: BoundedExactOptions::default(),
+            heuristic: HeuristicOptions::default(),
+            max_extra_bits: 8,
+        }
+    }
+
+    /// Installs the shared resource [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the thread policy of every rung.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.exact.parallelism = parallelism;
+        self.bounded.parallelism = parallelism;
+        self.heuristic.parallelism = parallelism;
+        self
+    }
+
+    /// Sets how many bits past the minimum the fallback rungs may try.
+    pub fn with_max_extra_bits(mut self, bits: usize) -> Self {
+        self.max_extra_bits = bits;
+        self
+    }
+}
+
+/// The ladder rung that produced an [`AutoReport`]'s encoding. Ordered
+/// strongest first, so `rung_a <= rung_b` means "at least as strong".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AutoRung {
+    /// The exact minimum-length pipeline answered.
+    Exact,
+    /// Exhaustive fixed-length selection answered.
+    Bounded,
+    /// The heuristic (or the greedy raised-dichotomy fallback) answered.
+    Heuristic,
+}
+
+impl fmt::Display for AutoRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AutoRung::Exact => "exact",
+            AutoRung::Bounded => "bounded exact",
+            AutoRung::Heuristic => "heuristic",
+        })
+    }
+}
+
+/// One rung (or rung attempt at one code length) that did *not* produce
+/// the final encoding.
+#[derive(Debug, Clone)]
+pub struct RungAttempt {
+    /// Which rung ran.
+    pub rung: AutoRung,
+    /// Why it did not answer: the error it returned, or `None` when it ran
+    /// to completion but its best encoding still violated constraints.
+    pub error: Option<EncodeError>,
+    /// The work it spent (already included in [`AutoReport::stats`]).
+    pub stats: SolverStats,
+}
+
+/// The result of [`encode_auto`]: a verified encoding plus the full
+/// account of the ladder's work.
+#[derive(Debug, Clone)]
+pub struct AutoReport {
+    /// An encoding satisfying every constraint (re-verified semantically
+    /// before being returned).
+    pub encoding: Encoding,
+    /// The rung that produced it.
+    pub rung: AutoRung,
+    /// Whether the encoding is a proven minimum-length one.
+    pub optimal: bool,
+    /// The rungs (and per-length retries) that fell short, in order.
+    pub attempts: Vec<RungAttempt>,
+    /// Work counters absorbed across every rung, successful or not.
+    pub stats: SolverStats,
+    /// Whether the answering fallback reused the raised dichotomies
+    /// carried out of the exact rung's budget error instead of
+    /// recomputing them.
+    pub reused_raised: bool,
+}
+
+/// Errors that no later rung can do anything about.
+fn is_fatal(e: &EncodeError) -> bool {
+    matches!(
+        e,
+        EncodeError::Infeasible { .. }
+            | EncodeError::Parse { .. }
+            | EncodeError::Io { .. }
+            | EncodeError::Limit { .. }
+    )
+}
+
+/// Encodes with the strongest rung the budget can pay for (see the module
+/// docs). Always minimizes *violated constraints*, so any answer — from
+/// whatever rung — satisfies every constraint.
+///
+/// # Errors
+///
+/// * [`EncodeError::Infeasible`] (fatal, from the feasibility check);
+/// * [`EncodeError::Budget`] when even the last-resort fallback cannot fit
+///   (over 64 bits) — its `spent` carries the ladder's total work;
+/// * plus the fatal front-end errors ([`EncodeError::Parse`],
+///   [`EncodeError::Io`], [`EncodeError::Limit`]) passed through.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::{encode_auto, AutoOptions, Budget, ConstraintSet};
+///
+/// let cs = ConstraintSet::parse(&["a", "b", "c", "d"], "(a,b)\n(c,d)")?;
+/// let report = encode_auto(
+///     &cs,
+///     &AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(1000)),
+/// )?;
+/// assert!(report.encoding.satisfies(&cs));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn encode_auto(cs: &ConstraintSet, opts: &AutoOptions) -> Result<AutoReport, EncodeError> {
+    let started = Instant::now();
+    let n = cs.num_symbols();
+    let mut total = SolverStats::default();
+    let mut attempts: Vec<RungAttempt> = Vec::new();
+    let mut carried: Option<Vec<Dichotomy>> = None;
+
+    // Wall-clock split: each non-final rung gets half of what is left, the
+    // final rung everything (work-unit limits are split by subtraction in
+    // Budget::after instead).
+    let rung_deadline = |rungs_left: u32| -> Option<Duration> {
+        opts.budget.deadline.map(|d| {
+            let left = d.saturating_sub(started.elapsed());
+            if rungs_left <= 1 {
+                left
+            } else {
+                left / 2
+            }
+        })
+    };
+
+    // Rung 1: exact.
+    let mut exact_opts = opts.exact.clone();
+    exact_opts.budget = opts.budget.after(&total);
+    exact_opts.budget.deadline = rung_deadline(3);
+    match exact_encode_report(cs, &exact_opts) {
+        Ok(r) => {
+            total.absorb(&r.stats);
+            return Ok(AutoReport {
+                encoding: r.encoding,
+                rung: AutoRung::Exact,
+                optimal: r.optimal,
+                attempts,
+                stats: total,
+                reused_raised: false,
+            });
+        }
+        Err(e) if is_fatal(&e) => return Err(e),
+        Err(EncodeError::Budget { phase, spent }) => {
+            let BudgetSpent { stats, raised } = *spent;
+            total.absorb(&stats);
+            if !raised.is_empty() {
+                carried = Some(raised);
+            }
+            attempts.push(RungAttempt {
+                rung: AutoRung::Exact,
+                error: Some(EncodeError::budget(phase, BudgetSpent::default())),
+                stats,
+            });
+        }
+        Err(e) => attempts.push(RungAttempt {
+            rung: AutoRung::Exact,
+            error: Some(e),
+            stats: SolverStats::default(),
+        }),
+    }
+
+    let min_len = usize::max(1, (usize::BITS - (n.max(1) - 1).leading_zeros()) as usize);
+    let max_len = min_len.saturating_add(opts.max_extra_bits).min(63);
+
+    // Rung 2: bounded exact, growing the length. The rung may spend at
+    // most half of the remaining evaluations; the rest is reserved for the
+    // heuristic.
+    let eval_reserve = opts.budget.after(&total).max_evals.map(|e| e.div_ceil(2));
+    for c in min_len..=max_len {
+        let mut bopts = opts.bounded.clone();
+        bopts.cost = CostFunction::Violations;
+        bopts.code_length = Some(c);
+        bopts.budget = opts.budget.after(&total);
+        if let (Some(avail), Some(reserve)) = (bopts.budget.max_evals, eval_reserve) {
+            bopts.budget.max_evals = Some(avail.saturating_sub(reserve));
+        }
+        bopts.budget.deadline = rung_deadline(2);
+        match bounded_exact_encode_report(cs, &bopts) {
+            Ok(r) => {
+                total.absorb(&r.stats);
+                if r.cost == 0 && r.encoding.satisfies(cs) {
+                    return Ok(AutoReport {
+                        encoding: r.encoding,
+                        rung: AutoRung::Bounded,
+                        // Reaching zero violations at the minimum length is
+                        // a proven minimum-length encoding.
+                        optimal: c == min_len,
+                        attempts,
+                        stats: total,
+                        reused_raised: false,
+                    });
+                }
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Bounded,
+                    error: None,
+                    stats: r.stats,
+                });
+            }
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(EncodeError::Budget { phase, spent }) => {
+                total.absorb(&spent.stats);
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Bounded,
+                    error: Some(EncodeError::budget(phase, BudgetSpent::default())),
+                    stats: spent.stats,
+                });
+                break;
+            }
+            Err(e) => {
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Bounded,
+                    error: Some(e),
+                    stats: SolverStats::default(),
+                });
+                break;
+            }
+        }
+    }
+
+    // Rung 3: heuristic, growing the length.
+    for c in min_len..=max_len {
+        let mut hopts = opts.heuristic.clone();
+        hopts.cost = CostFunction::Violations;
+        hopts.code_length = Some(c);
+        hopts.budget = opts.budget.after(&total);
+        hopts.budget.deadline = rung_deadline(1);
+        match heuristic_encode_report(cs, &hopts) {
+            Ok(r) => {
+                total.absorb(&r.stats);
+                if r.encoding.satisfies(cs) {
+                    return Ok(AutoReport {
+                        encoding: r.encoding,
+                        rung: AutoRung::Heuristic,
+                        optimal: false,
+                        attempts,
+                        stats: total,
+                        reused_raised: false,
+                    });
+                }
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Heuristic,
+                    error: None,
+                    stats: r.stats,
+                });
+            }
+            Err(e) if is_fatal(&e) => return Err(e),
+            Err(EncodeError::Budget { phase, spent }) => {
+                total.absorb(&spent.stats);
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Heuristic,
+                    error: Some(EncodeError::budget(phase, BudgetSpent::default())),
+                    stats: spent.stats,
+                });
+                break;
+            }
+            Err(e) => {
+                attempts.push(RungAttempt {
+                    rung: AutoRung::Heuristic,
+                    error: Some(e),
+                    stats: SolverStats::default(),
+                });
+                break;
+            }
+        }
+    }
+
+    // Last resort: a greedy cover of the initial dichotomies by the
+    // maximally raised valid dichotomies — sound by Theorem 6.1 and
+    // budget-free, possibly longer than any rung would have produced. The
+    // raised dichotomies the exact rung already computed (carried in its
+    // budget error) are reused rather than re-raised.
+    let symmetry = !cs.has_output_constraints();
+    let initial = initial_dichotomies(cs, symmetry);
+    let reused_raised = carried.is_some();
+    let raised = match carried {
+        Some(r) => r,
+        None => {
+            total.raise_attempts += initial.len() as u64;
+            raised_valid(&initial, cs)
+        }
+    };
+    let uncovered: Vec<Dichotomy> = initial
+        .iter()
+        .filter(|i| !raised.iter().any(|d| d.covers(i)))
+        .cloned()
+        .collect();
+    if !uncovered.is_empty() {
+        return Err(EncodeError::Infeasible { uncovered });
+    }
+    let columns = greedy_cover(&initial, &raised);
+    total.timings.total = started.elapsed();
+    if columns.len() > 64 {
+        return Err(EncodeError::budget(
+            BudgetPhase::Heuristic,
+            BudgetSpent {
+                stats: total,
+                raised,
+            },
+        ));
+    }
+    let encoding = Encoding::from_columns(n, &columns);
+    assert!(
+        encoding.satisfies(cs),
+        "internal error: raised-dichotomy cover fails semantic verification"
+    );
+    Ok(AutoReport {
+        encoding,
+        rung: AutoRung::Heuristic,
+        optimal: false,
+        attempts,
+        stats: total,
+        reused_raised,
+    })
+}
+
+/// Greedy set cover: repeatedly the column covering the most uncovered
+/// rows (ties to the lowest index — deterministic).
+fn greedy_cover(rows: &[Dichotomy], columns: &[Dichotomy]) -> Vec<Dichotomy> {
+    let mut uncovered: Vec<usize> = (0..rows.len()).collect();
+    let mut chosen: Vec<Dichotomy> = Vec::new();
+    while !uncovered.is_empty() {
+        let Some((best, count)) = columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, uncovered.iter().filter(|&&r| c.covers(&rows[r])).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+        else {
+            break;
+        };
+        if count == 0 {
+            break;
+        }
+        uncovered.retain(|&r| !columns[best].covers(&rows[r]));
+        chosen.push(columns[best].clone());
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_answers_on_the_exact_rung() {
+        let cs = ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap();
+        let report = encode_auto(&cs, &AutoOptions::new()).unwrap();
+        assert_eq!(report.rung, AutoRung::Exact);
+        assert!(report.optimal);
+        assert!(report.attempts.is_empty());
+        assert_eq!(report.encoding.width(), 2);
+        assert!(report.encoding.satisfies(&cs));
+    }
+
+    #[test]
+    fn starved_exact_rung_falls_through_and_still_satisfies() {
+        // A tight prime cap starves the exact rung on the unconstrained
+        // 10-symbol instance (2^10 − 2 primes); the ladder must still hand
+        // back a satisfying encoding from a later rung.
+        let cs = ConstraintSet::new(10);
+        let opts = AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(50));
+        let report = encode_auto(&cs, &opts).unwrap();
+        assert!(report.rung > AutoRung::Exact);
+        assert!(report.encoding.satisfies(&cs));
+        assert!(
+            report.attempts.iter().any(|a| a.rung == AutoRung::Exact),
+            "the exact attempt is on record"
+        );
+        // The exact rung's partial prime work is accounted for.
+        assert!(report.stats.primes.ps_steps > 0);
+    }
+
+    #[test]
+    fn infeasible_constraints_are_fatal() {
+        let names = ["s0", "s1", "s2", "s3", "s4", "s5"];
+        let cs = ConstraintSet::parse(
+            &names,
+            "(s1,s5)\n(s2,s5)\n(s4,s5)\n\
+             s0>s1\ns0>s2\ns0>s3\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns5>s3\n\
+             s0=s1|s2",
+        )
+        .unwrap();
+        let opts = AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(10));
+        assert!(matches!(
+            encode_auto(&cs, &opts),
+            Err(EncodeError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn fallback_reuses_raised_dichotomies_from_the_exact_rung() {
+        // Starve everything: primes capped (exact dies in the primes
+        // phase, carrying its raised dichotomies) and evaluations capped
+        // at zero (bounded and heuristic die at entry). The greedy fallback
+        // must answer from the carried dichotomies without re-raising.
+        let cs = ConstraintSet::new(9);
+        let opts = AutoOptions::new()
+            .with_budget(Budget::unlimited().with_max_primes(20).with_max_evals(0));
+        let report = encode_auto(&cs, &opts).unwrap();
+        assert_eq!(report.rung, AutoRung::Heuristic);
+        assert!(report.reused_raised, "raised dichotomies were not reused");
+        assert!(report.encoding.satisfies(&cs));
+        // Re-raising would have added the initial dichotomies a second
+        // time; the count stays at the exact rung's single pass.
+        assert_eq!(
+            report.stats.raise_attempts,
+            crate::initial_dichotomies(&cs, true).len() as u64
+        );
+    }
+
+    #[test]
+    fn work_budget_outcome_is_identical_across_thread_counts() {
+        let cs = ConstraintSet::new(8);
+        let run = |par: Parallelism| {
+            let opts = AutoOptions::new()
+                .with_parallelism(par)
+                .with_budget(Budget::unlimited().with_max_primes(40).with_max_evals(200));
+            encode_auto(&cs, &opts).unwrap()
+        };
+        let reference = run(Parallelism::Off);
+        for par in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let report = run(par);
+            assert_eq!(report.rung, reference.rung, "{par:?} rung");
+            assert_eq!(
+                report.encoding.codes(),
+                reference.encoding.codes(),
+                "{par:?} codes"
+            );
+            assert_eq!(
+                report.stats.work_units(),
+                reference.stats.work_units(),
+                "{par:?} counters"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_budget_reaches_an_equal_or_stronger_rung() {
+        let cs = ConstraintSet::new(8);
+        let run = |primes: usize| {
+            let opts = AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(primes));
+            encode_auto(&cs, &opts).unwrap()
+        };
+        let small = run(40);
+        let big = run(40 * 2 * 2 * 2);
+        assert!(big.rung <= small.rung, "more budget, weaker rung");
+        assert!(big.encoding.width() <= small.encoding.width());
+    }
+}

@@ -4,11 +4,14 @@
 //! is exactly why the paper develops the heuristic. This implementation
 //! exists as the reference point for the heuristic on small instances.
 
-use crate::cost::{cost_of, CostFunction};
+use crate::budget::{Budget, BudgetPhase, BudgetScope, BudgetSpent};
+use crate::cost::{cost_of_with, CostFunction};
+use crate::stats::SolverStats;
 use crate::{ConstraintSet, Dichotomy, EncodeError, Encoding};
 use ioenc_cover::Parallelism;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Options for [`bounded_exact_encode`].
 ///
@@ -39,6 +42,10 @@ pub struct BoundedExactOptions {
     /// Thread policy for the enumeration; results are bit-identical across
     /// settings.
     pub parallelism: Parallelism,
+    /// Resource budget. The evaluation cap is enforced as an upfront gate
+    /// on the selection-space size (deterministic); the deadline and the
+    /// cancel token stop the sweep cooperatively.
+    pub budget: Budget,
 }
 
 impl Default for BoundedExactOptions {
@@ -49,6 +56,7 @@ impl Default for BoundedExactOptions {
             max_symbols: 8,
             max_selections: 5_000_000,
             parallelism: Parallelism::Auto,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -88,6 +96,23 @@ impl BoundedExactOptions {
         self.parallelism = parallelism;
         self
     }
+
+    /// Installs a resource [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The detailed result of [`bounded_exact_encode_report`].
+#[derive(Debug, Clone)]
+pub struct BoundedReport {
+    /// The minimum-cost encoding of the requested length.
+    pub encoding: Encoding,
+    /// Its cost under the configured [`CostFunction`].
+    pub cost: u64,
+    /// Evaluation counters and timings.
+    pub stats: SolverStats,
 }
 
 /// Exhaustively finds the minimum-cost encoding of the requested length
@@ -98,11 +123,36 @@ impl BoundedExactOptions {
 ///
 /// * [`EncodeError::TooLarge`] beyond the configured instance limits;
 /// * [`EncodeError::WidthExceeded`] for lengths that cannot give distinct
-///   codes.
+///   codes;
+/// * [`EncodeError::Budget`] when the evaluation budget cannot pay for the
+///   selection space, or the deadline / cancel token fires mid-sweep.
 pub fn bounded_exact_encode(
     cs: &ConstraintSet,
     opts: &BoundedExactOptions,
 ) -> Result<(Encoding, u64), EncodeError> {
+    bounded_exact_encode_report(cs, opts).map(|r| (r.encoding, r.cost))
+}
+
+/// Like [`bounded_exact_encode`] but returns the full [`BoundedReport`]
+/// (evaluation counters, timings).
+///
+/// # Errors
+///
+/// As for [`bounded_exact_encode`].
+pub fn bounded_exact_encode_report(
+    cs: &ConstraintSet,
+    opts: &BoundedExactOptions,
+) -> Result<BoundedReport, EncodeError> {
+    let start = Instant::now();
+    let done = |encoding: Encoding, cost: u64, stats: SolverStats| {
+        let mut stats = stats;
+        stats.timings.total = start.elapsed();
+        Ok(BoundedReport {
+            encoding,
+            cost,
+            stats,
+        })
+    };
     let n = cs.num_symbols();
     if n > opts.max_symbols {
         return Err(EncodeError::TooLarge {
@@ -110,7 +160,7 @@ pub fn bounded_exact_encode(
         });
     }
     if n == 0 {
-        return Ok((Encoding::new(0, Vec::new()), 0));
+        return done(Encoding::new(0, Vec::new()), 0, SolverStats::default());
     }
     let min_len = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
     let c = opts.code_length.unwrap_or(min_len);
@@ -118,7 +168,7 @@ pub fn bounded_exact_encode(
         return Err(EncodeError::WidthExceeded);
     }
     if n == 1 {
-        return Ok((Encoding::new(c, vec![0]), 0));
+        return done(Encoding::new(c, vec![0]), 0, SolverStats::default());
     }
 
     // All 2^(n-1) − 1 distinct encoding-dichotomies (symbol 0 pinned to
@@ -143,6 +193,16 @@ pub fn bounded_exact_encode(
             });
         }
     }
+    // Upfront evaluation gate: an enumeration needs up to `selections`
+    // cost evaluations, so a smaller budget cannot finish it. Failing here
+    // — before any work — keeps the expiry decision deterministic.
+    if opts.budget.max_evals.is_some_and(|b| selections > b) {
+        return Err(EncodeError::budget(
+            BudgetPhase::Bounded,
+            BudgetSpent::default(),
+        ));
+    }
+    let scope = opts.budget.scope();
 
     // The search branches on the first selected candidate; branches are
     // independent (the running minimum never prunes, it only filters the
@@ -152,13 +212,29 @@ pub fn bounded_exact_encode(
     // heavily skewed branch sizes.
     let last_start = candidates.len().saturating_sub(c);
     let threads = opts.parallelism.threads().min(last_start + 1);
+    let ctx = EnumCtx {
+        cs,
+        candidates: &candidates,
+        c,
+        cost: opts.cost,
+        max_espresso_iters: opts.budget.max_espresso_iters,
+        stop: &AtomicBool::new(false),
+        scope: &scope,
+    };
     let mut best: Option<(u64, Encoding)> = None;
+    let mut stats = SolverStats::default();
+    let mut stopped = false;
     if threads <= 1 {
+        let mut out = BranchOut::default();
         let mut chosen = Vec::with_capacity(c);
-        enumerate(cs, &candidates, c, 0, &mut chosen, &mut best, opts.cost);
+        enumerate(&ctx, 0, &mut chosen, &mut out);
+        best = out.best;
+        stats.evals = out.evals;
+        stats.espresso_iters = out.espresso_iters;
+        stopped = out.stopped;
     } else {
         let next = AtomicUsize::new(0);
-        let results: Vec<Mutex<Option<(u64, Encoding)>>> =
+        let results: Vec<Mutex<Option<BranchOut>>> =
             (0..=last_start).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..threads {
@@ -167,67 +243,100 @@ pub fn bounded_exact_encode(
                     if i > last_start {
                         break;
                     }
-                    let mut local: Option<(u64, Encoding)> = None;
+                    let mut out = BranchOut::default();
                     let mut chosen = vec![i];
-                    enumerate(
-                        cs,
-                        &candidates,
-                        c,
-                        i + 1,
-                        &mut chosen,
-                        &mut local,
-                        opts.cost,
-                    );
-                    *results[i].lock().expect("branch result poisoned") = local;
+                    enumerate(&ctx, i + 1, &mut chosen, &mut out);
+                    *results[i].lock().expect("branch result poisoned") = Some(out);
                 });
             }
         });
+        // Merge in branch order so the winning encoding (and the counter
+        // totals) match the sequential sweep exactly.
         for slot in results {
-            let local = slot.into_inner().expect("branch result poisoned");
-            if let Some((cost, enc)) = local {
+            let out = slot
+                .into_inner()
+                .expect("branch result poisoned")
+                .expect("every branch produced a result");
+            stats.evals += out.evals;
+            stats.espresso_iters += out.espresso_iters;
+            stopped |= out.stopped;
+            if let Some((cost, enc)) = out.best {
                 if best.as_ref().is_none_or(|(b, _)| cost < *b) {
                     best = Some((cost, enc));
                 }
             }
         }
     }
+    if stopped {
+        stats.timings.total = start.elapsed();
+        return Err(EncodeError::budget(
+            BudgetPhase::Bounded,
+            BudgetSpent {
+                stats,
+                raised: Vec::new(),
+            },
+        ));
+    }
     match best {
-        Some((cost, enc)) => Ok((enc, cost)),
+        Some((cost, enc)) => done(enc, cost, stats),
         None => Err(EncodeError::TooLarge {
             what: "no injective selection of the requested length",
         }),
     }
 }
 
-fn enumerate(
-    cs: &ConstraintSet,
-    candidates: &[Dichotomy],
+struct EnumCtx<'a> {
+    cs: &'a ConstraintSet,
+    candidates: &'a [Dichotomy],
     c: usize,
-    start: usize,
-    chosen: &mut Vec<usize>,
-    best: &mut Option<(u64, Encoding)>,
     cost: CostFunction,
-) {
-    if chosen.len() == c {
-        let cols: Vec<Dichotomy> = chosen.iter().map(|&i| candidates[i].clone()).collect();
-        let enc = Encoding::from_columns(cs.num_symbols(), &cols);
+    max_espresso_iters: Option<u64>,
+    /// Latched by whichever branch first observes an interrupt, so every
+    /// other branch stops at its next leaf.
+    stop: &'a AtomicBool,
+    scope: &'a BudgetScope,
+}
+
+#[derive(Default)]
+struct BranchOut {
+    best: Option<(u64, Encoding)>,
+    evals: u64,
+    espresso_iters: u64,
+    stopped: bool,
+}
+
+fn enumerate(ctx: &EnumCtx<'_>, start: usize, chosen: &mut Vec<usize>, out: &mut BranchOut) {
+    if chosen.len() == ctx.c {
+        // One interrupt check per leaf is cheap next to a cost evaluation.
+        if ctx.stop.load(Ordering::Relaxed) || ctx.scope.interrupted() {
+            ctx.stop.store(true, Ordering::Relaxed);
+            out.stopped = true;
+            return;
+        }
+        let cols: Vec<Dichotomy> = chosen.iter().map(|&i| ctx.candidates[i].clone()).collect();
+        let enc = Encoding::from_columns(ctx.cs.num_symbols(), &cols);
         // Injectivity first.
         let mut codes = enc.codes().to_vec();
         codes.sort_unstable();
         if codes.windows(2).any(|w| w[0] == w[1]) {
             return;
         }
-        let value = cost_of(cs, &enc, cost);
-        if best.as_ref().is_none_or(|(b, _)| value < *b) {
-            *best = Some((value, enc));
+        let (value, iters) = cost_of_with(ctx.cs, &enc, ctx.cost, ctx.max_espresso_iters);
+        out.evals += 1;
+        out.espresso_iters += iters;
+        if out.best.as_ref().is_none_or(|(b, _)| value < *b) {
+            out.best = Some((value, enc));
         }
         return;
     }
-    let remaining = c - chosen.len();
-    for i in start..=(candidates.len().saturating_sub(remaining)) {
+    let remaining = ctx.c - chosen.len();
+    for i in start..=(ctx.candidates.len().saturating_sub(remaining)) {
         chosen.push(i);
-        enumerate(cs, candidates, c, i + 1, chosen, best, cost);
+        enumerate(ctx, i + 1, chosen, out);
         chosen.pop();
+        if out.stopped {
+            return;
+        }
     }
 }
 
@@ -318,6 +427,55 @@ mod tests {
         assert!(matches!(
             bounded_exact_encode(&cs, &opts),
             Err(EncodeError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_budget_gate_fails_before_any_work() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 1]);
+        for par in [Parallelism::Off, Parallelism::Fixed(4)] {
+            let opts = BoundedExactOptions::default()
+                .with_parallelism(par)
+                .with_budget(Budget::unlimited().with_max_evals(3));
+            match bounded_exact_encode(&cs, &opts) {
+                Err(EncodeError::Budget { phase, spent }) => {
+                    assert_eq!(phase, BudgetPhase::Bounded);
+                    assert_eq!(spent.stats.evals, 0, "the gate fires upfront");
+                }
+                other => panic!("expected budget expiry, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn report_counts_evaluations_identically_across_threads() {
+        let mut cs = ConstraintSet::new(4);
+        cs.add_face([0, 1]);
+        let r = bounded_exact_encode_report(&cs, &BoundedExactOptions::default()).unwrap();
+        assert!(r.stats.evals > 0);
+        let r2 = bounded_exact_encode_report(
+            &cs,
+            &BoundedExactOptions::default().with_parallelism(Parallelism::Fixed(4)),
+        )
+        .unwrap();
+        assert_eq!(r.stats.work_units(), r2.stats.work_units());
+        assert_eq!(r.encoding.codes(), r2.encoding.codes());
+    }
+
+    #[test]
+    fn cancelled_sweep_reports_bounded_expiry() {
+        let token = ioenc_cover::CancelToken::new();
+        token.cancel();
+        let cs = ConstraintSet::new(5);
+        let opts =
+            BoundedExactOptions::default().with_budget(Budget::unlimited().with_cancel(token));
+        assert!(matches!(
+            bounded_exact_encode(&cs, &opts),
+            Err(EncodeError::Budget {
+                phase: BudgetPhase::Bounded,
+                ..
+            })
         ));
     }
 

@@ -1,0 +1,300 @@
+//! Deterministic resource budgets for the encoders.
+//!
+//! A [`Budget`] caps the *work units* an encoding run may spend — `ps`
+//! multiplication steps, generated prime terms, cover branch-and-bound
+//! nodes, ESPRESSO improvement iterations and cost-function evaluations —
+//! plus an optional wall-clock deadline and a shareable [`CancelToken`].
+//!
+//! Work-unit limits are checked against counters that the pipeline already
+//! keeps deterministic across [`Parallelism`](crate::Parallelism) settings,
+//! so *whether* a budget expires, *which* phase it expires in, and the
+//! partial [`SolverStats`] reported on expiry are all bit-identical for any
+//! thread count. The deadline and the cancel token are the opposite trade:
+//! they bound latency exactly but stop at a timing-dependent point (see
+//! DESIGN.md §6c for the full argument).
+//!
+//! On exhaustion a phase returns
+//! [`EncodeError::Budget`](crate::EncodeError::Budget) carrying the phase
+//! name and a [`BudgetSpent`] with the partial stats — and, when primes ran
+//! out, the already-raised dichotomies, so a fallback
+//! ([`encode_auto`](crate::encode_auto)) can reuse them instead of
+//! re-raising.
+
+use crate::stats::SolverStats;
+use crate::Dichotomy;
+use ioenc_cover::CancelToken;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Deterministic work-unit limits plus optional wall-clock controls.
+///
+/// Every field defaults to "unlimited"; use the `with_*` builders to set
+/// limits. The struct is `#[non_exhaustive]`: construct it with
+/// [`Budget::unlimited`] (or `Budget::default()`) and the builders.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::Budget;
+///
+/// let budget = Budget::unlimited()
+///     .with_max_primes(50_000)
+///     .with_max_cover_nodes(1_000_000);
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct Budget {
+    /// Cap on `ps` multiplication steps during prime generation.
+    pub max_ps_steps: Option<u64>,
+    /// Cap on product terms generated during any `ps` step (and on the
+    /// final prime count).
+    pub max_primes: Option<usize>,
+    /// Cap on cover branch-and-bound nodes (strict: exhaustion is an error
+    /// even when a feasible cover was found).
+    pub max_cover_nodes: Option<u64>,
+    /// Cap on the improvement-loop iterations of each ESPRESSO
+    /// minimization run by a cost evaluation (bounds work per evaluation;
+    /// the cover returned is valid either way).
+    pub max_espresso_iters: Option<u64>,
+    /// Cap on cost-function evaluations (bounded enumeration and heuristic
+    /// search).
+    pub max_evals: Option<u64>,
+    /// Wall-clock deadline, measured from the encoder's entry. Stops are
+    /// timing-dependent (not bit-identical across runs).
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation, checked alongside the deadline.
+    pub cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget with no limits at all — every encoder behaves exactly as
+    /// if no budget were given.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Whether no limit of any kind is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_ps_steps.is_none()
+            && self.max_primes.is_none()
+            && self.max_cover_nodes.is_none()
+            && self.max_espresso_iters.is_none()
+            && self.max_evals.is_none()
+            && self.deadline.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// Whether at least one deterministic work-unit limit is set.
+    pub fn has_work_limits(&self) -> bool {
+        self.max_ps_steps.is_some()
+            || self.max_primes.is_some()
+            || self.max_cover_nodes.is_some()
+            || self.max_espresso_iters.is_some()
+            || self.max_evals.is_some()
+    }
+
+    /// Caps `ps` multiplication steps.
+    pub fn with_max_ps_steps(mut self, steps: u64) -> Self {
+        self.max_ps_steps = Some(steps);
+        self
+    }
+
+    /// Caps generated prime terms.
+    pub fn with_max_primes(mut self, primes: usize) -> Self {
+        self.max_primes = Some(primes);
+        self
+    }
+
+    /// Caps cover branch-and-bound nodes.
+    pub fn with_max_cover_nodes(mut self, nodes: u64) -> Self {
+        self.max_cover_nodes = Some(nodes);
+        self
+    }
+
+    /// Caps per-minimization ESPRESSO iterations.
+    pub fn with_max_espresso_iters(mut self, iters: u64) -> Self {
+        self.max_espresso_iters = Some(iters);
+        self
+    }
+
+    /// Caps cost-function evaluations.
+    pub fn with_max_evals(mut self, evals: u64) -> Self {
+        self.max_evals = Some(evals);
+        self
+    }
+
+    /// Sets a wall-clock deadline measured from the encoder's entry.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// The budget left after `spent` work units: consumable limits
+    /// (ps steps, cover nodes, evaluations) shrink by what was spent,
+    /// saturating at zero; size caps (primes, per-minimization espresso
+    /// iterations) and the wall-clock controls pass through unchanged.
+    /// [`encode_auto`](crate::encode_auto) uses this to split one budget
+    /// across the rungs of the degradation ladder.
+    pub fn after(&self, spent: &SolverStats) -> Budget {
+        Budget {
+            max_ps_steps: self
+                .max_ps_steps
+                .map(|b| b.saturating_sub(spent.primes.ps_steps)),
+            max_primes: self.max_primes,
+            max_cover_nodes: self
+                .max_cover_nodes
+                .map(|b| b.saturating_sub(spent.cover.nodes)),
+            max_espresso_iters: self.max_espresso_iters,
+            max_evals: self.max_evals.map(|b| b.saturating_sub(spent.evals)),
+            deadline: self.deadline,
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Resolves the relative deadline against the clock, producing the
+    /// per-run interrupt state.
+    pub(crate) fn scope(&self) -> BudgetScope {
+        BudgetScope {
+            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+/// A [`Budget`]'s wall-clock controls resolved at encoder entry.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BudgetScope {
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl BudgetScope {
+    /// The absolute deadline, for handing down to the cover solvers.
+    pub(crate) fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// A clone of the cancel token, for handing down.
+    pub(crate) fn cancel(&self) -> Option<CancelToken> {
+        self.cancel.clone()
+    }
+
+    /// Whether the deadline has passed or cancellation was requested.
+    pub(crate) fn interrupted(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The pipeline phase a budget expired in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetPhase {
+    /// Prime encoding-dichotomy generation (`ps` steps or the term cap).
+    Primes,
+    /// The covering search of the exact encoder.
+    Cover,
+    /// Bounded exact enumeration.
+    Bounded,
+    /// Heuristic search.
+    Heuristic,
+}
+
+impl fmt::Display for BudgetPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BudgetPhase::Primes => "prime generation",
+            BudgetPhase::Cover => "covering search",
+            BudgetPhase::Bounded => "bounded enumeration",
+            BudgetPhase::Heuristic => "heuristic search",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The partial work carried by an [`EncodeError::Budget`]
+/// (`crate::EncodeError::Budget`): everything computed before the budget
+/// expired, so callers can account for it and reuse it.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetSpent {
+    /// Counters for the work performed before expiry.
+    pub stats: SolverStats,
+    /// Raised dichotomies already computed when prime generation gave up
+    /// (empty for other phases). A fallback encoder can start from these
+    /// instead of re-raising.
+    pub raised: Vec<Dichotomy>,
+}
+
+/// Equality ignores wall-clock timings and thread counts: two expiries are
+/// equal when their deterministic work units and carried dichotomies match,
+/// which is exactly the cross-thread-count comparison the differential
+/// tests need.
+impl PartialEq for BudgetSpent {
+    fn eq(&self, other: &Self) -> bool {
+        self.stats.work_units() == other.stats.work_units() && self.raised == other.raised
+    }
+}
+
+impl Eq for BudgetSpent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_reports_itself() {
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!Budget::unlimited().has_work_limits());
+        let b = Budget::unlimited().with_max_cover_nodes(10);
+        assert!(!b.is_unlimited());
+        assert!(b.has_work_limits());
+        let b = Budget::unlimited().with_deadline(Duration::from_secs(1));
+        assert!(!b.is_unlimited());
+        assert!(!b.has_work_limits());
+    }
+
+    #[test]
+    fn after_subtracts_consumable_limits() {
+        let budget = Budget::unlimited()
+            .with_max_ps_steps(100)
+            .with_max_primes(500)
+            .with_max_cover_nodes(1000)
+            .with_max_evals(50);
+        let mut spent = SolverStats::default();
+        spent.primes.ps_steps = 30;
+        spent.cover.nodes = 1500;
+        spent.evals = 20;
+        let rest = budget.after(&spent);
+        assert_eq!(rest.max_ps_steps, Some(70));
+        assert_eq!(rest.max_primes, Some(500)); // size cap, not consumable
+        assert_eq!(rest.max_cover_nodes, Some(0)); // saturating
+        assert_eq!(rest.max_evals, Some(30));
+    }
+
+    #[test]
+    fn spent_equality_ignores_timings() {
+        let mut a = BudgetSpent::default();
+        a.stats.evals = 7;
+        let mut b = a.clone();
+        b.stats.timings.total = Duration::from_secs(9);
+        b.stats.cover.threads = 4;
+        assert_eq!(a, b);
+        b.stats.evals = 8;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cancelled_scope_reports_interrupted() {
+        let token = ioenc_cover::CancelToken::new();
+        let scope = Budget::unlimited().with_cancel(token.clone()).scope();
+        assert!(!scope.interrupted());
+        token.cancel();
+        assert!(scope.interrupted());
+    }
+}

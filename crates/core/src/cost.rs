@@ -105,15 +105,38 @@ pub fn constraint_pla(cs: &ConstraintSet, enc: &Encoding) -> Pla {
 ///
 /// Panics if the symbol counts disagree.
 pub fn cost_of(cs: &ConstraintSet, enc: &Encoding, cost: CostFunction) -> u64 {
+    cost_of_with(cs, enc, cost, None).0
+}
+
+/// [`cost_of`] with a cap on the ESPRESSO improvement iterations of each
+/// minimization (see [`Budget::max_espresso_iters`]). Returns the cost plus
+/// the iterations actually run (0 for [`CostFunction::Violations`]).
+///
+/// Capped minimizations still yield a valid (possibly larger) cover, so a
+/// capped cost is an upper bound on the uncapped one.
+///
+/// [`Budget::max_espresso_iters`]: crate::Budget#structfield.max_espresso_iters
+///
+/// # Panics
+///
+/// Panics if the symbol counts disagree.
+pub fn cost_of_with(
+    cs: &ConstraintSet,
+    enc: &Encoding,
+    cost: CostFunction,
+    max_espresso_iters: Option<u64>,
+) -> (u64, u64) {
     match cost {
-        CostFunction::Violations => count_violations(cs, enc) as u64,
+        CostFunction::Violations => (count_violations(cs, enc) as u64, 0),
         CostFunction::Cubes => {
-            let (cubes, _) = constraint_pla(cs, enc).minimize_summary();
-            cubes as u64
+            let ((cubes, _), stats) =
+                constraint_pla(cs, enc).minimize_summary_bounded(max_espresso_iters);
+            (cubes as u64, stats.iterations)
         }
         CostFunction::Literals => {
-            let (_, lits) = constraint_pla(cs, enc).minimize_summary();
-            lits as u64
+            let ((_, lits), stats) =
+                constraint_pla(cs, enc).minimize_summary_bounded(max_espresso_iters);
+            (lits as u64, stats.iterations)
         }
     }
 }

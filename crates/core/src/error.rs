@@ -1,5 +1,6 @@
 //! Error type shared by the encoders.
 
+use crate::budget::{BudgetPhase, BudgetSpent};
 use crate::Dichotomy;
 use std::fmt;
 
@@ -14,13 +15,27 @@ pub enum EncodeError {
         uncovered: Vec<Dichotomy>,
     },
     /// Prime encoding-dichotomy generation exceeded the configured cap
-    /// (the `> 50 000` cases of Table 1).
+    /// (the `> 50 000` cases of Table 1). Returned by the low-level
+    /// [`generate_primes`](crate::generate_primes) API; the encoding
+    /// pipeline reports cap exhaustion as [`Budget`](Self::Budget) instead,
+    /// so the work already done is not lost.
     PrimesExceeded {
         /// The cap that was hit.
         limit: usize,
     },
     /// The covering solver gave up (node limit) before proving a solution.
     CoverAborted,
+    /// A resource budget ([`Budget`](crate::Budget)) — or the legacy prime
+    /// cap / cover node limit — expired during `phase`. The partial work
+    /// is carried in `spent`: its stats are deterministic across thread
+    /// counts, and for the primes phase the already-raised dichotomies
+    /// ride along for reuse by a fallback encoder.
+    Budget {
+        /// The phase the budget expired in.
+        phase: BudgetPhase,
+        /// The partial work performed before expiry.
+        spent: Box<BudgetSpent>,
+    },
     /// More than 64 code bits would be required.
     WidthExceeded,
     /// Enumerating the minimal hitting sets of a non-face constraint
@@ -72,6 +87,14 @@ impl EncodeError {
     pub fn limit(what: impl Into<String>) -> Self {
         EncodeError::Limit { what: what.into() }
     }
+
+    /// A [`EncodeError::Budget`] from a phase and the partial work.
+    pub fn budget(phase: BudgetPhase, spent: BudgetSpent) -> Self {
+        EncodeError::Budget {
+            phase,
+            spent: Box::new(spent),
+        }
+    }
 }
 
 impl fmt::Display for EncodeError {
@@ -86,6 +109,9 @@ impl fmt::Display for EncodeError {
                 write!(f, "more than {limit} prime encoding-dichotomies")
             }
             EncodeError::CoverAborted => write!(f, "covering search exceeded its node limit"),
+            EncodeError::Budget { phase, .. } => {
+                write!(f, "resource budget exhausted during {phase}")
+            }
             EncodeError::WidthExceeded => write!(f, "encoding would need more than 64 bits"),
             EncodeError::NonFaceTooComplex => {
                 write!(f, "non-face constraint clause generation exceeded its cap")
@@ -110,6 +136,15 @@ mod tests {
         assert!(e.to_string().contains("50000"));
         let e = EncodeError::Infeasible { uncovered: vec![] };
         assert!(e.to_string().contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn budget_display_names_the_phase() {
+        let e = EncodeError::budget(BudgetPhase::Primes, BudgetSpent::default());
+        assert!(e.to_string().contains("budget exhausted"));
+        assert!(e.to_string().contains("prime generation"));
+        let e = EncodeError::budget(BudgetPhase::Heuristic, BudgetSpent::default());
+        assert!(e.to_string().contains("heuristic search"));
     }
 
     #[test]

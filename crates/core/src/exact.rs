@@ -1,11 +1,11 @@
 //! Problem P-2: exact minimum-length encoding (Section 6.3, Figure 7),
 //! with the distance-2 and non-face extensions of Sections 8.2–8.3.
 
+use crate::budget::{Budget, BudgetPhase, BudgetScope, BudgetSpent};
+use crate::primes::{generate_primes_limited, PrimeLimits};
 use crate::raise::{raise_dichotomy, raised_valid};
 use crate::stats::SolverStats;
-use crate::{
-    generate_primes_with, initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding,
-};
+use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
 use ioenc_cover::{BinateProblem, CoverStats, Parallelism, SolveError, UnateProblem};
 use std::time::Instant;
 
@@ -37,6 +37,10 @@ pub struct ExactOptions {
     /// Thread policy for prime generation and the covering search; results
     /// are bit-identical across settings.
     pub parallelism: Parallelism,
+    /// Resource budget (work units, deadline, cancellation). Unlimited by
+    /// default; when a limit expires the pipeline returns
+    /// [`EncodeError::Budget`] carrying the partial work.
+    pub budget: Budget,
 }
 
 impl Default for ExactOptions {
@@ -46,6 +50,7 @@ impl Default for ExactOptions {
             node_limit: 5_000_000,
             nonface_cap: 10_000,
             parallelism: Parallelism::Auto,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -77,6 +82,12 @@ impl ExactOptions {
     /// Sets the thread policy.
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Installs a resource [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -115,8 +126,9 @@ pub struct ExactReport {
 ///
 /// * [`EncodeError::Infeasible`] when the feasibility check of Theorem 6.1
 ///   fails (the uncovered dichotomies are reported);
-/// * [`EncodeError::PrimesExceeded`] when prime generation blows past
-///   `opts.prime_cap`;
+/// * [`EncodeError::Budget`] when prime generation blows past
+///   `opts.prime_cap` or an `opts.budget` limit expires — the partial
+///   stats (and the raised dichotomies) ride along;
 /// * [`EncodeError::WidthExceeded`] for solutions beyond 64 bits;
 /// * [`EncodeError::NonFaceTooComplex`] when the Section 8.3 clause
 ///   generation or repair iteration exceeds its cap.
@@ -170,9 +182,39 @@ pub fn exact_encode_report(
     // not under the aggregate disjunctive rules, and the output-safe
     // completion (unassigned → right) of Theorem 6.1 is only sound for
     // maximally raised dichotomies.
+    let scope = opts.budget.scope();
     let prime_phase = Instant::now();
+    let limits = PrimeLimits {
+        cap: opts
+            .prime_cap
+            .min(opts.budget.max_primes.unwrap_or(usize::MAX)),
+        max_ps_steps: opts.budget.max_ps_steps,
+        deadline: scope.deadline(),
+        cancel: scope.cancel(),
+        budgeted: opts.budget.has_work_limits(),
+    };
     let (primes_raw, prime_stats) =
-        generate_primes_with(&raised, opts.prime_cap, opts.parallelism)?;
+        match generate_primes_limited(&raised, opts.parallelism, &limits) {
+            Ok(r) => r,
+            Err((_, partial)) => {
+                // Cap, step or wall-clock exhaustion: report what was done,
+                // and carry the raised dichotomies so a fallback encoder
+                // does not have to recompute them.
+                let mut stats = SolverStats {
+                    num_initial: initial.len(),
+                    raise_attempts: initial.len() as u64,
+                    primes: partial,
+                    ..Default::default()
+                };
+                stats.timings.setup = setup_time;
+                stats.timings.primes = prime_phase.elapsed();
+                stats.timings.total = start.elapsed();
+                return Err(EncodeError::budget(
+                    BudgetPhase::Primes,
+                    BudgetSpent { stats, raised },
+                ));
+            }
+        };
     let mut columns: Vec<Dichotomy> = primes_raw
         .iter()
         .filter_map(|p| raise_dichotomy(p, cs))
@@ -187,10 +229,28 @@ pub fn exact_encode_report(
     let prime_time = prime_phase.elapsed();
 
     let cover_phase = Instant::now();
-    let mut report = if cs.has_binate_constraints() {
-        solve_binate(cs, &initial, &columns, opts)?
+    let cover_result = if cs.has_binate_constraints() {
+        solve_binate(cs, &initial, &columns, opts, &scope)
     } else {
-        solve_unate(cs, &initial, &columns, opts)?
+        solve_unate(cs, &initial, &columns, opts, &scope)
+    };
+    let mut report = match cover_result {
+        Ok(r) => r,
+        Err(EncodeError::Budget { phase, mut spent }) => {
+            // Enrich the cover-phase expiry with the pipeline's earlier
+            // counters (and the raised dichotomies, still reusable).
+            spent.stats.num_initial = initial.len();
+            spent.stats.num_primes = num_primes;
+            spent.stats.raise_attempts = (initial.len() + primes_raw.len()) as u64;
+            spent.stats.primes = prime_stats;
+            spent.stats.timings.setup = setup_time;
+            spent.stats.timings.primes = prime_time;
+            spent.stats.timings.cover = cover_phase.elapsed();
+            spent.stats.timings.total = start.elapsed();
+            spent.raised = raised;
+            return Err(EncodeError::Budget { phase, spent });
+        }
+        Err(e) => return Err(e),
     };
     assert!(
         report.encoding.satisfies(cs),
@@ -236,15 +296,36 @@ fn build_encoding(
     })
 }
 
+/// Maps a cover-solver budget or interrupt expiry to the pipeline error,
+/// wrapping the cover counters (plus any counters from earlier solves of a
+/// repair loop) as the spent work.
+fn cover_budget_error(mut prior: CoverStats, stats: CoverStats) -> EncodeError {
+    prior.absorb(&stats);
+    EncodeError::budget(
+        BudgetPhase::Cover,
+        BudgetSpent {
+            stats: SolverStats {
+                cover: prior,
+                ..Default::default()
+            },
+            raised: Vec::new(),
+        },
+    )
+}
+
 fn solve_unate(
     cs: &ConstraintSet,
     initial: &[Dichotomy],
     columns: &[Dichotomy],
     opts: &ExactOptions,
+    scope: &BudgetScope,
 ) -> Result<ExactReport, EncodeError> {
     let mut problem = UnateProblem::new(columns.len());
     problem.set_node_limit(opts.node_limit);
     problem.set_parallelism(opts.parallelism);
+    problem.set_work_budget(opts.budget.max_cover_nodes.map(|b| b.min(opts.node_limit)));
+    problem.set_cancel(scope.cancel());
+    problem.set_deadline(scope.deadline());
     for i in initial {
         problem.add_row(
             columns
@@ -257,6 +338,9 @@ fn solve_unate(
     let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
         SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
         SolveError::NodeLimit => EncodeError::CoverAborted,
+        SolveError::Budget { stats } | SolveError::Interrupted { stats } => {
+            cover_budget_error(CoverStats::default(), stats)
+        }
     })?;
     build_encoding(cs, columns, &sol.columns, sol.optimal, cover_stats)
 }
@@ -266,11 +350,14 @@ fn solve_binate(
     initial: &[Dichotomy],
     columns: &[Dichotomy],
     opts: &ExactOptions,
+    scope: &BudgetScope,
 ) -> Result<ExactReport, EncodeError> {
     let n = cs.num_symbols();
     let mut problem = BinateProblem::new(columns.len());
     problem.set_node_limit(opts.node_limit);
     problem.set_parallelism(opts.parallelism);
+    problem.set_cancel(scope.cancel());
+    problem.set_deadline(scope.deadline());
     for i in initial {
         problem.add_clause(
             columns
@@ -335,9 +422,19 @@ fn solve_binate(
     // selection whose emitted codes still violate a non-face constraint.
     let mut cover_total = CoverStats::default();
     for _ in 0..opts.nonface_cap.max(1) {
+        // Each repair iteration draws from what remains of the single
+        // cover-node pool.
+        if let Some(total) = opts.budget.max_cover_nodes {
+            let remaining = total.min(opts.node_limit).saturating_sub(cover_total.nodes);
+            problem.set_work_budget(Some(remaining));
+        }
+        let prior = cover_total;
         let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
             SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
             SolveError::NodeLimit => EncodeError::CoverAborted,
+            SolveError::Budget { stats } | SolveError::Interrupted { stats } => {
+                cover_budget_error(prior, stats)
+            }
         })?;
         cover_total.absorb(&cover_stats);
         let report = build_encoding(cs, columns, &sol.columns, sol.optimal, cover_total)?;
@@ -482,14 +579,64 @@ mod tests {
     }
 
     #[test]
-    fn prime_cap_returns_error() {
+    fn prime_cap_returns_budget_error_with_partial_work() {
         let cs = ConstraintSet::new(12);
         let mut opts = defaults();
         opts.prime_cap = 100;
-        assert!(matches!(
-            exact_encode(&cs, &opts),
-            Err(EncodeError::PrimesExceeded { limit: 100 })
-        ));
+        match exact_encode(&cs, &opts) {
+            Err(EncodeError::Budget { phase, spent }) => {
+                assert_eq!(phase, BudgetPhase::Primes);
+                assert!(spent.stats.primes.ps_steps > 0, "some steps completed");
+                assert!(!spent.raised.is_empty(), "raised dichotomies carried");
+            }
+            other => panic!("expected budget expiry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cover_node_budget_expires_deterministically() {
+        // Unconstrained 6-symbol problem: the cover search needs more than
+        // two nodes; the expiry counters must agree across thread counts.
+        let cs = ConstraintSet::new(6);
+        let mut reference = None;
+        for par in [Parallelism::Off, Parallelism::Fixed(2), Parallelism::Auto] {
+            let opts = ExactOptions::new()
+                .with_parallelism(par)
+                .with_budget(Budget::unlimited().with_max_cover_nodes(2));
+            match exact_encode(&cs, &opts) {
+                Err(EncodeError::Budget { phase, spent }) => {
+                    assert_eq!(phase, BudgetPhase::Cover);
+                    assert!(spent.stats.cover.nodes > 0);
+                    let units = spent.stats.work_units();
+                    match &reference {
+                        None => reference = Some(units),
+                        Some(r) => assert_eq!(*r, units, "{par:?} diverged"),
+                    }
+                }
+                other => panic!("expected cover budget expiry, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ample_budget_matches_unbudgeted_encoding() {
+        let cs = ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap();
+        let plain = exact_encode(&cs, &defaults()).unwrap();
+        let budgeted = exact_encode(
+            &cs,
+            &defaults().with_budget(
+                Budget::unlimited()
+                    .with_max_primes(10_000)
+                    .with_max_ps_steps(10_000)
+                    .with_max_cover_nodes(1_000_000),
+            ),
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Problem P-3: bounded-length encoding by recursive splitting, merging and
 //! selection (Section 7.1).
 
-use crate::cost::{cost_of, CostFunction};
+use crate::budget::{Budget, BudgetPhase, BudgetScope, BudgetSpent};
+use crate::cost::{cost_of_with, CostFunction};
 use crate::par::par_chunks;
 use crate::partition::{bipartition, PartitionOptions};
+use crate::stats::SolverStats;
 use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
 use ioenc_bitset::BitSet;
 use ioenc_cover::Parallelism;
+use std::time::Instant;
 
 /// Options for [`heuristic_encode`].
 ///
@@ -38,6 +41,11 @@ pub struct HeuristicOptions {
     /// Thread policy for the selection step's neighbor evaluations;
     /// results are bit-identical across settings.
     pub parallelism: Parallelism,
+    /// Resource budget. The heuristic is an anytime algorithm: only an
+    /// already-exhausted budget at entry is an error; a budget expiring
+    /// mid-run stops further improvement and returns the best encoding
+    /// found so far.
+    pub budget: Budget,
 }
 
 impl Default for HeuristicOptions {
@@ -48,6 +56,7 @@ impl Default for HeuristicOptions {
             selection_cap: 400,
             passes: 8,
             parallelism: Parallelism::Auto,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -87,6 +96,24 @@ impl HeuristicOptions {
         self.parallelism = parallelism;
         self
     }
+
+    /// Installs a resource [`Budget`].
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The detailed result of [`heuristic_encode_report`].
+#[derive(Debug, Clone)]
+pub struct HeuristicReport {
+    /// The best encoding found.
+    pub encoding: Encoding,
+    /// Evaluation counters and timings.
+    pub stats: SolverStats,
+    /// `false` when a budget limit stopped the search before its normal
+    /// fixpoint (the encoding is still valid and injective).
+    pub converged: bool,
 }
 
 /// Encodes the symbols in a fixed number of bits, minimizing the chosen
@@ -126,12 +153,33 @@ pub fn heuristic_encode(
     cs: &ConstraintSet,
     opts: &HeuristicOptions,
 ) -> Result<Encoding, EncodeError> {
+    heuristic_encode_report(cs, opts).map(|r| r.encoding)
+}
+
+/// Like [`heuristic_encode`] but returns the full [`HeuristicReport`]
+/// (evaluation counters, timings, whether a budget cut the search short).
+///
+/// # Errors
+///
+/// As for [`heuristic_encode`], plus [`EncodeError::Budget`] when the
+/// budget is already exhausted *at entry* (no evaluations left, deadline
+/// already passed, or cancelled). A budget expiring mid-run is not an
+/// error: the search stops and reports `converged: false`.
+pub fn heuristic_encode_report(
+    cs: &ConstraintSet,
+    opts: &HeuristicOptions,
+) -> Result<HeuristicReport, EncodeError> {
+    let start = Instant::now();
     let n = cs.num_symbols();
-    if n == 0 {
-        return Ok(Encoding::new(0, Vec::new()));
-    }
-    let min_len = usize::max(1, (usize::BITS - (n - 1).leading_zeros()) as usize);
+    let min_len = usize::max(1, (usize::BITS - (n.max(1) - 1).leading_zeros()) as usize);
     let c = opts.code_length.unwrap_or(min_len);
+    if n == 0 {
+        return Ok(HeuristicReport {
+            encoding: Encoding::new(0, Vec::new()),
+            stats: SolverStats::default(),
+            converged: true,
+        });
+    }
     if c > 64 {
         return Err(EncodeError::WidthExceeded);
     }
@@ -140,14 +188,32 @@ pub fn heuristic_encode(
             what: "code length cannot give distinct codes",
         });
     }
+    let scope = opts.budget.scope();
+    if opts.budget.max_evals == Some(0) || scope.interrupted() {
+        return Err(EncodeError::budget(
+            BudgetPhase::Heuristic,
+            BudgetSpent::default(),
+        ));
+    }
     if n == 1 {
-        return Ok(Encoding::new(c, vec![0]));
+        return Ok(HeuristicReport {
+            encoding: Encoding::new(c, vec![0]),
+            stats: SolverStats::default(),
+            converged: true,
+        });
     }
 
     let initial = initial_dichotomies(cs, !cs.has_output_constraints());
     let symbols: Vec<usize> = (0..n).collect();
-    let mut evals = EvalBudget { used: 0 };
-    let mut columns = solve(cs, &initial, &symbols, c, opts, &mut evals);
+    let mut ctx = EvalCtx {
+        evals: 0,
+        espresso_iters: 0,
+        max_evals: opts.budget.max_evals,
+        max_espresso_iters: opts.budget.max_espresso_iters,
+        scope: &scope,
+        stopped: false,
+    };
+    let mut columns = solve(cs, &initial, &symbols, c, opts, &mut ctx);
     // The recursion may need fewer than the requested columns for unique
     // codes; pad to the requested length so the polish phase can spread
     // codes over the whole 2^c space.
@@ -160,14 +226,30 @@ pub fn heuristic_encode(
         codes.sort_unstable();
         codes.windows(2).all(|w| w[0] != w[1])
     });
-    Ok(polish(cs, enc, opts))
+    let encoding = polish(cs, enc, opts, &mut ctx);
+    let mut stats = SolverStats {
+        evals: ctx.evals,
+        espresso_iters: ctx.espresso_iters,
+        ..Default::default()
+    };
+    stats.timings.total = start.elapsed();
+    Ok(HeuristicReport {
+        encoding,
+        stats,
+        converged: !ctx.stopped,
+    })
 }
 
 /// The final polish pass: hill-climb on code swaps and moves to unused
 /// codes — first on the (cheap) violation count, then, when a different
 /// cost function is requested, a bounded number of evaluations of the real
 /// cost (the "global view" refinement the selection step approximates).
-fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encoding {
+fn polish(
+    cs: &ConstraintSet,
+    enc: Encoding,
+    opts: &HeuristicOptions,
+    ctx: &mut EvalCtx<'_>,
+) -> Encoding {
     let n = cs.num_symbols();
     let width = enc.width();
     if n < 2 || width == 0 || width >= 64 {
@@ -179,14 +261,14 @@ fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encodin
     // Phase 1: violations (semantic checks only — cheap), hill-climbing
     // with a few deterministic perturb-and-retry restarts to escape
     // shallow local optima.
-    codes = violation_hill_climb(cs, codes, width);
-    let mut best = cost_of(
+    codes = violation_hill_climb(cs, codes, width, ctx);
+    let mut best = ctx.eval(
         cs,
         &Encoding::new(width, codes.clone()),
         CostFunction::Violations,
     );
     for round in 0..3 {
-        if best == 0 {
+        if best == 0 || ctx.exhausted() {
             break;
         }
         // Perturb: rotate the codes of the symbols of a violated face
@@ -213,8 +295,8 @@ fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encodin
             }
             trial[*members.last().expect("non-empty")] = first;
         }
-        let trial = violation_hill_climb(cs, trial, width);
-        let cost = cost_of(
+        let trial = violation_hill_climb(cs, trial, width, ctx);
+        let cost = ctx.eval(
             cs,
             &Encoding::new(width, trial.clone()),
             CostFunction::Violations,
@@ -231,25 +313,25 @@ fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encodin
     // constraint are accepted, keeping the satisfied count high.
     if !matches!(opts.cost, CostFunction::Violations) {
         let mut budget = opts.selection_cap * 2;
-        let score = |codes: &Vec<u64>| -> (u64, u64) {
+        let score = |codes: &Vec<u64>, ctx: &mut EvalCtx<'_>| -> (u64, u64) {
             let e = Encoding::new(width, codes.clone());
             (
-                cost_of(cs, &e, opts.cost),
-                cost_of(cs, &e, CostFunction::Violations),
+                ctx.eval(cs, &e, opts.cost),
+                ctx.eval(cs, &e, CostFunction::Violations),
             )
         };
-        let mut best = score(&codes);
+        let mut best = score(&codes, ctx);
         let mut improved = true;
-        while improved && budget > 0 {
+        while improved && budget > 0 && !ctx.exhausted() {
             improved = false;
             'swaps: for a in 0..n {
                 for b in (a + 1)..n {
-                    if budget == 0 {
+                    if budget == 0 || ctx.exhausted() {
                         break 'swaps;
                     }
                     codes.swap(a, b);
                     budget -= 1;
-                    let c = score(&codes);
+                    let c = score(&codes, ctx);
                     if c < best {
                         best = c;
                         improved = true;
@@ -264,13 +346,13 @@ fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encodin
                         if codes.contains(&code) {
                             continue;
                         }
-                        if budget == 0 {
+                        if budget == 0 || ctx.exhausted() {
                             break 'moves;
                         }
                         let old = codes[s];
                         codes[s] = code;
                         budget -= 1;
-                        let c = score(&codes);
+                        let c = score(&codes, ctx);
                         if c < best {
                             best = c;
                             improved = true;
@@ -287,20 +369,31 @@ fn polish(cs: &ConstraintSet, enc: Encoding, opts: &HeuristicOptions) -> Encodin
 
 /// Hill-climbs the violation count with pairwise swaps and moves to unused
 /// codes until a fixpoint.
-fn violation_hill_climb(cs: &ConstraintSet, mut codes: Vec<u64>, width: usize) -> Vec<u64> {
+fn violation_hill_climb(
+    cs: &ConstraintSet,
+    mut codes: Vec<u64>,
+    width: usize,
+    ctx: &mut EvalCtx<'_>,
+) -> Vec<u64> {
     let n = codes.len();
     let total = 1u64 << width;
-    let mut best = cost_of(
+    let mut best = ctx.eval(
         cs,
         &Encoding::new(width, codes.clone()),
         CostFunction::Violations,
     );
     loop {
+        if ctx.exhausted() {
+            return codes;
+        }
         let mut improved = false;
         for a in 0..n {
+            if ctx.exhausted() {
+                return codes;
+            }
             for b in (a + 1)..n {
                 codes.swap(a, b);
-                let c = cost_of(
+                let c = ctx.eval(
                     cs,
                     &Encoding::new(width, codes.clone()),
                     CostFunction::Violations,
@@ -315,13 +408,16 @@ fn violation_hill_climb(cs: &ConstraintSet, mut codes: Vec<u64>, width: usize) -
         }
         if total as usize > n {
             for s in 0..n {
+                if ctx.exhausted() {
+                    return codes;
+                }
                 for code in 0..total {
                     if codes.contains(&code) {
                         continue;
                     }
                     let old = codes[s];
                     codes[s] = code;
-                    let c = cost_of(
+                    let c = ctx.eval(
                         cs,
                         &Encoding::new(width, codes.clone()),
                         CostFunction::Violations,
@@ -341,8 +437,47 @@ fn violation_hill_climb(cs: &ConstraintSet, mut codes: Vec<u64>, width: usize) -
     }
 }
 
-struct EvalBudget {
-    used: usize,
+/// Shared evaluation accounting for one heuristic run: global counters,
+/// the budget limits, and a latch that flips once any limit trips.
+///
+/// The counters advance at deterministic points (whole batches in the
+/// selection step, single evaluations elsewhere), so with only work-unit
+/// limits the stop point — and therefore the result — is bit-identical
+/// across thread counts; the deadline and the cancel token trade that for
+/// bounded latency.
+struct EvalCtx<'a> {
+    evals: u64,
+    espresso_iters: u64,
+    max_evals: Option<u64>,
+    max_espresso_iters: Option<u64>,
+    scope: &'a BudgetScope,
+    stopped: bool,
+}
+
+impl EvalCtx<'_> {
+    /// Whether the run must stop improving (latched).
+    fn exhausted(&mut self) -> bool {
+        if !self.stopped
+            && (self.max_evals.is_some_and(|m| self.evals >= m) || self.scope.interrupted())
+        {
+            self.stopped = true;
+        }
+        self.stopped
+    }
+
+    /// Records `evals` cost evaluations spending `iters` ESPRESSO
+    /// iterations.
+    fn charge(&mut self, evals: u64, iters: u64) {
+        self.evals += evals;
+        self.espresso_iters += iters;
+    }
+
+    /// One budgeted evaluation of `enc` against `cs`.
+    fn eval(&mut self, cs: &ConstraintSet, enc: &Encoding, cost: CostFunction) -> u64 {
+        let (value, iters) = cost_of_with(cs, enc, cost, self.max_espresso_iters);
+        self.charge(1, iters);
+        value
+    }
 }
 
 /// Recursive split/merge/select. Returns up to `c` dichotomies, each a
@@ -353,7 +488,7 @@ fn solve(
     symbols: &[usize],
     c: usize,
     opts: &HeuristicOptions,
-    evals: &mut EvalBudget,
+    ctx: &mut EvalCtx<'_>,
 ) -> Vec<Dichotomy> {
     let n = cs.num_symbols();
     match symbols.len() {
@@ -416,8 +551,8 @@ fn solve(
     let part_b: Vec<usize> = b_local.iter().map(|&i| symbols[i]).collect();
 
     // Recurse with one less bit.
-    let d1 = solve(cs, initial, &part_a, c - 1, opts, evals);
-    let d2 = solve(cs, initial, &part_b, c - 1, opts, evals);
+    let d1 = solve(cs, initial, &part_a, c - 1, opts, ctx);
+    let d2 = solve(cs, initial, &part_b, c - 1, opts, ctx);
 
     // Merge: the partition dichotomy plus the cross product of the halves'
     // dichotomies in both orientations.
@@ -457,7 +592,7 @@ fn solve(
         }
     }
 
-    select(cs, symbols, cands, canonical, c, opts, evals)
+    select(cs, symbols, cands, canonical, c, opts, ctx)
 }
 
 /// Selects up to `k` candidate dichotomies giving distinct codes to
@@ -469,14 +604,13 @@ fn select(
     canonical: Vec<Dichotomy>,
     k: usize,
     opts: &HeuristicOptions,
-    evals: &mut EvalBudget,
+    ctx: &mut EvalCtx<'_>,
 ) -> Vec<Dichotomy> {
     let restricted = cs.restrict(symbols);
-    let evaluate = |sel: &[&Dichotomy], evals: &mut EvalBudget| -> Option<u64> {
+    let evaluate = |sel: &[&Dichotomy], ctx: &mut EvalCtx<'_>| -> Option<u64> {
         let codes = codes_for(symbols, sel)?;
-        evals.used += 1;
         let enc = Encoding::new(sel.len(), codes);
-        Some(cost_of(&restricted, &enc, opts.cost))
+        Some(ctx.eval(&restricted, &enc, opts.cost))
     };
 
     let k = k.min(cands.len());
@@ -524,14 +658,19 @@ fn select(
     // time, within the evaluation budget. The whole replacement row is
     // evaluated as a batch (chunked over worker threads) and the winner is
     // the lowest-cost candidate with the lowest index, so the search path
-    // is identical for every thread count.
-    let node_budget = evals.used + opts.selection_cap;
+    // is identical for every thread count. Global budget counters advance
+    // at batch granularity, keeping the stop point deterministic too.
+    let node_budget = ctx.evals + opts.selection_cap as u64;
     let threads = opts.parallelism.threads();
+    let max_iters = ctx.max_espresso_iters;
     let sel_refs = |sel: &[usize], cands: &[Dichotomy]| -> Vec<Dichotomy> {
         sel.iter().map(|&i| cands[i].clone()).collect()
     };
+    if ctx.exhausted() {
+        return sel_refs(&selected, &cands);
+    }
     let current_refs: Vec<&Dichotomy> = selected.iter().map(|&i| &cands[i]).collect();
-    let mut best_cost = match evaluate(&current_refs, evals) {
+    let mut best_cost = match evaluate(&current_refs, ctx) {
         Some(c) => c,
         None => {
             // Defensive: the seed should always be injective by now.
@@ -539,14 +678,14 @@ fn select(
         }
     };
     let mut improved = true;
-    while improved && evals.used < node_budget {
+    while improved && ctx.evals < node_budget && !ctx.exhausted() {
         improved = false;
         for slot in 0..selected.len() {
-            if evals.used >= node_budget {
+            if ctx.evals >= node_budget || ctx.exhausted() {
                 break;
             }
             let outside: Vec<usize> = (0..cands.len()).filter(|i| !selected.contains(i)).collect();
-            let costs: Vec<Option<u64>> = par_chunks(outside.len(), threads, |range| {
+            let costs: Vec<Option<(u64, u64)>> = par_chunks(outside.len(), threads, |range| {
                 range
                     .map(|o| {
                         let mut trial = selected.clone();
@@ -554,15 +693,16 @@ fn select(
                         let refs: Vec<&Dichotomy> = trial.iter().map(|&i| &cands[i]).collect();
                         let codes = codes_for(symbols, &refs)?;
                         let enc = Encoding::new(refs.len(), codes);
-                        Some(cost_of(&restricted, &enc, opts.cost))
+                        Some(cost_of_with(&restricted, &enc, opts.cost, max_iters))
                     })
                     .collect()
             });
-            evals.used += outside.len();
+            let iters: u64 = costs.iter().flatten().map(|&(_, i)| i).sum();
+            ctx.charge(outside.len() as u64, iters);
             let winner = costs
                 .iter()
                 .enumerate()
-                .filter_map(|(o, c)| c.map(|c| (c, o)))
+                .filter_map(|(o, c)| c.map(|(c, _)| (c, o)))
                 .min();
             if let Some((cost, o)) = winner {
                 if cost < best_cost {
@@ -738,6 +878,62 @@ mod tests {
             Parallelism::Auto,
         ] {
             assert_eq!(encode(par), reference, "{par:?} diverged");
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_at_entry_is_an_error() {
+        let cs = ConstraintSet::new(4);
+        let opts = HeuristicOptions::default().with_budget(Budget::unlimited().with_max_evals(0));
+        assert!(matches!(
+            heuristic_encode(&cs, &opts),
+            Err(EncodeError::Budget {
+                phase: BudgetPhase::Heuristic,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn mid_run_budget_returns_best_so_far() {
+        let mut cs = ConstraintSet::new(6);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([3, 4, 5]);
+        let opts = HeuristicOptions::default().with_budget(Budget::unlimited().with_max_evals(5));
+        let r = heuristic_encode_report(&cs, &opts).unwrap();
+        assert!(!r.converged, "5 evaluations cannot reach the fixpoint");
+        assert!(r.stats.evals >= 5);
+        let mut codes = r.encoding.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6, "injective despite the early stop");
+    }
+
+    #[test]
+    fn budgeted_stop_is_deterministic_across_threads() {
+        let mut cs = ConstraintSet::new(8);
+        cs.add_face([0, 1, 2]);
+        cs.add_face([2, 3, 4]);
+        cs.add_face([5, 6, 7]);
+        let encode = |par: Parallelism| {
+            let opts = HeuristicOptions::default()
+                .with_parallelism(par)
+                .with_budget(Budget::unlimited().with_max_evals(40));
+            heuristic_encode_report(&cs, &opts).unwrap()
+        };
+        let reference = encode(Parallelism::Off);
+        for par in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let r = encode(par);
+            assert_eq!(r.encoding.codes(), reference.encoding.codes(), "{par:?}");
+            assert_eq!(
+                r.stats.work_units(),
+                reference.stats.work_units(),
+                "{par:?} counters"
+            );
         }
     }
 

@@ -42,7 +42,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod auto;
 mod bounded;
+mod budget;
 mod chains;
 mod constraints;
 mod cost;
@@ -63,17 +65,21 @@ mod primes;
 mod raise;
 mod stats;
 
-pub use bounded::{bounded_exact_encode, BoundedExactOptions};
+pub use auto::{encode_auto, AutoOptions, AutoReport, AutoRung, RungAttempt};
+pub use bounded::{
+    bounded_exact_encode, bounded_exact_encode_report, BoundedExactOptions, BoundedReport,
+};
+pub use budget::{Budget, BudgetPhase, BudgetSpent};
 pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
 pub use constraints::{ConstraintSet, FaceConstraint};
-pub use cost::{constraint_pla, cost_of, count_violations, CostFunction};
+pub use cost::{constraint_pla, cost_of, cost_of_with, count_violations, CostFunction};
 pub use dichotomy::Dichotomy;
 pub use encoding::{Encoding, Violation};
 pub use error::EncodeError;
 pub use exact::{exact_encode, exact_encode_report, ExactOptions, ExactReport};
 pub use feasible::{check_feasible, Feasibility};
 pub use formulation::{BinateFormulation, BinateRow};
-pub use heuristic::{heuristic_encode, HeuristicOptions};
+pub use heuristic::{heuristic_encode, heuristic_encode_report, HeuristicOptions, HeuristicReport};
 pub use hypercube::{face_contains, face_of, hamming};
 pub use initial::initial_dichotomies;
 pub use oracle::{oracle_encode, oracle_min_width, OracleOptions};
@@ -82,6 +88,6 @@ pub use partition::{bipartition, PartitionOptions};
 pub use primes::brute_force_primes;
 pub use primes::{generate_primes, generate_primes_with};
 pub use raise::{is_valid, raise_dichotomy};
-pub use stats::{PhaseTimings, PrimeStats, SolverStats};
+pub use stats::{PhaseTimings, PrimeStats, SolverStats, WorkUnits};
 
-pub use ioenc_cover::{CoverStats, Parallelism};
+pub use ioenc_cover::{CancelToken, CoverStats, Parallelism};

@@ -86,7 +86,10 @@ pub fn oracle_encode(cs: &ConstraintSet, opts: &OracleOptions) -> Result<Encodin
         }
         let sol = p.solve_exact().map_err(|e| match e {
             SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
-            SolveError::NodeLimit => EncodeError::CoverAborted,
+            // The oracle never installs budgets or cancellation.
+            SolveError::NodeLimit | SolveError::Budget { .. } | SolveError::Interrupted { .. } => {
+                EncodeError::CoverAborted
+            }
         })?;
         sol.columns
     };
@@ -167,7 +170,10 @@ fn solve_binate(
     }
     let sol = p.solve_exact().map_err(|e| match e {
         SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
-        SolveError::NodeLimit => EncodeError::CoverAborted,
+        // The oracle never installs budgets or cancellation.
+        SolveError::NodeLimit | SolveError::Budget { .. } | SolveError::Interrupted { .. } => {
+            EncodeError::CoverAborted
+        }
     })?;
     Ok(sol.columns)
 }

@@ -21,7 +21,8 @@ use crate::par::par_chunks;
 use crate::stats::PrimeStats;
 use crate::{Dichotomy, EncodeError};
 use ioenc_bitset::BitSet;
-use ioenc_cover::Parallelism;
+use ioenc_cover::{CancelToken, Parallelism};
+use std::time::Instant;
 
 /// Generates all prime encoding-dichotomies (maximal compatibles) of
 /// `dichotomies`.
@@ -73,6 +74,54 @@ pub fn generate_primes_with(
     cap: usize,
     parallelism: Parallelism,
 ) -> Result<(Vec<Dichotomy>, PrimeStats), EncodeError> {
+    let limits = PrimeLimits {
+        cap,
+        max_ps_steps: None,
+        deadline: None,
+        cancel: None,
+        budgeted: false,
+    };
+    generate_primes_limited(dichotomies, parallelism, &limits)
+        .map_err(|(_, _)| EncodeError::PrimesExceeded { limit: cap })
+}
+
+/// Limits for one budgeted prime generation (internal; the public faces
+/// are [`generate_primes_with`] and the exact pipeline's budget).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PrimeLimits {
+    /// Product-term cap.
+    pub(crate) cap: usize,
+    /// `ps` step cap.
+    pub(crate) max_ps_steps: Option<u64>,
+    /// Wall-clock deadline, checked once per `ps` step.
+    pub(crate) deadline: Option<Instant>,
+    /// Cancellation, checked once per `ps` step.
+    pub(crate) cancel: Option<CancelToken>,
+    /// In budgeted mode the term cap is also checked *before* the
+    /// antichain minimization of each step (terms generated, a cheaper and
+    /// still deterministic abort); legacy mode checks only the minimized
+    /// count, preserving the historical `generate_primes` semantics.
+    pub(crate) budgeted: bool,
+}
+
+/// Why a limited prime generation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PrimeAbort {
+    /// The term cap was hit (deterministic).
+    Cap,
+    /// The `ps` step cap was hit (deterministic).
+    Steps,
+    /// Deadline or cancellation (timing-dependent).
+    Interrupt,
+}
+
+/// [`generate_primes_with`] under [`PrimeLimits`]; on abort the partial
+/// [`PrimeStats`] (completed steps only) come back with the reason.
+pub(crate) fn generate_primes_limited(
+    dichotomies: &[Dichotomy],
+    parallelism: Parallelism,
+    limits: &PrimeLimits,
+) -> Result<(Vec<Dichotomy>, PrimeStats), (PrimeAbort, PrimeStats)> {
     let threads = parallelism.threads();
     let mut stats = PrimeStats {
         threads,
@@ -112,7 +161,10 @@ pub fn generate_primes_with(
         partners
     };
 
-    let sop = clauses_to_sop(&partners, m, cap, threads, &mut stats)?;
+    let sop = match clauses_to_sop(&partners, m, limits, threads, &mut stats) {
+        Ok(sop) => sop,
+        Err(abort) => return Err((abort, stats)),
+    };
 
     // Each term's complement is a maximal compatible; its union is a prime.
     let n = input[0].num_symbols();
@@ -145,10 +197,10 @@ pub fn generate_primes_with(
 fn clauses_to_sop(
     partners: &[Vec<usize>],
     m: usize,
-    cap: usize,
+    limits: &PrimeLimits,
     threads: usize,
     stats: &mut PrimeStats,
-) -> Result<Vec<BitSet>, EncodeError> {
+) -> Result<Vec<BitSet>, PrimeAbort> {
     // Accumulator starts as the single empty term (the SOP of an empty
     // product).
     let mut acc: Vec<BitSet> = vec![BitSet::new(m)];
@@ -169,10 +221,20 @@ fn clauses_to_sop(
         let Some((_, x)) = best else {
             break;
         };
+        // Budget checks happen only when another step is actually needed,
+        // so a generation that just fits its caps completes.
+        if limits.max_ps_steps.is_some_and(|s| stats.ps_steps >= s) {
+            return Err(PrimeAbort::Steps);
+        }
+        if limits.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || limits.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            return Err(PrimeAbort::Interrupt);
+        }
         let p_set: BitSet =
             BitSet::from_indices(m, partners[x].iter().copied().filter(|&y| !processed[y]));
         processed[x] = true;
-        acc = ps(acc, x, &p_set, cap, threads)?;
+        acc = ps(acc, x, &p_set, limits, threads)?;
         stats.ps_steps += 1;
         stats.peak_terms = stats.peak_terms.max(acc.len());
     }
@@ -197,9 +259,9 @@ fn ps(
     acc: Vec<BitSet>,
     x: usize,
     p_set: &BitSet,
-    cap: usize,
+    limits: &PrimeLimits,
     threads: usize,
-) -> Result<Vec<BitSet>, EncodeError> {
+) -> Result<Vec<BitSet>, PrimeAbort> {
     // Partition and build the three families chunk by chunk; concatenating
     // the per-chunk families in chunk order reproduces the sequential
     // single-pass order exactly.
@@ -231,6 +293,13 @@ fn ps(
         pass_through.extend(pt);
         with_x.extend(wx);
         with_p.extend(wp);
+    }
+    // Budgeted runs also abort on the raw (pre-minimization) term count:
+    // the absorption passes below are where the quadratic cost lives, so a
+    // blow-up must be caught before paying for them. The check counts
+    // generated terms only — a deterministic quantity.
+    if limits.budgeted && pass_through.len() + with_x.len() + with_p.len() > limits.cap {
+        return Err(PrimeAbort::Cap);
     }
     // Pass-through terms (minus x) absorb ∪{x} candidates.
     let stripped: Vec<BitSet> = pass_through
@@ -265,8 +334,8 @@ fn ps(
     let mut out = pass_through;
     out.extend(with_x);
     out.extend(with_p);
-    if out.len() > cap {
-        return Err(EncodeError::PrimesExceeded { limit: cap });
+    if out.len() > limits.cap {
+        return Err(PrimeAbort::Cap);
     }
     Ok(out)
 }

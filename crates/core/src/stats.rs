@@ -47,7 +47,8 @@ pub struct PhaseTimings {
     pub total: Duration,
 }
 
-/// Aggregated instrumentation from one exact encoding run.
+/// Aggregated instrumentation from one encoding run (or, absorbed, from a
+/// whole degradation ladder).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SolverStats {
     /// Number of initial encoding-dichotomies.
@@ -56,6 +57,11 @@ pub struct SolverStats {
     pub num_primes: usize,
     /// Maximal-raising attempts (initial dichotomies plus raw primes).
     pub raise_attempts: u64,
+    /// Cost-function evaluations (bounded enumeration and heuristic
+    /// search).
+    pub evals: u64,
+    /// ESPRESSO improvement-loop iterations run by cost evaluations.
+    pub espresso_iters: u64,
     /// Prime-generation counters.
     pub primes: PrimeStats,
     /// Covering-search counters.
@@ -65,6 +71,43 @@ pub struct SolverStats {
 }
 
 impl SolverStats {
+    /// Sums another run's counters into this one. Count-like statistics
+    /// add; peaks, pool sizes and thread counts take the maximum; timings
+    /// add per phase.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.num_initial = self.num_initial.max(other.num_initial);
+        self.num_primes = self.num_primes.max(other.num_primes);
+        self.raise_attempts += other.raise_attempts;
+        self.evals += other.evals;
+        self.espresso_iters += other.espresso_iters;
+        self.primes.absorb(&other.primes);
+        self.cover.absorb(&other.cover);
+        self.timings.setup += other.timings.setup;
+        self.timings.primes += other.timings.primes;
+        self.timings.cover += other.timings.cover;
+        self.timings.total += other.timings.total;
+    }
+
+    /// The deterministic work-unit fingerprint of this run: every counter
+    /// that is bit-identical across thread counts and runs, excluding
+    /// wall-clock timings and thread counts. Two runs of the same budgeted
+    /// encoding must produce equal fingerprints for any
+    /// [`Parallelism`](crate::Parallelism) setting.
+    pub fn work_units(&self) -> WorkUnits {
+        WorkUnits {
+            num_initial: self.num_initial,
+            num_primes: self.num_primes,
+            raise_attempts: self.raise_attempts,
+            evals: self.evals,
+            espresso_iters: self.espresso_iters,
+            ps_steps: self.primes.ps_steps,
+            peak_terms: self.primes.peak_terms,
+            cover_nodes: self.cover.nodes,
+            cover_prunes: self.cover.prunes,
+            cover_tasks: self.cover.tasks,
+        }
+    }
+
     /// Renders the statistics as a compact multi-line summary, one
     /// `label: value` pair per line, suitable for printing to stderr.
     pub fn render(&self) -> String {
@@ -73,6 +116,7 @@ impl SolverStats {
              prime dichotomies:   {} ({} ps steps, peak {} terms)\n\
              raise attempts:      {}\n\
              cover search:        {} nodes, {} prunes, {} tasks on {} threads\n\
+             evaluations:         {} cost evals, {} espresso iterations\n\
              timings:             setup {:.1?}, primes {:.1?}, cover {:.1?}, total {:.1?}",
             self.num_initial,
             self.num_primes,
@@ -83,12 +127,40 @@ impl SolverStats {
             self.cover.prunes,
             self.cover.tasks,
             self.cover.threads,
+            self.evals,
+            self.espresso_iters,
             self.timings.setup,
             self.timings.primes,
             self.timings.cover,
             self.timings.total,
         )
     }
+}
+
+/// The schedule-independent counters of a [`SolverStats`] (see
+/// [`SolverStats::work_units`]), comparable across thread counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct WorkUnits {
+    /// Initial encoding-dichotomies.
+    pub num_initial: usize,
+    /// Valid prime encoding-dichotomies.
+    pub num_primes: usize,
+    /// Maximal-raising attempts.
+    pub raise_attempts: u64,
+    /// Cost-function evaluations.
+    pub evals: u64,
+    /// ESPRESSO improvement-loop iterations.
+    pub espresso_iters: u64,
+    /// `ps` multiplication steps.
+    pub ps_steps: u64,
+    /// Peak product-term count during prime generation.
+    pub peak_terms: usize,
+    /// Branch-and-bound nodes expanded.
+    pub cover_nodes: u64,
+    /// Subtrees cut by the bound tests.
+    pub cover_prunes: u64,
+    /// Subproblems in the deterministic root decomposition.
+    pub cover_tasks: usize,
 }
 
 #[cfg(test)]
@@ -111,6 +183,37 @@ mod tests {
         assert_eq!(a.ps_steps, 5);
         assert_eq!(a.peak_terms, 40);
         assert_eq!(a.threads, 4);
+    }
+
+    #[test]
+    fn solver_stats_absorb_and_fingerprint() {
+        let mut a = SolverStats {
+            num_initial: 9,
+            num_primes: 7,
+            raise_attempts: 16,
+            evals: 10,
+            espresso_iters: 3,
+            ..Default::default()
+        };
+        let b = SolverStats {
+            num_initial: 4,
+            num_primes: 11,
+            raise_attempts: 5,
+            evals: 2,
+            espresso_iters: 1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.num_initial, 9);
+        assert_eq!(a.num_primes, 11);
+        assert_eq!(a.raise_attempts, 21);
+        assert_eq!(a.evals, 12);
+        assert_eq!(a.espresso_iters, 4);
+        // Fingerprints ignore timings: perturbing a timing changes nothing.
+        let mut c = a;
+        c.timings.total += Duration::from_secs(5);
+        c.cover.threads = 8;
+        assert_eq!(a.work_units(), c.work_units());
     }
 
     #[test]

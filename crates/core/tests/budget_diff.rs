@@ -1,0 +1,372 @@
+//! Oracle-differential suite for the resource-budget ladder.
+//!
+//! Randomized (seeded, deterministic) sweeps locking down the
+//! [`encode_auto`] degradation ladder:
+//!
+//! * with no budget the ladder is *exactly* the exact encoder;
+//! * whatever rung answers, the encoding passes the semantic constraint
+//!   checker;
+//! * with only work-unit budgets, the rung, codes and counters are
+//!   bit-identical across thread counts;
+//! * cover node budgets are monotone: success under a small budget implies
+//!   success — with the same cover cost — under any larger one (failures
+//!   are shrunk to a minimal constraint set before reporting).
+//!
+//! The CI matrix re-runs this suite under `IOENC_TEST_THREADS=off` and
+//! `=auto` to pin thread-schedule independence.
+
+use ioenc_core::{
+    count_violations, encode_auto, exact_encode, AutoOptions, AutoRung, Budget, ConstraintSet,
+    EncodeError, ExactOptions, Parallelism,
+};
+use ioenc_rng::SplitMix64;
+
+const N: usize = 5;
+const CASES: usize = 48;
+
+/// Thread policy for the non-determinism-focused tests, overridable by the
+/// CI matrix (`IOENC_TEST_THREADS=off|auto|N`).
+fn test_parallelism() -> Parallelism {
+    match std::env::var("IOENC_TEST_THREADS").ok().as_deref() {
+        None | Some("auto") => Parallelism::Auto,
+        Some("off") | Some("1") => Parallelism::Off,
+        Some(v) => Parallelism::Fixed(v.parse().expect("IOENC_TEST_THREADS")),
+    }
+}
+
+/// One constraint, kept as data so failing cases can be shrunk by removal.
+#[derive(Debug, Clone)]
+enum Op {
+    Face(Vec<usize>),
+    Dom(usize, usize),
+    Disj(usize, Vec<usize>),
+}
+
+/// Same distribution as `proptests.rs`, but producing a removable op list.
+fn random_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    for _ in 0..rng.gen_range(0..3) {
+        let mut f: Vec<usize> = (0..rng.gen_range(2..4))
+            .map(|_| rng.gen_range(0..N))
+            .collect();
+        f.sort_unstable();
+        f.dedup();
+        if f.len() >= 2 {
+            ops.push(Op::Face(f));
+        }
+    }
+    for _ in 0..rng.gen_range(0..3) {
+        let a = rng.gen_range(0..N);
+        let b = rng.gen_range(0..N);
+        if a != b {
+            ops.push(Op::Dom(a, b));
+        }
+    }
+    for _ in 0..rng.gen_range(0..2) {
+        let p = rng.gen_range(0..N);
+        let mut c: Vec<usize> = (0..rng.gen_range(2..3))
+            .map(|_| rng.gen_range(0..N))
+            .filter(|&s| s != p)
+            .collect();
+        c.sort_unstable();
+        c.dedup();
+        if c.len() >= 2 {
+            ops.push(Op::Disj(p, c));
+        }
+    }
+    ops
+}
+
+fn build(ops: &[Op]) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(N);
+    for op in ops {
+        match op {
+            Op::Face(f) => cs.add_face(f.clone()),
+            Op::Dom(a, b) => cs.add_dominance(*a, *b),
+            Op::Disj(p, c) => cs.add_disjunctive(*p, c.clone()),
+        }
+    }
+    cs
+}
+
+fn render(ops: &[Op]) -> String {
+    ops.iter()
+        .map(|op| format!("  {op:?}\n"))
+        .collect::<String>()
+}
+
+/// (a) An unlimited budget makes `encode_auto` the exact encoder: same
+/// answering rung, same codes, same infeasibility verdicts.
+#[test]
+fn unlimited_auto_is_the_exact_encoder() {
+    let mut rng = SplitMix64::new(0xB0);
+    let par = test_parallelism();
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng);
+        let cs = build(&ops);
+        let exact = exact_encode(&cs, &ExactOptions::new().with_parallelism(par));
+        let auto_ = encode_auto(&cs, &AutoOptions::new().with_parallelism(par));
+        match (exact, auto_) {
+            (Ok(e), Ok(a)) => {
+                assert_eq!(a.rung, AutoRung::Exact, "case {case}");
+                assert!(a.optimal, "case {case}");
+                assert_eq!(a.encoding.codes(), e.codes(), "case {case}");
+            }
+            (Err(EncodeError::Infeasible { .. }), Err(EncodeError::Infeasible { .. })) => {}
+            (e, a) => panic!("case {case} diverged: exact {e:?} vs auto {a:?}"),
+        }
+    }
+}
+
+/// (b) Whatever rung a starved ladder answers from, the encoding passes
+/// the semantic checker — and the sweep exercises every rung at least
+/// once.
+#[test]
+fn every_rung_answer_passes_the_constraint_checker() {
+    let mut rng = SplitMix64::new(0xB1);
+    let par = test_parallelism();
+    let mut rungs_seen = [0usize; 3];
+    for case in 0..CASES {
+        let ops = random_ops(&mut rng);
+        let cs = build(&ops);
+        let budgets = [
+            // Starves primes only: bounded answers where exact cannot.
+            Budget::unlimited().with_max_primes(2),
+            // Sometimes enough for exact, sometimes not.
+            Budget::unlimited().with_max_primes(8).with_max_evals(4_000),
+            // Starves primes, cover and evaluations: the ladder falls all
+            // the way to the heuristic or the greedy fallback.
+            Budget::unlimited()
+                .with_max_primes(2)
+                .with_max_cover_nodes(1)
+                .with_max_evals(10),
+        ];
+        for (i, budget) in budgets.into_iter().enumerate() {
+            let opts = AutoOptions::new().with_budget(budget).with_parallelism(par);
+            match encode_auto(&cs, &opts) {
+                Ok(r) => {
+                    assert!(
+                        r.encoding.satisfies(&cs),
+                        "case {case} budget {i}: rung {} answer violates constraints",
+                        r.rung
+                    );
+                    assert_eq!(
+                        count_violations(&cs, &r.encoding),
+                        0,
+                        "case {case} budget {i}"
+                    );
+                    rungs_seen[r.rung as usize] += 1;
+                }
+                Err(EncodeError::Infeasible { .. }) => {}
+                Err(e) => panic!("case {case} budget {i}: ladder gave up: {e}"),
+            }
+        }
+    }
+    assert!(
+        rungs_seen.iter().all(|&c| c > 0),
+        "sweep never exercised every rung: {rungs_seen:?}"
+    );
+}
+
+/// (c) With only work-unit budgets, the answering rung, the codes and the
+/// work counters are bit-identical across thread counts.
+#[test]
+fn budgeted_outcomes_are_identical_across_thread_counts() {
+    let mut rng = SplitMix64::new(0xB2);
+    for case in 0..24 {
+        let ops = random_ops(&mut rng);
+        let cs = build(&ops);
+        let budget = Budget::unlimited()
+            .with_max_primes(6)
+            .with_max_cover_nodes(16)
+            .with_max_evals(400);
+        let run = |par: Parallelism| {
+            encode_auto(
+                &cs,
+                &AutoOptions::new()
+                    .with_budget(budget.clone())
+                    .with_parallelism(par),
+            )
+        };
+        let reference = run(Parallelism::Off);
+        for par in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            match (&reference, &run(par)) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.rung, b.rung, "case {case} {par:?}");
+                    assert_eq!(
+                        a.encoding.codes(),
+                        b.encoding.codes(),
+                        "case {case} {par:?}"
+                    );
+                    assert_eq!(
+                        a.stats.work_units(),
+                        b.stats.work_units(),
+                        "case {case} {par:?}"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(
+                    std::mem::discriminant(a),
+                    std::mem::discriminant(b),
+                    "case {case} {par:?}: {a:?} vs {b:?}"
+                ),
+                (a, b) => panic!("case {case} {par:?} diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// Checks node-budget monotonicity on one constraint set; `Some(reason)`
+/// on violation.
+fn monotonicity_failure(ops: &[Op]) -> Option<String> {
+    let cs = build(ops);
+    let run = |nodes: u64| {
+        exact_encode(
+            &cs,
+            &ExactOptions::new().with_budget(Budget::unlimited().with_max_cover_nodes(nodes)),
+        )
+    };
+    for b1 in [1u64, 2, 4, 8, 16] {
+        let b2 = b1 * 2;
+        match (run(b1), run(b2)) {
+            (Ok(e1), Ok(e2)) if e1.width() != e2.width() => {
+                return Some(format!(
+                    "budget {b1} gave cover cost {}, budget {b2} gave {}",
+                    e1.width(),
+                    e2.width()
+                ));
+            }
+            (Ok(e1), Err(e)) => {
+                return Some(format!(
+                    "budget {b1} succeeded (cost {}) but budget {b2} failed: {e}",
+                    e1.width()
+                ))
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Greedy constraint-removal shrinking: drop ops while the failure
+/// persists.
+fn shrink(ops: &[Op]) -> Vec<Op> {
+    let mut cur = ops.to_vec();
+    loop {
+        let Some(i) = (0..cur.len()).find(|&i| {
+            let mut cand = cur.clone();
+            cand.remove(i);
+            monotonicity_failure(&cand).is_some()
+        }) else {
+            return cur;
+        };
+        cur.remove(i);
+    }
+}
+
+/// Node budgets are monotone: if the exact encoder succeeds under budget
+/// B1, it succeeds under any B2 > B1 with the same cover cost. Failures
+/// are shrunk to a minimal failing constraint set before being reported.
+#[test]
+fn node_budget_is_monotone() {
+    let mut rng = SplitMix64::new(0xB3);
+    for _ in 0..CASES {
+        let ops = random_ops(&mut rng);
+        if let Some(msg) = monotonicity_failure(&ops) {
+            let minimal = shrink(&ops);
+            panic!(
+                "node-budget monotonicity violated: {msg}\n\
+                 minimal failing constraint set over {N} symbols:\n{}",
+                render(&minimal)
+            );
+        }
+    }
+}
+
+/// A `planet`-shaped instance: many symbols under a few small face
+/// constraints, so prime generation blows up while the constraints stay
+/// easy to satisfy (the paper's Table 1 rows `planet`/`vmecont` exceed
+/// 50 000 primes this way).
+fn planet_like(n: usize) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(n);
+    for i in (0..n.saturating_sub(2)).step_by(3) {
+        cs.add_face(vec![i, i + 1, i + 2]);
+    }
+    for i in 0..9.min(n / 2) {
+        cs.add_dominance(i, i + n / 2);
+    }
+    cs
+}
+
+/// In-suite scale model of the acceptance case: a starved prime budget on
+/// a planet-like instance degrades past the exact rung to a verified
+/// encoding, and doubling the budget reaches an equal-or-stronger rung.
+#[test]
+fn starved_planet_instance_degrades_to_a_verified_encoding() {
+    let cs = planet_like(10);
+    let run = |primes: usize| {
+        encode_auto(
+            &cs,
+            &AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(primes)),
+        )
+        .unwrap()
+    };
+    let starved = run(60);
+    assert!(starved.rung > AutoRung::Exact, "rung {}", starved.rung);
+    assert!(starved.encoding.satisfies(&cs));
+    assert!(
+        starved.attempts.iter().any(|a| a.rung == AutoRung::Exact),
+        "exact attempt is on record"
+    );
+    for doubled in [120, 240, 100_000] {
+        let r = run(doubled);
+        assert!(
+            r.rung <= starved.rung,
+            "budget {doubled}: weaker rung {} than {}",
+            r.rung,
+            starved.rung
+        );
+        assert!(r.encoding.satisfies(&cs));
+        assert!(r.encoding.width() <= starved.encoding.width());
+    }
+}
+
+/// The literal acceptance case — a Table-1-scale prime blow-up against
+/// the 50 000-prime budget. Like `planet`, the instance pairs many
+/// symbols with only a couple of constraints, so the prime dichotomies
+/// blow past 50 000 (an unconstrained 16-symbol instance already
+/// generates > 2^16 raw terms in one `ps` step). Minutes in debug mode,
+/// so ignored by default; CI runs it with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "release-scale prime blow-up; CI runs it with --release -- --ignored"]
+fn planet_scale_50k_prime_budget_returns_heuristic_encoding() {
+    let mut cs = ConstraintSet::new(16);
+    cs.add_dominance(0, 8);
+    cs.add_dominance(1, 9);
+    let run = |primes: usize| {
+        encode_auto(
+            &cs,
+            &AutoOptions::new().with_budget(Budget::unlimited().with_max_primes(primes)),
+        )
+        .unwrap()
+    };
+    let r = run(50_000);
+    assert_eq!(r.rung, AutoRung::Heuristic, "rung {}", r.rung);
+    assert!(r.encoding.satisfies(&cs));
+    assert!(
+        r.attempts
+            .iter()
+            .any(|a| a.rung == AutoRung::Exact && a.error.is_some()),
+        "the exact rung's budget expiry is on record"
+    );
+    // Doubling the budget reaches an equal-or-stronger rung, never a
+    // worse answer.
+    let r2 = run(100_000);
+    assert!(r2.rung <= r.rung);
+    assert!(r2.encoding.satisfies(&cs));
+    assert!(r2.encoding.width() <= r.encoding.width());
+}

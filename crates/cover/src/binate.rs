@@ -1,11 +1,12 @@
 //! Exact binate covering (minimum-cost satisfying assignment of a
 //! product-of-sums with positive and negative literals).
 
-use crate::{CoverStats, Parallelism, Solution, SolveError};
+use crate::{CancelToken, CoverStats, Interrupt, Parallelism, Solution, SolveError};
 use ioenc_bitset::BitSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A clause in a binate covering problem: satisfied when some column in
 /// `pos` is *selected* or some column in `neg` is *rejected*.
@@ -39,6 +40,9 @@ pub struct BinateProblem {
     weights: Vec<u32>,
     clauses: Vec<Clause>,
     node_limit: u64,
+    work_budget: Option<u64>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
     parallelism: Parallelism,
 }
 
@@ -71,6 +75,9 @@ impl BinateProblem {
             weights,
             clauses: Vec::new(),
             node_limit: DEFAULT_NODE_LIMIT,
+            work_budget: None,
+            cancel: None,
+            deadline: None,
             parallelism: Parallelism::default(),
         }
     }
@@ -106,6 +113,27 @@ impl BinateProblem {
         self.node_limit = limit;
     }
 
+    /// Enables *strict budget mode* with the given node cap (`None`
+    /// disables it again). See [`UnateProblem::set_work_budget`] for the
+    /// semantics: exhaustion becomes [`SolveError::Budget`] and the
+    /// explored node set is bit-identical across all [`Parallelism`]
+    /// settings.
+    ///
+    /// [`UnateProblem::set_work_budget`]: crate::UnateProblem::set_work_budget
+    pub fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.work_budget = budget;
+    }
+
+    /// Installs a cooperative cancellation token, checked every 256 nodes.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// Installs a wall-clock deadline, checked every 256 nodes.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
     /// Sets the thread policy for [`solve_exact`](Self::solve_exact).
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
         self.parallelism = parallelism;
@@ -138,6 +166,12 @@ impl BinateProblem {
     ///
     /// As for [`solve_exact`](Self::solve_exact).
     pub fn solve_exact_with_stats(&self) -> Result<(Solution, CoverStats), SolveError> {
+        let strict = self.work_budget.is_some();
+        let node_limit = self.work_budget.unwrap_or(self.node_limit);
+        let interrupt = Interrupt {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+        };
         let mut stats = CoverStats {
             threads: self.parallelism.threads(),
             ..CoverStats::default()
@@ -150,14 +184,31 @@ impl BinateProblem {
         };
         let mut bound = u64::MAX;
         let mut solved: Vec<(u64, Vec<usize>, u64)> = Vec::new();
-        let tasks = self.expand_tasks(root, &mut bound, &mut solved, &mut stats);
+        let tasks = match self.expand_tasks(
+            root,
+            &mut bound,
+            &mut solved,
+            &mut stats,
+            node_limit,
+            &interrupt,
+        ) {
+            Ok(tasks) => tasks,
+            Err(()) => return Err(SolveError::Interrupted { stats }),
+        };
         stats.tasks = tasks.len();
 
-        // Phase 2: shared-bound sweep.
+        // Phase 2: the sweep — shared-bound outside budget mode, fixed
+        // phase-1 bound inside it (see `UnateProblem::set_work_budget`).
         let shared_bound = AtomicU64::new(bound);
-        let budget =
-            (self.node_limit.saturating_sub(stats.nodes) / tasks.len().max(1) as u64).max(1);
-        let results = self.sweep_tasks(&tasks, &shared_bound, budget, stats.threads);
+        let budget = (node_limit.saturating_sub(stats.nodes) / tasks.len().max(1) as u64).max(1);
+        let results = self.sweep_tasks(
+            &tasks,
+            (!strict).then_some(&shared_bound),
+            bound,
+            budget,
+            stats.threads,
+            &interrupt,
+        );
 
         let mut best: Option<(u64, u64, &Vec<usize>)> = None;
         for (cost, cols, seq) in &solved {
@@ -166,15 +217,23 @@ impl BinateProblem {
             }
         }
         let mut exhausted = false;
+        let mut interrupted = false;
         for (task, result) in tasks.iter().zip(&results) {
             stats.nodes += result.nodes;
             stats.prunes += result.prunes;
             exhausted |= result.exhausted;
+            interrupted |= result.interrupted;
             if let Some((cost, cols)) = &result.best {
                 if best.is_none_or(|(c, s, _)| (*cost, task.seq) < (c, s)) {
                     best = Some((*cost, task.seq, cols));
                 }
             }
+        }
+        if interrupted {
+            return Err(SolveError::Interrupted { stats });
+        }
+        if strict && exhausted {
+            return Err(SolveError::Budget { stats });
         }
         match best {
             Some((cost, _, cols)) => Ok((
@@ -192,21 +251,26 @@ impl BinateProblem {
 
     /// Breadth-first root expansion; fully sequential and deterministic.
     /// Assignments solved by propagation alone land in `solved` and
-    /// tighten `bound`.
+    /// tighten `bound`. `Err(())` reports an interruption.
     fn expand_tasks(
         &self,
         root: BNode,
         bound: &mut u64,
         solved: &mut Vec<(u64, Vec<usize>, u64)>,
         stats: &mut CoverStats,
-    ) -> Vec<BNode> {
+        node_limit: u64,
+        interrupt: &Interrupt,
+    ) -> Result<Vec<BNode>, ()> {
         let mut queue: VecDeque<BNode> = VecDeque::from([root]);
         let mut next_seq = 1u64;
-        let expansion_cap = EXPANSION_BUDGET.min(self.node_limit);
+        let expansion_cap = EXPANSION_BUDGET.min(node_limit);
         while queue.len() < TASK_TARGET && stats.nodes < expansion_cap {
             let Some(mut node) = queue.pop_front() else {
                 break;
             };
+            if interrupt.check(stats.nodes) {
+                return Err(());
+            }
             stats.nodes += 1;
             match self.reduce_node(&mut node, *bound, &mut stats.prunes) {
                 BReduced::Solved(cost, cols) => {
@@ -227,15 +291,18 @@ impl BinateProblem {
                 }
             }
         }
-        queue.into()
+        Ok(queue.into())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn sweep_tasks(
         &self,
         tasks: &[BNode],
-        shared_bound: &AtomicU64,
+        shared_bound: Option<&AtomicU64>,
+        fixed_bound: u64,
         budget: u64,
         threads: usize,
+        interrupt: &Interrupt,
     ) -> Vec<BTaskResult> {
         let results: Vec<Mutex<BTaskResult>> = tasks
             .iter()
@@ -247,8 +314,10 @@ impl BinateProblem {
             let Some(task) = tasks.get(i) else { break };
             let mut ctx = BTaskCtx {
                 shared_bound,
+                fixed_bound,
                 result: BTaskResult::default(),
                 budget,
+                interrupt,
             };
             self.dfs(task.clone(), &mut ctx);
             *results[i].lock().unwrap() = ctx.result;
@@ -275,11 +344,20 @@ impl BinateProblem {
             ctx.result.exhausted = true;
             return;
         }
+        if ctx.interrupt.check(ctx.result.nodes) {
+            ctx.result.interrupted = true;
+            return;
+        }
         // Strict pruning against the shared bound is schedule-safe; the
         // task's own best additionally prunes at `>=` — it evolves inside
         // this task only, so the first minimal-cost solution in the task's
-        // DFS order is still always reached, for any schedule.
-        let shared = ctx.shared_bound.load(Ordering::Relaxed);
+        // DFS order is still always reached, for any schedule. In budget
+        // mode the shared bound is absent and the fixed phase-1 bound is
+        // used instead, making the node count schedule-independent.
+        let shared = match ctx.shared_bound {
+            Some(b) => b.load(Ordering::Relaxed),
+            None => ctx.fixed_bound,
+        };
         let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
         let bound = shared.min(local.saturating_sub(1));
         match self.reduce_node(&mut node, bound, &mut ctx.result.prunes) {
@@ -290,7 +368,7 @@ impl BinateProblem {
                     let mut sub = node.clone();
                     sub.assign[col] = assign;
                     self.dfs(sub, ctx);
-                    if ctx.result.exhausted {
+                    if ctx.result.exhausted || ctx.result.interrupted {
                         return;
                     }
                 }
@@ -438,12 +516,16 @@ struct BTaskResult {
     nodes: u64,
     prunes: u64,
     exhausted: bool,
+    interrupted: bool,
 }
 
 struct BTaskCtx<'a> {
-    shared_bound: &'a AtomicU64,
+    /// `None` in strict budget mode (prune against `fixed_bound` only).
+    shared_bound: Option<&'a AtomicU64>,
+    fixed_bound: u64,
     result: BTaskResult,
     budget: u64,
+    interrupt: &'a Interrupt,
 }
 
 impl BTaskCtx<'_> {
@@ -451,7 +533,9 @@ impl BTaskCtx<'_> {
         let local = self.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
         if cost < local {
             self.result.best = Some((cost, cols));
-            self.shared_bound.fetch_min(cost, Ordering::Relaxed);
+            if let Some(bound) = self.shared_bound {
+                bound.fetch_min(cost, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -648,5 +732,45 @@ mod tests {
         assert!(sol.optimal);
         assert!(stats.nodes > 0);
         assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn work_budget_exhaustion_is_an_error_and_deterministic() {
+        let mut p = BinateProblem::new(12);
+        for i in 0..12usize {
+            p.add_clause([i, (i + 3) % 12], [(i + 5) % 12]);
+        }
+        p.set_work_budget(Some(6));
+        let mut baseline = None;
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            let err = q.solve_exact_with_stats().unwrap_err();
+            let SolveError::Budget { stats } = err else {
+                panic!("expected Budget error, got {err:?}");
+            };
+            let counters = (stats.nodes, stats.prunes, stats.tasks);
+            match &baseline {
+                None => baseline = Some(counters),
+                Some(b) => assert_eq!(&counters, b, "{par:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn ample_work_budget_matches_unrestricted_solution() {
+        let mut p = BinateProblem::new(10);
+        for i in 0..10usize {
+            p.add_clause([i, (i + 3) % 10], [(i + 5) % 10]);
+        }
+        let unrestricted = p.solve_exact().unwrap();
+        let mut q = p.clone();
+        q.set_work_budget(Some(1_000_000));
+        assert_eq!(q.solve_exact().unwrap(), unrestricted);
     }
 }

@@ -50,6 +50,78 @@ mod unate;
 pub use binate::{BinateProblem, Clause};
 pub use unate::UnateProblem;
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable cancellation token for cooperative interruption of the
+/// exact solvers (and the encoders built on them).
+///
+/// Cloning shares the underlying flag; once [`cancel`](Self::cancel) is
+/// called every holder observes the request at its next check point.
+/// Cancellation is inherently wall-clock-dependent: unlike the
+/// deterministic work budgets, *where* a search stops under cancellation
+/// may vary run to run.
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_cover::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; visible to every clone of the token.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Cooperative interruption sources (cancel token, wall-clock deadline)
+/// shared by both solvers. Checks are amortized: only every 256th node
+/// looks at the clock or the flag.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Interrupt {
+    pub(crate) cancel: Option<CancelToken>,
+    pub(crate) deadline: Option<Instant>,
+}
+
+impl Interrupt {
+    fn enabled(&self) -> bool {
+        self.cancel.is_some() || self.deadline.is_some()
+    }
+
+    /// An immediate (unamortized) check.
+    pub(crate) fn tripped(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|c| c.is_cancelled())
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Amortized per-node check: consults the sources every 256th node.
+    pub(crate) fn check(&self, nodes: u64) -> bool {
+        self.enabled() && nodes & 0xFF == 0 && self.tripped()
+    }
+}
+
 /// Thread-count policy for the exact solvers.
 ///
 /// Results are bit-identical across all settings (see the crate-level
@@ -123,6 +195,20 @@ pub enum SolveError {
     Infeasible,
     /// The node limit was exhausted before any feasible solution was found.
     NodeLimit,
+    /// A deterministic work budget (`set_work_budget`) expired. Unlike
+    /// [`NodeLimit`](Self::NodeLimit), this is reported even when a feasible
+    /// solution was found, so callers can fall back to a cheaper method; the
+    /// counters in `stats` are bit-identical across thread counts.
+    Budget {
+        /// Work performed before the budget expired.
+        stats: CoverStats,
+    },
+    /// A cancel token fired or a wall-clock deadline passed. The stop point
+    /// is timing-dependent, so `stats` may vary run to run.
+    Interrupted {
+        /// Work performed before the interruption.
+        stats: CoverStats,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -131,6 +217,12 @@ impl std::fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "covering problem is infeasible"),
             SolveError::NodeLimit => {
                 write!(f, "node limit reached before a feasible solution was found")
+            }
+            SolveError::Budget { stats } => {
+                write!(f, "cover work budget exhausted after {} nodes", stats.nodes)
+            }
+            SolveError::Interrupted { stats } => {
+                write!(f, "cover search interrupted after {} nodes", stats.nodes)
             }
         }
     }

@@ -1,10 +1,11 @@
 //! Exact and greedy unate covering.
 
-use crate::{CoverStats, Parallelism, Solution, SolveError};
+use crate::{CancelToken, CoverStats, Interrupt, Parallelism, Solution, SolveError};
 use ioenc_bitset::BitSet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// A unate (set-) covering problem: choose a minimum-weight set of columns
 /// such that every row contains at least one chosen column.
@@ -29,6 +30,9 @@ pub struct UnateProblem {
     weights: Vec<u32>,
     rows: Vec<BitSet>,
     node_limit: u64,
+    work_budget: Option<u64>,
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
     parallelism: Parallelism,
 }
 
@@ -61,6 +65,9 @@ impl UnateProblem {
             weights,
             rows: Vec::new(),
             node_limit: DEFAULT_NODE_LIMIT,
+            work_budget: None,
+            cancel: None,
+            deadline: None,
             parallelism: Parallelism::default(),
         }
     }
@@ -97,6 +104,34 @@ impl UnateProblem {
     /// Overrides the branch-and-bound node budget.
     pub fn set_node_limit(&mut self, limit: u64) {
         self.node_limit = limit;
+    }
+
+    /// Enables *strict budget mode* with the given node cap (`None`
+    /// disables it again).
+    ///
+    /// Strict mode differs from [`set_node_limit`](Self::set_node_limit)
+    /// in two ways. First, exhausting the cap is an error
+    /// ([`SolveError::Budget`]) even when a feasible cover was found, so a
+    /// degradation ladder can fall back to a cheaper method instead of
+    /// silently accepting a non-optimal cover. Second, workers prune
+    /// against the *fixed* bound computed by the deterministic root
+    /// expansion (plus their task-local best) rather than the shared
+    /// atomic bound, making the explored node set — and therefore budget
+    /// exhaustion itself — bit-identical across all [`Parallelism`]
+    /// settings. When the search completes within the budget it returns
+    /// the same optimal solution as the unrestricted search.
+    pub fn set_work_budget(&mut self, budget: Option<u64>) {
+        self.work_budget = budget;
+    }
+
+    /// Installs a cooperative cancellation token, checked every 256 nodes.
+    pub fn set_cancel(&mut self, cancel: Option<CancelToken>) {
+        self.cancel = cancel;
+    }
+
+    /// Installs a wall-clock deadline, checked every 256 nodes.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
     }
 
     /// Sets the thread policy for [`solve_exact`](Self::solve_exact).
@@ -172,11 +207,20 @@ impl UnateProblem {
     ///
     /// # Errors
     ///
-    /// [`SolveError::Infeasible`] if some row has no columns.
+    /// [`SolveError::Infeasible`] if some row has no columns;
+    /// [`SolveError::Budget`] when a strict work budget
+    /// ([`set_work_budget`](Self::set_work_budget)) expires;
+    /// [`SolveError::Interrupted`] on cancellation or deadline expiry.
     pub fn solve_exact_with_stats(&self) -> Result<(Solution, CoverStats), SolveError> {
         if self.rows.iter().any(|r| r.is_empty()) {
             return Err(SolveError::Infeasible);
         }
+        let strict = self.work_budget.is_some();
+        let node_limit = self.work_budget.unwrap_or(self.node_limit);
+        let interrupt = Interrupt {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline,
+        };
         // Root preprocessing: columns with identical row coverage are
         // interchangeable — keep one cheapest representative. (Prime sets
         // frequently contain many columns covering the same dichotomies.)
@@ -199,13 +243,33 @@ impl UnateProblem {
         };
         let mut bound = greedy.cost;
         let mut solved: Vec<(u64, Vec<usize>, u64)> = Vec::new();
-        let tasks = self.expand_tasks(root, &mut bound, &mut solved, &mut stats);
+        let tasks = match self.expand_tasks(
+            root,
+            &mut bound,
+            &mut solved,
+            &mut stats,
+            node_limit,
+            &interrupt,
+        ) {
+            Ok(tasks) => tasks,
+            Err(()) => return Err(SolveError::Interrupted { stats }),
+        };
         stats.tasks = tasks.len();
 
-        // Phase 2: sweep the pool, sharing one atomic upper bound.
+        // Phase 2: sweep the pool. Outside budget mode the workers share
+        // one atomic upper bound; in strict budget mode each worker prunes
+        // against the fixed phase-1 bound so the explored node set does not
+        // depend on scheduling.
         let shared_bound = AtomicU64::new(bound);
-        let budget = per_task_budget(self.node_limit, stats.nodes, tasks.len());
-        let results = self.sweep_tasks(&tasks, &shared_bound, budget, stats.threads);
+        let budget = per_task_budget(node_limit, stats.nodes, tasks.len());
+        let results = self.sweep_tasks(
+            &tasks,
+            (!strict).then_some(&shared_bound),
+            bound,
+            budget,
+            stats.threads,
+            &interrupt,
+        );
 
         // Deterministic merge: min (cost, creation sequence); the greedy
         // seed is the fallback of last resort.
@@ -216,15 +280,23 @@ impl UnateProblem {
             }
         }
         let mut exhausted = false;
+        let mut interrupted = false;
         for (task, result) in tasks.iter().zip(&results) {
             stats.nodes += result.nodes;
             stats.prunes += result.prunes;
             exhausted |= result.exhausted;
+            interrupted |= result.interrupted;
             if let Some((cost, cols)) = &result.best {
                 if (*cost, task.seq) < (best.0, best.1) {
                     best = (*cost, task.seq, cols);
                 }
             }
+        }
+        if interrupted {
+            return Err(SolveError::Interrupted { stats });
+        }
+        if strict && exhausted {
+            return Err(SolveError::Budget { stats });
         }
         let solution = Solution {
             columns: best.2.clone(),
@@ -237,21 +309,27 @@ impl UnateProblem {
     /// Pops nodes breadth-first, reducing each and queueing its children,
     /// until the queue reaches [`TASK_TARGET`] or the expansion budget is
     /// spent. Fully sequential and deterministic. Subproblems solved
-    /// outright are appended to `solved` and tighten `bound`.
+    /// outright are appended to `solved` and tighten `bound`. `Err(())`
+    /// reports an interruption.
     fn expand_tasks(
         &self,
         root: Node,
         bound: &mut u64,
         solved: &mut Vec<(u64, Vec<usize>, u64)>,
         stats: &mut CoverStats,
-    ) -> Vec<Node> {
+        node_limit: u64,
+        interrupt: &Interrupt,
+    ) -> Result<Vec<Node>, ()> {
         let mut queue: VecDeque<Node> = VecDeque::from([root]);
         let mut next_seq = 1u64;
-        let expansion_cap = EXPANSION_BUDGET.min(self.node_limit);
+        let expansion_cap = EXPANSION_BUDGET.min(node_limit);
         while queue.len() < TASK_TARGET && stats.nodes < expansion_cap {
             let Some(mut node) = queue.pop_front() else {
                 break;
             };
+            if interrupt.check(stats.nodes) {
+                return Err(());
+            }
             stats.nodes += 1;
             match self.reduce_node(&mut node, *bound, &mut stats.prunes) {
                 Reduced::Solved => {
@@ -266,17 +344,22 @@ impl UnateProblem {
                 }
             }
         }
-        queue.into()
+        Ok(queue.into())
     }
 
     /// Runs every task through a sequential depth-first search, claiming
     /// tasks from a shared counter. With one thread the sweep runs inline.
+    /// `shared_bound: None` selects strict budget mode: workers prune
+    /// against `fixed_bound` plus their task-local best only.
+    #[allow(clippy::too_many_arguments)]
     fn sweep_tasks(
         &self,
         tasks: &[Node],
-        shared_bound: &AtomicU64,
+        shared_bound: Option<&AtomicU64>,
+        fixed_bound: u64,
         budget: u64,
         threads: usize,
+        interrupt: &Interrupt,
     ) -> Vec<TaskResult> {
         let results: Vec<Mutex<TaskResult>> = tasks
             .iter()
@@ -288,8 +371,10 @@ impl UnateProblem {
             let Some(task) = tasks.get(i) else { break };
             let mut ctx = TaskCtx {
                 shared_bound,
+                fixed_bound,
                 result: TaskResult::default(),
                 budget,
+                interrupt,
             };
             self.dfs(task.clone(), &mut ctx);
             *results[i].lock().unwrap() = ctx.result;
@@ -310,18 +395,28 @@ impl UnateProblem {
             .collect()
     }
 
-    /// Per-task sequential branch and bound against the shared bound.
+    /// Per-task sequential branch and bound against the shared (or fixed)
+    /// bound.
     fn dfs(&self, mut node: Node, ctx: &mut TaskCtx<'_>) {
         ctx.result.nodes += 1;
         if ctx.result.nodes > ctx.budget {
             ctx.result.exhausted = true;
             return;
         }
+        if ctx.interrupt.check(ctx.result.nodes) {
+            ctx.result.interrupted = true;
+            return;
+        }
         // Strict pruning against the shared bound is schedule-safe; the
         // task's own best additionally prunes at `>=` — it evolves inside
         // this task only, so the first minimal-cost solution in the task's
-        // DFS order is still always reached, for any schedule.
-        let shared = ctx.shared_bound.load(Ordering::Relaxed);
+        // DFS order is still always reached, for any schedule. In budget
+        // mode the shared bound is absent and the fixed phase-1 bound is
+        // used instead, making the node count schedule-independent.
+        let shared = match ctx.shared_bound {
+            Some(b) => b.load(Ordering::Relaxed),
+            None => ctx.fixed_bound,
+        };
         let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
         let bound = shared.min(local.saturating_sub(1));
         match self.reduce_node(&mut node, bound, &mut ctx.result.prunes) {
@@ -331,7 +426,7 @@ impl UnateProblem {
                 let mut seq = 0;
                 for child in self.children_of(&node, &mut seq) {
                     self.dfs(child, ctx);
-                    if ctx.result.exhausted {
+                    if ctx.result.exhausted || ctx.result.interrupted {
                         return;
                     }
                 }
@@ -589,12 +684,16 @@ struct TaskResult {
     nodes: u64,
     prunes: u64,
     exhausted: bool,
+    interrupted: bool,
 }
 
 struct TaskCtx<'a> {
-    shared_bound: &'a AtomicU64,
+    /// `None` in strict budget mode (prune against `fixed_bound` only).
+    shared_bound: Option<&'a AtomicU64>,
+    fixed_bound: u64,
     result: TaskResult,
     budget: u64,
+    interrupt: &'a Interrupt,
 }
 
 impl TaskCtx<'_> {
@@ -602,7 +701,9 @@ impl TaskCtx<'_> {
         let local = self.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
         if cost < local {
             self.result.best = Some((cost, cols));
-            self.shared_bound.fetch_min(cost, Ordering::Relaxed);
+            if let Some(bound) = self.shared_bound {
+                bound.fetch_min(cost, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -784,6 +885,69 @@ mod tests {
         let sol = p.solve_exact().unwrap();
         for r in &p.rows {
             assert!(sol.columns.iter().any(|&c| r.contains(c)));
+        }
+    }
+
+    #[test]
+    fn work_budget_exhaustion_is_an_error_and_deterministic() {
+        let mut p = UnateProblem::new(12);
+        for i in 0..12 {
+            p.add_row([i, (i + 4) % 12, (i + 7) % 12]);
+        }
+        p.set_work_budget(Some(8));
+        let mut baseline = None;
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            let mut q = p.clone();
+            q.set_parallelism(par);
+            let err = q.solve_exact_with_stats().unwrap_err();
+            let SolveError::Budget { stats } = err else {
+                panic!("expected Budget error, got {err:?}");
+            };
+            let counters = (stats.nodes, stats.prunes, stats.tasks);
+            match &baseline {
+                None => baseline = Some(counters),
+                Some(b) => assert_eq!(&counters, b, "{par:?} diverged"),
+            }
+        }
+    }
+
+    #[test]
+    fn ample_work_budget_matches_unrestricted_solution() {
+        let mut p = UnateProblem::new(12);
+        for i in 0..12 {
+            p.add_row([i, (i + 4) % 12, (i + 7) % 12]);
+        }
+        let unrestricted = p.solve_exact().unwrap();
+        for par in [
+            Parallelism::Off,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(4),
+        ] {
+            let mut q = p.clone();
+            q.set_work_budget(Some(1_000_000));
+            q.set_parallelism(par);
+            let sol = q.solve_exact().unwrap();
+            assert_eq!(sol, unrestricted, "{par:?} diverged");
+        }
+    }
+
+    #[test]
+    fn cancel_token_interrupts_search() {
+        let mut p = UnateProblem::new(14);
+        for i in 0..14 {
+            p.add_row([i, (i + 5) % 14, (i + 9) % 14]);
+        }
+        let token = crate::CancelToken::new();
+        token.cancel();
+        p.set_cancel(Some(token));
+        match p.solve_exact() {
+            Err(SolveError::Interrupted { .. }) => {}
+            other => panic!("expected Interrupted, got {other:?}"),
         }
     }
 }

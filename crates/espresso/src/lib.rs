@@ -62,6 +62,38 @@ pub use reduce::reduce;
 ///
 /// Panics if the covers' specs differ.
 pub fn minimize(on: &Cover, dc: &Cover, off: Option<&Cover>) -> Cover {
+    minimize_bounded(on, dc, off, None).0
+}
+
+/// Counters from one bounded minimization ([`minimize_bounded`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Improvement-loop rounds (one `reduce`/`expand`/`irredundant` pass
+    /// each) that ran.
+    pub iterations: u64,
+    /// `false` when the iteration cap stopped the loop before the cost
+    /// converged (the cover returned is still valid, just possibly larger).
+    pub converged: bool,
+}
+
+/// [`minimize`] with a cap on the improvement-loop iterations.
+///
+/// ESPRESSO is an anytime algorithm: the cover is valid between rounds, so
+/// stopping early trades quality for bounded work rather than failing. With
+/// `max_iters = None` the behaviour (and result) is identical to
+/// [`minimize`]; with `Some(k)` at most `k` `reduce`/`expand`/`irredundant`
+/// rounds run, and the `LAST_GASP` escape is skipped when the cap stopped
+/// the loop.
+///
+/// # Panics
+///
+/// Panics if the covers' specs differ.
+pub fn minimize_bounded(
+    on: &Cover,
+    dc: &Cover,
+    off: Option<&Cover>,
+    max_iters: Option<u64>,
+) -> (Cover, MinimizeStats) {
     let computed_off;
     let off = match off {
         Some(o) => {
@@ -86,7 +118,16 @@ pub fn minimize(on: &Cover, dc: &Cover, off: Option<&Cover>) -> Cover {
     let loop_dc = dc.union(&essential);
     let mut f = rest;
     let mut best = cost(&f);
+    let mut stats = MinimizeStats {
+        iterations: 0,
+        converged: true,
+    };
     loop {
+        if max_iters.is_some_and(|m| stats.iterations >= m) {
+            stats.converged = false;
+            break;
+        }
+        stats.iterations += 1;
         f = reduce(&f, &loop_dc);
         f = expand(&f, off);
         f = irredundant(&f, &loop_dc);
@@ -96,11 +137,14 @@ pub fn minimize(on: &Cover, dc: &Cover, off: Option<&Cover>) -> Cover {
         }
         best = c;
     }
-    // One LAST_GASP attempt to escape the local minimum.
-    f = last_gasp::last_gasp(&f, &loop_dc, off);
+    // One LAST_GASP attempt to escape the local minimum (skipped when the
+    // iteration cap already stopped the loop).
+    if stats.converged {
+        f = last_gasp::last_gasp(&f, &loop_dc, off);
+    }
     let mut result = f.union(&essential);
     result.single_cube_containment();
-    result
+    (result, stats)
 }
 
 /// The (cube count, total-cleared-bit) cost ordering used to detect
@@ -249,6 +293,22 @@ impl Pla {
     pub fn minimize_summary(&self) -> (usize, usize) {
         summary(&self.minimize(), self.inputs)
     }
+
+    /// [`minimize`](Self::minimize) with an improvement-loop iteration cap
+    /// (see [`minimize_bounded`]).
+    pub fn minimize_bounded(&self, max_iters: Option<u64>) -> (Cover, MinimizeStats) {
+        minimize_bounded(&self.on, &self.dc, None, max_iters)
+    }
+
+    /// [`minimize_summary`](Self::minimize_summary) with an iteration cap;
+    /// returns the summary plus the loop counters.
+    pub fn minimize_summary_bounded(
+        &self,
+        max_iters: Option<u64>,
+    ) -> ((usize, usize), MinimizeStats) {
+        let (m, stats) = self.minimize_bounded(max_iters);
+        (summary(&m, self.inputs), stats)
+    }
 }
 
 #[cfg(test)]
@@ -382,5 +442,48 @@ mod tests {
     fn pla_rejects_bad_output() {
         let mut pla = Pla::new(1, 2);
         pla.add_on(&[None], &[2]);
+    }
+
+    #[test]
+    fn unbounded_minimize_bounded_matches_minimize() {
+        let spec = bspec(4);
+        let mut lines = String::new();
+        for i in 0..16u32 {
+            if i.count_ones() % 2 == 0 && i != 6 {
+                for b in 0..4 {
+                    lines.push(if i >> b & 1 == 1 { '1' } else { '0' });
+                    lines.push(' ');
+                }
+                lines.push('\n');
+            }
+        }
+        let on = Cover::parse(&spec, &lines).unwrap();
+        let dc = Cover::empty(spec.clone());
+        let plain = minimize(&on, &dc, None);
+        let (bounded, stats) = minimize_bounded(&on, &dc, None, None);
+        assert_eq!(plain.len(), bounded.len());
+        assert!(stats.converged);
+        assert!(stats.iterations >= 1);
+    }
+
+    #[test]
+    fn iteration_cap_still_yields_a_valid_cover() {
+        let spec = bspec(4);
+        let mut lines = String::new();
+        for i in 0..16u32 {
+            if i.count_ones() % 2 == 0 {
+                for b in 0..4 {
+                    lines.push(if i >> b & 1 == 1 { '1' } else { '0' });
+                    lines.push(' ');
+                }
+                lines.push('\n');
+            }
+        }
+        let on = Cover::parse(&spec, &lines).unwrap();
+        let dc = Cover::empty(spec.clone());
+        let (m, stats) = minimize_bounded(&on, &dc, None, Some(0));
+        assert!(!stats.converged);
+        assert_eq!(stats.iterations, 0);
+        check_valid(&on, &dc, &m);
     }
 }

@@ -38,7 +38,7 @@ pub struct Assignment {
 ///
 /// # Errors
 ///
-/// Propagates encoder errors ([`EncodeError::PrimesExceeded`],
+/// Propagates encoder errors ([`EncodeError::Budget`],
 /// [`EncodeError::Infeasible`], …).
 ///
 /// # Examples
@@ -117,7 +117,7 @@ mod tests {
                 assert!(a.encoding.verify(&a.constraints).is_empty());
                 assert_eq!(a.satisfied.0, a.satisfied.1);
             }
-            Err(EncodeError::PrimesExceeded { .. }) => {}
+            Err(EncodeError::Budget { .. }) => {}
             Err(e) => panic!("unexpected: {e}"),
         }
     }

@@ -23,9 +23,9 @@
 //! codes stay byte-identical across thread counts and pipe cleanly.
 
 use ioenc::core::{
-    check_feasible, exact_encode_report, generate_primes_with, heuristic_encode,
-    initial_dichotomies, BinateFormulation, ConstraintSet, CostFunction, EncodeError, ExactOptions,
-    HeuristicOptions, Parallelism,
+    check_feasible, encode_auto, exact_encode_report, generate_primes_with, heuristic_encode,
+    initial_dichotomies, AutoOptions, BinateFormulation, Budget, ConstraintSet, CostFunction,
+    EncodeError, ExactOptions, HeuristicOptions, Parallelism,
 };
 use ioenc::espresso::{cover_to_pla_text, parse_pla_text};
 use ioenc::kiss::Fsm;
@@ -53,6 +53,8 @@ usage:
   ioenc check  <constraints-file>
   ioenc encode <constraints-file> [--heuristic] [--bits N]
                [--cost violations|cubes|literals] [--prime-cap N]
+               [--auto] [--max-primes N] [--max-nodes N] [--max-evals N]
+               [--max-ps-steps N] [--deadline-ms T]
                [--threads auto|off|N]
   ioenc primes <constraints-file> [--cap N] [--threads auto|off|N]
   ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
@@ -129,6 +131,73 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
         "encode" => {
             let cs = parse_constraints(&text)?;
             let bits = number("--bits")?;
+            if flag("--auto") {
+                if flag("--heuristic") {
+                    return Err(EncodeError::limit(
+                        "--auto and --heuristic are mutually exclusive",
+                    ));
+                }
+                let mut budget = Budget::unlimited();
+                let mut budgeted = false;
+                if let Some(n) = number("--max-primes")? {
+                    budget = budget.with_max_primes(n);
+                    budgeted = true;
+                }
+                if let Some(n) = number("--max-nodes")? {
+                    budget = budget.with_max_cover_nodes(n as u64);
+                    budgeted = true;
+                }
+                if let Some(n) = number("--max-evals")? {
+                    budget = budget.with_max_evals(n as u64);
+                    budgeted = true;
+                }
+                if let Some(n) = number("--max-ps-steps")? {
+                    budget = budget.with_max_ps_steps(n as u64);
+                    budgeted = true;
+                }
+                if let Some(ms) = number("--deadline-ms")? {
+                    if ms == 0 {
+                        return Err(EncodeError::limit("--deadline-ms must be positive"));
+                    }
+                    budget = budget.with_deadline(std::time::Duration::from_millis(ms as u64));
+                    budgeted = true;
+                }
+                if !budgeted {
+                    return Err(EncodeError::limit(
+                        "--auto needs at least one budget: --max-primes, --max-nodes, \
+                         --max-evals, --max-ps-steps or --deadline-ms",
+                    ));
+                }
+                let opts = AutoOptions::new()
+                    .with_budget(budget)
+                    .with_parallelism(threads()?);
+                let report = encode_auto(&cs, &opts)?;
+                println!(
+                    "{} encoding, {} bits{}:",
+                    report.rung,
+                    report.encoding.width(),
+                    if report.optimal {
+                        " (minimum length)"
+                    } else {
+                        ""
+                    }
+                );
+                print!("{}", report.encoding.display(&cs));
+                for a in &report.attempts {
+                    match &a.error {
+                        Some(e) => eprintln!("{} rung fell short: {e}", a.rung),
+                        None => eprintln!(
+                            "{} rung fell short: best encoding still violated constraints",
+                            a.rung
+                        ),
+                    }
+                }
+                if report.reused_raised {
+                    eprintln!("fallback reused the exact rung's raised dichotomies");
+                }
+                eprintln!("{}", report.stats.render());
+                return Ok(());
+            }
             if flag("--heuristic") {
                 let cost = match value("--cost").unwrap_or("violations") {
                     "violations" => CostFunction::Violations,

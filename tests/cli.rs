@@ -148,6 +148,122 @@ fn fsm_assign_prints_codes_and_cost() {
 }
 
 #[test]
+fn auto_encode_answers_with_the_exact_rung_when_budget_suffices() {
+    let path = write_temp("auto", SECTION1);
+    let (ok, stdout, stderr) = run(&[
+        "encode",
+        path.to_str().unwrap(),
+        "--auto",
+        "--max-primes",
+        "1000",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("exact encoding"), "{stdout}");
+    assert!(stdout.contains("minimum length"), "{stdout}");
+    // Statistics land on stderr, not stdout.
+    assert!(stderr.contains("evaluations"), "{stderr}");
+    assert!(!stdout.contains("evaluations"), "{stdout}");
+}
+
+#[test]
+fn auto_encode_reports_degradation_on_stderr() {
+    // 12 unconstrained symbols exceed a 50-prime budget; the ladder must
+    // still answer on stdout and explain the expiries on stderr.
+    let body = format!(
+        "symbols: {}\n",
+        (0..12).map(|i| format!("s{i} ")).collect::<String>()
+    );
+    let path = write_temp("autodeg", &body);
+    let (ok, stdout, stderr) = run(&[
+        "encode",
+        path.to_str().unwrap(),
+        "--auto",
+        "--max-primes",
+        "50",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("encoding"), "{stdout}");
+    assert!(stderr.contains("fell short"), "{stderr}");
+}
+
+#[test]
+fn auto_without_budget_flags_is_rejected() {
+    let path = write_temp("autonobudget", SECTION1);
+    let (ok, _, stderr) = run(&["encode", path.to_str().unwrap(), "--auto"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs at least one budget"), "{stderr}");
+}
+
+#[test]
+fn auto_rejects_bad_budget_values() {
+    let path = write_temp("autobad", SECTION1);
+    // A zero deadline can never be met.
+    let (ok, _, stderr) = run(&[
+        "encode",
+        path.to_str().unwrap(),
+        "--auto",
+        "--deadline-ms",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--deadline-ms must be positive"),
+        "{stderr}"
+    );
+    // Negative and garbage values are parse errors, not silent defaults.
+    for bad in ["-5", "many"] {
+        let (ok, _, stderr) = run(&[
+            "encode",
+            path.to_str().unwrap(),
+            "--auto",
+            "--max-nodes",
+            bad,
+        ]);
+        assert!(!ok, "--max-nodes {bad} accepted");
+        assert!(stderr.contains("--max-nodes"), "{stderr}");
+    }
+    // A budget flag with no value at all.
+    let (ok, _, stderr) = run(&["encode", path.to_str().unwrap(), "--auto", "--max-evals"]);
+    assert!(!ok);
+    assert!(stderr.contains("--max-evals"), "{stderr}");
+}
+
+#[test]
+fn auto_conflicts_with_heuristic_flag() {
+    let path = write_temp("autoconflict", SECTION1);
+    let (ok, _, stderr) = run(&[
+        "encode",
+        path.to_str().unwrap(),
+        "--auto",
+        "--heuristic",
+        "--max-primes",
+        "10",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
+fn auto_stdout_is_byte_identical_across_thread_counts() {
+    let path = write_temp("autothreads", SECTION1);
+    let budget = ["--auto", "--max-primes", "100", "--max-evals", "500"];
+    let mut outputs = Vec::new();
+    for threads in ["off", "2", "4", "auto"] {
+        let mut args = vec!["encode", path.to_str().unwrap()];
+        args.extend_from_slice(&budget);
+        args.extend_from_slice(&["--threads", threads]);
+        let (ok, stdout, stderr) = run(&args);
+        assert!(ok, "{stderr}");
+        outputs.push(stdout);
+    }
+    // Only stderr (timings, thread counts) may vary; the answer does not.
+    assert!(
+        outputs.iter().all(|o| *o == outputs[0]),
+        "stdout varies across thread counts: {outputs:?}"
+    );
+}
+
+#[test]
 fn minimize_subcommand_shrinks_pla() {
     let pla = "\
 .i 3

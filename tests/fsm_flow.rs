@@ -28,7 +28,7 @@ fn mixed_flow_exact_encoding_verifies() {
             let (cubes, lits) = measure_encoded(&fsm, &enc);
             assert!(cubes > 0 && lits > 0);
         }
-        Err(EncodeError::PrimesExceeded { .. }) => {
+        Err(EncodeError::Budget { .. }) => {
             // Acceptable outcome for an explosive instance; the check
             // itself must still have been feasible.
         }
