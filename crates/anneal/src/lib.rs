@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Simulated-annealing encoding baseline, following the MIS-MV encoder the
 //! paper compares against in Table 3.

@@ -29,7 +29,7 @@ use crate::stats::SolverStats;
 use crate::{
     bounded_exact_encode_report, exact_encode_report, heuristic_encode_report, initial_dichotomies,
     BoundedExactOptions, ConstraintSet, CostFunction, Dichotomy, EncodeError, Encoding,
-    ExactOptions, HeuristicOptions, Parallelism,
+    ExactOptions, Feasibility, HeuristicOptions, Parallelism,
 };
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -376,7 +376,23 @@ pub fn encode_auto(cs: &ConstraintSet, opts: &AutoOptions) -> Result<AutoReport,
         .cloned()
         .collect();
     if !uncovered.is_empty() {
-        return Err(EncodeError::Infeasible { uncovered });
+        // Same lint attachment as the exact rung's feasibility gate; the
+        // budget scope restarts, so the explanation gets the ladder's
+        // deadline allowance for its conflict-core search.
+        let feas = Feasibility {
+            initial,
+            raised,
+            uncovered,
+        };
+        let explanation = crate::lint::lint_with_feasibility(
+            cs,
+            &crate::lint::LintOptions::new().with_budget(opts.budget.clone()),
+            &feas,
+        );
+        return Err(EncodeError::Infeasible {
+            uncovered: feas.uncovered,
+            explanation: Some(Box::new(explanation)),
+        });
     }
     let columns = greedy_cover(&initial, &raised);
     total.timings.total = started.elapsed();

@@ -246,17 +246,21 @@ pub fn bounded_exact_encode_report(
                     let mut out = BranchOut::default();
                     let mut chosen = vec![i];
                     enumerate(&ctx, i + 1, &mut chosen, &mut out);
-                    *results[i].lock().expect("branch result poisoned") = Some(out);
+                    *results[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
                 });
             }
         });
         // Merge in branch order so the winning encoding (and the counter
         // totals) match the sequential sweep exactly.
         for slot in results {
+            // A panicking worker would have propagated through the scope
+            // above, so every slot is filled; an empty default is inert.
             let out = slot
                 .into_inner()
-                .expect("branch result poisoned")
-                .expect("every branch produced a result");
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_default();
             stats.evals += out.evals;
             stats.espresso_iters += out.espresso_iters;
             stopped |= out.stopped;

@@ -218,9 +218,10 @@ impl fmt::Display for BudgetPhase {
     }
 }
 
-/// The partial work carried by an [`EncodeError::Budget`]
-/// (`crate::EncodeError::Budget`): everything computed before the budget
-/// expired, so callers can account for it and reuse it.
+/// The partial work carried by an
+/// [`EncodeError::Budget`](crate::EncodeError::Budget): everything
+/// computed before the budget expired, so callers can account for it and
+/// reuse it.
 #[derive(Debug, Clone, Default)]
 pub struct BudgetSpent {
     /// Counters for the work performed before expiry.

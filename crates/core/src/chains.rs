@@ -120,13 +120,15 @@ pub fn encode_with_chains(
     let mut codes: Vec<Option<u64>> = vec![None; n];
     let mut used = vec![false; total as usize];
     if place_chains(cs, chains, 0, &free, &mut codes, &mut used, width) {
+        #[allow(clippy::expect_used)] // place_chains returned true, so it
+        // assigned a code to every state before its final recursion level
         let final_codes: Vec<u64> = codes.into_iter().map(|c| c.expect("assigned")).collect();
         let enc = Encoding::new(width, final_codes);
         debug_assert!(enc.satisfies(cs));
         debug_assert!(chains.iter().all(|ch| ch.is_satisfied(&enc)));
         Ok(enc)
     } else {
-        Err(EncodeError::Infeasible { uncovered: vec![] })
+        Err(EncodeError::infeasible(vec![]))
     }
 }
 
@@ -162,8 +164,10 @@ fn place_chains(
             return true;
         }
         for &s in &chain.states {
-            let c = codes[s].take().expect("was assigned");
-            used[c as usize] = false;
+            // Undo exactly the assignments made a few lines above.
+            if let Some(c) = codes[s].take() {
+                used[c as usize] = false;
+            }
         }
     }
     false
@@ -178,6 +182,8 @@ fn place_free(
     width: usize,
 ) -> bool {
     if idx == free.len() {
+        #[allow(clippy::expect_used)] // idx == free.len(): every chain state
+        // was coded by place_chains and every free state by earlier levels
         let enc = Encoding::new(width, codes.iter().map(|c| c.expect("assigned")).collect());
         return enc.satisfies(cs);
     }

@@ -3,7 +3,75 @@
 
 use crate::EncodeError;
 use ioenc_bitset::BitSet;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// A source location in a constraint text file: 1-based line and column of
+/// the constraint's first character, plus its byte length. Spans are
+/// attached by [`ConstraintSet::parse`] and surfaced in lint diagnostics;
+/// constraints added through the builder methods have no span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column of the constraint's first byte.
+    pub col: u32,
+    /// Length of the constraint text in bytes.
+    pub len: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A stable reference to one constraint inside a [`ConstraintSet`]: the
+/// constraint kind plus its index in that kind's insertion order. The
+/// canonical ordering (faces, dominances, disjunctives, extended,
+/// distance-2, non-faces, each by index) matches [`ConstraintSet`]'s
+/// `Display` output and the deterministic ordering of lint diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConstraintRef {
+    /// The `i`-th face constraint.
+    Face(usize),
+    /// The `i`-th dominance constraint.
+    Dominance(usize),
+    /// The `i`-th disjunctive constraint.
+    Disjunctive(usize),
+    /// The `i`-th extended disjunctive constraint.
+    Extended(usize),
+    /// The `i`-th distance-2 constraint.
+    Distance2(usize),
+    /// The `i`-th non-face constraint.
+    NonFace(usize),
+}
+
+impl ConstraintRef {
+    /// The constraint kind as a lowercase noun (for diagnostics and JSON).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConstraintRef::Face(_) => "face",
+            ConstraintRef::Dominance(_) => "dominance",
+            ConstraintRef::Disjunctive(_) => "disjunctive",
+            ConstraintRef::Extended(_) => "extended",
+            ConstraintRef::Distance2(_) => "distance2",
+            ConstraintRef::NonFace(_) => "nonface",
+        }
+    }
+
+    /// The index within the constraint kind.
+    pub fn index(&self) -> usize {
+        match self {
+            ConstraintRef::Face(i)
+            | ConstraintRef::Dominance(i)
+            | ConstraintRef::Disjunctive(i)
+            | ConstraintRef::Extended(i)
+            | ConstraintRef::Distance2(i)
+            | ConstraintRef::NonFace(i) => *i,
+        }
+    }
+}
 
 /// A face-embedding (input) constraint: `members` must span a face of the
 /// encoding hypercube that contains no symbol outside `members ∪
@@ -58,6 +126,7 @@ pub struct ConstraintSet {
     extended: Vec<ExtendedDisjunctive>,
     distance2: Vec<(usize, usize)>,
     nonfaces: Vec<BitSet>,
+    spans: BTreeMap<ConstraintRef, Span>,
 }
 
 impl ConstraintSet {
@@ -98,14 +167,15 @@ impl ConstraintSet {
         assert!(s < self.n, "symbol {s} out of range {}", self.n);
     }
 
-    /// Adds a face constraint without don't cares.
+    /// Adds a face constraint without don't cares, returning its
+    /// [`ConstraintRef`].
     ///
     /// # Panics
     ///
     /// Panics if a symbol is out of range or fewer than two symbols are
     /// given.
-    pub fn add_face<I: IntoIterator<Item = usize>>(&mut self, members: I) {
-        self.add_face_with_dc(members, []);
+    pub fn add_face<I: IntoIterator<Item = usize>>(&mut self, members: I) -> ConstraintRef {
+        self.add_face_with_dc(members, [])
     }
 
     /// Adds a face constraint with encoding don't cares (Section 8.1).
@@ -114,7 +184,7 @@ impl ConstraintSet {
     ///
     /// Panics if a symbol is out of range, a don't care is also a member,
     /// or fewer than two members are given.
-    pub fn add_face_with_dc<I, J>(&mut self, members: I, dont_cares: J)
+    pub fn add_face_with_dc<I, J>(&mut self, members: I, dont_cares: J) -> ConstraintRef
     where
         I: IntoIterator<Item = usize>,
         J: IntoIterator<Item = usize>,
@@ -135,18 +205,21 @@ impl ConstraintSet {
             members,
             dont_cares,
         });
+        ConstraintRef::Face(self.faces.len() - 1)
     }
 
-    /// Adds a dominance constraint `above > below`.
+    /// Adds a dominance constraint `above > below`, returning its
+    /// [`ConstraintRef`].
     ///
     /// # Panics
     ///
     /// Panics if a symbol is out of range or `above == below`.
-    pub fn add_dominance(&mut self, above: usize, below: usize) {
+    pub fn add_dominance(&mut self, above: usize, below: usize) -> ConstraintRef {
         self.check(above);
         self.check(below);
         assert_ne!(above, below, "a symbol cannot dominate itself");
         self.dominances.push((above, below));
+        ConstraintRef::Dominance(self.dominances.len() - 1)
     }
 
     /// Adds a disjunctive constraint `parent = ⋁ children`.
@@ -155,7 +228,11 @@ impl ConstraintSet {
     ///
     /// Panics if a symbol is out of range, the parent is among the
     /// children, or fewer than two children are given.
-    pub fn add_disjunctive<I: IntoIterator<Item = usize>>(&mut self, parent: usize, children: I) {
+    pub fn add_disjunctive<I: IntoIterator<Item = usize>>(
+        &mut self,
+        parent: usize,
+        children: I,
+    ) -> ConstraintRef {
         self.check(parent);
         let children: Vec<usize> = children.into_iter().collect();
         for &c in &children {
@@ -164,6 +241,7 @@ impl ConstraintSet {
         }
         assert!(children.len() >= 2, "a disjunction needs >= 2 children");
         self.disjunctives.push(Disjunctive { parent, children });
+        ConstraintRef::Disjunctive(self.disjunctives.len() - 1)
     }
 
     /// Adds an extended disjunctive constraint `⋁ᵢ ⋀ conjᵢ >= parent`
@@ -172,7 +250,7 @@ impl ConstraintSet {
     /// # Panics
     ///
     /// Panics if a symbol is out of range or any conjunction is empty.
-    pub fn add_extended<I, J>(&mut self, parent: usize, conjunctions: I)
+    pub fn add_extended<I, J>(&mut self, parent: usize, conjunctions: I) -> ConstraintRef
     where
         I: IntoIterator<Item = J>,
         J: IntoIterator<Item = usize>,
@@ -193,19 +271,21 @@ impl ConstraintSet {
             parent,
             conjunctions,
         });
+        ConstraintRef::Extended(self.extended.len() - 1)
     }
 
     /// Adds a distance-2 constraint: the codes of `a` and `b` must differ
-    /// in at least two bits (Section 8.2).
+    /// in at least two bits (Section 8.2). Returns its [`ConstraintRef`].
     ///
     /// # Panics
     ///
     /// Panics if a symbol is out of range or `a == b`.
-    pub fn add_distance2(&mut self, a: usize, b: usize) {
+    pub fn add_distance2(&mut self, a: usize, b: usize) -> ConstraintRef {
         self.check(a);
         self.check(b);
         assert_ne!(a, b, "distance-2 needs two distinct symbols");
         self.distance2.push((a, b));
+        ConstraintRef::Distance2(self.distance2.len() - 1)
     }
 
     /// Adds a non-face constraint: the face spanned by `members` must
@@ -215,7 +295,7 @@ impl ConstraintSet {
     ///
     /// Panics if a symbol is out of range or fewer than two symbols are
     /// given.
-    pub fn add_nonface<I: IntoIterator<Item = usize>>(&mut self, members: I) {
+    pub fn add_nonface<I: IntoIterator<Item = usize>>(&mut self, members: I) -> ConstraintRef {
         let members: Vec<usize> = members.into_iter().collect();
         for &s in &members {
             self.check(s);
@@ -225,6 +305,7 @@ impl ConstraintSet {
             "a non-face constraint needs >= 2 members"
         );
         self.nonfaces.push(BitSet::from_indices(self.n, members));
+        ConstraintRef::NonFace(self.nonfaces.len() - 1)
     }
 
     /// The face constraints.
@@ -259,6 +340,141 @@ impl ConstraintSet {
     /// The non-face constraints.
     pub fn nonfaces(&self) -> &[BitSet] {
         &self.nonfaces
+    }
+
+    /// The source span of a constraint, when it was attached by
+    /// [`ConstraintSet::parse`] (or [`ConstraintSet::set_span`]).
+    pub fn span_of(&self, r: ConstraintRef) -> Option<Span> {
+        self.spans.get(&r).copied()
+    }
+
+    /// Attaches a source span to a constraint. Parsers use this to let
+    /// lint diagnostics point back into the input text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to an existing constraint.
+    pub fn set_span(&mut self, r: ConstraintRef, span: Span) {
+        let count = match r {
+            ConstraintRef::Face(_) => self.faces.len(),
+            ConstraintRef::Dominance(_) => self.dominances.len(),
+            ConstraintRef::Disjunctive(_) => self.disjunctives.len(),
+            ConstraintRef::Extended(_) => self.extended.len(),
+            ConstraintRef::Distance2(_) => self.distance2.len(),
+            ConstraintRef::NonFace(_) => self.nonfaces.len(),
+        };
+        assert!(r.index() < count, "no such constraint: {r:?}");
+        self.spans.insert(r, span);
+    }
+
+    /// Every constraint in canonical order: faces, dominances,
+    /// disjunctives, extended disjunctives, distance-2, non-faces, each in
+    /// insertion order. This is the deterministic ordering the lint
+    /// subsystem and the conflict-core search iterate in.
+    pub fn constraint_refs(&self) -> Vec<ConstraintRef> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend((0..self.faces.len()).map(ConstraintRef::Face));
+        out.extend((0..self.dominances.len()).map(ConstraintRef::Dominance));
+        out.extend((0..self.disjunctives.len()).map(ConstraintRef::Disjunctive));
+        out.extend((0..self.extended.len()).map(ConstraintRef::Extended));
+        out.extend((0..self.distance2.len()).map(ConstraintRef::Distance2));
+        out.extend((0..self.nonfaces.len()).map(ConstraintRef::NonFace));
+        out
+    }
+
+    /// Renders a single constraint in the text-format syntax (the same
+    /// notation `Display` uses for the whole set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to an existing constraint.
+    pub fn describe(&self, r: ConstraintRef) -> String {
+        let name = |s: usize| self.names[s].as_str();
+        match r {
+            ConstraintRef::Face(i) => {
+                let fc = &self.faces[i];
+                let members: Vec<&str> = fc.members.iter().map(name).collect();
+                if fc.dont_cares.is_empty() {
+                    format!("({})", members.join(","))
+                } else {
+                    let dcs: Vec<&str> = fc.dont_cares.iter().map(name).collect();
+                    format!("({},[{}])", members.join(","), dcs.join(","))
+                }
+            }
+            ConstraintRef::Dominance(i) => {
+                let (a, b) = self.dominances[i];
+                format!("{}>{}", name(a), name(b))
+            }
+            ConstraintRef::Disjunctive(i) => {
+                let d = &self.disjunctives[i];
+                let children: Vec<&str> = d.children.iter().map(|&c| name(c)).collect();
+                format!("{}={}", name(d.parent), children.join("|"))
+            }
+            ConstraintRef::Extended(i) => {
+                let e = &self.extended[i];
+                let terms: Vec<String> = e
+                    .conjunctions
+                    .iter()
+                    .map(|c| {
+                        let syms: Vec<&str> = c.iter().map(|&s| name(s)).collect();
+                        format!("({})", syms.join("&"))
+                    })
+                    .collect();
+                format!("{}>={}", terms.join("|"), name(e.parent))
+            }
+            ConstraintRef::Distance2(i) => {
+                let (a, b) = self.distance2[i];
+                format!("dist2({},{})", name(a), name(b))
+            }
+            ConstraintRef::NonFace(i) => {
+                let members: Vec<&str> = self.nonfaces[i].iter().map(name).collect();
+                format!("!({})", members.join(","))
+            }
+        }
+    }
+
+    /// A constraint set over the same symbols keeping only the constraints
+    /// in `keep` (in canonical order, regardless of the order of `keep`).
+    /// Source spans are carried over. The conflict-core search shrinks an
+    /// infeasible set by repeatedly re-checking feasibility of subsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a reference does not refer to an existing constraint.
+    pub fn subset(&self, keep: &[ConstraintRef]) -> ConstraintSet {
+        let mut refs: Vec<ConstraintRef> = keep.to_vec();
+        refs.sort();
+        refs.dedup();
+        let mut out = ConstraintSet::with_names(self.names.clone());
+        for &r in &refs {
+            let new_ref = match r {
+                ConstraintRef::Face(i) => {
+                    let fc = &self.faces[i];
+                    out.add_face_with_dc(fc.members.iter(), fc.dont_cares.iter())
+                }
+                ConstraintRef::Dominance(i) => {
+                    let (a, b) = self.dominances[i];
+                    out.add_dominance(a, b)
+                }
+                ConstraintRef::Disjunctive(i) => {
+                    let d = &self.disjunctives[i];
+                    out.add_disjunctive(d.parent, d.children.iter().copied())
+                }
+                ConstraintRef::Extended(i) => {
+                    let e = &self.extended[i];
+                    out.add_extended(e.parent, e.conjunctions.iter().cloned())
+                }
+                ConstraintRef::Distance2(i) => {
+                    let (a, b) = self.distance2[i];
+                    out.add_distance2(a, b)
+                }
+                ConstraintRef::NonFace(i) => out.add_nonface(self.nonfaces[i].iter()),
+            };
+            if let Some(span) = self.span_of(r) {
+                out.set_span(new_ref, span);
+            }
+        }
+        out
     }
 
     /// `true` if any output constraint (dominance, disjunctive, extended)
@@ -394,19 +610,35 @@ impl ConstraintSet {
     /// !(a,b,c)           # non-face
     /// ```
     ///
+    /// Every parsed constraint carries a [`Span`] (1-based line/column)
+    /// pointing back into `text`, retrievable via
+    /// [`ConstraintSet::span_of`] — this is what lets
+    /// [`lint`](crate::lint) diagnostics name the offending source lines.
+    ///
     /// # Errors
     ///
-    /// [`EncodeError::Parse`] naming the offending line on any syntax
-    /// error or unknown symbol.
+    /// [`EncodeError::Parse`] naming the offending line and column on any
+    /// syntax error or unknown symbol.
     pub fn parse(names: &[&str], text: &str) -> Result<Self, EncodeError> {
         let mut cs = ConstraintSet::with_names(names.iter().map(|s| s.to_string()).collect());
         for (ln, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
+            let content = raw.split('#').next().unwrap_or("");
+            let line = content.trim();
             if line.is_empty() {
                 continue;
             }
-            cs.parse_line(line)
-                .map_err(|e| EncodeError::parse(format!("line {}: {e}", ln + 1)))?;
+            let col = content.len() - content.trim_start().len() + 1;
+            let r = cs
+                .parse_line(line)
+                .map_err(|e| EncodeError::parse(format!("line {}, column {col}: {e}", ln + 1)))?;
+            cs.set_span(
+                r,
+                Span {
+                    line: (ln + 1) as u32,
+                    col: col as u32,
+                    len: line.len() as u32,
+                },
+            );
         }
         Ok(cs)
     }
@@ -417,7 +649,7 @@ impl ConstraintSet {
             .ok_or_else(|| format!("unknown symbol '{name}'"))
     }
 
-    fn parse_line(&mut self, line: &str) -> Result<(), String> {
+    fn parse_line(&mut self, line: &str) -> Result<ConstraintRef, String> {
         if let Some(rest) = line.strip_prefix("dist2(") {
             let inner = rest
                 .strip_suffix(')')
@@ -431,8 +663,7 @@ impl ConstraintSet {
             if a == b {
                 return Err("dist2 symbols must differ".into());
             }
-            self.add_distance2(a, b);
-            return Ok(());
+            return Ok(self.add_distance2(a, b));
         }
         if let Some(rest) = line.strip_prefix("!(") {
             let inner = rest
@@ -442,8 +673,7 @@ impl ConstraintSet {
             if members.len() < 2 {
                 return Err("a non-face constraint needs >= 2 symbols".into());
             }
-            self.add_nonface(members);
-            return Ok(());
+            return Ok(self.add_nonface(members));
         }
         if let Some((lhs, rhs)) = line.split_once(">=") {
             // Extended disjunctive: (b&c)|(d&e)>=a
@@ -467,8 +697,7 @@ impl ConstraintSet {
             if conjunctions.is_empty() {
                 return Err("empty extended disjunction".into());
             }
-            self.add_extended(parent, conjunctions);
-            return Ok(());
+            return Ok(self.add_extended(parent, conjunctions));
         }
         if let Some((lhs, rhs)) = line.split_once('=') {
             let parent = self.lookup(lhs)?;
@@ -482,8 +711,7 @@ impl ConstraintSet {
             if children.contains(&parent) {
                 return Err("parent cannot be its own child".into());
             }
-            self.add_disjunctive(parent, children);
-            return Ok(());
+            return Ok(self.add_disjunctive(parent, children));
         }
         if let Some((lhs, rhs)) = line.split_once('>') {
             let a = self.lookup(lhs)?;
@@ -491,8 +719,7 @@ impl ConstraintSet {
             if a == b {
                 return Err("a symbol cannot dominate itself".into());
             }
-            self.add_dominance(a, b);
-            return Ok(());
+            return Ok(self.add_dominance(a, b));
         }
         if let Some(rest) = line.strip_prefix('(') {
             let inner = rest
@@ -530,8 +757,7 @@ impl ConstraintSet {
                     return Err("don't care repeats a member".into());
                 }
             }
-            self.add_face_with_dc(members, dcs);
-            return Ok(());
+            return Ok(self.add_face_with_dc(members, dcs));
         }
         Err(format!("unrecognized constraint '{line}'"))
     }
@@ -695,6 +921,89 @@ mod tests {
         let disj: Vec<_> = r.disjunctives().collect();
         assert_eq!(disj, vec![(2, &[1usize, 0][..])]);
         assert_eq!(r.name(0), "s2");
+    }
+
+    #[test]
+    fn parse_attaches_spans() {
+        let cs = ConstraintSet::parse(
+            &["a", "b", "c"],
+            "# header\n(a,b)\n  a>c   # indented\n\ndist2(b,c)",
+        )
+        .unwrap();
+        assert_eq!(
+            cs.span_of(ConstraintRef::Face(0)),
+            Some(Span {
+                line: 2,
+                col: 1,
+                len: 5
+            })
+        );
+        assert_eq!(
+            cs.span_of(ConstraintRef::Dominance(0)),
+            Some(Span {
+                line: 3,
+                col: 3,
+                len: 3
+            })
+        );
+        assert_eq!(
+            cs.span_of(ConstraintRef::Distance2(0)),
+            Some(Span {
+                line: 5,
+                col: 1,
+                len: 10
+            })
+        );
+        // Builder-added constraints carry no span.
+        let mut built = ConstraintSet::new(2);
+        let r = built.add_face([0, 1]);
+        assert_eq!(built.span_of(r), None);
+    }
+
+    #[test]
+    fn parse_errors_name_line_and_column() {
+        let err = ConstraintSet::parse(&["a", "b"], "(a,b)\n   (a,q)").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2, column 4"), "{msg}");
+    }
+
+    #[test]
+    fn describe_renders_each_kind() {
+        let names = ["a", "b", "c", "d", "e"];
+        let text = "(a,b,[c])\na>b\nb=c|d\n(a&b)|(c&d)>=e\ndist2(a,c)\n!(b,c)";
+        let cs = ConstraintSet::parse(&names, text).unwrap();
+        let rendered: Vec<String> = cs
+            .constraint_refs()
+            .iter()
+            .map(|&r| cs.describe(r))
+            .collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "(a,b,[c])",
+                "a>b",
+                "b=c|d",
+                "(a&b)|(c&d)>=e",
+                "dist2(a,c)",
+                "!(b,c)"
+            ]
+        );
+    }
+
+    #[test]
+    fn subset_keeps_selected_constraints_and_spans() {
+        let names = ["a", "b", "c", "d"];
+        let cs = ConstraintSet::parse(&names, "(a,b)\n(c,d)\na>b\nb=c|d").unwrap();
+        let sub = cs.subset(&[ConstraintRef::Face(1), ConstraintRef::Dominance(0)]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.faces().len(), 1);
+        assert_eq!(sub.dominances(), &[(0, 1)]);
+        assert!(sub.disjunctives().next().is_none());
+        // The surviving face was on line 2 of the original text.
+        assert_eq!(sub.span_of(ConstraintRef::Face(0)).map(|s| s.line), Some(2));
+        // Duplicated refs collapse.
+        let sub2 = cs.subset(&[ConstraintRef::Face(0), ConstraintRef::Face(0)]);
+        assert_eq!(sub2.len(), 1);
     }
 
     #[test]

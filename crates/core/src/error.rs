@@ -1,6 +1,7 @@
 //! Error type shared by the encoders.
 
 use crate::budget::{BudgetPhase, BudgetSpent};
+use crate::lint::{LintReport, Severity};
 use crate::Dichotomy;
 use std::fmt;
 
@@ -13,6 +14,12 @@ pub enum EncodeError {
     Infeasible {
         /// The uncovered initial encoding-dichotomies.
         uncovered: Vec<Dichotomy>,
+        /// A lint report explaining *why* — structural diagnostics or a
+        /// minimal conflict core (see [`crate::lint`]). Attached by the
+        /// feasibility gates of [`exact_encode`](crate::exact_encode) and
+        /// [`encode_auto`](crate::encode_auto); `None` on paths that
+        /// never saw the whole constraint set (e.g. a length-bound miss).
+        explanation: Option<Box<LintReport>>,
     },
     /// Prime encoding-dichotomy generation exceeded the configured cap
     /// (the `> 50 000` cases of Table 1). Returned by the low-level
@@ -68,6 +75,14 @@ pub enum EncodeError {
 }
 
 impl EncodeError {
+    /// A [`EncodeError::Infeasible`] with no lint explanation attached.
+    pub fn infeasible(uncovered: Vec<Dichotomy>) -> Self {
+        EncodeError::Infeasible {
+            uncovered,
+            explanation: None,
+        }
+    }
+
     /// A [`EncodeError::Parse`] from anything printable.
     pub fn parse(message: impl Into<String>) -> Self {
         EncodeError::Parse {
@@ -100,11 +115,26 @@ impl EncodeError {
 impl fmt::Display for EncodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EncodeError::Infeasible { uncovered } => write!(
-                f,
-                "constraints are unsatisfiable ({} uncovered initial dichotomies)",
-                uncovered.len()
-            ),
+            EncodeError::Infeasible {
+                uncovered,
+                explanation,
+            } => {
+                write!(
+                    f,
+                    "constraints are unsatisfiable ({} uncovered initial dichotomies)",
+                    uncovered.len()
+                )?;
+                if let Some(report) = explanation {
+                    if let Some(d) = report
+                        .diagnostics
+                        .iter()
+                        .find(|d| d.severity == Severity::Error)
+                    {
+                        write!(f, "; {}: {}", d.code, d.message)?;
+                    }
+                }
+                Ok(())
+            }
             EncodeError::PrimesExceeded { limit } => {
                 write!(f, "more than {limit} prime encoding-dichotomies")
             }
@@ -134,7 +164,7 @@ mod tests {
     fn display_is_informative() {
         let e = EncodeError::PrimesExceeded { limit: 50_000 };
         assert!(e.to_string().contains("50000"));
-        let e = EncodeError::Infeasible { uncovered: vec![] };
+        let e = EncodeError::infeasible(vec![]);
         assert!(e.to_string().contains("unsatisfiable"));
     }
 

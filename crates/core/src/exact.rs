@@ -5,7 +5,7 @@ use crate::budget::{Budget, BudgetPhase, BudgetScope, BudgetSpent};
 use crate::primes::{generate_primes_limited, PrimeLimits};
 use crate::raise::{raise_dichotomy, raised_valid};
 use crate::stats::SolverStats;
-use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding};
+use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding, Feasibility};
 use ioenc_cover::{BinateProblem, CoverStats, Parallelism, SolveError, UnateProblem};
 use std::time::Instant;
 
@@ -173,7 +173,22 @@ pub fn exact_encode_report(
         .cloned()
         .collect();
     if !uncovered.is_empty() {
-        return Err(EncodeError::Infeasible { uncovered });
+        // Explain the refusal: the lint reuses the dichotomies computed
+        // above instead of re-running the raising pass.
+        let feas = Feasibility {
+            initial,
+            raised,
+            uncovered,
+        };
+        let explanation = crate::lint::lint_with_feasibility(
+            cs,
+            &crate::lint::LintOptions::new().with_budget(opts.budget.clone()),
+            &feas,
+        );
+        return Err(EncodeError::Infeasible {
+            uncovered: feas.uncovered,
+            explanation: Some(Box::new(explanation)),
+        });
     }
     let setup_time = start.elapsed();
 
@@ -336,7 +351,7 @@ fn solve_unate(
         );
     }
     let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
-        SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+        SolveError::Infeasible => EncodeError::infeasible(vec![]),
         SolveError::NodeLimit => EncodeError::CoverAborted,
         SolveError::Budget { stats } | SolveError::Interrupted { stats } => {
             cover_budget_error(CoverStats::default(), stats)
@@ -380,7 +395,7 @@ fn solve_binate(
             .map(|(k, _)| k)
             .collect();
         if s.len() < 2 {
-            return Err(EncodeError::Infeasible { uncovered: vec![] });
+            return Err(EncodeError::infeasible(vec![]));
         }
         for &p in &s {
             problem.add_clause(s.iter().copied().filter(|&q| q != p), []);
@@ -430,7 +445,7 @@ fn solve_binate(
         }
         let prior = cover_total;
         let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
-            SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+            SolveError::Infeasible => EncodeError::infeasible(vec![]),
             SolveError::NodeLimit => EncodeError::CoverAborted,
             SolveError::Budget { stats } | SolveError::Interrupted { stats } => {
                 cover_budget_error(prior, stats)
@@ -545,7 +560,7 @@ mod tests {
         )
         .unwrap();
         match exact_encode(&cs, &defaults()) {
-            Err(EncodeError::Infeasible { uncovered }) => assert_eq!(uncovered.len(), 2),
+            Err(EncodeError::Infeasible { uncovered, .. }) => assert_eq!(uncovered.len(), 2),
             other => panic!("expected infeasible, got {other:?}"),
         }
     }

@@ -293,7 +293,7 @@ fn polish(
             for w in members.windows(2) {
                 trial[w[0]] = trial[w[1]];
             }
-            trial[*members.last().expect("non-empty")] = first;
+            trial[members[members.len() - 1]] = first;
         }
         let trial = violation_hill_climb(cs, trial, width, ctx);
         let cost = ctx.eval(
@@ -618,14 +618,12 @@ fn select(
     // partition dichotomy. It is injective by construction and inherits the
     // recursive solutions' quality; the local search below then recovers
     // constraints the split violated.
+    // Every canonical dichotomy is in `cands` by construction, so the
+    // position lookups all succeed; filter_map keeps the impossible miss
+    // from panicking (the fill loop below would simply top the seed up).
     let mut selected: Vec<usize> = canonical
         .iter()
-        .map(|d| {
-            cands
-                .iter()
-                .position(|c| c == d)
-                .expect("canonical selections come from the candidate set")
-        })
+        .filter_map(|d| cands.iter().position(|c| c == d))
         .collect();
     selected.sort_unstable();
     selected.dedup();

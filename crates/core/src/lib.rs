@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! The encoding-dichotomy framework of Saldanha, Villa, Brayton and
 //! Sangiovanni-Vincentelli: *A Framework for Satisfying Input and Output
@@ -57,6 +59,7 @@ mod formulation;
 mod heuristic;
 mod hypercube;
 mod initial;
+pub mod lint;
 pub mod npc;
 mod oracle;
 mod par;
@@ -71,7 +74,7 @@ pub use bounded::{
 };
 pub use budget::{Budget, BudgetPhase, BudgetSpent};
 pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
-pub use constraints::{ConstraintSet, FaceConstraint};
+pub use constraints::{ConstraintRef, ConstraintSet, FaceConstraint, Span};
 pub use cost::{constraint_pla, cost_of, cost_of_with, count_violations, CostFunction};
 pub use dichotomy::Dichotomy;
 pub use encoding::{Encoding, Violation};

@@ -1,0 +1,743 @@
+//! The structural infeasibility checks (`E001`–`E007`) and the quality
+//! lints (`W001`–`W005`, `N001`–`N003`).
+//!
+//! Every check here is a polynomial decision on the dominance graph, the
+//! face lattice, or plain constraint syntax — no feasibility-oracle calls
+//! (those belong to the conflict-core search). Each `E0xx` check carries a
+//! soundness argument in its comment: why the detected pattern refutes
+//! every encoding.
+
+use super::{Diagnostic, Severity};
+use crate::constraints::{ConstraintRef, ConstraintSet};
+use ioenc_bitset::BitSet;
+use std::collections::BTreeSet;
+
+/// The dominance graphs the structural checks share: explicit edges (one
+/// per dominance constraint) and the full graph that adds the
+/// disjunctive-implied edges `parent → child`, with reachability closures
+/// of both. Edge and adjacency orders are deterministic (constraint
+/// insertion order, adjacency sorted), so every path the checks report is
+/// deterministic too.
+pub(super) struct DomGraphs {
+    n: usize,
+    explicit: Vec<(usize, usize, ConstraintRef)>,
+    all: Vec<(usize, usize, ConstraintRef)>,
+    adj_all: Vec<Vec<(usize, ConstraintRef)>>,
+    reach_explicit: Vec<BitSet>,
+    pub(super) reach_all: Vec<BitSet>,
+}
+
+impl DomGraphs {
+    pub(super) fn build(cs: &ConstraintSet) -> Self {
+        let n = cs.num_symbols();
+        let explicit: Vec<(usize, usize, ConstraintRef)> = cs
+            .dominances()
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| (a, b, ConstraintRef::Dominance(i)))
+            .collect();
+        let mut all = explicit.clone();
+        for (i, (parent, children)) in cs.disjunctives().enumerate() {
+            for &c in children {
+                all.push((parent, c, ConstraintRef::Disjunctive(i)));
+            }
+        }
+        let mut adj_all: Vec<Vec<(usize, ConstraintRef)>> = vec![Vec::new(); n];
+        for &(a, b, r) in &all {
+            adj_all[a].push((b, r));
+        }
+        for adj in &mut adj_all {
+            adj.sort();
+        }
+        let mut adj_explicit: Vec<Vec<(usize, ConstraintRef)>> = vec![Vec::new(); n];
+        for &(a, b, r) in &explicit {
+            adj_explicit[a].push((b, r));
+        }
+        let reach_explicit = reachability(n, &adj_explicit);
+        let reach_all = reachability(n, &adj_all);
+        DomGraphs {
+            n,
+            explicit,
+            all,
+            adj_all,
+            reach_explicit,
+            reach_all,
+        }
+    }
+
+    /// `true` if codes of `a` and `b` are forced equal by a dominance
+    /// cycle (`a ⇒ b` and `b ⇒ a` in the full graph).
+    pub(super) fn forced_equal(&self, a: usize, b: usize) -> bool {
+        self.reach_all[a].contains(b) && self.reach_all[b].contains(a)
+    }
+
+    /// The constraints along a shortest `from → to` path in the full
+    /// graph, skipping edges contributed by `exclude`. BFS with sorted
+    /// adjacency makes the path deterministic. `None` if unreachable.
+    fn path_refs_excluding(
+        &self,
+        from: usize,
+        to: usize,
+        exclude: Option<ConstraintRef>,
+    ) -> Option<Vec<ConstraintRef>> {
+        let mut parent: Vec<Option<(usize, ConstraintRef)>> = vec![None; self.n];
+        let mut seen = BitSet::new(self.n);
+        let mut queue = vec![from];
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            for &(v, r) in &self.adj_all[u] {
+                if Some(r) == exclude {
+                    continue;
+                }
+                if seen.insert(v) {
+                    parent[v] = Some((u, r));
+                    queue.push(v);
+                }
+            }
+        }
+        if !seen.contains(to) {
+            return None;
+        }
+        let mut refs = Vec::new();
+        let mut cur = to;
+        loop {
+            // Every discovered node's parent chain leads back to `from`,
+            // so the walk terminates; `seen.contains(to)` guarantees the
+            // chain exists.
+            #[allow(clippy::expect_used)]
+            let (p, r) = parent[cur].expect("BFS parent chain is rooted at `from`");
+            refs.push(r);
+            cur = p;
+            if cur == from {
+                break;
+            }
+        }
+        refs.reverse();
+        Some(refs)
+    }
+
+    /// Shortest-path constraints `from → to` in the full graph.
+    fn path_refs(&self, from: usize, to: usize) -> Vec<ConstraintRef> {
+        self.path_refs_excluding(from, to, None).unwrap_or_default()
+    }
+}
+
+/// `reach[a]` = symbols reachable from `a` via at least one edge.
+fn reachability(n: usize, adj: &[Vec<(usize, ConstraintRef)>]) -> Vec<BitSet> {
+    (0..n)
+        .map(|s| {
+            let mut seen = BitSet::new(n);
+            let mut queue = vec![s];
+            let mut head = 0;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                for &(v, _) in &adj[u] {
+                    if seen.insert(v) {
+                        queue.push(v);
+                    }
+                }
+            }
+            seen
+        })
+        .collect()
+}
+
+/// Strongly connected components of size ≥ 2 under a reachability
+/// closure, each sorted ascending, listed by smallest member. (There are
+/// no self-loops, so `reach[a][a]` already implies a non-trivial cycle.)
+fn components(n: usize, reach: &[BitSet]) -> Vec<Vec<usize>> {
+    let mut assigned = vec![false; n];
+    let mut out = Vec::new();
+    for a in 0..n {
+        if assigned[a] || !reach[a].contains(a) {
+            continue;
+        }
+        let mut comp = vec![a];
+        assigned[a] = true;
+        for b in (a + 1)..n {
+            if !assigned[b] && reach[a].contains(b) && reach[b].contains(a) {
+                comp.push(b);
+                assigned[b] = true;
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+fn dedup_preserving_order(refs: &mut Vec<ConstraintRef>) {
+    let mut seen = BTreeSet::new();
+    refs.retain(|r| seen.insert(*r));
+}
+
+/// Runs `E001`–`E007` in code order.
+pub(super) fn structural(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    cycles(cs, g, out);
+    face_squeeze(cs, g, out);
+    child_dominates_siblings(cs, g, out);
+    dist2_forced_equal(cs, g, out);
+    identical_disjunctions(cs, out);
+    nonface_contradicts_face(cs, out);
+}
+
+/// Runs `W001`–`W005` then `N001`–`N003` in code order.
+pub(super) fn quality(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    duplicate_faces(cs, out);
+    implied_faces(cs, out);
+    vacuous_faces(cs, out);
+    redundant_dominances(cs, g, out);
+    duplicate_others(cs, out);
+    unconstrained_symbols(cs, out);
+    intersecting_faces(cs, out);
+    no_output_constraints(cs, out);
+}
+
+/// `E001`/`E002` — dominance cycles. A cycle `a ⇒ … ⇒ a` forces
+/// `code(a) ⊇ … ⊇ code(a)`, i.e. every code on the cycle is equal,
+/// violating encoding uniqueness (the paper's standing requirement, and
+/// exactly what the uniqueness initial dichotomies refute). `E001` uses
+/// only explicit dominance edges; `E002` reports the cycles that need a
+/// disjunctive-implied edge `parent → child` (from `p = ⋁ cᵢ ⇒ p > cᵢ`).
+fn cycles(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    let explicit_comps = components(g.n, &g.reach_explicit);
+    for comp in &explicit_comps {
+        let set = BitSet::from_indices(g.n, comp.iter().copied());
+        let refs: Vec<ConstraintRef> = g
+            .explicit
+            .iter()
+            .filter(|&&(a, b, _)| set.contains(a) && set.contains(b))
+            .map(|&(_, _, r)| r)
+            .collect();
+        out.push(Diagnostic {
+            code: "E001",
+            severity: Severity::Error,
+            message: format!(
+                "dominance constraints form a cycle over {}: every code on the cycle is \
+                 forced equal, so two symbols would share a code",
+                cs.format_symbols(&set)
+            ),
+            constraints: refs,
+        });
+    }
+    for comp in components(g.n, &g.reach_all) {
+        if explicit_comps.contains(&comp) {
+            continue;
+        }
+        let set = BitSet::from_indices(g.n, comp.iter().copied());
+        let refs: BTreeSet<ConstraintRef> = g
+            .all
+            .iter()
+            .filter(|&&(a, b, _)| set.contains(a) && set.contains(b))
+            .map(|&(_, _, r)| r)
+            .collect();
+        out.push(Diagnostic {
+            code: "E002",
+            severity: Severity::Error,
+            message: format!(
+                "dominance and disjunctive constraints together form a cycle over {} \
+                 (a disjunction dominates each of its children): every code on the \
+                 cycle is forced equal",
+                cs.format_symbols(&set)
+            ),
+            constraints: refs.into_iter().collect(),
+        });
+    }
+}
+
+/// `E003` — face/dominance squeeze (Section 5). For a face constraint
+/// with members `M` and an outside symbol `s ∉ M ∪ dc` with `a ⇒ s` and
+/// `s ⇒ b` for some `a, b ∈ M`: the initial dichotomy `(M; s)` cannot be
+/// covered by any valid dichotomy — orienting `s` to the one-side
+/// violates `a ≥ s` (`a` is on the zero-side), orienting `M` to the
+/// one-side violates `s ≥ b` — so Theorem 6.1 refutes the set.
+fn face_squeeze(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    for (fi, f) in cs.faces().iter().enumerate() {
+        let on_face = f.members.union(&f.dont_cares);
+        for s in 0..g.n {
+            if on_face.contains(s) {
+                continue;
+            }
+            let above = f.members.iter().find(|&a| g.reach_all[a].contains(s));
+            let below = f.members.iter().find(|&b| g.reach_all[s].contains(b));
+            if let (Some(a), Some(b)) = (above, below) {
+                let fref = ConstraintRef::Face(fi);
+                let mut refs = vec![fref];
+                refs.extend(g.path_refs(a, s));
+                refs.extend(g.path_refs(s, b));
+                dedup_preserving_order(&mut refs);
+                out.push(Diagnostic {
+                    code: "E003",
+                    severity: Severity::Error,
+                    message: format!(
+                        "symbol '{}' lies outside face {} but dominance squeezes it onto \
+                         the face ('{}' dominates it and it dominates '{}'): no valid \
+                         encoding-dichotomy separates it from the face members",
+                        cs.name(s),
+                        cs.describe(fref),
+                        cs.name(a),
+                        cs.name(b)
+                    ),
+                    constraints: refs,
+                });
+            }
+        }
+    }
+}
+
+/// `E004` — one child of a disjunction dominates every sibling. Then
+/// `code(parent) = ⋁ code(cᵢ) = code(c)` for that child `c`, so parent
+/// and child share a code, violating uniqueness.
+fn child_dominates_siblings(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    for (di, (parent, children)) in cs.disjunctives().enumerate() {
+        for &ci in children {
+            // A child in a dominance cycle with its parent is already
+            // reported by E001/E002 (and would make every child here
+            // trivially dominant); don't restate the cycle.
+            if g.forced_equal(ci, parent) {
+                continue;
+            }
+            if children
+                .iter()
+                .all(|&cj| cj == ci || g.reach_all[ci].contains(cj))
+            {
+                let dref = ConstraintRef::Disjunctive(di);
+                let mut refs = vec![dref];
+                for &cj in children {
+                    if cj != ci {
+                        refs.extend(g.path_refs(ci, cj));
+                    }
+                }
+                dedup_preserving_order(&mut refs);
+                out.push(Diagnostic {
+                    code: "E004",
+                    severity: Severity::Error,
+                    message: format!(
+                        "child '{}' of '{}' dominates every other child, so \
+                         code({}) = code({}): two symbols would share a code",
+                        cs.name(ci),
+                        cs.describe(dref),
+                        cs.name(parent),
+                        cs.name(ci)
+                    ),
+                    constraints: refs,
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// `E005` — a distance-2 pair whose codes are forced equal, either by a
+/// dominance cycle or by two disjunctions with identical children (then
+/// both parents equal `⋁ code(cᵢ)`). Equal codes have Hamming distance 0.
+fn dist2_forced_equal(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    let normalized = normalized_disjunctions(cs);
+    for (k, &(a, b)) in cs.distance2_pairs().iter().enumerate() {
+        let dref = ConstraintRef::Distance2(k);
+        if g.forced_equal(a, b) {
+            let mut refs = vec![dref];
+            refs.extend(g.path_refs(a, b));
+            refs.extend(g.path_refs(b, a));
+            dedup_preserving_order(&mut refs);
+            out.push(Diagnostic {
+                code: "E005",
+                severity: Severity::Error,
+                message: format!(
+                    "'{}' requires the codes of '{}' and '{}' to differ in at least two \
+                     bits, but a dominance cycle forces them equal",
+                    cs.describe(dref),
+                    cs.name(a),
+                    cs.name(b)
+                ),
+                constraints: refs,
+            });
+        } else if let Some((i, j)) = identical_disjunction_pair(&normalized, a, b) {
+            out.push(Diagnostic {
+                code: "E005",
+                severity: Severity::Error,
+                message: format!(
+                    "'{}' requires the codes of '{}' and '{}' to differ in at least two \
+                     bits, but '{}' and '{}' have identical children, forcing the codes \
+                     equal",
+                    cs.describe(dref),
+                    cs.name(a),
+                    cs.name(b),
+                    cs.describe(ConstraintRef::Disjunctive(i)),
+                    cs.describe(ConstraintRef::Disjunctive(j))
+                ),
+                constraints: vec![
+                    dref,
+                    ConstraintRef::Disjunctive(i),
+                    ConstraintRef::Disjunctive(j),
+                ],
+            });
+        }
+    }
+}
+
+/// `(parent, sorted deduplicated children)` per disjunction.
+fn normalized_disjunctions(cs: &ConstraintSet) -> Vec<(usize, Vec<usize>)> {
+    cs.disjunctives()
+        .map(|(p, children)| {
+            let mut c = children.to_vec();
+            c.sort_unstable();
+            c.dedup();
+            (p, c)
+        })
+        .collect()
+}
+
+/// The first disjunction pair with identical children whose parents are
+/// exactly `{a, b}`.
+fn identical_disjunction_pair(
+    normalized: &[(usize, Vec<usize>)],
+    a: usize,
+    b: usize,
+) -> Option<(usize, usize)> {
+    for (i, (pi, ci)) in normalized.iter().enumerate() {
+        for (j, (pj, cj)) in normalized.iter().enumerate().skip(i + 1) {
+            if ci == cj && ((*pi, *pj) == (a, b) || (*pi, *pj) == (b, a)) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// `E006` — two disjunctions with distinct parents but identical
+/// children: both parents equal `⋁ code(cᵢ)`, sharing a code. (Theorem
+/// 6.1 sees this too: neither orientation of the uniqueness dichotomy
+/// separating the parents can be raised valid.)
+fn identical_disjunctions(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let normalized = normalized_disjunctions(cs);
+    for (i, (pi, ci)) in normalized.iter().enumerate() {
+        for (j, (pj, cj)) in normalized.iter().enumerate().skip(i + 1) {
+            if ci == cj && pi != pj {
+                out.push(Diagnostic {
+                    code: "E006",
+                    severity: Severity::Error,
+                    message: format!(
+                        "'{}' and '{}' have identical children, so \
+                         code({}) = code({}): two symbols would share a code",
+                        cs.describe(ConstraintRef::Disjunctive(i)),
+                        cs.describe(ConstraintRef::Disjunctive(j)),
+                        cs.name(*pi),
+                        cs.name(*pj)
+                    ),
+                    constraints: vec![ConstraintRef::Disjunctive(i), ConstraintRef::Disjunctive(j)],
+                });
+            }
+        }
+    }
+}
+
+/// `E007` — a non-face constraint over exactly the members of a face
+/// constraint with no don't cares: the face must simultaneously contain
+/// an extra symbol (non-face, Section 8.3) and none (face).
+fn nonface_contradicts_face(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    for (ni, nf) in cs.nonfaces().iter().enumerate() {
+        for (fi, f) in cs.faces().iter().enumerate() {
+            if *nf == f.members && f.dont_cares.is_empty() {
+                let nref = ConstraintRef::NonFace(ni);
+                let fref = ConstraintRef::Face(fi);
+                out.push(Diagnostic {
+                    code: "E007",
+                    severity: Severity::Error,
+                    message: format!(
+                        "non-face constraint '{}' contradicts face constraint '{}': the \
+                         face spanned by {} must both contain some other symbol and \
+                         contain no other symbol",
+                        cs.describe(nref),
+                        cs.describe(fref),
+                        cs.format_symbols(nf)
+                    ),
+                    constraints: vec![nref, fref],
+                });
+            }
+        }
+    }
+}
+
+/// `W001` — a face constraint repeating an earlier one exactly.
+fn duplicate_faces(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let faces = cs.faces();
+    for (j, fj) in faces.iter().enumerate() {
+        if let Some(i) = faces[..j].iter().position(|fi| fi == fj) {
+            out.push(Diagnostic {
+                code: "W001",
+                severity: Severity::Warning,
+                message: format!(
+                    "face constraint '{}' duplicates an earlier face constraint",
+                    cs.describe(ConstraintRef::Face(j))
+                ),
+                constraints: vec![ConstraintRef::Face(j), ConstraintRef::Face(i)],
+            });
+        }
+    }
+}
+
+/// `W002` — a face constraint implied by another: `F = (M_F, D_F)` is
+/// implied by `G = (M_G, D_G)` when `M_F ⊆ M_G`, `M_G ∖ M_F ⊆ D_F` and
+/// `D_G ⊆ M_F ∪ D_F` — then `face(M_F) ⊆ face(M_G)`, so every symbol `G`
+/// lets onto the smaller face is one `F` permits anyway.
+fn implied_faces(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let faces = cs.faces();
+    for (i, f) in faces.iter().enumerate() {
+        let permitted = f.members.union(&f.dont_cares);
+        let witness = faces.iter().enumerate().find(|&(j, g)| {
+            j != i
+                && g != f
+                && f.members.is_subset(&g.members)
+                && g.members.difference(&f.members).is_subset(&f.dont_cares)
+                && g.dont_cares.is_subset(&permitted)
+        });
+        if let Some((j, _)) = witness {
+            out.push(Diagnostic {
+                code: "W002",
+                severity: Severity::Warning,
+                message: format!(
+                    "face constraint '{}' is implied by '{}' and can be dropped",
+                    cs.describe(ConstraintRef::Face(i)),
+                    cs.describe(ConstraintRef::Face(j))
+                ),
+                constraints: vec![ConstraintRef::Face(i), ConstraintRef::Face(j)],
+            });
+        }
+    }
+}
+
+/// `W003` — a face whose members and don't cares cover every symbol
+/// constrains nothing (any outsider-free face works; it generates no
+/// initial dichotomy).
+fn vacuous_faces(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    for (i, f) in cs.faces().iter().enumerate() {
+        if f.members.union(&f.dont_cares).count() == cs.num_symbols() {
+            out.push(Diagnostic {
+                code: "W003",
+                severity: Severity::Warning,
+                message: format!(
+                    "face constraint '{}' spans every symbol and constrains nothing",
+                    cs.describe(ConstraintRef::Face(i))
+                ),
+                constraints: vec![ConstraintRef::Face(i)],
+            });
+        }
+    }
+}
+
+/// `W004` — a dominance constraint that is a duplicate, implied by a
+/// disjunction (`p = ⋁ cᵢ ⇒ p > cᵢ`), or implied transitively by the
+/// remaining dominance edges.
+fn redundant_dominances(cs: &ConstraintSet, g: &DomGraphs, out: &mut Vec<Diagnostic>) {
+    let doms = cs.dominances();
+    for (k, &(a, b)) in doms.iter().enumerate() {
+        let kref = ConstraintRef::Dominance(k);
+        if let Some(k2) = doms[..k].iter().position(|&d| d == (a, b)) {
+            out.push(Diagnostic {
+                code: "W004",
+                severity: Severity::Warning,
+                message: format!(
+                    "dominance constraint '{}' duplicates an earlier dominance constraint",
+                    cs.describe(kref)
+                ),
+                constraints: vec![kref, ConstraintRef::Dominance(k2)],
+            });
+            continue;
+        }
+        if let Some(di) = cs
+            .disjunctives()
+            .position(|(p, children)| p == a && children.contains(&b))
+        {
+            out.push(Diagnostic {
+                code: "W004",
+                severity: Severity::Warning,
+                message: format!(
+                    "dominance constraint '{}' is implied by disjunctive constraint '{}'",
+                    cs.describe(kref),
+                    cs.describe(ConstraintRef::Disjunctive(di))
+                ),
+                constraints: vec![kref, ConstraintRef::Disjunctive(di)],
+            });
+            continue;
+        }
+        if let Some(path) = g.path_refs_excluding(a, b, Some(kref)) {
+            let mut refs = vec![kref];
+            refs.extend(path);
+            dedup_preserving_order(&mut refs);
+            out.push(Diagnostic {
+                code: "W004",
+                severity: Severity::Warning,
+                message: format!(
+                    "dominance constraint '{}' is implied transitively by the other \
+                     dominance constraints",
+                    cs.describe(kref)
+                ),
+                constraints: refs,
+            });
+        }
+    }
+}
+
+/// `W005` — exact duplicates among disjunctive, extended, distance-2 and
+/// non-face constraints (order-insensitive where the constraint is).
+fn duplicate_others(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let dup = |refs: Vec<(ConstraintRef, ConstraintRef)>, out: &mut Vec<Diagnostic>| {
+        for (later, earlier) in refs {
+            out.push(Diagnostic {
+                code: "W005",
+                severity: Severity::Warning,
+                message: format!(
+                    "{} constraint '{}' duplicates an earlier {} constraint",
+                    later.kind(),
+                    cs.describe(later),
+                    earlier.kind()
+                ),
+                constraints: vec![later, earlier],
+            });
+        }
+    };
+    let normalized = normalized_disjunctions(cs);
+    let mut pairs = Vec::new();
+    for (j, dj) in normalized.iter().enumerate() {
+        if let Some(i) = normalized[..j].iter().position(|di| di == dj) {
+            pairs.push((ConstraintRef::Disjunctive(j), ConstraintRef::Disjunctive(i)));
+        }
+    }
+    dup(pairs, out);
+    let exts: Vec<(usize, Vec<Vec<usize>>)> = cs
+        .extended_disjunctives()
+        .map(|(p, conj)| {
+            let mut c: Vec<Vec<usize>> = conj
+                .iter()
+                .map(|term| {
+                    let mut t = term.clone();
+                    t.sort_unstable();
+                    t.dedup();
+                    t
+                })
+                .collect();
+            c.sort();
+            c.dedup();
+            (p, c)
+        })
+        .collect();
+    let mut pairs = Vec::new();
+    for (j, ej) in exts.iter().enumerate() {
+        if let Some(i) = exts[..j].iter().position(|ei| ei == ej) {
+            pairs.push((ConstraintRef::Extended(j), ConstraintRef::Extended(i)));
+        }
+    }
+    dup(pairs, out);
+    let d2: Vec<(usize, usize)> = cs
+        .distance2_pairs()
+        .iter()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .collect();
+    let mut pairs = Vec::new();
+    for (j, dj) in d2.iter().enumerate() {
+        if let Some(i) = d2[..j].iter().position(|di| di == dj) {
+            pairs.push((ConstraintRef::Distance2(j), ConstraintRef::Distance2(i)));
+        }
+    }
+    dup(pairs, out);
+    let nfs = cs.nonfaces();
+    let mut pairs = Vec::new();
+    for (j, nj) in nfs.iter().enumerate() {
+        if let Some(i) = nfs[..j].iter().position(|ni| ni == nj) {
+            pairs.push((ConstraintRef::NonFace(j), ConstraintRef::NonFace(i)));
+        }
+    }
+    dup(pairs, out);
+}
+
+/// `N001` — a symbol no constraint mentions: it only receives a distinct
+/// code (often a typo in hand-written files).
+fn unconstrained_symbols(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let n = cs.num_symbols();
+    let mut referenced = BitSet::new(n);
+    for f in cs.faces() {
+        referenced.union_with(&f.members);
+        referenced.union_with(&f.dont_cares);
+    }
+    for &(a, b) in cs.dominances().iter().chain(cs.distance2_pairs()) {
+        referenced.insert(a);
+        referenced.insert(b);
+    }
+    for (p, children) in cs.disjunctives() {
+        referenced.insert(p);
+        for &c in children {
+            referenced.insert(c);
+        }
+    }
+    for (p, conjunctions) in cs.extended_disjunctives() {
+        referenced.insert(p);
+        for term in conjunctions {
+            for &s in term {
+                referenced.insert(s);
+            }
+        }
+    }
+    for nf in cs.nonfaces() {
+        referenced.union_with(nf);
+    }
+    for s in 0..n {
+        if !referenced.contains(s) {
+            out.push(Diagnostic {
+                code: "N001",
+                severity: Severity::Note,
+                message: format!(
+                    "symbol '{}' appears in no constraint; it only receives a distinct code",
+                    cs.name(s)
+                ),
+                constraints: vec![],
+            });
+        }
+    }
+}
+
+/// `N002` — two distinct faces sharing two or more members: Section 5
+/// requires their intersection to span a face itself, which couples the
+/// constraints during encoding.
+fn intersecting_faces(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    let faces = cs.faces();
+    for (i, fi) in faces.iter().enumerate() {
+        for (j, fj) in faces.iter().enumerate().skip(i + 1) {
+            if fi == fj {
+                continue; // W001 reports exact duplicates
+            }
+            let shared = fi.members.intersection(&fj.members);
+            if shared.count() >= 2 {
+                out.push(Diagnostic {
+                    code: "N002",
+                    severity: Severity::Note,
+                    message: format!(
+                        "faces '{}' and '{}' share {}: their intersection must itself \
+                         span a face (Section 5)",
+                        cs.describe(ConstraintRef::Face(i)),
+                        cs.describe(ConstraintRef::Face(j)),
+                        cs.format_symbols(&shared)
+                    ),
+                    constraints: vec![ConstraintRef::Face(i), ConstraintRef::Face(j)],
+                });
+            }
+        }
+    }
+}
+
+/// `N003` — no output constraints: every dichotomy's orientation is then
+/// symmetric and the solver halves the search space (footnote 4).
+fn no_output_constraints(cs: &ConstraintSet, out: &mut Vec<Diagnostic>) {
+    if !cs.is_empty() && !cs.has_output_constraints() {
+        out.push(Diagnostic {
+            code: "N003",
+            severity: Severity::Note,
+            message: "no output constraints: encoding-dichotomy orientations are \
+                      symmetric and the solver breaks the symmetry (footnote 4)"
+                .to_string(),
+            constraints: vec![],
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! Deterministic minimal-conflict-core extraction (diagnostic `E008`).
+//!
+//! When every structural check passes but [`check_feasible`] still refutes
+//! the set, the infeasibility is a *global* interaction of constraints.
+//! This module shrinks the set to a minimal infeasible subset by
+//! deletion: walk the constraints in canonical order and drop each one
+//! whose removal keeps the subset infeasible. Infeasibility is monotone
+//! (a superset of an infeasible set is infeasible), so a full deletion
+//! pass yields a minimal core — which we nevertheless *verify* by
+//! re-checking feasibility of every core-minus-one subset, per the
+//! acceptance contract.
+//!
+//! Distance-2 and non-face constraints are outside the Theorem-6.1 oracle
+//! (they are handled downstream by binate covering), so they are never
+//! part of an oracle core and are excluded from the candidate list.
+//!
+//! The search honours the [`Budget`]: the deadline/cancel token is
+//! checked between oracle calls, and `max_evals` caps the number of
+//! oracle calls deterministically. An interrupted search returns the
+//! still-infeasible partial core with `verified_minimal: false`.
+
+use super::{ConflictCore, Diagnostic, Severity};
+use crate::budget::Budget;
+use crate::constraints::{ConstraintRef, ConstraintSet};
+use crate::feasible::{check_feasible, Feasibility};
+
+/// One feasibility-oracle probe of a subset, bookkeeping the call count.
+fn subset_infeasible(cs: &ConstraintSet, keep: &[ConstraintRef], calls: &mut u64) -> bool {
+    *calls += 1;
+    !check_feasible(&cs.subset(keep)).is_feasible()
+}
+
+/// Shrinks the (oracle-infeasible) `cs` to a minimal conflict core and
+/// renders it as the `E008` diagnostic. `feas` is the already-computed
+/// oracle verdict for the full set, reused for the uncovered-dichotomy
+/// count in the message.
+pub(super) fn minimal_core(
+    cs: &ConstraintSet,
+    feas: &Feasibility,
+    budget: &Budget,
+) -> (ConflictCore, Diagnostic) {
+    let scope = budget.scope();
+    let max_calls = budget.max_evals;
+    let mut calls: u64 = 0;
+    let mut interrupted = false;
+    let over_budget = |calls: u64| max_calls.is_some_and(|m| calls >= m);
+
+    // The oracle ignores distance-2 and non-face constraints entirely.
+    let candidates: Vec<ConstraintRef> = cs
+        .constraint_refs()
+        .into_iter()
+        .filter(|r| !matches!(r, ConstraintRef::Distance2(_) | ConstraintRef::NonFace(_)))
+        .collect();
+
+    let mut core = candidates.clone();
+    for r in &candidates {
+        if scope.interrupted() || over_budget(calls) {
+            interrupted = true;
+            break;
+        }
+        let trial: Vec<ConstraintRef> = core.iter().copied().filter(|k| k != r).collect();
+        if subset_infeasible(cs, &trial, &mut calls) {
+            core = trial;
+        }
+    }
+
+    // Verify minimality: the core itself must be infeasible and every
+    // core-minus-one subset feasible. Skipped (and reported false) when
+    // the shrink pass was interrupted.
+    let mut verified = !interrupted;
+    if verified {
+        verified = subset_infeasible(cs, &core, &mut calls);
+        for r in &core {
+            if !verified {
+                break;
+            }
+            if scope.interrupted() || over_budget(calls) {
+                verified = false;
+                break;
+            }
+            let minus_one: Vec<ConstraintRef> = core.iter().copied().filter(|k| k != r).collect();
+            if subset_infeasible(cs, &minus_one, &mut calls) {
+                verified = false;
+            }
+        }
+    }
+
+    let message = format!(
+        "constraints are jointly unsatisfiable (Theorem 6.1): {} initial \
+         encoding-dichotom{} left uncoverable; {} conflict core of {} constraint{}{}",
+        feas.uncovered.len(),
+        if feas.uncovered.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        if verified {
+            "minimal"
+        } else {
+            "partial (budget interrupted)"
+        },
+        core.len(),
+        if core.len() == 1 { "" } else { "s" },
+        if verified {
+            " — removing any one of them makes the set feasible"
+        } else {
+            ""
+        },
+    );
+    let diagnostic = Diagnostic {
+        code: "E008",
+        severity: Severity::Error,
+        message,
+        constraints: core.clone(),
+    };
+    (
+        ConflictCore {
+            constraints: core,
+            verified_minimal: verified,
+            oracle_calls: calls,
+        },
+        diagnostic,
+    )
+}

@@ -1,0 +1,229 @@
+//! Static analysis of a [`ConstraintSet`] before encoding.
+//!
+//! [`lint`] runs the polynomial structural tests that Section 5 and
+//! Theorem 6.1 of the paper make available — dominance-cycle detection,
+//! face/dominance interaction, disjunctive contradictions — plus quality
+//! lints, and reports them as [`Diagnostic`]s with stable codes:
+//!
+//! * `E0xx` — the set is **provably infeasible**; the message explains why
+//!   and the attached [`ConstraintRef`]s point at the offending
+//!   constraints (with source [`Span`](crate::Span)s when the set came
+//!   from [`ConstraintSet::parse`]).
+//! * `W0xx` — redundant or suspicious constraints (duplicates, subsumed
+//!   faces, implied dominances).
+//! * `N0xx` — informational notes.
+//!
+//! When every structural check passes but the Theorem-6.1 oracle still
+//! says infeasible, [`lint`] shrinks the set to a deterministic **minimal
+//! conflict core** (diagnostic `E008`): an infeasible subset whose every
+//! proper subset is feasible, found by deletion-based shrinking against
+//! [`check_feasible`] and verified minimal by
+//! re-checking every core-minus-one subset. The search honours the
+//! [`Budget`] in [`LintOptions`]; an interrupted search still reports a
+//! sound (infeasible) core, flagged as unverified.
+//!
+//! The full diagnostic registry lives in DESIGN.md §6d.
+
+mod checks;
+mod conflict;
+mod render;
+
+use crate::budget::Budget;
+use crate::constraints::{ConstraintRef, ConstraintSet};
+use crate::feasible::{check_feasible, Feasibility};
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The constraint set is provably infeasible (`E0xx`).
+    Error,
+    /// Redundant or suspicious, but satisfiable (`W0xx`).
+    Warning,
+    /// Informational (`N0xx`).
+    Note,
+}
+
+impl Severity {
+    /// The lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One lint finding: a stable code, a severity, a human-readable message
+/// and the constraints involved (first the offending constraint, then any
+/// supporting evidence such as the dominance path that closes a cycle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable diagnostic code (`E001`…, `W001`…, `N001`…).
+    pub code: &'static str,
+    /// Error, warning or note.
+    pub severity: Severity,
+    /// Human-readable explanation using symbol names.
+    pub message: String,
+    /// The constraints involved, in evidence order.
+    pub constraints: Vec<ConstraintRef>,
+}
+
+/// A minimal infeasible subset of the constraint set (diagnostic `E008`).
+///
+/// The core is *sound*: the subset is infeasible under Theorem 6.1. It is
+/// *minimal* when `verified_minimal` is true: every core-minus-one subset
+/// was re-checked and found feasible. A budget interrupt during shrinking
+/// leaves a sound but possibly non-minimal core with the flag false.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictCore {
+    /// The core's constraints, in canonical [`ConstraintSet`] order.
+    pub constraints: Vec<ConstraintRef>,
+    /// Whether minimality was verified by re-checking every
+    /// core-minus-one subset.
+    pub verified_minimal: bool,
+    /// Feasibility-oracle invocations spent shrinking and verifying.
+    pub oracle_calls: u64,
+}
+
+/// Options for [`lint`].
+///
+/// `#[non_exhaustive]`: construct with [`LintOptions::new`] (or
+/// `default()`) and the `with_*` builders.
+#[derive(Debug, Clone, Default)]
+#[non_exhaustive]
+pub struct LintOptions {
+    /// Budget for the conflict-core search (deadline, cancel token and
+    /// `max_evals` as a cap on feasibility-oracle calls). The structural
+    /// checks are polynomial and always run to completion.
+    pub budget: Budget,
+}
+
+impl LintOptions {
+    /// Default options: unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the conflict-core search budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+/// The result of [`lint`]: the oracle verdict plus all diagnostics in
+/// deterministic order (errors by code, then warnings, then notes; within
+/// a code, by constraint index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// The Theorem-6.1 oracle verdict for the full set. Note `E005`/`E007`
+    /// describe contradictions the oracle does not model (distance-2,
+    /// non-face), so a report can be infeasible overall — [`has_errors`]
+    /// — while `feasible` is true.
+    ///
+    /// [`has_errors`]: LintReport::has_errors
+    pub feasible: bool,
+    /// All findings, deterministically ordered.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The minimal conflict core backing `E008`, when one was computed.
+    pub core: Option<ConflictCore>,
+}
+
+impl LintReport {
+    /// Number of `E0xx` diagnostics.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `W0xx` diagnostics.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of `N0xx` diagnostics.
+    pub fn notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// `true` if any error-severity diagnostic was reported.
+    pub fn has_errors(&self) -> bool {
+        self.errors() > 0
+    }
+
+    /// `true` if the set is usable: oracle-feasible and no `E0xx` found.
+    pub fn is_clean(&self) -> bool {
+        self.feasible && !self.has_errors()
+    }
+
+    /// Renders the report as human-readable text. `origin` names the input
+    /// in span lines (defaults to `<input>`); `cs` must be the set the
+    /// report was produced from. The output is deterministic and
+    /// independent of thread count.
+    pub fn render(&self, cs: &ConstraintSet, origin: Option<&str>) -> String {
+        render::render_text(self, cs, origin.unwrap_or("<input>"))
+    }
+
+    /// Renders the report as pretty-printed JSON (stable key order, same
+    /// determinism guarantee as [`render`](LintReport::render)).
+    pub fn render_json(&self, cs: &ConstraintSet, origin: Option<&str>) -> String {
+        render::render_json(self, cs, origin.unwrap_or("<input>"))
+    }
+}
+
+/// Lints `cs`: runs every structural check, consults the Theorem-6.1
+/// oracle, and — when the oracle refutes a structurally clean set —
+/// computes a minimal conflict core (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use ioenc_core::lint::{lint, LintOptions};
+/// use ioenc_core::ConstraintSet;
+///
+/// let cs = ConstraintSet::parse(&["a", "b"], "a>b\nb>a")?;
+/// let report = lint(&cs, &LintOptions::new());
+/// assert!(!report.is_clean());
+/// assert_eq!(report.diagnostics[0].code, "E001");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lint(cs: &ConstraintSet, opts: &LintOptions) -> LintReport {
+    let feas = check_feasible(cs);
+    lint_with_feasibility(cs, opts, &feas)
+}
+
+/// Like [`lint`] but reuses an already-computed oracle verdict (the
+/// encoders attach lint explanations to `EncodeError::Infeasible` without
+/// re-running the raising pass they just did).
+pub(crate) fn lint_with_feasibility(
+    cs: &ConstraintSet,
+    opts: &LintOptions,
+    feas: &Feasibility,
+) -> LintReport {
+    let graphs = checks::DomGraphs::build(cs);
+    let mut diagnostics = Vec::new();
+    checks::structural(cs, &graphs, &mut diagnostics);
+    let feasible = feas.is_feasible();
+    let mut core = None;
+    if !feasible && !diagnostics.iter().any(|d| d.severity == Severity::Error) {
+        let (c, diag) = conflict::minimal_core(cs, feas, &opts.budget);
+        diagnostics.push(diag);
+        core = Some(c);
+    }
+    checks::quality(cs, &graphs, &mut diagnostics);
+    LintReport {
+        feasible,
+        diagnostics,
+        core,
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,152 @@
+//! Deterministic text and JSON rendering of a [`LintReport`].
+//!
+//! Both renderers are pure functions of the report and the constraint
+//! set — no timing, thread-count or map-iteration dependence — so the CLI
+//! can promise byte-identical output across `--threads` settings.
+
+use super::LintReport;
+use crate::constraints::{ConstraintRef, ConstraintSet};
+use std::fmt::Write as _;
+
+/// One `  --> origin:line:col: constraint` evidence line (span-less
+/// constraints, e.g. builder-made ones, omit the location).
+fn evidence_line(cs: &ConstraintSet, origin: &str, r: ConstraintRef) -> String {
+    match cs.span_of(r) {
+        Some(span) => format!("  --> {origin}:{span}: {}", cs.describe(r)),
+        None => format!("  --> {origin}: {}", cs.describe(r)),
+    }
+}
+
+fn plural(count: usize, noun: &str) -> String {
+    format!("{count} {noun}{}", if count == 1 { "" } else { "s" })
+}
+
+pub(super) fn render_text(report: &LintReport, cs: &ConstraintSet, origin: &str) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.code, d.message);
+        for &r in &d.constraints {
+            let _ = writeln!(out, "{}", evidence_line(cs, origin, r));
+        }
+    }
+    let verdict = if report.has_errors() || !report.feasible {
+        "INFEASIBLE"
+    } else {
+        "OK"
+    };
+    let _ = writeln!(
+        out,
+        "lint: {}, {}, {} — {verdict}",
+        plural(report.errors(), "error"),
+        plural(report.warnings(), "warning"),
+        plural(report.notes(), "note"),
+    );
+    out
+}
+
+/// Escapes a string for a JSON literal (the only non-trivial characters
+/// our messages produce are quotes and backslashes, but control
+/// characters are handled for safety).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A constraint reference as a JSON object (one line; nested inside
+/// diagnostics and the conflict core).
+fn constraint_json(cs: &ConstraintSet, r: ConstraintRef, indent: &str) -> String {
+    let mut obj = format!(
+        "{indent}{{\"kind\": \"{}\", \"index\": {}, \"text\": \"{}\"",
+        r.kind(),
+        r.index(),
+        json_escape(&cs.describe(r))
+    );
+    if let Some(span) = cs.span_of(r) {
+        let _ = write!(
+            obj,
+            ", \"span\": {{\"line\": {}, \"col\": {}, \"len\": {}}}",
+            span.line, span.col, span.len
+        );
+    }
+    obj.push('}');
+    obj
+}
+
+fn constraint_list(cs: &ConstraintSet, refs: &[ConstraintRef], indent: &str) -> String {
+    if refs.is_empty() {
+        return "[]".to_string();
+    }
+    let inner: Vec<String> = refs
+        .iter()
+        .map(|&r| constraint_json(cs, r, &format!("{indent}  ")))
+        .collect();
+    format!("[\n{}\n{indent}]", inner.join(",\n"))
+}
+
+pub(super) fn render_json(report: &LintReport, cs: &ConstraintSet, origin: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"origin\": \"{}\",", json_escape(origin));
+    let _ = writeln!(out, "  \"feasible\": {},", report.feasible);
+    let _ = writeln!(
+        out,
+        "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"notes\": {}}},",
+        report.errors(),
+        report.warnings(),
+        report.notes()
+    );
+    if report.diagnostics.is_empty() {
+        out.push_str("  \"diagnostics\": [],\n");
+    } else {
+        out.push_str("  \"diagnostics\": [\n");
+        let rendered: Vec<String> = report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let mut obj = String::new();
+                obj.push_str("    {\n");
+                let _ = writeln!(obj, "      \"code\": \"{}\",", d.code);
+                let _ = writeln!(obj, "      \"severity\": \"{}\",", d.severity.label());
+                let _ = writeln!(obj, "      \"message\": \"{}\",", json_escape(&d.message));
+                let _ = writeln!(
+                    obj,
+                    "      \"constraints\": {}",
+                    constraint_list(cs, &d.constraints, "      ")
+                );
+                obj.push_str("    }");
+                obj
+            })
+            .collect();
+        out.push_str(&rendered.join(",\n"));
+        out.push_str("\n  ],\n");
+    }
+    match &report.core {
+        Some(core) => {
+            out.push_str("  \"conflict_core\": {\n");
+            let _ = writeln!(out, "    \"verified_minimal\": {},", core.verified_minimal);
+            let _ = writeln!(out, "    \"oracle_calls\": {},", core.oracle_calls);
+            let _ = writeln!(
+                out,
+                "    \"constraints\": {}",
+                constraint_list(cs, &core.constraints, "    ")
+            );
+            out.push_str("  }\n");
+        }
+        None => out.push_str("  \"conflict_core\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}

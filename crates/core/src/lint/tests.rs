@@ -1,0 +1,333 @@
+//! Unit tests for the lint subsystem: one positive case per diagnostic
+//! code, clean-set silence, conflict-core minimality against the oracle,
+//! and rendering determinism. The CLI golden tests cover exact output.
+
+use super::{lint, LintOptions, Severity};
+use crate::budget::Budget;
+use crate::constraints::ConstraintSet;
+use crate::feasible::check_feasible;
+use ioenc_cover::CancelToken;
+
+fn parse(symbols: &[&str], text: &str) -> ConstraintSet {
+    match ConstraintSet::parse(symbols, text) {
+        Ok(cs) => cs,
+        Err(e) => panic!("fixture parses: {e}"),
+    }
+}
+
+fn codes(report: &super::LintReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+/// The section-1 running example is clean: no diagnostics at all besides
+/// the W004s its redundant dominances genuinely carry.
+#[test]
+fn clean_set_reports_nothing() {
+    let cs = parse(&["a", "b", "c"], "(a,b)\nb>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert!(report.is_clean());
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    assert!(report.core.is_none());
+}
+
+#[test]
+fn e001_explicit_dominance_cycle() {
+    let cs = parse(&["a", "b", "c", "d"], "a>b\nb>a\n(c,d)");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E001"]);
+    assert_eq!(report.diagnostics[0].constraints.len(), 2);
+    assert!(!report.feasible);
+    // Structural error found: no conflict core is computed.
+    assert!(report.core.is_none());
+}
+
+#[test]
+fn e002_cycle_through_disjunctive_edge() {
+    // b > a and a = b|c: a > b implied, closing the cycle {a, b}.
+    let cs = parse(&["a", "b", "c"], "b>a\na=b|c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E002"]);
+    assert!(!report.feasible);
+}
+
+#[test]
+fn e003_face_dominance_squeeze() {
+    // c outside face (a,b); a > c > b squeezes it on.
+    let cs = parse(&["a", "b", "c"], "(a,b)\na>c\nc>b");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E003"]);
+    let d = &report.diagnostics[0];
+    assert!(d.message.contains("'c'"), "{}", d.message);
+    // Face plus the two dominance-path edges.
+    assert_eq!(d.constraints.len(), 3);
+    assert!(!report.feasible, "squeeze must agree with the oracle");
+}
+
+#[test]
+fn e003_respects_dont_cares() {
+    // Same squeeze but c is an encoding don't care of the face: fine.
+    let cs = parse(&["a", "b", "c"], "(a,b,[c])\na>c\nc>b");
+    let report = lint(&cs, &LintOptions::new());
+    assert!(report.is_clean(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn e004_child_dominates_siblings() {
+    let cs = parse(&["a", "b", "c"], "a=b|c\nb>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E004"]);
+    assert!(!report.feasible, "E004 must agree with the oracle");
+}
+
+#[test]
+fn e005_dist2_on_cycle_forced_equal_pair() {
+    let cs = parse(&["a", "b"], "a>b\nb>a\ndist2(a,b)");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E001", "E005"]);
+}
+
+#[test]
+fn e005_dist2_on_identical_disjunction_parents() {
+    let cs = parse(&["a", "b", "c", "d"], "a=c|d\nb=c|d\ndist2(a,b)");
+    let report = lint(&cs, &LintOptions::new());
+    // The identical disjunctions are E006 on their own; dist2 adds E005.
+    assert_eq!(codes(&report), ["E005", "E006"]);
+}
+
+#[test]
+fn e006_identical_disjunctions_distinct_parents() {
+    let cs = parse(&["a", "b", "c", "d"], "a=c|d\nb=d|c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E006"]);
+    assert!(!report.feasible, "E006 must agree with the oracle");
+}
+
+#[test]
+fn e007_nonface_contradicts_face() {
+    let cs = parse(&["a", "b", "c"], "(a,b)\n!(a,b)\nb>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E007"]);
+    // The oracle does not model non-face constraints; the lint does.
+    assert!(report.feasible);
+    assert!(report.has_errors());
+    assert!(!report.is_clean());
+}
+
+/// Figure 4 of the paper with its redundant dominances removed: clean
+/// under every structural check, yet infeasible — the E008 path.
+const FIG4_REDUCED: &str = "\
+(s1,s5)\n(s2,s5)\n(s4,s5)\ns0>s5\ns1>s3\ns2>s3\ns4>s5\ns5>s2\ns0=s1|s2";
+
+fn fig4_reduced() -> ConstraintSet {
+    parse(&["s0", "s1", "s2", "s3", "s4", "s5"], FIG4_REDUCED)
+}
+
+#[test]
+fn e008_minimal_conflict_core_is_oracle_verified() {
+    let cs = fig4_reduced();
+    assert!(
+        !check_feasible(&cs).is_feasible(),
+        "fixture must be infeasible"
+    );
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E008"]);
+    let core = match &report.core {
+        Some(c) => c,
+        None => panic!("conflict core expected"),
+    };
+    assert!(core.verified_minimal);
+    assert!(!core.constraints.is_empty());
+    assert!(
+        core.constraints.len() < cs.len(),
+        "core must shrink the set"
+    );
+    // Re-verify against the oracle from scratch: the core is infeasible
+    // and every core-minus-one subset is feasible.
+    assert!(!check_feasible(&cs.subset(&core.constraints)).is_feasible());
+    for drop in &core.constraints {
+        let minus_one: Vec<_> = core
+            .constraints
+            .iter()
+            .copied()
+            .filter(|r| r != drop)
+            .collect();
+        assert!(
+            check_feasible(&cs.subset(&minus_one)).is_feasible(),
+            "core minus {drop:?} must be feasible"
+        );
+    }
+}
+
+#[test]
+fn e008_core_is_deterministic() {
+    let a = lint(&fig4_reduced(), &LintOptions::new());
+    let b = lint(&fig4_reduced(), &LintOptions::new());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn e008_respects_cancel_token() {
+    let token = CancelToken::new();
+    token.cancel();
+    let opts = LintOptions::new().with_budget(Budget::unlimited().with_cancel(token));
+    let report = lint(&fig4_reduced(), &opts);
+    let core = match &report.core {
+        Some(c) => c,
+        None => panic!("conflict core expected"),
+    };
+    // Cancelled before any shrinking: sound (full candidate set) but
+    // unverified.
+    assert!(!core.verified_minimal);
+    assert_eq!(core.oracle_calls, 0);
+    assert!(!check_feasible(&fig4_reduced().subset(&core.constraints)).is_feasible());
+}
+
+#[test]
+fn e008_max_evals_caps_oracle_calls_deterministically() {
+    let opts = LintOptions::new().with_budget(Budget::unlimited().with_max_evals(3));
+    let report = lint(&fig4_reduced(), &opts);
+    let core = match &report.core {
+        Some(c) => c,
+        None => panic!("conflict core expected"),
+    };
+    assert_eq!(core.oracle_calls, 3);
+    assert!(!core.verified_minimal);
+    let again = lint(&fig4_reduced(), &opts);
+    assert_eq!(report, again);
+}
+
+#[test]
+fn w001_duplicate_face() {
+    let cs = parse(&["a", "b", "c"], "(a,b)\n(b,a)\nb>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["W001"]);
+    assert!(report.is_clean(), "warnings leave the set usable");
+}
+
+#[test]
+fn w002_implied_face() {
+    // (a,b,[c]) is implied by (a,b,c): the bigger face already confines
+    // every symbol the smaller one would police.
+    let cs = parse(&["a", "b", "c", "d"], "(a,b,[c])\n(a,b,c)\nc>d");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["W002", "N002"]);
+}
+
+#[test]
+fn w003_face_spanning_all_symbols() {
+    let cs = parse(&["a", "b", "c"], "(a,b,c)\nb>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["W003"]);
+}
+
+#[test]
+fn w004_redundant_dominance_variants() {
+    // Duplicate, disjunctive-implied, and transitively implied.
+    let cs = parse(&["a", "b", "c", "d"], "a>b\na>b\na=b|c\na>d\nb>d");
+    let report = lint(&cs, &LintOptions::new());
+    let w004: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "W004")
+        .collect();
+    assert_eq!(w004.len(), 3, "{:?}", codes(&report));
+    assert!(
+        w004[0].message.contains("disjunctive"),
+        "{}",
+        w004[0].message
+    );
+    assert!(
+        w004[1].message.contains("duplicates"),
+        "{}",
+        w004[1].message
+    );
+    assert!(
+        w004[2].message.contains("transitively"),
+        "{}",
+        w004[2].message
+    );
+}
+
+#[test]
+fn w005_duplicate_dist2() {
+    let cs = parse(&["a", "b", "c"], "dist2(a,b)\ndist2(b,a)\nb>c\na>c");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["W005"]);
+}
+
+#[test]
+fn n001_unconstrained_symbol() {
+    let cs = parse(&["a", "b", "c"], "a>b");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["N001"]);
+    assert!(report.diagnostics[0].message.contains("'c'"));
+}
+
+#[test]
+fn n002_intersecting_faces() {
+    let cs = parse(&["a", "b", "c", "d"], "(a,b,c)\n(b,c,d)\nc>d");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["N002"]);
+}
+
+#[test]
+fn n003_no_output_constraints() {
+    let cs = parse(&["a", "b", "c"], "(a,b)\n(b,c)");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["N003"]);
+}
+
+#[test]
+fn severity_ordering_is_errors_warnings_notes() {
+    // A cycle (error), a duplicate face (warning) and an unused symbol
+    // (note) in one set.
+    let cs = parse(&["a", "b", "c", "d", "e"], "a>b\nb>a\n(c,d)\n(d,c)");
+    let report = lint(&cs, &LintOptions::new());
+    assert_eq!(codes(&report), ["E001", "W001", "N001"]);
+    let severities: Vec<Severity> = report.diagnostics.iter().map(|d| d.severity).collect();
+    let mut sorted = severities.clone();
+    sorted.sort();
+    assert_eq!(severities, sorted);
+}
+
+#[test]
+fn render_text_lists_spans_and_summary() {
+    let cs = parse(&["a", "b"], "a>b\nb>a");
+    let report = lint(&cs, &LintOptions::new());
+    let text = report.render(&cs, Some("cycle.txt"));
+    assert!(text.contains("error[E001]"), "{text}");
+    assert!(text.contains("--> cycle.txt:1:1: a>b"), "{text}");
+    assert!(text.contains("--> cycle.txt:2:1: b>a"), "{text}");
+    assert!(text.contains("1 error, 0 warnings, 0 notes"), "{text}");
+    assert!(text.contains("INFEASIBLE"), "{text}");
+}
+
+#[test]
+fn render_json_is_wellformed_enough_and_stable() {
+    let cs = parse(&["a", "b"], "a>b\nb>a");
+    let report = lint(&cs, &LintOptions::new());
+    let json = report.render_json(&cs, Some("cycle.txt"));
+    assert!(json.contains("\"code\": \"E001\""), "{json}");
+    assert!(
+        json.contains("\"span\": {\"line\": 1, \"col\": 1, \"len\": 3}"),
+        "{json}"
+    );
+    assert!(json.contains("\"feasible\": false"), "{json}");
+    assert_eq!(json, report.render_json(&cs, Some("cycle.txt")));
+    // Balanced braces/brackets as a cheap well-formedness proxy.
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        let opens = json.matches(open).count();
+        let closes = json.matches(close).count();
+        assert_eq!(opens, closes, "unbalanced {open}{close} in {json}");
+    }
+}
+
+#[test]
+fn builder_sets_without_spans_render_without_locations() {
+    let mut cs = ConstraintSet::new(2);
+    cs.add_dominance(0, 1);
+    cs.add_dominance(1, 0);
+    let report = lint(&cs, &LintOptions::new());
+    let text = report.render(&cs, None);
+    assert!(text.contains("--> <input>: s0>s1"), "{text}");
+}

@@ -85,7 +85,7 @@ pub fn oracle_encode(cs: &ConstraintSet, opts: &OracleOptions) -> Result<Encodin
             );
         }
         let sol = p.solve_exact().map_err(|e| match e {
-            SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+            SolveError::Infeasible => EncodeError::infeasible(vec![]),
             // The oracle never installs budgets or cancellation.
             SolveError::NodeLimit | SolveError::Budget { .. } | SolveError::Interrupted { .. } => {
                 EncodeError::CoverAborted
@@ -132,7 +132,7 @@ fn solve_binate(
             .map(|(j, _)| j)
             .collect();
         if s.len() < 2 {
-            return Err(EncodeError::Infeasible { uncovered: vec![] });
+            return Err(EncodeError::infeasible(vec![]));
         }
         for &q in &s {
             p.add_clause(s.iter().copied().filter(|&r| r != q), []);
@@ -169,7 +169,7 @@ fn solve_binate(
         }
     }
     let sol = p.solve_exact().map_err(|e| match e {
-        SolveError::Infeasible => EncodeError::Infeasible { uncovered: vec![] },
+        SolveError::Infeasible => EncodeError::infeasible(vec![]),
         // The oracle never installs budgets or cancellation.
         SolveError::NodeLimit | SolveError::Budget { .. } | SolveError::Interrupted { .. } => {
             EncodeError::CoverAborted

@@ -33,7 +33,11 @@ where
             })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("chunk worker panicked"));
+            // Re-raise a worker panic on the caller's thread.
+            out.extend(
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
         }
     });
     out

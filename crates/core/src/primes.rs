@@ -315,8 +315,12 @@ fn ps(
             .map(|i| !stripped.iter().any(|f| f.is_subset(&with_x[i])))
             .collect::<Vec<bool>>()
     });
-    let mut keep_it = keep.into_iter();
-    with_x.retain(|_| keep_it.next().expect("one flag per term"));
+    let mut i = 0;
+    with_x.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
     // Antichain-minimize the ∪P family. A term is minimal exactly when no
     // *predecessor* in the (stable) size-sorted order is a subset of it:
     // any absorber is at least as small, and an absorber that is itself
@@ -329,8 +333,12 @@ fn ps(
             .map(|i| !with_p[..i].iter().any(|s| s.is_subset(&with_p[i])))
             .collect::<Vec<bool>>()
     });
-    let mut keep_it = keep.into_iter();
-    with_p.retain(|_| keep_it.next().expect("one flag per term"));
+    let mut i = 0;
+    with_p.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
     let mut out = pass_through;
     out.extend(with_x);
     out.extend(with_p);

@@ -84,7 +84,7 @@ fn build(ops: &[Op]) -> ConstraintSet {
             Op::Face(f) => cs.add_face(f.clone()),
             Op::Dom(a, b) => cs.add_dominance(*a, *b),
             Op::Disj(p, c) => cs.add_disjunctive(*p, c.clone()),
-        }
+        };
     }
     cs
 }

@@ -320,7 +320,9 @@ impl BinateProblem {
                 interrupt,
             };
             self.dfs(task.clone(), &mut ctx);
-            *results[i].lock().unwrap() = ctx.result;
+            *results[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = ctx.result;
         };
         let workers = threads.min(tasks.len().max(1));
         if workers <= 1 {
@@ -334,7 +336,10 @@ impl BinateProblem {
         }
         results
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
             .collect()
     }
 
@@ -423,8 +428,9 @@ impl BinateProblem {
             return BReduced::Solved(cost, cols);
         };
         // Branch on an open literal of the chosen clause: prefer a negative
-        // literal (rejection is free).
-        let (col, prefer_select) = clause
+        // literal (rejection is free). A clause classified Open always has
+        // one; if not (impossible), Conflict is the sound answer.
+        clause
             .neg
             .iter()
             .find(|&c| node.assign[c] == Assign::Open)
@@ -436,8 +442,9 @@ impl BinateProblem {
                     .find(|&c| node.assign[c] == Assign::Open)
                     .map(|c| (c, true))
             })
-            .expect("open clause has an open literal");
-        BReduced::Open(col, prefer_select)
+            .map_or(BReduced::Conflict, |(col, prefer_select)| {
+                BReduced::Open(col, prefer_select)
+            })
     }
 
     fn current_cost(&self, assign: &[Assign]) -> u64 {
@@ -573,10 +580,10 @@ fn clause_state(clause: &Clause, assign: &[Assign]) -> ClauseState {
     }
     match open_count {
         0 => ClauseState::Conflict,
-        1 => {
-            let (c, sel) = open.expect("open literal recorded");
-            ClauseState::Unit(c, sel)
-        }
+        // The counter and the witness move together, so `open` is
+        // always `Some` here; a lost witness degrades to Open (sound:
+        // the solver just branches instead of propagating).
+        1 => open.map_or(ClauseState::Open, |(c, sel)| ClauseState::Unit(c, sel)),
         _ => ClauseState::Open,
     }
 }

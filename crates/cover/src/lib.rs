@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Covering solvers for the `ioenc` encoding framework.
 //!
@@ -177,7 +179,9 @@ impl CoverStats {
 }
 
 /// A covering solution: the selected columns and their total weight.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The default is the empty selection (no columns, zero cost, not
+/// proved optimal).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Solution {
     /// Selected column indices, in no particular order.
     pub columns: Vec<usize>,

@@ -172,7 +172,8 @@ impl UnateProblem {
                     let rhs = counts[b] as u64 * self.weights[a] as u64;
                     lhs.cmp(&rhs)
                 })
-                .expect("some column covers an uncovered row");
+                .unwrap_or(0); // unreachable: an uncovered row exists and every
+                               // row was built non-empty, so some count > 0
             chosen.push(best);
             cost += self.weights[best] as u64;
             uncovered.retain(|&r| !self.rows[r].contains(best));
@@ -377,7 +378,9 @@ impl UnateProblem {
                 interrupt,
             };
             self.dfs(task.clone(), &mut ctx);
-            *results[i].lock().unwrap() = ctx.result;
+            *results[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = ctx.result;
         };
         let workers = threads.min(tasks.len().max(1));
         if workers <= 1 {
@@ -391,7 +394,10 @@ impl UnateProblem {
         }
         results
             .into_iter()
-            .map(|m| m.into_inner().unwrap())
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            })
             .collect()
     }
 
@@ -456,7 +462,9 @@ impl UnateProblem {
             }
             // Essential columns: rows with a single column.
             if let Some(r) = node.rows.iter().position(|r| r.count() == 1) {
-                let c = node.rows[r].first().expect("count() == 1");
+                let Some(c) = node.rows[r].first() else {
+                    continue; // unreachable: position() found count() == 1
+                };
                 node.cost += self.weights[c] as u64;
                 node.chosen.push(c);
                 node.rows.retain(|row| !row.contains(c));
@@ -478,8 +486,12 @@ impl UnateProblem {
                     }
                 }
             }
-            let mut it = keep.iter();
-            node.rows.retain(|_| *it.next().unwrap());
+            let mut i = 0;
+            node.rows.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
             if node.rows.len() != before {
                 continue;
             }
@@ -555,7 +567,8 @@ impl UnateProblem {
             .enumerate()
             .min_by_key(|(_, r)| r.count())
             .map(|(i, _)| i)
-            .expect("rows non-empty");
+            .unwrap_or(0); // children_of is only called on Open nodes,
+                           // whose row list is non-empty
         let mut cols: Vec<usize> = node.rows[pivot].iter().collect();
         // Try the most-covering column first for a quick strong bound.
         cols.sort_by_key(|&c| {

@@ -143,8 +143,12 @@ impl Cover {
                 }
             }
         }
-        let mut it = keep.iter();
-        self.cubes.retain(|_| *it.next().unwrap());
+        let mut i = 0;
+        self.cubes.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
     }
 
     /// The cofactor of the cover with respect to cube `p`.
@@ -249,6 +253,8 @@ impl Cover {
         if self.cubes.len() == 1 {
             return self.complement_single(&self.cubes[0]);
         }
+        #[allow(clippy::expect_used)] // >= 2 cubes and none universal, so some
+        // variable is missing a part in some cube and must split.
         let v = self
             .splitting_var()
             .expect("non-empty cover without universal cube has a splitting var");

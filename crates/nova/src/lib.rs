@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! A NOVA-like greedy input-encoding baseline (Villa–Sangiovanni-
 //! Vincentelli, *NOVA: state assignment for optimal two-level logic
@@ -91,15 +93,19 @@ pub fn nova_encode(cs: &ConstraintSet, opts: &NovaOptions) -> Encoding {
                 continue;
             }
             let score = placement_score(cs, &codes, s, code, width);
-            if best.is_none() || score < best.unwrap().0 {
+            if best.is_none_or(|(b, _)| score < b) {
                 best = Some((score, code));
             }
         }
-        let (_, code) = best.expect("a free code always exists");
-        codes[s] = Some(code);
-        used[code as usize] = true;
+        // total >= n, so a free code always exists for each of the n states.
+        if let Some((_, code)) = best {
+            codes[s] = Some(code);
+            used[code as usize] = true;
+        }
     }
-    let mut assigned: Vec<u64> = codes.into_iter().map(|c| c.expect("assigned")).collect();
+    // Each loop iteration above placed one state, so every slot is `Some`;
+    // flatten keeps the impossible miss from panicking.
+    let mut assigned: Vec<u64> = codes.into_iter().flatten().collect();
 
     // Pairwise improvement on the violation count.
     let mut best_cost = count_violations(cs, &Encoding::new(width, assigned.clone()));

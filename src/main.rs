@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ioenc check <constraints-file>                 feasibility (P-1)
+//! ioenc lint <constraints-file> [--json]         static analysis + conflict cores
 //! ioenc encode <constraints-file> [options]      exact or heuristic codes
 //! ioenc primes <constraints-file> [--cap N]      prime encoding-dichotomies
 //! ioenc fsm <kiss2-file> [--mixed] [--dc]        constraints from an FSM
@@ -22,6 +23,9 @@
 //! Encoding results go to stdout; solver statistics go to stderr, so the
 //! codes stay byte-identical across thread counts and pipe cleanly.
 
+#![forbid(unsafe_code)]
+
+use ioenc::core::lint::{lint, LintOptions};
 use ioenc::core::{
     check_feasible, encode_auto, exact_encode_report, generate_primes_with, heuristic_encode,
     initial_dichotomies, AutoOptions, BinateFormulation, Budget, ConstraintSet, CostFunction,
@@ -38,7 +42,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -51,6 +55,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   ioenc check  <constraints-file>
+  ioenc lint   <constraints-file> [--json] [--deny-warnings]
+               [--threads auto|off|N]
   ioenc encode <constraints-file> [--heuristic] [--bits N]
                [--cost violations|cubes|literals] [--prime-cap N]
                [--auto] [--max-primes N] [--max-nodes N] [--max-evals N]
@@ -61,7 +67,7 @@ usage:
   ioenc table  <constraints-file>
   ioenc minimize <pla-file>";
 
-fn run(args: &[String]) -> Result<(), EncodeError> {
+fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
     let mut it = args.iter();
     let cmd = it
         .next()
@@ -125,8 +131,28 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                 for d in &r.uncovered {
                     println!("  {}", d.display(&cs));
                 }
+                let report = lint(&cs, &LintOptions::new());
+                print!("{}", report.render(&cs, Some(path)));
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
+        }
+        "lint" => {
+            let cs = parse_constraints(&text)?;
+            threads()?; // validated for CLI uniformity; the lint is single-threaded
+            let report = lint(&cs, &LintOptions::new());
+            if flag("--json") {
+                print!("{}", report.render_json(&cs, Some(path)));
+            } else {
+                print!("{}", report.render(&cs, Some(path)));
+            }
+            let failed = report.has_errors()
+                || !report.feasible
+                || (flag("--deny-warnings") && report.warnings() > 0);
+            Ok(if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            })
         }
         "encode" => {
             let cs = parse_constraints(&text)?;
@@ -171,7 +197,10 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                 let opts = AutoOptions::new()
                     .with_budget(budget)
                     .with_parallelism(threads()?);
-                let report = encode_auto(&cs, &opts)?;
+                let report = match encode_auto(&cs, &opts) {
+                    Ok(r) => r,
+                    Err(e) => return fail_with_explanation(&cs, path, e),
+                };
                 println!(
                     "{} encoding, {} bits{}:",
                     report.rung,
@@ -196,7 +225,7 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                     eprintln!("fallback reused the exact rung's raised dichotomies");
                 }
                 eprintln!("{}", report.stats.render());
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             if flag("--heuristic") {
                 let cost = match value("--cost").unwrap_or("violations") {
@@ -230,7 +259,10 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                     }
                     opts = opts.with_prime_cap(cap);
                 }
-                let report = exact_encode_report(&cs, &opts)?;
+                let report = match exact_encode_report(&cs, &opts) {
+                    Ok(r) => r,
+                    Err(e) => return fail_with_explanation(&cs, path, e),
+                };
                 println!(
                     "exact minimum-length encoding, {} bits ({} primes{}):",
                     report.encoding.width(),
@@ -244,7 +276,7 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                 print!("{}", report.encoding.display(&cs));
                 eprintln!("{}", report.stats.render());
             }
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "primes" => {
             let cs = parse_constraints(&text)?;
@@ -266,7 +298,7 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                 "{} ps steps, peak {} terms, {} threads",
                 stats.ps_steps, stats.peak_terms, stats.threads
             );
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "fsm" => {
             let fsm = Fsm::parse_kiss2(&text)?;
@@ -283,7 +315,7 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
                     a.satisfied.0, a.satisfied.1, a.pla_cost.0, a.pla_cost.1
                 );
                 print!("{}", a.encoding.display(&a.constraints));
-                return Ok(());
+                return Ok(ExitCode::SUCCESS);
             }
             let cs = if flag("--mixed") {
                 mixed_constraints(&fsm, &OutputProfile::default())
@@ -294,7 +326,7 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
             };
             println!("symbols: {}", fsm.state_names().join(" "));
             print!("{cs}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "minimize" => {
             let pla = parse_pla_text(&text).map_err(EncodeError::parse)?;
@@ -302,31 +334,60 @@ fn run(args: &[String]) -> Result<(), EncodeError> {
             let (cubes, lits) = ioenc::espresso::summary(&m, pla.inputs());
             eprintln!("# minimized to {cubes} product terms, {lits} input literals");
             print!("{}", cover_to_pla_text(&m, pla.inputs()));
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         "table" => {
             let cs = parse_constraints(&text)?;
             let f = BinateFormulation::build(&cs);
             println!("columns: {:?}", f.columns);
             print!("{}", f.display());
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(EncodeError::parse(format!("unknown subcommand '{other}'"))),
     }
 }
 
-/// Parses the `symbols:`-headed constraint file format.
+/// Prints the lint explanation attached to an infeasible encode failure
+/// (stderr) and turns it into a plain failure exit, skipping the usage
+/// blurb. Errors without an explanation propagate unchanged.
+fn fail_with_explanation(
+    cs: &ConstraintSet,
+    origin: &str,
+    e: EncodeError,
+) -> Result<ExitCode, EncodeError> {
+    match e {
+        EncodeError::Infeasible {
+            ref uncovered,
+            explanation: Some(ref report),
+        } => {
+            eprintln!(
+                "error: constraints are unsatisfiable ({} uncovered initial dichotomies)",
+                uncovered.len()
+            );
+            eprint!("{}", report.render(cs, Some(origin)));
+            Ok(ExitCode::FAILURE)
+        }
+        other => Err(other),
+    }
+}
+
+/// Parses the `symbols:`-headed constraint file format. The header line is
+/// replaced by a blank line (not removed) so that the spans the parser
+/// attaches keep pointing at the original file's line numbers.
 fn parse_constraints(text: &str) -> Result<ConstraintSet, EncodeError> {
     let mut names: Option<Vec<&str>> = None;
     let mut body = String::new();
     for line in text.lines() {
         let trimmed = line.trim();
         if let Some(rest) = trimmed.strip_prefix("symbols:") {
-            names = Some(rest.split_whitespace().collect());
-        } else {
-            body.push_str(line);
-            body.push('\n');
+            if names.is_none() {
+                names = Some(rest.split_whitespace().collect());
+                body.push('\n');
+                continue;
+            }
         }
+        body.push_str(line);
+        body.push('\n');
     }
     let names = names.ok_or_else(|| EncodeError::parse("missing 'symbols: …' header line"))?;
     ConstraintSet::parse(&names, &body)

@@ -1,0 +1,148 @@
+//! Golden-file tests for `ioenc lint`.
+//!
+//! One fixture per diagnostic code lives in `tests/fixtures/lint/`; the
+//! expected text and `--json` renderings live next to them in `golden/`.
+//! Every invocation runs from the crate root with a relative fixture path
+//! so the rendered origin (and therefore the golden bytes) is
+//! machine-independent, and every fixture is rendered twice — once with
+//! `--threads off` and once with `--threads auto` — which must agree
+//! byte for byte.
+//!
+//! Regenerate the goldens after an intentional output change with
+//! `UPDATE_GOLDEN=1 cargo test --test lint_cli`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// `(fixture stem, expected lint exit: true = success)`. Errors and
+/// infeasibility fail the lint; warnings and notes do not.
+const CASES: &[(&str, bool)] = &[
+    ("e001", false),
+    ("e002", false),
+    ("e003", false),
+    ("e004", false),
+    ("e005", false),
+    ("e006", false),
+    ("e007", false),
+    ("e008", false),
+    ("w001", true),
+    ("w002", true),
+    ("w003", true),
+    ("w004", true),
+    ("w005", true),
+    ("n001", true),
+    ("n002", true),
+    ("n003", true),
+    ("clean", true),
+];
+
+fn run_lint(fixture: &str, extra: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ioenc"))
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .arg("lint")
+        .arg(fixture)
+        .args(extra)
+        .output()
+        .expect("spawn ioenc");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn check_golden(stem: &str, kind: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/lint/golden")
+        .join(format!("{stem}.{kind}"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{}: {e} (run with UPDATE_GOLDEN=1)", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{stem}.{kind} drifted from its golden (UPDATE_GOLDEN=1 regenerates)"
+    );
+}
+
+#[test]
+fn lint_text_output_matches_goldens() {
+    for &(stem, expect_ok) in CASES {
+        let fixture = format!("tests/fixtures/lint/{stem}.txt");
+        let (ok, stdout, stderr) = run_lint(&fixture, &[]);
+        assert_eq!(ok, expect_ok, "{stem}: exit flipped\nstderr: {stderr}");
+        assert!(stderr.is_empty(), "{stem}: unexpected stderr: {stderr}");
+        check_golden(stem, "text", &stdout);
+    }
+}
+
+#[test]
+fn lint_json_output_matches_goldens() {
+    for &(stem, expect_ok) in CASES {
+        let fixture = format!("tests/fixtures/lint/{stem}.txt");
+        let (ok, stdout, stderr) = run_lint(&fixture, &["--json"]);
+        assert_eq!(ok, expect_ok, "{stem}: exit flipped\nstderr: {stderr}");
+        assert!(stderr.is_empty(), "{stem}: unexpected stderr: {stderr}");
+        check_golden(stem, "json", &stdout);
+        // Cheap well-formedness proxy: balanced braces and brackets.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                stdout.matches(open).count(),
+                stdout.matches(close).count(),
+                "{stem}: unbalanced {open}{close}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lint_output_is_byte_identical_across_thread_modes() {
+    for &(stem, _) in CASES {
+        let fixture = format!("tests/fixtures/lint/{stem}.txt");
+        for extra in [&["--json"][..], &[][..]] {
+            let mut off = vec!["--threads", "off"];
+            off.extend_from_slice(extra);
+            let mut auto = vec!["--threads", "auto"];
+            auto.extend_from_slice(extra);
+            let (ok_off, out_off, _) = run_lint(&fixture, &off);
+            let (ok_auto, out_auto, _) = run_lint(&fixture, &auto);
+            assert_eq!(ok_off, ok_auto, "{stem}: exit differs across --threads");
+            assert_eq!(out_off, out_auto, "{stem}: output differs across --threads");
+        }
+    }
+}
+
+#[test]
+fn deny_warnings_fails_warning_fixtures_only() {
+    // A warning fixture passes by default and fails under --deny-warnings.
+    let (ok, _, _) = run_lint("tests/fixtures/lint/w001.txt", &[]);
+    assert!(ok);
+    let (ok, _, _) = run_lint("tests/fixtures/lint/w001.txt", &["--deny-warnings"]);
+    assert!(!ok);
+    // Notes are not warnings: n001 stays green either way.
+    let (ok, _, _) = run_lint("tests/fixtures/lint/n001.txt", &["--deny-warnings"]);
+    assert!(ok);
+    // A clean set is unaffected.
+    let (ok, _, _) = run_lint("tests/fixtures/lint/clean.txt", &["--deny-warnings"]);
+    assert!(ok);
+}
+
+#[test]
+fn every_fixture_triggers_its_own_code() {
+    // Each fixture's text golden must mention the code it is named for —
+    // guards against a fixture drifting to a different diagnostic.
+    for &(stem, _) in CASES {
+        if stem == "clean" {
+            continue;
+        }
+        let fixture = format!("tests/fixtures/lint/{stem}.txt");
+        let (_, stdout, _) = run_lint(&fixture, &[]);
+        let code = stem.to_uppercase();
+        assert!(
+            stdout.contains(&format!("[{code}]")),
+            "{stem}: expected [{code}] in output:\n{stdout}"
+        );
+    }
+}
