@@ -1,0 +1,160 @@
+//! Cold vs warm-cache throughput of the `ioenc serve` request pipeline.
+//!
+//! Replays a duplicated, symbol-permuted corpus through
+//! [`ioenc_server::outcome`] — the exact function a `serve` worker runs —
+//! three ways: with no cache at all, with a cold cache (first pass), and
+//! with a fully warmed cache. The interesting number is the warm/cold
+//! throughput ratio: how much a batch dominated by repeated or permuted
+//! requests gains from the content-addressed store.
+//!
+//! Set `BENCH_SERVE_JSON=<path>` to also write the results as JSON
+//! (rendered by the same writer the server uses); the committed
+//! `BENCH_serve.json` at the workspace root is produced this way.
+
+use ioenc_bench::harness::{fmt_duration, time_once, Runner};
+use ioenc_core::json::Json;
+use ioenc_rng::SplitMix64;
+use ioenc_server::{outcome, EncodeSpec, ResultCache};
+use std::hint::black_box;
+
+const BASES: &[&str] = &[
+    "symbols: a b c d\n(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d\n",
+    "symbols: p q r s\np>q\nq>r\n(p,s)\n",
+    "symbols: u v w x y\nu=v|w\n(v,x)\nw>y\n",
+    "symbols: a b c d e\n(a,b,[c])\ndist2(a,d)\n!(b,e)\n",
+    "symbols: a b c d e\n(a&b)|(c&d)>=e\n(a,b)\n(c,d)\n",
+    "symbols: s0 s1 s2 s3 s4 s5 s6 s7\n(s0,s1,s2)\n(s2,s3)\n(s4,s5)\ns0>s7\ns6=s1|s3\n",
+];
+
+/// Re-spells `text` with shuffled symbol order and shuffled lines, so the
+/// corpus exercises canonicalization rather than just string-equality.
+fn permute(text: &str, rng: &mut SplitMix64) -> String {
+    let mut lines: Vec<&str> = text.lines().collect();
+    let header = lines.remove(0);
+    let mut names: Vec<&str> = header
+        .trim_start_matches("symbols:")
+        .split_whitespace()
+        .collect();
+    rng.shuffle(&mut names);
+    rng.shuffle(&mut lines);
+    let mut out = format!("symbols: {}\n", names.join(" "));
+    for line in lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn corpus(requests: usize) -> Vec<String> {
+    let mut rng = SplitMix64::new(0xbe_ec4);
+    let mut uniques: Vec<String> = BASES.iter().map(|s| s.to_string()).collect();
+    for i in 0..BASES.len() {
+        for _ in 0..2 {
+            uniques.push(permute(&uniques[i], &mut rng));
+        }
+    }
+    (0..requests)
+        .map(|_| uniques[rng.gen_range(0..uniques.len())].clone())
+        .collect()
+}
+
+fn sweep(texts: &[String], cache: Option<&ResultCache>) -> usize {
+    let spec = EncodeSpec::default();
+    let mut ok = 0usize;
+    for t in texts {
+        if outcome(black_box(t), &spec, cache, None).exit_code == 0 {
+            ok += 1;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    let texts = corpus(200);
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (name, seconds, rps)
+    let mut record = |name: &str, seconds: f64| {
+        results.push((name.to_string(), seconds, texts.len() as f64 / seconds));
+    };
+
+    // One-shot sweeps timed directly: the quantity of interest is batch
+    // throughput, not per-call latency.
+    let (ok, cold) = time_once(|| sweep(&texts, None));
+    assert_eq!(ok, texts.len(), "corpus must be fully feasible");
+    record("cold/no-cache", cold.as_secs_f64());
+    println!(
+        "serve/200-requests/no-cache: {} ({:.0} req/s)",
+        fmt_duration(cold),
+        texts.len() as f64 / cold.as_secs_f64()
+    );
+
+    let cache = ResultCache::new(1024);
+    let (_, first) = time_once(|| sweep(&texts, Some(&cache)));
+    record("first-pass/cold-cache", first.as_secs_f64());
+    println!(
+        "serve/200-requests/cold-cache: {} ({:.0} req/s, {} hits / {} misses)",
+        fmt_duration(first),
+        texts.len() as f64 / first.as_secs_f64(),
+        cache.hits(),
+        cache.misses()
+    );
+
+    let (_, warm) = time_once(|| sweep(&texts, Some(&cache)));
+    record("warm-cache", warm.as_secs_f64());
+    println!(
+        "serve/200-requests/warm-cache: {} ({:.0} req/s, speedup x{:.1} over no-cache)",
+        fmt_duration(warm),
+        texts.len() as f64 / warm.as_secs_f64(),
+        cold.as_secs_f64() / warm.as_secs_f64()
+    );
+
+    // Per-request latency of the two steady states, via the adaptive
+    // harness (cache warmed above; the no-cache body re-solves each call).
+    let one = &texts[0];
+    let spec = EncodeSpec::default();
+    r.bench("serve/request/no-cache", || {
+        black_box(outcome(black_box(one), &spec, None, None))
+    });
+    r.bench("serve/request/warm-cache", || {
+        black_box(outcome(black_box(one), &spec, Some(&cache), None))
+    });
+
+    if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
+        let mut arr = Vec::new();
+        for (name, seconds, rps) in &results {
+            arr.push(
+                Json::obj()
+                    .field("name", name.as_str())
+                    .field("requests", texts.len())
+                    .field("seconds", Json::Float(*seconds))
+                    .field("throughput_rps", Json::Float((*rps * 10.0).round() / 10.0)),
+            );
+        }
+        let doc = Json::obj()
+            .field("bench", "serve_cache")
+            .field(
+                "corpus",
+                Json::obj()
+                    .field("unique_texts", BASES.len() * 3)
+                    .field("requests", texts.len()),
+            )
+            .field("results", Json::Arr(arr))
+            .field(
+                "cache",
+                Json::obj()
+                    .field("capacity", cache.capacity())
+                    .field("entries", cache.len())
+                    .field("hits", cache.hits())
+                    .field("misses", cache.misses())
+                    .field("evictions", cache.evictions())
+                    .field("verify_failures", cache.verify_failures()),
+            )
+            .field(
+                "speedup_warm_over_cold",
+                Json::Float((cold.as_secs_f64() / warm.as_secs_f64() * 10.0).round() / 10.0),
+            );
+        std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_SERVE_JSON");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,331 @@
+//! Canonicalization of a [`ConstraintSet`] into a content-addressed key.
+//!
+//! [`canonical_form`] maps every constraint set to a *canonical
+//! representative* of its equivalence class under symbol renaming order
+//! (permutation of symbol indices) and constraint reordering /
+//! duplication: symbols are renumbered in name order, every constraint is
+//! rewritten with its internal operands normalized (sorted, deduplicated),
+//! and the constraint lists themselves are sorted and deduplicated. Two
+//! inputs that differ only by the order symbols were declared in, the
+//! order constraints were written in, or repeated constraints therefore
+//! produce **byte-identical canonical text** — and hence the same 128-bit
+//! [`CanonicalKey`] — while any semantic difference shows up in the text
+//! and (with overwhelming probability) in the key.
+//!
+//! The key addresses the `ioenc serve` result cache; because the solver
+//! is *not* permutation-equivariant, the encode pipeline always solves
+//! the canonical set and then restores the codes to the caller's symbol
+//! order with [`CanonicalForm::restore_encoding`], so cached and fresh
+//! solves are bit-identical by construction (DESIGN.md §6e).
+
+use crate::constraints::ConstraintSet;
+use crate::encoding::Encoding;
+use ioenc_rng::SplitMix64;
+use std::fmt;
+
+/// A 128-bit content hash of a constraint set's canonical text.
+///
+/// Equal keys mean byte-identical canonical text modulo hash collisions
+/// (two independent splitmix64 lanes make accidental collision
+/// probability ~2⁻¹²⁸ per pair); the `serve` cache additionally
+/// re-verifies every hit against the original set, so a collision can
+/// degrade performance but never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalKey(u128);
+
+impl CanonicalKey {
+    /// The raw 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for CanonicalKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// The canonical representative of a constraint set, plus the symbol
+/// bijection needed to translate encodings back to the original order.
+///
+/// Produced by [`canonical_form`], whose documentation lists what is
+/// normalized.
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The canonical constraint set (symbols in name order, constraints
+    /// normalized, sorted and deduplicated).
+    pub set: ConstraintSet,
+    /// `to_canonical[original_index]` is the symbol's canonical index.
+    pub to_canonical: Vec<usize>,
+    /// `from_canonical[canonical_index]` is the symbol's original index.
+    pub from_canonical: Vec<usize>,
+    /// The canonical text: a `symbols:` header followed by the canonical
+    /// set's display form. Byte-identical across equivalent inputs.
+    pub text: String,
+    /// 128-bit hash of `text`.
+    pub key: CanonicalKey,
+}
+
+impl CanonicalForm {
+    /// Translates an encoding of the canonical set back to the original
+    /// symbol order: symbol `s` of the original set receives the code
+    /// that its canonical counterpart was assigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `enc` does not have exactly as many codes as the set has
+    /// symbols.
+    pub fn restore_encoding(&self, enc: &Encoding) -> Encoding {
+        assert_eq!(
+            enc.num_symbols(),
+            self.to_canonical.len(),
+            "encoding does not match the canonicalized set"
+        );
+        let codes = self.to_canonical.iter().map(|&c| enc.codes()[c]).collect();
+        Encoding::new(enc.width(), codes)
+    }
+}
+
+/// Free-function form of [`CanonicalForm::restore_encoding`].
+pub fn restore_encoding(form: &CanonicalForm, enc: &Encoding) -> Encoding {
+    form.restore_encoding(enc)
+}
+
+/// One splitmix64 lane over `bytes`: the running state absorbs each
+/// little-endian 8-byte chunk (zero-padded tail) and the total length,
+/// and every absorption passes through the full splitmix64 finalizer.
+fn hash_lane(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = SplitMix64::new(seed ^ bytes.len() as u64).next_u64();
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = SplitMix64::new(h ^ u64::from_le_bytes(word)).next_u64();
+    }
+    h
+}
+
+/// Two independent lanes make the 128-bit key.
+fn hash128(bytes: &[u8]) -> u128 {
+    const LANE_LO: u64 = 0x9e37_79b9_7f4a_7c15;
+    const LANE_HI: u64 = 0x2545_f491_4f6c_dd1d;
+    (u128::from(hash_lane(LANE_HI, bytes)) << 64) | u128::from(hash_lane(LANE_LO, bytes))
+}
+
+/// Computes the canonical form of `cs`.
+///
+/// Normalization rules, per constraint kind (all indices are canonical,
+/// i.e. after renumbering symbols in name order; ties between identical
+/// names keep declaration order):
+///
+/// * **face** — members and don't cares become sorted index lists; the
+///   face list is sorted and deduplicated. A face with fewer than two
+///   distinct members constrains nothing and is dropped.
+/// * **dominance** — pairs are sorted and deduplicated.
+/// * **disjunctive** — children are sorted and deduplicated; a
+///   disjunction reduced to a single distinct child keeps a duplicate of
+///   it (`a = b ∨ b`), the canonical spelling of that degenerate class.
+///   The list is sorted by `(parent, children)` and deduplicated.
+/// * **extended disjunctive** — each conjunction is sorted and
+///   deduplicated, the conjunction list is sorted and deduplicated, and
+///   the constraint list is sorted and deduplicated.
+/// * **distance-2** — pairs become `(min, max)`; sorted, deduplicated.
+/// * **non-face** — member lists sorted; the list sorted, deduplicated.
+///   A non-face with fewer than two distinct members is dropped.
+pub fn canonical_form(cs: &ConstraintSet) -> CanonicalForm {
+    let n = cs.num_symbols();
+    // Stable sort of original indices by name: the canonical numbering.
+    let mut from_canonical: Vec<usize> = (0..n).collect();
+    from_canonical.sort_by_key(|&s| cs.name(s));
+    let mut to_canonical = vec![0usize; n];
+    for (canon, &orig) in from_canonical.iter().enumerate() {
+        to_canonical[orig] = canon;
+    }
+    let names: Vec<String> = from_canonical
+        .iter()
+        .map(|&s| cs.name(s).to_string())
+        .collect();
+
+    let remap = |s: usize| to_canonical[s];
+    let sorted_set = |it: &mut dyn Iterator<Item = usize>| -> Vec<usize> {
+        let mut v: Vec<usize> = it.map(remap).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+
+    let mut faces: Vec<(Vec<usize>, Vec<usize>)> = cs
+        .faces()
+        .iter()
+        .map(|f| {
+            (
+                sorted_set(&mut f.members.iter()),
+                sorted_set(&mut f.dont_cares.iter()),
+            )
+        })
+        .filter(|(members, _)| members.len() >= 2)
+        .collect();
+    faces.sort();
+    faces.dedup();
+
+    let mut dominances: Vec<(usize, usize)> = cs
+        .dominances()
+        .iter()
+        .map(|&(a, b)| (remap(a), remap(b)))
+        .collect();
+    dominances.sort_unstable();
+    dominances.dedup();
+
+    let mut disjunctives: Vec<(usize, Vec<usize>)> = cs
+        .disjunctives()
+        .map(|(parent, children)| {
+            let mut kids = sorted_set(&mut children.iter().copied());
+            if kids.len() == 1 {
+                kids.push(kids[0]);
+            }
+            (remap(parent), kids)
+        })
+        .collect();
+    disjunctives.sort();
+    disjunctives.dedup();
+
+    let mut extended: Vec<(usize, Vec<Vec<usize>>)> = cs
+        .extended_disjunctives()
+        .map(|(parent, conjunctions)| {
+            let mut conjs: Vec<Vec<usize>> = conjunctions
+                .iter()
+                .map(|c| sorted_set(&mut c.iter().copied()))
+                .collect();
+            conjs.sort();
+            conjs.dedup();
+            (remap(parent), conjs)
+        })
+        .collect();
+    extended.sort();
+    extended.dedup();
+
+    let mut distance2: Vec<(usize, usize)> = cs
+        .distance2_pairs()
+        .iter()
+        .map(|&(a, b)| {
+            let (a, b) = (remap(a), remap(b));
+            (a.min(b), a.max(b))
+        })
+        .collect();
+    distance2.sort_unstable();
+    distance2.dedup();
+
+    let mut nonfaces: Vec<Vec<usize>> = cs
+        .nonfaces()
+        .iter()
+        .map(|m| sorted_set(&mut m.iter()))
+        .filter(|m| m.len() >= 2)
+        .collect();
+    nonfaces.sort();
+    nonfaces.dedup();
+
+    let mut set = ConstraintSet::with_names(names);
+    for (members, dont_cares) in faces {
+        set.add_face_with_dc(members, dont_cares);
+    }
+    for (a, b) in dominances {
+        set.add_dominance(a, b);
+    }
+    for (parent, children) in disjunctives {
+        set.add_disjunctive(parent, children);
+    }
+    for (parent, conjunctions) in extended {
+        set.add_extended(parent, conjunctions);
+    }
+    for (a, b) in distance2 {
+        set.add_distance2(a, b);
+    }
+    for members in nonfaces {
+        set.add_nonface(members);
+    }
+
+    let mut text = String::from("symbols:");
+    for canon in 0..n {
+        text.push(' ');
+        text.push_str(set.name(canon));
+    }
+    text.push('\n');
+    text.push_str(&set.to_string());
+    let key = CanonicalKey(hash128(text.as_bytes()));
+
+    CanonicalForm {
+        set,
+        to_canonical,
+        from_canonical,
+        text,
+        key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section1() -> ConstraintSet {
+        ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn permuted_symbols_share_a_key() {
+        let cs = section1();
+        // Same constraints, symbols declared in a different order.
+        let permuted = ConstraintSet::parse(
+            &["d", "b", "a", "c"],
+            "(c,d)\n(a,d)\nb>c\n(b,c)\n(b,a)\na=d|b\na>c",
+        )
+        .unwrap();
+        let f1 = canonical_form(&cs);
+        let f2 = canonical_form(&permuted);
+        assert_eq!(f1.text, f2.text);
+        assert_eq!(f1.key, f2.key);
+    }
+
+    #[test]
+    fn duplicated_constraints_share_a_key() {
+        let cs = section1();
+        let dup = ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\nb>c\na>c\na=b|d\na=d|b",
+        )
+        .unwrap();
+        assert_eq!(canonical_form(&cs).key, canonical_form(&dup).key);
+    }
+
+    #[test]
+    fn different_sets_get_different_keys() {
+        let cs = section1();
+        let other = ConstraintSet::parse(&["a", "b", "c", "d"], "(b,c)\n(c,d)").unwrap();
+        assert_ne!(canonical_form(&cs).key, canonical_form(&other).key);
+    }
+
+    #[test]
+    fn restore_round_trips_symbol_order() {
+        let cs = ConstraintSet::parse(&["z", "y", "x"], "(z,y)\n(y,x)").unwrap();
+        let form = canonical_form(&cs);
+        // Canonical order is x, y, z.
+        assert_eq!(form.set.name(0), "x");
+        assert_eq!(form.from_canonical, vec![2, 1, 0]);
+        let canon_enc = Encoding::new(2, vec![0b00, 0b01, 0b10]);
+        let restored = form.restore_encoding(&canon_enc);
+        // z (original 0) is canonical 2 → code 0b10, etc.
+        assert_eq!(restored.codes(), &[0b10, 0b01, 0b00]);
+    }
+
+    #[test]
+    fn singleton_disjunction_is_canonicalized_not_dropped() {
+        let mut cs = ConstraintSet::with_names(vec!["a".into(), "b".into()]);
+        cs.add_disjunctive(0, [1, 1, 1]);
+        let mut cs2 = ConstraintSet::with_names(vec!["a".into(), "b".into()]);
+        cs2.add_disjunctive(0, [1, 1]);
+        assert_eq!(canonical_form(&cs).key, canonical_form(&cs2).key);
+    }
+}

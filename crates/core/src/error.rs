@@ -110,6 +110,40 @@ impl EncodeError {
             spent: Box::new(spent),
         }
     }
+
+    /// The documented error class: a stable lowercase name shared by the
+    /// CLI, `serve` responses and the exit-code table in README.md.
+    ///
+    /// Variants that describe a legacy cap or an oversized instance
+    /// (`PrimesExceeded`, `CoverAborted`, `WidthExceeded`,
+    /// `NonFaceTooComplex`, `TooLarge`) all report as `"limit"`.
+    pub fn class(&self) -> &'static str {
+        match self {
+            EncodeError::Parse { .. } => "parse",
+            EncodeError::Io { .. } => "io",
+            EncodeError::Limit { .. }
+            | EncodeError::PrimesExceeded { .. }
+            | EncodeError::CoverAborted
+            | EncodeError::WidthExceeded
+            | EncodeError::NonFaceTooComplex
+            | EncodeError::TooLarge { .. } => "limit",
+            EncodeError::Budget { .. } => "budget",
+            EncodeError::Infeasible { .. } => "infeasible",
+        }
+    }
+
+    /// The process exit code every `ioenc` subcommand uses for this error
+    /// class: parse = 2, io = 3, limit = 4, budget = 5, infeasible = 6
+    /// (0 is success and 1 is reserved for errors outside this type).
+    pub fn exit_code(&self) -> u8 {
+        match self.class() {
+            "parse" => 2,
+            "io" => 3,
+            "limit" => 4,
+            "budget" => 5,
+            _ => 6,
+        }
+    }
 }
 
 impl fmt::Display for EncodeError {
@@ -186,5 +220,30 @@ mod tests {
         assert!(e.to_string().starts_with("foo.kiss2:"));
         let e = EncodeError::limit("--prime-cap must be positive");
         assert!(e.to_string().contains("--prime-cap"));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_documented_classes() {
+        let os = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let cases = [
+            (EncodeError::parse("bad"), "parse", 2),
+            (EncodeError::io("f", &os), "io", 3),
+            (EncodeError::limit("zero"), "limit", 4),
+            (
+                EncodeError::budget(BudgetPhase::Primes, BudgetSpent::default()),
+                "budget",
+                5,
+            ),
+            (EncodeError::infeasible(vec![]), "infeasible", 6),
+            (EncodeError::PrimesExceeded { limit: 1 }, "limit", 4),
+            (EncodeError::CoverAborted, "limit", 4),
+            (EncodeError::WidthExceeded, "limit", 4),
+            (EncodeError::NonFaceTooComplex, "limit", 4),
+            (EncodeError::TooLarge { what: "n" }, "limit", 4),
+        ];
+        for (err, class, code) in cases {
+            assert_eq!(err.class(), class, "{err}");
+            assert_eq!(err.exit_code(), code, "{err}");
+        }
     }
 }

@@ -47,6 +47,7 @@
 mod auto;
 mod bounded;
 mod budget;
+mod canon;
 mod chains;
 mod constraints;
 mod cost;
@@ -59,6 +60,7 @@ mod formulation;
 mod heuristic;
 mod hypercube;
 mod initial;
+pub mod json;
 pub mod lint;
 pub mod npc;
 mod oracle;
@@ -73,6 +75,7 @@ pub use bounded::{
     bounded_exact_encode, bounded_exact_encode_report, BoundedExactOptions, BoundedReport,
 };
 pub use budget::{Budget, BudgetPhase, BudgetSpent};
+pub use canon::{canonical_form, restore_encoding, CanonicalForm, CanonicalKey};
 pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
 pub use constraints::{ConstraintRef, ConstraintSet, FaceConstraint, Span};
 pub use cost::{constraint_pla, cost_of, cost_of_with, count_violations, CostFunction};

@@ -176,6 +176,16 @@ impl LintReport {
     pub fn render_json(&self, cs: &ConstraintSet, origin: Option<&str>) -> String {
         render::render_json(self, cs, origin.unwrap_or("<input>"))
     }
+
+    /// Builds the report as a compact [`Json`](crate::json::Json) value
+    /// with the same field names as
+    /// [`render_json`](LintReport::render_json), for embedding in larger
+    /// documents (`encode --json` failures, `serve` responses). Unlike
+    /// `render_json`, the `origin` field is omitted entirely when `None`,
+    /// keeping embedded reports independent of how the input was named.
+    pub fn to_json(&self, cs: &ConstraintSet, origin: Option<&str>) -> crate::json::Json {
+        render::report_json(self, cs, origin)
+    }
 }
 
 /// Lints `cs`: runs every structural check, consults the Theorem-6.1

@@ -6,6 +6,7 @@
 
 use super::LintReport;
 use crate::constraints::{ConstraintRef, ConstraintSet};
+use crate::json::{escape as json_escape, Json};
 use std::fmt::Write as _;
 
 /// One `  --> origin:line:col: constraint` evidence line (span-less
@@ -44,27 +45,6 @@ pub(super) fn render_text(report: &LintReport, cs: &ConstraintSet, origin: &str)
     out
 }
 
-/// Escapes a string for a JSON literal (the only non-trivial characters
-/// our messages produce are quotes and backslashes, but control
-/// characters are handled for safety).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// A constraint reference as a JSON object (one line; nested inside
 /// diagnostics and the conflict core).
 fn constraint_json(cs: &ConstraintSet, r: ConstraintRef, indent: &str) -> String {
@@ -94,6 +74,81 @@ fn constraint_list(cs: &ConstraintSet, refs: &[ConstraintRef], indent: &str) -> 
         .map(|&r| constraint_json(cs, r, &format!("{indent}  ")))
         .collect();
     format!("[\n{}\n{indent}]", inner.join(",\n"))
+}
+
+/// A constraint reference as a compact [`Json`] value (same field names
+/// as [`constraint_json`], used by [`report_json`]).
+fn constraint_value(cs: &ConstraintSet, r: ConstraintRef) -> Json {
+    let mut obj = Json::obj()
+        .field("kind", r.kind())
+        .field("index", r.index())
+        .field("text", cs.describe(r));
+    if let Some(span) = cs.span_of(r) {
+        obj = obj.field(
+            "span",
+            Json::obj()
+                .field("line", u64::from(span.line))
+                .field("col", u64::from(span.col))
+                .field("len", u64::from(span.len)),
+        );
+    }
+    obj
+}
+
+/// The report as a compact [`Json`] value with the same field names and
+/// order as [`render_json`]. `origin` is omitted when `None` so embedding
+/// contexts (`encode --json` failures, `serve` responses) stay
+/// origin-independent and byte-comparable.
+pub(super) fn report_json(report: &LintReport, cs: &ConstraintSet, origin: Option<&str>) -> Json {
+    let mut obj = Json::obj();
+    if let Some(origin) = origin {
+        obj = obj.field("origin", origin);
+    }
+    obj = obj
+        .field("feasible", report.feasible)
+        .field(
+            "summary",
+            Json::obj()
+                .field("errors", report.errors())
+                .field("warnings", report.warnings())
+                .field("notes", report.notes()),
+        )
+        .field(
+            "diagnostics",
+            report
+                .diagnostics
+                .iter()
+                .map(|d| {
+                    Json::obj()
+                        .field("code", d.code)
+                        .field("severity", d.severity.label())
+                        .field("message", d.message.as_str())
+                        .field(
+                            "constraints",
+                            d.constraints
+                                .iter()
+                                .map(|&r| constraint_value(cs, r))
+                                .collect::<Vec<_>>(),
+                        )
+                })
+                .collect::<Vec<_>>(),
+        );
+    match &report.core {
+        Some(core) => obj.field(
+            "conflict_core",
+            Json::obj()
+                .field("verified_minimal", core.verified_minimal)
+                .field("oracle_calls", core.oracle_calls)
+                .field(
+                    "constraints",
+                    core.constraints
+                        .iter()
+                        .map(|&r| constraint_value(cs, r))
+                        .collect::<Vec<_>>(),
+                ),
+        ),
+        None => obj.field("conflict_core", Json::Null),
+    }
 }
 
 pub(super) fn render_json(report: &LintReport, cs: &ConstraintSet, origin: &str) -> String {

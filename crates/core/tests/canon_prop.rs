@@ -1,0 +1,234 @@
+//! Property-style tests for [`canonical_form`]: the canonical key must be
+//! invariant under symbol-order permutation, constraint-order permutation,
+//! and constraint duplication — and must *change* under any semantic
+//! mutation. Randomness comes from the workspace [`SplitMix64`]; seeds are
+//! fixed, so every run checks the same cases.
+
+use ioenc_core::{canonical_form, ConstraintSet};
+use ioenc_rng::SplitMix64;
+
+const ROUNDS: usize = 60;
+
+/// An abstract constraint-set description over symbol ids `0..n`, so the
+/// same semantics can be instantiated under different symbol orders.
+#[derive(Clone)]
+struct Spec {
+    names: Vec<String>,
+    faces: Vec<(Vec<usize>, Vec<usize>)>,
+    doms: Vec<(usize, usize)>,
+    disj: Vec<(usize, Vec<usize>)>,
+    dist2: Vec<(usize, usize)>,
+    nonfaces: Vec<Vec<usize>>,
+}
+
+impl Spec {
+    fn random(rng: &mut SplitMix64) -> Spec {
+        let n = 3 + rng.gen_range(0..5); // 3..=7 symbols
+        let names = (0..n).map(|i| format!("s{i}")).collect();
+        let mut spec = Spec {
+            names,
+            faces: Vec::new(),
+            doms: Vec::new(),
+            disj: Vec::new(),
+            dist2: Vec::new(),
+            nonfaces: Vec::new(),
+        };
+        let subset = |rng: &mut SplitMix64, min: usize| {
+            let mut ids: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut ids);
+            let k = min + rng.gen_range(0..(n - min));
+            ids.truncate(k.max(min));
+            ids
+        };
+        for _ in 0..1 + rng.gen_range(0..3) {
+            let members = subset(rng, 2);
+            let dc = if rng.gen_bool(0.3) {
+                (0..n).filter(|i| !members.contains(i)).take(1).collect()
+            } else {
+                Vec::new()
+            };
+            spec.faces.push((members, dc));
+        }
+        for _ in 0..rng.gen_range(0..3) {
+            let a = rng.gen_range(0..n);
+            let b = (a + 1 + rng.gen_range(0..(n - 1))) % n;
+            spec.doms.push((a, b));
+        }
+        if rng.gen_bool(0.5) {
+            let parent = rng.gen_range(0..n);
+            let mut children = subset(rng, 2);
+            children.retain(|&c| c != parent);
+            if children.len() >= 2 {
+                spec.disj.push((parent, children));
+            }
+        }
+        if rng.gen_bool(0.4) {
+            let a = rng.gen_range(0..n);
+            let b = (a + 1 + rng.gen_range(0..(n - 1))) % n;
+            spec.dist2.push((a, b));
+        }
+        if rng.gen_bool(0.4) {
+            spec.nonfaces.push(subset(rng, 2));
+        }
+        spec
+    }
+
+    /// Builds the set with symbols declared in `order` (a permutation of
+    /// `0..n`) and constraints appended in `shuffle`-determined order.
+    fn instantiate(&self, order: &[usize], rng: &mut SplitMix64) -> ConstraintSet {
+        let n = self.names.len();
+        let mut inv = vec![0usize; n];
+        for (pos, &id) in order.iter().enumerate() {
+            inv[id] = pos;
+        }
+        let names: Vec<String> = order.iter().map(|&id| self.names[id].clone()).collect();
+        let mut cs = ConstraintSet::with_names(names);
+        // (kind, index-within-kind) pairs, shuffled: insertion order within
+        // and across kinds must not matter.
+        let mut items: Vec<(u8, usize)> = Vec::new();
+        items.extend((0..self.faces.len()).map(|i| (0u8, i)));
+        items.extend((0..self.doms.len()).map(|i| (1u8, i)));
+        items.extend((0..self.disj.len()).map(|i| (2u8, i)));
+        items.extend((0..self.dist2.len()).map(|i| (3u8, i)));
+        items.extend((0..self.nonfaces.len()).map(|i| (4u8, i)));
+        rng.shuffle(&mut items);
+        for (kind, i) in items {
+            match kind {
+                0 => {
+                    let (m, dc) = &self.faces[i];
+                    cs.add_face_with_dc(m.iter().map(|&s| inv[s]), dc.iter().map(|&s| inv[s]));
+                }
+                1 => {
+                    let (a, b) = self.doms[i];
+                    cs.add_dominance(inv[a], inv[b]);
+                }
+                2 => {
+                    let (p, ch) = &self.disj[i];
+                    cs.add_disjunctive(inv[*p], ch.iter().map(|&s| inv[s]));
+                }
+                3 => {
+                    let (a, b) = self.dist2[i];
+                    cs.add_distance2(inv[a], inv[b]);
+                }
+                _ => {
+                    cs.add_nonface(self.nonfaces[i].iter().map(|&s| inv[s]));
+                }
+            }
+        }
+        cs
+    }
+}
+
+fn identity(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+#[test]
+fn key_is_invariant_under_symbol_and_constraint_permutation() {
+    let mut rng = SplitMix64::new(0xcafe_0001);
+    for round in 0..ROUNDS {
+        let spec = Spec::random(&mut rng);
+        let base = spec.instantiate(&identity(spec.names.len()), &mut rng);
+        let key = canonical_form(&base).key;
+        for _ in 0..3 {
+            let mut order = identity(spec.names.len());
+            rng.shuffle(&mut order);
+            let permuted = spec.instantiate(&order, &mut rng);
+            let form = canonical_form(&permuted);
+            assert_eq!(
+                form.key, key,
+                "round {round}: permuted spelling changed the key\nbase:\n{base}\npermuted:\n{permuted}"
+            );
+            // The canonical text itself is the invariant, not just its hash.
+            assert_eq!(form.text, canonical_form(&base).text, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn key_is_invariant_under_constraint_duplication() {
+    let mut rng = SplitMix64::new(0xcafe_0002);
+    for round in 0..ROUNDS {
+        let mut spec = Spec::random(&mut rng);
+        let key = canonical_form(&spec.instantiate(&identity(spec.names.len()), &mut rng)).key;
+        // Duplicate a random sample of constraints (possibly several times).
+        for _ in 0..1 + rng.gen_range(0..3) {
+            if !spec.faces.is_empty() {
+                let i = rng.gen_range(0..spec.faces.len());
+                spec.faces.push(spec.faces[i].clone());
+            }
+            if !spec.doms.is_empty() {
+                let i = rng.gen_range(0..spec.doms.len());
+                spec.doms.push(spec.doms[i]);
+            }
+            if !spec.nonfaces.is_empty() {
+                let i = rng.gen_range(0..spec.nonfaces.len());
+                spec.nonfaces.push(spec.nonfaces[i].clone());
+            }
+        }
+        let doubled = spec.instantiate(&identity(spec.names.len()), &mut rng);
+        assert_eq!(
+            canonical_form(&doubled).key,
+            key,
+            "round {round}: duplicated constraints changed the key\n{doubled}"
+        );
+    }
+}
+
+#[test]
+fn semantic_mutations_change_the_key() {
+    let mut rng = SplitMix64::new(0xcafe_0003);
+    let mut checked = 0usize;
+    for round in 0..ROUNDS {
+        let spec = Spec::random(&mut rng);
+        let n = spec.names.len();
+        let base = spec.instantiate(&identity(n), &mut rng);
+        let key = canonical_form(&base).key;
+
+        // Mutation 1: flip a dominance direction (if one exists and its
+        // mirror is not already present).
+        if let Some(&(a, b)) = spec.doms.first() {
+            if !spec.doms.contains(&(b, a)) {
+                let mut m = spec.clone();
+                m.doms[0] = (b, a);
+                let mutated = m.instantiate(&identity(n), &mut rng);
+                assert_ne!(
+                    canonical_form(&mutated).key,
+                    key,
+                    "round {round}: flipped dominance kept the key\n{base}\nvs\n{mutated}"
+                );
+                checked += 1;
+            }
+        }
+
+        // Mutation 2: drop the first face constraint entirely.
+        if spec.faces.len() > 1 || (spec.faces.len() == 1 && spec.faces[0].0.len() > 2) {
+            let mut m = spec.clone();
+            m.faces.remove(0);
+            if !m.faces.is_empty() || !m.doms.is_empty() || !m.nonfaces.is_empty() {
+                let mutated = m.instantiate(&identity(n), &mut rng);
+                if canonical_form(&mutated).text != canonical_form(&base).text {
+                    assert_ne!(
+                        canonical_form(&mutated).key,
+                        key,
+                        "round {round}: dropped face kept the key"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+
+        // Mutation 3: rename a symbol (a different alphabet is a
+        // different canonical text, hence a different key).
+        let mut m = spec.clone();
+        m.names[0] = "zz_renamed".to_string();
+        let mutated = m.instantiate(&identity(n), &mut rng);
+        assert_ne!(
+            canonical_form(&mutated).key,
+            key,
+            "round {round}: renamed symbol kept the key"
+        );
+        checked += 1;
+    }
+    assert!(checked >= ROUNDS, "mutation coverage too thin: {checked}");
+}

@@ -1,0 +1,267 @@
+//! The content-addressed result cache (DESIGN.md §6e).
+//!
+//! Entries are keyed by `(canonical key, fingerprint)` where the
+//! fingerprint encodes the solver mode and every deterministic budget
+//! knob (deadline-budgeted requests bypass the cache entirely — their
+//! outcome is timing-dependent and must never be replayed). Successful
+//! entries store the *canonical-order* codes plus the deterministic
+//! [`WorkUnits`]; the caller remaps them through the request's own
+//! [`CanonicalForm`](ioenc_core::CanonicalForm) and re-verifies against
+//! the original constraint set on every hit. Failure entries additionally
+//! carry a hash of the raw request text and only replay for byte-identical
+//! input, because rendered failures (lint spans, constraint indices)
+//! refer to the original spelling.
+//!
+//! The store is sharded 16 ways; each shard is bounded and evicts in
+//! insertion order (a FIFO ring — "LRU by insertion" — which is cheap,
+//! deterministic, and good enough for a cache whose hits are dominated by
+//! bursts of identical requests).
+
+use crate::exec::ModeOutcome;
+use ioenc_core::WorkUnits;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// One stored outcome.
+#[derive(Debug, Clone)]
+pub enum CachedOutcome {
+    /// A solved encoding, in canonical symbol order.
+    Success {
+        /// Code length in bits.
+        width: usize,
+        /// One code per canonical symbol index.
+        canon_codes: Vec<u64>,
+        /// The deterministic work counters of the solve.
+        work: WorkUnits,
+        /// Mode-specific result detail (`optimal`, `converged`, rung).
+        mode: ModeOutcome,
+    },
+    /// A typed failure, replayed only for byte-identical raw input.
+    Failure {
+        /// Hash of the raw request text that produced the failure.
+        raw_hash: u64,
+        /// The rendered failure JSON (one line, no trailing newline).
+        json: String,
+        /// The CLI exit code of the failure class.
+        exit_code: u8,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    canonical: u128,
+    fingerprint: String,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, CachedOutcome>,
+    ring: VecDeque<Key>,
+}
+
+/// Sharded, size-bounded result cache with hit/miss/eviction counters.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    verify_failures: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to roughly `capacity` entries (at least
+    /// one per shard; the per-shard bound is `ceil(capacity / 16)`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, canonical: u128) -> &Mutex<Shard> {
+        &self.shards[(canonical as u64 as usize) % SHARDS]
+    }
+
+    /// Looks up `(canonical, fingerprint)`. A stored failure only counts
+    /// as a hit when `raw_hash` matches the input that produced it; a
+    /// mismatch is a miss (the permuted spelling must re-solve so its
+    /// diagnostics point at its own constraints).
+    pub fn lookup(
+        &self,
+        canonical: u128,
+        fingerprint: &str,
+        raw_hash: u64,
+    ) -> Option<CachedOutcome> {
+        let key = Key {
+            canonical,
+            fingerprint: fingerprint.to_string(),
+        };
+        let shard = self
+            .shard(canonical)
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let found = match shard.map.get(&key) {
+            Some(CachedOutcome::Failure { raw_hash: h, .. }) if *h != raw_hash => None,
+            other => other.cloned(),
+        };
+        drop(shard);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Inserts (or replaces) an outcome, evicting the shard's oldest
+    /// insertions beyond its capacity.
+    pub fn insert(&self, canonical: u128, fingerprint: &str, outcome: CachedOutcome) {
+        let key = Key {
+            canonical,
+            fingerprint: fingerprint.to_string(),
+        };
+        let mut evicted = 0u64;
+        {
+            let mut shard = self
+                .shard(canonical)
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            if shard.map.insert(key.clone(), outcome).is_none() {
+                shard.ring.push_back(key);
+            }
+            while shard.map.len() > self.shard_capacity {
+                match shard.ring.pop_front() {
+                    Some(old) => {
+                        if shard.map.remove(&old).is_some() {
+                            evicted += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a hit whose re-verification against the original set
+    /// failed (the entry was not used; the caller re-solves).
+    pub fn note_verify_failure(&self) {
+        self.verify_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total hits (including failure replays).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Total misses (including failure raw-hash mismatches).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the per-shard insertion ring.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hits discarded because the remapped encoding failed verification.
+    pub fn verify_failures(&self) -> u64 {
+        self.verify_failures.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently stored, summed across shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).map.len())
+            .sum()
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured (approximate) total capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn success(width: usize) -> CachedOutcome {
+        CachedOutcome::Success {
+            width,
+            canon_codes: vec![0, 1],
+            work: WorkUnits::default(),
+            mode: ModeOutcome::Exact { optimal: true },
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters() {
+        let c = ResultCache::new(8);
+        assert!(c.lookup(1, "exact", 0).is_none());
+        assert_eq!(c.misses(), 1);
+        c.insert(1, "exact", success(2));
+        assert!(c.lookup(1, "exact", 0).is_some());
+        assert_eq!(c.hits(), 1);
+        // Same canonical key, different fingerprint: a distinct entry.
+        assert!(c.lookup(1, "heuristic", 0).is_none());
+    }
+
+    #[test]
+    fn failure_entries_guard_on_raw_hash() {
+        let c = ResultCache::new(8);
+        c.insert(
+            7,
+            "exact",
+            CachedOutcome::Failure {
+                raw_hash: 42,
+                json: "{\"ok\":false}".into(),
+                exit_code: 6,
+            },
+        );
+        assert!(c.lookup(7, "exact", 41).is_none(), "other spelling: miss");
+        assert!(c.lookup(7, "exact", 42).is_some(), "same spelling: hit");
+    }
+
+    #[test]
+    fn eviction_is_bounded_per_shard() {
+        let c = ResultCache::new(16); // one entry per shard
+                                      // All keys land in the same shard (same low 64 bits mod 16).
+        for i in 0..5u128 {
+            c.insert(16 * i, "m", success(1));
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 4);
+        // The newest entry survived.
+        assert!(c.lookup(16 * 4, "m", 0).is_some());
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_grow_the_ring() {
+        let c = ResultCache::new(16);
+        for _ in 0..10 {
+            c.insert(3, "m", success(1));
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! `ioenc serve` — a concurrent batch-encoding service (DESIGN.md §6e).
+//!
+//! The service answers newline-delimited JSON encode requests over stdio
+//! or TCP, backed by three layers:
+//!
+//! * [`exec`] — the shared request pipeline: canonicalize (see
+//!   [`ioenc_core::canonical_form`]), solve the canonical set, restore
+//!   the codes to the caller's symbol order, and render the outcome as
+//!   compact JSON. `ioenc encode --json` runs the *same* pipeline, which
+//!   is what makes serve responses byte-identical to one-shot CLI output.
+//! * [`cache`] — a sharded, size-bounded result cache addressed by
+//!   `(canonical key, solver mode, budget fingerprint)`. Every hit is
+//!   re-verified against the original constraint set, so a
+//!   canonicalization bug can degrade throughput but never return a
+//!   wrong code.
+//! * [`server`] — the transport: a `std::thread::scope` worker pool fed
+//!   by a bounded [`queue`] that sheds load with an explicit
+//!   `overloaded` response, per-request budgets wired to a shared
+//!   [`CancelToken`](ioenc_core::CancelToken), inline `stats` and
+//!   `shutdown` operations, and graceful drain on shutdown.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in, one per line out; responses carry the
+//! request's `id` and may arrive out of order:
+//!
+//! ```text
+//! → {"id":1,"op":"encode","text":"symbols: a b c d\n(b,c)\n(c,d)\n"}
+//! ← {"id":1,"result":{"ok":true,"key":"…","mode":"exact",…}}
+//! → {"id":2,"op":"stats"}
+//! ← {"id":2,"result":{"ok":true,"workers":4,"queue":{…},"cache":{…}}}
+//! → {"id":3,"op":"shutdown"}
+//! ← {"id":3,"result":{"ok":true,"shutting_down":true}}
+//! ```
+//!
+//! The `result` object of an `encode` response is byte-for-byte the
+//! stdout of `ioenc encode --json` on the same input, for every worker
+//! count and cache state.
+
+pub mod cache;
+pub mod exec;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CachedOutcome, ResultCache};
+pub use exec::{
+    outcome, parse_constraint_text, solve_fresh, EncodeResult, EncodeSpec, Mode, ModeOutcome,
+    Outcome,
+};
+pub use server::{serve_stdio, serve_tcp, ServeOptions};

@@ -1,0 +1,126 @@
+//! A bounded MPMC work queue with explicit load shedding.
+//!
+//! [`BoundedQueue::try_push`] never blocks: a full (or closed) queue
+//! hands the item straight back so the caller can answer `overloaded`
+//! instead of buffering without bound. [`BoundedQueue::pop`] blocks until
+//! an item arrives or the queue is closed *and* drained — closing is how
+//! the server requests a graceful drain: workers finish everything that
+//! was accepted, then exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity queue shared by the request readers and the worker
+/// pool.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Enqueues `item`, or returns it when the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.lock();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next item. Returns `None` once the queue is closed
+    /// and every accepted item has been handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Closes the queue: further pushes fail, and blocked poppers drain
+    /// the remaining items before seeing `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting.
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheds_when_full_and_drains_on_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.depth(), 2);
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(q.try_push(7).is_ok());
+        assert_eq!(h.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,598 @@
+//! The `ioenc serve` loop: NDJSON over stdio or TCP, a scoped worker
+//! pool, bounded queuing with load shedding, inline `stats`/`shutdown`
+//! operations and graceful drain.
+//!
+//! Concurrency shape: request readers (the stdio main loop, or one
+//! thread per TCP connection) parse each line and either answer inline
+//! (`stats`, `shutdown`, malformed requests, shed load) or enqueue an
+//! encode job. `std::thread::scope` workers pop jobs, run the shared
+//! [`outcome`] pipeline with `Parallelism::Off` (the pool itself is the
+//! parallelism) and write one response line under the connection's sink
+//! lock. Shutdown closes the queue; workers finish every accepted job
+//! before exiting, so no request is silently dropped.
+
+use crate::cache::ResultCache;
+use crate::exec::{failure_json, outcome, EncodeSpec, Mode, Outcome};
+use crate::queue::BoundedQueue;
+use ioenc_core::json::Json;
+use ioenc_core::{CancelToken, CostFunction, EncodeError, Parallelism};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration for [`serve_stdio`] / [`serve_tcp`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Worker threads (minimum 1).
+    pub workers: usize,
+    /// Bounded queue capacity; excess encode requests are shed with an
+    /// `overloaded` response.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; `0` disables the cache.
+    pub cache_entries: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            queue_capacity: 64,
+            cache_entries: 1024,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Default options: 4 workers, a 64-slot queue, a 1024-entry cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (floored at 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the queue capacity (floored at 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the cache capacity; `0` disables caching.
+    pub fn with_cache_entries(mut self, entries: usize) -> Self {
+        self.cache_entries = entries;
+        self
+    }
+}
+
+/// Where a response line goes: shared, line-locked writer.
+type Sink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+struct Job {
+    /// The request's `id`, re-rendered as JSON and echoed verbatim.
+    id: String,
+    text: String,
+    spec: EncodeSpec,
+    sink: Sink,
+}
+
+struct Shared {
+    cache: Option<ResultCache>,
+    queue: BoundedQueue<Job>,
+    cancel: CancelToken,
+    shutdown: AtomicBool,
+    shed: AtomicU64,
+    processed: AtomicU64,
+    workers: usize,
+}
+
+impl Shared {
+    fn new(opts: &ServeOptions) -> Self {
+        Shared {
+            cache: (opts.cache_entries > 0).then(|| ResultCache::new(opts.cache_entries)),
+            queue: BoundedQueue::new(opts.queue_capacity),
+            cancel: CancelToken::new(),
+            shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            workers: opts.workers.max(1),
+        }
+    }
+}
+
+fn write_response(sink: &Sink, id: &str, result: &str) {
+    let line = format!("{{\"id\":{id},\"result\":{result}}}\n");
+    let mut w = sink.lock().unwrap_or_else(|p| p.into_inner());
+    // A vanished client (broken pipe, closed socket) must not take the
+    // server down; its remaining responses are simply dropped.
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+fn worker(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            outcome(
+                &job.text,
+                &job.spec,
+                shared.cache.as_ref(),
+                Some(&shared.cancel),
+            )
+        }));
+        let out = result.unwrap_or_else(|_| Outcome {
+            json: Json::obj()
+                .field("ok", false)
+                .field(
+                    "error",
+                    Json::obj()
+                        .field("class", "internal")
+                        .field("message", "worker panicked; request abandoned"),
+                )
+                .render(),
+            exit_code: 1,
+        });
+        shared.processed.fetch_add(1, Ordering::Relaxed);
+        write_response(&job.sink, &job.id, &out.json);
+    }
+}
+
+fn u64_field(req: &Json, name: &str) -> Result<Option<u64>, EncodeError> {
+    match req.get(name) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| EncodeError::parse(format!("'{name}' must be a non-negative integer"))),
+    }
+}
+
+fn usize_field(req: &Json, name: &str) -> Result<Option<usize>, EncodeError> {
+    Ok(u64_field(req, name)?.map(|n| n as usize))
+}
+
+/// Translates an `encode` request object into `(text, spec)`.
+fn parse_encode_request(req: &Json) -> Result<(String, EncodeSpec), EncodeError> {
+    let text = req
+        .get("text")
+        .and_then(Json::as_str)
+        .ok_or_else(|| EncodeError::parse("encode request needs a string 'text' field"))?
+        .to_string();
+    let mode_name = match req.get("mode") {
+        None | Some(Json::Null) => "exact",
+        Some(m) => m
+            .as_str()
+            .ok_or_else(|| EncodeError::parse("'mode' must be a string"))?,
+    };
+    let bits = usize_field(req, "bits")?;
+    let prime_cap = usize_field(req, "prime_cap")?;
+    let mode = match mode_name {
+        "exact" => Mode::Exact { prime_cap },
+        "heuristic" => {
+            let cost = match req
+                .get("cost")
+                .and_then(Json::as_str)
+                .unwrap_or("violations")
+            {
+                "violations" => CostFunction::Violations,
+                "cubes" => CostFunction::Cubes,
+                "literals" => CostFunction::Literals,
+                other => {
+                    return Err(EncodeError::parse(format!(
+                        "unknown cost function '{other}'"
+                    )))
+                }
+            };
+            Mode::Heuristic { bits, cost }
+        }
+        "auto" => Mode::Auto,
+        other => return Err(EncodeError::parse(format!("unknown mode '{other}'"))),
+    };
+    let deadline_ms = u64_field(req, "deadline_ms")?;
+    if deadline_ms == Some(0) {
+        return Err(EncodeError::limit("deadline_ms must be positive"));
+    }
+    Ok((
+        text,
+        EncodeSpec {
+            mode,
+            max_primes: usize_field(req, "max_primes")?,
+            max_nodes: u64_field(req, "max_nodes")?,
+            max_evals: u64_field(req, "max_evals")?,
+            max_ps_steps: u64_field(req, "max_ps_steps")?,
+            deadline_ms,
+            parallelism: Parallelism::Off,
+        },
+    ))
+}
+
+fn stats_json(shared: &Shared) -> Json {
+    let cache = match &shared.cache {
+        Some(c) => Json::obj()
+            .field("enabled", true)
+            .field("capacity", c.capacity())
+            .field("entries", c.len())
+            .field("hits", c.hits())
+            .field("misses", c.misses())
+            .field("evictions", c.evictions())
+            .field("verify_failures", c.verify_failures()),
+        None => Json::obj()
+            .field("enabled", false)
+            .field("capacity", 0u64)
+            .field("entries", 0u64)
+            .field("hits", 0u64)
+            .field("misses", 0u64)
+            .field("evictions", 0u64)
+            .field("verify_failures", 0u64),
+    };
+    Json::obj()
+        .field("ok", true)
+        .field("workers", shared.workers)
+        .field(
+            "queue",
+            Json::obj()
+                .field("capacity", shared.queue.capacity())
+                .field("depth", shared.queue.depth())
+                .field("shed", shared.shed.load(Ordering::Relaxed))
+                .field("processed", shared.processed.load(Ordering::Relaxed)),
+        )
+        .field("cache", cache)
+}
+
+fn overloaded_json(shared: &Shared) -> Json {
+    Json::obj().field("ok", false).field(
+        "error",
+        Json::obj().field("class", "overloaded").field(
+            "message",
+            format!(
+                "queue full (capacity {}); retry later",
+                shared.queue.capacity()
+            ),
+        ),
+    )
+}
+
+/// Handles one request line. Returns `false` when the connection (and
+/// for `shutdown`, the whole server) should stop reading.
+fn dispatch_line(shared: &Shared, line: &str, sink: &Sink) -> bool {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return true;
+    }
+    let req = match Json::parse(trimmed) {
+        Ok(j) => j,
+        Err(msg) => {
+            let e = EncodeError::parse(format!("invalid request JSON: {msg}"));
+            write_response(sink, "null", &failure_json(&e, None).render());
+            return true;
+        }
+    };
+    let id = req
+        .get("id")
+        .map(Json::render)
+        .unwrap_or_else(|| "null".to_string());
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("encode");
+    match op {
+        "stats" => {
+            write_response(sink, &id, &stats_json(shared).render());
+            true
+        }
+        "shutdown" => {
+            if req.get("abort").and_then(Json::as_bool).unwrap_or(false) {
+                shared.cancel.cancel();
+            }
+            write_response(
+                sink,
+                &id,
+                &Json::obj()
+                    .field("ok", true)
+                    .field("shutting_down", true)
+                    .render(),
+            );
+            shared.shutdown.store(true, Ordering::SeqCst);
+            false
+        }
+        "encode" => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                write_response(sink, &id, &overloaded_json(shared).render());
+                return true;
+            }
+            match parse_encode_request(&req) {
+                Ok((text, spec)) => {
+                    let job = Job {
+                        id: id.clone(),
+                        text,
+                        spec,
+                        sink: sink.clone(),
+                    };
+                    if shared.queue.try_push(job).is_err() {
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        write_response(sink, &id, &overloaded_json(shared).render());
+                    }
+                }
+                Err(e) => write_response(sink, &id, &failure_json(&e, None).render()),
+            }
+            true
+        }
+        other => {
+            let e = EncodeError::parse(format!("unknown op '{other}'"));
+            write_response(sink, &id, &failure_json(&e, None).render());
+            true
+        }
+    }
+}
+
+/// Serves NDJSON requests from `input`, writing responses to `sink`.
+/// Returns after end-of-input or a `shutdown` request, once every
+/// accepted job has been answered.
+fn serve_reader<R: BufRead>(opts: &ServeOptions, input: R, sink: Sink) {
+    let shared = Shared::new(opts);
+    std::thread::scope(|s| {
+        for _ in 0..shared.workers {
+            s.spawn(|| worker(&shared));
+        }
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if !dispatch_line(&shared, &line, &sink) {
+                break;
+            }
+        }
+        shared.queue.close();
+    });
+}
+
+/// Runs the service over stdin/stdout until EOF or a `shutdown` request.
+pub fn serve_stdio(opts: &ServeOptions) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let sink: Sink = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    serve_reader(opts, stdin.lock(), sink);
+    Ok(())
+}
+
+fn connection(shared: &Shared, stream: TcpStream) {
+    let write_half = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let sink: Sink = Arc::new(Mutex::new(Box::new(write_half)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                let keep_going = dispatch_line(shared, &line, &sink);
+                line.clear();
+                if !keep_going {
+                    break;
+                }
+            }
+            // A read timeout just polls the shutdown flag; `read_line`
+            // keeps any partial line in `line` and appends on retry.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Runs the service on a loopback TCP port (`0` picks an ephemeral one).
+/// Prints `ioenc serve: listening on 127.0.0.1:<port>` to stderr once
+/// bound — test harnesses learn the ephemeral port from that line — and
+/// returns after a `shutdown` request, once accepted jobs are answered.
+pub fn serve_tcp(opts: &ServeOptions, port: u16) -> std::io::Result<()> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    let local = listener.local_addr()?;
+    eprintln!("ioenc serve: listening on {local}");
+    serve_listener(opts, listener)
+}
+
+/// [`serve_tcp`] on an already-bound listener (used by tests to avoid
+/// port races).
+fn serve_listener(opts: &ServeOptions, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let shared = Shared::new(opts);
+    std::thread::scope(|s| {
+        for _ in 0..shared.workers {
+            s.spawn(|| worker(&shared));
+        }
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = &shared;
+                    s.spawn(move || connection(shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(_) => break,
+            }
+        }
+        shared.queue.close();
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECTION1: &str = "symbols: a b c d\n(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d\n";
+
+    fn serve_lines(opts: &ServeOptions, requests: &[String]) -> Vec<String> {
+        let input = requests.join("\n") + "\n";
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let sink: Sink = Arc::new(Mutex::new(Box::new(SharedBuf(buf.clone()))));
+        serve_reader(opts, input.as_bytes(), sink);
+        let out = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        out.lines().map(str::to_string).collect()
+    }
+
+    fn encode_request(id: u64, text: &str) -> String {
+        Json::obj()
+            .field("id", id)
+            .field("op", "encode")
+            .field("text", text)
+            .render()
+    }
+
+    #[test]
+    fn encode_stats_and_shutdown_round_trip() {
+        let reqs = vec![
+            encode_request(1, SECTION1),
+            encode_request(2, SECTION1),
+            Json::obj().field("id", 3u64).field("op", "stats").render(),
+            Json::obj()
+                .field("id", 4u64)
+                .field("op", "shutdown")
+                .render(),
+        ];
+        let lines = serve_lines(&ServeOptions::new().with_workers(2), &reqs);
+        assert_eq!(lines.len(), 4);
+        let by_id = |want: u64| {
+            lines
+                .iter()
+                .find(|l| Json::parse(l).unwrap().get("id").and_then(Json::as_u64) == Some(want))
+                .cloned()
+                .unwrap()
+        };
+        let r1 = Json::parse(&by_id(1)).unwrap();
+        let ok = r1
+            .get("result")
+            .and_then(|r| r.get("ok"))
+            .and_then(Json::as_bool);
+        assert_eq!(ok, Some(true));
+        // Identical requests produce byte-identical result objects.
+        assert_eq!(
+            by_id(1).replace("\"id\":1", ""),
+            by_id(2).replace("\"id\":2", "")
+        );
+        let shut = Json::parse(&by_id(4)).unwrap();
+        assert_eq!(
+            shut.get("result")
+                .and_then(|r| r.get("shutting_down"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn malformed_lines_get_typed_parse_errors_not_panics() {
+        let reqs = vec![
+            "this is not json".to_string(),
+            "{\"id\":9,\"op\":\"encode\"}".to_string(),
+            "{\"id\":10,\"op\":\"frobnicate\"}".to_string(),
+            "{\"id\":11,\"op\":\"encode\",\"text\":\"no header\"}".to_string(),
+        ];
+        let lines = serve_lines(&ServeOptions::new().with_workers(1), &reqs);
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            let err = v
+                .get("result")
+                .and_then(|r| r.get("error"))
+                .and_then(|e| e.get("class"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert_eq!(err, "parse", "{line}");
+        }
+    }
+
+    #[test]
+    fn overload_sheds_with_an_explicit_response() {
+        // One worker, one queue slot, no cache: burst enough requests
+        // that at least one is shed (the reader enqueues much faster
+        // than a solve completes).
+        let mut reqs: Vec<String> = (0..12).map(|i| encode_request(i, SECTION1)).collect();
+        reqs.push(Json::obj().field("id", 99u64).field("op", "stats").render());
+        let opts = ServeOptions::new()
+            .with_workers(1)
+            .with_queue_capacity(1)
+            .with_cache_entries(0);
+        let lines = serve_lines(&opts, &reqs);
+        assert_eq!(lines.len(), 13);
+        let shed = lines
+            .iter()
+            .filter(|l| l.contains("\"class\":\"overloaded\""))
+            .count();
+        assert!(shed > 0, "expected at least one shed response");
+        let stats_line = lines.iter().find(|l| l.contains("\"queue\"")).unwrap();
+        let v = Json::parse(stats_line).unwrap();
+        let reported = v
+            .get("result")
+            .and_then(|r| r.get("queue"))
+            .and_then(|q| q.get("shed"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert_eq!(reported as usize, shed);
+    }
+
+    #[test]
+    fn tcp_round_trip_with_ephemeral_port() {
+        use std::net::TcpStream;
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let opts = ServeOptions::new().with_workers(2);
+        let server = std::thread::spawn(move || serve_listener(&opts, listener));
+        // Retry connecting while the server binds.
+        let mut stream = None;
+        for _ in 0..100 {
+            match TcpStream::connect(("127.0.0.1", port)) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        let stream = stream.expect("server did not bind");
+        let mut writer = stream.try_clone().unwrap();
+        writeln!(writer, "{}", encode_request(1, SECTION1)).unwrap();
+        writeln!(
+            writer,
+            "{}",
+            Json::obj()
+                .field("id", 2u64)
+                .field("op", "shutdown")
+                .render()
+        )
+        .unwrap();
+        let reader = BufReader::new(stream);
+        let lines: Vec<String> = reader.lines().map_while(Result::ok).collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().any(|l| l.contains("\"ok\":true")));
+        server.join().unwrap().unwrap();
+    }
+}

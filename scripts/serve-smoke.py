@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Smoke-test `ioenc serve` on a loopback TCP port against the one-shot CLI.
+
+Usage: serve-smoke.py <path-to-ioenc-binary> [--workers N]
+
+Starts the server with `--tcp 0` (ephemeral port), replays every fixture
+in tests/fixtures/serve/ twice (duplicates exercise the result cache),
+and requires each response to be byte-identical to `ioenc encode --json`
+on the same file. Finally asserts the cache reported hits and that
+shutdown drains cleanly. Exits non-zero on any divergence.
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = sorted((REPO / "tests" / "fixtures" / "serve").glob("*.txt"))
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    workers = "4"
+    if "--workers" in sys.argv:
+        workers = sys.argv[sys.argv.index("--workers") + 1]
+    if not FIXTURES:
+        print("no fixtures under tests/fixtures/serve/", file=sys.stderr)
+        return 1
+
+    server = subprocess.Popen(
+        [binary, "serve", "--tcp", "0", "--workers", workers],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stderr.readline().strip()
+        addr = banner.rsplit(" ", 1)[-1]
+        host, port = addr.rsplit(":", 1)
+
+        expected = {}
+        requests = []
+        rid = 0
+        for _ in range(2):  # two passes: the second is all cache hits
+            for f in FIXTURES:
+                rid += 1
+                cli = subprocess.run(
+                    [binary, "encode", str(f), "--json"],
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                )
+                expected[rid] = '{"id":%d,"result":%s}' % (rid, cli.stdout.strip())
+                requests.append(
+                    json.dumps(
+                        {"id": rid, "op": "encode", "text": f.read_text()},
+                        separators=(",", ":"),
+                    )
+                )
+
+        deadline = time.monotonic() + 30
+        sock = None
+        while sock is None:
+            try:
+                sock = socket.create_connection((host, int(port)), timeout=5)
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        sock.settimeout(60)
+        reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        writer = sock.makefile("w", encoding="utf-8", newline="\n")
+        for line in requests:
+            writer.write(line + "\n")
+        writer.flush()
+
+        failures = 0
+        for _ in range(len(requests)):
+            line = reader.readline().strip()
+            got_id = json.loads(line)["id"]
+            if line != expected[got_id]:
+                failures += 1
+                print(f"MISMATCH id={got_id}", file=sys.stderr)
+                print(f"  serve: {line}", file=sys.stderr)
+                print(f"  cli:   {expected[got_id]}", file=sys.stderr)
+
+        writer.write('{"id":0,"op":"stats"}\n')
+        writer.flush()
+        stats = json.loads(reader.readline())["result"]
+        hits = stats["cache"]["hits"]
+        # Concurrent workers may race duplicate requests past each other's
+        # inserts, so only a floor of one hit is deterministic.
+        if hits == 0:
+            print("expected nonzero cache hits on a duplicated corpus", file=sys.stderr)
+            failures += 1
+
+        writer.write('{"id":0,"op":"shutdown"}\n')
+        writer.flush()
+        reader.readline()  # shutdown ack
+        sock.close()
+        code = server.wait(timeout=30)
+        if code != 0:
+            print(f"server exited with {code}", file=sys.stderr)
+            failures += 1
+
+        n = len(requests)
+        if failures:
+            print(f"serve-smoke: {failures} failure(s) over {n} requests", file=sys.stderr)
+            return 1
+        print(
+            f"serve-smoke: {n} responses byte-identical to the CLI "
+            f"(workers={workers}, cache hits={hits})"
+        )
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

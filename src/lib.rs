@@ -21,6 +21,9 @@
 //! * [`symbolic`] — symbolic minimization front end generating constraints.
 //! * [`nova`] / [`anneal`] — the NOVA-like and simulated-annealing baselines
 //!   used in the paper's Tables 2 and 3.
+//! * [`server`] — the `ioenc serve` batch-encoding service: canonicalization,
+//!   a content-addressed result cache, and an NDJSON worker-pool server
+//!   whose responses are byte-identical to `ioenc encode --json`.
 //!
 //! # Quickstart
 //!
@@ -66,4 +69,5 @@ pub use ioenc_cube as cube;
 pub use ioenc_espresso as espresso;
 pub use ioenc_kiss as kiss;
 pub use ioenc_nova as nova;
+pub use ioenc_server as server;
 pub use ioenc_symbolic as symbolic;

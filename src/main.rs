@@ -3,7 +3,9 @@
 //! ```text
 //! ioenc check <constraints-file>                 feasibility (P-1)
 //! ioenc lint <constraints-file> [--json]         static analysis + conflict cores
+//! ioenc canon <constraints-file>                 canonical form + content key
 //! ioenc encode <constraints-file> [options]      exact or heuristic codes
+//! ioenc serve [--workers N] [--tcp PORT]         NDJSON batch-encoding service
 //! ioenc primes <constraints-file> [--cap N]      prime encoding-dichotomies
 //! ioenc fsm <kiss2-file> [--mixed] [--dc]        constraints from an FSM
 //! ioenc table <constraints-file>                 the Section 4 binate table
@@ -22,17 +24,24 @@
 //!
 //! Encoding results go to stdout; solver statistics go to stderr, so the
 //! codes stay byte-identical across thread counts and pipe cleanly.
+//!
+//! Exit codes are consistent across subcommands, one per
+//! [`EncodeError`] class: 0 success, 2 parse, 3 io, 4 limit, 5 budget,
+//! 6 infeasible (1 is reserved for other failures, e.g.
+//! `lint --deny-warnings`).
 
 #![forbid(unsafe_code)]
 
 use ioenc::core::lint::{lint, LintOptions};
 use ioenc::core::{
-    check_feasible, encode_auto, exact_encode_report, generate_primes_with, heuristic_encode,
-    initial_dichotomies, AutoOptions, BinateFormulation, Budget, ConstraintSet, CostFunction,
-    EncodeError, ExactOptions, HeuristicOptions, Parallelism,
+    canonical_form, check_feasible, generate_primes_with, initial_dichotomies, BinateFormulation,
+    ConstraintSet, CostFunction, EncodeError, Parallelism,
 };
 use ioenc::espresso::{cover_to_pla_text, parse_pla_text};
 use ioenc::kiss::Fsm;
+use ioenc::server::{
+    outcome, serve_stdio, serve_tcp, solve_fresh, EncodeSpec, Mode, ModeOutcome, ServeOptions,
+};
 use ioenc::symbolic::{
     assign_states, input_constraints, input_constraints_with_dc, mixed_constraints, OutputProfile,
     Strategy,
@@ -47,7 +56,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -57,49 +66,55 @@ usage:
   ioenc check  <constraints-file>
   ioenc lint   <constraints-file> [--json] [--deny-warnings]
                [--threads auto|off|N]
-  ioenc encode <constraints-file> [--heuristic] [--bits N]
+  ioenc canon  <constraints-file>
+  ioenc encode <constraints-file> [--json] [--heuristic] [--bits N]
                [--cost violations|cubes|literals] [--prime-cap N]
                [--auto] [--max-primes N] [--max-nodes N] [--max-evals N]
                [--max-ps-steps N] [--deadline-ms T]
                [--threads auto|off|N]
+  ioenc serve  [--workers N] [--queue N] [--cache N|off] [--tcp PORT]
   ioenc primes <constraints-file> [--cap N] [--threads auto|off|N]
   ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
   ioenc table  <constraints-file>
-  ioenc minimize <pla-file>";
+  ioenc minimize <pla-file>
+exit codes: 0 success, 2 parse, 3 io, 4 limit, 5 budget, 6 infeasible";
 
-fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
-    let mut it = args.iter();
-    let cmd = it
-        .next()
-        .ok_or_else(|| EncodeError::parse("missing subcommand"))?;
-    let path = it
-        .next()
-        .ok_or_else(|| EncodeError::parse("missing input file"))?;
-    let rest: Vec<&String> = it.collect();
-    let flag = |name: &str| rest.iter().any(|a| *a == name);
-    let value = |name: &str| -> Option<&str> {
-        rest.iter()
+/// Positional-free flag helpers over a tail-of-argv slice.
+struct Flags<'a> {
+    rest: &'a [&'a String],
+}
+
+impl<'a> Flags<'a> {
+    fn flag(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| *a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.rest
+            .iter()
             .position(|a| *a == name)
-            .and_then(|i| rest.get(i + 1))
+            .and_then(|i| self.rest.get(i + 1))
             .map(|s| s.as_str())
-    };
-    let number = |name: &str| -> Result<Option<usize>, EncodeError> {
-        match value(name) {
+    }
+
+    fn number(&self, name: &str) -> Result<Option<usize>, EncodeError> {
+        match self.value(name) {
             Some(v) => v
                 .parse::<usize>()
                 .map_err(|e| EncodeError::parse(format!("{name} {v}: {e}")))
                 .map(Some),
-            None if flag(name) => Err(EncodeError::parse(format!("{name} requires a value"))),
+            None if self.flag(name) => Err(EncodeError::parse(format!("{name} requires a value"))),
             None => Ok(None),
         }
-    };
-    let threads = || -> Result<Parallelism, EncodeError> {
-        if flag("--threads") && value("--threads").is_none() {
+    }
+
+    fn threads(&self) -> Result<Parallelism, EncodeError> {
+        if self.flag("--threads") && self.value("--threads").is_none() {
             return Err(EncodeError::parse(
                 "--threads requires a value (auto|off|N)",
             ));
         }
-        Ok(match value("--threads") {
+        Ok(match self.value("--threads") {
             None | Some("auto") => Parallelism::Auto,
             Some("off") => Parallelism::Off,
             Some(v) => {
@@ -112,7 +127,26 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
                 Parallelism::Fixed(n)
             }
         })
-    };
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
+    let mut it = args.iter();
+    let cmd = it
+        .next()
+        .ok_or_else(|| EncodeError::parse("missing subcommand"))?;
+    let tail: Vec<&String> = it.collect();
+
+    if cmd == "serve" {
+        return run_serve(&Flags { rest: &tail });
+    }
+
+    let path = tail
+        .first()
+        .map(|s| s.as_str())
+        .ok_or_else(|| EncodeError::parse("missing input file"))?;
+    let rest = &tail[1..];
+    let f = Flags { rest };
     let text = std::fs::read_to_string(path).map_err(|e| EncodeError::io(path, &e))?;
 
     match cmd.as_str() {
@@ -138,149 +172,33 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
         }
         "lint" => {
             let cs = parse_constraints(&text)?;
-            threads()?; // validated for CLI uniformity; the lint is single-threaded
+            f.threads()?; // validated for CLI uniformity; the lint is single-threaded
             let report = lint(&cs, &LintOptions::new());
-            if flag("--json") {
+            if f.flag("--json") {
                 print!("{}", report.render_json(&cs, Some(path)));
             } else {
                 print!("{}", report.render(&cs, Some(path)));
             }
-            let failed = report.has_errors()
-                || !report.feasible
-                || (flag("--deny-warnings") && report.warnings() > 0);
-            Ok(if failed {
+            Ok(if report.has_errors() || !report.feasible {
+                // The infeasibility exit class, same as `encode`.
+                ExitCode::from(EncodeError::infeasible(vec![]).exit_code())
+            } else if f.flag("--deny-warnings") && report.warnings() > 0 {
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
             })
         }
-        "encode" => {
+        "canon" => {
             let cs = parse_constraints(&text)?;
-            let bits = number("--bits")?;
-            if flag("--auto") {
-                if flag("--heuristic") {
-                    return Err(EncodeError::limit(
-                        "--auto and --heuristic are mutually exclusive",
-                    ));
-                }
-                let mut budget = Budget::unlimited();
-                let mut budgeted = false;
-                if let Some(n) = number("--max-primes")? {
-                    budget = budget.with_max_primes(n);
-                    budgeted = true;
-                }
-                if let Some(n) = number("--max-nodes")? {
-                    budget = budget.with_max_cover_nodes(n as u64);
-                    budgeted = true;
-                }
-                if let Some(n) = number("--max-evals")? {
-                    budget = budget.with_max_evals(n as u64);
-                    budgeted = true;
-                }
-                if let Some(n) = number("--max-ps-steps")? {
-                    budget = budget.with_max_ps_steps(n as u64);
-                    budgeted = true;
-                }
-                if let Some(ms) = number("--deadline-ms")? {
-                    if ms == 0 {
-                        return Err(EncodeError::limit("--deadline-ms must be positive"));
-                    }
-                    budget = budget.with_deadline(std::time::Duration::from_millis(ms as u64));
-                    budgeted = true;
-                }
-                if !budgeted {
-                    return Err(EncodeError::limit(
-                        "--auto needs at least one budget: --max-primes, --max-nodes, \
-                         --max-evals, --max-ps-steps or --deadline-ms",
-                    ));
-                }
-                let opts = AutoOptions::new()
-                    .with_budget(budget)
-                    .with_parallelism(threads()?);
-                let report = match encode_auto(&cs, &opts) {
-                    Ok(r) => r,
-                    Err(e) => return fail_with_explanation(&cs, path, e),
-                };
-                println!(
-                    "{} encoding, {} bits{}:",
-                    report.rung,
-                    report.encoding.width(),
-                    if report.optimal {
-                        " (minimum length)"
-                    } else {
-                        ""
-                    }
-                );
-                print!("{}", report.encoding.display(&cs));
-                for a in &report.attempts {
-                    match &a.error {
-                        Some(e) => eprintln!("{} rung fell short: {e}", a.rung),
-                        None => eprintln!(
-                            "{} rung fell short: best encoding still violated constraints",
-                            a.rung
-                        ),
-                    }
-                }
-                if report.reused_raised {
-                    eprintln!("fallback reused the exact rung's raised dichotomies");
-                }
-                eprintln!("{}", report.stats.render());
-                return Ok(ExitCode::SUCCESS);
-            }
-            if flag("--heuristic") {
-                let cost = match value("--cost").unwrap_or("violations") {
-                    "violations" => CostFunction::Violations,
-                    "cubes" => CostFunction::Cubes,
-                    "literals" => CostFunction::Literals,
-                    other => {
-                        return Err(EncodeError::parse(format!(
-                            "unknown cost function '{other}'"
-                        )))
-                    }
-                };
-                let mut opts = HeuristicOptions::new()
-                    .with_cost(cost)
-                    .with_parallelism(threads()?);
-                if let Some(bits) = bits {
-                    opts = opts.with_code_length(bits);
-                }
-                let enc = heuristic_encode(&cs, &opts)?;
-                println!(
-                    "heuristic encoding, {} bits, cost = {}:",
-                    enc.width(),
-                    ioenc::core::cost_of(&cs, &enc, cost)
-                );
-                print!("{}", enc.display(&cs));
-            } else {
-                let mut opts = ExactOptions::new().with_parallelism(threads()?);
-                if let Some(cap) = number("--prime-cap")? {
-                    if cap == 0 {
-                        return Err(EncodeError::limit("--prime-cap must be positive"));
-                    }
-                    opts = opts.with_prime_cap(cap);
-                }
-                let report = match exact_encode_report(&cs, &opts) {
-                    Ok(r) => r,
-                    Err(e) => return fail_with_explanation(&cs, path, e),
-                };
-                println!(
-                    "exact minimum-length encoding, {} bits ({} primes{}):",
-                    report.encoding.width(),
-                    report.num_primes,
-                    if report.optimal {
-                        ""
-                    } else {
-                        ", node limit hit"
-                    }
-                );
-                print!("{}", report.encoding.display(&cs));
-                eprintln!("{}", report.stats.render());
-            }
+            let form = canonical_form(&cs);
+            println!("key: {}", form.key);
+            print!("{}", form.text);
             Ok(ExitCode::SUCCESS)
         }
+        "encode" => run_encode(&f, path, &text),
         "primes" => {
             let cs = parse_constraints(&text)?;
-            let cap = number("--cap")?.unwrap_or(50_000);
+            let cap = f.number("--cap")?.unwrap_or(50_000);
             if cap == 0 {
                 return Err(EncodeError::limit("--cap must be positive"));
             }
@@ -289,7 +207,7 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
             for d in &initial {
                 println!("  {}", d.display(&cs));
             }
-            let (primes, stats) = generate_primes_with(&initial, cap, threads()?)?;
+            let (primes, stats) = generate_primes_with(&initial, cap, f.threads()?)?;
             println!("{} prime encoding-dichotomies:", primes.len());
             for p in &primes {
                 println!("  {}", p.display(&cs));
@@ -303,8 +221,8 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
         "fsm" => {
             let fsm = Fsm::parse_kiss2(&text)?;
             println!("# {fsm}");
-            if flag("--assign") {
-                let strategy = if flag("--mixed") {
+            if f.flag("--assign") {
+                let strategy = if f.flag("--mixed") {
                     Strategy::ExactMixed(OutputProfile::default())
                 } else {
                     Strategy::HeuristicInput(CostFunction::Cubes)
@@ -317,9 +235,9 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
                 print!("{}", a.encoding.display(&a.constraints));
                 return Ok(ExitCode::SUCCESS);
             }
-            let cs = if flag("--mixed") {
+            let cs = if f.flag("--mixed") {
                 mixed_constraints(&fsm, &OutputProfile::default())
-            } else if flag("--dc") {
+            } else if f.flag("--dc") {
                 input_constraints_with_dc(&fsm)
             } else {
                 input_constraints(&fsm)
@@ -338,18 +256,149 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
         }
         "table" => {
             let cs = parse_constraints(&text)?;
-            let f = BinateFormulation::build(&cs);
-            println!("columns: {:?}", f.columns);
-            print!("{}", f.display());
+            let form = BinateFormulation::build(&cs);
+            println!("columns: {:?}", form.columns);
+            print!("{}", form.display());
             Ok(ExitCode::SUCCESS)
         }
         other => Err(EncodeError::parse(format!("unknown subcommand '{other}'"))),
     }
 }
 
+/// Builds the [`EncodeSpec`] from `encode` flags (shared by the plain and
+/// `--json` output paths, so both solve the identical request).
+fn encode_spec(f: &Flags<'_>) -> Result<EncodeSpec, EncodeError> {
+    if f.flag("--auto") && f.flag("--heuristic") {
+        return Err(EncodeError::limit(
+            "--auto and --heuristic are mutually exclusive",
+        ));
+    }
+    let bits = f.number("--bits")?;
+    let mode = if f.flag("--auto") {
+        Mode::Auto
+    } else if f.flag("--heuristic") {
+        let cost = match f.value("--cost").unwrap_or("violations") {
+            "violations" => CostFunction::Violations,
+            "cubes" => CostFunction::Cubes,
+            "literals" => CostFunction::Literals,
+            other => {
+                return Err(EncodeError::parse(format!(
+                    "unknown cost function '{other}'"
+                )))
+            }
+        };
+        Mode::Heuristic { bits, cost }
+    } else {
+        Mode::Exact {
+            prime_cap: f.number("--prime-cap")?,
+        }
+    };
+    let deadline_ms = f.number("--deadline-ms")?;
+    if deadline_ms == Some(0) {
+        return Err(EncodeError::limit("--deadline-ms must be positive"));
+    }
+    Ok(EncodeSpec {
+        mode,
+        max_primes: f.number("--max-primes")?,
+        max_nodes: f.number("--max-nodes")?.map(|n| n as u64),
+        max_evals: f.number("--max-evals")?.map(|n| n as u64),
+        max_ps_steps: f.number("--max-ps-steps")?.map(|n| n as u64),
+        deadline_ms: deadline_ms.map(|n| n as u64),
+        parallelism: f.threads()?,
+    })
+}
+
+fn run_encode(f: &Flags<'_>, path: &str, text: &str) -> Result<ExitCode, EncodeError> {
+    let spec = encode_spec(f)?;
+    if f.flag("--json") {
+        // The same pipeline `serve` workers run; parse errors land in the
+        // JSON too, so scripted callers never have to scrape stderr.
+        let out = outcome(text, &spec, None, None);
+        println!("{}", out.json);
+        return Ok(ExitCode::from(out.exit_code));
+    }
+    let cs = parse_constraints(text)?;
+    let form = canonical_form(&cs);
+    let r = match solve_fresh(&cs, &form, &spec, None) {
+        Ok(r) => r,
+        Err(e) => return fail_with_explanation(&cs, path, e),
+    };
+    match &r.mode {
+        ModeOutcome::Exact { optimal } => println!(
+            "exact minimum-length encoding, {} bits ({} primes{}):",
+            r.encoding.width(),
+            r.work.num_primes,
+            if *optimal { "" } else { ", node limit hit" }
+        ),
+        ModeOutcome::Heuristic { .. } => {
+            let cost = match &spec.mode {
+                Mode::Heuristic { cost, .. } => *cost,
+                _ => CostFunction::Violations,
+            };
+            println!(
+                "heuristic encoding, {} bits, cost = {}:",
+                r.encoding.width(),
+                ioenc::core::cost_of(&cs, &r.encoding, cost)
+            );
+        }
+        ModeOutcome::Auto { rung, optimal } => println!(
+            "{} encoding, {} bits{}:",
+            rung,
+            r.encoding.width(),
+            if *optimal { " (minimum length)" } else { "" }
+        ),
+    }
+    print!("{}", r.encoding.display(&cs));
+    for note in &r.notes {
+        eprintln!("{note}");
+    }
+    if let Some(stats) = &r.stats_text {
+        eprintln!("{stats}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_serve(f: &Flags<'_>) -> Result<ExitCode, EncodeError> {
+    let workers = f.number("--workers")?.unwrap_or(4);
+    if workers == 0 {
+        return Err(EncodeError::limit("--workers must be positive"));
+    }
+    let queue = f.number("--queue")?.unwrap_or(64);
+    if queue == 0 {
+        return Err(EncodeError::limit("--queue must be positive"));
+    }
+    let cache = match f.value("--cache") {
+        None if f.flag("--cache") => {
+            return Err(EncodeError::parse("--cache requires a value (N or 'off')"))
+        }
+        None => 1024,
+        Some("off") => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| EncodeError::parse(format!("--cache {v}: {e}")))?,
+    };
+    let opts = ServeOptions::new()
+        .with_workers(workers)
+        .with_queue_capacity(queue)
+        .with_cache_entries(cache);
+    let served = if f.flag("--tcp") {
+        let port = match f.value("--tcp") {
+            Some(v) => v
+                .parse::<u16>()
+                .map_err(|e| EncodeError::parse(format!("--tcp {v}: {e}")))?,
+            None => return Err(EncodeError::parse("--tcp requires a port (0 = ephemeral)")),
+        };
+        serve_tcp(&opts, port)
+    } else {
+        serve_stdio(&opts)
+    };
+    served.map_err(|e| EncodeError::io("serve", &e))?;
+    Ok(ExitCode::SUCCESS)
+}
+
 /// Prints the lint explanation attached to an infeasible encode failure
-/// (stderr) and turns it into a plain failure exit, skipping the usage
-/// blurb. Errors without an explanation propagate unchanged.
+/// (stderr) and turns it into the infeasibility exit code, skipping the
+/// usage blurb. Errors without an explanation propagate unchanged.
 fn fail_with_explanation(
     cs: &ConstraintSet,
     origin: &str,
@@ -365,30 +414,14 @@ fn fail_with_explanation(
                 uncovered.len()
             );
             eprint!("{}", report.render(cs, Some(origin)));
-            Ok(ExitCode::FAILURE)
+            Ok(ExitCode::from(e.exit_code()))
         }
         other => Err(other),
     }
 }
 
-/// Parses the `symbols:`-headed constraint file format. The header line is
-/// replaced by a blank line (not removed) so that the spans the parser
-/// attaches keep pointing at the original file's line numbers.
+/// Parses the `symbols:`-headed constraint file format (shared with the
+/// `serve` request pipeline so both report identical parse errors).
 fn parse_constraints(text: &str) -> Result<ConstraintSet, EncodeError> {
-    let mut names: Option<Vec<&str>> = None;
-    let mut body = String::new();
-    for line in text.lines() {
-        let trimmed = line.trim();
-        if let Some(rest) = trimmed.strip_prefix("symbols:") {
-            if names.is_none() {
-                names = Some(rest.split_whitespace().collect());
-                body.push('\n');
-                continue;
-            }
-        }
-        body.push_str(line);
-        body.push('\n');
-    }
-    let names = names.ok_or_else(|| EncodeError::parse("missing 'symbols: …' header line"))?;
-    ConstraintSet::parse(&names, &body)
+    ioenc::server::parse_constraint_text(text)
 }

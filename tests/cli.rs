@@ -4,12 +4,17 @@ use std::io::Write;
 use std::process::Command;
 
 fn run(args: &[&str]) -> (bool, String, String) {
+    let (code, stdout, stderr) = run_code(args);
+    (code == Some(0), stdout, stderr)
+}
+
+fn run_code(args: &[&str]) -> (Option<i32>, String, String) {
     let out = Command::new(env!("CARGO_BIN_EXE_ioenc"))
         .args(args)
         .output()
         .expect("binary runs");
     (
-        out.status.success(),
+        out.status.code(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
     )
@@ -261,6 +266,125 @@ fn auto_stdout_is_byte_identical_across_thread_counts() {
         outputs.iter().all(|o| *o == outputs[0]),
         "stdout varies across thread counts: {outputs:?}"
     );
+}
+
+#[test]
+fn exit_codes_are_consistent_per_error_class() {
+    let parse = write_temp("exit-parse", "(a,b)\n"); // missing symbols: header
+    let infeasible = write_temp("exit-infeasible", "symbols: a b\na>b\nb>a\n");
+    let wide = write_temp(
+        "exit-wide",
+        &format!(
+            "symbols: {}\n",
+            (0..12).map(|i| format!("s{i} ")).collect::<String>()
+        ),
+    );
+    let feasible = write_temp("exit-ok", SECTION1);
+    // (args, expected exit code, stderr fragment)
+    let table: Vec<(Vec<&str>, i32, &str)> = vec![
+        (vec!["encode", feasible.to_str().unwrap()], 0, ""),
+        (vec!["encode", parse.to_str().unwrap()], 2, "symbols"),
+        (vec!["encode", "/nonexistent/ioenc-file"], 3, "error"),
+        // --auto with no budget at all: a limit error.
+        (
+            vec!["encode", feasible.to_str().unwrap(), "--auto"],
+            4,
+            "budget",
+        ),
+        // A tiny prime budget on a wide, unconstrained set expires.
+        (
+            vec!["encode", wide.to_str().unwrap(), "--max-primes", "2"],
+            5,
+            "budget",
+        ),
+        (
+            vec!["encode", infeasible.to_str().unwrap()],
+            6,
+            "unsatisfiable",
+        ),
+        // The same classes hold under --json (errors go to stdout there).
+        (vec!["encode", parse.to_str().unwrap(), "--json"], 2, ""),
+        (
+            vec!["encode", infeasible.to_str().unwrap(), "--json"],
+            6,
+            "",
+        ),
+        // ... and for other subcommands.
+        (vec!["lint", infeasible.to_str().unwrap()], 6, ""),
+        (vec!["canon", parse.to_str().unwrap()], 2, "symbols"),
+    ];
+    for (args, want, fragment) in table {
+        let (code, stdout, stderr) = run_code(&args);
+        assert_eq!(
+            code,
+            Some(want),
+            "{args:?}\nstdout: {stdout}\nstderr: {stderr}"
+        );
+        assert!(stderr.contains(fragment), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn encode_json_reports_codes_and_deterministic_stats() {
+    let path = write_temp("json-ok", SECTION1);
+    let (code, stdout, stderr) = run_code(&["encode", path.to_str().unwrap(), "--json"]);
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stdout.starts_with("{\"ok\":true,\"key\":\""), "{stdout}");
+    assert!(stdout.contains("\"mode\":\"exact\""), "{stdout}");
+    assert!(stdout.contains("\"width\":2"), "{stdout}");
+    assert!(stdout.contains("{\"symbol\":\"a\",\"code\":\""), "{stdout}");
+    assert!(stdout.contains("\"num_primes\":"), "{stdout}");
+    // Deterministic: timings and thread counts never appear.
+    assert!(!stdout.contains("elapsed"), "{stdout}");
+    assert!(!stdout.contains("thread"), "{stdout}");
+    // One line of JSON, nothing else.
+    assert_eq!(stdout.lines().count(), 1, "{stdout}");
+}
+
+#[test]
+fn encode_json_failure_embeds_the_lint_report() {
+    let path = write_temp("json-bad", "symbols: a b\na>b\nb>a\n");
+    let (code, stdout, _) = run_code(&["encode", path.to_str().unwrap(), "--json"]);
+    assert_eq!(code, Some(6), "{stdout}");
+    assert!(stdout.contains("\"ok\":false"), "{stdout}");
+    assert!(stdout.contains("\"class\":\"infeasible\""), "{stdout}");
+    assert!(stdout.contains("\"exit_code\":6"), "{stdout}");
+    assert!(stdout.contains("\"lint\":"), "{stdout}");
+    assert!(stdout.contains("\"diagnostics\":"), "{stdout}");
+}
+
+#[test]
+fn encode_json_is_byte_identical_across_thread_counts() {
+    let path = write_temp("json-threads", SECTION1);
+    let mut outputs = Vec::new();
+    for threads in ["off", "2", "auto"] {
+        let (code, stdout, stderr) = run_code(&[
+            "encode",
+            path.to_str().unwrap(),
+            "--json",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(code, Some(0), "{stderr}");
+        outputs.push(stdout);
+    }
+    assert!(outputs.iter().all(|o| *o == outputs[0]), "{outputs:?}");
+}
+
+#[test]
+fn canon_gives_permuted_spellings_the_same_key() {
+    let a = write_temp("canon-a", SECTION1);
+    let b = write_temp(
+        "canon-b",
+        "symbols: d c b a\n(a,d)\na>c\n(c,d)\n(b,a)\nb>c\na=b|d\n(b,c)\n",
+    );
+    let (ok, out_a, _) = run(&["canon", a.to_str().unwrap()]);
+    assert!(ok);
+    let (ok, out_b, _) = run(&["canon", b.to_str().unwrap()]);
+    assert!(ok);
+    assert_eq!(out_a, out_b, "canonical output must be spelling-invariant");
+    assert!(out_a.starts_with("key: "), "{out_a}");
+    assert!(out_a.contains("symbols: a b c d"), "{out_a}");
 }
 
 #[test]
