@@ -3,7 +3,7 @@
 
 use ioenc_bench::harness::Runner;
 use ioenc_bench::{benchmark, table1_constraints};
-use ioenc_core::{exact_encode, ConstraintSet, ExactOptions};
+use ioenc_core::{ConstraintSet, Solver, SolverMode};
 use std::hint::black_box;
 
 fn main() {
@@ -24,9 +24,10 @@ fn main() {
                 .unwrap(),
         ),
     ];
+    let solver = Solver::new().mode(SolverMode::Exact);
     for (name, cs) in &cases {
         r.bench(&format!("exact/worked-examples/{name}"), || {
-            exact_encode(black_box(cs), &ExactOptions::default()).unwrap()
+            solver.solve(black_box(cs)).unwrap().encoding
         });
     }
 
@@ -36,7 +37,7 @@ fn main() {
         r.bench(&format!("exact/suite/{name}"), || {
             // Some suite machines legitimately exceed the prime cap;
             // both outcomes are the measured work.
-            let _ = exact_encode(black_box(&cs), &ExactOptions::default());
+            let _ = solver.solve(black_box(&cs));
         });
     }
 }

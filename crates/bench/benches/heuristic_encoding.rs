@@ -4,7 +4,7 @@
 
 use ioenc_anneal::{anneal_encode, AnnealOptions};
 use ioenc_bench::harness::Runner;
-use ioenc_core::{heuristic_encode, CostFunction, HeuristicOptions};
+use ioenc_core::{heuristic_encode_report, CostFunction, HeuristicOptions};
 use ioenc_nova::{nova_encode, NovaOptions};
 use ioenc_symbolic::input_constraints;
 use std::hint::black_box;
@@ -17,14 +17,18 @@ fn main() {
 
     let violations = HeuristicOptions::new().with_cost(CostFunction::Violations);
     r.bench("encoders/dk512/heuristic-violations", || {
-        heuristic_encode(black_box(&cs), &violations).unwrap()
+        heuristic_encode_report(black_box(&cs), &violations)
+            .unwrap()
+            .encoding
     });
 
     let cubes = HeuristicOptions::new()
         .with_cost(CostFunction::Cubes)
         .with_selection_cap(60);
     r.bench("encoders/dk512/heuristic-cubes", || {
-        heuristic_encode(black_box(&cs), &cubes).unwrap()
+        heuristic_encode_report(black_box(&cs), &cubes)
+            .unwrap()
+            .encoding
     });
 
     r.bench("encoders/dk512/nova", || {
@@ -46,7 +50,9 @@ fn main() {
         let cs = input_constraints(&fsm);
         let opts = HeuristicOptions::new().with_cost(CostFunction::Violations);
         r.bench(&format!("heuristic/scaling/{name}"), || {
-            heuristic_encode(black_box(&cs), &opts).unwrap()
+            heuristic_encode_report(black_box(&cs), &opts)
+                .unwrap()
+                .encoding
         });
     }
 }

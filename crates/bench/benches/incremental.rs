@@ -1,0 +1,195 @@
+//! Incremental session re-solve vs from-scratch, on single-constraint
+//! deltas.
+//!
+//! The workload is the one the session API exists for: interactive
+//! exploration of a prime-rich base set, adding and removing one
+//! face/dominance constraint per step and frequently returning to forms
+//! already visited. A [`Session`] wins twice on such traffic: the
+//! dichotomy lattice patches the raising/prime-generation work the edit
+//! survived, and the cover memo replays the covering search outright
+//! whenever the edited set's cover inputs recur (every toggle back).
+//! Both paths are bit-identical to a from-scratch solve — asserted here
+//! on every step.
+//!
+//! Each step times `session.apply(delta)` against a from-scratch
+//! [`Solver::solve`] of the same edited set and reports per-delta and
+//! median speedups.
+//!
+//! Set `BENCH_INCREMENTAL_JSON=<path>` to also write the results as
+//! JSON; the committed `BENCH_incremental.json` at the workspace root is
+//! produced this way.
+
+use ioenc_bench::harness::{fmt_duration, time_once};
+use ioenc_core::json::Json;
+use ioenc_core::{ConstraintSet, Delta, Session, Solver};
+use std::time::Duration;
+
+/// A base set plus a single-constraint exploration trace over it. The
+/// bases are lightly constrained so the prime family stays large (an
+/// unconstrained n-symbol set has 2^n − 2 prime dichotomies), and each
+/// trace revisits forms the way an interactive user toggling candidate
+/// constraints does.
+struct Case {
+    name: &'static str,
+    symbols: &'static [&'static str],
+    base: &'static str,
+    trace: &'static [Step],
+}
+
+enum Step {
+    Add(&'static str),
+    Remove(&'static str),
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "9sym-2face",
+        symbols: &["a", "b", "c", "d", "e", "f", "g", "h", "i"],
+        base: "(a,b)\n(c,d)\n",
+        trace: &[
+            Step::Add("e>f"),
+            Step::Remove("e>f"),
+            Step::Add("(g,h)"),
+            Step::Remove("(g,h)"),
+            Step::Add("e>f"),
+            Step::Remove("e>f"),
+            Step::Add("a>i"),
+            Step::Remove("a>i"),
+        ],
+    },
+    Case {
+        name: "10sym-3con",
+        symbols: &["s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9"],
+        base: "(s0,s1)\n(s2,s3)\ns4>s5\n",
+        trace: &[
+            Step::Add("s6>s7"),
+            Step::Remove("s6>s7"),
+            Step::Add("(s8,s9)"),
+            Step::Remove("(s8,s9)"),
+            Step::Add("s6>s7"),
+            Step::Remove("s6>s7"),
+            Step::Add("s0>s9"),
+            Step::Remove("s0>s9"),
+        ],
+    },
+];
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    const RUNS: usize = 3;
+    let solver = Solver::new();
+    let mut all_speedups = Vec::new();
+    let mut case_docs = Vec::new();
+
+    for case in CASES {
+        let base = ConstraintSet::parse(case.symbols, case.base).unwrap();
+        let base_primes = solver.solve(&base).unwrap().stats.num_primes;
+
+        // Scratch times per step, measured on fresh solves of each edited
+        // form (min over RUNS).
+        let mut delta_docs = Vec::new();
+        let mut speedups = Vec::new();
+
+        // The trace is stateful (each delta applies to the previous form),
+        // so time each full replay of the trace and keep the per-step
+        // minimum across RUNS.
+        let mut inc_best = vec![Duration::MAX; case.trace.len()];
+        let mut scr_best = vec![Duration::MAX; case.trace.len()];
+        let mut replayed = vec![false; case.trace.len()];
+        let mut primes_at = vec![0usize; case.trace.len()];
+        for _ in 0..RUNS {
+            let mut session = Session::open(base.clone()).with_solver(solver.clone());
+            session.solve().unwrap();
+            for (i, step) in case.trace.iter().enumerate() {
+                let delta = match step {
+                    Step::Add(line) => Delta::new().add(*line),
+                    Step::Remove(line) => Delta::new().remove(*line),
+                };
+                let (out, t) = time_once(|| session.apply(&delta).unwrap());
+                assert!(out.reuse.incremental, "step {i}: fell off the fast path");
+                inc_best[i] = inc_best[i].min(t);
+                replayed[i] = out.reuse.cover_replayed;
+
+                let edited = session.constraints().clone();
+                let (scratch, t) = time_once(|| solver.solve(&edited).unwrap());
+                scr_best[i] = scr_best[i].min(t);
+                primes_at[i] = scratch.stats.num_primes;
+                assert_eq!(
+                    out.solution.encoding.codes(),
+                    scratch.encoding.codes(),
+                    "step {i}: incremental diverged from scratch"
+                );
+            }
+        }
+
+        for (i, step) in case.trace.iter().enumerate() {
+            let label = match step {
+                Step::Add(line) => format!("+{line}"),
+                Step::Remove(line) => format!("-{line}"),
+            };
+            let speedup = scr_best[i].as_secs_f64() / inc_best[i].as_secs_f64();
+            println!(
+                "incremental/{}/{label}: scratch {} vs incremental {} — {speedup:.1}x ({} primes{})",
+                case.name,
+                fmt_duration(scr_best[i]),
+                fmt_duration(inc_best[i]),
+                primes_at[i],
+                if replayed[i] { ", cover replayed" } else { "" },
+            );
+            speedups.push(speedup);
+            delta_docs.push(
+                Json::obj()
+                    .field("delta", label.as_str())
+                    .field("primes", primes_at[i])
+                    .field("cover_replayed", replayed[i])
+                    .field("scratch_us", Json::Float(scr_best[i].as_secs_f64() * 1e6))
+                    .field(
+                        "incremental_us",
+                        Json::Float(inc_best[i].as_secs_f64() * 1e6),
+                    )
+                    .field("speedup", Json::Float((speedup * 10.0).round() / 10.0)),
+            );
+        }
+
+        let med = median(speedups.clone());
+        println!(
+            "incremental/{}: {base_primes} base primes, median speedup {med:.1}x",
+            case.name
+        );
+        all_speedups.extend(speedups);
+        case_docs.push(
+            Json::obj()
+                .field("name", case.name)
+                .field("base_primes", base_primes)
+                .field("median_speedup", Json::Float((med * 10.0).round() / 10.0))
+                .field("deltas", Json::Arr(delta_docs)),
+        );
+    }
+
+    let overall = median(all_speedups);
+    println!(
+        "incremental/overall: median speedup {overall:.1}x across all single-constraint deltas"
+    );
+
+    if let Ok(path) = std::env::var("BENCH_INCREMENTAL_JSON") {
+        let doc = Json::obj()
+            .field("bench", "incremental")
+            .field("runs_per_trace", RUNS)
+            .field("cases", Json::Arr(case_docs))
+            .field(
+                "median_speedup",
+                Json::Float((overall * 10.0).round() / 10.0),
+            );
+        std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_INCREMENTAL_JSON");
+        println!("wrote {path}");
+    }
+}

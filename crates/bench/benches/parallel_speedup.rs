@@ -7,8 +7,8 @@
 
 use ioenc_bench::harness::{fmt_duration, min_time_of};
 use ioenc_core::{
-    encode_auto, generate_primes_with, initial_dichotomies, AutoOptions, Budget, ConstraintSet,
-    Parallelism,
+    generate_primes_with, initial_dichotomies, Budget, ConstraintSet, Parallelism, SolutionDetail,
+    Solver,
 };
 use std::hint::black_box;
 
@@ -44,10 +44,11 @@ fn speedup(name: &str, initial: &[ioenc_core::Dichotomy], cap: usize) {
 fn budget_identity() {
     let cs = ConstraintSet::new(12);
     let run = |par: Parallelism| {
-        let opts = AutoOptions::new()
-            .with_budget(Budget::unlimited().with_max_primes(200).with_max_evals(400))
-            .with_parallelism(par);
-        encode_auto(&cs, &opts).unwrap()
+        Solver::new()
+            .budget(Budget::unlimited().with_max_primes(200).with_max_evals(400))
+            .threads(par)
+            .solve(&cs)
+            .unwrap()
     };
     let reference = run(Parallelism::Off);
     for par in [
@@ -67,10 +68,11 @@ fn budget_identity() {
             "budgeted answer diverges at {par:?}"
         );
     }
-    println!(
-        "budget/identity: {} rung, counters bit-identical across off/2/4/auto threads",
-        reference.rung
-    );
+    let rung = match &reference.detail {
+        SolutionDetail::Auto { rung, .. } => rung.to_string(),
+        other => format!("{other:?}"),
+    };
+    println!("budget/identity: {rung} rung, counters bit-identical across off/2/4/auto threads",);
 }
 
 fn main() {

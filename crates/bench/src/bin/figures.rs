@@ -4,8 +4,8 @@
 //! evaluation of Figure 9, and the Section 8 extensions.
 
 use ioenc_core::{
-    check_feasible, cost_of, exact_encode, exact_encode_report, generate_primes,
-    initial_dichotomies, BinateFormulation, ConstraintSet, CostFunction, Encoding, ExactOptions,
+    check_feasible, cost_of, exact_encode_report, generate_primes, initial_dichotomies,
+    BinateFormulation, ConstraintSet, CostFunction, Encoding, ExactOptions,
 };
 
 fn main() {
@@ -131,7 +131,9 @@ fn section_8_1() {
         ("forced out (a,b,e)", "(a,b)\n(a,c)\n(a,d)\n(a,b,e)"),
     ] {
         let cs = ConstraintSet::parse(&names, text).unwrap();
-        let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+        let enc = exact_encode_report(&cs, &ExactOptions::default())
+            .unwrap()
+            .encoding;
         println!("{label}: minimum cover of {} primes", enc.width());
     }
 }
@@ -141,7 +143,9 @@ fn section_8_2() {
     let mut cs = ConstraintSet::new(4);
     cs.add_face([0, 1]);
     cs.add_distance2(0, 1);
-    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    let enc = exact_encode_report(&cs, &ExactOptions::default())
+        .unwrap()
+        .encoding;
     println!(
         "codes {:0w$b} and {:0w$b} are at Hamming distance {}",
         enc.code(0),
@@ -155,7 +159,9 @@ fn section_8_3() {
     header("Section 8.3: non-face constraints");
     let names = ["a", "b", "c", "d", "e", "f"];
     let cs = ConstraintSet::parse(&names, "(a,b)\n(b,c,d)\n(a,e)\n(d,f)\n!(a,b,e)").unwrap();
-    let enc = exact_encode(&cs, &ExactOptions::default()).unwrap();
+    let enc = exact_encode_report(&cs, &ExactOptions::default())
+        .unwrap()
+        .encoding;
     print!("{}", enc.display(&cs));
     println!(
         "face of {{a,b,e}} is shared (non-face satisfied): {}",

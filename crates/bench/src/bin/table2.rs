@@ -8,7 +8,9 @@
 //! average).
 
 use ioenc_bench::{benchmark, table2_names};
-use ioenc_core::{cost_of, count_violations, heuristic_encode, CostFunction, HeuristicOptions};
+use ioenc_core::{
+    cost_of, count_violations, heuristic_encode_report, CostFunction, HeuristicOptions,
+};
 use ioenc_nova::{nova_encode, NovaOptions};
 use ioenc_symbolic::input_constraints;
 
@@ -26,7 +28,7 @@ fn main() {
         let total = cs.faces().len();
 
         let nova = nova_encode(&cs, &NovaOptions::default());
-        let enc = heuristic_encode(
+        let enc = heuristic_encode_report(
             &cs,
             // Bound the espresso-driven polish on the very large machines
             // (the paper's ENC likewise restricts the number of cost
@@ -35,7 +37,8 @@ fn main() {
                 .with_cost(CostFunction::Cubes)
                 .with_selection_cap(if fsm.num_states() > 40 { 80 } else { 400 }),
         )
-        .expect("minimum length is always encodable");
+        .expect("minimum length is always encodable")
+        .encoding;
 
         let nova_sat = total - count_violations(&cs, &nova);
         let enc_sat = total - count_violations(&cs, &enc);

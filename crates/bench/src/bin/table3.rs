@@ -8,7 +8,7 @@
 
 use ioenc_anneal::{anneal_encode, AnnealOptions};
 use ioenc_bench::{benchmark, table3_names};
-use ioenc_core::{cost_of, heuristic_encode, CostFunction, HeuristicOptions};
+use ioenc_core::{cost_of, heuristic_encode_report, CostFunction, HeuristicOptions};
 use ioenc_symbolic::input_constraints_with_dc;
 use std::time::Instant;
 
@@ -35,7 +35,7 @@ fn main() {
         let sa_time = start.elapsed().as_secs_f64();
 
         let start = Instant::now();
-        let enc = heuristic_encode(
+        let enc = heuristic_encode_report(
             &cs,
             // Bound the espresso-driven polish on the very large machines
             // (the paper's ENC likewise restricts the number of cost
@@ -44,7 +44,8 @@ fn main() {
                 .with_cost(CostFunction::Literals)
                 .with_selection_cap(if fsm.num_states() > 40 { 80 } else { 400 }),
         )
-        .expect("minimum length is always encodable");
+        .expect("minimum length is always encodable")
+        .encoding;
         let enc_time = start.elapsed().as_secs_f64();
 
         let sa_lits = cost_of(&cs, &sa, CostFunction::Literals);

@@ -158,7 +158,7 @@ pub struct AutoReport {
 }
 
 /// Errors that no later rung can do anything about.
-fn is_fatal(e: &EncodeError) -> bool {
+pub(crate) fn is_fatal(e: &EncodeError) -> bool {
     matches!(
         e,
         EncodeError::Infeasible { .. }
@@ -193,7 +193,17 @@ fn is_fatal(e: &EncodeError) -> bool {
 /// assert!(report.encoding.satisfies(&cs));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(note = "use Solver::new().mode(SolverMode::Auto)")]
 pub fn encode_auto(cs: &ConstraintSet, opts: &AutoOptions) -> Result<AutoReport, EncodeError> {
+    encode_auto_impl(cs, opts)
+}
+
+/// The auto ladder behind [`encode_auto`] and
+/// [`SolverMode::Auto`](crate::SolverMode) (see [`Solver`](crate::Solver)).
+pub(crate) fn encode_auto_impl(
+    cs: &ConstraintSet,
+    opts: &AutoOptions,
+) -> Result<AutoReport, EncodeError> {
     let started = Instant::now();
     let n = cs.num_symbols();
     let mut total = SolverStats::default();
@@ -445,6 +455,7 @@ fn greedy_cover(rows: &[Dichotomy], columns: &[Dichotomy]) -> Vec<Dichotomy> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay covered until removal
     use super::*;
 
     #[test]

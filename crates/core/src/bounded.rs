@@ -126,6 +126,7 @@ pub struct BoundedReport {
 ///   codes;
 /// * [`EncodeError::Budget`] when the evaluation budget cannot pay for the
 ///   selection space, or the deadline / cancel token fires mid-sweep.
+#[deprecated(note = "use Solver::new().mode(SolverMode::Bounded)")]
 pub fn bounded_exact_encode(
     cs: &ConstraintSet,
     opts: &BoundedExactOptions,
@@ -346,6 +347,7 @@ fn enumerate(ctx: &EnumCtx<'_>, start: usize, chosen: &mut Vec<usize>, out: &mut
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay covered until removal
     use super::*;
     use crate::{count_violations, heuristic_encode, HeuristicOptions};
 

@@ -643,6 +643,23 @@ impl ConstraintSet {
         Ok(cs)
     }
 
+    /// Parses and appends a single constraint in the [`parse`](Self::parse)
+    /// line grammar (comments stripped), returning its reference. No
+    /// [`Span`] is attached — the line has no surrounding source text.
+    /// This is how [`Session`](crate::Session) deltas grow a set.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::Parse`] on a syntax error, an unknown symbol, or an
+    /// empty line.
+    pub fn add_line(&mut self, line: &str) -> Result<ConstraintRef, EncodeError> {
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            return Err(EncodeError::parse("empty constraint line"));
+        }
+        self.parse_line(content).map_err(EncodeError::parse)
+    }
+
     fn lookup(&self, name: &str) -> Result<usize, String> {
         let name = name.trim();
         self.symbol(name)

@@ -4,7 +4,7 @@
 use crate::budget::{Budget, BudgetPhase, BudgetScope, BudgetSpent};
 use crate::primes::{generate_primes_limited, PrimeLimits};
 use crate::raise::{raise_dichotomy, raised_valid};
-use crate::stats::SolverStats;
+use crate::stats::{PrimeStats, SolverStats};
 use crate::{initial_dichotomies, ConstraintSet, Dichotomy, EncodeError, Encoding, Feasibility};
 use ioenc_cover::{BinateProblem, CoverStats, Parallelism, SolveError, UnateProblem};
 use std::time::Instant;
@@ -148,6 +148,7 @@ pub struct ExactReport {
 /// assert_eq!(enc.width(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(note = "use Solver::new().mode(SolverMode::Exact)")]
 pub fn exact_encode(cs: &ConstraintSet, opts: &ExactOptions) -> Result<Encoding, EncodeError> {
     exact_encode_report(cs, opts).map(|r| r.encoding)
 }
@@ -162,10 +163,147 @@ pub fn exact_encode_report(
     cs: &ConstraintSet,
     opts: &ExactOptions,
 ) -> Result<ExactReport, EncodeError> {
+    exact_pipeline(cs, opts, None)
+}
+
+/// Precomputed middle stages of the exact pipeline, as maintained
+/// incrementally by a [`Session`](crate::Session)'s
+/// [`DichotomyLattice`](crate::lattice::DichotomyLattice).
+///
+/// Both vectors must be *set*-equal to what the from-scratch pipeline
+/// computes for `cs` (`raised_valid` and `generate_primes` output
+/// respectively); the pipeline sorts and deduplicates everything
+/// downstream, so set equality here yields bit-identical encodings.
+pub(crate) struct ExactParts {
+    /// The maximally raised valid dichotomies of the initial set.
+    pub(crate) raised: Vec<Dichotomy>,
+    /// The prime encoding-dichotomies (not yet re-raised).
+    pub(crate) primes_raw: Vec<Dichotomy>,
+}
+
+/// [`exact_encode_report`] with the raising and prime-generation stages
+/// replaced by precomputed `parts`; every other stage (initial
+/// dichotomies, the feasibility gate, prime re-raising, column assembly
+/// and the covering search) runs identically. An optional [`CoverMemo`]
+/// lets the covering search replay an earlier result when its inputs
+/// recur exactly.
+pub(crate) fn exact_encode_report_with_parts(
+    cs: &ConstraintSet,
+    opts: &ExactOptions,
+    parts: ExactParts,
+    memo: Option<&mut CoverMemo>,
+) -> Result<ExactReport, EncodeError> {
+    exact_pipeline_memo(cs, opts, Some(parts), memo)
+}
+
+/// A bounded memo of completed covering searches, keyed on the *exact*
+/// cover inputs: the initial dichotomies (the rows) and the assembled
+/// columns, both in their canonical sorted order.
+///
+/// The unate covering search is a deterministic pure function of those
+/// inputs (plus the node limit, which the owner must hold fixed for the
+/// memo's lifetime — results are bit-identical across thread counts by
+/// the solver's parallelism contract). Replaying a recorded selection for
+/// equal inputs therefore reproduces the from-scratch result bit for bit;
+/// there is no staleness to reason about because lookups compare the full
+/// inputs, not a digest. Only unate instances are memoized: binate
+/// covering also consumes distance-2 and non-face structure, which this
+/// key does not capture.
+///
+/// [`Session`](crate::Session) uses this so that a delta returning to an
+/// already-solved constraint set (the add-then-remove toggles of
+/// interactive exploration) skips the covering search entirely.
+#[derive(Debug, Default)]
+pub(crate) struct CoverMemo {
+    entries: Vec<MemoEntry>,
+    cap: usize,
+    hits: u64,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    initial: Vec<Dichotomy>,
+    columns: Vec<Dichotomy>,
+    selected: Vec<Dichotomy>,
+    optimal: bool,
+}
+
+impl CoverMemo {
+    /// A memo retaining at most `cap` covering results (FIFO eviction).
+    pub(crate) fn new(cap: usize) -> Self {
+        CoverMemo {
+            entries: Vec::new(),
+            cap,
+            hits: 0,
+        }
+    }
+
+    /// Total replays served; owners diff this across a solve to learn
+    /// whether the covering search was skipped.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn lookup(
+        &mut self,
+        initial: &[Dichotomy],
+        columns: &[Dichotomy],
+    ) -> Option<(Vec<Dichotomy>, bool)> {
+        let e = self
+            .entries
+            .iter()
+            .find(|e| e.initial == initial && e.columns == columns)?;
+        self.hits += 1;
+        Some((e.selected.clone(), e.optimal))
+    }
+
+    fn record(
+        &mut self,
+        initial: Vec<Dichotomy>,
+        columns: Vec<Dichotomy>,
+        selected: Vec<Dichotomy>,
+        optimal: bool,
+    ) {
+        if self
+            .entries
+            .iter()
+            .any(|e| e.initial == initial && e.columns == columns)
+        {
+            return;
+        }
+        if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push(MemoEntry {
+            initial,
+            columns,
+            selected,
+            optimal,
+        });
+    }
+}
+
+fn exact_pipeline(
+    cs: &ConstraintSet,
+    opts: &ExactOptions,
+    parts: Option<ExactParts>,
+) -> Result<ExactReport, EncodeError> {
+    exact_pipeline_memo(cs, opts, parts, None)
+}
+
+fn exact_pipeline_memo(
+    cs: &ConstraintSet,
+    opts: &ExactOptions,
+    parts: Option<ExactParts>,
+    mut memo: Option<&mut CoverMemo>,
+) -> Result<ExactReport, EncodeError> {
     let start = Instant::now();
     let symmetry = !cs.has_output_constraints();
     let initial = initial_dichotomies(cs, symmetry);
-    let raised = raised_valid(&initial, cs);
+    let (raised, precomputed_primes) = match parts {
+        Some(p) => (p.raised, Some(p.primes_raw)),
+        None => (raised_valid(&initial, cs), None),
+    };
 
     let uncovered: Vec<Dichotomy> = initial
         .iter()
@@ -208,7 +346,11 @@ pub fn exact_encode_report(
         cancel: scope.cancel(),
         budgeted: opts.budget.has_work_limits(),
     };
-    let (primes_raw, prime_stats) =
+    let (primes_raw, prime_stats) = if let Some(primes_raw) = precomputed_primes {
+        // The session's lattice already maintains the maximal compatibles;
+        // the prime-phase work counters stay zero because no prime work ran.
+        (primes_raw, PrimeStats::default())
+    } else {
         match generate_primes_limited(&raised, opts.parallelism, &limits) {
             Ok(r) => r,
             Err((_, partial)) => {
@@ -229,7 +371,8 @@ pub fn exact_encode_report(
                     BudgetSpent { stats, raised },
                 ));
             }
-        };
+        }
+    };
     let mut columns: Vec<Dichotomy> = primes_raw
         .iter()
         .filter_map(|p| raise_dichotomy(p, cs))
@@ -244,10 +387,43 @@ pub fn exact_encode_report(
     let prime_time = prime_phase.elapsed();
 
     let cover_phase = Instant::now();
-    let cover_result = if cs.has_binate_constraints() {
-        solve_binate(cs, &initial, &columns, opts, &scope)
-    } else {
-        solve_unate(cs, &initial, &columns, opts, &scope)
+    let replayed = match &mut memo {
+        Some(m) if !cs.has_binate_constraints() => m.lookup(&initial, &columns),
+        _ => None,
+    };
+    let cover_result = match replayed {
+        Some((selected, optimal)) => {
+            // The covering search is deterministic in (rows, columns), so
+            // the recorded selection IS what a fresh search would return;
+            // the cover counters stay zero because no search ran.
+            let encoding = Encoding::from_columns(cs.num_symbols(), &selected);
+            Ok(ExactReport {
+                encoding,
+                num_initial: 0,
+                num_primes: 0,
+                selected,
+                optimal,
+                stats: SolverStats::default(),
+            })
+        }
+        None => {
+            let r = if cs.has_binate_constraints() {
+                solve_binate(cs, &initial, &columns, opts, &scope)
+            } else {
+                solve_unate(cs, &initial, &columns, opts, &scope)
+            };
+            if let (Ok(rep), Some(m)) = (&r, &mut memo) {
+                if !cs.has_binate_constraints() {
+                    m.record(
+                        initial.clone(),
+                        columns.clone(),
+                        rep.selected.clone(),
+                        rep.optimal,
+                    );
+                }
+            }
+            r
+        }
     };
     let mut report = match cover_result {
         Ok(r) => r,
@@ -505,6 +681,7 @@ fn minimal_hitting_sets(sets: &[Vec<usize>], cap: usize) -> Result<Vec<Vec<usize
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the wrappers stay covered until removal
     use super::*;
 
     fn defaults() -> ExactOptions {

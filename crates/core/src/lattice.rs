@@ -1,0 +1,723 @@
+//! The constraint-subset lattice: one incremental-reasoning core shared by
+//! re-solve sessions and the lint conflict-core shrinker.
+//!
+//! Constraint sets over a fixed symbol universe form a lattice under
+//! inclusion, and the quantities the encoding pipeline computes are
+//! *monotone* along it:
+//!
+//! * **Validity is anti-monotone.** [`is_valid`](crate::is_valid) is a
+//!   conjunction of per-constraint conditions, so removing a constraint can
+//!   only keep or restore validity, and adding one can only keep or destroy
+//!   it — an added constraint invalidates exactly the dichotomies its own
+//!   condition rejects.
+//! * **Raising is a monotone closure.** The fixpoint rules of
+//!   [`raise_dichotomy`](crate::raise_dichotomy) only ever *insert* symbols,
+//!   so the raise of a dichotomy under constraints `S ∪ A` equals the raise
+//!   of its raise under `S` re-raised under `S ∪ A` (resume instead of
+//!   restart), and under `S \ R` it is unchanged whenever no rule sourced
+//!   from `R` fired in the recorded derivation ([`RaiseAtom`] trace).
+//! * **Infeasibility is monotone.** If a subset of constraints is already
+//!   unsatisfiable, every superset is — the upward-closed sets probed by the
+//!   conflict-core deletion walk, served here by a memoizing
+//!   [`SubsetOracle`] whose call counter still ticks once per probe so the
+//!   walk's budget accounting (and the golden lint fixtures) are unchanged.
+//!
+//! [`DichotomyLattice`] packages the first two facts: a per-dichotomy raise
+//! cache with derivation traces, plus the family of maximal compatibles
+//! (the cliques of the raised-dichotomy compatibility graph) maintained
+//! incrementally under vertex insertion and deletion. Since prime
+//! encoding-dichotomies are exactly the unions of the maximal compatibles
+//! (Section 5.1), a canonical clique family reproduces the prime set of
+//! [`generate_primes`](crate::generate_primes) bit-for-bit — which is what
+//! lets [`Session`](crate::Session) hand the exact pipeline precomputed
+//! parts without perturbing its output.
+
+use crate::raise::{is_valid, raise_dichotomy_traced};
+use crate::{check_feasible, ConstraintRef, ConstraintSet, Dichotomy};
+use std::collections::{BTreeSet, HashMap};
+
+/// A content-keyed identity for one source of raise/validity rules.
+///
+/// Raise traces record atoms rather than [`ConstraintRef`]s because refs
+/// are positional — they shift as constraints come and go — while atoms
+/// compare by content across any two constraint sets over the same
+/// symbols. Face, distance-2 and non-face constraints never participate in
+/// validity or raising, so they have no atom: a delta touching only those
+/// kinds invalidates no cached raise.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RaiseAtom {
+    /// A dominance pair `above > below` — explicit, or implied by a
+    /// disjunctive constraint (see
+    /// [`ConstraintSet::all_dominances`]).
+    Dominance(usize, usize),
+    /// A disjunctive constraint `parent = ⋁ children`.
+    Disjunctive(usize, Vec<usize>),
+    /// An extended disjunctive constraint `⋁ ⋀ conj >= parent`.
+    Extended(usize, Vec<Vec<usize>>),
+}
+
+/// Every raise/validity rule source of `cs`, as a content-keyed set.
+///
+/// Dominance atoms use [`ConstraintSet::all_dominances`], so a pair that is
+/// both explicit and implied by a disjunctive stays present (and keeps
+/// cached raises valid) as long as *either* source survives a delta.
+pub fn raise_atoms(cs: &ConstraintSet) -> BTreeSet<RaiseAtom> {
+    let mut atoms = BTreeSet::new();
+    for (a, b) in cs.all_dominances() {
+        atoms.insert(RaiseAtom::Dominance(a, b));
+    }
+    for (parent, children) in cs.disjunctives() {
+        atoms.insert(RaiseAtom::Disjunctive(parent, children.to_vec()));
+    }
+    for (parent, conjunctions) in cs.extended_disjunctives() {
+        atoms.insert(RaiseAtom::Extended(parent, conjunctions.to_vec()));
+    }
+    atoms
+}
+
+/// Whether `atom`'s validity condition (Definition 3.6) rejects `d`.
+///
+/// Mirrors [`is_valid`](crate::is_valid) one constraint at a time, so a
+/// dichotomy valid under `S` stays valid under `S ∪ A` exactly when no
+/// added atom invalidates it.
+fn atom_invalidates(d: &Dichotomy, atom: &RaiseAtom) -> bool {
+    match atom {
+        RaiseAtom::Dominance(a, b) => d.in_left(*a) && d.in_right(*b),
+        RaiseAtom::Disjunctive(parent, children) => {
+            d.in_right(*parent) && children.iter().all(|&c| d.in_left(c))
+        }
+        RaiseAtom::Extended(parent, conjunctions) => {
+            d.in_right(*parent)
+                && conjunctions
+                    .iter()
+                    .all(|conj| conj.iter().any(|&s| d.in_left(s)))
+        }
+    }
+}
+
+/// Cached raise state of one initial dichotomy.
+#[derive(Debug, Clone)]
+struct RaiseEntry {
+    /// Whether the dichotomy passes the validity filter.
+    valid: bool,
+    /// Its maximal raise (`None` when raising derived a conflict).
+    raised: Option<Dichotomy>,
+    /// The atoms whose rules fired during the recorded derivation,
+    /// including the failing rule when `raised` is `None`.
+    trace: BTreeSet<RaiseAtom>,
+}
+
+fn fresh_entry(d: &Dichotomy, cs: &ConstraintSet) -> RaiseEntry {
+    if !is_valid(d, cs) {
+        return RaiseEntry {
+            valid: false,
+            raised: None,
+            trace: BTreeSet::new(),
+        };
+    }
+    let mut trace = BTreeSet::new();
+    let raised = raise_dichotomy_traced(d, cs, &mut |a| {
+        trace.insert(a);
+    });
+    RaiseEntry {
+        valid: true,
+        raised,
+        trace,
+    }
+}
+
+/// A growable set of clique-vertex ids (slot indices), kept normalized
+/// (no trailing zero words) so equality and ordering are canonical.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+struct VertSet {
+    words: Vec<u64>,
+}
+
+impl VertSet {
+    fn singleton(v: usize) -> Self {
+        let mut s = VertSet::default();
+        s.insert(v);
+        s
+    }
+
+    fn insert(&mut self, v: usize) {
+        let w = v / 64;
+        if self.words.len() <= w {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (v % 64);
+    }
+
+    fn remove(&mut self, v: usize) {
+        let w = v / 64;
+        if w < self.words.len() {
+            self.words[w] &= !(1 << (v % 64));
+            while self.words.last() == Some(&0) {
+                self.words.pop();
+            }
+        }
+    }
+
+    fn contains(&self, v: usize) -> bool {
+        let w = v / 64;
+        w < self.words.len() && self.words[w] >> (v % 64) & 1 == 1
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn is_subset(&self, other: &VertSet) -> bool {
+        if self.words.len() > other.words.len() {
+            return false;
+        }
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    fn intersect(&self, other: &VertSet) -> VertSet {
+        let mut words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        VertSet { words }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| wi * 64 + b)
+        })
+    }
+}
+
+/// Extends the maximal-clique family after adding vertex `v` with
+/// neighbourhood `nbrs` (the standard intersection construction): keep the
+/// cliques not fully adjacent to `v`, and add `M ∪ {v}` for each maximal
+/// distinct intersection `M = C ∩ N(v)`.
+fn insert_vertex(cliques: &mut Vec<VertSet>, v: usize, nbrs: &VertSet) {
+    if cliques.is_empty() {
+        cliques.push(VertSet::singleton(v));
+        return;
+    }
+    let mut inters: Vec<VertSet> = cliques.iter().map(|c| c.intersect(nbrs)).collect();
+    inters.sort_by(|a, b| b.count().cmp(&a.count()).then_with(|| a.cmp(b)));
+    inters.dedup();
+    let mut maximal: Vec<VertSet> = Vec::new();
+    for i in inters {
+        if !maximal.iter().any(|m| i.is_subset(m)) {
+            maximal.push(i);
+        }
+    }
+    cliques.retain(|c| !c.is_subset(nbrs));
+    for mut m in maximal {
+        m.insert(v);
+        cliques.push(m);
+    }
+}
+
+/// Shrinks the maximal-clique family after deleting vertex `v`: the new
+/// family is the set of maximal elements of `{C \ {v}}`. Two distinct
+/// cliques both containing `v` cannot shrink to comparable sets (the old
+/// family is an antichain), so only cliques that never held `v` can absorb
+/// a shrunk one.
+fn delete_vertex(cliques: &mut Vec<VertSet>, v: usize) {
+    let mut kept: Vec<VertSet> = Vec::new();
+    let mut shrunk: Vec<VertSet> = Vec::new();
+    for mut c in cliques.drain(..) {
+        if c.contains(v) {
+            c.remove(v);
+            if !c.is_empty() {
+                shrunk.push(c);
+            }
+        } else {
+            kept.push(c);
+        }
+    }
+    let absorbers = kept.len();
+    for s in shrunk {
+        if !kept[..absorbers].iter().any(|k| s.is_subset(k)) {
+            kept.push(s);
+        }
+    }
+    *cliques = kept;
+}
+
+/// What one [`DichotomyLattice`] update reused and recomputed — the
+/// session's evidence that incremental work actually happened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatticeUpdate {
+    /// Cached raises carried over unchanged (trace untouched by the delta).
+    pub raises_reused: usize,
+    /// Cached raises resumed from their old fixpoint or re-derived.
+    pub raises_recomputed: usize,
+    /// Dichotomies raised for the first time.
+    pub raises_fresh: usize,
+    /// Raised dichotomies that joined the compatibility graph.
+    pub vertices_added: usize,
+    /// Raised dichotomies that left the compatibility graph.
+    pub vertices_removed: usize,
+    /// Maximal compatibles after the update (0 when oversized).
+    pub cliques: usize,
+}
+
+/// Incremental state for one constraint set: the per-dichotomy raise cache
+/// and the maximal-compatible (clique) family of the raised set, updated in
+/// place as constraints are added and removed.
+///
+/// The invariant maintained by [`build`](DichotomyLattice::build) and
+/// [`apply`](DichotomyLattice::apply) is that [`raised`](Self::raised) and
+/// [`primes`](Self::primes) equal what the from-scratch pipeline
+/// ([`raised_valid` → `generate_primes`](crate::generate_primes)) would
+/// produce for the current constraint set — as *sets*, which is all the
+/// exact pipeline consumes, since it sorts and deduplicates its columns.
+#[derive(Debug, Clone)]
+pub struct DichotomyLattice {
+    n: usize,
+    atoms: BTreeSet<RaiseAtom>,
+    entries: HashMap<Dichotomy, RaiseEntry>,
+    slots: Vec<Option<Dichotomy>>,
+    index: HashMap<Dichotomy, usize>,
+    free: Vec<usize>,
+    cliques: Vec<VertSet>,
+    raised: Vec<Dichotomy>,
+    oversized: bool,
+    clique_cap: usize,
+}
+
+impl DichotomyLattice {
+    /// Builds the lattice state for `cs` from its initial dichotomies,
+    /// folding the raised set into the clique family one vertex at a time.
+    ///
+    /// `clique_cap` bounds the maximal-compatible family; past it the
+    /// lattice goes [oversized](Self::is_oversized) and stops offering
+    /// primes (mirroring the pipeline's prime cap).
+    pub fn build(
+        cs: &ConstraintSet,
+        initial: &[Dichotomy],
+        clique_cap: usize,
+    ) -> (Self, LatticeUpdate) {
+        let mut lattice = DichotomyLattice {
+            n: cs.num_symbols(),
+            atoms: raise_atoms(cs),
+            entries: HashMap::new(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            free: Vec::new(),
+            cliques: Vec::new(),
+            raised: Vec::new(),
+            oversized: false,
+            clique_cap,
+        };
+        let update = lattice.refresh(cs, initial, LatticeUpdate::default());
+        (lattice, update)
+    }
+
+    /// Updates the lattice for a constraint delta: `new_cs` is the new set
+    /// and `initial_new` its initial dichotomies. Cached raises are kept,
+    /// resumed or re-derived according to the atom diff; the clique family
+    /// is patched by the vertex diff of the raised set.
+    pub fn apply(&mut self, new_cs: &ConstraintSet, initial_new: &[Dichotomy]) -> LatticeUpdate {
+        let new_atoms = raise_atoms(new_cs);
+        let lost: Vec<RaiseAtom> = self.atoms.difference(&new_atoms).cloned().collect();
+        let added: Vec<RaiseAtom> = new_atoms.difference(&self.atoms).cloned().collect();
+        let mut update = LatticeUpdate::default();
+        if !lost.is_empty() || !added.is_empty() {
+            for (d, entry) in self.entries.iter_mut() {
+                if entry.valid {
+                    if added.iter().any(|a| atom_invalidates(d, a)) {
+                        entry.valid = false;
+                        entry.raised = None;
+                        entry.trace.clear();
+                        update.raises_recomputed += 1;
+                    } else if lost.iter().any(|a| entry.trace.contains(a)) {
+                        // A removed rule participated in the derivation:
+                        // the old fixpoint may overshoot. Re-derive.
+                        *entry = fresh_entry(d, new_cs);
+                        update.raises_recomputed += 1;
+                    } else if !added.is_empty() {
+                        // Sound to resume: closure(S∪A, closure(S, d)) =
+                        // closure(S∪A, d), and a failed derivation stays
+                        // failed under a rule superset.
+                        if let Some(r) = entry.raised.take() {
+                            let mut trace = std::mem::take(&mut entry.trace);
+                            entry.raised = raise_dichotomy_traced(&r, new_cs, &mut |a| {
+                                trace.insert(a);
+                            });
+                            entry.trace = trace;
+                        }
+                        update.raises_recomputed += 1;
+                    } else {
+                        update.raises_reused += 1;
+                    }
+                } else if !lost.is_empty() {
+                    // Validity is anti-monotone: a removal may restore it.
+                    *entry = fresh_entry(d, new_cs);
+                    update.raises_recomputed += 1;
+                } else {
+                    update.raises_reused += 1;
+                }
+            }
+        } else {
+            update.raises_reused = self.entries.len();
+        }
+        self.atoms = new_atoms;
+        self.refresh(new_cs, initial_new, update)
+    }
+
+    /// Ensures entries for every current initial dichotomy, recomputes the
+    /// raised set and patches the clique family from the vertex diff.
+    fn refresh(
+        &mut self,
+        cs: &ConstraintSet,
+        initial: &[Dichotomy],
+        mut update: LatticeUpdate,
+    ) -> LatticeUpdate {
+        let mut raised_new: Vec<Dichotomy> = Vec::new();
+        for d in initial {
+            let entry = self.entries.entry(d.clone()).or_insert_with(|| {
+                update.raises_fresh += 1;
+                fresh_entry(d, cs)
+            });
+            if entry.valid {
+                if let Some(r) = &entry.raised {
+                    raised_new.push(r.clone());
+                }
+            }
+        }
+        raised_new.sort();
+        raised_new.dedup();
+
+        // Vertex diff of two sorted, deduplicated lists.
+        let mut removed: Vec<&Dichotomy> = Vec::new();
+        let mut added: Vec<&Dichotomy> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.raised.len() || j < raised_new.len() {
+            match (self.raised.get(i), raised_new.get(j)) {
+                (Some(a), Some(b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(a), Some(b)) if a < b => {
+                    removed.push(a);
+                    i += 1;
+                }
+                (Some(_), Some(b)) => {
+                    added.push(b);
+                    j += 1;
+                }
+                (Some(a), None) => {
+                    removed.push(a);
+                    i += 1;
+                }
+                (None, Some(b)) => {
+                    added.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        update.vertices_removed = removed.len();
+        update.vertices_added = added.len();
+
+        if !self.oversized {
+            for d in &removed {
+                if let Some(slot) = self.index.remove(*d) {
+                    self.slots[slot] = None;
+                    self.free.push(slot);
+                    delete_vertex(&mut self.cliques, slot);
+                }
+            }
+            for d in &added {
+                let slot = self.free.pop().unwrap_or_else(|| {
+                    self.slots.push(None);
+                    self.slots.len() - 1
+                });
+                self.slots[slot] = Some((*d).clone());
+                self.index.insert((*d).clone(), slot);
+                let mut nbrs = VertSet::default();
+                for (w, occupant) in self.slots.iter().enumerate() {
+                    if w != slot {
+                        if let Some(o) = occupant {
+                            if o.compatible(d) {
+                                nbrs.insert(w);
+                            }
+                        }
+                    }
+                }
+                insert_vertex(&mut self.cliques, slot, &nbrs);
+                if self.cliques.len() > self.clique_cap {
+                    self.oversized = true;
+                    self.cliques.clear();
+                    break;
+                }
+            }
+        }
+        self.raised = raised_new;
+        update.cliques = self.cliques.len();
+        update
+    }
+
+    /// The current raised-valid dichotomies, sorted and deduplicated —
+    /// identical to `raised_valid(initial, cs)` for the current set.
+    pub fn raised(&self) -> &[Dichotomy] {
+        &self.raised
+    }
+
+    /// The prime encoding-dichotomies of the current raised set (the
+    /// unions of the maximal compatibles), sorted and deduplicated —
+    /// identical to [`generate_primes`](crate::generate_primes) on
+    /// [`raised`](Self::raised). `None` once the lattice is
+    /// [oversized](Self::is_oversized).
+    pub fn primes(&self) -> Option<Vec<Dichotomy>> {
+        if self.oversized {
+            return None;
+        }
+        let mut primes: Vec<Dichotomy> = self
+            .cliques
+            .iter()
+            .map(|c| {
+                let mut p = Dichotomy::new(self.n);
+                for v in c.iter() {
+                    if let Some(d) = &self.slots[v] {
+                        p.union_with(d);
+                    }
+                }
+                p
+            })
+            .collect();
+        primes.sort();
+        primes.dedup();
+        Some(primes)
+    }
+
+    /// Whether the maximal-compatible family blew past its cap; the raise
+    /// cache keeps working, but [`primes`](Self::primes) is gone for the
+    /// lifetime of this lattice.
+    pub fn is_oversized(&self) -> bool {
+        self.oversized
+    }
+
+    /// The number of maximal compatibles currently tracked.
+    pub fn clique_count(&self) -> usize {
+        self.cliques.len()
+    }
+}
+
+/// A memoizing feasibility oracle over the constraint-subset lattice, used
+/// by the lint conflict-core deletion walk.
+///
+/// Every probe — memoized or not — counts one oracle call, so the walk's
+/// budget accounting, its reported `oracle_calls` and the golden lint
+/// fixtures are byte-identical to the pre-lattice implementation;
+/// memoization only removes repeated [`check_feasible`] work (the
+/// verification pass re-probes subsets the walk already settled).
+pub(crate) struct SubsetOracle<'a> {
+    cs: &'a ConstraintSet,
+    memo: HashMap<Vec<ConstraintRef>, bool>,
+    calls: u64,
+}
+
+impl<'a> SubsetOracle<'a> {
+    /// An oracle over subsets of `cs`.
+    pub(crate) fn new(cs: &'a ConstraintSet) -> Self {
+        SubsetOracle {
+            cs,
+            memo: HashMap::new(),
+            calls: 0,
+        }
+    }
+
+    /// Whether keeping exactly `keep` is infeasible. Counts one call.
+    pub(crate) fn infeasible(&mut self, keep: &[ConstraintRef]) -> bool {
+        self.calls += 1;
+        if let Some(&v) = self.memo.get(keep) {
+            return v;
+        }
+        let v = !check_feasible(&self.cs.subset(keep)).is_feasible();
+        self.memo.insert(keep.to_vec(), v);
+        v
+    }
+
+    /// Oracle probes so far (memoized probes included).
+    pub(crate) fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::brute_force_primes;
+    use crate::raise::raised_valid;
+    use crate::{generate_primes, initial_dichotomies};
+    use ioenc_rng::SplitMix64;
+
+    #[test]
+    fn build_matches_pipeline_on_figure_3() {
+        let mut cs = ConstraintSet::new(5);
+        cs.add_face([0, 2, 4]);
+        cs.add_face([0, 1, 4]);
+        cs.add_face([1, 2, 3]);
+        cs.add_face([1, 3, 4]);
+        let initial = initial_dichotomies(&cs, true);
+        let (lat, _) = DichotomyLattice::build(&cs, &initial, 50_000);
+        let raised = raised_valid(&initial, &cs);
+        assert_eq!(lat.raised(), raised.as_slice());
+        assert_eq!(
+            lat.primes().unwrap(),
+            generate_primes(&raised, 50_000).unwrap()
+        );
+    }
+
+    // The from-scratch prime reference: the production generator, plus the
+    // exponential brute force when the raised set is small enough for it.
+    fn reference_primes(raised: &[Dichotomy]) -> Vec<Dichotomy> {
+        let primes = generate_primes(raised, 50_000).unwrap();
+        if raised.len() <= 20 {
+            assert_eq!(primes, brute_force_primes(raised));
+        }
+        primes
+    }
+
+    #[test]
+    fn clique_family_matches_brute_force_under_mutation() {
+        // Random face/dominance sets over 5 symbols; after every add or
+        // remove the lattice primes must equal the from-scratch reference.
+        let mut rng = SplitMix64::new(0x1a77);
+        for case in 0..30 {
+            let n = 5;
+            let mut cs = ConstraintSet::new(n);
+            for _ in 0..rng.gen_range(1..4) {
+                let mut f: Vec<usize> = (0..rng.gen_range(2..4))
+                    .map(|_| rng.gen_range(0..n))
+                    .collect();
+                f.sort_unstable();
+                f.dedup();
+                if f.len() >= 2 {
+                    cs.add_face(f);
+                }
+            }
+            if rng.gen_range(0..2) == 1 {
+                let a = rng.gen_range(0..n);
+                let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                cs.add_dominance(a, b);
+            }
+            let symmetry = !cs.has_output_constraints();
+            let initial = initial_dichotomies(&cs, symmetry);
+            let (mut lat, _) = DichotomyLattice::build(&cs, &initial, 50_000);
+            assert_eq!(
+                lat.primes().unwrap(),
+                reference_primes(&raised_valid(&initial, &cs)),
+                "case {case} build"
+            );
+
+            // Mutate: add a face, then a dominance, then drop the first
+            // constraint; re-check after every step.
+            let mut current = cs.clone();
+            for step in 0..3 {
+                let next = match step {
+                    0 => {
+                        let mut next = current.clone();
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        next.add_face([a, b]);
+                        next
+                    }
+                    1 => {
+                        let mut next = current.clone();
+                        let a = rng.gen_range(0..n);
+                        let b = (a + 1 + rng.gen_range(0..n - 1)) % n;
+                        next.add_dominance(a, b);
+                        next
+                    }
+                    _ => {
+                        let keep: Vec<ConstraintRef> =
+                            current.constraint_refs().iter().skip(1).copied().collect();
+                        current.subset(&keep)
+                    }
+                };
+                let symmetry = !next.has_output_constraints();
+                let initial = initial_dichotomies(&next, symmetry);
+                lat.apply(&next, &initial);
+                assert_eq!(
+                    lat.raised(),
+                    raised_valid(&initial, &next).as_slice(),
+                    "case {case} step {step} raised"
+                );
+                assert_eq!(
+                    lat.primes().unwrap(),
+                    reference_primes(&raised_valid(&initial, &next)),
+                    "case {case} step {step} primes"
+                );
+                current = next;
+            }
+        }
+    }
+
+    #[test]
+    fn raise_cache_reuses_on_face_only_delta() {
+        // Faces have no raise atoms: adding one must not recompute raises.
+        let cs = ConstraintSet::parse(&["a", "b", "c", "d"], "(a,b)\na>c").unwrap();
+        let initial = initial_dichotomies(&cs, false);
+        let (mut lat, _) = DichotomyLattice::build(&cs, &initial, 50_000);
+        let mut next = cs.clone();
+        next.add_face([2, 3]);
+        let initial2 = initial_dichotomies(&next, false);
+        let update = lat.apply(&next, &initial2);
+        assert_eq!(update.raises_recomputed, 0, "face delta must reuse raises");
+        assert!(update.raises_reused > 0);
+    }
+
+    #[test]
+    fn oversized_lattice_stops_offering_primes() {
+        // The unconstrained 12-symbol problem has far more than 50 maximal
+        // compatibles.
+        let cs = ConstraintSet::new(12);
+        let initial = initial_dichotomies(&cs, false);
+        let (lat, update) = DichotomyLattice::build(&cs, &initial, 50);
+        assert!(lat.is_oversized());
+        assert_eq!(lat.primes(), None);
+        assert_eq!(update.cliques, 0);
+    }
+
+    #[test]
+    fn subset_oracle_counts_every_probe() {
+        let cs = ConstraintSet::parse(&["a", "b"], "a>b\nb>a").unwrap();
+        let refs = cs.constraint_refs();
+        let mut oracle = SubsetOracle::new(&cs);
+        let first = oracle.infeasible(&refs);
+        let second = oracle.infeasible(&refs);
+        assert_eq!(first, second);
+        assert_eq!(oracle.calls(), 2, "memo hits still count");
+    }
+
+    #[test]
+    fn vertset_ops() {
+        let mut s = VertSet::singleton(3);
+        s.insert(70);
+        assert!(s.contains(3) && s.contains(70) && !s.contains(4));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 70]);
+        let t = VertSet::singleton(3);
+        assert!(t.is_subset(&s));
+        assert!(!s.is_subset(&t));
+        assert_eq!(s.intersect(&t), t);
+        s.remove(70);
+        assert_eq!(s, t);
+        s.remove(3);
+        assert!(s.is_empty());
+    }
+}

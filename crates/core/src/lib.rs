@@ -21,26 +21,31 @@
 //!
 //! * **P-1** — [`check_feasible`]: polynomial-time satisfiability via
 //!   maximally raised valid encoding-dichotomies (Theorem 6.1).
-//! * **P-2** — [`exact_encode`]: minimum-length codes via prime
-//!   encoding-dichotomy generation and exact unate covering (Theorem 6.2).
-//! * **P-3** — [`heuristic_encode`]: bounded-length encoding minimizing a
-//!   [`CostFunction`] (violated constraints, cubes or literals) by the
+//! * **P-2** — [`Solver`] in [`SolverMode::Exact`]: minimum-length codes via
+//!   prime encoding-dichotomy generation and exact unate covering
+//!   (Theorem 6.2).
+//! * **P-3** — [`SolverMode::Heuristic`]: bounded-length encoding minimizing
+//!   a [`CostFunction`] (violated constraints, cubes or literals) by the
 //!   split / merge / select scheme of Section 7.1.
+//!
+//! All entry points funnel through the [`Solver`] builder; for iterated
+//! edit/re-solve workflows, [`Session`] applies [`Delta`]s incrementally
+//! with bit-identical results.
 //!
 //! # Examples
 //!
 //! The running example from Section 1 of the paper:
 //!
 //! ```
-//! use ioenc_core::{exact_encode, ConstraintSet, ExactOptions};
+//! use ioenc_core::{ConstraintSet, Solver, SolverMode};
 //!
 //! let cs = ConstraintSet::parse(
 //!     &["a", "b", "c", "d"],
 //!     "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
 //! )?;
-//! let enc = exact_encode(&cs, &ExactOptions::default())?;
-//! assert_eq!(enc.width(), 2);
-//! assert!(enc.verify(&cs).is_empty());
+//! let solution = Solver::new().mode(SolverMode::Exact).solve(&cs)?;
+//! assert_eq!(solution.encoding.width(), 2);
+//! assert!(solution.encoding.verify(&cs).is_empty());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -61,6 +66,7 @@ mod heuristic;
 mod hypercube;
 mod initial;
 pub mod json;
+pub mod lattice;
 pub mod lint;
 pub mod npc;
 mod oracle;
@@ -68,12 +74,16 @@ mod par;
 mod partition;
 mod primes;
 mod raise;
+mod session;
+mod solver;
 mod stats;
 
-pub use auto::{encode_auto, AutoOptions, AutoReport, AutoRung, RungAttempt};
-pub use bounded::{
-    bounded_exact_encode, bounded_exact_encode_report, BoundedExactOptions, BoundedReport,
-};
+#[allow(deprecated)]
+pub use auto::encode_auto;
+pub use auto::{AutoOptions, AutoReport, AutoRung, RungAttempt};
+#[allow(deprecated)]
+pub use bounded::bounded_exact_encode;
+pub use bounded::{bounded_exact_encode_report, BoundedExactOptions, BoundedReport};
 pub use budget::{Budget, BudgetPhase, BudgetSpent};
 pub use canon::{canonical_form, restore_encoding, CanonicalForm, CanonicalKey};
 pub use chains::{encode_with_chains, ChainConstraint, ChainOptions};
@@ -82,10 +92,14 @@ pub use cost::{constraint_pla, cost_of, cost_of_with, count_violations, CostFunc
 pub use dichotomy::Dichotomy;
 pub use encoding::{Encoding, Violation};
 pub use error::EncodeError;
-pub use exact::{exact_encode, exact_encode_report, ExactOptions, ExactReport};
+#[allow(deprecated)]
+pub use exact::exact_encode;
+pub use exact::{exact_encode_report, ExactOptions, ExactReport};
 pub use feasible::{check_feasible, Feasibility};
 pub use formulation::{BinateFormulation, BinateRow};
-pub use heuristic::{heuristic_encode, heuristic_encode_report, HeuristicOptions, HeuristicReport};
+#[allow(deprecated)]
+pub use heuristic::heuristic_encode;
+pub use heuristic::{heuristic_encode_report, HeuristicOptions, HeuristicReport};
 pub use hypercube::{face_contains, face_of, hamming};
 pub use initial::initial_dichotomies;
 pub use oracle::{oracle_encode, oracle_min_width, OracleOptions};
@@ -94,6 +108,8 @@ pub use partition::{bipartition, PartitionOptions};
 pub use primes::brute_force_primes;
 pub use primes::{generate_primes, generate_primes_with};
 pub use raise::{is_valid, raise_dichotomy};
+pub use session::{Delta, ReuseReport, Session, SessionOutcome};
+pub use solver::{Solution, SolutionDetail, Solver, SolverMode};
 pub use stats::{PhaseTimings, PrimeStats, SolverStats, WorkUnits};
 
 pub use ioenc_cover::{CancelToken, CoverStats, Parallelism};

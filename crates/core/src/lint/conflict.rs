@@ -18,17 +18,21 @@
 //! checked between oracle calls, and `max_evals` caps the number of
 //! oracle calls deterministically. An interrupted search returns the
 //! still-infeasible partial core with `verified_minimal: false`.
+//!
+//! The deletion walk probes the constraint-subset lattice through the
+//! memoizing [`SubsetOracle`](crate::lattice) — the same
+//! infeasibility-is-monotone structure the incremental
+//! [`Session`](crate::Session) reasons over. Memoization changes no
+//! observable output: every probe still counts one oracle call (so budgets
+//! and the reported `oracle_calls` are unchanged), it only skips repeating
+//! [`check_feasible`] work when the verification pass re-probes a subset
+//! the shrink pass already settled.
 
 use super::{ConflictCore, Diagnostic, Severity};
 use crate::budget::Budget;
 use crate::constraints::{ConstraintRef, ConstraintSet};
-use crate::feasible::{check_feasible, Feasibility};
-
-/// One feasibility-oracle probe of a subset, bookkeeping the call count.
-fn subset_infeasible(cs: &ConstraintSet, keep: &[ConstraintRef], calls: &mut u64) -> bool {
-    *calls += 1;
-    !check_feasible(&cs.subset(keep)).is_feasible()
-}
+use crate::feasible::Feasibility;
+use crate::lattice::SubsetOracle;
 
 /// Shrinks the (oracle-infeasible) `cs` to a minimal conflict core and
 /// renders it as the `E008` diagnostic. `feas` is the already-computed
@@ -41,7 +45,7 @@ pub(super) fn minimal_core(
 ) -> (ConflictCore, Diagnostic) {
     let scope = budget.scope();
     let max_calls = budget.max_evals;
-    let mut calls: u64 = 0;
+    let mut oracle = SubsetOracle::new(cs);
     let mut interrupted = false;
     let over_budget = |calls: u64| max_calls.is_some_and(|m| calls >= m);
 
@@ -54,12 +58,12 @@ pub(super) fn minimal_core(
 
     let mut core = candidates.clone();
     for r in &candidates {
-        if scope.interrupted() || over_budget(calls) {
+        if scope.interrupted() || over_budget(oracle.calls()) {
             interrupted = true;
             break;
         }
         let trial: Vec<ConstraintRef> = core.iter().copied().filter(|k| k != r).collect();
-        if subset_infeasible(cs, &trial, &mut calls) {
+        if oracle.infeasible(&trial) {
             core = trial;
         }
     }
@@ -69,17 +73,17 @@ pub(super) fn minimal_core(
     // the shrink pass was interrupted.
     let mut verified = !interrupted;
     if verified {
-        verified = subset_infeasible(cs, &core, &mut calls);
+        verified = oracle.infeasible(&core);
         for r in &core {
             if !verified {
                 break;
             }
-            if scope.interrupted() || over_budget(calls) {
+            if scope.interrupted() || over_budget(oracle.calls()) {
                 verified = false;
                 break;
             }
             let minus_one: Vec<ConstraintRef> = core.iter().copied().filter(|k| k != r).collect();
-            if subset_infeasible(cs, &minus_one, &mut calls) {
+            if oracle.infeasible(&minus_one) {
                 verified = false;
             }
         }
@@ -117,7 +121,7 @@ pub(super) fn minimal_core(
         ConflictCore {
             constraints: core,
             verified_minimal: verified,
-            oracle_calls: calls,
+            oracle_calls: oracle.calls(),
         },
         diagnostic,
     )

@@ -183,7 +183,7 @@ pub fn is_face_embedding(cs: &ConstraintSet, codes: &[u64], k: usize) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{exact_encode, ExactOptions};
+    use crate::{Solver, SolverMode};
 
     #[test]
     fn cycles_embed_iff_even() {
@@ -214,9 +214,9 @@ mod tests {
             assert_eq!(g.num_vertices(), 1 << k);
             let embeds = g.embeds_in_cube(k);
             let cs = g.to_face_constraints();
-            let enc = exact_encode(&cs, &ExactOptions::default());
+            let enc = Solver::new().mode(SolverMode::Exact).solve(&cs);
             let encodable = match enc {
-                Ok(e) => e.width() <= k,
+                Ok(s) => s.encoding.width() <= k,
                 Err(_) => false,
             };
             assert_eq!(

@@ -1,6 +1,7 @@
 //! Validity and maximal raising of encoding-dichotomies with respect to
 //! output constraints (Definitions 3.6, 6.1, 6.2 and Figure 5).
 
+use crate::lattice::RaiseAtom;
 use crate::{ConstraintSet, Dichotomy};
 
 /// Tests whether a dichotomy violates any output constraint
@@ -68,18 +69,38 @@ pub fn is_valid(d: &Dichotomy, cs: &ConstraintSet) -> bool {
 /// Returns `None` when an implied insertion conflicts with the other block
 /// — the dichotomy is invalid and must be deleted (Theorem 6.1).
 pub fn raise_dichotomy(d: &Dichotomy, cs: &ConstraintSet) -> Option<Dichotomy> {
+    raise_dichotomy_traced(d, cs, &mut |_| {})
+}
+
+/// [`raise_dichotomy`] with a derivation trace: `trace` receives the
+/// [`RaiseAtom`] of every rule that fires (changes the partial dichotomy)
+/// or derives the conflict behind a `None` return.
+///
+/// The trace is what makes raises reusable across constraint deltas
+/// (see [`lattice`](crate::lattice)): removing a constraint whose atom
+/// never fired leaves the recorded derivation — and hence the fixpoint —
+/// untouched. Rules whose conclusions already held are *not* recorded;
+/// that is conservative, since a rule that never changed anything cannot
+/// have shaped the result.
+pub(crate) fn raise_dichotomy_traced(
+    d: &Dichotomy,
+    cs: &ConstraintSet,
+    trace: &mut dyn FnMut(RaiseAtom),
+) -> Option<Dichotomy> {
     let mut d = d.clone();
     let dominances = cs.all_dominances();
     loop {
         let mut changed = false;
         for &(a, b) in &dominances {
             if d.in_left(a) && !d.in_left(b) {
+                trace(RaiseAtom::Dominance(a, b));
                 if !d.insert_left(b) {
                     return None;
                 }
                 changed = true;
             }
             if d.in_right(b) && !d.in_right(a) {
+                trace(RaiseAtom::Dominance(a, b));
                 if !d.insert_right(a) {
                     return None;
                 }
@@ -88,6 +109,7 @@ pub fn raise_dichotomy(d: &Dichotomy, cs: &ConstraintSet) -> Option<Dichotomy> {
         }
         for (parent, children) in cs.disjunctives() {
             if children.iter().all(|&c| d.in_left(c)) && !d.in_left(parent) {
+                trace(RaiseAtom::Disjunctive(parent, children.to_vec()));
                 if !d.insert_left(parent) {
                     return None;
                 }
@@ -100,12 +122,14 @@ pub fn raise_dichotomy(d: &Dichotomy, cs: &ConstraintSet) -> Option<Dichotomy> {
                     .filter(|&c| !d.in_left(c))
                     .collect();
                 if unassigned_or_right.len() == 1 && !d.in_right(unassigned_or_right[0]) {
+                    trace(RaiseAtom::Disjunctive(parent, children.to_vec()));
                     if !d.insert_right(unassigned_or_right[0]) {
                         return None;
                     }
                     changed = true;
                 }
                 if unassigned_or_right.is_empty() {
+                    trace(RaiseAtom::Disjunctive(parent, children.to_vec()));
                     return None; // 1 = OR of 0s
                 }
             }
@@ -114,9 +138,11 @@ pub fn raise_dichotomy(d: &Dichotomy, cs: &ConstraintSet) -> Option<Dichotomy> {
             let killed = |conj: &[usize]| conj.iter().any(|&s| d.in_left(s));
             if conjunctions.iter().all(|c| killed(c)) {
                 if d.in_right(parent) {
+                    trace(RaiseAtom::Extended(parent, conjunctions.to_vec()));
                     return None;
                 }
                 if !d.in_left(parent) {
+                    trace(RaiseAtom::Extended(parent, conjunctions.to_vec()));
                     d.insert_left(parent);
                     changed = true;
                 }
@@ -125,6 +151,7 @@ pub fn raise_dichotomy(d: &Dichotomy, cs: &ConstraintSet) -> Option<Dichotomy> {
                 if alive.len() == 1 {
                     for &s in alive[0] {
                         if !d.in_right(s) {
+                            trace(RaiseAtom::Extended(parent, conjunctions.to_vec()));
                             if !d.insert_right(s) {
                                 return None;
                             }

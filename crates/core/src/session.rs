@@ -1,0 +1,593 @@
+//! Incremental re-solve sessions: edit a constraint set one [`Delta`] at a
+//! time and re-encode without repeating the raising and prime-generation
+//! work that survived the edit.
+//!
+//! A [`Session`] owns a constraint set, a [`Solver`] configuration and a
+//! [`DichotomyLattice`]. Each [`apply`](Session::apply) materializes the
+//! edited set, patches the lattice (re-raising only the dichotomies the
+//! atom diff invalidated, splicing vertices in and out of the
+//! maximal-compatible family), and hands the surviving raised dichotomies
+//! and primes to the exact pipeline as precomputed parts. The contract is
+//! *bit-identity*: every apply returns exactly what a from-scratch
+//! [`Solver::solve`] of the edited set returns — same encoding, same
+//! errors — because the pipeline's deterministic downstream (feasibility
+//! gate, column assembly, covering) always reruns on set-equal inputs.
+//!
+//! The incremental path is taken only when it provably cannot diverge:
+//!
+//! * the solver's budget is unlimited — any limit (work units, deadline,
+//!   cancellation) could truncate differently than a from-scratch run, so
+//!   budgeted solves go from scratch and **never populate session state**;
+//! * the mode is [`SolverMode::Exact`] or [`SolverMode::Auto`] (the
+//!   bounded and heuristic encoders do not consume primes);
+//! * the delta is small (see [`with_threshold`](Session::with_threshold));
+//!   past the threshold a fresh solve is cheaper than patching;
+//! * the maintained prime family is within the exact pipeline's cap —
+//!   at or past the cap the from-scratch run defines the (error) behavior,
+//!   so the session defers to it.
+//!
+//! On top of the lattice, the session memoizes completed covering
+//! searches keyed on their exact inputs (rows and columns). A delta that
+//! returns the set to an already-solved form — the add-then-remove
+//! toggles of interactive exploration — replays the recorded selection
+//! instead of searching again, which is where most of the solve time
+//! goes on prime-rich sets. Replays are bit-identical by determinism:
+//! the covering search is a pure function of inputs the memo compares in
+//! full ([`ReuseReport::cover_replayed`] says when this happened).
+//!
+//! ```
+//! use ioenc_core::{Delta, Session};
+//! # use ioenc_core::ConstraintSet;
+//!
+//! let cs = ConstraintSet::parse(&["a", "b", "c", "d"], "(a,b)\n(c,d)")?;
+//! let mut session = Session::open(cs);
+//! let first = session.solve()?;
+//! let edited = session.apply(&Delta::new().add("(b,c)"))?;
+//! assert!(edited.reuse.incremental);
+//! assert!(edited.solution.encoding.width() >= first.solution.encoding.width());
+//! # Ok::<(), ioenc_core::EncodeError>(())
+//! ```
+
+use crate::auto::is_fatal;
+use crate::exact::{exact_encode_report_with_parts, CoverMemo, ExactParts};
+use crate::lattice::{DichotomyLattice, LatticeUpdate};
+use crate::solver::{Solution, SolutionDetail, Solver, SolverMode};
+use crate::{initial_dichotomies, AutoRung, ConstraintRef, ConstraintSet, EncodeError};
+
+/// An edit to a session's constraint set: constraint lines to add and
+/// remove, in the [`ConstraintSet::parse`] grammar.
+///
+/// Removals are matched by *content*, not position: `"a>b"` removes the
+/// dominance `a > b` however it was originally written. Each removal line
+/// must match exactly one (remaining) constraint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    add: Vec<String>,
+    remove: Vec<String>,
+}
+
+impl Delta {
+    /// An empty delta (applying it just re-solves the current set).
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Adds a constraint line.
+    #[allow(clippy::should_implement_trait)] // builder edit, not arithmetic
+    pub fn add(mut self, line: impl Into<String>) -> Self {
+        self.add.push(line.into());
+        self
+    }
+
+    /// Removes the constraint matching `line`.
+    pub fn remove(mut self, line: impl Into<String>) -> Self {
+        self.remove.push(line.into());
+        self
+    }
+
+    /// Whether the delta edits anything.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+
+    /// Number of edits (additions plus removals).
+    pub fn len(&self) -> usize {
+        self.add.len() + self.remove.len()
+    }
+
+    /// The constraint lines to add.
+    pub fn additions(&self) -> &[String] {
+        &self.add
+    }
+
+    /// The constraint lines to remove.
+    pub fn removals(&self) -> &[String] {
+        &self.remove
+    }
+}
+
+/// How much cached work one [`Session::apply`] reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReuseReport {
+    /// Whether the incremental path ran (`false` means a from-scratch
+    /// solve, with any session state dropped or left untouched).
+    pub incremental: bool,
+    /// The number of edits in the applied delta.
+    pub delta_size: usize,
+    /// Cached raises carried over unchanged.
+    pub raises_reused: usize,
+    /// Cached raises re-derived or resumed because the delta touched them.
+    pub raises_recomputed: usize,
+    /// Dichotomies raised for the first time.
+    pub raises_fresh: usize,
+    /// Maximal compatibles currently maintained.
+    pub cliques: usize,
+    /// Whether the covering search itself was skipped because the edited
+    /// set's cover inputs matched an earlier solve of this session (an
+    /// add-then-remove toggle returning to a known form).
+    pub cover_replayed: bool,
+}
+
+impl ReuseReport {
+    fn from_update(delta_size: usize, u: &LatticeUpdate) -> Self {
+        ReuseReport {
+            incremental: true,
+            delta_size,
+            raises_reused: u.raises_reused,
+            raises_recomputed: u.raises_recomputed,
+            raises_fresh: u.raises_fresh,
+            cliques: u.cliques,
+            cover_replayed: false,
+        }
+    }
+
+    fn scratch(delta_size: usize) -> Self {
+        ReuseReport {
+            incremental: false,
+            delta_size,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of one [`Session::apply`]: the solve result plus the reuse
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// The solve result — bit-identical to a from-scratch
+    /// [`Solver::solve`] of the session's current set.
+    pub solution: Solution,
+    /// What the incremental machinery reused.
+    pub reuse: ReuseReport,
+}
+
+/// An incremental re-solve session; see the [module docs](self).
+#[derive(Debug)]
+pub struct Session {
+    cs: ConstraintSet,
+    solver: Solver,
+    threshold: usize,
+    lattice: Option<DichotomyLattice>,
+    /// Completed covering searches keyed on their exact inputs, so a
+    /// delta returning to an already-solved form replays the selection
+    /// instead of searching again. Sound because lookups compare the full
+    /// inputs and the search is deterministic; cleared whenever the
+    /// solver (and thus the node limit) changes.
+    memo: CoverMemo,
+}
+
+/// Covering results retained per session; enough for the add-then-remove
+/// toggles of interactive exploration without unbounded growth.
+const COVER_MEMO_CAP: usize = 16;
+
+impl Session {
+    /// Opens a session on `cs` with a default [`Solver`]
+    /// ([`SolverMode::Auto`], unlimited budget) and a delta threshold of 4.
+    ///
+    /// Opening is cheap; the lattice is built by the first incremental
+    /// [`apply`](Self::apply)/[`solve`](Self::solve).
+    pub fn open(cs: ConstraintSet) -> Self {
+        Session {
+            cs,
+            solver: Solver::new(),
+            threshold: 4,
+            lattice: None,
+            memo: CoverMemo::new(COVER_MEMO_CAP),
+        }
+    }
+
+    /// Uses `solver` for every solve (incremental or not).
+    pub fn with_solver(mut self, solver: Solver) -> Self {
+        self.solver = solver;
+        self.lattice = None;
+        // A new solver can carry a different node limit, which the memo
+        // key does not capture; recorded selections are stale.
+        self.memo = CoverMemo::new(COVER_MEMO_CAP);
+        self
+    }
+
+    /// Sets the maximum delta size the incremental path accepts; larger
+    /// deltas trigger a from-scratch solve and drop the cached state.
+    pub fn with_threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// The session's current constraint set.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.cs
+    }
+
+    /// The configured solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Re-solves the current set (an empty [`Delta`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`apply`](Self::apply).
+    pub fn solve(&mut self) -> Result<SessionOutcome, EncodeError> {
+        self.apply(&Delta::new())
+    }
+
+    /// Applies `delta` to the constraint set and re-solves.
+    ///
+    /// The edited set is committed to the session even when the solve
+    /// fails (say, an added constraint made it infeasible) — a following
+    /// delta can remove the offender and continue incrementally. Parse and
+    /// match failures in the delta itself leave the session untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`EncodeError::Parse`] when a delta line does not parse or a
+    ///   removal matches no constraint;
+    /// * otherwise, exactly what a from-scratch [`Solver::solve`] of the
+    ///   edited set reports.
+    pub fn apply(&mut self, delta: &Delta) -> Result<SessionOutcome, EncodeError> {
+        let mut removed: Vec<ConstraintRef> = Vec::new();
+        for line in &delta.remove {
+            let rendered = self.render(line)?;
+            let r = self
+                .cs
+                .constraint_refs()
+                .into_iter()
+                .filter(|r| !removed.contains(r))
+                .find(|&r| self.cs.describe(r) == rendered)
+                .ok_or_else(|| {
+                    EncodeError::parse(format!(
+                        "no constraint matching '{}' to remove",
+                        line.trim()
+                    ))
+                })?;
+            removed.push(r);
+        }
+        let mut new_cs = if removed.is_empty() {
+            self.cs.clone()
+        } else {
+            let keep: Vec<ConstraintRef> = self
+                .cs
+                .constraint_refs()
+                .into_iter()
+                .filter(|r| !removed.contains(r))
+                .collect();
+            self.cs.subset(&keep)
+        };
+        for line in &delta.add {
+            new_cs.add_line(line)?;
+        }
+        self.solve_edited(new_cs, delta.len())
+    }
+
+    /// Replaces the whole constraint set (dropping cached state — a
+    /// replacement is an unbounded delta) and re-solves.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Solver::solve`].
+    pub fn replace(&mut self, cs: ConstraintSet) -> Result<SessionOutcome, EncodeError> {
+        self.lattice = None;
+        self.cs = cs;
+        let solution = self.solver.solve(&self.cs)?;
+        Ok(SessionOutcome {
+            solution,
+            reuse: ReuseReport::scratch(0),
+        })
+    }
+
+    /// Renders a constraint line in the session's canonical `describe`
+    /// form for content matching, without touching the session set.
+    fn render(&self, line: &str) -> Result<String, EncodeError> {
+        let names: Vec<String> = (0..self.cs.num_symbols())
+            .map(|i| self.cs.name(i).to_string())
+            .collect();
+        let mut tmp = ConstraintSet::with_names(names);
+        let r = tmp.add_line(line)?;
+        Ok(tmp.describe(r))
+    }
+
+    fn solve_edited(
+        &mut self,
+        new_cs: ConstraintSet,
+        delta_size: usize,
+    ) -> Result<SessionOutcome, EncodeError> {
+        let eligible = self.solver.opts.budget.is_unlimited()
+            && matches!(self.solver.mode, SolverMode::Exact | SolverMode::Auto);
+        if !eligible || (self.lattice.is_some() && delta_size > self.threshold) {
+            // From-scratch solve. Budgeted solves can be truncated by a
+            // deadline or work limit, so they must never populate the
+            // cached state; over-threshold deltas make it stale instead.
+            self.lattice = None;
+            self.cs = new_cs;
+            let solution = self.solver.solve(&self.cs)?;
+            return Ok(SessionOutcome {
+                solution,
+                reuse: ReuseReport::scratch(delta_size),
+            });
+        }
+
+        let initial = initial_dichotomies(&new_cs, !new_cs.has_output_constraints());
+        let cap = self.solver.opts.exact.prime_cap;
+        // Slack above the pipeline cap absorbs transient family growth
+        // mid-update; the authoritative cap check happens below, per solve.
+        let maintenance_cap = cap.saturating_mul(2).max(cap.saturating_add(1024));
+        let update = match &mut self.lattice {
+            Some(l) => l.apply(&new_cs, &initial),
+            None => {
+                let (l, u) = DichotomyLattice::build(&new_cs, &initial, maintenance_cap);
+                self.lattice = Some(l);
+                u
+            }
+        };
+        self.cs = new_cs;
+
+        let parts = match &self.lattice {
+            Some(l) if !l.is_oversized() && l.clique_count() <= cap => {
+                l.primes().map(|primes| ExactParts {
+                    raised: l.raised().to_vec(),
+                    primes_raw: primes,
+                })
+            }
+            _ => None,
+        };
+        let Some(parts) = parts else {
+            // The prime family is at or past the exact pipeline's cap: the
+            // from-scratch run (and its cap error) is the defined behavior.
+            if self.lattice.as_ref().is_some_and(|l| l.is_oversized()) {
+                self.lattice = None;
+            }
+            let solution = self.solver.solve(&self.cs)?;
+            return Ok(SessionOutcome {
+                solution,
+                reuse: ReuseReport::scratch(delta_size),
+            });
+        };
+
+        let mut reuse = ReuseReport::from_update(delta_size, &update);
+        let hits_before = self.memo.hits();
+        match self.solver.mode {
+            SolverMode::Exact => {
+                let r = exact_encode_report_with_parts(
+                    &self.cs,
+                    &self.solver.exact_options(),
+                    parts,
+                    Some(&mut self.memo),
+                )?;
+                reuse.cover_replayed = self.memo.hits() > hits_before;
+                Ok(SessionOutcome {
+                    solution: Solution {
+                        encoding: r.encoding,
+                        stats: r.stats,
+                        detail: SolutionDetail::Exact { optimal: r.optimal },
+                    },
+                    reuse,
+                })
+            }
+            SolverMode::Auto => {
+                // With an unlimited shared budget the auto ladder's exact
+                // rung runs with exactly these options, so an incremental
+                // exact success (or fatal error) is the ladder's verdict.
+                match exact_encode_report_with_parts(
+                    &self.cs,
+                    &self.solver.exact_options(),
+                    parts,
+                    Some(&mut self.memo),
+                ) {
+                    Ok(r) => {
+                        reuse.cover_replayed = self.memo.hits() > hits_before;
+                        Ok(SessionOutcome {
+                            solution: Solution {
+                                encoding: r.encoding,
+                                stats: r.stats,
+                                detail: SolutionDetail::Auto {
+                                    rung: AutoRung::Exact,
+                                    optimal: r.optimal,
+                                    attempts: Vec::new(),
+                                    reused_raised: false,
+                                },
+                            },
+                            reuse,
+                        })
+                    }
+                    Err(e) if is_fatal(&e) => Err(e),
+                    Err(_) => {
+                        // A non-fatal exact failure (node-limit abort, over
+                        // 64 bits, non-face blow-up): let the full ladder
+                        // answer from scratch, as it would have.
+                        let solution = self.solver.solve(&self.cs)?;
+                        Ok(SessionOutcome {
+                            solution,
+                            reuse: ReuseReport::scratch(delta_size),
+                        })
+                    }
+                }
+            }
+            SolverMode::Bounded | SolverMode::Heuristic => unreachable!("gated above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Budget, Solver, SolverMode};
+
+    fn base() -> ConstraintSet {
+        ConstraintSet::parse(&["a", "b", "c", "d", "e"], "(a,b)\n(c,d)\n(b,c,e)\na>c").unwrap()
+    }
+
+    fn codes_of(s: &SessionOutcome) -> Vec<u64> {
+        s.solution.encoding.codes().to_vec()
+    }
+
+    #[test]
+    fn empty_delta_matches_scratch() {
+        let mut session = Session::open(base());
+        let out = session.solve().unwrap();
+        let scratch = Solver::new().solve(&base()).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+        assert!(out.reuse.incremental);
+    }
+
+    #[test]
+    fn add_remove_chain_matches_scratch() {
+        let mut session = Session::open(base());
+        session.solve().unwrap();
+
+        let out = session.apply(&Delta::new().add("b>d")).unwrap();
+        let mut expect = base();
+        expect.add_line("b>d").unwrap();
+        let scratch = Solver::new().solve(&expect).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+        assert!(out.reuse.incremental);
+
+        // Content-matched removal of an original constraint.
+        let out = session.apply(&Delta::new().remove("a>c")).unwrap();
+        assert!(out.reuse.incremental);
+        let refs = expect.constraint_refs();
+        let keep: Vec<ConstraintRef> = refs
+            .iter()
+            .copied()
+            .filter(|&r| expect.describe(r) != "a>c")
+            .collect();
+        let expect = expect.subset(&keep);
+        let scratch = Solver::new().solve(&expect).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+        assert_eq!(session.constraints().len(), expect.len());
+    }
+
+    #[test]
+    fn removal_of_missing_constraint_is_a_parse_error() {
+        let mut session = Session::open(base());
+        let err = session.apply(&Delta::new().remove("d>e")).unwrap_err();
+        assert!(matches!(err, EncodeError::Parse { .. }));
+        // The session set is untouched.
+        assert_eq!(session.constraints().len(), base().len());
+    }
+
+    #[test]
+    fn infeasible_delta_reports_and_commits() {
+        let mut session = Session::open(base());
+        session.solve().unwrap();
+        // a>c plus c>a is jointly unsatisfiable.
+        let err = session.apply(&Delta::new().add("c>a")).unwrap_err();
+        assert!(matches!(err, EncodeError::Infeasible { .. }));
+        // The offending constraint is committed; removing it recovers.
+        let out = session.apply(&Delta::new().remove("c>a")).unwrap();
+        assert!(out.reuse.incremental);
+        let scratch = Solver::new().solve(&base()).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+    }
+
+    #[test]
+    fn budgeted_solver_never_populates_state() {
+        let solver = Solver::new().budget(Budget::unlimited().with_max_primes(10_000));
+        let mut session = Session::open(base()).with_solver(solver);
+        let out = session.solve().unwrap();
+        assert!(!out.reuse.incremental);
+        assert!(session.lattice.is_none(), "budgeted solve must not cache");
+        let out = session.apply(&Delta::new().add("(d,e)")).unwrap();
+        assert!(!out.reuse.incremental);
+        assert!(session.lattice.is_none());
+    }
+
+    #[test]
+    fn over_threshold_delta_goes_scratch_and_drops_state() {
+        let mut session = Session::open(base()).with_threshold(1);
+        session.solve().unwrap();
+        assert!(session.lattice.is_some());
+        let delta = Delta::new().add("(a,c)").add("(b,d)");
+        let out = session.apply(&delta).unwrap();
+        assert!(!out.reuse.incremental);
+        assert!(session.lattice.is_none());
+        // The next small delta rebuilds and goes incremental again.
+        let out = session.apply(&Delta::new().add("(d,e)")).unwrap();
+        assert!(out.reuse.incremental);
+    }
+
+    #[test]
+    fn exact_mode_sessions_work() {
+        let solver = Solver::new().mode(SolverMode::Exact);
+        let mut session = Session::open(base()).with_solver(solver.clone());
+        let out = session.apply(&Delta::new().add("d>e")).unwrap();
+        assert!(out.reuse.incremental);
+        let mut expect = base();
+        expect.add_line("d>e").unwrap();
+        let scratch = solver.solve(&expect).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+        assert!(matches!(out.solution.detail, SolutionDetail::Exact { .. }));
+    }
+
+    #[test]
+    fn heuristic_mode_always_scratch() {
+        let solver = Solver::new().mode(SolverMode::Heuristic);
+        let mut session = Session::open(base()).with_solver(solver);
+        let out = session.solve().unwrap();
+        assert!(!out.reuse.incremental);
+        assert!(session.lattice.is_none());
+    }
+
+    #[test]
+    fn replace_resets_state() {
+        let mut session = Session::open(base());
+        session.solve().unwrap();
+        let other = ConstraintSet::parse(&["x", "y", "z"], "(x,y)").unwrap();
+        let out = session.replace(other.clone()).unwrap();
+        assert!(!out.reuse.incremental);
+        let scratch = Solver::new().solve(&other).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
+    }
+
+    #[test]
+    fn toggle_deltas_replay_the_covering_search() {
+        let mut session = Session::open(base());
+        session.solve().unwrap();
+        let first = session.apply(&Delta::new().add("(d,e)")).unwrap();
+        assert!(!first.reuse.cover_replayed, "first visit must search");
+        // Back to the base form solved at open: the cover inputs recur.
+        let back = session.apply(&Delta::new().remove("(d,e)")).unwrap();
+        assert!(back.reuse.cover_replayed);
+        let scratch = Solver::new().solve(&base()).unwrap();
+        assert_eq!(codes_of(&back), scratch.encoding.codes());
+        // Forward again: the edited form is memoized too.
+        let again = session.apply(&Delta::new().add("(d,e)")).unwrap();
+        assert!(again.reuse.cover_replayed);
+        assert_eq!(codes_of(&again), codes_of(&first));
+    }
+
+    #[test]
+    fn duplicate_constraints_remove_one_at_a_time() {
+        let mut cs = ConstraintSet::new(3);
+        cs.add_face([0, 1]);
+        cs.add_face([0, 1]);
+        let mut session = Session::open(cs);
+        session.solve().unwrap();
+        session.apply(&Delta::new().remove("(s0,s1)")).unwrap();
+        assert_eq!(session.constraints().len(), 1);
+        session.apply(&Delta::new().remove("(s0,s1)")).unwrap();
+        assert_eq!(session.constraints().len(), 0);
+        let err = session.apply(&Delta::new().remove("(s0,s1)")).unwrap_err();
+        assert!(matches!(err, EncodeError::Parse { .. }));
+    }
+}

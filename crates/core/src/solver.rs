@@ -1,0 +1,339 @@
+//! The unified [`Solver`] entry point: one builder over the exact (P-2),
+//! bounded-exact, heuristic (P-3) and auto-ladder encoders.
+//!
+//! Historically each encoder had its own options struct and free function
+//! (`exact_encode` + `ExactOptions`, and so on). Those remain as deprecated
+//! delegating wrappers; new code configures a [`Solver`] once and picks the
+//! algorithm with [`SolverMode`]:
+//!
+//! ```
+//! use ioenc_core::{Solver, SolverMode};
+//! # use ioenc_core::ConstraintSet;
+//!
+//! let cs = ConstraintSet::parse(
+//!     &["a", "b", "c", "d"],
+//!     "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+//! )?;
+//! let solution = Solver::new().mode(SolverMode::Exact).solve(&cs)?;
+//! assert_eq!(solution.encoding.width(), 2);
+//! assert!(solution.optimal());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::auto::{encode_auto_impl, AutoOptions, AutoRung, RungAttempt};
+use crate::bounded::bounded_exact_encode_report;
+use crate::budget::Budget;
+use crate::exact::{exact_encode_report, ExactOptions};
+use crate::heuristic::heuristic_encode_report;
+use crate::stats::SolverStats;
+use crate::{ConstraintSet, CostFunction, EncodeError, Encoding};
+use ioenc_cover::Parallelism;
+
+/// Which encoding algorithm a [`Solver`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverMode {
+    /// The exact minimum-length pipeline (P-2, Theorem 6.2).
+    Exact,
+    /// Exhaustive minimum-cost selection at a fixed code length.
+    Bounded,
+    /// The split/merge/select heuristic (P-3, Section 7.1).
+    Heuristic,
+    /// The degradation ladder: exact, then bounded, then heuristic, under
+    /// one shared budget.
+    #[default]
+    Auto,
+}
+
+/// Mode-specific facts about a [`Solution`], beyond the encoding itself.
+#[derive(Debug, Clone)]
+pub enum SolutionDetail {
+    /// From [`SolverMode::Exact`].
+    Exact {
+        /// Whether the length is a proven minimum (`false` only when the
+        /// covering search hit its node limit).
+        optimal: bool,
+    },
+    /// From [`SolverMode::Bounded`].
+    Bounded {
+        /// The encoding's cost under the configured [`CostFunction`].
+        cost: u64,
+    },
+    /// From [`SolverMode::Heuristic`].
+    Heuristic {
+        /// `false` when a budget limit stopped the search early.
+        converged: bool,
+    },
+    /// From [`SolverMode::Auto`].
+    Auto {
+        /// The ladder rung that answered.
+        rung: AutoRung,
+        /// Whether the encoding is a proven minimum-length one.
+        optimal: bool,
+        /// The rungs (or per-length attempts) that fell short first.
+        attempts: Vec<RungAttempt>,
+        /// Whether a fallback rung reused the exact rung's raised
+        /// dichotomies.
+        reused_raised: bool,
+    },
+}
+
+/// A verified encoding plus the work spent finding it.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The encoding (injective; for [`SolverMode::Exact`] and successful
+    /// auto solves it satisfies every constraint).
+    pub encoding: Encoding,
+    /// Work counters and timings.
+    pub stats: SolverStats,
+    /// Mode-specific detail.
+    pub detail: SolutionDetail,
+}
+
+impl Solution {
+    /// Whether the encoding is a proven minimum-length one. Bounded and
+    /// heuristic solves answer a fixed-length question, so they are never
+    /// length-optimal in this sense.
+    pub fn optimal(&self) -> bool {
+        match self.detail {
+            SolutionDetail::Exact { optimal } | SolutionDetail::Auto { optimal, .. } => optimal,
+            SolutionDetail::Bounded { .. } | SolutionDetail::Heuristic { .. } => false,
+        }
+    }
+}
+
+/// A configured encoder: pick a [`SolverMode`], set shared knobs once, and
+/// [`solve`](Solver::solve) any number of constraint sets.
+///
+/// The builder owns an [`AutoOptions`] bundle — the same shared-budget,
+/// per-rung structure the auto ladder uses — so one `Solver` value fully
+/// describes any of the four algorithms. [`Session`](crate::Session) stores
+/// one to keep incremental and from-scratch solves configured identically.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    pub(crate) mode: SolverMode,
+    pub(crate) opts: AutoOptions,
+}
+
+impl Solver {
+    /// A solver with [`SolverMode::Auto`] and default options.
+    pub fn new() -> Self {
+        Solver::default()
+    }
+
+    /// Sets the algorithm.
+    pub fn mode(mut self, mode: SolverMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the resource [`Budget`] (shared across rungs in auto mode).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Sets the thread policy of every algorithm; results are
+    /// bit-identical across settings.
+    pub fn threads(mut self, parallelism: Parallelism) -> Self {
+        self.opts = self.opts.with_parallelism(parallelism);
+        self
+    }
+
+    /// Sets the exact pipeline's prime-generation term cap.
+    pub fn prime_cap(mut self, cap: usize) -> Self {
+        self.opts.exact.prime_cap = cap;
+        self
+    }
+
+    /// Sets the exact pipeline's covering-search node budget.
+    pub fn node_limit(mut self, nodes: u64) -> Self {
+        self.opts.exact.node_limit = nodes;
+        self
+    }
+
+    /// Sets the exact pipeline's non-face clause/repair cap (Section 8.3).
+    pub fn nonface_cap(mut self, cap: usize) -> Self {
+        self.opts.exact.nonface_cap = cap;
+        self
+    }
+
+    /// Requests an explicit code length for the bounded and heuristic
+    /// modes instead of the minimum `⌈log₂ n⌉`.
+    pub fn code_length(mut self, bits: usize) -> Self {
+        self.opts.bounded.code_length = Some(bits);
+        self.opts.heuristic.code_length = Some(bits);
+        self
+    }
+
+    /// Sets the [`CostFunction`] the bounded and heuristic modes minimize
+    /// (auto mode always minimizes violations).
+    pub fn cost(mut self, cost: CostFunction) -> Self {
+        self.opts.bounded.cost = cost;
+        self.opts.heuristic.cost = cost;
+        self
+    }
+
+    /// Sets how many bits past the minimum the auto ladder's fallback
+    /// rungs may try.
+    pub fn max_extra_bits(mut self, bits: usize) -> Self {
+        self.opts.max_extra_bits = bits;
+        self
+    }
+
+    /// Replaces the whole option bundle — the escape hatch for knobs
+    /// without a dedicated builder method.
+    pub fn options(mut self, opts: AutoOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The [`ExactOptions`] an exact-mode solve runs with: the exact
+    /// rung's knobs under the solver's shared budget.
+    pub(crate) fn exact_options(&self) -> ExactOptions {
+        let mut o = self.opts.exact.clone();
+        o.budget = self.opts.budget.clone();
+        o
+    }
+
+    /// Encodes `cs` with the configured algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the selected algorithm reports; see
+    /// [`exact_encode_report`], [`bounded_exact_encode_report`],
+    /// [`heuristic_encode_report`] and the auto-ladder docs
+    /// ([`AutoOptions`]).
+    pub fn solve(&self, cs: &ConstraintSet) -> Result<Solution, EncodeError> {
+        match self.mode {
+            SolverMode::Exact => {
+                let r = exact_encode_report(cs, &self.exact_options())?;
+                Ok(Solution {
+                    encoding: r.encoding,
+                    stats: r.stats,
+                    detail: SolutionDetail::Exact { optimal: r.optimal },
+                })
+            }
+            SolverMode::Bounded => {
+                let mut o = self.opts.bounded.clone();
+                o.budget = self.opts.budget.clone();
+                let r = bounded_exact_encode_report(cs, &o)?;
+                Ok(Solution {
+                    encoding: r.encoding,
+                    stats: r.stats,
+                    detail: SolutionDetail::Bounded { cost: r.cost },
+                })
+            }
+            SolverMode::Heuristic => {
+                let mut o = self.opts.heuristic.clone();
+                o.budget = self.opts.budget.clone();
+                let r = heuristic_encode_report(cs, &o)?;
+                Ok(Solution {
+                    encoding: r.encoding,
+                    stats: r.stats,
+                    detail: SolutionDetail::Heuristic {
+                        converged: r.converged,
+                    },
+                })
+            }
+            SolverMode::Auto => {
+                let r = encode_auto_impl(cs, &self.opts)?;
+                Ok(Solution {
+                    encoding: r.encoding,
+                    stats: r.stats,
+                    detail: SolutionDetail::Auto {
+                        rung: r.rung,
+                        optimal: r.optimal,
+                        attempts: r.attempts,
+                        reused_raised: r.reused_raised,
+                    },
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::bounded_exact_encode_report;
+
+    fn section1() -> ConstraintSet {
+        ConstraintSet::parse(
+            &["a", "b", "c", "d"],
+            "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_mode_matches_free_function() {
+        let cs = section1();
+        let s = Solver::new().mode(SolverMode::Exact).solve(&cs).unwrap();
+        let r = exact_encode_report(&cs, &ExactOptions::default()).unwrap();
+        assert_eq!(s.encoding.codes(), r.encoding.codes());
+        assert!(matches!(s.detail, SolutionDetail::Exact { optimal: true }));
+        assert!(s.optimal());
+    }
+
+    #[test]
+    fn bounded_mode_matches_free_function() {
+        let cs = section1();
+        let s = Solver::new().mode(SolverMode::Bounded).solve(&cs).unwrap();
+        let r = bounded_exact_encode_report(&cs, &crate::BoundedExactOptions::default()).unwrap();
+        assert_eq!(s.encoding.codes(), r.encoding.codes());
+        match s.detail {
+            SolutionDetail::Bounded { cost } => assert_eq!(cost, r.cost),
+            other => panic!("wrong detail {other:?}"),
+        }
+        assert!(!s.optimal());
+    }
+
+    #[test]
+    fn heuristic_mode_matches_free_function() {
+        let cs = section1();
+        let s = Solver::new()
+            .mode(SolverMode::Heuristic)
+            .code_length(3)
+            .solve(&cs)
+            .unwrap();
+        let opts = crate::HeuristicOptions::default().with_code_length(3);
+        let r = heuristic_encode_report(&cs, &opts).unwrap();
+        assert_eq!(s.encoding.codes(), r.encoding.codes());
+    }
+
+    #[test]
+    fn auto_mode_matches_ladder() {
+        let cs = section1();
+        let s = Solver::new().solve(&cs).unwrap();
+        let r = encode_auto_impl(&cs, &AutoOptions::new()).unwrap();
+        assert_eq!(s.encoding.codes(), r.encoding.codes());
+        match s.detail {
+            SolutionDetail::Auto { rung, optimal, .. } => {
+                assert_eq!(rung, r.rung);
+                assert_eq!(optimal, r.optimal);
+            }
+            other => panic!("wrong detail {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_knobs_land_in_options() {
+        let s = Solver::new()
+            .mode(SolverMode::Exact)
+            .budget(Budget::unlimited().with_max_primes(123))
+            .threads(Parallelism::Off)
+            .prime_cap(77)
+            .node_limit(99)
+            .nonface_cap(11)
+            .max_extra_bits(2);
+        assert_eq!(s.opts.budget.max_primes, Some(123));
+        assert_eq!(s.opts.exact.prime_cap, 77);
+        assert_eq!(s.opts.exact.node_limit, 99);
+        assert_eq!(s.opts.exact.nonface_cap, 11);
+        assert_eq!(s.opts.max_extra_bits, 2);
+        assert_eq!(s.opts.exact.parallelism, Parallelism::Off);
+        let x = s.exact_options();
+        assert_eq!(x.budget.max_primes, Some(123));
+        assert_eq!(x.prime_cap, 77);
+    }
+}

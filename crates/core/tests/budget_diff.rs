@@ -14,6 +14,10 @@
 //!
 //! The CI matrix re-runs this suite under `IOENC_TEST_THREADS=off` and
 //! `=auto` to pin thread-schedule independence.
+// The free-function entry points are deprecated in favor of `Solver`,
+// but must keep working until removal; this suite stays on them as
+// coverage of the delegating wrappers.
+#![allow(deprecated)]
 
 use ioenc_core::{
     count_violations, encode_auto, exact_encode, AutoOptions, AutoRung, Budget, ConstraintSet,

@@ -1,6 +1,10 @@
 //! Randomized tests for the encoding framework: the polynomial algorithms
 //! against the exponential column-enumeration oracle and brute force.
 //! Driven by the workspace's deterministic PRNG.
+// The free-function entry points are deprecated in favor of `Solver`,
+// but must keep working until removal; this suite stays on them as
+// coverage of the delegating wrappers.
+#![allow(deprecated)]
 
 use ioenc_core::{
     brute_force_primes, check_feasible, count_violations, exact_encode, generate_primes,

@@ -17,9 +17,9 @@ use crate::cache::{CachedOutcome, ResultCache};
 use ioenc_core::json::Json;
 use ioenc_core::lint::{lint, LintOptions};
 use ioenc_core::{
-    canonical_form, check_feasible, encode_auto, exact_encode_report, heuristic_encode_report,
-    AutoOptions, Budget, CancelToken, CanonicalForm, ConstraintSet, CostFunction, EncodeError,
-    Encoding, ExactOptions, HeuristicOptions, Parallelism, SolverStats, WorkUnits,
+    canonical_form, check_feasible, Budget, CancelToken, CanonicalForm, ConstraintSet,
+    CostFunction, EncodeError, Encoding, Parallelism, Solution, SolutionDetail, Solver, SolverMode,
+    SolverStats, WorkUnits,
 };
 
 /// Which solver answers the request.
@@ -38,7 +38,7 @@ pub enum Mode {
         cost: CostFunction,
     },
     /// The exact → bounded → heuristic degradation ladder
-    /// ([`encode_auto`]); requires at least one budget.
+    /// ([`SolverMode::Auto`]); requires at least one budget.
     Auto,
 }
 
@@ -80,6 +80,11 @@ impl Default for EncodeSpec {
     }
 }
 
+/// The NDJSON protocol version this server speaks. Every response carries
+/// it as a top-level `"v"` field; requests may pin it with their own `"v"`
+/// and are rejected with a typed `protocol` error on a mismatch.
+pub const PROTOCOL_VERSION: u64 = 1;
+
 fn opt<T: std::fmt::Display>(v: &Option<T>) -> String {
     match v {
         Some(v) => v.to_string(),
@@ -98,11 +103,14 @@ pub fn cost_label(cost: CostFunction) -> &'static str {
 }
 
 impl EncodeSpec {
-    /// The deterministic cache fingerprint: mode plus every budget knob
-    /// that can change the result. The deadline is deliberately absent —
-    /// deadline-budgeted requests never consult the cache (see
-    /// [`EncodeSpec::cacheable`]) — and so is `parallelism`, because
-    /// results are bit-identical across thread counts.
+    /// The deterministic cache fingerprint: the protocol version, the
+    /// mode, and every budget knob that can change the result. The
+    /// version prefix keeps entries written by one protocol generation
+    /// from answering another's requests across an upgrade. The deadline
+    /// is deliberately absent — deadline-budgeted requests never consult
+    /// the cache (see [`EncodeSpec::cacheable`]) — and so is
+    /// `parallelism`, because results are bit-identical across thread
+    /// counts.
     pub fn fingerprint(&self) -> String {
         let mode = match &self.mode {
             Mode::Exact { prime_cap } => format!("exact:cap={}", opt(prime_cap)),
@@ -112,7 +120,7 @@ impl EncodeSpec {
             Mode::Auto => "auto".to_string(),
         };
         format!(
-            "{mode};primes={};nodes={};evals={};ps={}",
+            "v{PROTOCOL_VERSION};{mode};primes={};nodes={};evals={};ps={}",
             opt(&self.max_primes),
             opt(&self.max_nodes),
             opt(&self.max_evals),
@@ -156,6 +164,45 @@ impl EncodeSpec {
             budget = budget.with_cancel(token.clone());
         }
         (budget, any)
+    }
+
+    /// Builds the [`Solver`] this spec describes — shared by the one-shot
+    /// pipeline and the session registry, so both solve identically.
+    ///
+    /// # Errors
+    ///
+    /// [`EncodeError::Limit`] for a zero prime cap or a budget-less auto
+    /// request.
+    pub fn solver(&self, cancel: Option<&CancelToken>) -> Result<Solver, EncodeError> {
+        let (budget, any_budget) = self.budget(cancel);
+        let mut solver = Solver::new().threads(self.parallelism).budget(budget);
+        match &self.mode {
+            Mode::Exact { prime_cap } => {
+                if let Some(cap) = prime_cap {
+                    if *cap == 0 {
+                        return Err(EncodeError::limit("--prime-cap must be positive"));
+                    }
+                    solver = solver.prime_cap(*cap);
+                }
+                Ok(solver.mode(SolverMode::Exact))
+            }
+            Mode::Heuristic { bits, cost } => {
+                solver = solver.cost(*cost);
+                if let Some(bits) = bits {
+                    solver = solver.code_length(*bits);
+                }
+                Ok(solver.mode(SolverMode::Heuristic))
+            }
+            Mode::Auto => {
+                if !any_budget {
+                    return Err(EncodeError::limit(
+                        "--auto needs at least one budget: --max-primes, --max-nodes, \
+                         --max-evals, --max-ps-steps or --deadline-ms",
+                    ));
+                }
+                Ok(solver.mode(SolverMode::Auto))
+            }
+        }
     }
 }
 
@@ -243,57 +290,30 @@ fn run_mode(
     spec: &EncodeSpec,
     cancel: Option<&CancelToken>,
 ) -> Result<(Encoding, ModeOutcome, SolverStats, Vec<String>), EncodeError> {
-    let (budget, any_budget) = spec.budget(cancel);
-    match &spec.mode {
-        Mode::Exact { prime_cap } => {
-            let mut opts = ExactOptions::new()
-                .with_parallelism(spec.parallelism)
-                .with_budget(budget);
-            if let Some(cap) = prime_cap {
-                if *cap == 0 {
-                    return Err(EncodeError::limit("--prime-cap must be positive"));
-                }
-                opts = opts.with_prime_cap(*cap);
-            }
-            let r = exact_encode_report(set, &opts)?;
-            Ok((
-                r.encoding,
-                ModeOutcome::Exact { optimal: r.optimal },
-                r.stats,
-                Vec::new(),
-            ))
+    let solver = spec.solver(cancel)?;
+    let Solution {
+        encoding,
+        stats,
+        detail,
+    } = solver.solve(set)?;
+    let (mode, notes) = match detail {
+        SolutionDetail::Exact { optimal } => (ModeOutcome::Exact { optimal }, Vec::new()),
+        SolutionDetail::Heuristic { converged } => {
+            (ModeOutcome::Heuristic { converged }, Vec::new())
         }
-        Mode::Heuristic { bits, cost } => {
-            let mut opts = HeuristicOptions::new()
-                .with_cost(*cost)
-                .with_parallelism(spec.parallelism)
-                .with_budget(budget);
-            if let Some(bits) = bits {
-                opts = opts.with_code_length(*bits);
-            }
-            let r = heuristic_encode_report(set, &opts)?;
-            Ok((
-                r.encoding,
-                ModeOutcome::Heuristic {
-                    converged: r.converged,
-                },
-                r.stats,
-                Vec::new(),
-            ))
+        SolutionDetail::Bounded { .. } => {
+            // The spec grammar never selects bounded mode directly; it only
+            // runs as an auto-ladder rung.
+            return Err(EncodeError::limit("bounded mode is not a serve mode"));
         }
-        Mode::Auto => {
-            if !any_budget {
-                return Err(EncodeError::limit(
-                    "--auto needs at least one budget: --max-primes, --max-nodes, \
-                     --max-evals, --max-ps-steps or --deadline-ms",
-                ));
-            }
-            let opts = AutoOptions::new()
-                .with_budget(budget)
-                .with_parallelism(spec.parallelism);
-            let r = encode_auto(set, &opts)?;
+        SolutionDetail::Auto {
+            rung,
+            optimal,
+            attempts,
+            reused_raised,
+        } => {
             let mut notes = Vec::new();
-            for a in &r.attempts {
+            for a in &attempts {
                 match &a.error {
                     Some(e) => notes.push(format!("{} rung fell short: {e}", a.rung)),
                     None => notes.push(format!(
@@ -302,20 +322,19 @@ fn run_mode(
                     )),
                 }
             }
-            if r.reused_raised {
+            if reused_raised {
                 notes.push("fallback reused the exact rung's raised dichotomies".to_string());
             }
-            Ok((
-                r.encoding,
+            (
                 ModeOutcome::Auto {
-                    rung: r.rung.to_string(),
-                    optimal: r.optimal,
+                    rung: rung.to_string(),
+                    optimal,
                 },
-                r.stats,
                 notes,
-            ))
+            )
         }
-    }
+    };
+    Ok((encoding, mode, stats, notes))
 }
 
 /// Solves `cs` without consulting any cache: solve the canonical set,
@@ -359,7 +378,7 @@ pub fn solve_fresh(
     })
 }
 
-fn work_units_json(w: &WorkUnits) -> Json {
+pub(crate) fn work_units_json(w: &WorkUnits) -> Json {
     Json::obj()
         .field("num_initial", w.num_initial)
         .field("num_primes", w.num_primes)

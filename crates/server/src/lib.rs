@@ -23,32 +23,47 @@
 //!   [`CancelToken`](ioenc_core::CancelToken), inline `stats` and
 //!   `shutdown` operations, and graceful drain on shutdown.
 //!
-//! # Protocol
+//! # Protocol (v1)
 //!
 //! One JSON object per line in, one per line out; responses carry the
-//! request's `id` and may arrive out of order:
+//! request's `id`, the protocol version `v`, and may arrive out of
+//! order. Requests may pin a `"v"` (absent means 1); an unsupported
+//! version gets a typed `protocol` error:
 //!
 //! ```text
 //! → {"id":1,"op":"encode","text":"symbols: a b c d\n(b,c)\n(c,d)\n"}
-//! ← {"id":1,"result":{"ok":true,"key":"…","mode":"exact",…}}
+//! ← {"id":1,"v":1,"result":{"ok":true,"key":"…","mode":"exact",…}}
 //! → {"id":2,"op":"stats"}
-//! ← {"id":2,"result":{"ok":true,"workers":4,"queue":{…},"cache":{…}}}
+//! ← {"id":2,"v":1,"result":{"ok":true,"workers":4,"sessions":0,…}}
 //! → {"id":3,"op":"shutdown"}
-//! ← {"id":3,"result":{"ok":true,"shutting_down":true}}
+//! ← {"id":3,"v":1,"result":{"ok":true,"shutting_down":true}}
 //! ```
 //!
 //! The `result` object of an `encode` response is byte-for-byte the
 //! stdout of `ioenc encode --json` on the same input, for every worker
 //! count and cache state.
+//!
+//! Incremental sessions add three operations (see [`session`]):
+//!
+//! ```text
+//! → {"id":4,"op":"open","text":"symbols: a b c d\n(a,b)\n(c,d)\n"}
+//! ← {"id":4,"v":1,"result":{"ok":true,"session":1,…,"reuse":{…}}}
+//! → {"id":5,"op":"delta","session":1,"add":["(b,c)"],"remove":["(c,d)"]}
+//! ← {"id":5,"v":1,"result":{"ok":true,"session":1,…,"reuse":{"incremental":true,…}}}
+//! → {"id":6,"op":"close","session":1}
+//! ← {"id":6,"v":1,"result":{"ok":true,"session":1,"closed":true}}
+//! ```
 
 pub mod cache;
 pub mod exec;
 pub mod queue;
 pub mod server;
+pub mod session;
 
 pub use cache::{CachedOutcome, ResultCache};
 pub use exec::{
     outcome, parse_constraint_text, solve_fresh, EncodeResult, EncodeSpec, Mode, ModeOutcome,
-    Outcome,
+    Outcome, PROTOCOL_VERSION,
 };
 pub use server::{serve_stdio, serve_tcp, ServeOptions};
+pub use session::SessionRegistry;

@@ -12,8 +12,9 @@
 //! before exiting, so no request is silently dropped.
 
 use crate::cache::ResultCache;
-use crate::exec::{failure_json, outcome, EncodeSpec, Mode, Outcome};
+use crate::exec::{failure_json, outcome, EncodeSpec, Mode, Outcome, PROTOCOL_VERSION};
 use crate::queue::BoundedQueue;
+use crate::session::SessionRegistry;
 use ioenc_core::json::Json;
 use ioenc_core::{CancelToken, CostFunction, EncodeError, Parallelism};
 use std::io::{BufRead, BufReader, Write};
@@ -84,6 +85,7 @@ struct Job {
 struct Shared {
     cache: Option<ResultCache>,
     queue: BoundedQueue<Job>,
+    sessions: SessionRegistry,
     cancel: CancelToken,
     shutdown: AtomicBool,
     shed: AtomicU64,
@@ -96,6 +98,7 @@ impl Shared {
         Shared {
             cache: (opts.cache_entries > 0).then(|| ResultCache::new(opts.cache_entries)),
             queue: BoundedQueue::new(opts.queue_capacity),
+            sessions: SessionRegistry::new(),
             cancel: CancelToken::new(),
             shutdown: AtomicBool::new(false),
             shed: AtomicU64::new(0),
@@ -106,7 +109,7 @@ impl Shared {
 }
 
 fn write_response(sink: &Sink, id: &str, result: &str) {
-    let line = format!("{{\"id\":{id},\"result\":{result}}}\n");
+    let line = format!("{{\"id\":{id},\"v\":{PROTOCOL_VERSION},\"result\":{result}}}\n");
     let mut w = sink.lock().unwrap_or_else(|p| p.into_inner());
     // A vanished client (broken pipe, closed socket) must not take the
     // server down; its remaining responses are simply dropped.
@@ -155,8 +158,8 @@ fn usize_field(req: &Json, name: &str) -> Result<Option<usize>, EncodeError> {
     Ok(u64_field(req, name)?.map(|n| n as usize))
 }
 
-/// Translates an `encode` request object into `(text, spec)`.
-fn parse_encode_request(req: &Json) -> Result<(String, EncodeSpec), EncodeError> {
+/// Translates an `encode`/`open` request object into `(text, spec)`.
+pub(crate) fn parse_encode_request(req: &Json) -> Result<(String, EncodeSpec), EncodeError> {
     let text = req
         .get("text")
         .and_then(Json::as_str)
@@ -232,6 +235,7 @@ fn stats_json(shared: &Shared) -> Json {
     Json::obj()
         .field("ok", true)
         .field("workers", shared.workers)
+        .field("sessions", shared.sessions.len())
         .field(
             "queue",
             Json::obj()
@@ -256,6 +260,24 @@ fn overloaded_json(shared: &Shared) -> Json {
     )
 }
 
+/// The typed error for an unsupported request `"v"`, mirroring the
+/// [`failure_json`] shape with class `protocol`.
+fn protocol_error_json(got: &Json) -> Json {
+    Json::obj().field("ok", false).field(
+        "error",
+        Json::obj()
+            .field("class", "protocol")
+            .field("exit_code", 2u64)
+            .field(
+                "message",
+                format!(
+                    "unsupported protocol version {}; this server speaks v{PROTOCOL_VERSION}",
+                    got.render()
+                ),
+            ),
+    )
+}
+
 /// Handles one request line. Returns `false` when the connection (and
 /// for `shutdown`, the whole server) should stop reading.
 fn dispatch_line(shared: &Shared, line: &str, sink: &Sink) -> bool {
@@ -275,6 +297,17 @@ fn dispatch_line(shared: &Shared, line: &str, sink: &Sink) -> bool {
         .get("id")
         .map(Json::render)
         .unwrap_or_else(|| "null".to_string());
+    // Version gate: absent means v1 (the first versioned protocol is also
+    // the first protocol); anything else is a typed `protocol` error so
+    // future clients fail loudly instead of misparsing v1 responses.
+    match req.get("v") {
+        None | Some(Json::Null) => {}
+        Some(v) if v.as_u64() == Some(PROTOCOL_VERSION) => {}
+        Some(v) => {
+            write_response(sink, &id, &protocol_error_json(v).render());
+            return true;
+        }
+    }
     let op = req.get("op").and_then(Json::as_str).unwrap_or("encode");
     match op {
         "stats" => {
@@ -295,6 +328,25 @@ fn dispatch_line(shared: &Shared, line: &str, sink: &Sink) -> bool {
             );
             shared.shutdown.store(true, Ordering::SeqCst);
             false
+        }
+        // Session operations run inline on the connection thread: each
+        // mutates its session, so per-session ordering is part of the
+        // protocol (see the `session` module docs). They never touch the
+        // result cache.
+        "open" | "delta" | "close" => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                write_response(sink, &id, &overloaded_json(shared).render());
+                return true;
+            }
+            let result = match op {
+                "open" => shared.sessions.open(&req),
+                "delta" => shared.sessions.delta(&req),
+                _ => shared.sessions.close(&req),
+            };
+            shared.processed.fetch_add(1, Ordering::Relaxed);
+            write_response(sink, &id, &result.render());
+            true
         }
         "encode" => {
             if shared.shutdown.load(Ordering::SeqCst) {
@@ -505,6 +557,96 @@ mod tests {
                 .and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn responses_carry_the_protocol_version_and_gate_requests_on_it() {
+        let reqs = vec![
+            encode_request(1, SECTION1),
+            // Explicitly pinned current version: accepted.
+            Json::obj()
+                .field("id", 2u64)
+                .field("v", 1u64)
+                .field("op", "stats")
+                .render(),
+            // Unknown version: typed protocol error, request not executed.
+            Json::obj()
+                .field("id", 3u64)
+                .field("v", 99u64)
+                .field("op", "stats")
+                .render(),
+        ];
+        let lines = serve_lines(&ServeOptions::new().with_workers(1), &reqs);
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("v").and_then(Json::as_u64), Some(1), "{line}");
+        }
+        let bad = lines.iter().find(|l| l.contains("\"id\":3")).unwrap();
+        assert!(bad.contains("\"class\":\"protocol\""), "{bad}");
+        assert!(bad.contains("speaks v1"), "{bad}");
+    }
+
+    #[test]
+    fn session_ops_round_trip_through_the_dispatcher() {
+        let base = "symbols: a b c d\n(a,b)\n(c,d)\n";
+        let reqs = vec![
+            Json::obj()
+                .field("id", 1u64)
+                .field("op", "open")
+                .field("text", base)
+                .render(),
+            Json::obj()
+                .field("id", 2u64)
+                .field("op", "delta")
+                .field("session", 1u64)
+                .field("add", vec![Json::from("(b,c)")])
+                .render(),
+            Json::obj().field("id", 3u64).field("op", "stats").render(),
+            Json::obj()
+                .field("id", 4u64)
+                .field("op", "close")
+                .field("session", 1u64)
+                .render(),
+        ];
+        let lines = serve_lines(&ServeOptions::new().with_workers(1), &reqs);
+        assert_eq!(lines.len(), 4);
+        let result = |want: u64| {
+            lines
+                .iter()
+                .map(|l| Json::parse(l).unwrap())
+                .find(|j| j.get("id").and_then(Json::as_u64) == Some(want))
+                .and_then(|j| j.get("result").cloned())
+                .unwrap()
+        };
+        let opened = result(1);
+        assert_eq!(opened.get("session").and_then(Json::as_u64), Some(1));
+        let applied = result(2);
+        assert_eq!(
+            applied
+                .get("reuse")
+                .and_then(|r| r.get("incremental"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        // Sessions are answered inline and never consult the result cache.
+        let stats = result(3);
+        assert_eq!(
+            stats
+                .get("cache")
+                .and_then(|c| c.get("hits"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            stats
+                .get("cache")
+                .and_then(|c| c.get("misses"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(stats.get("sessions").and_then(Json::as_u64), Some(1));
+        assert_eq!(result(4).get("closed").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Server-side incremental sessions: the `open` / `delta` / `close`
+//! NDJSON operations, backed by [`ioenc_core::Session`].
+//!
+//! A session holds a constraint set server-side so a client can re-solve
+//! after small edits without resending (or re-solving) the whole set. The
+//! response codes are bit-identical to a fresh `encode` of the edited
+//! text — that is [`Session`]'s contract — so a client may freely mix
+//! one-shot and session requests.
+//!
+//! Design points:
+//!
+//! * **Sessions never touch the result cache.** The cache is keyed by
+//!   canonical form and replays rendered outcomes; session responses
+//!   carry reuse accounting that is true for *this* session's history
+//!   only, so caching them would replay lies. The underlying solves stay
+//!   deterministic, which keeps responses reproducible anyway.
+//! * **Session operations run inline on the connection thread**, not on
+//!   the worker pool: each operation mutates the session, so per-session
+//!   ordering is part of the protocol. Operations on *different* sessions
+//!   still serialize through the registry lock — sessions are a
+//!   low-latency edit loop, not a batch throughput path.
+//! * **Deadline-budgeted sessions stay correct**: [`Session`] only builds
+//!   incremental state under an unlimited budget, so a deadline-truncated
+//!   solve can never seed state that a later delta would reuse (the same
+//!   reason deadline requests bypass the result cache).
+
+use crate::exec::{failure_json, parse_constraint_text, work_units_json};
+use ioenc_core::json::Json;
+use ioenc_core::{ConstraintSet, Delta, EncodeError, Session, SessionOutcome, SolutionDetail};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The live sessions of one server instance, addressed by server-assigned
+/// numeric ids.
+#[derive(Debug, Default)]
+pub struct SessionRegistry {
+    next: AtomicU64,
+    sessions: Mutex<HashMap<u64, Session>>,
+}
+
+impl SessionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SessionRegistry::default()
+    }
+
+    /// The number of live sessions.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Session>> {
+        self.sessions.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Handles an `open` request: parse `text`, configure the solver from
+    /// the spec fields, solve, and return the result with a fresh
+    /// `session` id. The session is created (and survives) even when the
+    /// initial solve fails — say, the set is infeasible — so the client
+    /// can repair it with deltas.
+    pub fn open(&self, req: &Json) -> Json {
+        match self.try_open(req) {
+            Ok((sid, cs, outcome)) => render_outcome(sid, &cs, &outcome),
+            Err(e) => failure_json(&e, None),
+        }
+    }
+
+    fn try_open(
+        &self,
+        req: &Json,
+    ) -> Result<(u64, ConstraintSet, Result<SessionOutcome, EncodeError>), EncodeError> {
+        let (text, spec) = crate::server::parse_encode_request(req)?;
+        let cs = parse_constraint_text(&text)?;
+        let solver = spec.solver(None)?;
+        let mut session = Session::open(cs).with_solver(solver);
+        let outcome = session.solve();
+        let sid = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let cs = session.constraints().clone();
+        self.lock().insert(sid, session);
+        Ok((sid, cs, outcome))
+    }
+
+    /// Handles a `delta` request: `{"session":N,"add":[…],"remove":[…]}`.
+    /// A malformed delta (bad line, unmatched removal) leaves the session
+    /// untouched; a well-formed delta that makes the set unsolvable
+    /// commits the edit and reports the solve error, exactly like
+    /// [`Session::apply`].
+    pub fn delta(&self, req: &Json) -> Json {
+        let sid = match req.get("session").and_then(Json::as_u64) {
+            Some(sid) => sid,
+            None => {
+                return failure_json(
+                    &EncodeError::parse("delta request needs a numeric 'session' field"),
+                    None,
+                )
+            }
+        };
+        let delta = match parse_delta(req) {
+            Ok(d) => d,
+            Err(e) => return failure_json(&e, None),
+        };
+        let mut sessions = self.lock();
+        let session = match sessions.get_mut(&sid) {
+            Some(s) => s,
+            None => {
+                return failure_json(&EncodeError::parse(format!("no open session {sid}")), None)
+            }
+        };
+        let outcome = session.apply(&delta);
+        let cs = session.constraints().clone();
+        drop(sessions);
+        render_outcome(sid, &cs, &outcome)
+    }
+
+    /// Handles a `close` request: drops the session and acknowledges.
+    pub fn close(&self, req: &Json) -> Json {
+        let sid = match req.get("session").and_then(Json::as_u64) {
+            Some(sid) => sid,
+            None => {
+                return failure_json(
+                    &EncodeError::parse("close request needs a numeric 'session' field"),
+                    None,
+                )
+            }
+        };
+        match self.lock().remove(&sid) {
+            Some(_) => Json::obj()
+                .field("ok", true)
+                .field("session", sid)
+                .field("closed", true),
+            None => failure_json(&EncodeError::parse(format!("no open session {sid}")), None),
+        }
+    }
+}
+
+fn parse_delta(req: &Json) -> Result<Delta, EncodeError> {
+    let mut delta = Delta::new();
+    for (key, kind) in [("add", "addition"), ("remove", "removal")] {
+        match req.get(key) {
+            None | Some(Json::Null) => {}
+            Some(v) => {
+                let items = v.as_arr().ok_or_else(|| {
+                    EncodeError::parse(format!("'{key}' must be an array of constraint lines"))
+                })?;
+                for item in items {
+                    let line = item.as_str().ok_or_else(|| {
+                        EncodeError::parse(format!("each {kind} must be a string"))
+                    })?;
+                    delta = match key {
+                        "add" => delta.add(line),
+                        _ => delta.remove(line),
+                    };
+                }
+            }
+        }
+    }
+    Ok(delta)
+}
+
+/// Renders a session solve result. Success mirrors the one-shot result
+/// shape (`mode`/`width`/`codes`/`stats`) minus the canonical `key` —
+/// sessions solve the caller's set directly — plus the `session` id and
+/// the incremental `reuse` accounting. Errors mirror the one-shot failure
+/// shape plus the `session` id.
+fn render_outcome(
+    sid: u64,
+    cs: &ConstraintSet,
+    outcome: &Result<SessionOutcome, EncodeError>,
+) -> Json {
+    let out = match outcome {
+        Ok(out) => out,
+        Err(e) => return failure_json(e, Some(cs)).field("session", sid),
+    };
+    let mut obj = Json::obj().field("ok", true).field("session", sid);
+    obj = match &out.solution.detail {
+        SolutionDetail::Exact { optimal } => obj.field("mode", "exact").field("optimal", *optimal),
+        SolutionDetail::Bounded { cost } => obj.field("mode", "bounded").field("cost", *cost),
+        SolutionDetail::Heuristic { converged } => obj
+            .field("mode", "heuristic")
+            .field("converged", *converged),
+        SolutionDetail::Auto { rung, optimal, .. } => obj
+            .field("mode", "auto")
+            .field("rung", rung.to_string())
+            .field("optimal", *optimal),
+    };
+    let width = out.solution.encoding.width();
+    let codes: Vec<Json> = (0..cs.num_symbols())
+        .map(|s| {
+            Json::obj().field("symbol", cs.name(s)).field(
+                "code",
+                format!("{:0width$b}", out.solution.encoding.codes()[s]),
+            )
+        })
+        .collect();
+    obj.field("width", width)
+        .field("codes", codes)
+        .field("stats", work_units_json(&out.solution.stats.work_units()))
+        .field(
+            "reuse",
+            Json::obj()
+                .field("incremental", out.reuse.incremental)
+                .field("delta_size", out.reuse.delta_size)
+                .field("raises_reused", out.reuse.raises_reused)
+                .field("raises_recomputed", out.reuse.raises_recomputed)
+                .field("raises_fresh", out.reuse.raises_fresh)
+                .field("cliques", out.reuse.cliques)
+                .field("cover_replayed", out.reuse.cover_replayed),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::EncodeSpec;
+
+    fn open_req(text: &str) -> Json {
+        Json::obj().field("op", "open").field("text", text)
+    }
+
+    const BASE: &str = "symbols: a b c d\n(a,b)\n(c,d)\na>c\n";
+
+    #[test]
+    fn open_delta_close_round_trip() {
+        let reg = SessionRegistry::new();
+        let opened = reg.open(&open_req(BASE));
+        assert_eq!(opened.get("ok").and_then(Json::as_bool), Some(true));
+        let sid = opened.get("session").and_then(Json::as_u64).unwrap();
+        assert_eq!(reg.len(), 1);
+
+        let delta = Json::obj()
+            .field("op", "delta")
+            .field("session", sid)
+            .field("add", vec![Json::from("(b,c)")])
+            .field("remove", vec![Json::from("a>c")]);
+        let applied = reg.delta(&delta);
+        assert_eq!(applied.get("ok").and_then(Json::as_bool), Some(true));
+        let reuse = applied.get("reuse").unwrap();
+        assert_eq!(reuse.get("incremental").and_then(Json::as_bool), Some(true));
+        assert_eq!(reuse.get("delta_size").and_then(Json::as_u64), Some(2));
+
+        // Bit-identity with a fresh one-shot solve of the edited text.
+        let edited = "symbols: a b c d\n(a,b)\n(c,d)\n(b,c)\n";
+        let fresh = crate::exec::outcome(edited, &EncodeSpec::default(), None, None);
+        let fresh = Json::parse(&fresh.json).unwrap();
+        assert_eq!(applied.get("codes"), fresh.get("codes"));
+        assert_eq!(applied.get("width"), fresh.get("width"));
+
+        let closed = reg.close(&Json::obj().field("op", "close").field("session", sid));
+        assert_eq!(closed.get("closed").and_then(Json::as_bool), Some(true));
+        assert!(reg.is_empty());
+        let gone = reg.delta(&Json::obj().field("session", sid));
+        assert_eq!(gone.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn open_survives_an_infeasible_set_for_repair() {
+        let reg = SessionRegistry::new();
+        let bad = "symbols: a b\na>b\nb>a\n";
+        let opened = reg.open(&open_req(bad));
+        assert_eq!(opened.get("ok").and_then(Json::as_bool), Some(false));
+        let sid = opened.get("session").and_then(Json::as_u64).unwrap();
+        assert_eq!(reg.len(), 1, "failed open still creates the session");
+        let repaired = reg.delta(
+            &Json::obj()
+                .field("session", sid)
+                .field("remove", vec![Json::from("b>a")]),
+        );
+        assert_eq!(
+            repaired.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{repaired:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_deltas_are_typed_and_leave_the_session_alone() {
+        let reg = SessionRegistry::new();
+        let opened = reg.open(&open_req(BASE));
+        let sid = opened.get("session").and_then(Json::as_u64).unwrap();
+        for bad in [
+            Json::obj()
+                .field("session", sid)
+                .field("add", "not-an-array"),
+            Json::obj()
+                .field("session", sid)
+                .field("remove", vec![Json::from("(z,q)")]),
+            Json::obj().field("add", vec![Json::from("(a,b)")]),
+        ] {
+            let r = reg.delta(&bad);
+            assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false), "{r:?}");
+            assert_eq!(
+                r.get("error")
+                    .and_then(|e| e.get("class"))
+                    .and_then(Json::as_str),
+                Some("parse"),
+                "{r:?}"
+            );
+        }
+        // The session still answers an empty delta with the base solve.
+        let ok = reg.delta(&Json::obj().field("session", sid));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn deadline_sessions_never_go_incremental() {
+        let reg = SessionRegistry::new();
+        let mut req = open_req(BASE);
+        req = req.field("deadline_ms", 60_000u64);
+        let opened = reg.open(&req);
+        assert_eq!(opened.get("ok").and_then(Json::as_bool), Some(true));
+        let sid = opened.get("session").and_then(Json::as_u64).unwrap();
+        assert_eq!(
+            opened
+                .get("reuse")
+                .and_then(|r| r.get("incremental"))
+                .and_then(Json::as_bool),
+            Some(false),
+            "deadline-budgeted solve must not build incremental state"
+        );
+        let applied = reg.delta(
+            &Json::obj()
+                .field("session", sid)
+                .field("add", vec![Json::from("(b,c)")]),
+        );
+        assert_eq!(
+            applied
+                .get("reuse")
+                .and_then(|r| r.get("incremental"))
+                .and_then(Json::as_bool),
+            Some(false),
+            "deltas under a deadline budget must re-solve from scratch"
+        );
+    }
+}

@@ -2,8 +2,8 @@
 
 use crate::{input_constraints, measure_encoded, mixed_constraints, OutputProfile};
 use ioenc_core::{
-    exact_encode_report, heuristic_encode, ConstraintSet, CostFunction, EncodeError, Encoding,
-    ExactOptions, HeuristicOptions,
+    exact_encode_report, heuristic_encode_report, ConstraintSet, CostFunction, EncodeError,
+    Encoding, ExactOptions, HeuristicOptions,
 };
 use ioenc_kiss::Fsm;
 
@@ -63,18 +63,18 @@ pub fn assign_states(fsm: &Fsm, strategy: &Strategy) -> Result<Assignment, Encod
         }
         Strategy::HeuristicInput(cost) => {
             let cs = input_constraints(fsm);
-            let enc = heuristic_encode(&cs, &HeuristicOptions::new().with_cost(*cost))?;
-            (cs, enc)
+            let report = heuristic_encode_report(&cs, &HeuristicOptions::new().with_cost(*cost))?;
+            (cs, report.encoding)
         }
         Strategy::HeuristicFixed(bits, cost) => {
             let cs = input_constraints(fsm);
-            let enc = heuristic_encode(
+            let report = heuristic_encode_report(
                 &cs,
                 &HeuristicOptions::new()
                     .with_code_length(*bits)
                     .with_cost(*cost),
             )?;
-            (cs, enc)
+            (cs, report.encoding)
         }
     };
     let total = constraints.faces().len();

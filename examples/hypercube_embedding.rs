@@ -6,7 +6,7 @@
 //! Run with `cargo run --example hypercube_embedding`.
 
 use ioenc::core::npc::Graph;
-use ioenc::core::{exact_encode, ExactOptions};
+use ioenc::core::{Solver, SolverMode};
 
 fn main() {
     let cases: Vec<(&str, Graph, usize)> = vec![
@@ -18,7 +18,10 @@ fn main() {
     for (name, graph, k) in cases {
         let embeds = graph.embeds_in_cube(k);
         let cs = graph.to_face_constraints();
-        let outcome = exact_encode(&cs, &ExactOptions::default());
+        let outcome = Solver::new()
+            .mode(SolverMode::Exact)
+            .solve(&cs)
+            .map(|s| s.encoding);
         let encodable = matches!(&outcome, Ok(enc) if enc.width() <= k);
         println!(
             "{name}: {} vertices, {} edges — embeds in the {k}-cube: {embeds}; \

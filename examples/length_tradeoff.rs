@@ -5,10 +5,7 @@
 //!
 //! Run with `cargo run --example length_tradeoff`.
 
-use ioenc::core::{
-    cost_of, exact_encode, heuristic_encode, ConstraintSet, CostFunction, ExactOptions,
-    HeuristicOptions,
-};
+use ioenc::core::{cost_of, ConstraintSet, CostFunction, Solver, SolverMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Section 7 example: (e,f,c), (e,d,g), (a,b,d), (a,g,f,d) over
@@ -16,7 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let names = ["a", "b", "c", "d", "e", "f", "g"];
     let cs = ConstraintSet::parse(&names, "(e,f,c)\n(e,d,g)\n(a,b,d)\n(a,g,f,d)")?;
 
-    let exact = exact_encode(&cs, &ExactOptions::default())?;
+    let exact = Solver::new().mode(SolverMode::Exact).solve(&cs)?.encoding;
     println!(
         "satisfying all {} constraints needs {} bits",
         cs.faces().len(),
@@ -25,12 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nlength   violations   cubes   literals");
     for bits in 3..=6 {
-        let enc = heuristic_encode(
-            &cs,
-            &HeuristicOptions::new()
-                .with_code_length(bits)
-                .with_cost(CostFunction::Cubes),
-        )?;
+        let enc = Solver::new()
+            .mode(SolverMode::Heuristic)
+            .code_length(bits)
+            .cost(CostFunction::Cubes)
+            .solve(&cs)?
+            .encoding;
         println!(
             "{:>6} {:>12} {:>7} {:>10}",
             bits,

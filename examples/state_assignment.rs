@@ -4,9 +4,7 @@
 //!
 //! Run with `cargo run --example state_assignment`.
 
-use ioenc::core::{
-    count_violations, exact_encode, heuristic_encode, CostFunction, ExactOptions, HeuristicOptions,
-};
+use ioenc::core::{count_violations, CostFunction, Solver, SolverMode};
 use ioenc::kiss::Fsm;
 use ioenc::symbolic::{input_constraints, measure_encoded, mixed_constraints, OutputProfile};
 
@@ -44,8 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Add output constraints (dominance / disjunctive) and solve exactly.
     let mixed = mixed_constraints(&fsm, &OutputProfile::default());
-    match exact_encode(&mixed, &ExactOptions::default()) {
-        Ok(enc) => {
+    match Solver::new().mode(SolverMode::Exact).solve(&mixed) {
+        Ok(s) => {
+            let enc = s.encoding;
             println!("\nexact mixed encoding ({} bits):", enc.width());
             print!("{}", enc.display(&mixed));
             let (cubes, lits) = measure_encoded(&fsm, &enc);
@@ -55,10 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Minimum-length heuristic encoding on the input constraints alone.
-    let heur = heuristic_encode(
-        &input_cs,
-        &HeuristicOptions::new().with_cost(CostFunction::Cubes),
-    )?;
+    let heur = Solver::new()
+        .mode(SolverMode::Heuristic)
+        .cost(CostFunction::Cubes)
+        .solve(&input_cs)?
+        .encoding;
     let (h_cubes, h_lits) = measure_encoded(&fsm, &heur);
     println!(
         "\nheuristic {}-bit encoding: {} of {} face constraints satisfied; PLA {} cubes / {} literals",

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example testable_encoding`.
 
-use ioenc::core::{exact_encode, hamming, ConstraintSet, ExactOptions};
+use ioenc::core::{hamming, ConstraintSet, Solver, SolverMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A controller with a normal face constraint plus testability
@@ -20,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          !(run,halt,err)",
     )?;
 
-    let enc = exact_encode(&cs, &ExactOptions::default())?;
+    let enc = Solver::new().mode(SolverMode::Exact).solve(&cs)?.encoding;
     println!("minimum testable encoding ({} bits):", enc.width());
     print!("{}", enc.display(&cs));
 
@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Without the testability constraints the encoding is shorter.
     let plain = ConstraintSet::parse(&names, "(run,halt)\n(reset,dbg)")?;
-    let plain_enc = exact_encode(&plain, &ExactOptions::default())?;
+    let plain_enc = Solver::new()
+        .mode(SolverMode::Exact)
+        .solve(&plain)?
+        .encoding;
     println!(
         "\nwithout testability constraints: {} bits (testability cost: {} extra bits)",
         plain_enc.width(),

@@ -5,9 +5,12 @@ Usage: serve-smoke.py <path-to-ioenc-binary> [--workers N]
 
 Starts the server with `--tcp 0` (ephemeral port), replays every fixture
 in tests/fixtures/serve/ twice (duplicates exercise the result cache),
-and requires each response to be byte-identical to `ioenc encode --json`
-on the same file. Finally asserts the cache reported hits and that
-shutdown drains cleanly. Exits non-zero on any divergence.
+and requires each protocol-v1 response (`{"id":..,"v":1,"result":..}`)
+to wrap the exact bytes of `ioenc encode --json` on the same file. Then
+runs an open/delta/close session round-trip and requires the incremental
+codes to match a one-shot CLI encode of the edited set. Finally asserts
+the cache reported hits and that shutdown drains cleanly. Exits non-zero
+on any divergence.
 """
 
 import json
@@ -57,7 +60,7 @@ def main() -> int:
                     text=True,
                     check=True,
                 )
-                expected[rid] = '{"id":%d,"result":%s}' % (rid, cli.stdout.strip())
+                expected[rid] = '{"id":%d,"v":1,"result":%s}' % (rid, cli.stdout.strip())
                 requests.append(
                     json.dumps(
                         {"id": rid, "op": "encode", "text": f.read_text()},
@@ -90,6 +93,64 @@ def main() -> int:
                 print(f"MISMATCH id={got_id}", file=sys.stderr)
                 print(f"  serve: {line}", file=sys.stderr)
                 print(f"  cli:   {expected[got_id]}", file=sys.stderr)
+
+        # Protocol-v1 session round-trip: open a session, apply one
+        # incremental delta, and require the re-solved codes to match a
+        # one-shot CLI encode of the edited set.
+        base = "symbols: a b c d\n(b,c)\n(c,d)\n"
+        writer.write(
+            json.dumps(
+                {"id": 9001, "op": "open", "text": base}, separators=(",", ":")
+            )
+            + "\n"
+        )
+        writer.flush()
+        opened = json.loads(reader.readline())
+        if opened.get("v") != 1 or not opened["result"].get("ok"):
+            print(f"open failed: {opened}", file=sys.stderr)
+            failures += 1
+        sid = opened["result"]["session"]
+        writer.write(
+            json.dumps(
+                {"id": 9002, "op": "delta", "session": sid, "add": ["a>c"]},
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        writer.flush()
+        delta = json.loads(reader.readline())
+        if delta.get("v") != 1 or not delta["result"].get("ok"):
+            print(f"delta failed: {delta}", file=sys.stderr)
+            failures += 1
+        elif not delta["result"]["reuse"]["incremental"]:
+            print(f"delta was not incremental: {delta}", file=sys.stderr)
+            failures += 1
+        else:
+            cli = subprocess.run(
+                [binary, "encode", "/dev/stdin", "--json"],
+                input=base + "a>c\n",
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            want = json.loads(cli.stdout)["codes"]
+            if delta["result"]["codes"] != want:
+                print(
+                    f"delta codes diverge from CLI: {delta['result']['codes']} vs {want}",
+                    file=sys.stderr,
+                )
+                failures += 1
+        writer.write(
+            json.dumps(
+                {"id": 9003, "op": "close", "session": sid}, separators=(",", ":")
+            )
+            + "\n"
+        )
+        writer.flush()
+        closed = json.loads(reader.readline())
+        if not closed["result"].get("closed"):
+            print(f"close failed: {closed}", file=sys.stderr)
+            failures += 1
 
         writer.write('{"id":0,"op":"stats"}\n')
         writer.flush()

@@ -28,7 +28,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use ioenc::core::{ConstraintSet, exact_encode, ExactOptions};
+//! use ioenc::core::{ConstraintSet, Solver, SolverMode};
 //!
 //! // The Section 1 example of the paper:
 //! // faces (b,c),(c,d),(b,a),(a,d); b>c, a>c; a = b ∨ d.
@@ -36,9 +36,25 @@
 //!     &["a", "b", "c", "d"],
 //!     "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
 //! )?;
-//! let enc = exact_encode(&cs, &ExactOptions::default())?;
-//! assert_eq!(enc.width(), 2); // the paper's minimum code length
+//! let solution = Solver::new().mode(SolverMode::Exact).solve(&cs)?;
+//! assert_eq!(solution.encoding.width(), 2); // the paper's minimum code length
 //! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Re-solving after edits? Open a [`Session`](core::Session) and apply
+//! [`Delta`](core::Delta)s — the solver reuses the raising and
+//! prime-generation work the edit left intact, and the result is
+//! bit-identical to solving the edited set from scratch:
+//!
+//! ```
+//! use ioenc::core::{ConstraintSet, Delta, Session};
+//!
+//! let cs = ConstraintSet::parse(&["a", "b", "c", "d"], "(a,b)\n(c,d)")?;
+//! let mut session = Session::open(cs);
+//! session.solve()?;
+//! let out = session.apply(&Delta::new().add("(b,c)").remove("(c,d)"))?;
+//! assert!(out.reuse.incremental);
+//! # Ok::<(), ioenc::core::EncodeError>(())
 //! ```
 
 pub mod prelude {
@@ -48,15 +64,17 @@ pub mod prelude {
     //! use ioenc::prelude::*;
     //!
     //! let cs = ConstraintSet::parse(&["a", "b", "c"], "(a,b)")?;
-    //! let enc = exact_encode(&cs, &ExactOptions::new())?;
-    //! assert!(enc.width() >= 2);
+    //! let solution = Solver::new().mode(SolverMode::Exact).solve(&cs)?;
+    //! assert!(solution.encoding.width() >= 2);
     //! # Ok::<(), EncodeError>(())
     //! ```
 
+    #[allow(deprecated)]
+    pub use ioenc_core::{bounded_exact_encode, exact_encode, heuristic_encode};
     pub use ioenc_core::{
-        bounded_exact_encode, check_feasible, exact_encode, exact_encode_report, heuristic_encode,
-        BoundedExactOptions, ConstraintSet, CostFunction, EncodeError, Encoding, ExactOptions,
-        HeuristicOptions, Parallelism, SolverStats,
+        check_feasible, exact_encode_report, BoundedExactOptions, Budget, ConstraintSet,
+        CostFunction, Delta, EncodeError, Encoding, ExactOptions, HeuristicOptions, Parallelism,
+        Session, SessionOutcome, Solution, SolutionDetail, Solver, SolverMode, SolverStats,
     };
     pub use ioenc_kiss::Fsm;
 }

@@ -5,6 +5,7 @@
 //! ioenc lint <constraints-file> [--json]         static analysis + conflict cores
 //! ioenc canon <constraints-file>                 canonical form + content key
 //! ioenc encode <constraints-file> [options]      exact or heuristic codes
+//! ioenc session <constraints-file>               incremental re-solve loop
 //! ioenc serve [--workers N] [--tcp PORT]         NDJSON batch-encoding service
 //! ioenc primes <constraints-file> [--cap N]      prime encoding-dichotomies
 //! ioenc fsm <kiss2-file> [--mixed] [--dc]        constraints from an FSM
@@ -72,6 +73,9 @@ usage:
                [--auto] [--max-primes N] [--max-nodes N] [--max-evals N]
                [--max-ps-steps N] [--deadline-ms T]
                [--threads auto|off|N]
+  ioenc session <constraints-file> [--auto] [--prime-cap N]
+               [--threads auto|off|N]
+               (then add/remove/show/quit commands on stdin)
   ioenc serve  [--workers N] [--queue N] [--cache N|off] [--tcp PORT]
   ioenc primes <constraints-file> [--cap N] [--threads auto|off|N]
   ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
@@ -196,6 +200,7 @@ fn run(args: &[String]) -> Result<ExitCode, EncodeError> {
             Ok(ExitCode::SUCCESS)
         }
         "encode" => run_encode(&f, path, &text),
+        "session" => run_session(&f, &text),
         "primes" => {
             let cs = parse_constraints(&text)?;
             let cap = f.number("--cap")?.unwrap_or(50_000);
@@ -354,6 +359,100 @@ fn run_encode(f: &Flags<'_>, path: &str, text: &str) -> Result<ExitCode, EncodeE
     }
     if let Some(stats) = &r.stats_text {
         eprintln!("{stats}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `session` subcommand: an incremental edit/re-solve loop. The
+/// constraint file seeds the session; one command per stdin line then
+/// edits it:
+///
+/// ```text
+/// add <constraint-line>      add a constraint and re-solve
+/// remove <constraint-line>   remove the matching constraint, re-solve
+/// show                       print the current constraint set
+/// quit                       exit (EOF works too)
+/// ```
+///
+/// Each solve prints the encoding to stdout (same bytes as a fresh
+/// `ioenc encode` solve of the current set — the incremental path is
+/// bit-identical by construction) and the reuse accounting to stderr.
+/// Edit errors (bad line, unmatched removal, infeasible set) are
+/// reported on stderr and the loop continues — for an infeasible set the
+/// offending edit stays committed, so `remove` can repair it.
+fn run_session(f: &Flags<'_>, text: &str) -> Result<ExitCode, EncodeError> {
+    use ioenc::core::{Delta, Session, Solver, SolverMode};
+
+    let cs = parse_constraints(text)?;
+    let mut solver = Solver::new()
+        .mode(if f.flag("--auto") {
+            SolverMode::Auto
+        } else {
+            SolverMode::Exact
+        })
+        .threads(f.threads()?);
+    if let Some(cap) = f.number("--prime-cap")? {
+        if cap == 0 {
+            return Err(EncodeError::limit("--prime-cap must be positive"));
+        }
+        solver = solver.prime_cap(cap);
+    }
+    let mut session = Session::open(cs).with_solver(solver);
+
+    let report = |session: &mut Session, delta: &Delta| match session.apply(delta) {
+        Ok(out) => {
+            println!("{} bits:", out.solution.encoding.width());
+            print!("{}", out.solution.encoding.display(session.constraints()));
+            if out.reuse.incremental {
+                eprintln!(
+                    "incremental: {} raises reused, {} recomputed, {} fresh; {} prime cliques{}",
+                    out.reuse.raises_reused,
+                    out.reuse.raises_recomputed,
+                    out.reuse.raises_fresh,
+                    out.reuse.cliques,
+                    if out.reuse.cover_replayed {
+                        "; cover replayed"
+                    } else {
+                        ""
+                    }
+                );
+            } else {
+                eprintln!("solved from scratch");
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    };
+    report(&mut session, &Delta::new());
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let cmd = line.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        }
+        if cmd == "show" {
+            let cs = session.constraints();
+            let names: Vec<&str> = (0..cs.num_symbols()).map(|s| cs.name(s)).collect();
+            println!("symbols: {}", names.join(" "));
+            print!("{cs}");
+            continue;
+        }
+        if let Some(rest) = cmd.strip_prefix("add ") {
+            report(&mut session, &Delta::new().add(rest));
+        } else if let Some(rest) = cmd.strip_prefix("remove ") {
+            report(&mut session, &Delta::new().remove(rest));
+        } else {
+            eprintln!("error: unknown session command '{cmd}' (add/remove/show/quit)");
+        }
     }
     Ok(ExitCode::SUCCESS)
 }

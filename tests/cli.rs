@@ -388,6 +388,91 @@ fn canon_gives_permuted_spellings_the_same_key() {
 }
 
 #[test]
+fn session_subcommand_tracks_edits_incrementally() {
+    use std::process::Stdio;
+    let base = "symbols: a b c d e\n(a,b)\n(c,d)\n(b,c,e)\na>c\n";
+    let edited = "symbols: a b c d e\n(a,b)\n(c,d)\n(b,c,e)\n(d,e)\n";
+    let path = write_temp("session", base);
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ioenc"))
+        .args(["session", path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"add (d,e)\nremove a>c\nshow\nquit\n")
+        .expect("write commands");
+    let out = child.wait_with_output().expect("session exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // Three solves (initial, add, remove), then the edited set echoed back.
+    assert_eq!(stdout.matches(" bits:").count(), 3, "{stdout}");
+    assert!(stderr.contains("incremental:"), "{stderr}");
+    assert!(stdout.ends_with(edited), "{stdout}");
+
+    // The final session solve is bit-identical to a fresh direct solve of
+    // the edited set: the last codes block must equal `ioenc session` run
+    // on the edited file with no edits at all.
+    let edited_path = write_temp("session-edited", edited);
+    let mut fresh = Command::new(env!("CARGO_BIN_EXE_ioenc"))
+        .args(["session", edited_path.to_str().unwrap()])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    drop(fresh.stdin.take()); // EOF: solve once and exit
+    let fresh_out = fresh.wait_with_output().expect("session exits");
+    assert!(fresh_out.status.success());
+    let fresh_stdout = String::from_utf8_lossy(&fresh_out.stdout);
+    let last_block = stdout
+        .trim_end_matches(edited)
+        .rsplit_once(" bits:")
+        .map(|(head, tail)| {
+            let width = head.rsplit('\n').next().unwrap_or(head);
+            format!("{width} bits:{tail}")
+        })
+        .expect("a codes block");
+    assert_eq!(
+        fresh_stdout, last_block,
+        "session diverged from fresh solve"
+    );
+}
+
+#[test]
+fn session_reports_edit_errors_and_continues() {
+    let path = write_temp("session-err", SECTION1);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ioenc"))
+        .args(["session", path.to_str().unwrap()])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(b"remove (a,c)\nbogus\nadd (b,c)\n")
+        .expect("write commands");
+    let out = child.wait_with_output().expect("session exits");
+    assert!(out.status.success(), "errors must not kill the session");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no constraint matching"), "{stderr}");
+    assert!(stderr.contains("unknown session command"), "{stderr}");
+    // Initial solve plus the successful add; the failed edits solve nothing.
+    assert_eq!(stdout.matches(" bits:").count(), 2, "{stdout}");
+}
+
+#[test]
 fn minimize_subcommand_shrinks_pla() {
     let pla = "\
 .i 3

@@ -1,6 +1,10 @@
 //! Cross-check of Section 4's explicit binate-table formulation against the
 //! dichotomy-based exact encoder: solving the table directly with the
 //! binate solver must find the same minimum code length.
+// The free-function entry points are deprecated in favor of `Solver`,
+// but must keep working until removal; this suite stays on them as
+// coverage of the delegating wrappers.
+#![allow(deprecated)]
 
 use ioenc::core::{exact_encode, BinateFormulation, ConstraintSet, ExactOptions};
 use ioenc::cover::BinateProblem;

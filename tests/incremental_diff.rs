@@ -1,0 +1,296 @@
+//! Mutation-corpus differential suite for incremental sessions.
+//!
+//! Every [`Session::apply`] must be *bit-identical* to a from-scratch
+//! [`Solver::solve`] of the same edited constraint set — same codes, same
+//! width, same errors — whatever was cached from earlier solves. This
+//! suite drives sessions through seeded chains of add/remove/swap
+//! mutations over KISS-derived and random base sets, mirroring every edit
+//! onto a plain constraint set solved from scratch, and fails on the
+//! first divergence.
+//!
+//! The CI matrix re-runs the suite under `IOENC_TEST_THREADS=off` and
+//! `=auto`, and `incremental_identity_across_thread_counts` additionally
+//! pins off ≡ 2 threads within a single run.
+//!
+//! The conflict-core test ties the lattice-backed lint shrinker to the
+//! golden fixtures recorded before the refactor: the cores (and the full
+//! rendered reports) must not have moved.
+
+use ioenc::core::lint::{lint, LintOptions};
+use ioenc::core::{ConstraintSet, Delta, EncodeError, Parallelism, Session, Solver};
+use ioenc::kiss::{generate, BenchmarkSpec};
+use ioenc::server::parse_constraint_text;
+use ioenc::symbolic::input_constraints;
+use ioenc_rng::SplitMix64;
+
+/// Parallelism for this run, honoring the CI matrix
+/// (`IOENC_TEST_THREADS=off|auto|N`).
+fn test_threads() -> Parallelism {
+    match std::env::var("IOENC_TEST_THREADS").ok().as_deref() {
+        None | Some("auto") => Parallelism::Auto,
+        Some("off") => Parallelism::Off,
+        Some(v) => Parallelism::Fixed(v.parse().expect("IOENC_TEST_THREADS")),
+    }
+}
+
+/// Renders every constraint of `cs` as a parseable line, in canonical
+/// order — the alphabet the mutator draws removals from.
+fn lines_of(cs: &ConstraintSet) -> Vec<String> {
+    cs.constraint_refs()
+        .into_iter()
+        .map(|r| cs.describe(r))
+        .collect()
+}
+
+/// Mirrors [`Session::apply`]'s edit semantics on a plain set: removals
+/// resolve by content (first unmatched wins), then additions append.
+fn apply_plain(cs: &ConstraintSet, delta: &Delta) -> Result<ConstraintSet, EncodeError> {
+    let mut removed = Vec::new();
+    for line in delta.removals() {
+        let names: Vec<String> = (0..cs.num_symbols())
+            .map(|i| cs.name(i).to_string())
+            .collect();
+        let mut tmp = ConstraintSet::with_names(names);
+        let rendered = tmp.add_line(line).map(|r| tmp.describe(r))?;
+        let r = cs
+            .constraint_refs()
+            .into_iter()
+            .filter(|r| !removed.contains(r))
+            .find(|&r| cs.describe(r) == rendered)
+            .ok_or_else(|| EncodeError::parse(format!("no match for '{line}'")))?;
+        removed.push(r);
+    }
+    let keep: Vec<_> = cs
+        .constraint_refs()
+        .into_iter()
+        .filter(|r| !removed.contains(r))
+        .collect();
+    let mut out = cs.subset(&keep);
+    for line in delta.additions() {
+        out.add_line(line)?;
+    }
+    Ok(out)
+}
+
+/// One seeded mutation: `add` a fresh face or dominance, `remove` an
+/// existing constraint, or `swap` (one remove plus one add in a single
+/// delta). Returns `None` when the set has nothing to remove.
+fn mutate(cs: &ConstraintSet, rng: &mut SplitMix64) -> Option<Delta> {
+    let added = |rng: &mut SplitMix64| {
+        let n = cs.num_symbols();
+        let mut picks: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut picks);
+        if rng.gen_bool(0.5) {
+            let k = if rng.gen_bool(0.3) { 3 } else { 2 };
+            let members: Vec<&str> = picks[..k.min(n)].iter().map(|&s| cs.name(s)).collect();
+            format!("({})", members.join(","))
+        } else {
+            format!("{}>{}", cs.name(picks[0]), cs.name(picks[1]))
+        }
+    };
+    let existing = lines_of(cs);
+    match rng.gen_range(0..3) {
+        0 => Some(Delta::new().add(added(rng))),
+        1 if !existing.is_empty() => {
+            let line = existing[rng.gen_range(0..existing.len())].clone();
+            Some(Delta::new().remove(line))
+        }
+        2 if !existing.is_empty() => {
+            let line = existing[rng.gen_range(0..existing.len())].clone();
+            Some(Delta::new().remove(line).add(added(rng)))
+        }
+        _ => None,
+    }
+}
+
+/// Drives `steps` seeded mutations through a session and a mirrored
+/// plain set, asserting bit-identity (codes and errors) at every step.
+fn differential_chain(base: ConstraintSet, seed: u64, steps: usize, par: Parallelism) {
+    let solver = Solver::new().threads(par);
+    let mut session = Session::open(base.clone()).with_solver(solver.clone());
+    let mut plain = base;
+    let mut rng = SplitMix64::new(seed);
+
+    // The opening solve is itself a differential case.
+    check_step(&mut session, &solver, &plain, &Delta::new(), 0);
+
+    let mut applied = 0;
+    let mut spins = 0;
+    while applied < steps && spins < steps * 10 {
+        spins += 1;
+        let Some(delta) = mutate(&plain, &mut rng) else {
+            continue;
+        };
+        let Ok(next) = apply_plain(&plain, &delta) else {
+            continue; // mutator picked an unparseable line; skip
+        };
+        plain = next;
+        check_step(&mut session, &solver, &plain, &delta, applied + 1);
+        applied += 1;
+    }
+    assert!(applied >= steps / 2, "mutator starved ({applied}/{steps})");
+}
+
+/// Applies `delta` to the session and solves `plain` from scratch;
+/// both must agree bit-for-bit (codes) or error-for-error.
+fn check_step(
+    session: &mut Session,
+    solver: &Solver,
+    plain: &ConstraintSet,
+    delta: &Delta,
+    step: usize,
+) {
+    let incremental = session.apply(delta);
+    let scratch = solver.solve(plain);
+    match (incremental, scratch) {
+        (Ok(inc), Ok(exp)) => {
+            assert_eq!(
+                inc.solution.encoding.width(),
+                exp.encoding.width(),
+                "step {step}: width diverged on\n{plain}"
+            );
+            assert_eq!(
+                inc.solution.encoding.codes(),
+                exp.encoding.codes(),
+                "step {step}: codes diverged (incremental={}) on\n{plain}",
+                inc.reuse.incremental,
+            );
+        }
+        (Err(a), Err(b)) => {
+            assert_eq!(
+                a.to_string(),
+                b.to_string(),
+                "step {step}: errors diverged on\n{plain}"
+            );
+        }
+        (Ok(inc), Err(e)) => panic!(
+            "step {step}: incremental solved ({} bits) but scratch failed ({e}) on\n{plain}",
+            inc.solution.encoding.width()
+        ),
+        (Err(e), Ok(exp)) => panic!(
+            "step {step}: incremental failed ({e}) but scratch solved ({} bits) on\n{plain}",
+            exp.encoding.width()
+        ),
+    }
+    // The session must have committed exactly the mirrored set.
+    assert_eq!(
+        lines_of(session.constraints()),
+        lines_of(plain),
+        "step {step}: session set drifted"
+    );
+}
+
+fn random_base(symbols: usize, faces: usize, doms: usize, seed: u64) -> ConstraintSet {
+    let mut cs = ConstraintSet::new(symbols);
+    let mut rng = SplitMix64::new(seed);
+    for _ in 0..faces {
+        let mut picks: Vec<usize> = (0..symbols).collect();
+        rng.shuffle(&mut picks);
+        let k = 2 + rng.gen_range(0..2);
+        cs.add_face(picks[..k].to_vec());
+    }
+    for _ in 0..doms {
+        let a = rng.gen_range(0..symbols);
+        let b = rng.gen_range(0..symbols);
+        if a != b {
+            cs.add_dominance(a, b);
+        }
+    }
+    cs
+}
+
+#[test]
+fn kiss_bases_survive_mutation_chains() {
+    let par = test_threads();
+    for (states, seed) in [(8usize, 11u64), (10, 12)] {
+        let fsm = generate(&BenchmarkSpec::sized("incdiff", states));
+        let cs = input_constraints(&fsm);
+        differential_chain(cs, seed, 8, par);
+    }
+}
+
+#[test]
+fn random_bases_survive_mutation_chains() {
+    let par = test_threads();
+    for seed in [1u64, 2, 3, 4] {
+        let cs = random_base(8, 4, 2, seed * 97);
+        differential_chain(cs, seed, 10, par);
+    }
+}
+
+#[test]
+fn paper_base_survives_a_long_chain() {
+    // The Section-1 set from the paper: small enough for a long chain.
+    let cs = ConstraintSet::parse(
+        &["a", "b", "c", "d"],
+        "(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d",
+    )
+    .unwrap();
+    differential_chain(cs, 1991, 16, test_threads());
+}
+
+#[test]
+fn incremental_identity_across_thread_counts() {
+    // Same chain, different parallelism: the mutation corpus must produce
+    // byte-identical codes at every step whatever the thread count, so
+    // pin off ≡ 2 threads directly (the CI matrix covers off/auto).
+    let record = |par: Parallelism| -> Vec<Vec<u64>> {
+        let base = random_base(8, 3, 2, 777);
+        let solver = Solver::new().threads(par);
+        let mut session = Session::open(base.clone()).with_solver(solver);
+        let mut plain = base;
+        let mut rng = SplitMix64::new(4242);
+        let mut trace = Vec::new();
+        for _ in 0..8 {
+            let Some(delta) = mutate(&plain, &mut rng) else {
+                continue;
+            };
+            let Ok(next) = apply_plain(&plain, &delta) else {
+                continue;
+            };
+            plain = next;
+            if let Ok(out) = session.apply(&delta) {
+                trace.push(out.solution.encoding.codes().to_vec());
+            } else {
+                trace.push(Vec::new());
+            }
+        }
+        trace
+    };
+    assert_eq!(
+        record(Parallelism::Off),
+        record(Parallelism::Fixed(2)),
+        "incremental codes diverge across thread counts"
+    );
+}
+
+#[test]
+fn conflict_cores_match_the_pre_lattice_goldens() {
+    // The lint conflict-core shrinker now walks the shared constraint-
+    // subset lattice (SubsetOracle); the cores it produces must be the
+    // ones recorded in the PR-3 golden fixtures, byte for byte.
+    for stem in ["e008", "clean"] {
+        let rel = format!("tests/fixtures/lint/{stem}.txt");
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(&rel);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cs = parse_constraint_text(&text).unwrap();
+        let report = lint(&cs, &LintOptions::new());
+        let golden = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join(format!("tests/fixtures/lint/golden/{stem}.text"));
+        let expect = std::fs::read_to_string(&golden).unwrap();
+        assert_eq!(
+            report.render(&cs, Some(&rel)),
+            expect,
+            "{stem}: lattice-backed lint drifted from its golden"
+        );
+    }
+    // And the e008 core itself is the verified-minimal 3-constraint one.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint/e008.txt");
+    let cs = parse_constraint_text(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let report = lint(&cs, &LintOptions::new());
+    let core = report.core.expect("e008 has a conflict core");
+    assert!(core.verified_minimal);
+    let rendered: Vec<String> = core.constraints.iter().map(|&r| cs.describe(r)).collect();
+    assert_eq!(rendered, ["(s1,s5)", "s5>s2", "s0=s1|s2"]);
+}

@@ -139,16 +139,17 @@ impl Server {
     }
 }
 
-/// Splits a `{"id":N,"result":...}` response line into `(N, result)`.
+/// Splits a `{"id":N,"v":1,"result":...}` response line into
+/// `(N, result)`, asserting the protocol-version field on the way.
 fn split_response(line: &str) -> (usize, &str) {
     let rest = line.strip_prefix("{\"id\":").unwrap_or_else(|| {
         panic!("malformed response: {line}");
     });
-    let comma = rest.find(",\"result\":").unwrap_or_else(|| {
-        panic!("malformed response: {line}");
+    let comma = rest.find(",\"v\":1,\"result\":").unwrap_or_else(|| {
+        panic!("response missing v1 envelope: {line}");
     });
     let id: usize = rest[..comma].parse().expect("numeric id");
-    let body = &rest[comma + ",\"result\":".len()..];
+    let body = &rest[comma + ",\"v\":1,\"result\":".len()..];
     let result = body.strip_suffix('}').expect("closing brace");
     (id, result)
 }
@@ -228,6 +229,97 @@ fn serve_replays_ids_verbatim_and_types_bad_requests() {
     let line = server.recv();
     assert!(line.starts_with("{\"id\":\"weird-id\","), "{line}");
     assert!(line.contains("\"class\":\"parse\""), "{line}");
+    server.shutdown();
+}
+
+/// Sessions over the NDJSON protocol: an incremental `delta` must give
+/// byte-identical `codes` to a from-scratch `open` of the edited text
+/// (sessions solve the caller's set directly; that is the incremental ≡
+/// from-scratch gate), and must agree with one-shot `encode` on width.
+#[test]
+fn serve_sessions_match_from_scratch_opens() {
+    let base = "symbols: a b c d e\n(a,b)\n(c,d)\n(b,c,e)\na>c\n";
+    let edited = "symbols: a b c d e\n(a,b)\n(c,d)\n(b,c,e)\n(d,e)\n";
+    let open_req = |id: usize, text: &str| {
+        format!(
+            "{{\"id\":{id},\"op\":\"open\",\"text\":\"{}\"}}",
+            json_escape(text)
+        )
+    };
+    let mut server = Server::spawn(&["--workers", "2"]);
+    server.send(&encode_request(1, edited));
+    server.send(&open_req(2, base));
+    server.send(&open_req(3, edited));
+    let mut got: HashMap<usize, String> = HashMap::new();
+    while got.len() < 3 {
+        let line = server.recv();
+        let (id, result) = split_response(&line);
+        got.insert(id, result.to_string());
+    }
+    let session_of = |result: &str| -> u64 {
+        result
+            .split("\"session\":")
+            .nth(1)
+            .and_then(|s| s.split([',', '}']).next())
+            .and_then(|s| s.parse().ok())
+            .expect("session id")
+    };
+    let codes_of = |result: &str| {
+        result
+            .split("\"codes\":")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .map(str::to_string)
+            .expect("codes array")
+    };
+    let base_session = session_of(&got[&2]);
+
+    server.send(&format!(
+        "{{\"id\":4,\"op\":\"delta\",\"session\":{base_session},\"add\":[\"(d,e)\"],\"remove\":[\"a>c\"]}}"
+    ));
+    let line = server.recv();
+    let (id, result) = split_response(line.trim_end());
+    assert_eq!(id, 4);
+    assert!(
+        result.contains("\"incremental\":true"),
+        "delta did not reuse: {result}"
+    );
+    // Incremental delta ≡ from-scratch open of the edited text, byte for
+    // byte in the codes.
+    assert_eq!(codes_of(result), codes_of(&got[&3]), "delta vs fresh open");
+    // And the minimum width agrees with the one-shot encode pipeline.
+    let width_of = |result: &str| {
+        result
+            .split("\"width\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .map(str::to_string)
+            .expect("width")
+    };
+    assert_eq!(
+        width_of(result),
+        width_of(&got[&1]),
+        "delta vs encode width"
+    );
+
+    for (rid, sid) in [(5usize, base_session), (6, session_of(&got[&3]))] {
+        server.send(&format!(
+            "{{\"id\":{rid},\"op\":\"close\",\"session\":{sid}}}"
+        ));
+        let line = server.recv();
+        assert!(line.contains("\"closed\":true"), "{line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn serve_rejects_unknown_protocol_versions() {
+    let mut server = Server::spawn(&["--workers", "1"]);
+    server.send("{\"id\":1,\"v\":2,\"op\":\"stats\"}");
+    let line = server.recv();
+    let (id, result) = split_response(line.trim_end());
+    assert_eq!(id, 1);
+    assert!(result.contains("\"class\":\"protocol\""), "{result}");
     server.shutdown();
 }
 
