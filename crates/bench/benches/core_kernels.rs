@@ -1,0 +1,235 @@
+//! Pinned ns/op workloads for the bitset kernels, the MIS lower bound and
+//! full covering solves — the hot substrate under every exact encode.
+//!
+//! Each kernel workload is measured twice on identical data: once through
+//! the dispatched `BitSet` operation (unrolled scalar kernels below the
+//! SIMD width threshold, AVX2 above it when the CPU has it) and once
+//! through a local copy of the pre-optimization generic implementation
+//! (the word-at-a-time `zip().all()` loops `BitSet` used before). The
+//! ratio is the kernel's measured improvement on this machine.
+//!
+//! Subset/disjoint pairs are constructed so the predicate holds (subset
+//! true, disjoint true): the worst case, forcing a full scan with no early
+//! exit. Sizes bracket the dispatch thresholds: 256 bits (4 words, scalar
+//! path), 768 bits (12 words, 256-bit SIMD path), 4096 bits (64 words,
+//! 512-bit path) and 16384 bits (256 words, 512-bit path; the many-prime
+//! regime where per-call overhead is fully amortized — the headline
+//! numbers come from here).
+//!
+//! Set `BENCH_CORE_JSON=<path>` to write the results as JSON; the
+//! committed `BENCH_core.json` at the workspace root is produced this way.
+//! `BENCH_QUICK=1` runs every body once (CI smoke mode).
+
+use ioenc_bench::harness::measure_ns;
+use ioenc_bench::meta::bench_meta;
+use ioenc_bitset::BitSet;
+use ioenc_core::json::Json;
+use ioenc_cover::UnateProblem;
+
+// ---- local copies of the pre-optimization generic implementations ----
+//
+// `inline(never)` reproduces how the old code was actually called: the
+// pre-PR `BitSet` methods carried no `#[inline]`, so every cross-crate
+// caller (the covering search included) paid a function call per op.
+
+#[inline(never)]
+fn naive_is_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & !y == 0)
+}
+
+#[inline(never)]
+fn naive_is_disjoint(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x & y == 0)
+}
+
+#[inline(never)]
+fn naive_count(a: &[u64]) -> usize {
+    a.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+#[inline(never)]
+fn naive_intersect(a: &mut [u64], b: &[u64]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x &= *y;
+    }
+}
+
+/// Raw words of the bit pattern `indices` over a `bits`-bit universe.
+fn words_of(bits: usize, indices: impl Iterator<Item = usize>) -> Vec<u64> {
+    let mut words = vec![0u64; bits.div_ceil(64)];
+    for i in indices {
+        words[i / 64] |= 1 << (i % 64);
+    }
+    words
+}
+
+struct Workload {
+    name: String,
+    kernel: &'static str,
+    bits: usize,
+    kernel_ns: f64,
+    baseline_ns: f64,
+}
+
+impl Workload {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.kernel_ns.max(1e-9)
+    }
+}
+
+fn kernel_workloads(bits: usize) -> Vec<Workload> {
+    // Dense pattern pairs with subset ⊆ superset and disjoint odd/even
+    // halves; every predicate holds, so scans never exit early.
+    let sub = BitSet::from_indices(bits, (0..bits).step_by(2));
+    let sup = BitSet::from_indices(bits, 0..bits);
+    let odd = BitSet::from_indices(bits, (1..bits).step_by(2));
+    let sub_w = words_of(bits, (0..bits).step_by(2));
+    let sup_w = words_of(bits, 0..bits);
+    let odd_w = words_of(bits, (1..bits).step_by(2));
+
+    let mut out = Vec::new();
+    out.push(Workload {
+        name: format!("is_subset/{bits}b"),
+        kernel: "is_subset",
+        bits,
+        kernel_ns: measure_ns(|| sub.is_subset(&sup)),
+        baseline_ns: measure_ns(|| naive_is_subset(&sub_w, &sup_w)),
+    });
+    out.push(Workload {
+        name: format!("is_disjoint/{bits}b"),
+        kernel: "is_disjoint",
+        bits,
+        kernel_ns: measure_ns(|| sub.is_disjoint(&odd)),
+        baseline_ns: measure_ns(|| naive_is_disjoint(&sub_w, &odd_w)),
+    });
+    out.push(Workload {
+        name: format!("count/{bits}b"),
+        kernel: "count",
+        bits,
+        kernel_ns: measure_ns(|| sub.count()),
+        baseline_ns: measure_ns(|| naive_count(&sub_w)),
+    });
+    // Intersection is idempotent, so repeated in-place application does
+    // identical work every call after the first.
+    let mut acc = sup.clone();
+    let mut acc_w = sup_w.clone();
+    out.push(Workload {
+        name: format!("intersect_with/{bits}b"),
+        kernel: "intersect_with",
+        bits,
+        kernel_ns: measure_ns(|| acc.intersect_with(&sub)),
+        baseline_ns: measure_ns(|| naive_intersect(&mut acc_w, &sub_w)),
+    });
+    // First-set iteration: visit every set bit and fold the indices.
+    out.push(Workload {
+        name: format!("iter_set/{bits}b"),
+        kernel: "iter_set",
+        bits,
+        kernel_ns: measure_ns(|| {
+            let mut sum = 0usize;
+            sub.for_each_set(|i| sum += i);
+            sum
+        }),
+        baseline_ns: measure_ns(|| sub.iter().sum::<usize>()),
+    });
+    out
+}
+
+/// The ring covering family used by the solver's determinism tests: n
+/// columns, each row covered by three columns at fixed offsets. Several
+/// equal-cost optima, so the search explores a real tree.
+fn ring_problem(n: usize) -> UnateProblem {
+    let mut p = UnateProblem::new(n);
+    for i in 0..n {
+        p.add_row([i, (i + n / 3) % n, (i + (2 * n) / 3 + 1) % n]);
+    }
+    p
+}
+
+fn main() {
+    let quick = ioenc_bench::harness::quick_mode();
+    let mut workloads = Vec::new();
+    for bits in [256, 768, 4096, 16384] {
+        workloads.extend(kernel_workloads(bits));
+    }
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        println!(
+            "core_kernels/{:<24} kernel {:>9.1} ns  baseline {:>9.1} ns  {:>5.2}x",
+            w.name,
+            w.kernel_ns,
+            w.baseline_ns,
+            w.speedup()
+        );
+        rows.push(
+            Json::obj()
+                .field("name", w.name.as_str())
+                .field("kernel", w.kernel)
+                .field("bits", w.bits)
+                .field(
+                    "kernel_ns",
+                    Json::Float((w.kernel_ns * 10.0).round() / 10.0),
+                )
+                .field(
+                    "baseline_ns",
+                    Json::Float((w.baseline_ns * 10.0).round() / 10.0),
+                )
+                .field(
+                    "speedup",
+                    Json::Float((w.speedup() * 100.0).round() / 100.0),
+                ),
+        );
+    }
+
+    // MIS lower bound and full covering solves: end-to-end consumers of
+    // the kernels, pinned so search-layer regressions surface here too.
+    let mut cover_rows = Vec::new();
+    for n in [24usize, 36] {
+        let p = ring_problem(n);
+        let ns = measure_ns(|| p.mis_bound_for_bench());
+        println!("core_kernels/mis_bound/ring{n:<14} {ns:>9.1} ns");
+        cover_rows.push(
+            Json::obj()
+                .field("name", format!("mis_bound/ring{n}").as_str())
+                .field("ns", Json::Float((ns * 10.0).round() / 10.0)),
+        );
+    }
+    for n in [12usize, 14] {
+        let p = ring_problem(n);
+        let ns = measure_ns(|| p.solve_exact().unwrap());
+        println!("core_kernels/full_cover/ring{n:<13} {ns:>9.1} ns");
+        cover_rows.push(
+            Json::obj()
+                .field("name", format!("full_cover/ring{n}").as_str())
+                .field("ns", Json::Float((ns * 10.0).round() / 10.0)),
+        );
+    }
+
+    // Headline: the hot-regime (largest-size) speedups per kernel.
+    let mut headline = Json::obj();
+    let mut headline_bits = 0usize;
+    for kernel in ["is_subset", "is_disjoint", "count", "intersect_with"] {
+        if let Some(w) = workloads
+            .iter()
+            .filter(|w| w.kernel == kernel)
+            .max_by_key(|w| w.bits)
+        {
+            headline_bits = headline_bits.max(w.bits);
+            headline = headline.field(kernel, Json::Float((w.speedup() * 100.0).round() / 100.0));
+        }
+    }
+    headline = headline.field("bits", headline_bits);
+
+    if let Ok(path) = std::env::var("BENCH_CORE_JSON") {
+        let doc = Json::obj()
+            .field("bench", "core_kernels")
+            .field("quick", quick)
+            .field("meta", bench_meta())
+            .field("kernels", Json::Arr(rows))
+            .field("cover", Json::Arr(cover_rows))
+            .field("headline_speedups", headline);
+        std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_CORE_JSON");
+        println!("wrote {path}");
+    }
+}

@@ -20,6 +20,7 @@
 //! produced this way.
 
 use ioenc_bench::harness::{fmt_duration, time_once};
+use ioenc_bench::meta::bench_meta;
 use ioenc_core::json::Json;
 use ioenc_core::{ConstraintSet, Delta, Session, Solver};
 use std::time::Duration;
@@ -88,6 +89,7 @@ fn main() {
     const RUNS: usize = 3;
     let solver = Solver::new();
     let mut all_speedups = Vec::new();
+    let mut first_visit_speedups = Vec::new();
     let mut case_docs = Vec::new();
 
     for case in CASES {
@@ -105,6 +107,7 @@ fn main() {
         let mut inc_best = vec![Duration::MAX; case.trace.len()];
         let mut scr_best = vec![Duration::MAX; case.trace.len()];
         let mut replayed = vec![false; case.trace.len()];
+        let mut seeded = vec![false; case.trace.len()];
         let mut primes_at = vec![0usize; case.trace.len()];
         for _ in 0..RUNS {
             let mut session = Session::open(base.clone()).with_solver(solver.clone());
@@ -118,6 +121,7 @@ fn main() {
                 assert!(out.reuse.incremental, "step {i}: fell off the fast path");
                 inc_best[i] = inc_best[i].min(t);
                 replayed[i] = out.reuse.cover_replayed;
+                seeded[i] = out.reuse.cover_seeded;
 
                 let edited = session.constraints().clone();
                 let (scratch, t) = time_once(|| solver.solve(&edited).unwrap());
@@ -143,14 +147,22 @@ fn main() {
                 fmt_duration(scr_best[i]),
                 fmt_duration(inc_best[i]),
                 primes_at[i],
-                if replayed[i] { ", cover replayed" } else { "" },
+                if replayed[i] {
+                    ", cover replayed"
+                } else if seeded[i] {
+                    ", cover seeded"
+                } else {
+                    ""
+                },
             );
             speedups.push(speedup);
+            first_visit_speedups.extend((!replayed[i]).then_some(speedup));
             delta_docs.push(
                 Json::obj()
                     .field("delta", label.as_str())
                     .field("primes", primes_at[i])
                     .field("cover_replayed", replayed[i])
+                    .field("cover_seeded", seeded[i])
                     .field("scratch_us", Json::Float(scr_best[i].as_secs_f64() * 1e6))
                     .field(
                         "incremental_us",
@@ -179,15 +191,26 @@ fn main() {
     println!(
         "incremental/overall: median speedup {overall:.1}x across all single-constraint deltas"
     );
+    // First visits can't replay a memoized cover; their speedup comes from
+    // lattice patching plus incumbent seeding of the covering search.
+    let first_visit = median(first_visit_speedups);
+    println!(
+        "incremental/first-visit: median speedup {first_visit:.1}x on deltas without a cover replay"
+    );
 
     if let Ok(path) = std::env::var("BENCH_INCREMENTAL_JSON") {
         let doc = Json::obj()
             .field("bench", "incremental")
             .field("runs_per_trace", RUNS)
+            .field("meta", bench_meta())
             .field("cases", Json::Arr(case_docs))
             .field(
                 "median_speedup",
                 Json::Float((overall * 10.0).round() / 10.0),
+            )
+            .field(
+                "first_visit_median_speedup",
+                Json::Float((first_visit * 10.0).round() / 10.0),
             );
         std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_INCREMENTAL_JSON");
         println!("wrote {path}");

@@ -12,6 +12,7 @@
 //! `BENCH_serve.json` at the workspace root is produced this way.
 
 use ioenc_bench::harness::{fmt_duration, time_once, Runner};
+use ioenc_bench::meta::bench_meta;
 use ioenc_core::json::Json;
 use ioenc_rng::SplitMix64;
 use ioenc_server::{outcome, EncodeSpec, ResultCache};
@@ -133,6 +134,7 @@ fn main() {
         }
         let doc = Json::obj()
             .field("bench", "serve_cache")
+            .field("meta", bench_meta())
             .field(
                 "corpus",
                 Json::obj()

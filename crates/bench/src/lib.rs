@@ -19,6 +19,7 @@
 //! results are recorded in `EXPERIMENTS.md` at the workspace root.
 
 pub mod harness;
+pub mod meta;
 
 use ioenc_core::ConstraintSet;
 use ioenc_kiss::Fsm;

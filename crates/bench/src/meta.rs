@@ -1,0 +1,131 @@
+//! Benchmark provenance metadata.
+//!
+//! Every `BENCH_*.json` artifact embeds a `meta` object describing the
+//! machine, toolchain and date it was produced on, so the performance
+//! trajectory stays comparable across PRs. Values can be pinned through
+//! the environment (`BENCH_DATE`, `BENCH_RUSTC`) for reproducible
+//! regeneration; otherwise they are probed from the host.
+
+use ioenc_core::json::Json;
+
+/// The `meta` object for a benchmark JSON artifact: date, rustc version,
+/// OS/architecture, logical CPU count, the SIMD features the benchmark
+/// could use, and any `RUSTFLAGS` in effect.
+pub fn bench_meta() -> Json {
+    Json::obj()
+        .field("date", date().as_str())
+        .field("rustc", rustc_version().as_str())
+        .field("os", std::env::consts::OS)
+        .field("arch", std::env::consts::ARCH)
+        .field("cpu_threads", cpu_threads())
+        .field("cpu_flags", cpu_flags().as_str())
+        .field(
+            "rustflags",
+            std::env::var("RUSTFLAGS").unwrap_or_default().as_str(),
+        )
+}
+
+/// `BENCH_DATE` when set, else today (UTC) from the system clock.
+fn date() -> String {
+    if let Ok(d) = std::env::var("BENCH_DATE") {
+        return d;
+    }
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => {
+            let (y, m, day) = civil_from_days((d.as_secs() / 86_400) as i64);
+            format!("{y:04}-{m:02}-{day:02}")
+        }
+        Err(_) => "unknown".to_string(),
+    }
+}
+
+/// Days-since-epoch to (year, month, day); Howard Hinnant's public-domain
+/// civil-from-days algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// `BENCH_RUSTC` when set, else the output of `rustc --version`.
+fn rustc_version() -> String {
+    if let Ok(v) = std::env::var("BENCH_RUSTC") {
+        return v;
+    }
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn cpu_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The SIMD/bit-manipulation features the bitset kernels dispatch on.
+fn cpu_flags() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut flags = Vec::new();
+        if std::is_x86_feature_detected!("avx2") {
+            flags.push("avx2");
+        }
+        if std::is_x86_feature_detected!("popcnt") {
+            flags.push("popcnt");
+        }
+        if std::is_x86_feature_detected!("avx512f") {
+            flags.push("avx512f");
+        }
+        flags.join(",")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_conversion() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+    }
+
+    #[test]
+    fn meta_has_all_fields() {
+        let m = bench_meta();
+        for key in [
+            "date",
+            "rustc",
+            "os",
+            "arch",
+            "cpu_threads",
+            "cpu_flags",
+            "rustflags",
+        ] {
+            assert!(m.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn env_overrides_are_honoured_in_format() {
+        // The date is YYYY-MM-DD shaped whether probed or pinned.
+        let d = date();
+        assert!(d.len() >= 8 && d.contains('-') || d == "unknown", "{d}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Portable word-parallel kernels for the hot `BitSet` operations.
+//!
+//! Every kernel processes four 64-bit words per loop iteration with the
+//! reduction folded into a single accumulator, which the compiler can keep
+//! in registers (and auto-vectorize where profitable) without the
+//! iterator-adaptor early-exit structure of the naive `zip().all()`
+//! formulation. Early exit is preserved at block granularity: predicates
+//! test their accumulator once per 256-bit block instead of once per word.
+//!
+//! These are the fallback implementations behind the runtime-dispatched
+//! entry points in `lib.rs`; the [`simd`](crate::simd) module provides
+//! AVX2/POPCNT variants selected when the CPU supports them. The
+//! differential property suite (`tests/proptests.rs`) pins both paths to
+//! each other and to a `BTreeSet` model on random and adversarial
+//! (word-boundary, trailing-bit, empty, full) inputs.
+
+/// `true` if no bit of `a` is outside `b` (`a & !b == 0` word-wise).
+#[inline]
+pub(crate) fn is_subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let stray = (x[0] & !y[0]) | (x[1] & !y[1]) | (x[2] & !y[2]) | (x[3] & !y[3]);
+        if stray != 0 {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .all(|(x, y)| x & !y == 0)
+}
+
+/// `true` if `a` and `b` share no set bit.
+#[inline]
+pub(crate) fn is_disjoint(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        let shared = (x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3]);
+        if shared != 0 {
+            return false;
+        }
+    }
+    ca.remainder()
+        .iter()
+        .zip(cb.remainder())
+        .all(|(x, y)| x & y == 0)
+}
+
+/// Total set-bit count.
+#[inline]
+pub(crate) fn count(a: &[u64]) -> usize {
+    let mut chunks = a.chunks_exact(4);
+    let mut total = 0usize;
+    for x in &mut chunks {
+        total += (x[0].count_ones() + x[1].count_ones() + x[2].count_ones() + x[3].count_ones())
+            as usize;
+    }
+    total
+        + chunks
+            .remainder()
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum::<usize>()
+}
+
+/// In-place `a &= b`.
+#[inline]
+pub(crate) fn intersect(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let wide = a.len() & !3;
+    let (ah, at) = a.split_at_mut(wide);
+    let (bh, bt) = b.split_at(wide);
+    for (x, y) in ah.chunks_exact_mut(4).zip(bh.chunks_exact(4)) {
+        x[0] &= y[0];
+        x[1] &= y[1];
+        x[2] &= y[2];
+        x[3] &= y[3];
+    }
+    for (x, y) in at.iter_mut().zip(bt) {
+        *x &= *y;
+    }
+}
+
+/// In-place `a |= b`.
+#[inline]
+pub(crate) fn union(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let wide = a.len() & !3;
+    let (ah, at) = a.split_at_mut(wide);
+    let (bh, bt) = b.split_at(wide);
+    for (x, y) in ah.chunks_exact_mut(4).zip(bh.chunks_exact(4)) {
+        x[0] |= y[0];
+        x[1] |= y[1];
+        x[2] |= y[2];
+        x[3] |= y[3];
+    }
+    for (x, y) in at.iter_mut().zip(bt) {
+        *x |= *y;
+    }
+}
+
+/// In-place `a &= !b`.
+#[inline]
+pub(crate) fn difference(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let wide = a.len() & !3;
+    let (ah, at) = a.split_at_mut(wide);
+    let (bh, bt) = b.split_at(wide);
+    for (x, y) in ah.chunks_exact_mut(4).zip(bh.chunks_exact(4)) {
+        x[0] &= !y[0];
+        x[1] &= !y[1];
+        x[2] &= !y[2];
+        x[3] &= !y[3];
+    }
+    for (x, y) in at.iter_mut().zip(bt) {
+        *x &= !*y;
+    }
+}

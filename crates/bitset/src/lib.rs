@@ -1,5 +1,8 @@
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` solely so the tightly-scoped `simd` module
+// can opt back in with documented invariants; every other module in this
+// crate (and every other crate in the workspace) rejects unsafe code.
+#![deny(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Fixed-capacity bit sets for the `ioenc` encoding framework.
@@ -8,6 +11,23 @@
 //! blocks, cube parts, covering-matrix rows). [`BitSet`] is a compact,
 //! allocation-friendly set over the universe `0..capacity` backed by `u64`
 //! words.
+//!
+//! # Kernels and dispatch
+//!
+//! The operations dominating the covering branch-and-bound — subset and
+//! disjointness tests, intersections, population counts and first-set
+//! iteration — run through explicit word-parallel kernels
+//! ([`kernels`]): four words per step, reductions folded into one
+//! accumulator, early exit at 256-bit block granularity. On x86-64 an
+//! AVX2/POPCNT path ([`simd`]) is selected at runtime (cached CPUID
+//! detection) for sets of at least 512 bits. Below that threshold the
+//! streaming operations take the scalar kernels and the binary
+//! predicates (`is_subset`, `is_disjoint`) keep a plain word loop
+//! inlined at the call site — dichotomy-level predicate checks run on
+//! one- and two-word sets, where any dispatched call costs more than
+//! the loop body. All paths are bit-identical by construction and
+//! pinned to each other by a differential property suite; under Miri
+//! only the portable paths run.
 //!
 //! # Examples
 //!
@@ -24,18 +44,77 @@
 
 use std::fmt;
 
+mod kernels;
+#[cfg(target_arch = "x86_64")]
+mod simd;
+
 const WORD_BITS: usize = 64;
+
+/// `true` when the word count justifies the runtime-detected SIMD path.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn simd_eligible(words: usize) -> bool {
+    // Miri cannot execute vector intrinsics; it always takes the portable
+    // kernels, which the differential suite pins to the SIMD path.
+    !cfg!(miri) && words >= simd::MIN_WORDS
+}
+
+/// Word count below which the binary predicates keep the plain word loop
+/// inline at the call site. Matches the SIMD threshold on x86-64 (pinned
+/// by a test): below it no vector kernel is ever selected, and the
+/// dichotomy-level one- and two-word predicate checks that dominate prime
+/// generation cannot afford an outlined call.
+const INLINE_MAX_WORDS: usize = 8;
+
+/// Outlined large-set subset test: runtime-detected SIMD when available,
+/// the portable kernel otherwise. `#[inline(never)]` keeps this body out
+/// of the small-set fast path inlined from [`BitSet::is_subset`].
+#[inline(never)]
+fn is_subset_large(a: &[u64], b: &[u64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if !cfg!(miri) && simd::avx2_available() {
+        return simd::is_subset(a, b);
+    }
+    kernels::is_subset(a, b)
+}
+
+/// Outlined large-set disjointness test; see [`is_subset_large`].
+#[inline(never)]
+fn is_disjoint_large(a: &[u64], b: &[u64]) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    if !cfg!(miri) && simd::avx2_available() {
+        return simd::is_disjoint(a, b);
+    }
+    kernels::is_disjoint(a, b)
+}
 
 /// A set of `usize` indices drawn from the fixed universe `0..capacity()`.
 ///
 /// All binary operations require both operands to have the same capacity;
 /// they panic otherwise (capacities are a static property of each problem
 /// instance, so a mismatch is a logic error).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[derive(PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct BitSet {
     /// Number of valid bits.
     len: usize,
     words: Vec<u64>,
+}
+
+impl Clone for BitSet {
+    fn clone(&self) -> Self {
+        BitSet {
+            len: self.len,
+            words: self.words.clone(),
+        }
+    }
+
+    /// Reuses `self`'s word allocation — the covering search's arena
+    /// recycles row buffers through this, so the steady-state inner loop
+    /// allocates nothing.
+    fn clone_from(&mut self, source: &Self) {
+        self.len = source.len;
+        self.words.clone_from(&source.words);
+    }
 }
 
 #[inline]
@@ -154,9 +233,23 @@ impl BitSet {
         }
     }
 
+    /// Empties the set and changes its universe to `0..capacity`, reusing
+    /// the word allocation where possible. Equivalent to
+    /// `*self = BitSet::new(capacity)` without the fresh allocation.
+    pub fn reset(&mut self, capacity: usize) {
+        self.len = capacity;
+        self.words.clear();
+        self.words.resize(word_count(capacity), 0);
+    }
+
     /// Number of elements in the set.
+    #[inline]
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        #[cfg(target_arch = "x86_64")]
+        if simd_eligible(self.words.len()) && simd::popcnt_available() {
+            return simd::count(&self.words);
+        }
+        kernels::count(&self.words)
     }
 
     /// `true` if the set has no elements.
@@ -165,18 +258,36 @@ impl BitSet {
     }
 
     /// `true` if `self` and `other` share no element.
+    ///
+    /// Small sets (below the SIMD threshold) take the plain word loop
+    /// inline: dichotomy-level predicate checks in prime generation run
+    /// on one- and two-word sets, where an inlined handful of
+    /// instructions beats any dispatched kernel (see `OPTIMIZATION.md`,
+    /// "the predicate regression").
+    #[inline]
     pub fn is_disjoint(&self, other: &Self) -> bool {
         self.check_same(other);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+        if self.words.len() < INLINE_MAX_WORDS {
+            return self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0);
+        }
+        is_disjoint_large(&self.words, &other.words)
     }
 
     /// `true` if every element of `self` is in `other`.
+    ///
+    /// Dispatches like [`BitSet::is_disjoint`]: plain inlined word loop
+    /// below the SIMD threshold, outlined kernel above it.
+    #[inline]
     pub fn is_subset(&self, other: &Self) -> bool {
         self.check_same(other);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        if self.words.len() < INLINE_MAX_WORDS {
+            return self
+                .words
+                .iter()
+                .zip(&other.words)
+                .all(|(a, b)| a & !b == 0);
+        }
+        is_subset_large(&self.words, &other.words)
     }
 
     /// `true` if every element of `other` is in `self`.
@@ -185,27 +296,28 @@ impl BitSet {
     }
 
     /// In-place union.
+    #[inline]
     pub fn union_with(&mut self, other: &Self) {
         self.check_same(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::union(&mut self.words, &other.words);
     }
 
     /// In-place intersection.
+    #[inline]
     pub fn intersect_with(&mut self, other: &Self) {
         self.check_same(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
+        #[cfg(target_arch = "x86_64")]
+        if simd_eligible(self.words.len()) && simd::avx2_available() {
+            return simd::intersect(&mut self.words, &other.words);
         }
+        kernels::intersect(&mut self.words, &other.words);
     }
 
     /// In-place difference (`self \ other`).
+    #[inline]
     pub fn difference_with(&mut self, other: &Self) {
         self.check_same(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernels::difference(&mut self.words, &other.words);
     }
 
     /// Returns the union as a new set.
@@ -255,6 +367,22 @@ impl BitSet {
             set: self,
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Calls `f` on every element in increasing order.
+    ///
+    /// Equivalent to `self.iter().for_each(f)` but without per-item
+    /// iterator state: the word loop stays in registers, which measurably
+    /// helps the covering search's counting loops (see `OPTIMIZATION.md`).
+    #[inline]
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                f(wi * WORD_BITS + w.trailing_zeros() as usize);
+                w &= w - 1;
+            }
         }
     }
 
@@ -406,6 +534,61 @@ mod tests {
         assert!(!c.contains(0));
         assert!(c.contains(66));
         assert_eq!(c.complement(), s);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn inline_threshold_matches_simd_threshold() {
+        assert_eq!(INLINE_MAX_WORDS, simd::MIN_WORDS);
+    }
+
+    #[test]
+    fn reset_changes_universe_and_empties() {
+        let mut s = BitSet::from_indices(70, [0, 69]);
+        s.reset(130);
+        assert_eq!(s.capacity(), 130);
+        assert!(s.is_empty());
+        assert!(s.insert(129));
+        s.reset(3);
+        assert_eq!(s.capacity(), 3);
+        assert!(s.is_empty());
+        assert_eq!(s, BitSet::new(3));
+    }
+
+    #[test]
+    fn clone_from_reuses_and_matches() {
+        let big = BitSet::from_indices(300, [0, 64, 299]);
+        let mut s = BitSet::from_indices(10, [1]);
+        s.clone_from(&big);
+        assert_eq!(s, big);
+        let small = BitSet::from_indices(5, [2]);
+        s.clone_from(&small);
+        assert_eq!(s, small);
+        assert_eq!(s.capacity(), 5);
+    }
+
+    #[test]
+    fn for_each_set_matches_iter() {
+        let s = BitSet::from_indices(200, [199, 0, 64, 65, 127, 128]);
+        let mut seen = Vec::new();
+        s.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, s.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn large_sets_agree_with_small_semantics() {
+        // Big enough to cross the SIMD dispatch threshold on x86-64.
+        let a = BitSet::from_indices(1024, (0..1024).step_by(3));
+        let b = BitSet::from_indices(1024, (0..1024).step_by(6));
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.count(), 342);
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        assert_eq!(c, b);
+        let off = BitSet::from_indices(1024, (3..1024).step_by(6));
+        assert!(off.is_disjoint(&b));
+        assert!(!off.is_disjoint(&a));
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Runtime-detected x86-64 SIMD kernels (AVX-512F, AVX2 and POPCNT).
+//!
+//! This module is the workspace's **only** carve-out from
+//! `forbid(unsafe_code)` (the crate root holds the rest of the crate at
+//! `deny`). The unsafety is tightly scoped and of exactly two kinds:
+//!
+//! 1. **ISA availability.** Every `#[target_feature]` function is `unsafe
+//!    fn` because calling it on a CPU without the feature is undefined
+//!    behavior. The safe wrappers below establish the invariant by
+//!    checking `std::is_x86_feature_detected!` (cached by the standard
+//!    library after the first query) before every call; the wrappers are
+//!    the module's entire public surface, so the invariant cannot be
+//!    bypassed.
+//! 2. **Unaligned vector loads/stores.** `_mm256_loadu_si256` /
+//!    `_mm512_loadu_si512` and their store counterparts require only that
+//!    the pointer be valid for 256/512 bits. Each loop bounds `i` by
+//!    `i + STEP <= len` over slices obtained from safe references, so
+//!    every access stays inside the allocation and respects borrow rules
+//!    (loads from `&[u64]`, stores through `&mut [u64]`).
+//!
+//! Semantics are pinned to the portable [`kernels`](crate::kernels) module
+//! by the differential property suite in `tests/proptests.rs`, which runs
+//! both paths on random and adversarial word patterns whenever the host
+//! CPU can execute this one. Under Miri the dispatchers in `lib.rs` never
+//! select these functions (vector intrinsics are unsupported there).
+#![allow(unsafe_code)]
+
+use crate::kernels;
+use core::arch::x86_64::{
+    __m256i, __m512i, _mm256_and_si256, _mm256_andnot_si256, _mm256_load_si256, _mm256_loadu_si256,
+    _mm256_or_si256, _mm256_store_si256, _mm256_testz_si256, _mm512_and_si512, _mm512_andnot_si512,
+    _mm512_loadu_si512, _mm512_or_si512, _mm512_store_si512, _mm512_test_epi64_mask,
+};
+
+/// Word count below which the scalar kernels win (vector setup plus the
+/// detection load costs more than four scalar ops); measured in
+/// `OPTIMIZATION.md`.
+pub(crate) const MIN_WORDS: usize = 8;
+
+/// Word count from which the 512-bit path beats the 256-bit one. Below
+/// this the wider vectors only add setup cost (measured in
+/// `OPTIMIZATION.md`); above it they halve the load/store slot count.
+const MIN_WORDS_512: usize = 16;
+
+/// Whether the AVX2 entry points may be used on this machine.
+#[inline]
+pub(crate) fn avx2_available() -> bool {
+    std::is_x86_feature_detected!("avx2")
+}
+
+/// Whether the AVX-512F entry points may be used on this machine.
+#[inline]
+fn avx512_available() -> bool {
+    std::is_x86_feature_detected!("avx512f")
+}
+
+/// Whether the POPCNT entry point may be used on this machine.
+#[inline]
+pub(crate) fn popcnt_available() -> bool {
+    std::is_x86_feature_detected!("popcnt")
+}
+
+/// `is_subset` over raw words; caller must not require early exit.
+#[inline]
+pub(crate) fn is_subset(a: &[u64], b: &[u64]) -> bool {
+    debug_assert!(avx2_available());
+    if a.len() >= MIN_WORDS_512 && avx512_available() {
+        // SAFETY: the detection call just above guarantees AVX-512F.
+        return unsafe { is_subset_avx512(a, b) };
+    }
+    // SAFETY: the dispatcher (and the debug assert) guarantee AVX2.
+    unsafe { is_subset_avx2(a, b) }
+}
+
+/// `is_disjoint` over raw words.
+#[inline]
+pub(crate) fn is_disjoint(a: &[u64], b: &[u64]) -> bool {
+    debug_assert!(avx2_available());
+    if a.len() >= MIN_WORDS_512 && avx512_available() {
+        // SAFETY: the detection call just above guarantees AVX-512F.
+        return unsafe { is_disjoint_avx512(a, b) };
+    }
+    // SAFETY: the dispatcher (and the debug assert) guarantee AVX2.
+    unsafe { is_disjoint_avx2(a, b) }
+}
+
+/// In-place `a &= b` over raw words.
+#[inline]
+pub(crate) fn intersect(a: &mut [u64], b: &[u64]) {
+    debug_assert!(avx2_available());
+    if a.len() >= MIN_WORDS_512 && avx512_available() {
+        // SAFETY: the detection call just above guarantees AVX-512F.
+        return unsafe { intersect_avx512(a, b) };
+    }
+    // SAFETY: the dispatcher (and the debug assert) guarantee AVX2.
+    unsafe { intersect_avx2(a, b) }
+}
+
+/// Set-bit count over raw words.
+#[inline]
+pub(crate) fn count(a: &[u64]) -> usize {
+    debug_assert!(popcnt_available());
+    // SAFETY: the dispatcher (and the debug assert) guarantee POPCNT.
+    unsafe { count_popcnt(a) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn is_subset_avx2(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut i = 0;
+    // Two 256-bit lanes per test halves the branch count on long runs.
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps both 256-bit loads inside the slices.
+        let stray = unsafe {
+            let a0 = _mm256_loadu_si256(pa.add(i).cast::<__m256i>());
+            let b0 = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            let a1 = _mm256_loadu_si256(pa.add(i + 4).cast::<__m256i>());
+            let b1 = _mm256_loadu_si256(pb.add(i + 4).cast::<__m256i>());
+            _mm256_or_si256(_mm256_andnot_si256(b0, a0), _mm256_andnot_si256(b1, a1))
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm256_testz_si256(stray, stray) == 0 {
+            return false;
+        }
+        i += 8;
+    }
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps the 256-bit loads inside the slices.
+        let stray = unsafe {
+            let va = _mm256_loadu_si256(pa.add(i).cast::<__m256i>());
+            let vb = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            _mm256_andnot_si256(vb, va)
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm256_testz_si256(stray, stray) == 0 {
+            return false;
+        }
+        i += 4;
+    }
+    a[i..].iter().zip(&b[i..]).all(|(x, y)| x & !y == 0)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn is_disjoint_avx2(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps both 256-bit loads inside the slices.
+        let shared = unsafe {
+            let a0 = _mm256_loadu_si256(pa.add(i).cast::<__m256i>());
+            let b0 = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            let a1 = _mm256_loadu_si256(pa.add(i + 4).cast::<__m256i>());
+            let b1 = _mm256_loadu_si256(pb.add(i + 4).cast::<__m256i>());
+            _mm256_or_si256(_mm256_and_si256(a0, b0), _mm256_and_si256(a1, b1))
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm256_testz_si256(shared, shared) == 0 {
+            return false;
+        }
+        i += 8;
+    }
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps the 256-bit loads inside the slices.
+        let shared = unsafe {
+            let va = _mm256_loadu_si256(pa.add(i).cast::<__m256i>());
+            let vb = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            _mm256_and_si256(va, vb)
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm256_testz_si256(shared, shared) == 0 {
+            return false;
+        }
+        i += 4;
+    }
+    a[i..].iter().zip(&b[i..]).all(|(x, y)| x & y == 0)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn intersect_avx2(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_mut_ptr();
+    let pb = b.as_ptr();
+    // Peel scalar words until the *store* side is 32-byte aligned: split
+    // stores cost more than split loads, so alignment goes to `a`.
+    // `align_offset` counts in elements (u64 words) and is capped at `n`
+    // (it returns usize::MAX when alignment is unreachable, degrading the
+    // whole call to the scalar tail).
+    let mut i = pa.align_offset(32).min(n);
+    for k in 0..i {
+        // SAFETY: k < i <= n; distinct &mut/& slices cannot alias.
+        unsafe { *pa.add(k) &= *pb.add(k) };
+    }
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the loads and stores inside the
+        // slices; the store pointers are 32-byte aligned by the peel
+        // above (Vec<u64> data is 8-byte aligned, so align_offset is a
+        // whole number of words); `a` is borrowed mutably, so the store
+        // cannot alias `b`.
+        unsafe {
+            let a0 = _mm256_load_si256(pa.add(i).cast::<__m256i>());
+            let b0 = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            let a1 = _mm256_load_si256(pa.add(i + 4).cast::<__m256i>());
+            let b1 = _mm256_loadu_si256(pb.add(i + 4).cast::<__m256i>());
+            _mm256_store_si256(pa.add(i).cast::<__m256i>(), _mm256_and_si256(a0, b0));
+            _mm256_store_si256(pa.add(i + 4).cast::<__m256i>(), _mm256_and_si256(a1, b1));
+        }
+        i += 8;
+    }
+    while i + 4 <= n {
+        // SAFETY: as above, for one aligned 256-bit block.
+        unsafe {
+            let va = _mm256_load_si256(pa.add(i).cast::<__m256i>());
+            let vb = _mm256_loadu_si256(pb.add(i).cast::<__m256i>());
+            _mm256_store_si256(pa.add(i).cast::<__m256i>(), _mm256_and_si256(va, vb));
+        }
+        i += 4;
+    }
+    for (x, y) in a[i..].iter_mut().zip(&b[i..]) {
+        *x &= *y;
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn is_subset_avx512(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut i = 0;
+    // Two 512-bit lanes per test; the tail below 16 words reuses the
+    // 256-bit kernel, which the avx512f invariant also licenses (every
+    // AVX-512F CPU implements AVX2).
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps both 512-bit loads inside the slices.
+        let stray = unsafe {
+            let a0 = _mm512_loadu_si512(pa.add(i).cast::<__m512i>());
+            let b0 = _mm512_loadu_si512(pb.add(i).cast::<__m512i>());
+            let a1 = _mm512_loadu_si512(pa.add(i + 8).cast::<__m512i>());
+            let b1 = _mm512_loadu_si512(pb.add(i + 8).cast::<__m512i>());
+            _mm512_or_si512(_mm512_andnot_si512(b0, a0), _mm512_andnot_si512(b1, a1))
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm512_test_epi64_mask(stray, stray) != 0 {
+            return false;
+        }
+        i += 16;
+    }
+    // Scalar tail (at most 15 words): a cross-feature call into the AVX2
+    // kernel cannot be inlined and would cost more than it saves.
+    a[i..].iter().zip(&b[i..]).all(|(x, y)| x & !y == 0)
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn is_disjoint_avx512(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps both 512-bit loads inside the slices.
+        let shared = unsafe {
+            let a0 = _mm512_loadu_si512(pa.add(i).cast::<__m512i>());
+            let b0 = _mm512_loadu_si512(pb.add(i).cast::<__m512i>());
+            let a1 = _mm512_loadu_si512(pa.add(i + 8).cast::<__m512i>());
+            let b1 = _mm512_loadu_si512(pb.add(i + 8).cast::<__m512i>());
+            _mm512_or_si512(_mm512_and_si512(a0, b0), _mm512_and_si512(a1, b1))
+        };
+        // Intrinsics on register values are safe inside a target_feature fn.
+        if _mm512_test_epi64_mask(shared, shared) != 0 {
+            return false;
+        }
+        i += 16;
+    }
+    // Scalar tail, as in `is_subset_avx512`.
+    a[i..].iter().zip(&b[i..]).all(|(x, y)| x & y == 0)
+}
+
+#[target_feature(enable = "avx512f")]
+unsafe fn intersect_avx512(a: &mut [u64], b: &[u64]) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let pa = a.as_mut_ptr();
+    let pb = b.as_ptr();
+    // Peel scalar words until the *store* side is cache-line aligned: an
+    // unaligned 512-bit store always splits a cache line and costs two
+    // store slots, halving throughput on the one store-bound kernel.
+    // `align_offset` counts in elements (u64 words) and is capped at `n`
+    // (it returns usize::MAX when alignment is unreachable, degrading the
+    // whole call to the tail path).
+    let mut i = pa.align_offset(64).min(n);
+    for k in 0..i {
+        // SAFETY: k < i <= n; distinct &mut/& slices cannot alias.
+        unsafe { *pa.add(k) &= *pb.add(k) };
+    }
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps the loads and stores inside the
+        // slices; the store pointers are 64-byte aligned by the peel
+        // above (Vec<u64> data is 8-byte aligned, so align_offset is a
+        // whole number of words); `a` is borrowed mutably, so the stores
+        // cannot alias `b`.
+        unsafe {
+            let a0 = _mm512_loadu_si512(pa.add(i).cast::<__m512i>());
+            let b0 = _mm512_loadu_si512(pb.add(i).cast::<__m512i>());
+            let a1 = _mm512_loadu_si512(pa.add(i + 8).cast::<__m512i>());
+            let b1 = _mm512_loadu_si512(pb.add(i + 8).cast::<__m512i>());
+            _mm512_store_si512(pa.add(i).cast::<__m512i>(), _mm512_and_si512(a0, b0));
+            _mm512_store_si512(pa.add(i + 8).cast::<__m512i>(), _mm512_and_si512(a1, b1));
+        }
+        i += 16;
+    }
+    // Scalar tail, as in `is_subset_avx512`.
+    for (x, y) in a[i..].iter_mut().zip(&b[i..]) {
+        *x &= *y;
+    }
+}
+
+#[target_feature(enable = "popcnt")]
+unsafe fn count_popcnt(a: &[u64]) -> usize {
+    // With POPCNT enabled `count_ones` lowers to the hardware instruction;
+    // the shared unrolled reduction comes from the portable kernel.
+    kernels::count(a)
+}

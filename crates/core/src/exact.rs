@@ -106,6 +106,11 @@ pub struct ExactReport {
     /// `false` when the covering search hit its node limit; the encoding is
     /// then feasible but possibly longer than the true minimum.
     pub optimal: bool,
+    /// `true` when the covering search was seeded with a warm-start
+    /// incumbent derived from a previous session solution. Seeding never
+    /// changes the result (see [`crate::Session`]); this flag only reports
+    /// that the accelerated path ran.
+    pub warmed: bool,
     /// Per-phase counters and timings for the whole pipeline.
     pub stats: SolverStats,
 }
@@ -281,6 +286,68 @@ impl CoverMemo {
             optimal,
         });
     }
+
+    /// Derives a warm start for a *new* cover instance from the most
+    /// recently recorded one (interactive deltas make the latest entry the
+    /// overwhelmingly likely near-match). The donor's selected dichotomies
+    /// are mapped onto the new column family; columns that no longer exist
+    /// are dropped (the solver's deterministic repair re-covers their
+    /// rows). A certified lower bound rides along only when the donor was
+    /// proved optimal *and* the new instance is provably at least as hard:
+    /// every donor row is still present and no new column appeared, so any
+    /// feasible solution of the new instance is feasible for the donor and
+    /// the donor's optimum bounds the new one from below.
+    fn warm_hint(&self, initial: &[Dichotomy], columns: &[Dichotomy]) -> Option<UnateWarmStart> {
+        let donor = self.entries.last()?;
+        let mut cols: Vec<usize> = Vec::with_capacity(donor.selected.len());
+        for d in &donor.selected {
+            // `columns` is sorted and deduplicated by the pipeline.
+            if let Ok(k) = columns.binary_search(d) {
+                cols.push(k);
+            }
+        }
+        if cols.is_empty() {
+            return None;
+        }
+        let lower_bound = (donor.optimal
+            && set_included(&donor.initial, initial)
+            && sorted_included(columns, &donor.columns))
+        .then_some(donor.selected.len() as u64);
+        Some(UnateWarmStart { cols, lower_bound })
+    }
+}
+
+/// A seed for the unate covering search: candidate columns (indices into
+/// the new column family) and, when certified, a lower bound on the
+/// optimal cost.
+pub(crate) struct UnateWarmStart {
+    cols: Vec<usize>,
+    lower_bound: Option<u64>,
+}
+
+/// Set inclusion `a ⊆ b` for dichotomy lists in arbitrary order.
+fn set_included(a: &[Dichotomy], b: &[Dichotomy]) -> bool {
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort();
+    sb.sort();
+    sorted_included(&sa, &sb)
+}
+
+/// Set inclusion `a ⊆ b` for sorted dichotomy lists (merge walk).
+fn sorted_included(a: &[Dichotomy], b: &[Dichotomy]) -> bool {
+    let mut j = 0;
+    'outer: for d in a {
+        while j < b.len() {
+            match b[j].cmp(d) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
 }
 
 fn exact_pipeline(
@@ -403,6 +470,7 @@ fn exact_pipeline_memo(
                 num_primes: 0,
                 selected,
                 optimal,
+                warmed: false,
                 stats: SolverStats::default(),
             })
         }
@@ -410,7 +478,16 @@ fn exact_pipeline_memo(
             let r = if cs.has_binate_constraints() {
                 solve_binate(cs, &initial, &columns, opts, &scope)
             } else {
-                solve_unate(cs, &initial, &columns, opts, &scope)
+                // First visit of this instance: seed the search from the
+                // memo's most recent solution when one exists. Seeding is
+                // result-invisible (path-based tie-breaking in the solver
+                // plus an unseeded retry on any budget-stopped result), so
+                // the differential gate is unaffected.
+                let warm = match &memo {
+                    Some(m) => m.warm_hint(&initial, &columns),
+                    None => None,
+                };
+                solve_unate(cs, &initial, &columns, opts, &scope, warm)
             };
             if let (Ok(rep), Some(m)) = (&r, &mut memo) {
                 if !cs.has_binate_constraints() {
@@ -480,6 +557,7 @@ fn build_encoding(
         num_primes: 0,
         selected,
         optimal,
+        warmed: false,
         stats: SolverStats {
             cover,
             ..Default::default()
@@ -510,30 +588,52 @@ fn solve_unate(
     columns: &[Dichotomy],
     opts: &ExactOptions,
     scope: &BudgetScope,
+    warm: Option<UnateWarmStart>,
 ) -> Result<ExactReport, EncodeError> {
-    let mut problem = UnateProblem::new(columns.len());
-    problem.set_node_limit(opts.node_limit);
-    problem.set_parallelism(opts.parallelism);
-    problem.set_work_budget(opts.budget.max_cover_nodes.map(|b| b.min(opts.node_limit)));
-    problem.set_cancel(scope.cancel());
-    problem.set_deadline(scope.deadline());
-    for i in initial {
-        problem.add_row(
-            columns
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| p.covers(i))
-                .map(|(k, _)| k),
-        );
-    }
-    let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(|e| match e {
+    let build = || {
+        let mut problem = UnateProblem::new(columns.len());
+        problem.set_node_limit(opts.node_limit);
+        problem.set_parallelism(opts.parallelism);
+        problem.set_work_budget(opts.budget.max_cover_nodes.map(|b| b.min(opts.node_limit)));
+        problem.set_cancel(scope.cancel());
+        problem.set_deadline(scope.deadline());
+        for i in initial {
+            problem.add_row(
+                columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| p.covers(i))
+                    .map(|(k, _)| k),
+            );
+        }
+        problem
+    };
+    let map_err = |e: SolveError| match e {
         SolveError::Infeasible => EncodeError::infeasible(vec![]),
         SolveError::NodeLimit => EncodeError::CoverAborted,
         SolveError::Budget { stats } | SolveError::Interrupted { stats } => {
             cover_budget_error(CoverStats::default(), stats)
         }
-    })?;
-    build_encoding(cs, columns, &sol.columns, sol.optimal, cover_stats)
+    };
+    let mut problem = build();
+    let warmed = warm.is_some();
+    if let Some(w) = warm {
+        problem.set_warm_start(Some(w.cols));
+        problem.set_certified_lower_bound(w.lower_bound);
+    }
+    let (sol, cover_stats) = problem.solve_exact_with_stats().map_err(map_err)?;
+    if warmed && !sol.optimal {
+        // A budget-stopped search may depend on the seeded bound. Re-run
+        // from scratch so the returned encoding is the one a session-less
+        // pipeline would produce; the counters absorb both searches.
+        let (sol, retry_stats) = build().solve_exact_with_stats().map_err(map_err)?;
+        let mut total = cover_stats;
+        total.absorb(&retry_stats);
+        return build_encoding(cs, columns, &sol.columns, sol.optimal, total);
+    }
+    let mut report = build_encoding(cs, columns, &sol.columns, sol.optimal, cover_stats)?;
+    report.warmed = warmed;
+    Ok(report)
 }
 
 fn solve_binate(

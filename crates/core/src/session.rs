@@ -126,6 +126,11 @@ pub struct ReuseReport {
     /// set's cover inputs matched an earlier solve of this session (an
     /// add-then-remove toggle returning to a known form).
     pub cover_replayed: bool,
+    /// Whether a first-visit covering search was *seeded* with an
+    /// incumbent patched from the previous session solution (and, when
+    /// certified, its lower bound). Seeding accelerates the search without
+    /// changing its result; see the soundness notes in DESIGN §6g.
+    pub cover_seeded: bool,
 }
 
 impl ReuseReport {
@@ -138,6 +143,7 @@ impl ReuseReport {
             raises_fresh: u.raises_fresh,
             cliques: u.cliques,
             cover_replayed: false,
+            cover_seeded: false,
         }
     }
 
@@ -375,6 +381,7 @@ impl Session {
                     Some(&mut self.memo),
                 )?;
                 reuse.cover_replayed = self.memo.hits() > hits_before;
+                reuse.cover_seeded = r.warmed;
                 Ok(SessionOutcome {
                     solution: Solution {
                         encoding: r.encoding,
@@ -396,6 +403,7 @@ impl Session {
                 ) {
                     Ok(r) => {
                         reuse.cover_replayed = self.memo.hits() > hits_before;
+                        reuse.cover_seeded = r.warmed;
                         Ok(SessionOutcome {
                             solution: Solution {
                                 encoding: r.encoding,
@@ -475,6 +483,21 @@ mod tests {
         let scratch = Solver::new().solve(&expect).unwrap();
         assert_eq!(codes_of(&out), scratch.encoding.codes());
         assert_eq!(session.constraints().len(), expect.len());
+    }
+
+    #[test]
+    fn first_visit_delta_is_seeded_and_matches_scratch() {
+        let mut session = Session::open(base());
+        session.solve().unwrap();
+        // A never-before-seen form: no replay, but the previous solution
+        // seeds the covering search — with the identical outcome.
+        let out = session.apply(&Delta::new().add("(d,e)")).unwrap();
+        assert!(!out.reuse.cover_replayed, "first visit must search");
+        assert!(out.reuse.cover_seeded, "first visit should be seeded");
+        let mut expect = base();
+        expect.add_line("(d,e)").unwrap();
+        let scratch = Solver::new().solve(&expect).unwrap();
+        assert_eq!(codes_of(&out), scratch.encoding.codes());
     }
 
     #[test]

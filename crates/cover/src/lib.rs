@@ -24,11 +24,14 @@
 //! sequential depth-first search sharing one atomic upper bound. Pruning
 //! against the shared bound is *strict* (`>` rather than `>=`), so any
 //! subproblem whose subtree attains the global minimum always records its
-//! first minimum-cost solution in depth-first order; merging task results
-//! by `(cost, creation order)` therefore returns bit-identical solutions
-//! for every [`Parallelism`] setting. When a node budget expires the search
-//! stops early and only then may the (still feasible, `optimal = false`)
-//! result depend on scheduling.
+//! minimum-cost solution with the lexicographically least *branch path*
+//! (the sequence of branch ranks from the root — an intrinsic property of
+//! the instance, independent of scheduling and of any valid seeded bound);
+//! merging task results by `(cost, path)` therefore returns bit-identical
+//! solutions for every [`Parallelism`] setting and under any warm-start
+//! seeding. When a node budget expires the search stops early and only
+//! then may the (still feasible, `optimal = false`) result depend on
+//! scheduling.
 //!
 //! # Examples
 //!

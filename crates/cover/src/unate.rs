@@ -34,6 +34,9 @@ pub struct UnateProblem {
     cancel: Option<CancelToken>,
     deadline: Option<Instant>,
     parallelism: Parallelism,
+    warm_start: Option<Vec<usize>>,
+    certified_lb: Option<u64>,
+    scratch_reuse: bool,
 }
 
 /// Default branch-and-bound node budget; generous for the problem sizes the
@@ -52,6 +55,16 @@ const TASK_TARGET: usize = 32;
 /// [`TASK_TARGET`].
 const EXPANSION_BUDGET: u64 = 256;
 
+/// Merge-order sentinel for the greedy fallback solution: compares after
+/// every real branch path (whose ranks are always `< u32::MAX`), so a
+/// search-found solution of equal cost always wins.
+const GREEDY_SENTINEL: &[u32] = &[u32::MAX, 0];
+
+/// Merge-order sentinel for a repaired warm-start incumbent: after the
+/// greedy sentinel, so seeding can tighten the bound without ever changing
+/// which solution is returned when costs tie.
+const INCUMBENT_SENTINEL: &[u32] = &[u32::MAX, 1];
+
 impl UnateProblem {
     /// A problem with `num_cols` unit-weight columns and no rows.
     pub fn new(num_cols: usize) -> Self {
@@ -69,6 +82,9 @@ impl UnateProblem {
             cancel: None,
             deadline: None,
             parallelism: Parallelism::default(),
+            warm_start: None,
+            certified_lb: None,
+            scratch_reuse: true,
         }
     }
 
@@ -97,7 +113,14 @@ impl UnateProblem {
     ///
     /// Panics if the set's capacity differs from the column count.
     pub fn add_row_set(&mut self, cols: BitSet) {
-        assert_eq!(cols.capacity(), self.num_cols, "row width mismatch");
+        assert_eq!(
+            cols.capacity(),
+            self.num_cols,
+            "row {} width mismatch: set capacity {} vs {} problem columns",
+            self.rows.len(),
+            cols.capacity(),
+            self.num_cols,
+        );
         self.rows.push(cols);
     }
 
@@ -144,6 +167,58 @@ impl UnateProblem {
         self.parallelism
     }
 
+    /// Seeds the exact search with a warm-start incumbent: a set of
+    /// columns believed to (nearly) cover every row, typically a previous
+    /// solution of a closely related instance. Columns covering no row are
+    /// dropped, duplicates are ignored, and any uncovered rows are
+    /// repaired with their cheapest column, deterministically; the result
+    /// seeds the initial upper bound alongside the greedy cover.
+    ///
+    /// Because the search returns the minimum-cost solution with the
+    /// lexicographically least branch path — an intrinsic property of the
+    /// problem, not of the search schedule — a warm start can only shrink
+    /// the explored tree, never change the returned solution, provided the
+    /// search completes without exhausting its node budget. (The incumbent
+    /// itself is returned only when the search finds nothing at least as
+    /// good, which a completed search always does.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if a column index is out of range.
+    pub fn set_warm_start(&mut self, columns: Option<Vec<usize>>) {
+        if let Some(cols) = &columns {
+            for &c in cols {
+                assert!(
+                    c < self.num_cols,
+                    "warm-start column {c} out of range {}",
+                    self.num_cols
+                );
+            }
+        }
+        self.warm_start = columns;
+    }
+
+    /// Installs a certified lower bound on the optimal cost, e.g. derived
+    /// from a previous search's optimality certificate on a provably
+    /// harder instance. The bound is *only* used to mark a budget-stopped
+    /// solution whose cost equals it as optimal; it never steers the
+    /// search, so an (erroneously) low bound is harmless and a correct one
+    /// cannot change the returned columns.
+    pub fn set_certified_lower_bound(&mut self, lb: Option<u64>) {
+        self.certified_lb = lb;
+    }
+
+    /// Disables (or re-enables) the search arena's buffer recycling.
+    ///
+    /// With reuse off every node allocates fresh buffers, reproducing the
+    /// pre-arena allocation behavior while executing the identical search;
+    /// the differential test suite uses this to pin arena runs to
+    /// allocation-per-node runs byte for byte. On by default.
+    #[doc(hidden)]
+    pub fn set_scratch_reuse(&mut self, on: bool) {
+        self.scratch_reuse = on;
+    }
+
     /// Greedy cover: repeatedly choose the column covering the most
     /// still-uncovered rows per unit weight.
     ///
@@ -157,12 +232,12 @@ impl UnateProblem {
         let mut uncovered: Vec<usize> = (0..self.rows.len()).collect();
         let mut chosen = Vec::new();
         let mut cost = 0u64;
+        // One counts buffer for the whole solve; rounds reset it in place.
+        let mut counts = vec![0u32; self.num_cols];
         while !uncovered.is_empty() {
-            let mut counts = vec![0u32; self.num_cols];
+            counts.fill(0);
             for &r in &uncovered {
-                for c in self.rows[r].iter() {
-                    counts[c] += 1;
-                }
+                self.rows[r].for_each_set(|c| counts[c] += 1);
             }
             let best = (0..self.num_cols)
                 .filter(|&c| counts[c] > 0)
@@ -189,9 +264,12 @@ impl UnateProblem {
     ///
     /// Reductions: essential columns, row dominance, column dominance (when
     /// the column count is modest), and a maximal-independent-set lower
-    /// bound. Branching expands the columns of a shortest row. The search
+    /// bound whose witness is carried to child nodes as a pre-reduction
+    /// prune. Branching expands the columns of a shortest row. The search
     /// runs over a deterministic subproblem pool swept by the configured
-    /// [`Parallelism`]; results are identical for every thread count.
+    /// [`Parallelism`]; the returned solution is the minimum-cost cover
+    /// with the lexicographically least branch path, which is identical
+    /// for every thread count and every valid seeded bound.
     ///
     /// If the node budget runs out the best feasible solution found so far
     /// is returned with `optimal = false`.
@@ -226,8 +304,13 @@ impl UnateProblem {
         // interchangeable — keep one cheapest representative. (Prime sets
         // frequently contain many columns covering the same dichotomies.)
         let rows = self.merge_duplicate_columns();
-        // Seed the upper bound with a greedy solution.
+        // Seed the upper bound with a greedy solution, tightened by the
+        // repaired warm-start incumbent when one was supplied.
         let greedy = self.solve_greedy()?;
+        let incumbent = self
+            .warm_start
+            .as_ref()
+            .and_then(|cand| self.repair_incumbent(cand, &rows));
 
         let mut stats = CoverStats {
             threads: self.parallelism.threads(),
@@ -238,12 +321,17 @@ impl UnateProblem {
         let root = Node {
             rows,
             chosen: Vec::new(),
+            path: Vec::new(),
             cost: 0,
             depth: 0,
-            seq: 0,
+            seed_lb: 0,
         };
         let mut bound = greedy.cost;
-        let mut solved: Vec<(u64, Vec<usize>, u64)> = Vec::new();
+        if let Some((icost, _)) = &incumbent {
+            bound = bound.min(*icost);
+        }
+        let mut solved: Vec<(u64, Vec<usize>, Vec<u32>)> = Vec::new();
+        let mut root_arena = SearchArena::new(self.num_cols, self.scratch_reuse);
         let tasks = match self.expand_tasks(
             root,
             &mut bound,
@@ -251,6 +339,7 @@ impl UnateProblem {
             &mut stats,
             node_limit,
             &interrupt,
+            &mut root_arena,
         ) {
             Ok(tasks) => tasks,
             Err(()) => return Err(SolveError::Interrupted { stats }),
@@ -272,24 +361,29 @@ impl UnateProblem {
             &interrupt,
         );
 
-        // Deterministic merge: min (cost, creation sequence); the greedy
-        // seed is the fallback of last resort.
-        let mut best: (u64, u64, &Vec<usize>) = (greedy.cost, u64::MAX, &greedy.columns);
-        for (cost, cols, seq) in &solved {
-            if (*cost, *seq) < (best.0, best.1) {
-                best = (*cost, *seq, cols);
+        // Deterministic merge: min (cost, branch path); both fallback seeds
+        // carry sentinel paths ordering after every search-found solution.
+        let mut best: (u64, &[u32], &[usize]) = (greedy.cost, GREEDY_SENTINEL, &greedy.columns);
+        if let Some((icost, icols)) = &incumbent {
+            if (*icost, INCUMBENT_SENTINEL) < (best.0, best.1) {
+                best = (*icost, INCUMBENT_SENTINEL, icols);
+            }
+        }
+        for (cost, cols, path) in &solved {
+            if (*cost, path.as_slice()) < (best.0, best.1) {
+                best = (*cost, path, cols);
             }
         }
         let mut exhausted = false;
         let mut interrupted = false;
-        for (task, result) in tasks.iter().zip(&results) {
+        for result in &results {
             stats.nodes += result.nodes;
             stats.prunes += result.prunes;
             exhausted |= result.exhausted;
             interrupted |= result.interrupted;
-            if let Some((cost, cols)) = &result.best {
-                if (*cost, task.seq) < (best.0, best.1) {
-                    best = (*cost, task.seq, cols);
+            if let Some((cost, path, cols)) = &result.best {
+                if (*cost, path.as_slice()) < (best.0, best.1) {
+                    best = (*cost, path, cols);
                 }
             }
         }
@@ -299,12 +393,41 @@ impl UnateProblem {
         if strict && exhausted {
             return Err(SolveError::Budget { stats });
         }
+        // A budget-stopped search is still provably optimal when its best
+        // cost meets a caller-certified lower bound.
+        let optimal = !exhausted || self.certified_lb == Some(best.0);
         let solution = Solution {
-            columns: best.2.clone(),
+            columns: best.2.to_vec(),
             cost: best.0,
-            optimal: !exhausted,
+            optimal,
         };
         Ok((solution, stats))
+    }
+
+    /// Turns warm-start candidate columns into a feasible cover of `rows`:
+    /// drops useless and duplicate candidates, then covers every remaining
+    /// uncovered row with its cheapest column (ties to the lowest index).
+    fn repair_incumbent(&self, cand: &[usize], rows: &[BitSet]) -> Option<(u64, Vec<usize>)> {
+        let mut sel: Vec<usize> = Vec::new();
+        for &c in cand {
+            if !sel.contains(&c) && rows.iter().any(|r| r.contains(c)) {
+                sel.push(c);
+            }
+        }
+        for r in rows {
+            if sel.iter().any(|&c| r.contains(c)) {
+                continue;
+            }
+            let mut cheapest: Option<usize> = None;
+            r.for_each_set(|c| match cheapest {
+                None => cheapest = Some(c),
+                Some(b) if self.weights[c] < self.weights[b] => cheapest = Some(c),
+                _ => {}
+            });
+            sel.push(cheapest?); // None: empty row, the instance is infeasible
+        }
+        let cost = sel.iter().map(|&c| self.weights[c] as u64).sum();
+        Some((cost, sel))
     }
 
     /// Pops nodes breadth-first, reducing each and queueing its children,
@@ -312,17 +435,18 @@ impl UnateProblem {
     /// spent. Fully sequential and deterministic. Subproblems solved
     /// outright are appended to `solved` and tighten `bound`. `Err(())`
     /// reports an interruption.
+    #[allow(clippy::too_many_arguments)]
     fn expand_tasks(
         &self,
         root: Node,
         bound: &mut u64,
-        solved: &mut Vec<(u64, Vec<usize>, u64)>,
+        solved: &mut Vec<(u64, Vec<usize>, Vec<u32>)>,
         stats: &mut CoverStats,
         node_limit: u64,
         interrupt: &Interrupt,
+        arena: &mut SearchArena,
     ) -> Result<Vec<Node>, ()> {
         let mut queue: VecDeque<Node> = VecDeque::from([root]);
-        let mut next_seq = 1u64;
         let expansion_cap = EXPANSION_BUDGET.min(node_limit);
         while queue.len() < TASK_TARGET && stats.nodes < expansion_cap {
             let Some(mut node) = queue.pop_front() else {
@@ -332,14 +456,14 @@ impl UnateProblem {
                 return Err(());
             }
             stats.nodes += 1;
-            match self.reduce_node(&mut node, *bound, &mut stats.prunes) {
+            match self.reduce_node(&mut node, *bound, &mut stats.prunes, arena) {
                 Reduced::Solved => {
                     *bound = (*bound).min(node.cost);
-                    solved.push((node.cost, node.chosen, node.seq));
+                    solved.push((node.cost, node.chosen, node.path));
                 }
                 Reduced::Infeasible | Reduced::Pruned => {}
                 Reduced::Open => {
-                    for child in self.children_of(&node, &mut next_seq) {
+                    for child in self.children_of(&node, arena) {
                         queue.push_back(child);
                     }
                 }
@@ -367,20 +491,25 @@ impl UnateProblem {
             .map(|_| Mutex::new(TaskResult::default()))
             .collect();
         let next = AtomicUsize::new(0);
-        let worker = || loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(task) = tasks.get(i) else { break };
-            let mut ctx = TaskCtx {
-                shared_bound,
-                fixed_bound,
-                result: TaskResult::default(),
-                budget,
-                interrupt,
-            };
-            self.dfs(task.clone(), &mut ctx);
-            *results[i]
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner) = ctx.result;
+        let worker = || {
+            // One arena per worker: scratch buffers and recycled node
+            // buffers live for the worker's whole task sequence.
+            let mut arena = SearchArena::new(self.num_cols, self.scratch_reuse);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let mut ctx = TaskCtx {
+                    shared_bound,
+                    fixed_bound,
+                    result: TaskResult::default(),
+                    budget,
+                    interrupt,
+                };
+                self.dfs(task.clone(), &mut ctx, &mut arena);
+                *results[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = ctx.result;
+            }
         };
         let workers = threads.min(tasks.len().max(1));
         if workers <= 1 {
@@ -403,7 +532,7 @@ impl UnateProblem {
 
     /// Per-task sequential branch and bound against the shared (or fixed)
     /// bound.
-    fn dfs(&self, mut node: Node, ctx: &mut TaskCtx<'_>) {
+    fn dfs(&self, mut node: Node, ctx: &mut TaskCtx<'_>, arena: &mut SearchArena) {
         ctx.result.nodes += 1;
         if ctx.result.nodes > ctx.budget {
             ctx.result.exhausted = true;
@@ -415,27 +544,32 @@ impl UnateProblem {
         }
         // Strict pruning against the shared bound is schedule-safe; the
         // task's own best additionally prunes at `>=` — it evolves inside
-        // this task only, so the first minimal-cost solution in the task's
-        // DFS order is still always reached, for any schedule. In budget
-        // mode the shared bound is absent and the fixed phase-1 bound is
-        // used instead, making the node count schedule-independent.
+        // this task only, so the minimal-cost, least-path solution in the
+        // task's subtree is still always reached, for any schedule. In
+        // budget mode the shared bound is absent and the fixed phase-1
+        // bound is used instead, making the node count schedule-independent.
         let shared = match ctx.shared_bound {
             Some(b) => b.load(Ordering::Relaxed),
             None => ctx.fixed_bound,
         };
-        let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
+        let local = ctx.result.best.as_ref().map_or(u64::MAX, |(c, _, _)| *c);
         let bound = shared.min(local.saturating_sub(1));
-        match self.reduce_node(&mut node, bound, &mut ctx.result.prunes) {
-            Reduced::Solved => ctx.record(node.cost, node.chosen),
-            Reduced::Infeasible | Reduced::Pruned => {}
+        match self.reduce_node(&mut node, bound, &mut ctx.result.prunes, arena) {
+            Reduced::Solved => {
+                ctx.record(node.cost, &node.chosen, &node.path);
+                arena.recycle_node(node);
+            }
+            Reduced::Infeasible | Reduced::Pruned => arena.recycle_node(node),
             Reduced::Open => {
-                let mut seq = 0;
-                for child in self.children_of(&node, &mut seq) {
-                    self.dfs(child, ctx);
+                let mut children = self.children_of(&node, arena);
+                arena.recycle_node(node);
+                for child in children.drain(..) {
+                    self.dfs(child, ctx, arena);
                     if ctx.result.exhausted || ctx.result.interrupted {
-                        return;
+                        break;
                     }
                 }
+                arena.recycle_children(children);
             }
         }
     }
@@ -446,8 +580,27 @@ impl UnateProblem {
     /// Pruning is strict (`>` against `bound`) so subtrees holding
     /// solutions *equal* to the bound survive — the keystone of
     /// schedule-independent results under a shared, concurrently-improving
-    /// bound.
-    fn reduce_node(&self, node: &mut Node, bound: u64, prunes: &mut u64) -> Reduced {
+    /// bound. For the same reason a node that is *not* pruned reduces to
+    /// the same rows and chosen columns under every valid bound: the bound
+    /// is consulted only by the prune tests, never by the reductions.
+    ///
+    /// On [`Reduced::Open`] the arena's `witness` holds the
+    /// maximal-independent-set rows backing the lower bound, for
+    /// [`children_of`](Self::children_of) to seed child pre-prunes.
+    fn reduce_node(
+        &self,
+        node: &mut Node,
+        bound: u64,
+        prunes: &mut u64,
+        arena: &mut SearchArena,
+    ) -> Reduced {
+        // Inherited-witness pre-prune: the parent's independent rows that
+        // survive into this node already bound the remaining cost from
+        // below, at zero cost before any reduction work.
+        if node.cost.saturating_add(node.seed_lb) > bound {
+            *prunes += 1;
+            return Reduced::Pruned;
+        }
         loop {
             if node.cost > bound {
                 *prunes += 1;
@@ -475,7 +628,9 @@ impl UnateProblem {
             let before = node.rows.len();
             node.rows.sort_by_key(|r| r.count());
             node.rows.dedup();
-            let mut keep = vec![true; node.rows.len()];
+            let keep = &mut arena.keep;
+            keep.clear();
+            keep.resize(node.rows.len(), true);
             for i in 0..node.rows.len() {
                 if !keep[i] {
                     continue;
@@ -497,33 +652,50 @@ impl UnateProblem {
             }
             // Column dominance (skipped for very wide problems): remove a
             // column whose row set is a subset of a cheaper-or-equal
-            // column's row set.
-            let mut active = BitSet::new(self.num_cols);
+            // column's row set. Field-wise destructuring hands out disjoint
+            // borrows of the arena's scratch buffers.
+            let SearchArena {
+                active,
+                col_rows,
+                removed,
+                ..
+            } = &mut *arena;
+            active.clear();
             for r in &node.rows {
                 active.union_with(r);
             }
-            let active_cols: Vec<usize> = active.iter().collect();
             let limit = if node.depth == 0 {
                 COL_DOMINANCE_LIMIT
             } else {
                 COL_DOMINANCE_LIMIT / 8
             };
-            if active_cols.len() <= limit {
-                let mut col_rows: Vec<(usize, BitSet)> = active_cols
-                    .iter()
-                    .map(|&c| {
-                        let mut s = BitSet::new(node.rows.len());
-                        for (i, r) in node.rows.iter().enumerate() {
-                            if r.contains(c) {
-                                s.insert(i);
-                            }
+            let active_count = active.count();
+            if active_count <= limit {
+                // (column, rows-of-column) pairs in arena scratch; the
+                // nested BitSets are reset to this node's row count.
+                col_rows.truncate(active_count);
+                for (c, s) in col_rows.iter_mut() {
+                    *c = 0;
+                    s.reset(node.rows.len());
+                }
+                while col_rows.len() < active_count {
+                    col_rows.push((0, BitSet::new(node.rows.len())));
+                }
+                let mut k = 0;
+                active.for_each_set(|c| {
+                    col_rows[k].0 = c;
+                    k += 1;
+                });
+                for (i, r) in node.rows.iter().enumerate() {
+                    for (c, s) in col_rows.iter_mut() {
+                        if r.contains(*c) {
+                            s.insert(i);
                         }
-                        (c, s)
-                    })
-                    .collect();
+                    }
+                }
                 // Sort by descending row count so dominators come first.
                 col_rows.sort_by_key(|(_, rows)| std::cmp::Reverse(rows.count()));
-                let mut removed = Vec::new();
+                removed.clear();
                 for i in 0..col_rows.len() {
                     let (ci, ref si) = col_rows[i];
                     if removed.contains(&ci) {
@@ -541,7 +713,7 @@ impl UnateProblem {
                 }
                 if !removed.is_empty() {
                     for row in &mut node.rows {
-                        for &c in &removed {
+                        for &c in removed.iter() {
                             row.remove(c);
                         }
                     }
@@ -550,8 +722,8 @@ impl UnateProblem {
             }
             break;
         }
-        // Lower bound (also strict).
-        if node.cost + self.mis_lower_bound(&node.rows) > bound {
+        // Lower bound (also strict); leaves the witness in the arena.
+        if node.cost + self.mis_lower_bound(&node.rows, arena) > bound {
             *prunes += 1;
             return Reduced::Pruned;
         }
@@ -559,8 +731,14 @@ impl UnateProblem {
     }
 
     /// Child subproblems branching on the columns of a shortest row, with
-    /// already-tried columns excluded from later siblings.
-    fn children_of(&self, node: &Node, next_seq: &mut u64) -> Vec<Node> {
+    /// already-tried columns excluded from later siblings. Child buffers
+    /// come from the arena's pools; each child inherits a pre-reduction
+    /// lower bound from the parent's surviving MIS witness rows.
+    ///
+    /// Must be called immediately after [`reduce_node`](Self::reduce_node)
+    /// returned [`Reduced::Open`] for the same node, while the arena still
+    /// holds that node's witness.
+    fn children_of(&self, node: &Node, arena: &mut SearchArena) -> Vec<Node> {
         let pivot = node
             .rows
             .iter()
@@ -569,60 +747,115 @@ impl UnateProblem {
             .map(|(i, _)| i)
             .unwrap_or(0); // children_of is only called on Open nodes,
                            // whose row list is non-empty
-        let mut cols: Vec<usize> = node.rows[pivot].iter().collect();
-        // Try the most-covering column first for a quick strong bound.
-        cols.sort_by_key(|&c| {
-            std::cmp::Reverse(node.rows.iter().filter(|r| r.contains(c)).count())
-        });
-        let mut children = Vec::with_capacity(cols.len());
-        let mut excluded: Vec<usize> = Vec::new();
-        for c in cols {
-            let mut sub_rows: Vec<BitSet> = node
-                .rows
-                .iter()
-                .filter(|r| !r.contains(c))
-                .cloned()
-                .collect();
-            // Columns already tried at this node are excluded from the
-            // subtree (they would revisit the same covers).
-            for row in &mut sub_rows {
-                for &e in &excluded {
-                    row.remove(e);
+                           // Candidate columns with their coverage counts; most-covering
+                           // first (ties to the lower column) for a quick strong bound.
+        let branch = &mut arena.branch;
+        branch.clear();
+        node.rows[pivot].for_each_set(|c| branch.push((0u32, c as u32)));
+        for r in &node.rows {
+            for (count, c) in branch.iter_mut() {
+                if r.contains(*c as usize) {
+                    *count += 1;
                 }
             }
-            let mut sub_chosen = node.chosen.clone();
-            sub_chosen.push(c);
-            *next_seq += 1;
+        }
+        branch.sort_by_key(|&(count, c)| (std::cmp::Reverse(count), c));
+
+        let mut children = arena.alloc_children();
+        children.reserve(arena.branch.len());
+        let mut excluded = std::mem::take(&mut arena.excluded);
+        debug_assert!(excluded.is_empty());
+        for rank in 0..arena.branch.len() {
+            let c = arena.branch[rank].1 as usize;
+            // The surviving independent-witness rows lower-bound the
+            // child's remaining cost before any of its own reduction work.
+            let seed_lb: u64 = arena
+                .witness
+                .iter()
+                .filter(|&&(r, _)| !node.rows[r as usize].contains(c))
+                .map(|&(_, w)| w)
+                .sum();
+            let mut rows = arena.rows_pool.pop().unwrap_or_default();
+            let mut n = 0;
+            for r in &node.rows {
+                if r.contains(c) {
+                    continue;
+                }
+                if n < rows.len() {
+                    rows[n].clone_from(r);
+                } else {
+                    rows.push(r.clone());
+                }
+                // Columns already tried at this node are excluded from the
+                // subtree (they would revisit the same covers).
+                for &e in &excluded {
+                    rows[n].remove(e);
+                }
+                n += 1;
+            }
+            rows.truncate(n);
+            let mut chosen = arena.cols_pool.pop().unwrap_or_default();
+            chosen.clear();
+            chosen.extend_from_slice(&node.chosen);
+            chosen.push(c);
+            let mut path = arena.path_pool.pop().unwrap_or_default();
+            path.clear();
+            path.extend_from_slice(&node.path);
+            path.push(rank as u32);
             children.push(Node {
-                rows: sub_rows,
-                chosen: sub_chosen,
+                rows,
+                chosen,
+                path,
                 cost: node.cost + self.weights[c] as u64,
                 depth: node.depth + 1,
-                seq: *next_seq,
+                seed_lb,
             });
             excluded.push(c);
         }
+        excluded.clear();
+        arena.excluded = excluded;
         children
     }
 
     /// Greedy maximal set of pairwise-disjoint rows; the sum of each such
-    /// row's cheapest column is a valid lower bound.
-    fn mis_lower_bound(&self, rows: &[BitSet]) -> u64 {
-        let mut order: Vec<usize> = (0..rows.len()).collect();
+    /// row's cheapest column is a valid lower bound. The chosen rows and
+    /// their cheapest-column weights (the *witness*) are left in
+    /// `arena.witness` for child seeding: a row that survives into a child
+    /// only shrinks (branch filtering and column exclusion remove
+    /// candidates), so its recorded minimum stays a valid per-row bound
+    /// and pairwise disjointness is preserved.
+    fn mis_lower_bound(&self, rows: &[BitSet], arena: &mut SearchArena) -> u64 {
+        let SearchArena {
+            order,
+            used,
+            witness,
+            ..
+        } = &mut *arena;
+        order.clear();
+        order.extend(0..rows.len());
         order.sort_by_key(|&r| rows[r].count());
-        let mut used = BitSet::new(self.num_cols);
+        used.clear();
+        witness.clear();
         let mut bound = 0u64;
-        for r in order {
-            if rows[r].is_disjoint(&used) {
+        for &r in order.iter() {
+            if rows[r].is_disjoint(used) {
                 used.union_with(&rows[r]);
-                bound += rows[r]
-                    .iter()
-                    .map(|c| self.weights[c] as u64)
-                    .min()
-                    .unwrap_or(0);
+                let mut min_w = u64::MAX;
+                rows[r].for_each_set(|c| min_w = min_w.min(self.weights[c] as u64));
+                let min_w = if min_w == u64::MAX { 0 } else { min_w };
+                witness.push((r as u32, min_w));
+                bound += min_w;
             }
         }
         bound
+    }
+
+    /// Benchmark-only entry point: the MIS lower bound over this problem's
+    /// rows (with a fresh arena). Not part of the public API contract.
+    #[doc(hidden)]
+    pub fn mis_bound_for_bench(&self) -> u64 {
+        let mut arena = SearchArena::new(self.num_cols, true);
+        self.mis_lower_bound(&self.rows, &mut arena)
     }
 
     /// Removes, from a copy of the rows, every column whose row coverage
@@ -677,11 +910,99 @@ fn per_task_budget(node_limit: u64, spent: u64, tasks: usize) -> u64 {
 struct Node {
     rows: Vec<BitSet>,
     chosen: Vec<usize>,
+    /// Branch ranks from the root — the schedule-independent merge
+    /// tie-breaker. A node's path is determined by the problem alone
+    /// (branch ordering never consults the bound), so the minimum
+    /// `(cost, path)` solution is a property of the instance, not of the
+    /// search schedule or of any valid seeded bound.
+    path: Vec<u32>,
     cost: u64,
     depth: usize,
-    /// Creation order in the deterministic root expansion; the merge
-    /// tie-breaker.
-    seq: u64,
+    /// Lower bound on the remaining cover cost inherited from the parent's
+    /// MIS witness; valid before this node's own reductions run.
+    seed_lb: u64,
+}
+
+/// Per-worker scratch: reusable buffers for the reduction loop plus pools
+/// of recycled node buffers, so the steady-state search allocates nothing.
+/// With `reuse` off the pools stay empty and every node allocates fresh —
+/// the pre-arena behavior, kept as a differential-testing reference.
+struct SearchArena {
+    reuse: bool,
+    rows_pool: Vec<Vec<BitSet>>,
+    cols_pool: Vec<Vec<usize>>,
+    path_pool: Vec<Vec<u32>>,
+    children_pool: Vec<Vec<Node>>,
+    /// Row-dominance keep flags.
+    keep: Vec<bool>,
+    /// Column-dominance removal list.
+    removed: Vec<usize>,
+    /// Branch columns already tried at the current node.
+    excluded: Vec<usize>,
+    /// Branch candidates as (coverage count, column).
+    branch: Vec<(u32, u32)>,
+    /// Column-dominance (column, rows-of-column) pairs.
+    col_rows: Vec<(usize, BitSet)>,
+    /// Columns still present in some row (capacity = problem columns).
+    active: BitSet,
+    /// MIS row visit order.
+    order: Vec<usize>,
+    /// Columns used by the MIS witness rows (capacity = problem columns).
+    used: BitSet,
+    /// MIS witness: (row index, cheapest column weight) per chosen row.
+    witness: Vec<(u32, u64)>,
+}
+
+/// Recycled buffers kept per pool; beyond this they are simply dropped
+/// (deep recursions return most buffers quickly, so the cap only guards
+/// against pathological retention).
+const POOL_CAP: usize = 256;
+
+impl SearchArena {
+    fn new(num_cols: usize, reuse: bool) -> Self {
+        SearchArena {
+            reuse,
+            rows_pool: Vec::new(),
+            cols_pool: Vec::new(),
+            path_pool: Vec::new(),
+            children_pool: Vec::new(),
+            keep: Vec::new(),
+            removed: Vec::new(),
+            excluded: Vec::new(),
+            branch: Vec::new(),
+            col_rows: Vec::new(),
+            active: BitSet::new(num_cols),
+            order: Vec::new(),
+            used: BitSet::new(num_cols),
+            witness: Vec::new(),
+        }
+    }
+
+    fn alloc_children(&mut self) -> Vec<Node> {
+        self.children_pool.pop().unwrap_or_default()
+    }
+
+    fn recycle_children(&mut self, children: Vec<Node>) {
+        debug_assert!(children.is_empty());
+        if self.reuse && self.children_pool.len() < POOL_CAP {
+            self.children_pool.push(children);
+        }
+    }
+
+    fn recycle_node(&mut self, node: Node) {
+        if !self.reuse {
+            return;
+        }
+        if self.rows_pool.len() < POOL_CAP {
+            self.rows_pool.push(node.rows);
+        }
+        if self.cols_pool.len() < POOL_CAP {
+            self.cols_pool.push(node.chosen);
+        }
+        if self.path_pool.len() < POOL_CAP {
+            self.path_pool.push(node.path);
+        }
+    }
 }
 
 enum Reduced {
@@ -693,7 +1014,8 @@ enum Reduced {
 
 #[derive(Debug, Default)]
 struct TaskResult {
-    best: Option<(u64, Vec<usize>)>,
+    /// Best solution in this task's subtree: (cost, branch path, columns).
+    best: Option<(u64, Vec<u32>, Vec<usize>)>,
     nodes: u64,
     prunes: u64,
     exhausted: bool,
@@ -710,10 +1032,13 @@ struct TaskCtx<'a> {
 }
 
 impl TaskCtx<'_> {
-    fn record(&mut self, cost: u64, cols: Vec<usize>) {
-        let local = self.result.best.as_ref().map_or(u64::MAX, |(c, _)| *c);
-        if cost < local {
-            self.result.best = Some((cost, cols));
+    fn record(&mut self, cost: u64, cols: &[usize], path: &[u32]) {
+        let better = match &self.result.best {
+            None => true,
+            Some((bc, bp, _)) => (cost, path) < (*bc, bp.as_slice()),
+        };
+        if better {
+            self.result.best = Some((cost, path.to_vec(), cols.to_vec()));
             if let Some(bound) = self.shared_bound {
                 bound.fetch_min(cost, Ordering::Relaxed);
             }
@@ -962,5 +1287,80 @@ mod tests {
             Err(SolveError::Interrupted { .. }) => {}
             other => panic!("expected Interrupted, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_start_never_changes_the_solution() {
+        // Several equal-cost optima; any feasible warm start (including
+        // junk that needs repair) must leave the returned columns
+        // untouched because tie-breaking is by intrinsic branch path.
+        let mut p = UnateProblem::new(12);
+        for i in 0..12 {
+            p.add_row([i, (i + 4) % 12, (i + 7) % 12]);
+        }
+        let baseline = p.solve_exact().unwrap();
+        for warm in [
+            vec![],
+            vec![0],
+            vec![0, 4, 8],
+            (0..12).collect::<Vec<_>>(),
+            baseline.columns.clone(),
+        ] {
+            let mut q = p.clone();
+            q.set_warm_start(Some(warm.clone()));
+            let sol = q.solve_exact().unwrap();
+            assert_eq!(sol, baseline, "warm start {warm:?} changed the result");
+        }
+    }
+
+    #[test]
+    fn warm_start_with_certified_bound_is_optimal_under_budget() {
+        // Exhaust the per-task budget immediately; with a warm start whose
+        // repaired cost meets a certified lower bound, the result is still
+        // marked optimal.
+        let mut p = UnateProblem::new(6);
+        p.add_row([0, 1]);
+        p.add_row([2, 3]);
+        p.add_row([4, 5]);
+        let full = p.solve_exact().unwrap();
+        assert_eq!(full.cost, 3);
+        p.set_node_limit(1);
+        p.set_warm_start(Some(full.columns.clone()));
+        p.set_certified_lower_bound(Some(3));
+        let sol = p.solve_exact().unwrap();
+        assert_eq!(sol.cost, 3);
+        assert!(sol.optimal, "certified bound must upgrade the flag");
+    }
+
+    #[test]
+    fn scratch_reuse_toggle_is_invisible() {
+        let mut p = UnateProblem::new(14);
+        for i in 0..14 {
+            p.add_row([i, (i + 5) % 14, (i + 9) % 14]);
+        }
+        let (with_arena, stats_a) = p.solve_exact_with_stats().unwrap();
+        let mut q = p.clone();
+        q.set_scratch_reuse(false);
+        let (without, stats_b) = q.solve_exact_with_stats().unwrap();
+        assert_eq!(with_arena, without);
+        assert_eq!(
+            (stats_a.nodes, stats_a.prunes),
+            (stats_b.nodes, stats_b.prunes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 width mismatch")]
+    fn add_row_set_names_the_row() {
+        let mut p = UnateProblem::new(4);
+        p.add_row_set(BitSet::new(4));
+        p.add_row_set(BitSet::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start column 9 out of range")]
+    fn warm_start_range_checked() {
+        let mut p = UnateProblem::new(4);
+        p.set_warm_start(Some(vec![9]));
     }
 }

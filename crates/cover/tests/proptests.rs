@@ -101,6 +101,65 @@ fn greedy_is_feasible_and_not_better_than_exact() {
     }
 }
 
+/// Wider random instances than [`random_unate`] so the branch-and-bound
+/// actually recurses: the arena and warm-start paths below are only
+/// interesting when the search allocates per-node state.
+fn random_unate_wide(rng: &mut SplitMix64) -> (Vec<u32>, Vec<Vec<usize>>) {
+    let cols = rng.gen_range(12..20);
+    let weights: Vec<u32> = (0..cols).map(|_| rng.gen_range(1..6) as u32).collect();
+    let num_rows = rng.gen_range(6..16);
+    let rows: Vec<Vec<usize>> = (0..num_rows)
+        .map(|_| {
+            let len = rng.gen_range(1..5);
+            (0..len).map(|_| rng.gen_range(0..cols)).collect()
+        })
+        .collect();
+    (weights, rows)
+}
+
+#[test]
+fn arena_reuse_is_invisible_in_solution_and_stats() {
+    let mut rng = SplitMix64::new(0xc7);
+    for _ in 0..CASES {
+        let (weights, rows) = random_unate_wide(&mut rng);
+        let mut p = UnateProblem::with_weights(weights);
+        for r in &rows {
+            p.add_row(r.iter().copied());
+        }
+        let mut q = p.clone();
+        q.set_scratch_reuse(false);
+        let (sol_arena, stats_arena) = p.solve_exact_with_stats().unwrap();
+        let (sol_fresh, stats_fresh) = q.solve_exact_with_stats().unwrap();
+        assert_eq!(sol_arena, sol_fresh);
+        // Byte-identical search, not merely an equal answer: the arena
+        // may not change which nodes are visited or pruned.
+        assert_eq!(stats_arena.nodes, stats_fresh.nodes);
+        assert_eq!(stats_arena.prunes, stats_fresh.prunes);
+    }
+}
+
+#[test]
+fn warm_start_junk_never_changes_the_solution() {
+    let mut rng = SplitMix64::new(0xc8);
+    for _ in 0..CASES {
+        let (weights, rows) = random_unate_wide(&mut rng);
+        let cols = weights.len();
+        let mut p = UnateProblem::with_weights(weights);
+        for r in &rows {
+            p.add_row(r.iter().copied());
+        }
+        let baseline = p.solve_exact().unwrap();
+        // Seed with random (possibly infeasible, duplicated, useless)
+        // candidates; the incumbent is repaired or discarded, never
+        // allowed to steer the search away from the canonical optimum.
+        let len = rng.gen_range(0..cols);
+        let junk: Vec<usize> = (0..len).map(|_| rng.gen_range(0..cols)).collect();
+        let mut q = p.clone();
+        q.set_warm_start(Some(junk));
+        assert_eq!(q.solve_exact().unwrap(), baseline);
+    }
+}
+
 type BinateCase = (Vec<u32>, Vec<(Vec<usize>, Vec<usize>)>);
 
 fn random_binate(rng: &mut SplitMix64) -> BinateCase {
