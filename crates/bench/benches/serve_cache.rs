@@ -15,8 +15,9 @@ use ioenc_bench::harness::{fmt_duration, time_once, Runner};
 use ioenc_bench::meta::bench_meta;
 use ioenc_core::json::Json;
 use ioenc_rng::SplitMix64;
-use ioenc_server::{outcome, EncodeSpec, ResultCache};
+use ioenc_server::{outcome, DiskCache, EncodeSpec, ResultCache};
 use std::hint::black_box;
+use std::path::PathBuf;
 
 const BASES: &[&str] = &[
     "symbols: a b c d\n(b,c)\n(c,d)\n(b,a)\n(a,d)\nb>c\na>c\na=b|d\n",
@@ -46,7 +47,7 @@ fn permute(text: &str, rng: &mut SplitMix64) -> String {
     out
 }
 
-fn corpus(requests: usize) -> Vec<String> {
+fn corpus(requests: usize) -> (Vec<String>, Vec<String>) {
     let mut rng = SplitMix64::new(0xbe_ec4);
     let mut uniques: Vec<String> = BASES.iter().map(|s| s.to_string()).collect();
     for i in 0..BASES.len() {
@@ -54,9 +55,10 @@ fn corpus(requests: usize) -> Vec<String> {
             uniques.push(permute(&uniques[i], &mut rng));
         }
     }
-    (0..requests)
+    let texts = (0..requests)
         .map(|_| uniques[rng.gen_range(0..uniques.len())].clone())
-        .collect()
+        .collect();
+    (uniques, texts)
 }
 
 fn sweep(texts: &[String], cache: Option<&ResultCache>) -> usize {
@@ -72,18 +74,23 @@ fn sweep(texts: &[String], cache: Option<&ResultCache>) -> usize {
 
 fn main() {
     let mut r = Runner::from_env();
-    let texts = corpus(200);
+    let (uniques, texts) = corpus(200);
 
-    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (name, seconds, rps)
-    let mut record = |name: &str, seconds: f64| {
-        results.push((name.to_string(), seconds, texts.len() as f64 / seconds));
+    let mut results: Vec<(String, usize, f64, f64)> = Vec::new(); // (name, requests, seconds, rps)
+    let mut record = |name: &str, requests: usize, seconds: f64| {
+        results.push((
+            name.to_string(),
+            requests,
+            seconds,
+            requests as f64 / seconds,
+        ));
     };
 
     // One-shot sweeps timed directly: the quantity of interest is batch
     // throughput, not per-call latency.
     let (ok, cold) = time_once(|| sweep(&texts, None));
     assert_eq!(ok, texts.len(), "corpus must be fully feasible");
-    record("cold/no-cache", cold.as_secs_f64());
+    record("cold/no-cache", texts.len(), cold.as_secs_f64());
     println!(
         "serve/200-requests/no-cache: {} ({:.0} req/s)",
         fmt_duration(cold),
@@ -92,7 +99,7 @@ fn main() {
 
     let cache = ResultCache::new(1024);
     let (_, first) = time_once(|| sweep(&texts, Some(&cache)));
-    record("first-pass/cold-cache", first.as_secs_f64());
+    record("first-pass/cold-cache", texts.len(), first.as_secs_f64());
     println!(
         "serve/200-requests/cold-cache: {} ({:.0} req/s, {} hits / {} misses)",
         fmt_duration(first),
@@ -102,13 +109,68 @@ fn main() {
     );
 
     let (_, warm) = time_once(|| sweep(&texts, Some(&cache)));
-    record("warm-cache", warm.as_secs_f64());
+    record("warm-cache", texts.len(), warm.as_secs_f64());
     println!(
         "serve/200-requests/warm-cache: {} ({:.0} req/s, speedup x{:.1} over no-cache)",
         fmt_duration(warm),
         texts.len() as f64 / warm.as_secs_f64(),
         cold.as_secs_f64() / warm.as_secs_f64()
     );
+
+    // The disk tier's reason to exist: a server restart that reopens the
+    // cache directory starts warm. The permuted variants collapse onto
+    // their base's canonical key, so only the bases are canonically
+    // distinct; sweeping exactly those makes the cold pass pure solves
+    // and the restart pass pure disk replays (plus the re-verify guard),
+    // with no memory-tier hits diluting either side.
+    let distinct = &uniques[..BASES.len()];
+    let disk_dir: PathBuf =
+        std::env::temp_dir().join(format!("ioenc-bench-servedisk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    std::fs::create_dir_all(&disk_dir).expect("bench disk dir");
+    let disk_cold = ResultCache::with_disk(
+        1024,
+        DiskCache::open(&disk_dir, 4).expect("open disk cache"),
+    );
+    let (_, cold_disk) = time_once(|| sweep(distinct, Some(&disk_cold)));
+    record(
+        "cold-start/empty-disk",
+        distinct.len(),
+        cold_disk.as_secs_f64(),
+    );
+    drop(disk_cold);
+    let disk_warm = ResultCache::with_disk(
+        1024,
+        DiskCache::open(&disk_dir, 4).expect("reopen disk cache"),
+    );
+    let (_, warm_disk) = time_once(|| sweep(distinct, Some(&disk_warm)));
+    record(
+        "restart/warm-from-disk",
+        distinct.len(),
+        warm_disk.as_secs_f64(),
+    );
+    let restart_speedup = cold_disk.as_secs_f64() / warm_disk.as_secs_f64();
+    println!(
+        "serve/{}-distinct/restart-warm-from-disk: {} ({:.0} req/s, speedup x{:.1} over empty-disk cold start, {} disk records)",
+        distinct.len(),
+        fmt_duration(warm_disk),
+        distinct.len() as f64 / warm_disk.as_secs_f64(),
+        restart_speedup,
+        disk_warm.disk().map_or(0, |d| d.indexed_records()),
+    );
+    let disk_stats = disk_warm.disk().map(|d| {
+        let s = d.stats();
+        Json::obj()
+            .field("shards", u64::from(d.shard_count()))
+            .field("records", d.indexed_records())
+            .field("hits", s.hits.load(std::sync::atomic::Ordering::Relaxed))
+            .field(
+                "appends",
+                s.appends.load(std::sync::atomic::Ordering::Relaxed),
+            )
+    });
+    drop(disk_warm);
+    let _ = std::fs::remove_dir_all(&disk_dir);
 
     // Per-request latency of the two steady states, via the adaptive
     // harness (cache warmed above; the no-cache body re-solves each call).
@@ -123,11 +185,11 @@ fn main() {
 
     if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
         let mut arr = Vec::new();
-        for (name, seconds, rps) in &results {
+        for (name, requests, seconds, rps) in &results {
             arr.push(
                 Json::obj()
                     .field("name", name.as_str())
-                    .field("requests", texts.len())
+                    .field("requests", *requests)
                     .field("seconds", Json::Float(*seconds))
                     .field("throughput_rps", Json::Float((*rps * 10.0).round() / 10.0)),
             );
@@ -138,7 +200,7 @@ fn main() {
             .field(
                 "corpus",
                 Json::obj()
-                    .field("unique_texts", BASES.len() * 3)
+                    .field("unique_texts", uniques.len())
                     .field("requests", texts.len()),
             )
             .field("results", Json::Arr(arr))
@@ -155,6 +217,14 @@ fn main() {
             .field(
                 "speedup_warm_over_cold",
                 Json::Float((cold.as_secs_f64() / warm.as_secs_f64() * 10.0).round() / 10.0),
+            )
+            .field(
+                "speedup_restart_warm_over_cold",
+                Json::Float((restart_speedup * 10.0).round() / 10.0),
+            )
+            .field(
+                "disk",
+                disk_stats.unwrap_or_else(|| Json::obj().field("enabled", false)),
             );
         std::fs::write(&path, format!("{}\n", doc.render())).expect("write BENCH_SERVE_JSON");
         println!("wrote {path}");

@@ -20,7 +20,6 @@
 
 use crate::constraints::ConstraintSet;
 use crate::encoding::Encoding;
-use ioenc_rng::SplitMix64;
 use std::fmt;
 
 /// A 128-bit content hash of a constraint set's canonical text.
@@ -37,6 +36,12 @@ impl CanonicalKey {
     /// The raw 128-bit value.
     pub fn as_u128(self) -> u128 {
         self.0
+    }
+
+    /// Rebuilds a key from its raw 128-bit value (used by the serve
+    /// layer's persistent cache when decoding stored records).
+    pub fn from_u128(v: u128) -> CanonicalKey {
+        CanonicalKey(v)
     }
 }
 
@@ -92,24 +97,12 @@ pub fn restore_encoding(form: &CanonicalForm, enc: &Encoding) -> Encoding {
     form.restore_encoding(enc)
 }
 
-/// One splitmix64 lane over `bytes`: the running state absorbs each
-/// little-endian 8-byte chunk (zero-padded tail) and the total length,
-/// and every absorption passes through the full splitmix64 finalizer.
-fn hash_lane(seed: u64, bytes: &[u8]) -> u64 {
-    let mut h = SplitMix64::new(seed ^ bytes.len() as u64).next_u64();
-    for chunk in bytes.chunks(8) {
-        let mut word = [0u8; 8];
-        word[..chunk.len()].copy_from_slice(chunk);
-        h = SplitMix64::new(h ^ u64::from_le_bytes(word)).next_u64();
-    }
-    h
-}
-
-/// Two independent lanes make the 128-bit key.
+/// Two independent splitmix64 lanes make the 128-bit key. The lane
+/// primitive lives in [`ioenc_rng::hash_bytes`] so the serve disk cache
+/// can share the exact derivation for its record checksums and
+/// fingerprint hashes.
 fn hash128(bytes: &[u8]) -> u128 {
-    const LANE_LO: u64 = 0x9e37_79b9_7f4a_7c15;
-    const LANE_HI: u64 = 0x2545_f491_4f6c_dd1d;
-    (u128::from(hash_lane(LANE_HI, bytes)) << 64) | u128::from(hash_lane(LANE_LO, bytes))
+    ioenc_rng::hash_bytes128(bytes)
 }
 
 /// Computes the canonical form of `cs`.

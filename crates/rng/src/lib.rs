@@ -112,6 +112,34 @@ pub fn seed_from_str(s: &str) -> u64 {
     h
 }
 
+/// One splitmix64 lane over `bytes`: the running state absorbs each
+/// little-endian 8-byte chunk (zero-padded tail) and the total length,
+/// and every absorption passes through the full splitmix64 finalizer.
+///
+/// This is the primitive under the serve layer's content addressing:
+/// `ioenc_core::canonical_form` builds its 128-bit key from two lanes of
+/// it ([`hash_bytes128`]), and the disk cache uses a single lane for
+/// record checksums and fingerprint hashes — one shared definition keeps
+/// every persisted artifact's key derivation in one place.
+pub fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = SplitMix64::new(seed ^ bytes.len() as u64).next_u64();
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = SplitMix64::new(h ^ u64::from_le_bytes(word)).next_u64();
+    }
+    h
+}
+
+/// Two independent [`hash_bytes`] lanes concatenated into 128 bits; the
+/// derivation behind [`CanonicalKey`](https://docs.rs/ioenc-core)'s
+/// content addresses.
+pub fn hash_bytes128(bytes: &[u8]) -> u128 {
+    const LANE_LO: u64 = 0x9e37_79b9_7f4a_7c15;
+    const LANE_HI: u64 = 0x2545_f491_4f6c_dd1d;
+    (u128::from(hash_bytes(LANE_HI, bytes)) << 64) | u128::from(hash_bytes(LANE_LO, bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

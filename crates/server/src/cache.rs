@@ -16,7 +16,16 @@
 //! insertion order (a FIFO ring — "LRU by insertion" — which is cheap,
 //! deterministic, and good enough for a cache whose hits are dominated by
 //! bursts of identical requests).
+//!
+//! When constructed [`ResultCache::with_disk`], the in-memory store
+//! becomes a first tier over a [`DiskCache`] (DESIGN.md §6h): memory
+//! misses fall through to the append-only log (promoting disk hits into
+//! memory), inserts append to it, and [`ResultCache::begin_solve`] hands
+//! out cross-process single-flight locks so a corpus split between
+//! several server processes sharing one cache directory still solves
+//! each canonical key exactly once.
 
+use crate::diskcache::{DiskCache, SolveGuard};
 use crate::exec::ModeOutcome;
 use ioenc_core::WorkUnits;
 use std::collections::{HashMap, VecDeque};
@@ -62,11 +71,13 @@ struct Shard {
     ring: VecDeque<Key>,
 }
 
-/// Sharded, size-bounded result cache with hit/miss/eviction counters.
+/// Sharded, size-bounded result cache with hit/miss/eviction counters,
+/// optionally backed by a persistent [`DiskCache`] tier.
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
     capacity: usize,
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -82,11 +93,34 @@ impl ResultCache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
             capacity,
+            disk: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
         }
+    }
+
+    /// As [`ResultCache::new`], layered over a persistent disk tier.
+    pub fn with_disk(capacity: usize, disk: DiskCache) -> Self {
+        let mut cache = ResultCache::new(capacity);
+        cache.disk = Some(disk);
+        cache
+    }
+
+    /// The disk tier, when one is attached.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// Takes the cross-process single-flight lock for `(canonical,
+    /// fingerprint)`. `None` when there is no disk tier (in-process
+    /// callers already de-duplicate well enough through the memory map)
+    /// or the lock file cannot be created; the caller then just solves.
+    pub fn begin_solve(&self, canonical: u128, fingerprint: &str) -> Option<SolveGuard> {
+        self.disk
+            .as_ref()
+            .and_then(|d| d.solve_guard(canonical, fingerprint))
     }
 
     fn shard(&self, canonical: u128) -> &Mutex<Shard> {
@@ -111,11 +145,21 @@ impl ResultCache {
             .shard(canonical)
             .lock()
             .unwrap_or_else(|p| p.into_inner());
-        let found = match shard.map.get(&key) {
-            Some(CachedOutcome::Failure { raw_hash: h, .. }) if *h != raw_hash => None,
-            other => other.cloned(),
-        };
+        let mut stored = shard.map.get(&key).cloned();
         drop(shard);
+        if stored.is_none() {
+            if let Some(disk) = &self.disk {
+                if let Some(outcome) = disk.lookup(canonical, fingerprint) {
+                    // Promote into the memory tier (without re-appending).
+                    self.insert_memory(canonical, fingerprint, outcome.clone());
+                    stored = Some(outcome);
+                }
+            }
+        }
+        let found = match stored {
+            Some(CachedOutcome::Failure { raw_hash: h, .. }) if h != raw_hash => None,
+            other => other,
+        };
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -125,8 +169,19 @@ impl ResultCache {
     }
 
     /// Inserts (or replaces) an outcome, evicting the shard's oldest
-    /// insertions beyond its capacity.
+    /// insertions beyond its capacity. With a disk tier attached the
+    /// outcome is also appended to the log, where eviction never reaches
+    /// (memory bounds the working set; the log is the durable record).
     pub fn insert(&self, canonical: u128, fingerprint: &str, outcome: CachedOutcome) {
+        if let Some(disk) = &self.disk {
+            disk.append(canonical, fingerprint, &outcome);
+        }
+        self.insert_memory(canonical, fingerprint, outcome);
+    }
+
+    /// The memory-tier half of [`ResultCache::insert`] (also used to
+    /// promote disk hits without re-appending them).
+    fn insert_memory(&self, canonical: u128, fingerprint: &str, outcome: CachedOutcome) {
         let key = Key {
             canonical,
             fingerprint: fingerprint.to_string(),

@@ -1,0 +1,1069 @@
+//! Disk-backed content-addressed result store (DESIGN.md §6h).
+//!
+//! An append-only record log per key-range shard plus an in-memory
+//! offset index, sharing one cache directory between any number of
+//! server processes:
+//!
+//! ```text
+//! <dir>/meta.json        {"version":1,"shards":N}   (pinned at creation)
+//! <dir>/meta.lock        flock guard for meta.json
+//! <dir>/shard-00.log     header + checksummed records, append-only
+//! <dir>/…
+//! <dir>/locks/<key>.lock per-key cross-process single-flight locks
+//! ```
+//!
+//! **Sharding** is by key range: a key's shard is its top `log2(N)` bits,
+//! so shard files can be split in place (each shard's records rehash into
+//! exactly two children when the count doubles; see
+//! [`DiskCache::split_shards`]).
+//!
+//! **Records** are `[u32 len][u64 checksum][payload]`, checksummed with
+//! the same splitmix64 lane that derives canonical keys
+//! ([`ioenc_rng::hash_bytes`]). The payload carries the full 128-bit
+//! canonical key *and* the full fingerprint string, so an index hit is
+//! verified against both before anything is returned — an offset-index
+//! bug or hash collision degrades to a miss, never a wrong answer.
+//!
+//! **Crash safety** is recovery-on-open, not write-ordering: appends
+//! happen under an exclusive `flock` of the shard file in `O_APPEND`
+//! mode, and [`DiskCache::open`] scans each log under the same lock,
+//! truncating a torn tail (a record whose bytes never fully made it) and
+//! skipping over any record whose checksum fails but whose length field
+//! still frames it (a corrupted byte mid-log must not take the records
+//! after it down). A process killed with `SIGKILL` mid-append therefore
+//! costs at most its half-written tail record.
+//!
+//! **Multi-process visibility**: readers take a *shared* `flock` before
+//! scanning freshly-appended bytes, so they can never observe a record
+//! mid-write; lookups past the scanned prefix trigger such a refresh.
+//! [`DiskCache::solve_guard`] gives cross-process (and cross-thread)
+//! single-flight per `(key, fingerprint)`: the first process to miss
+//! takes the key's lock file, re-checks the log, solves, appends, and
+//! releases; everyone else blocks on the lock and then finds the record.
+//! The kernel drops `flock`s of killed processes, so a crash mid-solve
+//! merely lets the next process solve instead of deadlocking.
+
+use crate::exec::ModeOutcome;
+use crate::CachedOutcome;
+use ioenc_core::WorkUnits;
+use ioenc_rng::hash_bytes;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// On-disk format version (file headers and `meta.json`).
+pub const FORMAT_VERSION: u32 = 1;
+/// Shard-file magic.
+const MAGIC: &[u8; 8] = b"IOENCDC1";
+/// Shard-file header: magic + version + shard index.
+const HEADER_LEN: u64 = 16;
+/// Record header: payload length + checksum.
+const RECORD_HEADER_LEN: u64 = 12;
+/// Hard cap on one record's payload; anything larger read from disk is
+/// treated as log corruption.
+const MAX_PAYLOAD: u32 = 32 * 1024 * 1024;
+/// Seed for the record checksum lane (distinct from the canonical-key
+/// lanes so a record body never checksums to its own key).
+const CHECKSUM_SEED: u64 = 0xd15c_cac4_e5ee_d001;
+/// Seed for fingerprint hashes (lock-file names, index keys).
+const FINGERPRINT_SEED: u64 = 0xf19e_5261_9f4a_11d7;
+
+/// Success-record tag.
+const TAG_SUCCESS: u8 = 1;
+/// Failure-record tag.
+const TAG_FAILURE: u8 = 2;
+
+/// Counters describing a [`DiskCache`]'s life so far (monotonic, shared
+/// across threads; per-process, not persisted).
+#[derive(Debug, Default)]
+pub struct DiskStats {
+    /// Lookups answered from the log.
+    pub hits: AtomicU64,
+    /// Records appended by this process.
+    pub appends: AtomicU64,
+    /// Records skipped or refused because their checksum failed.
+    pub rejected: AtomicU64,
+    /// Bytes of torn tail truncated at open.
+    pub torn_bytes: AtomicU64,
+    /// Valid records indexed at open (what survived the crash).
+    pub recovered: AtomicU64,
+    /// Incremental rescans that picked up other processes' appends.
+    pub refreshes: AtomicU64,
+}
+
+struct Shard {
+    file: File,
+    /// Byte length of the validated prefix; everything before this offset
+    /// is complete, checksummed records (or skipped corrupt ones).
+    scanned: u64,
+    /// `(key, fingerprint-hash)` → record offset in the log.
+    index: HashMap<(u128, u64), u64>,
+}
+
+/// The persistent, shareable result store. See the module docs for the
+/// format and locking protocol.
+pub struct DiskCache {
+    dir: PathBuf,
+    shards: Vec<Mutex<Shard>>,
+    shard_bits: u32,
+    stats: DiskStats,
+}
+
+/// A held cross-process single-flight lock for one `(key, fingerprint)`;
+/// released (by closing the lock file) on drop.
+pub struct SolveGuard {
+    _file: File,
+}
+
+fn io_err(msg: String) -> std::io::Error {
+    std::io::Error::other(msg)
+}
+
+/// Hashes a fingerprint string with the dedicated lane.
+pub fn fingerprint_hash(fingerprint: &str) -> u64 {
+    hash_bytes(FINGERPRINT_SEED, fingerprint.as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(b);
+            u64::from_le_bytes(w)
+        })
+    }
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16).map(|b| {
+            let mut w = [0u8; 16];
+            w.copy_from_slice(b);
+            u128::from_le_bytes(w)
+        })
+    }
+}
+
+/// Serializes one record payload: tag, key, fingerprint, outcome body.
+fn encode_payload(key: u128, fingerprint: &str, outcome: &CachedOutcome) -> Vec<u8> {
+    let mut p = Vec::with_capacity(128);
+    match outcome {
+        CachedOutcome::Success { .. } => p.push(TAG_SUCCESS),
+        CachedOutcome::Failure { .. } => p.push(TAG_FAILURE),
+    }
+    p.extend_from_slice(&key.to_le_bytes());
+    let fp = fingerprint.as_bytes();
+    put_u16(&mut p, fp.len() as u16);
+    p.extend_from_slice(fp);
+    match outcome {
+        CachedOutcome::Success {
+            width,
+            canon_codes,
+            work,
+            mode,
+        } => {
+            put_u32(&mut p, *width as u32);
+            put_u32(&mut p, canon_codes.len() as u32);
+            for &c in canon_codes {
+                put_u64(&mut p, c);
+            }
+            for v in [
+                work.num_initial as u64,
+                work.num_primes as u64,
+                work.raise_attempts,
+                work.evals,
+                work.espresso_iters,
+                work.ps_steps,
+                work.peak_terms as u64,
+                work.cover_nodes,
+                work.cover_prunes,
+                work.cover_tasks as u64,
+            ] {
+                put_u64(&mut p, v);
+            }
+            match mode {
+                ModeOutcome::Exact { optimal } => {
+                    p.push(0);
+                    p.push(u8::from(*optimal));
+                }
+                ModeOutcome::Heuristic { converged } => {
+                    p.push(1);
+                    p.push(u8::from(*converged));
+                }
+                ModeOutcome::Auto { rung, optimal } => {
+                    p.push(2);
+                    p.push(u8::from(*optimal));
+                    let r = rung.as_bytes();
+                    put_u16(&mut p, r.len() as u16);
+                    p.extend_from_slice(r);
+                }
+            }
+        }
+        CachedOutcome::Failure {
+            raw_hash,
+            json,
+            exit_code,
+        } => {
+            put_u64(&mut p, *raw_hash);
+            p.push(*exit_code);
+            let j = json.as_bytes();
+            put_u32(&mut p, j.len() as u32);
+            p.extend_from_slice(j);
+        }
+    }
+    p
+}
+
+/// Decodes a payload back into `(key, fingerprint, outcome)`. `None`
+/// means a structurally invalid payload (treated as a rejected record).
+fn decode_payload(payload: &[u8]) -> Option<(u128, String, CachedOutcome)> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let tag = r.u8()?;
+    let key = r.u128()?;
+    let fp_len = r.u16()? as usize;
+    let fp = String::from_utf8(r.take(fp_len)?.to_vec()).ok()?;
+    let outcome = match tag {
+        TAG_SUCCESS => {
+            let width = r.u32()? as usize;
+            let n = r.u32()? as usize;
+            if n > 1_000_000 {
+                return None;
+            }
+            let mut codes = Vec::with_capacity(n);
+            for _ in 0..n {
+                codes.push(r.u64()?);
+            }
+            let work = WorkUnits {
+                num_initial: r.u64()? as usize,
+                num_primes: r.u64()? as usize,
+                raise_attempts: r.u64()?,
+                evals: r.u64()?,
+                espresso_iters: r.u64()?,
+                ps_steps: r.u64()?,
+                peak_terms: r.u64()? as usize,
+                cover_nodes: r.u64()?,
+                cover_prunes: r.u64()?,
+                cover_tasks: r.u64()? as usize,
+            };
+            let mode = match r.u8()? {
+                0 => ModeOutcome::Exact {
+                    optimal: r.u8()? != 0,
+                },
+                1 => ModeOutcome::Heuristic {
+                    converged: r.u8()? != 0,
+                },
+                2 => {
+                    let optimal = r.u8()? != 0;
+                    let rung_len = r.u16()? as usize;
+                    let rung = String::from_utf8(r.take(rung_len)?.to_vec()).ok()?;
+                    ModeOutcome::Auto { rung, optimal }
+                }
+                _ => return None,
+            };
+            CachedOutcome::Success {
+                width,
+                canon_codes: codes,
+                work,
+                mode,
+            }
+        }
+        TAG_FAILURE => {
+            let raw_hash = r.u64()?;
+            let exit_code = r.u8()?;
+            let json_len = r.u32()? as usize;
+            let json = String::from_utf8(r.take(json_len)?.to_vec()).ok()?;
+            CachedOutcome::Failure {
+                raw_hash,
+                json,
+                exit_code,
+            }
+        }
+        _ => return None,
+    };
+    if r.pos != payload.len() {
+        return None;
+    }
+    Some((key, fp, outcome))
+}
+
+// ---------------------------------------------------------------------
+// Log scanning
+
+/// What one record slot in the log turned out to be.
+enum Scanned {
+    /// A valid record: `(key, fp_hash, next_offset)`.
+    Valid(u128, u64, u64),
+    /// Checksum failed but the length field frames a complete record:
+    /// skip to `next_offset`.
+    CorruptSkippable(u64),
+    /// The bytes at this offset cannot be (or are not yet) a complete
+    /// record; scanning must stop here.
+    Torn,
+}
+
+/// Examines the record starting at `offset` in `bytes` (the whole file
+/// image from `offset` on).
+fn scan_record(bytes: &[u8], file_len: u64, offset: u64) -> Scanned {
+    let avail = file_len - offset;
+    if avail < RECORD_HEADER_LEN {
+        return Scanned::Torn;
+    }
+    let at = |o: u64, n: usize| {
+        let s = (o - offset) as usize;
+        &bytes[s..s + n]
+    };
+    let len = u32::from_le_bytes(at(offset, 4).try_into().unwrap_or([0; 4]));
+    if len > MAX_PAYLOAD || u64::from(len) + RECORD_HEADER_LEN > avail {
+        return Scanned::Torn;
+    }
+    let stored_sum = u64::from_le_bytes(at(offset + 4, 8).try_into().unwrap_or([0; 8]));
+    let payload = at(offset + RECORD_HEADER_LEN, len as usize);
+    let next = offset + RECORD_HEADER_LEN + u64::from(len);
+    if hash_bytes(CHECKSUM_SEED, payload) != stored_sum {
+        return Scanned::CorruptSkippable(next);
+    }
+    match decode_payload(payload) {
+        Some((key, fp, _)) => Scanned::Valid(key, fingerprint_hash(&fp), next),
+        None => Scanned::CorruptSkippable(next),
+    }
+}
+
+// ---------------------------------------------------------------------
+
+impl DiskCache {
+    /// Opens (creating if necessary) the cache directory, pinning or
+    /// adopting its shard count and recovering every shard log.
+    ///
+    /// `requested_shards` (rounded up to a power of two, clamped to
+    /// `1..=256`) only matters when the directory is fresh; an existing
+    /// directory's `meta.json` wins so that every process sharing it
+    /// agrees on the key-range partition.
+    pub fn open(dir: &Path, requested_shards: u32) -> std::io::Result<DiskCache> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::create_dir_all(dir.join("locks"))?;
+        let shards = Self::pin_shard_count(dir, requested_shards.clamp(1, 256))?;
+        let shard_bits = shards.trailing_zeros();
+        let stats = DiskStats::default();
+        let mut states = Vec::with_capacity(shards as usize);
+        for i in 0..shards {
+            states.push(Mutex::new(Self::open_shard(dir, i, &stats)?));
+        }
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+            shards: states,
+            shard_bits,
+            stats,
+        })
+    }
+
+    /// The directory this cache lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The pinned shard count.
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Process-lifetime counters.
+    pub fn stats(&self) -> &DiskStats {
+        &self.stats
+    }
+
+    fn meta_path(dir: &Path) -> PathBuf {
+        dir.join("meta.json")
+    }
+
+    fn shard_path(dir: &Path, index: u32) -> PathBuf {
+        dir.join(format!("shard-{index:02x}.log"))
+    }
+
+    /// Reads or writes `meta.json` under the meta lock; returns the
+    /// pinned shard count.
+    fn pin_shard_count(dir: &Path, requested: u32) -> std::io::Result<u32> {
+        let lock = File::create(dir.join("meta.lock"))?;
+        lock.lock()?;
+        let meta = Self::meta_path(dir);
+        let shards = match std::fs::read_to_string(&meta) {
+            Ok(text) => {
+                let doc = ioenc_core::json::Json::parse(&text)
+                    .map_err(|e| io_err(format!("{}: {e}", meta.display())))?;
+                let version = doc.get("version").and_then(|v| v.as_u64()).unwrap_or(0);
+                if version != u64::from(FORMAT_VERSION) {
+                    return Err(io_err(format!(
+                        "{}: format version {version} (this build speaks {FORMAT_VERSION})",
+                        meta.display()
+                    )));
+                }
+                let n = doc
+                    .get("shards")
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| io_err(format!("{}: missing shard count", meta.display())))?;
+                u32::try_from(n)
+                    .map_err(|_| io_err(format!("{}: shard count {n}", meta.display())))?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let n = requested.next_power_of_two();
+                std::fs::write(
+                    &meta,
+                    format!("{{\"version\":{FORMAT_VERSION},\"shards\":{n}}}\n"),
+                )?;
+                n
+            }
+            Err(e) => return Err(e),
+        };
+        if !shards.is_power_of_two() || shards > 4096 {
+            return Err(io_err(format!(
+                "{}: shard count {shards} is not a power of two in range",
+                meta.display()
+            )));
+        }
+        Ok(shards)
+    }
+
+    /// Opens one shard log and replays it: validates the header (writing
+    /// a fresh one into an empty file), indexes every valid record,
+    /// skips corrupt-but-framed ones, and truncates a torn tail. Runs
+    /// under the shard file's exclusive `flock`, so concurrent appenders
+    /// and scanners in other processes are excluded.
+    fn open_shard(dir: &Path, index: u32, stats: &DiskStats) -> std::io::Result<Shard> {
+        let path = Self::shard_path(dir, index);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        file.lock()?;
+        let result = Self::replay_shard(&mut file, &path, index, stats);
+        file.unlock()?;
+        let (scanned, index_map) = result?;
+        Ok(Shard {
+            file,
+            scanned,
+            index: index_map,
+        })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn replay_shard(
+        file: &mut File,
+        path: &Path,
+        index: u32,
+        stats: &DiskStats,
+    ) -> std::io::Result<(u64, HashMap<(u128, u64), u64>)> {
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(MAGIC);
+            put_u32(&mut header, FORMAT_VERSION);
+            put_u32(&mut header, index);
+            file.write_all(&header)?;
+            return Ok((HEADER_LEN, HashMap::new()));
+        }
+        if len < HEADER_LEN {
+            // Not even a header made it: a torn creation. Start over.
+            stats.torn_bytes.fetch_add(len, Ordering::Relaxed);
+            file.set_len(0)?;
+            return Self::replay_shard(file, path, index, stats);
+        }
+        let mut bytes = Vec::with_capacity(len as usize);
+        (&*file).seek(SeekFrom::Start(0))?;
+        (&*file).take(len).read_to_end(&mut bytes)?;
+        if &bytes[..8] != MAGIC {
+            return Err(io_err(format!("{}: bad magic", path.display())));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap_or([0; 4]));
+        if version != FORMAT_VERSION {
+            return Err(io_err(format!(
+                "{}: format version {version} (this build speaks {FORMAT_VERSION})",
+                path.display()
+            )));
+        }
+        let mut map = HashMap::new();
+        let mut offset = HEADER_LEN;
+        while offset < len {
+            match scan_record(&bytes[offset as usize..], len, offset) {
+                Scanned::Valid(key, fp_hash, next) => {
+                    map.insert((key, fp_hash), offset);
+                    stats.recovered.fetch_add(1, Ordering::Relaxed);
+                    offset = next;
+                }
+                Scanned::CorruptSkippable(next) => {
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    offset = next;
+                }
+                Scanned::Torn => {
+                    stats.torn_bytes.fetch_add(len - offset, Ordering::Relaxed);
+                    file.set_len(offset)?;
+                    break;
+                }
+            }
+        }
+        Ok((offset.min(len), map))
+    }
+
+    fn shard_of(&self, key: u128) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (key >> (128 - self.shard_bits)) as usize
+        }
+    }
+
+    /// Scans records appended (by any process) since the last scan.
+    /// Takes a shared `flock` so no appender is mid-record; never
+    /// truncates or skips — an invalid record here simply stops the
+    /// refresh (reopening recovers it).
+    fn refresh(&self, shard: &mut Shard) -> std::io::Result<()> {
+        let len = shard.file.metadata()?.len();
+        if len <= shard.scanned {
+            return Ok(());
+        }
+        shard.file.lock_shared()?;
+        let result = (|| -> std::io::Result<()> {
+            let len = shard.file.metadata()?.len();
+            let mut bytes = Vec::new();
+            (&shard.file).seek(SeekFrom::Start(shard.scanned))?;
+            (&shard.file)
+                .take(len - shard.scanned)
+                .read_to_end(&mut bytes)?;
+            let mut offset = shard.scanned;
+            while offset < len {
+                match scan_record(&bytes[(offset - shard.scanned) as usize..], len, offset) {
+                    Scanned::Valid(key, fp_hash, next) => {
+                        shard.index.insert((key, fp_hash), offset);
+                        offset = next;
+                    }
+                    Scanned::CorruptSkippable(next) => {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        offset = next;
+                    }
+                    Scanned::Torn => break,
+                }
+            }
+            shard.scanned = offset;
+            Ok(())
+        })();
+        shard.file.unlock()?;
+        self.stats.refreshes.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    /// Reads and fully validates the record at `offset`; returns the
+    /// outcome only if key and fingerprint match exactly.
+    fn read_record(
+        &self,
+        shard: &Shard,
+        offset: u64,
+        key: u128,
+        fingerprint: &str,
+    ) -> Option<CachedOutcome> {
+        let read = |n: u64, at: u64| -> Option<Vec<u8>> {
+            let mut buf = vec![0u8; n as usize];
+            (&shard.file).seek(SeekFrom::Start(at)).ok()?;
+            (&shard.file).read_exact(&mut buf).ok()?;
+            Some(buf)
+        };
+        let header = read(RECORD_HEADER_LEN, offset)?;
+        let len = u32::from_le_bytes(header[..4].try_into().ok()?);
+        if len > MAX_PAYLOAD {
+            return None;
+        }
+        let stored_sum = u64::from_le_bytes(header[4..12].try_into().ok()?);
+        let payload = read(u64::from(len), offset + RECORD_HEADER_LEN)?;
+        if hash_bytes(CHECKSUM_SEED, &payload) != stored_sum {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let (rec_key, rec_fp, outcome) = decode_payload(&payload)?;
+        if rec_key != key || rec_fp != fingerprint {
+            return None;
+        }
+        Some(outcome)
+    }
+
+    /// Looks up `(key, fingerprint)` in the log, refreshing from disk if
+    /// other processes have appended since the last scan.
+    pub fn lookup(&self, key: u128, fingerprint: &str) -> Option<CachedOutcome> {
+        let fp_hash = fingerprint_hash(fingerprint);
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        // Unconditional: `refresh` is a no-op unless the file has grown,
+        // and catching up even on present keys gives last-write-wins
+        // across processes sharing the directory.
+        let _ = self.refresh(&mut shard);
+        let offset = *shard.index.get(&(key, fp_hash))?;
+        let found = self.read_record(&shard, offset, key, fingerprint);
+        if found.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Appends one record under the shard's exclusive `flock`. Newer
+    /// records for the same `(key, fingerprint)` shadow older ones (the
+    /// index keeps the latest offset).
+    pub fn append(&self, key: u128, fingerprint: &str, outcome: &CachedOutcome) {
+        let payload = encode_payload(key, fingerprint, outcome);
+        if payload.len() as u64 > u64::from(MAX_PAYLOAD) {
+            return; // Absurd record; serve it from memory only.
+        }
+        let mut record = Vec::with_capacity(payload.len() + RECORD_HEADER_LEN as usize);
+        put_u32(&mut record, payload.len() as u32);
+        put_u64(&mut record, hash_bytes(CHECKSUM_SEED, &payload));
+        record.extend_from_slice(&payload);
+
+        let mut shard = self.shards[self.shard_of(key)]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if shard.file.lock().is_err() {
+            return;
+        }
+        let appended = (|| -> std::io::Result<()> {
+            // Catch up on other processes' appends first: with the
+            // exclusive lock held every record on disk is complete, and
+            // afterwards the end of file is exactly where our record
+            // will land.
+            let len = shard.file.metadata()?.len();
+            if len > shard.scanned {
+                let mut bytes = Vec::new();
+                (&shard.file).seek(SeekFrom::Start(shard.scanned))?;
+                (&shard.file)
+                    .take(len - shard.scanned)
+                    .read_to_end(&mut bytes)?;
+                let mut offset = shard.scanned;
+                while offset < len {
+                    match scan_record(&bytes[(offset - shard.scanned) as usize..], len, offset) {
+                        Scanned::Valid(k, f, next) => {
+                            shard.index.insert((k, f), offset);
+                            offset = next;
+                        }
+                        Scanned::CorruptSkippable(next) => offset = next,
+                        Scanned::Torn => break,
+                    }
+                }
+                shard.scanned = len.max(offset);
+            }
+            let at = shard.file.metadata()?.len();
+            shard.file.write_all(&record)?;
+            shard.file.flush()?;
+            shard.index.insert((key, fingerprint_hash(fingerprint)), at);
+            shard.scanned = at + record.len() as u64;
+            Ok(())
+        })();
+        let _ = shard.file.unlock();
+        if appended.is_ok() {
+            self.stats.appends.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes the cross-process single-flight lock for `(key,
+    /// fingerprint)`, blocking until any other holder (thread or
+    /// process) releases it. `None` when the lock file cannot be taken —
+    /// the caller then simply solves redundantly.
+    pub fn solve_guard(&self, key: u128, fingerprint: &str) -> Option<SolveGuard> {
+        let name = format!("{key:032x}-{:016x}.lock", fingerprint_hash(fingerprint));
+        let file = File::create(self.dir.join("locks").join(name)).ok()?;
+        file.lock().ok()?;
+        Some(SolveGuard { _file: file })
+    }
+
+    /// Total records currently indexed (across shards, as of the last
+    /// scan; other processes may have appended more).
+    pub fn indexed_records(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).index.len())
+            .sum()
+    }
+
+    /// Doubles the shard count `factor_log2` times by rewriting every
+    /// log: each record moves to the child shard its next key bit
+    /// selects. Requires that **no process has the cache open** (the
+    /// meta lock excludes concurrent `open`s, but a live cache holds
+    /// stale shard handles); intended for offline maintenance and the
+    /// differential test battery.
+    pub fn split_shards(dir: &Path, factor_log2: u32) -> std::io::Result<u32> {
+        let lock = File::create(dir.join("meta.lock"))?;
+        lock.lock()?;
+        let meta_text = std::fs::read_to_string(Self::meta_path(dir))?;
+        let doc = ioenc_core::json::Json::parse(&meta_text)
+            .map_err(|e| io_err(format!("meta.json: {e}")))?;
+        let old =
+            doc.get("shards")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| io_err("meta.json: missing shard count".into()))? as u32;
+        let new = old
+            .checked_shl(factor_log2)
+            .filter(|&n| n <= 4096)
+            .ok_or_else(|| io_err(format!("cannot split {old} shards by 2^{factor_log2}")))?;
+        if new == old {
+            return Ok(old);
+        }
+        let stats = DiskStats::default();
+        // Read every old shard fully (recovering as open would), bucket
+        // records by their new shard, then write temp files and rename.
+        let new_bits = new.trailing_zeros();
+        let mut buckets: Vec<Vec<(u128, String, CachedOutcome)>> =
+            (0..new).map(|_| Vec::new()).collect();
+        for i in 0..old {
+            let mut file = OpenOptions::new()
+                .read(true)
+                .append(true)
+                .open(Self::shard_path(dir, i))?;
+            file.lock()?;
+            let (scanned, index) =
+                Self::replay_shard(&mut file, &Self::shard_path(dir, i), i, &stats)?;
+            let mut offsets: Vec<u64> = index.values().copied().collect();
+            offsets.sort_unstable();
+            let mut bytes = Vec::new();
+            (&file).seek(SeekFrom::Start(0))?;
+            (&file).take(scanned).read_to_end(&mut bytes)?;
+            for off in offsets {
+                let len = u32::from_le_bytes(
+                    bytes[off as usize..off as usize + 4]
+                        .try_into()
+                        .unwrap_or([0; 4]),
+                );
+                let start = (off + RECORD_HEADER_LEN) as usize;
+                let payload = &bytes[start..start + len as usize];
+                if let Some((key, fp, outcome)) = decode_payload(payload) {
+                    let b = if new_bits == 0 {
+                        0
+                    } else {
+                        (key >> (128 - new_bits)) as usize
+                    };
+                    buckets[b].push((key, fp, outcome));
+                }
+            }
+            file.unlock()?;
+        }
+        for (b, records) in buckets.iter().enumerate() {
+            let tmp = dir.join(format!("shard-{b:02x}.log.tmp"));
+            let mut out = File::create(&tmp)?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(MAGIC);
+            put_u32(&mut header, FORMAT_VERSION);
+            put_u32(&mut header, b as u32);
+            out.write_all(&header)?;
+            for (key, fp, outcome) in records {
+                let payload = encode_payload(*key, fp, outcome);
+                let mut rec = Vec::with_capacity(payload.len() + RECORD_HEADER_LEN as usize);
+                put_u32(&mut rec, payload.len() as u32);
+                put_u64(&mut rec, hash_bytes(CHECKSUM_SEED, &payload));
+                rec.extend_from_slice(&payload);
+                out.write_all(&rec)?;
+            }
+            out.flush()?;
+        }
+        for b in 0..new {
+            std::fs::rename(
+                dir.join(format!("shard-{b:02x}.log.tmp")),
+                Self::shard_path(dir, b),
+            )?;
+        }
+        std::fs::write(
+            Self::meta_path(dir),
+            format!("{{\"version\":{FORMAT_VERSION},\"shards\":{new}}}\n"),
+        )?;
+        Ok(new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let path =
+                std::env::temp_dir().join(format!("ioenc-diskcache-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&path);
+            TempDir(path)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn success(width: usize, codes: Vec<u64>) -> CachedOutcome {
+        CachedOutcome::Success {
+            width,
+            canon_codes: codes,
+            work: WorkUnits {
+                num_initial: 3,
+                num_primes: 5,
+                raise_attempts: 7,
+                evals: 11,
+                espresso_iters: 13,
+                ps_steps: 17,
+                peak_terms: 19,
+                cover_nodes: 23,
+                cover_prunes: 29,
+                cover_tasks: 31,
+            },
+            mode: ModeOutcome::Auto {
+                rung: "bounded exact".into(),
+                optimal: false,
+            },
+        }
+    }
+
+    fn assert_same(a: &CachedOutcome, b: &CachedOutcome) {
+        match (a, b) {
+            (
+                CachedOutcome::Success {
+                    width: w1,
+                    canon_codes: c1,
+                    work: k1,
+                    mode: m1,
+                },
+                CachedOutcome::Success {
+                    width: w2,
+                    canon_codes: c2,
+                    work: k2,
+                    mode: m2,
+                },
+            ) => {
+                assert_eq!(w1, w2);
+                assert_eq!(c1, c2);
+                assert_eq!(k1, k2);
+                assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
+            }
+            (
+                CachedOutcome::Failure {
+                    raw_hash: h1,
+                    json: j1,
+                    exit_code: e1,
+                },
+                CachedOutcome::Failure {
+                    raw_hash: h2,
+                    json: j2,
+                    exit_code: e2,
+                },
+            ) => {
+                assert_eq!(h1, h2);
+                assert_eq!(j1, j2);
+                assert_eq!(e1, e2);
+            }
+            _ => panic!("outcome kinds differ"),
+        }
+    }
+
+    #[test]
+    fn payload_round_trips_both_kinds() {
+        for outcome in [
+            success(3, vec![1, 2, 4, 7]),
+            CachedOutcome::Failure {
+                raw_hash: 0xdead,
+                json: "{\"ok\":false}".into(),
+                exit_code: 6,
+            },
+        ] {
+            let p = encode_payload(42u128 << 90, "v1;exact", &outcome);
+            let (key, fp, back) =
+                decode_payload(&p).unwrap_or_else(|| panic!("payload did not decode"));
+            assert_eq!(key, 42u128 << 90);
+            assert_eq!(fp, "v1;exact");
+            assert_same(&outcome, &back);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_fails_decode() {
+        let mut p = encode_payload(7, "fp", &success(2, vec![0, 1]));
+        p.push(0);
+        assert!(decode_payload(&p).is_none());
+    }
+
+    #[test]
+    fn put_get_survives_reopen() {
+        let tmp = TempDir::new("reopen");
+        let outcome = success(4, vec![3, 5, 9]);
+        {
+            let cache = DiskCache::open(&tmp.0, 4).unwrap();
+            cache.append(99, "fp-a", &outcome);
+            assert!(cache.lookup(99, "fp-a").is_some());
+            assert!(cache.lookup(99, "fp-b").is_none(), "fingerprint mismatch");
+            assert!(cache.lookup(98, "fp-a").is_none(), "key mismatch");
+        }
+        let cache = DiskCache::open(&tmp.0, 4).unwrap();
+        let back = cache
+            .lookup(99, "fp-a")
+            .unwrap_or_else(|| panic!("entry lost across reopen"));
+        assert_same(&outcome, &back);
+        assert_eq!(cache.stats().recovered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn shard_count_is_pinned_by_meta() {
+        let tmp = TempDir::new("pin");
+        {
+            let cache = DiskCache::open(&tmp.0, 8).unwrap();
+            assert_eq!(cache.shard_count(), 8);
+        }
+        // A different request is overruled by meta.json.
+        let cache = DiskCache::open(&tmp.0, 2).unwrap();
+        assert_eq!(cache.shard_count(), 8);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let tmp = TempDir::new("torn");
+        let key = 0xabcdu128 << 100;
+        {
+            let cache = DiskCache::open(&tmp.0, 1).unwrap();
+            cache.append(key, "fp", &success(2, vec![0, 1]));
+        }
+        // Simulate a crash mid-append: write a partial record.
+        let path = DiskCache::shard_path(&tmp.0, 0);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[200, 0, 0, 0, 1, 2, 3]).unwrap(); // len=200, 3 bytes follow
+        drop(f);
+        let before = std::fs::metadata(&path).unwrap().len();
+        let cache = DiskCache::open(&tmp.0, 1).unwrap();
+        assert!(cache.lookup(key, "fp").is_some(), "good record survives");
+        assert_eq!(cache.stats().torn_bytes.load(Ordering::Relaxed), 7);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before - 7);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped_but_later_records_survive() {
+        let tmp = TempDir::new("corrupt");
+        let (k1, k2) = (1u128, 2u128);
+        let offset_of_first;
+        {
+            let cache = DiskCache::open(&tmp.0, 1).unwrap();
+            cache.append(k1, "fp", &success(2, vec![0, 1]));
+            offset_of_first = HEADER_LEN;
+            cache.append(k2, "fp", &success(2, vec![2, 3]));
+        }
+        // Flip one payload byte of the first record.
+        let path = DiskCache::shard_path(&tmp.0, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = (offset_of_first + RECORD_HEADER_LEN) as usize + 1;
+        bytes[at] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let cache = DiskCache::open(&tmp.0, 1).unwrap();
+        assert!(cache.lookup(k1, "fp").is_none(), "corrupt entry rejected");
+        assert!(cache.lookup(k2, "fp").is_some(), "later entry survives");
+        assert_eq!(cache.stats().rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cross_handle_visibility_via_refresh() {
+        let tmp = TempDir::new("visible");
+        let a = DiskCache::open(&tmp.0, 2).unwrap();
+        let b = DiskCache::open(&tmp.0, 2).unwrap();
+        a.append(555, "fp", &success(3, vec![1, 2]));
+        assert!(
+            b.lookup(555, "fp").is_some(),
+            "appends by one handle visible to another"
+        );
+        assert!(b.stats().refreshes.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn newer_record_shadows_older() {
+        let tmp = TempDir::new("shadow");
+        let cache = DiskCache::open(&tmp.0, 1).unwrap();
+        cache.append(9, "fp", &success(2, vec![0, 1]));
+        cache.append(9, "fp", &success(3, vec![4, 5]));
+        match cache.lookup(9, "fp") {
+            Some(CachedOutcome::Success { width, .. }) => assert_eq!(width, 3),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_preserves_every_record() {
+        let tmp = TempDir::new("split");
+        let keys: Vec<u128> = (0..40).map(|i| (i as u128) << 120 | i as u128).collect();
+        {
+            let cache = DiskCache::open(&tmp.0, 2).unwrap();
+            for &k in &keys {
+                cache.append(k, "fp", &success(2, vec![k as u64, 1]));
+            }
+        }
+        let new = DiskCache::split_shards(&tmp.0, 2).unwrap();
+        assert_eq!(new, 8);
+        let cache = DiskCache::open(&tmp.0, 2).unwrap(); // meta pins 8
+        assert_eq!(cache.shard_count(), 8);
+        for &k in &keys {
+            match cache.lookup(k, "fp") {
+                Some(CachedOutcome::Success { canon_codes, .. }) => {
+                    assert_eq!(canon_codes[0], k as u64)
+                }
+                other => panic!("key {k:x} lost after split: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn solve_guard_excludes_other_holders() {
+        let tmp = TempDir::new("guard");
+        let cache = DiskCache::open(&tmp.0, 1).unwrap();
+        let guard = cache.solve_guard(77, "fp");
+        assert!(guard.is_some());
+        // A second handle's guard for the same key blocks until drop.
+        let dir = tmp.0.clone();
+        let t = std::thread::spawn(move || {
+            let other = DiskCache::open(&dir, 1).unwrap();
+            let _g = other.solve_guard(77, "fp");
+            std::time::Instant::now()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let released = std::time::Instant::now();
+        drop(guard);
+        let acquired = t.join().unwrap_or_else(|_| panic!("guard thread died"));
+        assert!(
+            acquired >= released,
+            "second guard acquired before first released"
+        );
+    }
+}

@@ -480,37 +480,21 @@ pub fn outcome(
     let raw_hash = ioenc_rng::seed_from_str(text);
     let cache = cache.filter(|_| spec.cacheable());
 
+    // Held (when the cache has a disk tier) from just before the solve
+    // until the outcome is inserted, so that processes sharing the cache
+    // directory solve each (key, fingerprint) exactly once.
+    let mut _solve_guard = None;
     if let Some(store) = cache {
-        match store.lookup(form.key.as_u128(), &fingerprint, raw_hash) {
-            Some(CachedOutcome::Success {
-                width,
-                canon_codes,
-                work,
-                mode,
-            }) => {
-                let restored = form.restore_encoding(&Encoding::new(width, canon_codes));
-                if restored.verify(&cs).is_empty() {
-                    let r = EncodeResult {
-                        encoding: restored,
-                        mode,
-                        work,
-                        from_cache: true,
-                        stats_text: None,
-                        notes: Vec::new(),
-                    };
-                    return Outcome {
-                        json: result_json(&cs, &form, &r).render(),
-                        exit_code: 0,
-                    };
-                }
-                store.note_verify_failure();
+        if let Some(hit) = replay_hit(store, &cs, &form, &fingerprint, raw_hash) {
+            return hit;
+        }
+        _solve_guard = store.begin_solve(form.key.as_u128(), &fingerprint);
+        if _solve_guard.is_some() {
+            // We may have blocked behind another process solving this
+            // very key; its record is on disk now if so.
+            if let Some(hit) = replay_hit(store, &cs, &form, &fingerprint, raw_hash) {
+                return hit;
             }
-            Some(CachedOutcome::Failure {
-                json, exit_code, ..
-            }) => {
-                return Outcome { json, exit_code };
-            }
-            None => {}
         }
     }
 
@@ -559,6 +543,50 @@ pub fn outcome(
             }
             Outcome { json, exit_code }
         }
+    }
+}
+
+/// Tries to answer from the cache: a verified [`CachedOutcome::Success`]
+/// is restored and re-rendered; a [`CachedOutcome::Failure`] replays
+/// verbatim (the raw-hash guard already ran inside
+/// [`ResultCache::lookup`]). `None` means miss — including a hit whose
+/// re-verification against the original set failed, which is counted
+/// and re-solved.
+fn replay_hit(
+    store: &ResultCache,
+    cs: &ConstraintSet,
+    form: &CanonicalForm,
+    fingerprint: &str,
+    raw_hash: u64,
+) -> Option<Outcome> {
+    match store.lookup(form.key.as_u128(), fingerprint, raw_hash)? {
+        CachedOutcome::Success {
+            width,
+            canon_codes,
+            work,
+            mode,
+        } => {
+            let restored = form.restore_encoding(&Encoding::new(width, canon_codes));
+            if restored.verify(cs).is_empty() {
+                let r = EncodeResult {
+                    encoding: restored,
+                    mode,
+                    work,
+                    from_cache: true,
+                    stats_text: None,
+                    notes: Vec::new(),
+                };
+                return Some(Outcome {
+                    json: result_json(cs, form, &r).render(),
+                    exit_code: 0,
+                });
+            }
+            store.note_verify_failure();
+            None
+        }
+        CachedOutcome::Failure {
+            json, exit_code, ..
+        } => Some(Outcome { json, exit_code }),
     }
 }
 

@@ -1,0 +1,394 @@
+//! Minimal HTTP/1.1 framing for the serve front end (DESIGN.md §6h).
+//!
+//! An incremental request parser plus a response writer, sized for the
+//! event loop's byte buffers: [`parse_request`] looks at the bytes read
+//! so far and either asks for more, yields one complete request (with the
+//! number of bytes it consumed, so pipelined requests parse back to
+//! back), or yields a typed framing error that maps to a 4xx/5xx response
+//! and a connection close.
+//!
+//! Deliberately small surface: methods `GET`/`POST`, `Content-Length`
+//! bodies only (chunked transfer encoding is rejected with `501`),
+//! bounded head and body sizes (`431`/`413`), and both `\r\n` and bare
+//! `\n` line endings accepted on input. Responses always carry an
+//! explicit `Content-Length` and a `Connection` header, so pipelined
+//! clients can delimit them without sniffing.
+
+/// Upper bound on the request head (request line + headers) in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target as sent (path plus optional query).
+    pub target: String,
+    /// Lowercased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty for bodyless requests).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default yes, `Connection: close` or HTTP/1.0 no).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A framing-level failure: the HTTP status to answer with before
+/// closing the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramingError {
+    /// HTTP status code (`400`, `413`, `431`, `501`, `505`).
+    pub status: u16,
+    /// Human-readable detail for the JSON error body.
+    pub message: String,
+}
+
+impl FramingError {
+    fn new(status: u16, message: impl Into<String>) -> FramingError {
+        FramingError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Outcome of examining the buffered bytes.
+#[derive(Debug)]
+pub enum Step {
+    /// No complete request yet; read more bytes.
+    Partial,
+    /// One complete request, consuming the first `consumed` buffered
+    /// bytes (pipelined successors may follow in the remainder).
+    Ready {
+        /// The parsed request.
+        request: Box<Request>,
+        /// Bytes of the buffer this request occupied.
+        consumed: usize,
+    },
+    /// The buffer can never become a valid request.
+    Malformed(FramingError),
+}
+
+/// Finds the end of the head: the first blank line. Returns
+/// `(head_end, body_start)` byte offsets.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    // Accept \r\n\r\n and \n\n (and the mixed forms a lenient reader
+    // sees); scan for "\n" followed by optional "\r" and "\n".
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf.len() > i + 1 && buf[i + 1] == b'\n' {
+                return Some((i, i + 2));
+            }
+            if buf.len() > i + 2 && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some((i, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the buffered bytes into at most one request.
+pub fn parse_request(buf: &[u8]) -> Step {
+    let (head_end, body_start) = match find_head_end(buf) {
+        Some(x) => x,
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Step::Malformed(FramingError::new(
+                    431,
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                ));
+            }
+            return Step::Partial;
+        }
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Step::Malformed(FramingError::new(
+            431,
+            format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+        ));
+    }
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Step::Malformed(FramingError::new(400, "request head is not UTF-8")),
+    };
+    let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m, t, v),
+        _ => {
+            return Step::Malformed(FramingError::new(
+                400,
+                format!("malformed request line {request_line:?}"),
+            ))
+        }
+    };
+    if parts.next().is_some() {
+        return Step::Malformed(FramingError::new(
+            400,
+            format!("malformed request line {request_line:?}"),
+        ));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Step::Malformed(FramingError::new(
+                505,
+                format!("unsupported protocol version {other:?}"),
+            ))
+        }
+    };
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        match line.split_once(':') {
+            Some((name, value)) => {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+            None => {
+                return Step::Malformed(FramingError::new(
+                    400,
+                    format!("malformed header line {line:?}"),
+                ))
+            }
+        }
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(te) = header("transfer-encoding") {
+        return Step::Malformed(FramingError::new(
+            501,
+            format!("transfer-encoding {te:?} is not supported; use content-length"),
+        ));
+    }
+    let content_length = match header("content-length") {
+        None => 0usize,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Step::Malformed(FramingError::new(
+                    400,
+                    format!("invalid content-length {v:?}"),
+                ))
+            }
+        },
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Step::Malformed(FramingError::new(
+            413,
+            format!("request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+        ));
+    }
+    if buf.len() < body_start + content_length {
+        return Step::Partial;
+    }
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    Step::Ready {
+        request: Box::new(Request {
+            method: method.to_ascii_uppercase(),
+            target: target.to_string(),
+            headers,
+            body: buf[body_start..body_start + content_length].to_vec(),
+            keep_alive,
+        }),
+        consumed: body_start + content_length,
+    }
+}
+
+/// The canonical reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Error",
+    }
+}
+
+/// Renders a complete response with an explicit `Content-Length` and
+/// `Connection` header. `body` is sent verbatim.
+pub fn response(status: u16, body: &[u8], keep_alive: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 128);
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            reason(status),
+            body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        )
+        .as_bytes(),
+    );
+    out.extend_from_slice(body);
+    out
+}
+
+/// Renders the JSON error body for a framing error (same `ok/error`
+/// shape as the NDJSON protocol's typed failures, class `http`).
+pub fn framing_error_body(err: &FramingError) -> Vec<u8> {
+    let mut body = ioenc_core::json::Json::obj()
+        .field("ok", false)
+        .field(
+            "error",
+            ioenc_core::json::Json::obj()
+                .field("class", "http")
+                .field("status", u64::from(err.status))
+                .field("message", err.message.as_str()),
+        )
+        .render();
+    body.push('\n');
+    body.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready(buf: &[u8]) -> (Request, usize) {
+        match parse_request(buf) {
+            Step::Ready { request, consumed } => (*request, consumed),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_pipelined_successor() {
+        let bytes =
+            b"POST /v1 HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhelloGET /stats HTTP/1.1\r\n\r\n";
+        let (req, consumed) = ready(bytes);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1");
+        assert_eq!(req.body, b"hello");
+        assert!(req.keep_alive);
+        let (req2, consumed2) = ready(&bytes[consumed..]);
+        assert_eq!(req2.method, "GET");
+        assert_eq!(req2.target, "/stats");
+        assert!(req2.body.is_empty());
+        assert_eq!(consumed + consumed2, bytes.len());
+    }
+
+    #[test]
+    fn partial_until_body_complete() {
+        let full = b"POST /v1 HTTP/1.1\r\nContent-Length: 10\r\n\r\n0123456789";
+        for cut in [3, 20, full.len() - 1] {
+            assert!(
+                matches!(parse_request(&full[..cut]), Step::Partial),
+                "{cut}"
+            );
+        }
+        let (req, consumed) = ready(full);
+        assert_eq!(req.body, b"0123456789");
+        assert_eq!(consumed, full.len());
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_accepted() {
+        let (req, _) = ready(b"GET /health HTTP/1.1\nHost: x\n\n");
+        assert_eq!(req.target, "/health");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_before_terminator() {
+        let mut buf = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        buf.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        match parse_request(&buf) {
+            Step::Malformed(e) => assert_eq!(e.status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let buf = format!(
+            "POST /v1 HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        match parse_request(buf.as_bytes()) {
+            Step::Malformed(e) => assert_eq!(e.status, 413),
+            other => panic!("expected 413, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_501() {
+        let buf = b"POST /v1 HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        match parse_request(buf) {
+            Step::Malformed(e) => assert_eq!(e.status, 501),
+            other => panic!("expected 501, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_request_lines_and_headers_are_400() {
+        for bad in [
+            &b"GET\r\n\r\n"[..],
+            &b"GET / HTTP/1.1 extra\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n"[..],
+            &b"GET / HTTP/1.1\r\ncontent-length: pony\r\n\r\n"[..],
+        ] {
+            match parse_request(bad) {
+                Step::Malformed(e) => assert_eq!(e.status, 400, "{bad:?}"),
+                other => panic!("expected 400 for {bad:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn http10_and_connection_close_disable_keep_alive() {
+        let (req, _) = ready(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = ready(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = ready(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn unsupported_versions_are_505() {
+        match parse_request(b"GET / HTTP/2.0\r\n\r\n") {
+            Step::Malformed(e) => assert_eq!(e.status, 505),
+            other => panic!("expected 505, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn responses_have_explicit_framing() {
+        let out = response(200, b"{\"ok\":true}\n", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 12\r\n"), "{text}");
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"ok\":true}\n"), "{text}");
+    }
+}

@@ -1,5 +1,9 @@
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll backend in `poller` opts back in
+// with a scoped, documented `#[allow(unsafe_code)]` for its raw-syscall
+// module (the same pattern as `ioenc_bitset`'s SIMD kernels). Everything
+// else in the crate remains safe code.
+#![deny(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! `ioenc serve` — a concurrent batch-encoding service (DESIGN.md §6e).
@@ -21,7 +25,15 @@
 //!   by a bounded [`queue`] that sheds load with an explicit
 //!   `overloaded` response, per-request budgets wired to a shared
 //!   [`CancelToken`](ioenc_core::CancelToken), inline `stats` and
-//!   `shutdown` operations, and graceful drain on shutdown.
+//!   `shutdown` operations, and graceful drain on shutdown. TCP
+//!   connections are served by a single readiness-driven event loop
+//!   ([`poller`], epoll on Linux) rather than a thread per connection,
+//!   speaking both the NDJSON protocol and HTTP/1.1 ([`http`]) on the
+//!   same port.
+//! * [`diskcache`] — an optional persistent tier under [`cache`]: an
+//!   append-only, checksummed, crash-recovering record log that any
+//!   number of server processes share through `flock`-based
+//!   coordination (DESIGN.md §6h).
 //!
 //! # Protocol (v1)
 //!
@@ -55,12 +67,16 @@
 //! ```
 
 pub mod cache;
+pub mod diskcache;
 pub mod exec;
+pub mod http;
+pub mod poller;
 pub mod queue;
 pub mod server;
 pub mod session;
 
 pub use cache::{CachedOutcome, ResultCache};
+pub use diskcache::DiskCache;
 pub use exec::{
     outcome, parse_constraint_text, solve_fresh, EncodeResult, EncodeSpec, Mode, ModeOutcome,
     Outcome, PROTOCOL_VERSION,

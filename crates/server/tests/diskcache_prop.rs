@@ -1,0 +1,210 @@
+//! Differential property tests for the persistent result cache.
+//!
+//! A [`DiskCache`] must behave exactly like an in-memory map from
+//! `(canonical key, fingerprint)` to the *last* outcome appended for
+//! that pair — across random interleavings of put, get, handle reopen
+//! (crash-free restart) and offline shard splitting. Every retrieved
+//! outcome must round-trip byte-identically (compared via the derived
+//! `Debug` rendering, which covers every field of [`CachedOutcome`]).
+
+use ioenc_core::WorkUnits;
+use ioenc_rng::SplitMix64;
+use ioenc_server::cache::CachedOutcome;
+use ioenc_server::exec::ModeOutcome;
+use ioenc_server::DiskCache;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// A unique, self-cleaning temp directory per test run.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path =
+            std::env::temp_dir().join(format!("ioenc-diskcache-prop-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn random_outcome(rng: &mut SplitMix64) -> CachedOutcome {
+    if rng.gen_bool(0.25) {
+        return CachedOutcome::Failure {
+            raw_hash: rng.next_u64(),
+            json: format!(
+                "{{\"ok\":false,\"error\":{{\"class\":\"limit\",\"message\":\"case {}\"}}}}",
+                rng.next_u64()
+            ),
+            exit_code: [2u8, 4, 5, 6][rng.gen_range(0..4)],
+        };
+    }
+    let n = rng.gen_range(1..24);
+    let width = rng.gen_range(1..16);
+    let canon_codes: Vec<u64> = (0..n).map(|_| rng.next_u64() >> (64 - width)).collect();
+    let work = WorkUnits {
+        num_initial: rng.gen_range(0..100),
+        num_primes: rng.gen_range(0..1000),
+        raise_attempts: rng.next_u64() >> 40,
+        evals: rng.next_u64() >> 40,
+        espresso_iters: rng.next_u64() >> 48,
+        ps_steps: rng.next_u64() >> 48,
+        peak_terms: rng.gen_range(0..10_000),
+        cover_nodes: rng.next_u64() >> 40,
+        cover_prunes: rng.next_u64() >> 40,
+        cover_tasks: rng.gen_range(0..64),
+    };
+    let mode = match rng.gen_range(0..3) {
+        0 => ModeOutcome::Exact {
+            optimal: rng.gen_bool(0.5),
+        },
+        1 => ModeOutcome::Heuristic {
+            converged: rng.gen_bool(0.5),
+        },
+        _ => ModeOutcome::Auto {
+            rung: ["exact", "bounded exact", "heuristic"][rng.gen_range(0..3)].to_string(),
+            optimal: rng.gen_bool(0.5),
+        },
+    };
+    CachedOutcome::Success {
+        width,
+        canon_codes,
+        work,
+        mode,
+    }
+}
+
+/// Keys drawn across the full u128 range so every shard-count in play
+/// (the top bits select the shard) actually receives traffic.
+fn random_key(rng: &mut SplitMix64) -> u128 {
+    (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+}
+
+fn assert_agrees(
+    disk: &DiskCache,
+    model: &HashMap<(u128, String), CachedOutcome>,
+    universe: &[(u128, String)],
+    when: &str,
+) {
+    for (key, fp) in universe {
+        let got = disk.lookup(*key, fp).map(|o| format!("{o:?}"));
+        let want = model.get(&(*key, fp.clone())).map(|o| format!("{o:?}"));
+        assert_eq!(got, want, "{when}: divergence at key {key:032x} fp {fp}");
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_model_map() {
+    for seed in [0x5eed_0001u64, 0xd15c_0002, 0xcafe_0003] {
+        let mut rng = SplitMix64::new(seed);
+        let dir = TempDir::new(&format!("interleave-{seed:x}"));
+        let mut shards = [1u32, 2, 4][rng.gen_range(0..3)];
+        let mut disk = DiskCache::open(&dir.0, shards).expect("open");
+        assert_eq!(disk.shard_count(), shards);
+
+        // A bounded universe of keys/fingerprints so puts collide and
+        // shadowing (last write wins) is actually exercised.
+        let universe: Vec<(u128, String)> = (0..24)
+            .map(|i| (random_key(&mut rng), format!("mode=m{};budget=b{i}", i % 3)))
+            .collect();
+        let mut model: HashMap<(u128, String), CachedOutcome> = HashMap::new();
+
+        for step in 0..400 {
+            match rng.gen_range(0..100) {
+                // Put: append to disk, overwrite in the model.
+                0..=44 => {
+                    let (key, fp) = universe[rng.gen_range(0..universe.len())].clone();
+                    let outcome = random_outcome(&mut rng);
+                    disk.append(key, &fp, &outcome);
+                    model.insert((key, fp), outcome);
+                }
+                // Get: a random probe (present or absent) must agree.
+                45..=89 => {
+                    let (key, fp) = universe[rng.gen_range(0..universe.len())].clone();
+                    let got = disk.lookup(key, &fp).map(|o| format!("{o:?}"));
+                    let want = model.get(&(key, fp.clone())).map(|o| format!("{o:?}"));
+                    assert_eq!(got, want, "seed {seed:#x} step {step}");
+                }
+                // Reopen: drop the handle (a clean restart) and rebuild
+                // the index from the logs alone.
+                90..=95 => {
+                    drop(disk);
+                    disk = DiskCache::open(&dir.0, shards).expect("reopen");
+                    assert_eq!(disk.shard_count(), shards, "meta pins the shard count");
+                }
+                // Offline shard split: close, rewrite the logs into
+                // 2x or 4x as many shards, reopen. Nothing may be lost.
+                _ => {
+                    let factor = rng.gen_range(1..3) as u32;
+                    if shards << factor <= 256 {
+                        drop(disk);
+                        shards = DiskCache::split_shards(&dir.0, factor).expect("split");
+                        disk = DiskCache::open(&dir.0, shards).expect("reopen after split");
+                        assert_eq!(disk.shard_count(), shards);
+                        assert_agrees(&disk, &model, &universe, "after split");
+                    }
+                }
+            }
+        }
+        assert_agrees(&disk, &model, &universe, "final sweep");
+        assert_eq!(
+            disk.indexed_records(),
+            model.len(),
+            "index holds exactly one live record per (key, fingerprint)"
+        );
+        assert_eq!(
+            disk.stats()
+                .rejected
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        assert_eq!(
+            disk.stats()
+                .torn_bytes
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+}
+
+/// Two handles on one directory (the multi-process topology, in one
+/// process): every append through either handle must become visible to
+/// the other, and both must agree with the model at the end.
+#[test]
+fn two_handles_share_one_directory() {
+    let mut rng = SplitMix64::new(0x2b0b_cafe);
+    let dir = TempDir::new("two-handles");
+    let a = DiskCache::open(&dir.0, 4).expect("open a");
+    let b = DiskCache::open(&dir.0, 4).expect("open b");
+    let universe: Vec<(u128, String)> = (0..16)
+        .map(|i| (random_key(&mut rng), format!("fp{i}")))
+        .collect();
+    let mut model: HashMap<(u128, String), CachedOutcome> = HashMap::new();
+
+    for _ in 0..200 {
+        let (key, fp) = universe[rng.gen_range(0..universe.len())].clone();
+        let (writer, reader) = if rng.gen_bool(0.5) {
+            (&a, &b)
+        } else {
+            (&b, &a)
+        };
+        if rng.gen_bool(0.6) {
+            let outcome = random_outcome(&mut rng);
+            writer.append(key, &fp, &outcome);
+            model.insert((key, fp.clone()), outcome);
+        }
+        // The *other* handle must see the latest write (lookups refresh
+        // from the shared log under a shared lock).
+        let got = reader.lookup(key, &fp).map(|o| format!("{o:?}"));
+        let want = model.get(&(key, fp)).map(|o| format!("{o:?}"));
+        assert_eq!(got, want);
+    }
+    assert_agrees(&a, &model, &universe, "handle a");
+    assert_agrees(&b, &model, &universe, "handle b");
+}

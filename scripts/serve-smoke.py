@@ -14,14 +14,214 @@ on any divergence.
 """
 
 import json
+import queue
 import socket
 import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = sorted((REPO / "tests" / "fixtures" / "serve").glob("*.txt"))
+
+
+def read_banner(server, timeout=30.0):
+    """Reads the `listening on` stderr banner with a hard bound.
+
+    Fails fast (with the exit code) if the server dies before binding,
+    and after `timeout` seconds if it never prints the banner — the same
+    bound tests/serve.rs applies — instead of hanging the harness.
+    """
+    lines = queue.Queue()
+    threading.Thread(
+        target=lambda: lines.put(server.stderr.readline()), daemon=True
+    ).start()
+    deadline = time.monotonic() + timeout
+    while True:
+        code = server.poll()
+        if code is not None:
+            raise SystemExit(f"server exited before binding: {code}")
+        try:
+            banner = lines.get(timeout=0.05).strip()
+        except queue.Empty:
+            if time.monotonic() > deadline:
+                server.kill()
+                raise SystemExit(f"server did not bind within {timeout}s")
+            continue
+        if "listening on" not in banner:
+            raise SystemExit(f"unexpected first stderr line: {banner!r}")
+        return banner.rsplit(" ", 1)[-1].rsplit(":", 1)
+
+
+def connect(host, port, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, int(port)), timeout=5)
+            sock.settimeout(60)
+            return sock
+        except OSError:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.05)
+
+
+def read_http_response(f):
+    """Reads one HTTP/1.1 response from a buffered reader; returns
+    (status, body-bytes).
+
+    Takes a `sock.makefile("rb")` object rather than the socket so that
+    pipelined responses arriving in one TCP segment are not lost between
+    calls. Returns (None, b"") on a clean close before any status line.
+    """
+    status_line = f.readline()
+    if not status_line:
+        return None, b""
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = f.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = f.read(length)
+    if len(body) < length:
+        raise SystemExit(f"connection closed mid-body ({len(body)}/{length})")
+    return status, body
+
+
+def http_battery(binary, workers):
+    """HTTP/1.1 conformance against a live `--http` server.
+
+    Pipelining, oversized headers, slowloris partial writes and abrupt
+    disconnects must each produce a typed error or a clean close — and
+    never wedge the server, which has to keep answering afterwards.
+    """
+    failures = 0
+    server = subprocess.Popen(
+        [binary, "serve", "--tcp", "0", "--http", "--workers", workers],
+        stdin=subprocess.DEVNULL,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        host, port = read_banner(server)
+        text = FIXTURES[0].read_text()
+        cli = subprocess.run(
+            [binary, "encode", str(FIXTURES[0]), "--json"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+
+        def post(rid):
+            body = json.dumps(
+                {"id": rid, "op": "encode", "text": text}, separators=(",", ":")
+            ).encode()
+            return b"POST / HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s" % (len(body), body)
+
+        # 1. Three pipelined POSTs in one write: in-order 200s wrapping
+        # the exact CLI bytes.
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        sock.sendall(post(1) + post(2) + post(3))
+        for rid in (1, 2, 3):
+            status, body = read_http_response(f)
+            want = '{"id":%d,"v":1,"result":%s}\n' % (rid, cli.stdout.strip())
+            if status != 200 or body.decode() != want:
+                failures += 1
+                print(f"pipelined POST {rid}: {status} {body!r}", file=sys.stderr)
+        # GET /stats rides the same keep-alive connection.
+        sock.sendall(b"GET /stats HTTP/1.1\r\n\r\n")
+        status, body = read_http_response(f)
+        if status != 200 or b'"queue"' not in body:
+            failures += 1
+            print(f"GET /stats: {status} {body!r}", file=sys.stderr)
+        sock.close()
+
+        # 2. Oversized header block: typed 431, then a clean close.
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        sock.sendall(b"POST / HTTP/1.1\r\nx-pad: " + b"a" * 20000 + b"\r\n\r\n")
+        status, body = read_http_response(f)
+        if status != 431:
+            failures += 1
+            print(f"oversized headers: expected 431, got {status}", file=sys.stderr)
+        if read_http_response(f)[0] is not None:
+            failures += 1
+            print("oversized-header connection not closed", file=sys.stderr)
+        sock.close()
+
+        # 3. Slowloris: the same valid POST, dribbled a few bytes at a
+        # time, must still get the full 200.
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        payload = post(4)
+        for i in range(0, len(payload), 7):
+            sock.sendall(payload[i : i + 7])
+            time.sleep(0.002)
+        status, body = read_http_response(f)
+        want = '{"id":4,"v":1,"result":%s}\n' % cli.stdout.strip()
+        if status != 200 or body.decode() != want:
+            failures += 1
+            print(f"slowloris POST: {status} {body!r}", file=sys.stderr)
+        sock.close()
+
+        # 4. Slowloris abandoned mid-head, and 5. abrupt disconnect right
+        # after a full request: both just close; the server must keep
+        # answering new connections (checked by the probes below).
+        sock = connect(host, port)
+        sock.sendall(b"POST / HTTP/1.1\r\ncontent-le")
+        sock.close()
+        sock = connect(host, port)
+        sock.sendall(post(5))
+        sock.close()  # response (if any) goes nowhere
+
+        # 6. Unknown target and bad method: typed 404 / 405.
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        sock.sendall(b"GET /nope HTTP/1.1\r\n\r\n")
+        status, _ = read_http_response(f)
+        if status != 404:
+            failures += 1
+            print(f"GET /nope: expected 404, got {status}", file=sys.stderr)
+        sock.close()
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        sock.sendall(b"PUT / HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+        status, _ = read_http_response(f)
+        if status != 405:
+            failures += 1
+            print(f"PUT: expected 405, got {status}", file=sys.stderr)
+        sock.close()
+
+        # 7. Shutdown over HTTP; the server must exit 0.
+        sock = connect(host, port)
+        f = sock.makefile("rb")
+        body = b'{"id":9,"op":"shutdown"}'
+        sock.sendall(
+            b"POST / HTTP/1.1\r\ncontent-length: %d\r\nconnection: close\r\n\r\n%s"
+            % (len(body), body)
+        )
+        status, body = read_http_response(f)
+        if status != 200 or b'"shutting_down":true' not in body:
+            failures += 1
+            print(f"HTTP shutdown: {status} {body!r}", file=sys.stderr)
+        sock.close()
+        code = server.wait(timeout=30)
+        if code != 0:
+            failures += 1
+            print(f"server exited with {code} after HTTP battery", file=sys.stderr)
+        if not failures:
+            print(f"serve-smoke: HTTP battery clean (workers={workers})")
+        return failures
+    finally:
+        if server.poll() is None:
+            server.kill()
 
 
 def main() -> int:
@@ -44,9 +244,7 @@ def main() -> int:
         text=True,
     )
     try:
-        banner = server.stderr.readline().strip()
-        addr = banner.rsplit(" ", 1)[-1]
-        host, port = addr.rsplit(":", 1)
+        host, port = read_banner(server)
 
         expected = {}
         requests = []
@@ -68,16 +266,7 @@ def main() -> int:
                     )
                 )
 
-        deadline = time.monotonic() + 30
-        sock = None
-        while sock is None:
-            try:
-                sock = socket.create_connection((host, int(port)), timeout=5)
-            except OSError:
-                if time.monotonic() > deadline:
-                    raise
-                time.sleep(0.05)
-        sock.settimeout(60)
+        sock = connect(host, port)
         reader = sock.makefile("r", encoding="utf-8", newline="\n")
         writer = sock.makefile("w", encoding="utf-8", newline="\n")
         for line in requests:
@@ -179,10 +368,11 @@ def main() -> int:
             f"serve-smoke: {n} responses byte-identical to the CLI "
             f"(workers={workers}, cache hits={hits})"
         )
-        return 0
     finally:
         if server.poll() is None:
             server.kill()
+
+    return 1 if http_battery(binary, workers) else 0
 
 
 if __name__ == "__main__":

@@ -77,6 +77,7 @@ usage:
                [--threads auto|off|N]
                (then add/remove/show/quit commands on stdin)
   ioenc serve  [--workers N] [--queue N] [--cache N|off] [--tcp PORT]
+               [--http] [--cache-dir PATH] [--shards N]
   ioenc primes <constraints-file> [--cap N] [--threads auto|off|N]
   ioenc fsm    <kiss2-file> [--mixed] [--dc] [--assign]
   ioenc table  <constraints-file>
@@ -476,10 +477,35 @@ fn run_serve(f: &Flags<'_>) -> Result<ExitCode, EncodeError> {
             .parse::<usize>()
             .map_err(|e| EncodeError::parse(format!("--cache {v}: {e}")))?,
     };
-    let opts = ServeOptions::new()
+    let mut opts = ServeOptions::new()
         .with_workers(workers)
         .with_queue_capacity(queue)
-        .with_cache_entries(cache);
+        .with_cache_entries(cache)
+        .with_http(f.flag("--http"));
+    if let Some(dir) = f.value("--cache-dir") {
+        if cache == 0 {
+            return Err(EncodeError::parse(
+                "--cache-dir needs the cache enabled; drop '--cache off'",
+            ));
+        }
+        opts = opts.with_cache_dir(dir);
+    } else if f.flag("--cache-dir") {
+        return Err(EncodeError::parse("--cache-dir requires a path"));
+    }
+    if let Some(v) = f.value("--shards") {
+        let shards = v
+            .parse::<u32>()
+            .map_err(|e| EncodeError::parse(format!("--shards {v}: {e}")))?;
+        if shards == 0 || shards > 256 {
+            return Err(EncodeError::limit("--shards must be between 1 and 256"));
+        }
+        opts = opts.with_cache_shards(shards);
+    } else if f.flag("--shards") {
+        return Err(EncodeError::parse("--shards requires a count"));
+    }
+    if f.flag("--http") && !f.flag("--tcp") {
+        return Err(EncodeError::parse("--http requires --tcp PORT"));
+    }
     let served = if f.flag("--tcp") {
         let port = match f.value("--tcp") {
             Some(v) => v

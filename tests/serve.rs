@@ -323,6 +323,38 @@ fn serve_rejects_unknown_protocol_versions() {
     server.shutdown();
 }
 
+/// Waits for the `listening on` banner with a hard bound, so a server
+/// that dies before binding (or never binds) fails the test with a clear
+/// message instead of hanging it until the harness timeout.
+fn wait_for_banner(child: &mut Child) -> String {
+    let stderr = child.stderr.take().expect("stderr piped");
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        let _ = BufReader::new(stderr).read_line(&mut line);
+        let _ = tx.send(line);
+    });
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("server exited before binding: {status}");
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(banner) if banner.contains("listening on") => return banner,
+            Ok(other) => panic!("unexpected first stderr line: {other:?}"),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if std::time::Instant::now() > deadline {
+                    let _ = child.kill();
+                    panic!("server did not print its listen banner within 30s");
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                panic!("server closed stderr before printing its listen banner")
+            }
+        }
+    }
+}
+
 #[test]
 fn serve_tcp_round_trips_on_an_ephemeral_port() {
     let mut child = Command::new(env!("CARGO_BIN_EXE_ioenc"))
@@ -332,9 +364,7 @@ fn serve_tcp_round_trips_on_an_ephemeral_port() {
         .stderr(Stdio::piped())
         .spawn()
         .expect("server spawns");
-    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
-    let mut banner = String::new();
-    stderr.read_line(&mut banner).expect("banner");
+    let banner = wait_for_banner(&mut child);
     let addr = banner
         .trim()
         .rsplit(' ')
